@@ -1,0 +1,266 @@
+//! The Aquila-like verifier.
+//!
+//! Aquila verifies production data plane programs against LPI
+//! specifications. This baseline performs the classic path-based check:
+//! enumerate every valid path of the *whole* program CFG (no code summary —
+//! that is Meissa's contribution) and, for each path and each intent, ask
+//! the solver whether some input satisfies `path condition ∧ given ∧
+//! ¬expect(final state)`. A SAT answer is a counterexample: a code bug.
+//!
+//! Faithful limitations:
+//!
+//! * **source-only**: it reasons over the CFG, so bugs introduced by the
+//!   backend/toolchain (Table 2 bugs 7–16) are invisible by construction;
+//! * **checksums skipped**: intents whose clauses contain a `csum16`
+//!   application are not checked (§6: "verifying checksum is not well
+//!   supported by SMT solvers") — which is why bug 6 escapes it;
+//! * a static deparser completeness check (valid headers ⊆ emit list),
+//!   which is how verification catches Table 2 bug 5.
+
+use crate::{ToolRun, ToolVerdict};
+use meissa_core::exec::{explore, ExecConfig, RawPath};
+use meissa_core::symstate::{SymCtx, ValueStack};
+use meissa_ir::{AExp, BExp, HashAlg};
+use meissa_lang::CompiledProgram;
+use meissa_smt::{CheckResult, Solver, TermPool};
+use std::time::{Duration, Instant};
+
+/// A verification outcome.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// Names of violated intents (with a counterexample each).
+    pub violations: Vec<String>,
+    /// Valid headers missing from the deparser emit list.
+    pub deparser_omissions: Vec<String>,
+    /// Intents skipped because they involve checksums.
+    pub skipped_intents: Vec<String>,
+    /// Timing and work counters.
+    pub run: ToolRun,
+}
+
+impl VerifyOutcome {
+    /// True when verification found any defect.
+    pub fn found_bug(&self) -> bool {
+        !self.violations.is_empty() || !self.deparser_omissions.is_empty()
+    }
+}
+
+fn bexp_has_csum(e: &BExp) -> bool {
+    fn aexp_has(e: &AExp) -> bool {
+        match e {
+            AExp::Hash(HashAlg::Csum16, _, _) => true,
+            AExp::Hash(_, _, args) => args.iter().any(aexp_has),
+            AExp::Field(_) | AExp::Const(_) => false,
+            AExp::Bin(_, a, b) => aexp_has(a) || aexp_has(b),
+            AExp::Not(a) | AExp::Shl(a, _) | AExp::Shr(a, _) => aexp_has(a),
+        }
+    }
+    match e {
+        BExp::True | BExp::False => false,
+        BExp::Cmp(_, a, b) => aexp_has(a) || aexp_has(b),
+        BExp::Bin(_, a, b) => bexp_has_csum(a) || bexp_has_csum(b),
+        BExp::Not(a) => bexp_has_csum(a),
+    }
+}
+
+/// Verifies a program against its intents with a time budget.
+pub fn verify(program: &CompiledProgram, budget: Option<Duration>) -> VerifyOutcome {
+    let t0 = Instant::now();
+    let cfg = &program.cfg;
+    let mut pool = TermPool::new();
+    let mut ctx = SymCtx::new(None);
+
+    // Static deparser completeness: every header that *can* be valid at the
+    // end of some path must be on the emit list. (Checked per valid path
+    // below against final symbolic state.)
+    let mut deparser_omissions: Vec<String> = Vec::new();
+
+    // A verification tool re-encodes the program per query: no incremental
+    // solver reuse across paths or checks (the optimization Meissa's §3.2
+    // early termination leans on).
+    let exec_cfg = ExecConfig {
+        early_termination: true,
+        incremental: false,
+        time_budget: budget,
+        ..ExecConfig::default()
+    };
+    let mut paths: Vec<RawPath> = Vec::new();
+    let stats = explore(
+        cfg,
+        &mut pool,
+        &mut ctx,
+        cfg.entry(),
+        None,
+        &[],
+        &exec_cfg,
+        &mut |p| paths.push(p),
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut smt_checks = stats.smt_checks;
+
+    for intent in &program.intents {
+        if bexp_has_csum(&intent.given) || bexp_has_csum(&intent.expect) {
+            skipped.push(intent.name.clone());
+            continue;
+        }
+        let v0 = ValueStack::new();
+        let given = ctx.bexp(&mut pool, &cfg.fields, &v0, &intent.given);
+        let mut violated = false;
+        for path in &paths {
+            if let Some(b) = budget {
+                if t0.elapsed() > b {
+                    return VerifyOutcome {
+                        violations,
+                        deparser_omissions,
+                        skipped_intents: skipped,
+                        run: ToolRun {
+                            elapsed: t0.elapsed(),
+                            work_items: paths.len() as u64,
+                            smt_checks,
+                            verdict: ToolVerdict::Timeout,
+                        },
+                    };
+                }
+            }
+            // Final symbolic state of the path.
+            let mut v = ValueStack::new();
+            for &(f, t) in &path.final_values {
+                v.set(f, t);
+            }
+            let expect = ctx.bexp(&mut pool, &cfg.fields, &v, &intent.expect);
+            let neg = pool.not(expect);
+            // One verification condition per (path, intent), discharged on
+            // a fresh solver.
+            let mut solver = Solver::new();
+            solver.push();
+            for &c in &path.constraints {
+                solver.assert_term(&mut pool, c);
+            }
+            solver.assert_term(&mut pool, given);
+            solver.assert_term(&mut pool, neg);
+            let r = solver.check(&mut pool);
+            solver.pop();
+            smt_checks += 1;
+            if r == CheckResult::Sat {
+                violated = true;
+                break;
+            }
+        }
+        if violated {
+            violations.push(intent.name.clone());
+        }
+    }
+
+    // Deparser completeness per valid path: a header assigned valid in the
+    // final symbolic state must be emitted.
+    for layout in &program.headers {
+        if program.deparse_order.contains(&layout.name) {
+            continue;
+        }
+        let can_be_valid = paths.iter().any(|p| {
+            p.final_values.iter().any(|&(f, t)| {
+                f == layout.valid
+                    && pool.as_const(t).map(|b| !b.is_zero()).unwrap_or(true)
+            })
+        });
+        if can_be_valid {
+            deparser_omissions.push(layout.name.clone());
+        }
+    }
+
+    let timed_out = stats.timed_out;
+    VerifyOutcome {
+        violations,
+        deparser_omissions,
+        skipped_intents: skipped,
+        run: ToolRun {
+            elapsed: t0.elapsed(),
+            work_items: paths.len() as u64,
+            smt_checks,
+            verdict: if timed_out {
+                ToolVerdict::Timeout
+            } else {
+                ToolVerdict::NotDetected
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    fn program(src: &str, rules: &str) -> CompiledProgram {
+        compile(
+            &parse_program(src).unwrap(),
+            &parse_rules(rules).unwrap(),
+        )
+        .unwrap()
+    }
+
+    const BASE: &str = r#"
+        header pkt { t: 16; }
+        metadata meta { out: 8; drop: 1; }
+        parser p { state start { extract(pkt); accept; } }
+        action set_out(v: 8) { meta.out = v; }
+        action drop_() { meta.drop = 1; }
+        table tbl {
+          key = { hdr.pkt.t: exact; }
+          actions = { set_out; drop_; }
+          default_action = drop_();
+        }
+        control c { apply(tbl); }
+        pipeline main { parser = p; control = c; }
+        deparser { emit(pkt); }
+        intent always_decided {
+          given true;
+          expect meta.drop == 1 || meta.out != 0;
+        }
+    "#;
+
+    #[test]
+    fn clean_program_verifies() {
+        let cp = program(BASE, "rules tbl { 1 => set_out(5); 2 => set_out(6); }");
+        let out = verify(&cp, None);
+        assert!(!out.found_bug(), "{:?}", out.violations);
+        assert!(out.run.work_items >= 3);
+    }
+
+    #[test]
+    fn misconfigured_rule_is_caught() {
+        // Rule maps t=1 to out=0: violates the intent.
+        let cp = program(BASE, "rules tbl { 1 => set_out(0); }");
+        let out = verify(&cp, None);
+        assert_eq!(out.violations, vec!["always_decided".to_string()]);
+    }
+
+    #[test]
+    fn checksum_intents_are_skipped() {
+        let src = BASE.replace(
+            "intent always_decided {\n          given true;\n          expect meta.drop == 1 || meta.out != 0;\n        }",
+            "intent csum_ok { given true; expect meta.out == hash(csum16, 8, hdr.pkt.t); }",
+        );
+        let cp = program(&src, "rules tbl { 1 => set_out(5); }");
+        let out = verify(&cp, None);
+        assert_eq!(out.skipped_intents, vec!["csum_ok".to_string()]);
+        assert!(!out.found_bug(), "skipped, not violated");
+    }
+
+    #[test]
+    fn deparser_omission_is_caught_statically() {
+        // `extra` is extracted (hence valid) but never emitted.
+        let src = BASE
+            .replace(
+                "header pkt { t: 16; }",
+                "header pkt { t: 16; }\nheader extra { x: 8; }",
+            )
+            .replace("extract(pkt); accept;", "extract(pkt); extract(extra); accept;");
+        let cp = program(&src, "rules tbl { 1 => set_out(5); }");
+        let out = verify(&cp, None);
+        assert_eq!(out.deparser_omissions, vec!["extra".to_string()]);
+        assert!(out.found_bug());
+    }
+}

@@ -1,0 +1,146 @@
+//! The Gauntlet-like baseline (model-based testing mode).
+//!
+//! Gauntlet's model-based testing computes a program's input/output model
+//! by enumerating *every possible path* and deciding validity at path ends
+//! — no early termination, no summary, no incremental reuse. Per §5.1 the
+//! mode was "modified … to traverse all possible table rules to achieve
+//! full coverage for fair comparison", which this implementation does
+//! natively. It tests both the frontend and the Tofino-class backend (it
+//! found the bf-p4c bugs of Table 2), so every fault class manifests — but
+//! "its model-based testing does not scale to programs that are large
+//! enough" (§6): multi-pipeline programs are unsupported, and single-pipe
+//! runs carry a time budget.
+
+use crate::{ToolRun, ToolVerdict};
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_dataplane::{Fault, SwitchTarget};
+use meissa_driver::TestDriver;
+use meissa_lang::CompiledProgram;
+use std::time::Duration;
+
+fn config(budget: Option<Duration>) -> MeissaConfig {
+    MeissaConfig {
+        code_summary: false,
+        early_termination: false,
+        incremental: false,
+        time_budget: budget,
+        ..MeissaConfig::default()
+    }
+}
+
+/// True when the tool can process the program.
+pub fn supports(program: &CompiledProgram) -> bool {
+    program.num_pipes == 1
+}
+
+/// Test-case (model) generation timing run (Fig. 9).
+pub fn generate(program: &CompiledProgram, budget: Option<Duration>) -> ToolRun {
+    if !supports(program) {
+        return ToolRun {
+            elapsed: Duration::ZERO,
+            work_items: 0,
+            smt_checks: 0,
+            verdict: ToolVerdict::Unsupported,
+        };
+    }
+    let engine = Meissa {
+        config: config(budget),
+    };
+    let out = engine.run(program);
+    ToolRun {
+        elapsed: out.stats.elapsed,
+        work_items: out.stats.valid_paths,
+        smt_checks: out.stats.smt_checks,
+        verdict: if out.stats.timed_out {
+            ToolVerdict::Timeout
+        } else {
+            ToolVerdict::NotDetected
+        },
+    }
+}
+
+/// Bug-hunting run: build the model, execute against the faulty target.
+pub fn detect_bug(
+    program: &CompiledProgram,
+    fault: &Fault,
+    budget: Option<Duration>,
+) -> ToolVerdict {
+    if !supports(program) {
+        return ToolVerdict::Unsupported;
+    }
+    let engine = Meissa {
+        config: config(budget),
+    };
+    let mut run = engine.run(program);
+    if run.stats.timed_out {
+        return ToolVerdict::Timeout;
+    }
+    let driver = TestDriver::without_structural_checks(program);
+    let target = SwitchTarget::with_fault(program, fault.clone());
+    let report = driver.run(&mut run, &target);
+    if report.found_bug() {
+        ToolVerdict::Detected
+    } else {
+        ToolVerdict::NotDetected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    const PROBE: &str = r#"
+        header pkt { t: 16; }
+        header tag { v: 8; }
+        metadata meta { drop: 1; }
+        parser p { state start { extract(pkt); accept; } }
+        action attach() { hdr.tag.setValid(); hdr.tag.v = 9; }
+        action skip_() { }
+        control c {
+          if (hdr.pkt.t == 1) { call attach(); } else { call skip_(); }
+        }
+        pipeline main { parser = p; control = c; }
+        deparser { emit(pkt); emit(tag); }
+    "#;
+
+    fn program(src: &str) -> CompiledProgram {
+        compile(&parse_program(src).unwrap(), &parse_rules("").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn detects_backend_faults_on_small_programs() {
+        let p = program(PROBE);
+        let fault = Fault::SetValidDropped {
+            header: "tag".into(),
+        };
+        assert_eq!(detect_bug(&p, &fault, None), ToolVerdict::Detected);
+        assert_eq!(detect_bug(&p, &Fault::None, None), ToolVerdict::NotDetected);
+    }
+
+    #[test]
+    fn multi_pipe_is_unsupported() {
+        let src = r#"
+            metadata meta { x: 8; }
+            control c { }
+            pipeline a { control = c; }
+            pipeline b { control = c; }
+            topology { start -> a; a -> b; b -> end; }
+        "#;
+        let p = program(src);
+        assert_eq!(generate(&p, None).verdict, ToolVerdict::Unsupported);
+        assert_eq!(
+            detect_bug(&p, &Fault::PriorityInverted, None),
+            ToolVerdict::Unsupported
+        );
+    }
+
+    #[test]
+    fn explores_every_possible_path() {
+        let p = program(PROBE);
+        let run = generate(&p, None);
+        // Exhaustive enumeration touches both arms regardless of validity.
+        assert_eq!(run.verdict, ToolVerdict::NotDetected);
+        assert_eq!(run.work_items, 2);
+    }
+}

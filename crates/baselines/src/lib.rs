@@ -1,0 +1,108 @@
+//! Baseline tools for the §5 comparisons.
+//!
+//! Each baseline keeps the algorithmic property the paper attributes to the
+//! original (see DESIGN.md's substitution table):
+//!
+//! * [`p4pktgen`] — whole-program symbolic execution with early
+//!   termination but **no code summary and no incremental solving** (every
+//!   satisfiability query pays a fresh solve); single-pipeline programs
+//!   only; targets the reference (BMv2-class) backend, so bf-p4c-class
+//!   backend faults never manifest for it.
+//! * [`gauntlet`] — the model-based-testing mode: exhaustive possible-path
+//!   enumeration with **no early termination** (validity is only decided at
+//!   path ends), no summary, no incremental reuse. Modified per §5.1 to
+//!   traverse installed table rules. Single-pipeline programs only.
+//! * [`aquila`] — a verification tool: per-valid-path checking of every
+//!   intent against *source semantics* (so it can never see non-code
+//!   bugs), plus a static deparser check. Skips intents involving
+//!   checksums ("verifying checksum is not well supported by SMT solvers",
+//!   §6).
+//! * [`pta`] — PTA requires hand-written unit tests and supports only
+//!   P4-14-era programs; it participates in the Table 2 matrix through its
+//!   capability profile.
+
+pub mod aquila;
+pub mod gauntlet;
+pub mod p4pktgen;
+pub mod pta;
+
+use meissa_dataplane::Fault;
+use std::time::Duration;
+
+/// Outcome of running a tool against a (program, fault) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToolVerdict {
+    /// The tool flagged the bug.
+    Detected,
+    /// The tool ran to completion without flagging anything.
+    NotDetected,
+    /// The tool cannot handle the program (feature/scale gap).
+    Unsupported,
+    /// The tool exceeded its time budget.
+    Timeout,
+}
+
+impl ToolVerdict {
+    /// Table 2 cell rendering.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ToolVerdict::Detected => "✓",
+            ToolVerdict::NotDetected => "✗",
+            ToolVerdict::Unsupported => "✗ (unsupported)",
+            ToolVerdict::Timeout => "✗ (timeout)",
+        }
+    }
+
+    /// True for [`ToolVerdict::Detected`].
+    pub fn detected(&self) -> bool {
+        *self == ToolVerdict::Detected
+    }
+}
+
+/// A timed tool run (the Fig. 9/10 measurements).
+#[derive(Clone, Debug)]
+pub struct ToolRun {
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Templates generated (testing tools) or paths checked (verification).
+    pub work_items: u64,
+    /// SMT checks issued.
+    pub smt_checks: u64,
+    /// Outcome flags.
+    pub verdict: ToolVerdict,
+}
+
+/// Faults introduced by the shared p4c frontend manifest on every target;
+/// bf-p4c backend faults exist only on the Tofino-class target that
+/// p4pktgen (a BMv2 tool) cannot drive.
+pub fn fault_is_frontend(f: &Fault) -> bool {
+    matches!(
+        f,
+        Fault::WrongConstant { .. } | Fault::PriorityInverted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_symbols() {
+        assert_eq!(ToolVerdict::Detected.symbol(), "✓");
+        assert!(ToolVerdict::Detected.detected());
+        assert!(!ToolVerdict::Timeout.detected());
+    }
+
+    #[test]
+    fn frontend_fault_classification() {
+        assert!(fault_is_frontend(&Fault::PriorityInverted));
+        assert!(fault_is_frontend(&Fault::WrongConstant {
+            field: "x".into(),
+            xor_mask: 1
+        }));
+        assert!(!fault_is_frontend(&Fault::ChecksumNotUpdated));
+        assert!(!fault_is_frontend(&Fault::SetValidDropped {
+            header: "h".into()
+        }));
+    }
+}

@@ -1,0 +1,171 @@
+//! The p4pktgen-like baseline.
+//!
+//! p4pktgen performs whole-program symbolic execution with path pruning but
+//! predates both code summary and aggressive incremental-solver reuse, and
+//! it drives the BMv2 reference target. Faithful properties kept here:
+//!
+//! * no code summary — multi-pipeline programs are out of reach
+//!   ("Path explosion makes it impracticable to test large-scaled
+//!   programs", §8), and we reject them as unsupported like §5.1 does;
+//! * non-incremental solving — every early-termination query re-solves the
+//!   whole constraint prefix from scratch;
+//! * no production rule ingestion for bug hunting — "It also does not test
+//!   table rules" (§8): [`detect_bug`] re-compiles the program with an
+//!   empty rule set, so rule-configuration bugs are invisible;
+//! * BMv2-class target — bf-p4c backend faults never manifest
+//!   ([`crate::fault_is_frontend`]).
+//!
+//! For the Fig. 9 scalability comparison, [`generate`] (like the paper's
+//! modified-Gauntlet protocol) runs it over the full rule set so the
+//! measured cost difference is algorithmic, not an input-format accident.
+
+use crate::{fault_is_frontend, ToolRun, ToolVerdict};
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_dataplane::{Fault, SwitchTarget};
+use meissa_driver::TestDriver;
+use meissa_lang::{compile, CompiledProgram, RuleSet};
+use std::time::Duration;
+
+fn config(budget: Option<Duration>) -> MeissaConfig {
+    MeissaConfig {
+        code_summary: false,
+        early_termination: true,
+        incremental: false,
+        time_budget: budget,
+        ..MeissaConfig::default()
+    }
+}
+
+/// True when the tool can process the program at all.
+pub fn supports(program: &CompiledProgram) -> bool {
+    program.num_pipes == 1
+}
+
+/// Test-case generation timing run (Fig. 9).
+pub fn generate(program: &CompiledProgram, budget: Option<Duration>) -> ToolRun {
+    if !supports(program) {
+        return ToolRun {
+            elapsed: Duration::ZERO,
+            work_items: 0,
+            smt_checks: 0,
+            verdict: ToolVerdict::Unsupported,
+        };
+    }
+    let engine = Meissa {
+        config: config(budget),
+    };
+    let out = engine.run(program);
+    ToolRun {
+        elapsed: out.stats.elapsed,
+        work_items: out.stats.valid_paths,
+        smt_checks: out.stats.smt_checks,
+        verdict: if out.stats.timed_out {
+            ToolVerdict::Timeout
+        } else {
+            ToolVerdict::NotDetected
+        },
+    }
+}
+
+/// Bug-hunting run: generate tests (over an empty rule set) and execute
+/// them against the faulty target.
+pub fn detect_bug(
+    program: &CompiledProgram,
+    fault: &Fault,
+    budget: Option<Duration>,
+) -> ToolVerdict {
+    if !supports(program) {
+        return ToolVerdict::Unsupported;
+    }
+    // p4pktgen does not ingest the production rule set.
+    let stripped = match compile(&program.source, &RuleSet::new()) {
+        Ok(p) => p,
+        Err(_) => return ToolVerdict::Unsupported,
+    };
+    // BMv2 target: backend faults do not exist there.
+    let effective_fault = if fault_is_frontend(fault) {
+        fault.clone()
+    } else {
+        Fault::None
+    };
+    let engine = Meissa {
+        config: config(budget),
+    };
+    let mut run = engine.run(&stripped);
+    if run.stats.timed_out {
+        return ToolVerdict::Timeout;
+    }
+    let driver = TestDriver::without_structural_checks(&stripped);
+    let target = SwitchTarget::with_fault(&stripped, effective_fault);
+    let report = driver.run(&mut run, &target);
+    if report.found_bug() {
+        ToolVerdict::Detected
+    } else {
+        ToolVerdict::NotDetected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_lang::{parse_program, parse_rules};
+
+    const SINGLE_PIPE: &str = r#"
+        header pkt { t: 16; }
+        metadata meta { out: 8; drop: 1; }
+        parser p { state start { extract(pkt); accept; } }
+        action mark() { hdr.pkt.t = 0x1111; meta.out = 7; }
+        action pass() { meta.out = 1; }
+        control c {
+          if (hdr.pkt.t == 0x0800) { call mark(); } else { call pass(); }
+        }
+        pipeline main { parser = p; control = c; }
+        deparser { emit(pkt); }
+    "#;
+
+    fn program(src: &str, rules: &str) -> CompiledProgram {
+        compile(&parse_program(src).unwrap(), &parse_rules(rules).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_pipe_supported_multi_pipe_not() {
+        let single = program(SINGLE_PIPE, "");
+        assert!(supports(&single));
+        let multi_src = r#"
+            metadata meta { x: 8; }
+            control c { }
+            pipeline a { control = c; }
+            pipeline b { control = c; }
+            topology { start -> a; a -> b; b -> end; }
+        "#;
+        let multi = program(multi_src, "");
+        assert!(!supports(&multi));
+        assert_eq!(generate(&multi, None).verdict, ToolVerdict::Unsupported);
+        assert_eq!(
+            detect_bug(&multi, &Fault::None, None),
+            ToolVerdict::Unsupported
+        );
+    }
+
+    #[test]
+    fn generates_templates_on_supported_programs() {
+        let p = program(SINGLE_PIPE, "");
+        let run = generate(&p, None);
+        assert_eq!(run.verdict, ToolVerdict::NotDetected);
+        assert_eq!(run.work_items, 2, "two branches");
+        assert!(run.smt_checks > 0);
+    }
+
+    #[test]
+    fn detects_frontend_faults_but_not_backend_faults() {
+        let p = program(SINGLE_PIPE, "");
+        let frontend = Fault::WrongConstant {
+            field: "hdr.pkt.t".into(),
+            xor_mask: 0x4,
+        };
+        assert_eq!(detect_bug(&p, &frontend, None), ToolVerdict::Detected);
+        // A backend fault never manifests on the BMv2-class target.
+        let backend = Fault::WrongArithComparison { width: 16 };
+        assert_eq!(detect_bug(&p, &backend, None), ToolVerdict::NotDetected);
+    }
+}

@@ -1,0 +1,194 @@
+//! Criterion benches mirroring the paper's figures at CI-friendly scale.
+//!
+//! The report binaries (`cargo run --release -p meissa-bench --bin fig9` …)
+//! regenerate each figure at full scale; these benches track the same
+//! comparisons (Meissa vs baselines, summary vs no-summary, program and
+//! rule-set sweeps, the Fig. 7 redundancy-elimination microbench, and the
+//! Appendix A pipeline-count scaling) with small inputs so regressions show
+//! up in routine `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meissa_bench::{measure, meissa_config, no_summary_config};
+use meissa_core::exec::{generate_templates, ExecConfig};
+use meissa_core::summary::summarize;
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_smt::TermPool;
+use meissa_suite::gw::{gw, GwScale};
+use std::hint::black_box;
+
+/// Fig. 7 microbench: intra-pipeline redundancy elimination on the
+/// two-chained-tables pipeline (n rules each: n² possible, n valid).
+fn fig7_redundancy(c: &mut Criterion) {
+    use meissa_ir::{AExp, BExp, CfgBuilder, Stmt};
+    use meissa_num::Bv;
+
+    fn fig7_cfg(n: u128) -> meissa_ir::Cfg {
+        let mut b = CfgBuilder::new();
+        let dst = b.fields_mut().intern("dstIP", 32);
+        let port = b.fields_mut().intern("egressPort", 9);
+        let mac = b.fields_mut().intern("dstMAC", 48);
+        b.nop();
+        b.begin_pipeline("ppl0");
+        for (key, out, width_out, outf) in
+            [(dst, port, 9u16, 1u128), (port, mac, 48, 0x00aa00000000)]
+        {
+            let base = b.frontier();
+            let mut arms = Vec::new();
+            for i in 0..n {
+                let kw = b.fields().width(key);
+                b.set_frontier(base.clone());
+                b.stmt(Stmt::Assume(BExp::eq(
+                    AExp::Field(key),
+                    AExp::Const(Bv::new(kw, 1 + i)),
+                )));
+                b.stmt(Stmt::Assign(
+                    out,
+                    AExp::Const(Bv::new(width_out, outf + i)),
+                ));
+                arms.push(b.frontier());
+            }
+            b.set_frontier(Vec::new());
+            b.merge_frontiers(arms);
+            b.nop();
+        }
+        b.end_pipeline();
+        b.finish()
+    }
+
+    let mut group = c.benchmark_group("fig7_redundancy");
+    group.sample_size(10);
+    for n in [10u128, 20] {
+        let cfg = fig7_cfg(n);
+        group.bench_with_input(BenchmarkId::new("summarize", n), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                let mut c = cfg.clone();
+                let mut pool = TermPool::new();
+                black_box(summarize(&mut c, &mut pool, &ExecConfig::default()));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_dfs", n), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                let mut pool = TermPool::new();
+                black_box(generate_templates(cfg, &mut pool, &ExecConfig::default()));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9 at small scale: Meissa vs the two testing baselines on Router.
+fn fig9_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_scalability");
+    group.sample_size(10);
+    let w = meissa_suite::router(6, 7);
+    group.bench_function("meissa", |b| {
+        b.iter(|| black_box(measure(&w, meissa_config(None))))
+    });
+    group.bench_function("p4pktgen_like", |b| {
+        b.iter(|| {
+            black_box(
+                Meissa {
+                    config: MeissaConfig {
+                        code_summary: false,
+                        incremental: false,
+                        ..MeissaConfig::default()
+                    },
+                }
+                .run(&w.program),
+            )
+        })
+    });
+    group.bench_function("gauntlet_like", |b| {
+        b.iter(|| {
+            black_box(
+                Meissa {
+                    config: MeissaConfig {
+                        code_summary: false,
+                        early_termination: false,
+                        incremental: false,
+                        ..MeissaConfig::default()
+                    },
+                }
+                .run(&w.program),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 11 at small scale: summary on/off across gw levels.
+fn fig11_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_summary");
+    group.sample_size(10);
+    for level in [2u8, 3] {
+        let w = gw(level, GwScale { eips: 4 });
+        group.bench_with_input(BenchmarkId::new("with_summary", level), &w, |b, w| {
+            b.iter(|| black_box(measure(w, meissa_config(None))))
+        });
+        group.bench_with_input(BenchmarkId::new("without_summary", level), &w, |b, w| {
+            b.iter(|| black_box(measure(w, no_summary_config(None))))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 12 at small scale: rule-set sweep on gw-2.
+fn fig12_rulesets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_rulesets");
+    group.sample_size(10);
+    for eips in [4usize, 8] {
+        let w = gw(2, GwScale { eips });
+        group.bench_with_input(BenchmarkId::new("with_summary", eips), &w, |b, w| {
+            b.iter(|| black_box(measure(w, meissa_config(None))))
+        });
+        group.bench_with_input(BenchmarkId::new("without_summary", eips), &w, |b, w| {
+            b.iter(|| black_box(measure(w, no_summary_config(None))))
+        });
+    }
+    group.finish();
+}
+
+/// Appendix A: pipeline-count scaling (k = 1, 2, 4 pipes at fixed rules).
+fn appendix_a_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_a_complexity");
+    group.sample_size(10);
+    for level in [1u8, 2, 3] {
+        let w = gw(level, GwScale { eips: 4 });
+        group.bench_with_input(BenchmarkId::new("meissa", level), &w, |b, w| {
+            b.iter(|| black_box(measure(w, meissa_config(None))))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: §7 grouped pre-conditions vs the ungrouped Algorithm 2
+/// (the design choice DESIGN.md §5 calls out).
+fn ablation_grouped_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grouped_summary");
+    group.sample_size(10);
+    let w = gw(3, GwScale { eips: 8 });
+    group.bench_function("grouped", |b| {
+        b.iter(|| black_box(measure(&w, meissa_config(None))))
+    });
+    group.bench_function("ungrouped", |b| {
+        b.iter(|| {
+            let cfg = MeissaConfig {
+                grouped_summary: false,
+                ..MeissaConfig::default()
+            };
+            black_box(measure(&w, cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig7_redundancy,
+    fig9_scalability,
+    fig11_summary,
+    fig12_rulesets,
+    appendix_a_complexity,
+    ablation_grouped_summary
+);
+criterion_main!(figures);

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 10**: Meissa vs Aquila running time on gw-1 and
+//! gw-2 under the four rule-set scales (set-1..set-4). Gauntlet and
+//! p4pktgen cannot handle custom rule sets and Aquila times out on
+//! gw-3/gw-4, so the paper uses gw-1/gw-2 here.
+
+use meissa_baselines::aquila;
+use meissa_bench::{cell, measure, meissa_config};
+use meissa_suite::gw;
+
+fn main() {
+    println!("Figure 10: running time on gw-1 and gw-2 under different table rule sets");
+    for level in [1u8, 2] {
+        println!("\ngw-{level}:");
+        println!("{:<8} {:>10} {:>12} {:>9}", "rule set", "Meissa", "Aquila", "speedup");
+        for set in 1..=4u8 {
+            let w = gw::gw(level, gw::rule_set(set));
+            let meissa = measure(&w, meissa_config(None));
+            let aq = aquila::verify(&w.program, None);
+            let aq_secs = aq.run.elapsed.as_secs_f64();
+            println!(
+                "set-{set:<4} {:>10} {:>11.2}s {:>8.1}x",
+                cell(&meissa),
+                aq_secs,
+                aq_secs / meissa.secs.max(1e-9)
+            );
+        }
+    }
+}

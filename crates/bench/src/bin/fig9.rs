@@ -1,0 +1,59 @@
+//! Regenerates **Figure 9**: test-case generation running time for Meissa
+//! and the three automatic baselines across all eight programs.
+//!
+//! Matching the paper's protocol (§5.2):
+//!
+//! * Gauntlet-like runs in its modified model-based mode (traverses all
+//!   installed rules);
+//! * p4pktgen-like and Gauntlet-like are skipped (`no-support`) on the four
+//!   production programs — multi-pipeline and production features;
+//!   both tools also carry a generation time budget;
+//! * Aquila-like runs under a verification budget (the paper's one-hour
+//!   budget scaled to this corpus' size); it times out on gw-3/gw-4.
+
+use meissa_baselines::{aquila, gauntlet, p4pktgen, ToolVerdict};
+use meissa_bench::{cell, full_corpus, measure, meissa_config};
+use std::time::Duration;
+
+/// The paper's 1-hour verification budget, scaled to this corpus (the
+/// production programs here are ~100× smaller than the paper's).
+const VERIFY_BUDGET: Duration = Duration::from_millis(700);
+/// Budget for the testing baselines' generation runs.
+const TESTER_BUDGET: Duration = Duration::from_secs(120);
+
+fn main() {
+    println!("Figure 9: running time on different data plane programs");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "program", "Meissa", "Aquila", "p4pktgen", "Gauntlet"
+    );
+    for w in full_corpus() {
+        let meissa = measure(&w, meissa_config(None));
+
+        let aq = aquila::verify(&w.program, Some(VERIFY_BUDGET));
+        let aq_cell = match aq.run.verdict {
+            ToolVerdict::Timeout => "timeout".to_string(),
+            _ => format!("{:.2}s", aq.run.elapsed.as_secs_f64()),
+        };
+
+        let fmt_tool = |run: &meissa_baselines::ToolRun| match run.verdict {
+            ToolVerdict::Unsupported => "no-support".to_string(),
+            ToolVerdict::Timeout => "timeout".to_string(),
+            _ => format!("{:.2}s", run.elapsed.as_secs_f64()),
+        };
+        let pk = p4pktgen::generate(&w.program, Some(TESTER_BUDGET));
+        let ga = gauntlet::generate(&w.program, Some(TESTER_BUDGET));
+
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12}",
+            w.name,
+            cell(&meissa),
+            aq_cell,
+            fmt_tool(&pk),
+            fmt_tool(&ga)
+        );
+    }
+    println!();
+    println!("(Aquila budget {VERIFY_BUDGET:?} = the paper's 1-hour budget scaled to corpus size;");
+    println!(" tester budget {TESTER_BUDGET:?}; `no-support` per §5.1's protocol.)");
+}

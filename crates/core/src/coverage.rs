@@ -1,0 +1,212 @@
+//! Coverage accounting (§3.4).
+//!
+//! Path coverage is the paper's headline metric — Definition 3 — and the
+//! strongest of the standard metrics: full path coverage implies full
+//! branch and statement coverage. These helpers measure what a set of
+//! templates covers on a CFG, used by the test driver's reports and by the
+//! coverage-guarantee property tests.
+
+use crate::template::TestTemplate;
+use meissa_ir::{Cfg, NodeId};
+use std::collections::HashSet;
+
+/// Coverage measured for a template set against a CFG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageReport {
+    /// Distinct complete paths covered.
+    pub paths_covered: usize,
+    /// Statement (node) coverage over reachable nodes: covered / total.
+    pub statements_covered: usize,
+    /// Total reachable statements.
+    pub statements_total: usize,
+    /// Branch edges covered (edges out of multi-successor nodes).
+    pub branches_covered: usize,
+    /// Total branch edges from reachable multi-successor nodes.
+    pub branches_total: usize,
+}
+
+impl CoverageReport {
+    /// Statement coverage ratio in [0, 1].
+    pub fn statement_ratio(&self) -> f64 {
+        if self.statements_total == 0 {
+            1.0
+        } else {
+            self.statements_covered as f64 / self.statements_total as f64
+        }
+    }
+
+    /// Branch coverage ratio in [0, 1].
+    pub fn branch_ratio(&self) -> f64 {
+        if self.branches_total == 0 {
+            1.0
+        } else {
+            self.branches_covered as f64 / self.branches_total as f64
+        }
+    }
+}
+
+/// Measures coverage of `templates` over `cfg` (the graph they were
+/// generated from).
+pub fn measure(cfg: &Cfg, templates: &[TestTemplate]) -> CoverageReport {
+    let mut covered_nodes: HashSet<NodeId> = HashSet::new();
+    let mut covered_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut distinct_paths: HashSet<&[NodeId]> = HashSet::new();
+    for t in templates {
+        distinct_paths.insert(&t.path);
+        covered_nodes.extend(t.path.iter().copied());
+        for w in t.path.windows(2) {
+            covered_edges.insert((w[0], w[1]));
+        }
+    }
+
+    let reachable = cfg.reachable();
+    // Statement coverage counts only nodes carrying real statements; no-op
+    // markers are structural.
+    let real: Vec<NodeId> = reachable
+        .iter()
+        .copied()
+        .filter(|&n| !cfg.stmt(n).is_nop())
+        .collect();
+    let statements_covered = real.iter().filter(|n| covered_nodes.contains(n)).count();
+
+    let mut branches_total = 0;
+    let mut branches_covered = 0;
+    for &n in &reachable {
+        let succ = cfg.succ(n);
+        if succ.len() > 1 {
+            for &s in succ {
+                branches_total += 1;
+                if covered_edges.contains(&(n, s)) {
+                    branches_covered += 1;
+                }
+            }
+        }
+    }
+
+    CoverageReport {
+        paths_covered: distinct_paths.len(),
+        statements_covered,
+        statements_total: real.len(),
+        branches_covered,
+        branches_total,
+    }
+}
+
+/// Checks whether a template set achieves full coverage of every *valid*
+/// behaviour: each statement/branch that lies on at least one valid path is
+/// covered. (Statements on only-invalid paths — dead rules, unreachable
+/// arms — are intentionally uncoverable by tests; the paper's Definition 3
+/// quantifies over valid paths only.)
+pub fn full_valid_coverage(_cfg: &Cfg, templates: &[TestTemplate], valid_paths: &[Vec<NodeId>]) -> bool {
+    let mut valid_nodes: HashSet<NodeId> = HashSet::new();
+    for p in valid_paths {
+        valid_nodes.extend(p.iter().copied());
+    }
+    let mut covered: HashSet<NodeId> = HashSet::new();
+    for t in templates {
+        covered.extend(t.path.iter().copied());
+    }
+    valid_nodes.iter().all(|n| covered.contains(n)) && templates.len() >= valid_paths.len()
+        && {
+            let covered_paths: HashSet<&[NodeId]> =
+                templates.iter().map(|t| t.path.as_slice()).collect();
+            valid_paths
+                .iter()
+                .all(|p| covered_paths.contains(p.as_slice()))
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{generate_templates, ExecConfig};
+    use meissa_ir::{AExp, BExp, CfgBuilder, Stmt};
+    use meissa_num::Bv;
+    use meissa_smt::TermPool;
+
+    fn diamond() -> Cfg {
+        let mut b = CfgBuilder::new();
+        let x = b.fields_mut().intern("x", 8);
+        b.nop();
+        let base = b.frontier();
+        let mut arms = Vec::new();
+        for i in 0..3u128 {
+            b.set_frontier(base.clone());
+            b.stmt(Stmt::Assume(BExp::eq(
+                AExp::Field(x),
+                AExp::Const(Bv::new(8, i)),
+            )));
+            arms.push(b.frontier());
+        }
+        b.set_frontier(Vec::new());
+        b.merge_frontiers(arms);
+        b.nop();
+        b.finish()
+    }
+
+    #[test]
+    fn full_coverage_on_all_valid_paths() {
+        let cfg = diamond();
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let report = measure(&cfg, &out.templates);
+        assert_eq!(report.paths_covered, 3);
+        assert_eq!(report.statement_ratio(), 1.0);
+        assert_eq!(report.branch_ratio(), 1.0);
+        let valid: Vec<Vec<NodeId>> = out.templates.iter().map(|t| t.path.clone()).collect();
+        assert!(full_valid_coverage(&cfg, &out.templates, &valid));
+    }
+
+    #[test]
+    fn partial_template_sets_show_partial_coverage() {
+        let cfg = diamond();
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let partial = &out.templates[..1];
+        let report = measure(&cfg, partial);
+        assert_eq!(report.paths_covered, 1);
+        assert!(report.statement_ratio() < 1.0);
+        assert!(report.branch_ratio() < 1.0);
+        let valid: Vec<Vec<NodeId>> = out.templates.iter().map(|t| t.path.clone()).collect();
+        assert!(!full_valid_coverage(&cfg, partial, &valid));
+    }
+
+    #[test]
+    fn empty_template_set_covers_nothing() {
+        let cfg = diamond();
+        let report = measure(&cfg, &[]);
+        assert_eq!(report.paths_covered, 0);
+        assert_eq!(report.statements_covered, 0);
+        assert!(report.statements_total > 0);
+    }
+
+    #[test]
+    fn dead_branches_do_not_block_valid_coverage() {
+        // A graph with one dead branch (assume false): full valid coverage
+        // is achievable even though statement coverage is < 100%.
+        let mut b = CfgBuilder::new();
+        let x = b.fields_mut().intern("x", 8);
+        b.nop();
+        let base = b.frontier();
+        b.set_frontier(base.clone());
+        b.stmt(Stmt::Assume(BExp::eq(
+            AExp::Field(x),
+            AExp::Const(Bv::new(8, 1)),
+        )));
+        let f1 = b.frontier();
+        b.set_frontier(base);
+        b.stmt(Stmt::Assume(BExp::False));
+        let f2 = b.frontier();
+        b.set_frontier(Vec::new());
+        b.merge_frontiers(vec![f1, f2]);
+        b.nop();
+        let cfg = b.finish();
+
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let valid: Vec<Vec<NodeId>> = out.templates.iter().map(|t| t.path.clone()).collect();
+        assert!(full_valid_coverage(&cfg, &out.templates, &valid));
+        let report = measure(&cfg, &out.templates);
+        assert!(report.statement_ratio() < 1.0, "dead assume is uncovered");
+    }
+}

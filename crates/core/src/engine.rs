@@ -1,0 +1,359 @@
+//! The top-level Meissa engine (Fig. 2's pipeline from CFG to templates).
+//!
+//! [`Meissa::run`] takes a compiled program and produces test case
+//! templates plus the statistics the paper's evaluation reports: wall time,
+//! number of SMT calls (Figs. 11b/12b), and possible-path counts before and
+//! after code summary (Figs. 11c/12c).
+
+use crate::exec::{generate_templates, ExecConfig};
+use crate::summary::{summarize, SummaryStats};
+use crate::template::TestTemplate;
+use meissa_ir::{count_paths, Cfg};
+use meissa_lang::CompiledProgram;
+use meissa_num::BigUint;
+use meissa_smt::TermPool;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct MeissaConfig {
+    /// Apply Algorithm 2 code summary before test generation (§3.3).
+    /// Disabling this is the "w/o code summary" series of Figs. 11–12.
+    pub code_summary: bool,
+    /// Early termination at predicate nodes (§3.2).
+    pub early_termination: bool,
+    /// Incremental (push/pop) solving.
+    pub incremental: bool,
+    /// Group pre-conditions per packet type during summary (§7); see
+    /// [`ExecConfig::grouped_summary`].
+    pub grouped_summary: bool,
+    /// Cap on generated templates.
+    pub max_templates: Option<usize>,
+    /// Wall-clock budget for the whole run.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MeissaConfig {
+    fn default() -> Self {
+        MeissaConfig {
+            code_summary: true,
+            early_termination: true,
+            incremental: true,
+            grouped_summary: true,
+            max_templates: None,
+            time_budget: None,
+        }
+    }
+}
+
+impl MeissaConfig {
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            early_termination: self.early_termination,
+            incremental: self.incremental,
+            grouped_summary: self.grouped_summary,
+            max_templates: self.max_templates,
+            time_budget: self.time_budget,
+        }
+    }
+}
+
+/// Aggregate statistics for one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total wall time.
+    pub elapsed: Duration,
+    /// Time spent in the code-summary pass.
+    pub summary_elapsed: Duration,
+    /// Time spent in final test generation.
+    pub exec_elapsed: Duration,
+    /// SMT checks across both phases (Fig. 11b's metric).
+    pub smt_checks: u64,
+    /// Possible paths in the original CFG (Fig. 11c "w/o code summary").
+    pub paths_before: BigUint,
+    /// Possible paths in the (possibly summarized) CFG that test generation
+    /// ran on (Fig. 11c "w/ code summary"; equals `paths_before` when
+    /// summary is disabled).
+    pub paths_after: BigUint,
+    /// Valid paths, i.e. templates generated.
+    pub valid_paths: u64,
+    /// Paths explored by the final DFS.
+    pub paths_explored: u64,
+    /// Subtrees pruned by early termination.
+    pub pruned: u64,
+    /// Per-pipeline summary stats.
+    pub summary: Option<SummaryStats>,
+    /// True when a time budget expired before completion.
+    pub timed_out: bool,
+}
+
+/// The output of an engine run: templates plus everything needed to
+/// instantiate them.
+pub struct RunOutput {
+    /// Term pool the templates' constraints live in.
+    pub pool: TermPool,
+    /// The CFG test generation actually ran on (summarized when enabled).
+    pub cfg: Cfg,
+    /// Generated templates, one per valid path.
+    pub templates: Vec<TestTemplate>,
+    /// Statistics.
+    pub stats: RunStats,
+}
+
+impl RunOutput {
+    /// Instantiates template `idx` into a concrete input state, optionally
+    /// under extra constraints (e.g. an intent's `given` clause).
+    pub fn instantiate(&mut self, idx: usize) -> Option<meissa_ir::ConcreteState> {
+        let t = &self.templates[idx];
+        t.instantiate(&mut self.pool, &self.cfg.fields, &[])
+    }
+}
+
+/// The Meissa engine.
+#[derive(Clone, Debug, Default)]
+pub struct Meissa {
+    /// Configuration.
+    pub config: MeissaConfig,
+}
+
+impl Meissa {
+    /// An engine with the paper's full configuration (summary + early
+    /// termination + incremental solving).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with code summary disabled (the "w/o code summary"
+    /// baseline of Figs. 11–12).
+    pub fn without_summary() -> Self {
+        Meissa {
+            config: MeissaConfig {
+                code_summary: false,
+                ..MeissaConfig::default()
+            },
+        }
+    }
+
+    /// Runs test case generation on a compiled program.
+    pub fn run(&self, program: &CompiledProgram) -> RunOutput {
+        self.run_on_cfg(&program.cfg)
+    }
+
+    /// Runs test case generation directly on a CFG.
+    pub fn run_on_cfg(&self, original: &Cfg) -> RunOutput {
+        let t0 = Instant::now();
+        let mut pool = TermPool::new();
+        let mut cfg = original.clone();
+        let mut stats = RunStats {
+            paths_before: count_paths(original).total,
+            ..RunStats::default()
+        };
+
+        let mut completed = None;
+        // Code summary decomposes *multi-pipeline* programs (§3.3); on a
+        // single pipeline the decomposition has nothing to compose and the
+        // basic framework is the whole algorithm.
+        let multi_pipe = cfg.pipeline_topo_order().len() >= 2;
+        if self.config.code_summary && multi_pipe {
+            let outcome = summarize(&mut cfg, &mut pool, &self.config.exec_config());
+            stats.summary_elapsed = outcome.stats.elapsed;
+            stats.smt_checks += outcome.stats.smt_checks;
+            stats.timed_out |= outcome.stats.timed_out;
+            if let Some(paths) = outcome.completed {
+                completed = Some(crate::exec::raw_paths_to_templates(
+                    &pool,
+                    &outcome.ctx,
+                    paths,
+                ));
+            }
+            stats.summary = Some(outcome.stats);
+        }
+        stats.paths_after = count_paths(&cfg).total;
+
+        let templates = match completed {
+            // Algorithm 2's incremental extension already enumerated every
+            // valid end-to-end path — identical to what line 27's final DFS
+            // would produce on the summarized graph, without re-walking it.
+            Some(templates) => {
+                stats.valid_paths = templates.len() as u64;
+                stats.paths_explored = templates.len() as u64;
+                templates
+            }
+            None => {
+                let exec = generate_templates(&cfg, &mut pool, &self.config.exec_config());
+                stats.exec_elapsed = exec.stats.elapsed;
+                stats.smt_checks += exec.stats.smt_checks;
+                stats.valid_paths = exec.stats.valid_paths;
+                stats.paths_explored = exec.stats.paths_explored;
+                stats.pruned = exec.stats.pruned;
+                stats.timed_out |= exec.stats.timed_out;
+                exec.templates
+            }
+        };
+        stats.elapsed = t0.elapsed();
+
+        RunOutput {
+            pool,
+            cfg,
+            templates,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    const PROGRAM: &str = r#"
+        header ethernet { dst: 48; src: 48; ether_type: 16; }
+        header ipv4 { ttl: 8; protocol: 8; dst_addr: 32; }
+        metadata meta { egress_port: 9; drop: 1; }
+        parser main {
+          state start {
+            extract(ethernet);
+            select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+          }
+          state parse_ipv4 { extract(ipv4); accept; }
+        }
+        action set_port(port: 9) { meta.egress_port = port; }
+        action drop_() { meta.drop = 1; }
+        table route {
+          key = { hdr.ipv4.dst_addr: lpm; }
+          actions = { set_port; drop_; }
+          default_action = drop_();
+        }
+        control ig { if (hdr.ipv4.isValid()) { apply(route); } }
+        pipeline ingress0 { parser = main; control = ig; }
+    "#;
+
+    const RULES: &str = r#"
+        rules route {
+          10.0.0.0/8 => set_port(1);
+          192.168.0.0/16 => set_port(2);
+        }
+    "#;
+
+    fn program() -> meissa_lang::CompiledProgram {
+        let p = parse_program(PROGRAM).unwrap();
+        let r = parse_rules(RULES).unwrap();
+        compile(&p, &r).unwrap()
+    }
+
+    #[test]
+    fn full_run_produces_templates() {
+        let cp = program();
+        let mut out = Meissa::new().run(&cp);
+        // Valid behaviours: non-IPv4 (1), IPv4×{rule1, rule2, default} (3).
+        assert_eq!(out.templates.len(), 4);
+        for i in 0..out.templates.len() {
+            assert!(out.instantiate(i).is_some(), "template {i} instantiates");
+        }
+    }
+
+    #[test]
+    fn summary_and_naive_agree_on_template_count() {
+        let cp = program();
+        let with = Meissa::new().run(&cp);
+        let without = Meissa::without_summary().run(&cp);
+        assert_eq!(with.templates.len(), without.templates.len());
+        assert_eq!(with.stats.paths_before, without.stats.paths_before);
+        // Single-pipeline program: code summary is an inter-pipeline
+        // decomposition, so the engine skips it (§3.3) and both runs work
+        // on the original graph.
+        assert_eq!(with.stats.paths_after, with.stats.paths_before);
+    }
+
+    /// Two-pipeline program where summary actually runs.
+    fn two_pipe_program() -> meissa_lang::CompiledProgram {
+        let src = r#"
+            header pkt { t: 16; }
+            metadata meta { a: 8; b: 8; }
+            parser p { state start { extract(pkt); accept; } }
+            action seta(v: 8) { meta.a = v; }
+            action setb(v: 8) { meta.b = v; }
+            action none_() { }
+            table t1 {
+              key = { hdr.pkt.t: exact; }
+              actions = { seta; none_; }
+              default_action = none_();
+            }
+            table t2 {
+              key = { meta.a: exact; }
+              actions = { setb; none_; }
+              default_action = none_();
+            }
+            control c1 { apply(t1); }
+            control c2 { apply(t2); }
+            pipeline p1 { parser = p; control = c1; }
+            pipeline p2 { control = c2; }
+            topology { start -> p1; p1 -> p2; p2 -> end; }
+        "#;
+        let rules = r#"
+            rules t1 { 1 => seta(1); 2 => seta(2); 3 => seta(3); }
+            rules t2 { 1 => setb(10); 2 => setb(20); 3 => setb(30); }
+        "#;
+        compile(&parse_program(src).unwrap(), &parse_rules(rules).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grouped_and_ungrouped_summaries_cover_identically() {
+        // The §7 grouping is a performance refinement; coverage must not
+        // change when it is disabled.
+        let cp = two_pipe_program();
+        let grouped = Meissa::new().run(&cp);
+        let ungrouped = Meissa {
+            config: MeissaConfig {
+                grouped_summary: false,
+                ..MeissaConfig::default()
+            },
+        }
+        .run(&cp);
+        assert_eq!(grouped.templates.len(), ungrouped.templates.len());
+    }
+
+    #[test]
+    fn summary_reduces_paths_on_multi_pipe_programs() {
+        let cp = two_pipe_program();
+        let with = Meissa::new().run(&cp);
+        let without = Meissa::without_summary().run(&cp);
+        assert_eq!(with.templates.len(), without.templates.len());
+        assert!(with.stats.summary.is_some());
+        // This toy is perfectly diagonal (every rule pair lines up), so the
+        // summarized graph has the same possible-path count; the Fig. 7
+        // reduction (100× fewer paths) is asserted in `summary::tests`.
+        assert!(with.stats.paths_after <= with.stats.paths_before);
+    }
+
+    #[test]
+    fn instantiated_inputs_replay_on_original_cfg() {
+        let cp = program();
+        let mut out = Meissa::new().run(&cp);
+        let fields = &cp.cfg.fields;
+        for i in 0..out.templates.len() {
+            let input = out.instantiate(i).unwrap();
+            let valid: Vec<_> = meissa_ir::enumerate_paths(&cp.cfg, 1000)
+                .into_iter()
+                .filter_map(|p| meissa_ir::eval_path(&cp.cfg, &p, &input).ok())
+                .collect();
+            assert_eq!(valid.len(), 1, "input {i} drives exactly one original path");
+        }
+        let _ = fields;
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let cp = program();
+        let out = Meissa::new().run(&cp);
+        assert!(out.stats.smt_checks > 0);
+        assert!(!out.stats.paths_before.is_zero());
+        assert_eq!(out.stats.valid_paths as usize, out.templates.len());
+        // Single-pipeline program: the engine skips the summary pass.
+        assert!(out.stats.summary.is_none());
+        let multi = Meissa::new().run(&two_pipe_program());
+        assert!(multi.stats.summary.is_some());
+        let without = Meissa::without_summary().run(&cp);
+        assert!(without.stats.summary.is_none());
+    }
+}

@@ -1,0 +1,760 @@
+//! Algorithm 1: basic test case generation with DFS and early termination.
+//!
+//! The executor walks the CFG depth-first, maintaining the condition stack
+//! `C` (as incremental solver frames) and value stack `V` (with an undo
+//! log). At a predicate node it translates the guard under `V`, pushes it as
+//! a solver frame, and — with early termination enabled — checks
+//! satisfiability immediately, pruning the whole subtree on UNSAT exactly as
+//! the `SAT(C ∧ b′)` premise of Fig. 6's Sym. Predicate rule demands. At a
+//! leaf it emits a test case template. Backtracking pops solver frames and
+//! rolls back `V` (lines 10 and 18 of Algorithm 1).
+//!
+//! Three baseline-defining switches:
+//!
+//! * `early_termination: false` — only check satisfiability at leaves
+//!   (explores every *possible* path; the model-based-testing baselines);
+//! * `incremental: false` — answer each check with a fresh solver over the
+//!   re-asserted constraint list (what a tool without push/pop pays);
+//! * both `true` — Meissa's configuration.
+
+use crate::symstate::{SymCtx, ValueStack};
+use crate::template::{HashObligation, TestTemplate};
+use meissa_ir::{Cfg, NodeId, Stmt};
+use meissa_smt::{CheckResult, Solver, TermId, TermPool};
+use std::time::{Duration, Instant};
+
+/// Configuration for one symbolic execution.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Prune unsatisfiable prefixes at every predicate node (§3.2).
+    pub early_termination: bool,
+    /// Reuse one incremental solver across checks; `false` re-solves from
+    /// scratch each time (for baseline comparisons).
+    pub incremental: bool,
+    /// Group pipeline pre-conditions by packet type during code summary
+    /// (the §7 mitigation). Disabling falls back to the single global
+    /// public pre-condition of Algorithm 2 lines 4–7 (the ablation the
+    /// design document calls out).
+    pub grouped_summary: bool,
+    /// Hard cap on generated templates (safety valve for baselines on
+    /// exponential graphs).
+    pub max_templates: Option<usize>,
+    /// Wall-clock budget; exceeded ⇒ the run reports a timeout.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            early_termination: true,
+            incremental: true,
+            grouped_summary: true,
+            max_templates: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// Counters for one execution (the raw numbers behind Figs. 9–12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Paths enumerated to a leaf (valid or not).
+    pub paths_explored: u64,
+    /// Valid paths (= templates emitted, unless capped).
+    pub valid_paths: u64,
+    /// Subtrees pruned by early termination.
+    pub pruned: u64,
+    /// SMT checks issued.
+    pub smt_checks: u64,
+    /// Wall-clock time of the execution.
+    pub elapsed: Duration,
+    /// True when the time budget expired before completion.
+    pub timed_out: bool,
+}
+
+/// The result of a symbolic execution.
+pub struct ExecOutput {
+    /// One template per valid path discovered.
+    pub templates: Vec<TestTemplate>,
+    /// Statistics.
+    pub stats: ExecStats,
+}
+
+/// A valid path discovered by [`explore`], in raw (pre-template) form; code
+/// summary consumes these directly.
+pub struct RawPath {
+    /// Node sequence.
+    pub path: Vec<NodeId>,
+    /// Collected guard terms.
+    pub constraints: Vec<TermId>,
+    /// Final value stack snapshot.
+    pub final_values: Vec<(meissa_ir::FieldId, TermId)>,
+}
+
+/// Generates test case templates for a CFG (Algorithm 1).
+pub fn generate_templates(cfg: &Cfg, pool: &mut TermPool, config: &ExecConfig) -> ExecOutput {
+    let mut ctx = SymCtx::new(None);
+    let mut paths = Vec::new();
+    let stats = explore(
+        cfg,
+        pool,
+        &mut ctx,
+        cfg.entry(),
+        None,
+        &[],
+        config,
+        &mut |p| paths.push(p),
+    );
+    let templates = raw_paths_to_templates(pool, &ctx, paths);
+    ExecOutput { templates, stats }
+}
+
+/// Turns raw valid paths into test case templates, attaching the hash
+/// obligations recorded in `ctx` to the paths that mention them (§4).
+pub fn raw_paths_to_templates(
+    pool: &TermPool,
+    ctx: &SymCtx,
+    paths: Vec<RawPath>,
+) -> Vec<TestTemplate> {
+    let obligations: Vec<HashObligation> = ctx.hash_defs().map(HashObligation::from).collect();
+    paths
+        .into_iter()
+        .enumerate()
+        .map(|(id, raw)| {
+            // Attach only obligations whose stand-in appears in this path's
+            // constraints or final values.
+            let used: std::collections::HashSet<TermId> = raw
+                .constraints
+                .iter()
+                .copied()
+                .chain(raw.final_values.iter().map(|&(_, t)| t))
+                .collect();
+            let obs = obligations
+                .iter()
+                .filter(|o| used.contains(&o.out) || term_set_mentions(pool, &used, o.out))
+                .cloned()
+                .collect();
+            TestTemplate {
+                id,
+                path: raw.path,
+                constraints: raw.constraints,
+                final_values: raw.final_values,
+                hash_obligations: obs,
+            }
+        })
+        .collect()
+}
+
+/// Splits a boolean term into its top-level conjuncts, appending them to
+/// `out`. `a && (b && c)` yields `[a, b, c]`; non-conjunction terms are
+/// appended as-is.
+fn flatten_conjuncts(pool: &TermPool, t: TermId, out: &mut Vec<TermId>) {
+    if let meissa_smt::TermNode::BoolAnd(a, b) = *pool.node(t) {
+        flatten_conjuncts(pool, a, out);
+        flatten_conjuncts(pool, b, out);
+    } else {
+        out.push(t);
+    }
+}
+
+/// Does any term in `set` mention `needle` as a subterm?
+fn term_set_mentions(
+    pool: &TermPool,
+    set: &std::collections::HashSet<TermId>,
+    needle: TermId,
+) -> bool {
+    fn mentions(pool: &TermPool, t: TermId, needle: TermId, seen: &mut Vec<bool>) -> bool {
+        if t == needle {
+            return true;
+        }
+        if std::mem::replace(&mut seen[t.index()], true) {
+            return false;
+        }
+        use meissa_smt::TermNode::*;
+        match *pool.node(t) {
+            BvConst(_) | BvVar(_) | BoolConst(_) => false,
+            BvBin(_, a, b) | BvConcat(a, b) | Cmp(_, a, b) | BoolAnd(a, b) | BoolOr(a, b) => {
+                mentions(pool, a, needle, seen) || mentions(pool, b, needle, seen)
+            }
+            BvNot(a) | BvShl(a, _) | BvShr(a, _) | BvExtract(a, _, _) | BoolNot(a) => {
+                mentions(pool, a, needle, seen)
+            }
+            BvIte(c, a, b) => {
+                mentions(pool, c, needle, seen)
+                    || mentions(pool, a, needle, seen)
+                    || mentions(pool, b, needle, seen)
+            }
+        }
+    }
+    let mut seen = vec![false; pool.len()];
+    set.iter().any(|&t| mentions(pool, t, needle, &mut seen))
+}
+
+/// Core DFS shared by whole-program execution and per-pipeline summary
+/// execution. Walks from `start`; a path ends at `target` (when given) or at
+/// any terminal node. `base_constraints` are asserted once below every
+/// frame (the public pre-condition of Algorithm 2).
+///
+/// `sink` receives each valid path.
+#[allow(clippy::too_many_arguments)]
+pub fn explore(
+    cfg: &Cfg,
+    pool: &mut TermPool,
+    ctx: &mut SymCtx,
+    start: NodeId,
+    target: Option<NodeId>,
+    base_constraints: &[TermId],
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(RawPath),
+) -> ExecStats {
+    let targets = target.into_iter().collect();
+    explore_multi(
+        cfg,
+        pool,
+        ctx,
+        start,
+        &targets,
+        base_constraints,
+        &[],
+        config,
+        sink,
+    )
+}
+
+/// Like [`explore`], with a *set* of target nodes — a path ends as soon as
+/// it reaches any of them — and an initial value-stack seed (the symbolic
+/// state at `start`, used by Algorithm 2's incremental path extension).
+/// With an empty target set, paths end at terminal nodes. With targets,
+/// paths reaching a terminal node *without* hitting any target are also
+/// emitted (the caller distinguishes them by their last node) — Algorithm
+/// 2's extension needs both continuations toward later pipelines and
+/// program-completing paths.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_multi(
+    cfg: &Cfg,
+    pool: &mut TermPool,
+    ctx: &mut SymCtx,
+    start: NodeId,
+    targets: &std::collections::HashSet<NodeId>,
+    base_constraints: &[TermId],
+    initial_values: &[(meissa_ir::FieldId, TermId)],
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(RawPath),
+) -> ExecStats {
+    let mut explorer = Explorer::new(config.clone());
+    explorer.run(
+        cfg,
+        pool,
+        ctx,
+        start,
+        targets,
+        base_constraints,
+        initial_values,
+        sink,
+    )
+}
+
+/// A reusable exploration engine: one incremental solver (and therefore one
+/// bit-blasting cache) shared across many [`Explorer::run`] calls. Base
+/// constraints are installed in a solver frame per call, so successive
+/// explorations with different pre-conditions — Algorithm 2's per-group
+/// searches and per-seed extensions — reuse everything the solver has
+/// already learned, instead of re-encoding the shared program terms from
+/// scratch each time.
+pub struct Explorer {
+    solver: Solver,
+    config: ExecConfig,
+    checks_consumed: u64,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Explorer {
+            solver: Solver::new(),
+            config,
+            checks_consumed: 0,
+        }
+    }
+
+    /// One exploration pass; see [`explore_multi`] for parameter semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        cfg: &Cfg,
+        pool: &mut TermPool,
+        ctx: &mut SymCtx,
+        start: NodeId,
+        targets: &std::collections::HashSet<NodeId>,
+        base_constraints: &[TermId],
+        initial_values: &[(meissa_ir::FieldId, TermId)],
+        sink: &mut dyn FnMut(RawPath),
+    ) -> ExecStats {
+        let mut stats = ExecStats::default();
+        let t0 = Instant::now();
+        self.solver.push();
+        for &c in base_constraints {
+            self.solver.assert_term(pool, c);
+        }
+        let mut walker = Walker {
+            cfg,
+            targets,
+            config: &self.config,
+            stats: &mut stats,
+            sink,
+            t0,
+            all_constraints: base_constraints.to_vec(),
+            trace: Vec::new(),
+            emitted: 0,
+        };
+        let mut v = ValueStack::new();
+        for &(f, t) in initial_values {
+            v.set(f, t);
+        }
+        walker.visit(pool, ctx, &mut self.solver, &mut v, start);
+        self.solver.pop();
+        // Incremental checks are counted by the shared solver (delta since
+        // the previous run); non-incremental checks were tallied directly
+        // into `stats.smt_checks` by the walker.
+        stats.smt_checks += self.solver.stats.checks - self.checks_consumed;
+        self.checks_consumed = self.solver.stats.checks;
+        stats.elapsed = t0.elapsed();
+        stats
+    }
+}
+
+struct Walker<'a> {
+    cfg: &'a Cfg,
+    targets: &'a std::collections::HashSet<NodeId>,
+    config: &'a ExecConfig,
+    stats: &'a mut ExecStats,
+    sink: &'a mut dyn FnMut(RawPath),
+    t0: Instant,
+    /// Every constraint currently on the path (for non-incremental
+    /// re-solving and for template emission).
+    all_constraints: Vec<TermId>,
+    trace: Vec<NodeId>,
+    emitted: usize,
+}
+
+impl Walker<'_> {
+    fn out_of_budget(&mut self) -> bool {
+        if let Some(max) = self.config.max_templates {
+            if self.emitted >= max {
+                return true;
+            }
+        }
+        if let Some(budget) = self.config.time_budget {
+            if self.t0.elapsed() > budget {
+                self.stats.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Satisfiability of the current constraint set, honoring the
+    /// incremental/non-incremental configuration.
+    fn check(&mut self, pool: &mut TermPool, solver: &mut Solver) -> CheckResult {
+        if self.config.incremental {
+            solver.check(pool)
+        } else {
+            // Fresh solver per query: what a tool without push/pop pays.
+            self.stats.smt_checks += 1;
+            let mut fresh = Solver::new();
+            fresh.push();
+            for &c in &self.all_constraints {
+                fresh.assert_term(pool, c);
+            }
+            fresh.check(pool)
+        }
+    }
+
+    fn visit(
+        &mut self,
+        pool: &mut TermPool,
+        ctx: &mut SymCtx,
+        solver: &mut Solver,
+        v: &mut ValueStack,
+        node: NodeId,
+    ) {
+        if self.out_of_budget() {
+            return;
+        }
+        self.trace.push(node);
+        let mut pushed = false;
+        let mut feasible = true;
+        let constraints_mark = self.all_constraints.len();
+
+        match self.cfg.stmt(node) {
+            Stmt::Assume(b) => {
+                // Structural no-op markers carry no validity question;
+                // every other predicate node costs one validity check under
+                // Algorithm 1's accounting (line 4 calls the solver at each
+                // predicate). Constant folding answers many of those checks
+                // without the SAT engine — cheaper, but still a check, so
+                // the Fig. 11b "number of SMT calls" metric stays
+                // comparable with the paper's implementation.
+                let is_marker = b == &meissa_ir::BExp::True;
+                let t = ctx.bexp(pool, &self.cfg.fields, v, b);
+                match pool.as_bool_const(t) {
+                    Some(true) => {
+                        if !is_marker && self.config.early_termination {
+                            self.stats.smt_checks += 1; // folded validity check
+                        }
+                    }
+                    Some(false) if self.config.early_termination => {
+                        // Syntactically false: prune via the fold fast path.
+                        self.stats.smt_checks += 1; // folded validity check
+                        feasible = false;
+                        self.stats.pruned += 1;
+                    }
+                    Some(false) => {
+                        // Naive mode must not benefit from folding: carry
+                        // the contradiction along and discover it at the
+                        // leaf check, like a tool without early termination.
+                        solver.push();
+                        solver.assert_term(pool, t);
+                        self.all_constraints.push(t);
+                        pushed = true;
+                    }
+                    None => {
+                        // Record individual conjuncts: Algorithm 2's public
+                        // pre-condition intersects *constraint sets*, which
+                        // only works at conjunct granularity.
+                        solver.push();
+                        pushed = true;
+                        let before = self.all_constraints.len();
+                        flatten_conjuncts(pool, t, &mut self.all_constraints);
+                        for i in before..self.all_constraints.len() {
+                            let c = self.all_constraints[i];
+                            solver.assert_term(pool, c);
+                        }
+                        if self.config.early_termination
+                            && self.check(pool, solver) == CheckResult::Unsat
+                        {
+                            feasible = false;
+                            self.stats.pruned += 1;
+                        }
+                    }
+                }
+            }
+            Stmt::Assign(f, e) => {
+                let t = ctx.aexp(pool, &self.cfg.fields, v, e);
+                v.set(*f, t);
+            }
+        }
+        if feasible {
+            let at_target = self.targets.contains(&node);
+            let children = self.cfg.succ(node);
+            if at_target || children.is_empty() {
+                self.leaf(pool, solver, v);
+            } else {
+                for &c in children.to_vec().iter() {
+                    let mark = v.mark();
+                    self.visit(pool, ctx, solver, v, c);
+                    v.restore(mark);
+                    if self.out_of_budget() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if pushed {
+            solver.pop();
+            self.all_constraints.truncate(constraints_mark);
+        }
+        self.trace.pop();
+    }
+
+    fn leaf(&mut self, pool: &mut TermPool, solver: &mut Solver, v: &ValueStack) {
+        self.stats.paths_explored += 1;
+        // With early termination every prefix was checked, but the last
+        // check may predate recent assume-true / assignment nodes; the
+        // constraint set is unchanged since then, so the path is valid.
+        // Without early termination this is the only check on the path.
+        let valid = if self.config.early_termination {
+            true
+        } else {
+            self.check(pool, solver) == CheckResult::Sat
+        };
+        if !valid {
+            return;
+        }
+        self.stats.valid_paths += 1;
+        self.emitted += 1;
+        (self.sink)(RawPath {
+            path: self.trace.clone(),
+            constraints: self.all_constraints.clone(),
+            final_values: v.iter().collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_ir::{AExp, BExp, CfgBuilder, CmpOp, FieldId};
+    use meissa_num::Bv;
+
+    fn field(b: &mut CfgBuilder, name: &str, w: u16) -> FieldId {
+        b.fields_mut().intern(name, w)
+    }
+
+    /// The Fig. 7a graph: table A assigns port by dst, table B branches on
+    /// port — n×n possible paths, n valid.
+    fn fig7_cfg(n: u128) -> Cfg {
+        let mut b = CfgBuilder::new();
+        let dst = field(&mut b, "dstIP", 32);
+        let port = field(&mut b, "egressPort", 9);
+        let mac = field(&mut b, "dstMAC", 48);
+        b.nop();
+        // Table ipv4_host.
+        let base = b.frontier();
+        let mut arms = Vec::new();
+        for i in 0..n {
+            b.set_frontier(base.clone());
+            b.stmt(Stmt::Assume(BExp::Cmp(
+                CmpOp::Eq,
+                AExp::Field(dst),
+                AExp::Const(Bv::new(32, 0x01010101 + i)),
+            )));
+            b.stmt(Stmt::Assign(port, AExp::Const(Bv::new(9, 1 + i))));
+            arms.push(b.frontier());
+        }
+        b.set_frontier(Vec::new());
+        b.merge_frontiers(arms);
+        b.nop();
+        // Table mac_agent.
+        let base = b.frontier();
+        let mut arms = Vec::new();
+        for i in 0..n {
+            b.set_frontier(base.clone());
+            b.stmt(Stmt::Assume(BExp::Cmp(
+                CmpOp::Eq,
+                AExp::Field(port),
+                AExp::Const(Bv::new(9, 1 + i)),
+            )));
+            b.stmt(Stmt::Assign(mac, AExp::Const(Bv::new(48, i + 1))));
+            arms.push(b.frontier());
+        }
+        b.set_frontier(Vec::new());
+        b.merge_frontiers(arms);
+        b.nop();
+        b.finish()
+    }
+
+    #[test]
+    fn fig7_valid_paths_are_diagonal() {
+        let cfg = fig7_cfg(5);
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        // 25 possible, 5 valid (port set by table A must match table B key).
+        assert_eq!(out.templates.len(), 5);
+        assert_eq!(out.stats.valid_paths, 5);
+        assert_eq!(out.stats.pruned, 20);
+    }
+
+    #[test]
+    fn early_termination_prunes_smt_work() {
+        let cfg = fig7_cfg(6);
+        let mut pool1 = TermPool::new();
+        let with = generate_templates(&cfg, &mut pool1, &ExecConfig::default());
+        let mut pool2 = TermPool::new();
+        let without = generate_templates(
+            &cfg,
+            &mut pool2,
+            &ExecConfig {
+                early_termination: false,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(with.templates.len(), without.templates.len());
+        assert_eq!(without.stats.paths_explored, 36, "all possible paths");
+        assert!(with.stats.paths_explored < without.stats.paths_explored);
+    }
+
+    #[test]
+    fn templates_instantiate_and_replay() {
+        // End-to-end Definition 3 check: every template's model drives the
+        // concrete evaluator down exactly the template's path.
+        let cfg = fig7_cfg(4);
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        for t in &out.templates {
+            let input = t
+                .instantiate(&mut pool, &cfg.fields, &[])
+                .expect("valid template instantiates");
+            let result = meissa_ir::eval_path(&cfg, &t.path, &input);
+            assert!(result.is_ok(), "model must execute the covered path");
+        }
+    }
+
+    #[test]
+    fn distinct_templates_cover_distinct_paths() {
+        let cfg = fig7_cfg(4);
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for t in &out.templates {
+            assert!(seen.insert(t.path.clone()), "duplicate path");
+        }
+    }
+
+    #[test]
+    fn syntactically_false_guards_skip_solver() {
+        let mut b = CfgBuilder::new();
+        let f = field(&mut b, "x", 8);
+        b.nop();
+        let base = b.frontier();
+        // Branch 1: x == 1 (satisfiable).
+        b.set_frontier(base.clone());
+        b.stmt(Stmt::Assume(BExp::Cmp(
+            CmpOp::Eq,
+            AExp::Field(f),
+            AExp::Const(Bv::new(8, 1)),
+        )));
+        let f1 = b.frontier();
+        // Branch 2: constant false.
+        b.set_frontier(base);
+        b.stmt(Stmt::Assume(BExp::False));
+        let f2 = b.frontier();
+        b.set_frontier(Vec::new());
+        b.merge_frontiers(vec![f1, f2]);
+        b.nop();
+        let cfg = b.finish();
+
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        assert_eq!(out.templates.len(), 1);
+        assert_eq!(out.stats.pruned, 1);
+    }
+
+    #[test]
+    fn assignment_then_contradiction_is_pruned() {
+        // Fig. 5b: dstIP ← k then dstIP == other: invalid.
+        let mut b = CfgBuilder::new();
+        let f = field(&mut b, "dstIP", 32);
+        b.stmt(Stmt::Assign(f, AExp::Const(Bv::new(32, 0xc0a80001))));
+        b.stmt(Stmt::Assume(BExp::Cmp(
+            CmpOp::Eq,
+            AExp::Field(f),
+            AExp::Const(Bv::new(32, 0x0a010101)),
+        )));
+        let cfg = b.finish();
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        assert_eq!(out.templates.len(), 0);
+        assert_eq!(out.stats.pruned, 1);
+    }
+
+    #[test]
+    fn max_templates_caps_output() {
+        let cfg = fig7_cfg(8);
+        let mut pool = TermPool::new();
+        let out = generate_templates(
+            &cfg,
+            &mut pool,
+            &ExecConfig {
+                max_templates: Some(3),
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(out.templates.len(), 3);
+    }
+
+    #[test]
+    fn time_budget_flags_timeout() {
+        let cfg = fig7_cfg(10);
+        let mut pool = TermPool::new();
+        let out = generate_templates(
+            &cfg,
+            &mut pool,
+            &ExecConfig {
+                time_budget: Some(Duration::from_nanos(1)),
+                ..ExecConfig::default()
+            },
+        );
+        assert!(out.stats.timed_out);
+    }
+
+    #[test]
+    fn non_incremental_mode_matches_results() {
+        let cfg = fig7_cfg(5);
+        let mut pool1 = TermPool::new();
+        let inc = generate_templates(&cfg, &mut pool1, &ExecConfig::default());
+        let mut pool2 = TermPool::new();
+        let fresh = generate_templates(
+            &cfg,
+            &mut pool2,
+            &ExecConfig {
+                incremental: false,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(inc.templates.len(), fresh.templates.len());
+    }
+
+    #[test]
+    fn explorer_reuses_one_solver_across_runs() {
+        // The Explorer keeps one solver: successive runs with different
+        // base constraints answer from the shared bit-blasting cache, and
+        // frame isolation keeps verdicts independent.
+        let cfg = fig7_cfg(4);
+        let mut pool = TermPool::new();
+        let mut ctx = crate::symstate::SymCtx::new(None);
+        let mut explorer = Explorer::new(ExecConfig::default());
+        let dst = cfg.fields.get("dstIP").unwrap();
+        let dst_var = pool.var("dstIP", 32);
+        let targets = std::collections::HashSet::new();
+
+        // Unconstrained: all 4 diagonal paths.
+        let mut n_free = 0;
+        explorer.run(&cfg, &mut pool, &mut ctx, cfg.entry(), &targets, &[], &[], &mut |_| {
+            n_free += 1;
+        });
+        assert_eq!(n_free, 4);
+
+        // Base-constrained to one dst: a single path.
+        let k = pool.bv_const(meissa_num::Bv::new(32, 0x01010102));
+        let pin = pool.eq(dst_var, k);
+        let mut n_pinned = 0;
+        explorer.run(
+            &cfg,
+            &mut pool,
+            &mut ctx,
+            cfg.entry(),
+            &targets,
+            &[pin],
+            &[],
+            &mut |_| n_pinned += 1,
+        );
+        assert_eq!(n_pinned, 1);
+
+        // And the constraint did not leak into a third run.
+        let mut n_again = 0;
+        explorer.run(&cfg, &mut pool, &mut ctx, cfg.entry(), &targets, &[], &[], &mut |_| {
+            n_again += 1;
+        });
+        assert_eq!(n_again, 4);
+        let _ = dst;
+    }
+
+    #[test]
+    fn final_values_capture_effects() {
+        let cfg = fig7_cfg(3);
+        let mut pool = TermPool::new();
+        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mac = cfg.fields.get("dstMAC").unwrap();
+        for t in &out.templates {
+            let mac_val = t
+                .final_values
+                .iter()
+                .find(|(f, _)| *f == mac)
+                .map(|&(_, v)| v)
+                .expect("dstMAC assigned on every valid path");
+            assert!(pool.as_const(mac_val).is_some());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Meissa's core: test case generation for data plane CFGs.
+//!
+//! * [`symstate`] — the symbolic state of §3.2: the value stack `V`
+//!   (field → symbolic expression) and translation of IR expressions into
+//!   solver terms, including the §4 hash treatment.
+//! * [`exec`] — Algorithm 1: DFS path enumeration with early termination
+//!   backed by incremental SMT solving; emits a test case template per
+//!   valid path.
+//! * [`summary`] — Algorithm 2: code summary. Pipelines are summarized in
+//!   topological order; public pre-conditions (intersection of all entry
+//!   paths' constraints and agreeing values) prune the per-pipeline search,
+//!   and each surviving valid path is re-encoded as one guard predicate plus
+//!   atomic effect assignments via `@` auxiliary variables.
+//! * [`template`] — test case templates and their instantiation into
+//!   concrete input states (solver model extraction + hash post-filtering).
+//! * [`engine`] — the top-level [`engine::Meissa`] façade used by the test
+//!   driver, examples, and benchmarks; collects the statistics the paper's
+//!   figures report (time, SMT calls, possible paths).
+//! * [`coverage`] — coverage accounting (path / branch / statement).
+
+pub mod coverage;
+pub mod engine;
+pub mod exec;
+pub mod summary;
+pub mod symstate;
+pub mod template;
+
+pub use engine::{Meissa, MeissaConfig, RunOutput, RunStats};
+pub use exec::{ExecConfig, ExecOutput, ExecStats};
+pub use template::{HashObligation, TestTemplate};

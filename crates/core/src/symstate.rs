@@ -1,0 +1,432 @@
+//! Symbolic state: the value stack `V` and IR→solver-term translation.
+//!
+//! §3.2 defines `V ∈ field_id → aexp` mapping each header field to its
+//! current symbolic value, with `⟦V⟧a` substituting current values into an
+//! expression. Here `V` maps fields to solver [`TermId`]s; reading a field
+//! that was never assigned yields its *input variable* — the symbolic value
+//! of that field at the start of the execution scope.
+//!
+//! One translation context serves two scopes:
+//!
+//! * whole-program execution (`scope = None`): input variables are named by
+//!   the field itself (`hdr.ipv4.dst_addr`), representing the arriving
+//!   packet;
+//! * per-pipeline execution during code summary (`scope = Some("ppl")`):
+//!   input variables are named `field@ppl`, representing field values at
+//!   *pipeline entry*, so that collected constraints and effects can be
+//!   re-encoded as CFG statements relative to the pipeline boundary.
+//!
+//! Hashing follows §4: a hash whose keys all fold to constants is computed
+//! concretely; otherwise the result is a fresh unconstrained variable and
+//! the `(algorithm, keys, output)` triple is recorded so the template
+//! instantiator can post-filter generated packets.
+
+use meissa_ir::{AExp, AOp, BExp, BOp, CmpOp, FieldId, FieldTable, HashAlg};
+use meissa_smt::{TermId, TermPool, VarId};
+use std::collections::HashMap;
+
+/// A deferred hash computation recorded during symbolic execution (§4).
+#[derive(Clone, Debug)]
+pub struct HashDef {
+    /// The algorithm.
+    pub alg: HashAlg,
+    /// Output width in bits.
+    pub width: u16,
+    /// Key terms (symbolic at record time).
+    pub keys: Vec<TermId>,
+    /// The fresh variable standing in for the hash result.
+    pub out: TermId,
+}
+
+/// Translation context shared across one symbolic execution.
+pub struct SymCtx {
+    /// Scope suffix for input variable names (`None` = program inputs).
+    scope: Option<String>,
+    /// Input variable term for each field, created on first read.
+    input_vars: HashMap<FieldId, TermId>,
+    /// Reverse map from solver variables back to fields (used by code
+    /// summary to re-encode terms as CFG expressions).
+    var_to_field: HashMap<VarId, FieldId>,
+    /// Hash stand-in variables: out term → definition.
+    hash_defs: HashMap<TermId, HashDef>,
+    hash_counter: usize,
+}
+
+/// The value stack `V` with an undo log for DFS backtracking.
+#[derive(Default)]
+pub struct ValueStack {
+    values: HashMap<FieldId, TermId>,
+    undo: Vec<(FieldId, Option<TermId>)>,
+}
+
+impl ValueStack {
+    /// An empty stack (every field reads as its input variable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assigned value of a field, if any.
+    pub fn get(&self, f: FieldId) -> Option<TermId> {
+        self.values.get(&f).copied()
+    }
+
+    /// Assigns a field, recording the previous binding for undo.
+    pub fn set(&mut self, f: FieldId, t: TermId) {
+        let prev = self.values.insert(f, t);
+        self.undo.push((f, prev));
+    }
+
+    /// A checkpoint for later [`ValueStack::restore`].
+    pub fn mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Rolls back to a checkpoint (the `V.restore()` of Algorithm 1).
+    pub fn restore(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let (f, prev) = self.undo.pop().unwrap();
+            match prev {
+                Some(t) => {
+                    self.values.insert(f, t);
+                }
+                None => {
+                    self.values.remove(&f);
+                }
+            }
+        }
+    }
+
+    /// Iterates over currently-assigned fields.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, TermId)> + '_ {
+        self.values.iter().map(|(&f, &t)| (f, t))
+    }
+
+    /// Number of assigned fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no field has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl SymCtx {
+    /// Creates a context. `scope` distinguishes per-pipeline executions.
+    pub fn new(scope: Option<&str>) -> Self {
+        SymCtx {
+            scope: scope.map(str::to_string),
+            input_vars: HashMap::new(),
+            var_to_field: HashMap::new(),
+            hash_defs: HashMap::new(),
+            hash_counter: 0,
+        }
+    }
+
+    /// The input variable term for a field (created on first use).
+    pub fn input_var(
+        &mut self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        f: FieldId,
+    ) -> TermId {
+        if let Some(&t) = self.input_vars.get(&f) {
+            return t;
+        }
+        let name = match &self.scope {
+            None => fields.name(f).to_string(),
+            Some(s) => format!("{}@{s}", fields.name(f)),
+        };
+        let t = pool.var(&name, fields.width(f));
+        if let meissa_smt::TermNode::BvVar(v) = *pool.node(t) {
+            self.var_to_field.insert(v, f);
+        }
+        self.input_vars.insert(f, t);
+        t
+    }
+
+    /// The field behind a solver variable, if it is one of ours.
+    pub fn field_of_var(&self, v: VarId) -> Option<FieldId> {
+        self.var_to_field.get(&v).copied()
+    }
+
+    /// The current symbolic value of a field: `V[f]`, defaulting to the
+    /// input variable.
+    pub fn read(
+        &mut self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        v: &ValueStack,
+        f: FieldId,
+    ) -> TermId {
+        match v.get(f) {
+            Some(t) => t,
+            None => self.input_var(pool, fields, f),
+        }
+    }
+
+    /// Recorded hash definitions (for template obligations).
+    pub fn hash_defs(&self) -> impl Iterator<Item = &HashDef> {
+        self.hash_defs.values()
+    }
+
+    /// Looks up the hash definition behind a stand-in term.
+    pub fn hash_def_of(&self, t: TermId) -> Option<&HashDef> {
+        self.hash_defs.get(&t)
+    }
+
+    /// Translates an arithmetic expression under `V` — the `⟦V⟧a`
+    /// substitution of Fig. 6.
+    pub fn aexp(
+        &mut self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        v: &ValueStack,
+        e: &AExp,
+    ) -> TermId {
+        match e {
+            AExp::Field(f) => self.read(pool, fields, v, *f),
+            AExp::Const(c) => pool.bv_const(*c),
+            AExp::Bin(op, a, b) => {
+                let ta = self.aexp(pool, fields, v, a);
+                let tb = self.aexp(pool, fields, v, b);
+                match op {
+                    AOp::Add => pool.add(ta, tb),
+                    AOp::Sub => pool.sub(ta, tb),
+                    AOp::And => pool.bv_and(ta, tb),
+                    AOp::Or => pool.bv_or(ta, tb),
+                    AOp::Xor => pool.bv_xor(ta, tb),
+                }
+            }
+            AExp::Not(a) => {
+                let ta = self.aexp(pool, fields, v, a);
+                pool.bv_not(ta)
+            }
+            AExp::Shl(a, n) => {
+                let ta = self.aexp(pool, fields, v, a);
+                pool.shl(ta, *n)
+            }
+            AExp::Shr(a, n) => {
+                let ta = self.aexp(pool, fields, v, a);
+                pool.shr(ta, *n)
+            }
+            AExp::Hash(alg, w, args) => {
+                let keys: Vec<TermId> = args
+                    .iter()
+                    .map(|a| self.aexp(pool, fields, v, a))
+                    .collect();
+                // §4: fold when every key is a known constant.
+                let consts: Option<Vec<meissa_num::Bv>> =
+                    keys.iter().map(|&k| pool.as_const(k)).collect();
+                if let Some(cs) = consts {
+                    return pool.bv_const(alg.compute(*w, &cs));
+                }
+                // Otherwise: fresh unconstrained stand-in + recorded
+                // obligation for post-filtering.
+                let name = match &self.scope {
+                    None => format!("$hash{}", self.hash_counter),
+                    Some(s) => format!("$hash{}@{s}", self.hash_counter),
+                };
+                self.hash_counter += 1;
+                let out = pool.var(&name, *w);
+                self.hash_defs.insert(
+                    out,
+                    HashDef {
+                        alg: *alg,
+                        width: *w,
+                        keys,
+                        out,
+                    },
+                );
+                out
+            }
+        }
+    }
+
+    /// Translates a boolean expression under `V`.
+    pub fn bexp(
+        &mut self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        v: &ValueStack,
+        e: &BExp,
+    ) -> TermId {
+        match e {
+            BExp::True => pool.bool_true(),
+            BExp::False => pool.bool_false(),
+            BExp::Cmp(op, a, b) => {
+                let ta = self.aexp(pool, fields, v, a);
+                let tb = self.aexp(pool, fields, v, b);
+                match op {
+                    CmpOp::Eq => pool.eq(ta, tb),
+                    CmpOp::Ne => pool.ne(ta, tb),
+                    CmpOp::Lt => pool.ult(ta, tb),
+                    CmpOp::Gt => pool.ugt(ta, tb),
+                    CmpOp::Le => pool.ule(ta, tb),
+                    CmpOp::Ge => pool.uge(ta, tb),
+                }
+            }
+            BExp::Bin(op, a, b) => {
+                let ta = self.bexp(pool, fields, v, a);
+                let tb = self.bexp(pool, fields, v, b);
+                match op {
+                    BOp::And => pool.and(ta, tb),
+                    BOp::Or => pool.or(ta, tb),
+                }
+            }
+            BExp::Not(a) => {
+                let ta = self.bexp(pool, fields, v, a);
+                pool.not(ta)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_num::Bv;
+
+    fn setup() -> (TermPool, FieldTable, SymCtx, ValueStack) {
+        let mut fields = FieldTable::new();
+        fields.intern("hdr.ip.src", 32);
+        fields.intern("hdr.ip.dst", 32);
+        fields.intern("meta.port", 9);
+        (
+            TermPool::new(),
+            fields,
+            SymCtx::new(None),
+            ValueStack::new(),
+        )
+    }
+
+    #[test]
+    fn unassigned_field_reads_input_var() {
+        let (mut pool, fields, mut ctx, v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let t = ctx.read(&mut pool, &fields, &v, f);
+        assert_eq!(pool.display(t), "hdr.ip.src");
+        // Idempotent.
+        assert_eq!(ctx.read(&mut pool, &fields, &v, f), t);
+    }
+
+    #[test]
+    fn assignment_shadows_input() {
+        let (mut pool, fields, mut ctx, mut v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let c = pool.bv_const(Bv::new(32, 7));
+        v.set(f, c);
+        assert_eq!(ctx.read(&mut pool, &fields, &v, f), c);
+    }
+
+    #[test]
+    fn undo_log_restores() {
+        let (mut pool, fields, mut ctx, mut v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let g = fields.get("hdr.ip.dst").unwrap();
+        let c1 = pool.bv_const(Bv::new(32, 1));
+        let c2 = pool.bv_const(Bv::new(32, 2));
+        v.set(f, c1);
+        let mark = v.mark();
+        v.set(f, c2);
+        v.set(g, c2);
+        assert_eq!(v.get(f), Some(c2));
+        assert_eq!(v.get(g), Some(c2));
+        v.restore(mark);
+        assert_eq!(v.get(f), Some(c1));
+        assert_eq!(v.get(g), None);
+        let t = ctx.read(&mut pool, &fields, &v, g);
+        assert_eq!(pool.display(t), "hdr.ip.dst");
+    }
+
+    #[test]
+    fn aexp_substitutes_values() {
+        // Fig. 6's substitution: after src ← 5, `src + 1` is `6`.
+        let (mut pool, fields, mut ctx, mut v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let five = pool.bv_const(Bv::new(32, 5));
+        v.set(f, five);
+        let e = AExp::bin(
+            AOp::Add,
+            AExp::Field(f),
+            AExp::Const(Bv::new(32, 1)),
+        );
+        let t = ctx.aexp(&mut pool, &fields, &v, &e);
+        assert_eq!(pool.as_const(t), Some(Bv::new(32, 6)));
+    }
+
+    #[test]
+    fn bexp_comparisons_fold() {
+        let (mut pool, fields, mut ctx, mut v) = setup();
+        let f = fields.get("meta.port").unwrap();
+        let c = pool.bv_const(Bv::new(9, 5));
+        v.set(f, c);
+        let checks = [
+            (CmpOp::Eq, 5u128, true),
+            (CmpOp::Ne, 5, false),
+            (CmpOp::Lt, 6, true),
+            (CmpOp::Gt, 4, true),
+            (CmpOp::Le, 5, true),
+            (CmpOp::Ge, 6, false),
+        ];
+        for (op, k, expect) in checks {
+            let e = BExp::Cmp(op, AExp::Field(f), AExp::Const(Bv::new(9, k)));
+            let t = ctx.bexp(&mut pool, &fields, &v, &e);
+            assert_eq!(pool.as_bool_const(t), Some(expect), "{op:?} {k}");
+        }
+    }
+
+    #[test]
+    fn scoped_input_vars_are_distinct() {
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.src", 32);
+        let mut pool = TermPool::new();
+        let mut prog_ctx = SymCtx::new(None);
+        let mut ppl_ctx = SymCtx::new(Some("ppl1"));
+        let v = ValueStack::new();
+        let t1 = prog_ctx.read(&mut pool, &fields, &v, f);
+        let t2 = ppl_ctx.read(&mut pool, &fields, &v, f);
+        assert_ne!(t1, t2);
+        assert_eq!(pool.display(t2), "hdr.ip.src@ppl1");
+    }
+
+    #[test]
+    fn var_to_field_roundtrip() {
+        let (mut pool, fields, mut ctx, v) = setup();
+        let f = fields.get("hdr.ip.dst").unwrap();
+        let t = ctx.read(&mut pool, &fields, &v, f);
+        if let meissa_smt::TermNode::BvVar(vid) = *pool.node(t) {
+            assert_eq!(ctx.field_of_var(vid), Some(f));
+        } else {
+            panic!("expected a variable term");
+        }
+    }
+
+    #[test]
+    fn hash_with_constant_keys_folds() {
+        let (mut pool, fields, mut ctx, mut v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let c = pool.bv_const(Bv::new(32, 0xdeadbeef));
+        v.set(f, c);
+        let e = AExp::Hash(HashAlg::Crc16, 16, vec![AExp::Field(f)]);
+        let t = ctx.aexp(&mut pool, &fields, &v, &e);
+        let expect = HashAlg::Crc16.compute(16, &[Bv::new(32, 0xdeadbeef)]);
+        assert_eq!(pool.as_const(t), Some(expect));
+        assert_eq!(ctx.hash_defs().count(), 0, "no obligation when folded");
+    }
+
+    #[test]
+    fn hash_with_symbolic_keys_records_obligation() {
+        let (mut pool, fields, mut ctx, v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let e = AExp::Hash(HashAlg::Crc32, 32, vec![AExp::Field(f)]);
+        let t = ctx.aexp(&mut pool, &fields, &v, &e);
+        assert!(pool.as_const(t).is_none());
+        let defs: Vec<&HashDef> = ctx.hash_defs().collect();
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].out, t);
+        assert_eq!(defs[0].alg, HashAlg::Crc32);
+        assert!(ctx.hash_def_of(t).is_some());
+    }
+}

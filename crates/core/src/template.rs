@@ -1,0 +1,406 @@
+//! Test case templates (§3.2) and their instantiation.
+//!
+//! A template captures one valid path: the conjunction of guard constraints
+//! that steers a packet down the path, the final symbolic state, and any
+//! hash obligations (§4). Instantiation asks the solver for a model of the
+//! constraints, turning the template into a concrete input state; the §4
+//! hash post-step then pins the model's key values, computes the real hash,
+//! and re-solves so that generated packets have *correct* hash fields (or
+//! rejects the packet when that is impossible).
+
+use crate::symstate::HashDef;
+use meissa_ir::{ConcreteState, FieldId, FieldTable, NodeId};
+use meissa_num::Bv;
+use meissa_smt::{CheckResult, Solver, TermId, TermPool};
+
+/// A deferred hash check attached to a template (§4).
+#[derive(Clone, Debug)]
+pub struct HashObligation {
+    /// The algorithm.
+    pub alg: meissa_ir::HashAlg,
+    /// Output width.
+    pub width: u16,
+    /// Key terms over input variables.
+    pub keys: Vec<TermId>,
+    /// The stand-in variable for the hash output.
+    pub out: TermId,
+}
+
+impl From<&HashDef> for HashObligation {
+    fn from(d: &HashDef) -> Self {
+        HashObligation {
+            alg: d.alg,
+            width: d.width,
+            keys: d.keys.clone(),
+            out: d.out,
+        }
+    }
+}
+
+/// A test case template for one valid path (§3.2).
+#[derive(Clone, Debug)]
+pub struct TestTemplate {
+    /// Sequential template id.
+    pub id: usize,
+    /// The CFG nodes of the covered path, in order.
+    pub path: Vec<NodeId>,
+    /// Guard constraints over input variables; their conjunction is the
+    /// path condition `C`.
+    pub constraints: Vec<TermId>,
+    /// Final symbolic state: (field, value term) pairs for assigned fields.
+    pub final_values: Vec<(FieldId, TermId)>,
+    /// Hash obligations to enforce at instantiation time.
+    pub hash_obligations: Vec<HashObligation>,
+}
+
+impl TestTemplate {
+    /// Instantiates the template into a concrete input state.
+    ///
+    /// Returns `None` when the constraints are unsatisfiable (which
+    /// Algorithm 1 prevents for freshly-generated templates, but callers may
+    /// add intent `given` clauses that rule a path out) or when the hash
+    /// post-filter rejects every candidate (§4).
+    pub fn instantiate(
+        &self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        extra: &[TermId],
+    ) -> Option<ConcreteState> {
+        let mut solver = Solver::new();
+        solver.push();
+        for &c in self.constraints.iter().chain(extra) {
+            solver.assert_term(pool, c);
+        }
+        if solver.check(pool) != CheckResult::Sat {
+            return None;
+        }
+
+        if !self.hash_obligations.is_empty() {
+            // §4 hash repair: pin every hash key to its model value, compute
+            // the true hash, and require the stand-in to equal it. One
+            // round suffices because pinned keys make each hash concrete.
+            let model = solver.model(pool);
+            solver.push();
+            for ob in &self.hash_obligations {
+                let mut key_vals = Vec::with_capacity(ob.keys.len());
+                for &k in &ob.keys {
+                    let v = eval_term_under_model(pool, &model, k)?;
+                    let kc = pool.bv_const(v);
+                    let pin = pool.eq(k, kc);
+                    solver.assert_term(pool, pin);
+                    key_vals.push(v);
+                }
+                let h = ob.alg.compute(ob.width, &key_vals);
+                let hc = pool.bv_const(h);
+                let want = pool.eq(ob.out, hc);
+                solver.assert_term(pool, want);
+            }
+            if solver.check(pool) != CheckResult::Sat {
+                // The path constrained the hash output incompatibly with the
+                // pinned keys: reject, as §4 prescribes.
+                return None;
+            }
+        }
+
+        let model = solver.model(pool);
+        let mut pairs = Vec::new();
+        for f in fields.iter() {
+            if fields.is_auxiliary(f) {
+                continue; // summary scratch variables are not packet input
+            }
+            if let Some(v) = model.value_of(fields.name(f)) {
+                pairs.push((f, v));
+            }
+        }
+        Some(ConcreteState::from_pairs(pairs))
+    }
+}
+
+impl TestTemplate {
+    /// Generates up to `n` *distinct* concrete inputs for this template —
+    /// "One or more input-output test cases can be generated based on the
+    /// template for a path" (§2.1). Each round adds disequalities against
+    /// the previous models' non-auxiliary input fields, so successive
+    /// packets differ in at least one field while still driving the same
+    /// path.
+    pub fn instantiate_distinct(
+        &self,
+        pool: &mut TermPool,
+        fields: &FieldTable,
+        n: usize,
+    ) -> Vec<ConcreteState> {
+        let mut out: Vec<ConcreteState> = Vec::new();
+        let mut extra: Vec<TermId> = Vec::new();
+        for _ in 0..n {
+            let Some(state) = self.instantiate(pool, fields, &extra) else {
+                break; // the remaining input space is exhausted
+            };
+            // Exclude this exact assignment of the template's own input
+            // fields from later rounds.
+            let mut used: Vec<meissa_ir::FieldId> = Vec::new();
+            for &c in &self.constraints {
+                collect_fields_of(pool, fields, c, &mut used);
+            }
+            used.sort();
+            used.dedup();
+            let mut differs: Vec<TermId> = Vec::new();
+            for f in used {
+                if fields.is_auxiliary(f) {
+                    continue;
+                }
+                let var = pool.var(fields.name(f), fields.width(f));
+                let val = pool.bv_const(state.get(fields, f));
+                let ne = pool.ne(var, val);
+                differs.push(ne);
+            }
+            out.push(state);
+            if differs.is_empty() {
+                break; // fully-constrained path: only one packet exists
+            }
+            let any_diff = pool.or_many(&differs);
+            extra.push(any_diff);
+        }
+        out
+    }
+}
+
+/// Collects the fields whose input variables appear in a term.
+fn collect_fields_of(
+    pool: &TermPool,
+    fields: &FieldTable,
+    t: TermId,
+    out: &mut Vec<meissa_ir::FieldId>,
+) {
+    use meissa_smt::TermNode::*;
+    match *pool.node(t) {
+        BvVar(_) => {
+            if let Some(f) = fields.get(pool.var_name(match *pool.node(t) {
+                BvVar(v) => v,
+                _ => unreachable!(),
+            })) {
+                out.push(f);
+            }
+        }
+        BvConst(_) | BoolConst(_) => {}
+        BvBin(_, a, b) | BvConcat(a, b) | Cmp(_, a, b) | BoolAnd(a, b) | BoolOr(a, b) => {
+            collect_fields_of(pool, fields, a, out);
+            collect_fields_of(pool, fields, b, out);
+        }
+        BvNot(a) | BvShl(a, _) | BvShr(a, _) | BvExtract(a, _, _) | BoolNot(a) => {
+            collect_fields_of(pool, fields, a, out)
+        }
+        BvIte(c, a, b) => {
+            collect_fields_of(pool, fields, c, out);
+            collect_fields_of(pool, fields, a, out);
+            collect_fields_of(pool, fields, b, out);
+        }
+    }
+}
+
+/// Evaluates a term under a model (all variables resolved from the model;
+/// unconstrained ones default to zero via the model itself).
+fn eval_term_under_model(
+    pool: &TermPool,
+    model: &meissa_smt::Model,
+    t: TermId,
+) -> Option<Bv> {
+    let env = |v: meissa_smt::VarId| model.value_of(pool.var_name(v));
+    match pool.eval(t, &env)? {
+        meissa_smt::term::EvalValue::Bv(b) => Some(b),
+        meissa_smt::term::EvalValue::Bool(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_ir::HashAlg;
+
+    #[test]
+    fn instantiate_simple_constraint() {
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.dst", 32);
+        let x = pool.var("hdr.ip.dst", 32);
+        let k = pool.bv_const(Bv::new(32, 0x0a000001));
+        let c = pool.eq(x, k);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        let state = t.instantiate(&mut pool, &fields, &[]).expect("sat");
+        assert_eq!(state.get(&fields, f), Bv::new(32, 0x0a000001));
+    }
+
+    #[test]
+    fn unsat_template_returns_none() {
+        let mut pool = TermPool::new();
+        let fields = FieldTable::new();
+        let x = pool.var("x", 8);
+        let k1 = pool.bv_const(Bv::new(8, 1));
+        let k2 = pool.bv_const(Bv::new(8, 2));
+        let c1 = pool.eq(x, k1);
+        let c2 = pool.eq(x, k2);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c1, c2],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        assert!(t.instantiate(&mut pool, &fields, &[]).is_none());
+    }
+
+    #[test]
+    fn extra_constraints_narrow_the_model() {
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        let f = fields.intern("meta.port", 9);
+        let x = pool.var("meta.port", 9);
+        let lo = pool.bv_const(Bv::new(9, 100));
+        let c = pool.ugt(x, lo);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        let hi = pool.bv_const(Bv::new(9, 102));
+        let extra = pool.ult(x, hi);
+        let state = t.instantiate(&mut pool, &fields, &[extra]).expect("sat");
+        assert_eq!(state.get(&fields, f), Bv::new(9, 101));
+    }
+
+    #[test]
+    fn hash_obligation_fixes_output() {
+        // dst is free; $hash0 must equal crc16(dst) in the final packet.
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        let fdst = fields.intern("hdr.ip.dst", 32);
+        let fh = fields.intern("meta.h", 16);
+        let _ = fh;
+        let dst = pool.var("hdr.ip.dst", 32);
+        let hout = pool.var("meta.h", 16);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![],
+            final_values: vec![],
+            hash_obligations: vec![HashObligation {
+                alg: HashAlg::Crc16,
+                width: 16,
+                keys: vec![dst],
+                out: hout,
+            }],
+        };
+        let state = t.instantiate(&mut pool, &fields, &[]).expect("sat");
+        let dst_v = state.get(&fields, fdst);
+        let h_v = state.get(&fields, fh);
+        assert_eq!(h_v, HashAlg::Crc16.compute(16, &[dst_v]));
+    }
+
+    #[test]
+    fn contradictory_hash_constraint_rejected() {
+        // Path demands $hash == 0xffff while keys are pinned to a value
+        // whose hash differs: the §4 filter must reject.
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        fields.intern("hdr.ip.dst", 32);
+        fields.intern("meta.h", 16);
+        let dst = pool.var("hdr.ip.dst", 32);
+        let hout = pool.var("meta.h", 16);
+        let key = pool.bv_const(Bv::new(32, 42));
+        let pin_key = pool.eq(dst, key);
+        let real = HashAlg::Crc16.compute(16, &[Bv::new(32, 42)]);
+        let wrong = pool.bv_const(Bv::new(16, real.val() ^ 1));
+        let pin_out = pool.eq(hout, wrong);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![pin_key, pin_out],
+            final_values: vec![],
+            hash_obligations: vec![HashObligation {
+                alg: HashAlg::Crc16,
+                width: 16,
+                keys: vec![dst],
+                out: hout,
+            }],
+        };
+        assert!(t.instantiate(&mut pool, &fields, &[]).is_none());
+    }
+
+    #[test]
+    fn instantiate_distinct_produces_different_packets_on_one_path() {
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.dst", 32);
+        let x = pool.var("hdr.ip.dst", 32);
+        let mask = pool.bv_const(Bv::new(32, 0xff00_0000));
+        let masked = pool.bv_and(x, mask);
+        let net = pool.bv_const(Bv::new(32, 0x0a00_0000));
+        let c = pool.eq(masked, net); // dst ∈ 10/8: many packets, one path
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        let states = t.instantiate_distinct(&mut pool, &fields, 5);
+        assert_eq!(states.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for s in &states {
+            let v = s.get(&fields, f);
+            assert_eq!(v.val() >> 24, 0x0a, "all in 10/8");
+            assert!(seen.insert(v), "distinct packets");
+        }
+    }
+
+    #[test]
+    fn instantiate_distinct_stops_when_space_is_exhausted() {
+        // A 1-bit field constrained nontrivially admits ≤2 packets.
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        fields.intern("meta.flag", 1);
+        let x = pool.var("meta.flag", 1);
+        let one = pool.bv_const(Bv::new(1, 1));
+        let c = pool.eq(x, one);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        let states = t.instantiate_distinct(&mut pool, &fields, 10);
+        assert_eq!(states.len(), 1, "only flag=1 satisfies the path");
+    }
+
+    #[test]
+    fn auxiliary_fields_are_excluded_from_inputs() {
+        let mut pool = TermPool::new();
+        let mut fields = FieldTable::new();
+        let aux = fields.intern("@ppl1.hdr.ip.dst", 32);
+        let real = fields.intern("hdr.ip.dst", 32);
+        let x = pool.var("hdr.ip.dst", 32);
+        let a = pool.var("@ppl1.hdr.ip.dst", 32);
+        let k = pool.bv_const(Bv::new(32, 9));
+        let c1 = pool.eq(x, k);
+        let c2 = pool.eq(a, k);
+        let t = TestTemplate {
+            id: 0,
+            path: vec![],
+            constraints: vec![c1, c2],
+            final_values: vec![],
+            hash_obligations: vec![],
+        };
+        let state = t.instantiate(&mut pool, &fields, &[]).expect("sat");
+        assert_eq!(state.get(&fields, real), Bv::new(32, 9));
+        // Aux fields read as zero because they were never added as input.
+        assert_eq!(state.get(&fields, aux), Bv::zero(32));
+    }
+}

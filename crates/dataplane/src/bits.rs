@@ -1,0 +1,167 @@
+//! Bit-granular packet serialization.
+//!
+//! P4 header fields are arbitrary bit widths (a 4-bit IHL next to a 4-bit
+//! version, a 3-bit flags field…); packets are byte streams. The writer
+//! packs fields MSB-first (network order), the reader unpacks them the same
+//! way — matching how a hardware parser slices the wire.
+
+use meissa_num::Bv;
+
+/// Packs bitvector fields into bytes, MSB-first.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0 = byte boundary).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field value (its `width` bits, most significant first).
+    pub fn write(&mut self, v: Bv) {
+        for i in (0..v.width()).rev() {
+            self.push_bit(v.bit(i));
+        }
+    }
+
+    fn push_bit(&mut self, b: bool) {
+        if self.partial == 0 {
+            self.bytes.push(0);
+        }
+        if b {
+            let last = self.bytes.last_mut().unwrap();
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Number of whole bits written.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Finishes, zero-padding to a byte boundary.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Unpacks bitvector fields from bytes, MSB-first.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over the given bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Remaining unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads a `width`-bit field; `None` if the packet is too short (a
+    /// truncated header — hardware parsers treat this as a parse error).
+    pub fn read(&mut self, width: u16) -> Option<Bv> {
+        if self.remaining_bits() < width as usize {
+            return None;
+        }
+        let mut val = 0u128;
+        for _ in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            val = (val << 1) | bit as u128;
+            self.pos += 1;
+        }
+        Some(Bv::new(width, val))
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_aligned_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(Bv::new(8, 0xab));
+        w.write(Bv::new(16, 0xcdef));
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xab, 0xcd, 0xef]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(8), Some(Bv::new(8, 0xab)));
+        assert_eq!(r.read(16), Some(Bv::new(16, 0xcdef)));
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn sub_byte_fields_pack_msb_first() {
+        // IPv4-style: version=4 (4 bits), ihl=5 (4 bits) → 0x45.
+        let mut w = BitWriter::new();
+        w.write(Bv::new(4, 4));
+        w.write(Bv::new(4, 5));
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x45]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(4), Some(Bv::new(4, 4)));
+        assert_eq!(r.read(4), Some(Bv::new(4, 5)));
+    }
+
+    #[test]
+    fn odd_widths_roundtrip() {
+        // 3 + 13 bits (IPv4 flags + fragment offset).
+        let mut w = BitWriter::new();
+        w.write(Bv::new(3, 0b101));
+        w.write(Bv::new(13, 0x1abc));
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(Bv::new(3, 0b101)));
+        assert_eq!(r.read(13), Some(Bv::new(13, 0x1abc)));
+    }
+
+    #[test]
+    fn truncated_read_returns_none() {
+        let bytes = [0xff];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(16), None);
+        assert_eq!(r.read(8), Some(Bv::new(8, 0xff)));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn partial_final_byte_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write(Bv::new(3, 0b111));
+        assert_eq!(w.bit_len(), 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn wide_field_roundtrip() {
+        let mut w = BitWriter::new();
+        let v = Bv::new(128, u128::MAX - 987654321);
+        w.write(v);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 16);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(128), Some(v));
+    }
+}

@@ -1,0 +1,120 @@
+//! The injectable backend fault model.
+//!
+//! Each variant reproduces one of the paper's *non-code* bug classes: the
+//! program source (and therefore the CFG that the analyzer and every
+//! verification tool reasons over) is correct, but the compiled target
+//! misbehaves. Verification is structurally blind to all of these; testing
+//! catches them by comparing actual outputs against reference semantics.
+//!
+//! | Variant | Table 2 / §6 case |
+//! |---|---|
+//! | [`Fault::SetValidDropped`] | bug 14, bf-p4c backend bug C: `setValid` has no effect on certain paths |
+//! | [`Fault::FieldOverlap`] | bug 15, misuse of optimization pragmas: two fields share a PHV container |
+//! | [`Fault::WrongArithComparison`] | bug 12, bf-p4c backend bug A: `<` compiled as `<=` at one width |
+//! | [`Fault::WrongAssignment`] | bug 13, bf-p4c backend bug B: an assignment lands on the wrong field |
+//! | [`Fault::ChecksumNotUpdated`] | bug 16, missing compilation flags: checksum-update writes are dropped |
+
+/// A backend fault to inject into a [`crate::SwitchTarget`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// A faithful backend (the default).
+    #[default]
+    None,
+    /// `setValid` on the given header silently does nothing: assignments of
+    /// the constant 1 to `hdr.<header>.$valid` are dropped by the backend.
+    SetValidDropped {
+        /// Header whose `setValid` is broken.
+        header: String,
+    },
+    /// Two fields were overlaid into one container by a misused pragma:
+    /// writing either one clobbers the other with the same value.
+    FieldOverlap {
+        /// First overlaid field (full name, e.g. `hdr.tcp.ackno`).
+        a: String,
+        /// Second overlaid field.
+        b: String,
+    },
+    /// Unsigned `<` at the given operand width is compiled as `<=`.
+    WrongArithComparison {
+        /// The affected operand width in bits.
+        width: u16,
+    },
+    /// Assignments targeting field `intended` are written to field `actual`
+    /// instead (both must have the same width).
+    WrongAssignment {
+        /// The field the source assigns.
+        intended: String,
+        /// The field the backend actually writes.
+        actual: String,
+    },
+    /// Writes whose right-hand side contains a `csum16` computation are
+    /// dropped (the checksum-update engine was never enabled).
+    ChecksumNotUpdated,
+    /// Constant assignments to the given field are miscompiled: the
+    /// immediate is XORed with `xor_mask` (a frontend constant-folding bug,
+    /// the p4c issue-2147 class).
+    WrongConstant {
+        /// Affected destination field (full name).
+        field: String,
+        /// Corruption applied to the immediate.
+        xor_mask: u128,
+    },
+    /// Rule priority is inverted: where several installed rules match, the
+    /// *last* one wins instead of the first (a ternary match-priority
+    /// miscompilation, the p4c issue-2343 class).
+    PriorityInverted,
+}
+
+impl Fault {
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::SetValidDropped { .. } => "setValid-dropped",
+            Fault::FieldOverlap { .. } => "field-overlap",
+            Fault::WrongArithComparison { .. } => "wrong-arith-comparison",
+            Fault::WrongAssignment { .. } => "wrong-assignment",
+            Fault::ChecksumNotUpdated => "checksum-not-updated",
+            Fault::WrongConstant { .. } => "wrong-constant",
+            Fault::PriorityInverted => "priority-inverted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_faithful() {
+        assert_eq!(Fault::default(), Fault::None);
+        assert_eq!(Fault::None.name(), "none");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            Fault::None,
+            Fault::SetValidDropped {
+                header: "x".into(),
+            },
+            Fault::FieldOverlap {
+                a: "p".into(),
+                b: "q".into(),
+            },
+            Fault::WrongArithComparison { width: 16 },
+            Fault::WrongAssignment {
+                intended: "a".into(),
+                actual: "b".into(),
+            },
+            Fault::ChecksumNotUpdated,
+            Fault::WrongConstant {
+                field: "f".into(),
+                xor_mask: 1,
+            },
+            Fault::PriorityInverted,
+        ];
+        let names: std::collections::HashSet<&str> = all.iter().map(Fault::name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

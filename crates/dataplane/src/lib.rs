@@ -1,0 +1,29 @@
+//! The software switch target.
+//!
+//! The paper runs compiled P4 on Intel Tofino hardware; testing catches
+//! *non-code* bugs because the executed target can diverge from the source
+//! program's semantics (compiler bugs, pragma misuse, missing flags —
+//! Table 2 bugs 7–16). This crate reproduces that structure in software:
+//!
+//! * [`bits`] — bit-granular packet serialization primitives;
+//! * [`packet`] — wire format: serializing a field state into packet bytes
+//!   and re-parsing bytes by *executing the program's parser spec* (the
+//!   AST, independently of the CFG encoding the analyzer uses);
+//! * [`faults`] — the injectable backend fault model reproducing the
+//!   paper's non-code bug classes;
+//! * [`target`] — the backend "compiler" and deterministic interpreter: a
+//!   [`target::SwitchTarget`] accepts a packet, parses it, executes the
+//!   program, and emits the output packet (or absence), optionally under an
+//!   injected fault.
+//!
+//! Reference semantics (what the program *should* do) is the `meissa-ir`
+//! concrete evaluator; the test driver compares the two.
+
+pub mod bits;
+pub mod faults;
+pub mod packet;
+pub mod target;
+
+pub use faults::Fault;
+pub use packet::{parse_packet, serialize_output, serialize_state, Packet};
+pub use target::{SwitchTarget, TargetOutput};

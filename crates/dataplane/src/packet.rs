@@ -1,0 +1,439 @@
+//! Wire format: field state ⇄ packet bytes.
+//!
+//! The sender serializes a template's concrete field state into packet
+//! bytes by *executing the program's parser spec* concretely — the headers
+//! present on the wire are exactly those the parser would extract, in
+//! extraction order. The receiver (and the switch target) re-parses bytes
+//! by the same spec. Test packets carry a unique id in their payload so the
+//! checker can match sent and received packets (§4).
+
+use crate::bits::{BitReader, BitWriter};
+use meissa_ir::{ConcreteState, FieldTable};
+use meissa_lang::ast::{Expr, ParserDecl, SelectPattern, Transition};
+use meissa_lang::CompiledProgram;
+use meissa_num::Bv;
+
+/// A concrete test packet: headers followed by an id-bearing payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Raw bytes (headers ++ payload).
+    pub bytes: Vec<u8>,
+    /// The unique test-case id carried in the payload (§4).
+    pub id: u64,
+}
+
+impl Packet {
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for an empty byte vector (never produced by the sender).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Evaluates a surface expression concretely against a field state.
+/// Parser scrutinees reference extracted fields (and, rarely, arithmetic
+/// over them); action parameters are not in scope here.
+fn eval_expr(fields: &FieldTable, state: &ConcreteState, e: &Expr, ctx_width: Option<u16>) -> Option<Bv> {
+    Some(match e {
+        Expr::Num(n) => Bv::new(ctx_width?, *n),
+        Expr::Field(name) => {
+            let f = fields.get(name)?;
+            state.get(fields, f)
+        }
+        Expr::Register(name, idx) => {
+            let f = fields.get(&format!("REG:{name}-POS:{idx}"))?;
+            state.get(fields, f)
+        }
+        Expr::Param(_) => return None,
+        Expr::Bin(op, a, b) => {
+            let x = eval_expr(fields, state, a, ctx_width)?;
+            let y = eval_expr(fields, state, b, Some(x.width()))?;
+            match op {
+                meissa_ir::AOp::Add => x.add(&y),
+                meissa_ir::AOp::Sub => x.sub(&y),
+                meissa_ir::AOp::And => x.and(&y),
+                meissa_ir::AOp::Or => x.or(&y),
+                meissa_ir::AOp::Xor => x.xor(&y),
+            }
+        }
+        Expr::Not(a) => eval_expr(fields, state, a, ctx_width)?.not(),
+        Expr::Shl(a, n) => eval_expr(fields, state, a, ctx_width)?.shl(*n as u32),
+        Expr::Shr(a, n) => eval_expr(fields, state, a, ctx_width)?.shr(*n as u32),
+        Expr::Hash(alg, w, args) => {
+            let keys: Vec<Bv> = args
+                .iter()
+                .map(|a| eval_expr(fields, state, a, None))
+                .collect::<Option<_>>()?;
+            alg.compute(*w, &keys)
+        }
+    })
+}
+
+/// Walks the parser spec concretely over `state`, returning the headers it
+/// would extract, in order. `None` on a malformed spec (unknown state,
+/// cycle beyond the step bound).
+pub fn extraction_order(
+    program: &CompiledProgram,
+    parser: &ParserDecl,
+    state: &ConcreteState,
+) -> Option<Vec<String>> {
+    let fields = &program.cfg.fields;
+    let mut extracted = Vec::new();
+    let mut current = "start".to_string();
+    for _ in 0..1024 {
+        if current == "accept" {
+            return Some(extracted);
+        }
+        let st = parser.states.iter().find(|s| s.name == current)?;
+        for h in &st.extracts {
+            extracted.push(h.clone());
+        }
+        current = match &st.transition {
+            Transition::Accept => "accept".to_string(),
+            Transition::Goto(next) => next.clone(),
+            Transition::Select {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let v = eval_expr(fields, state, scrutinee, None)?;
+                let mut target = default.clone();
+                for (pat, t) in arms {
+                    let hit = match *pat {
+                        SelectPattern::Exact(k) => v.val() == k & mask_of(v.width()),
+                        SelectPattern::Mask(k, m) => (v.val() & m) == (k & m) & mask_of(v.width()),
+                        SelectPattern::Range(lo, hi) => v.val() >= lo && v.val() <= hi,
+                    };
+                    if hit {
+                        target = t.clone();
+                        break;
+                    }
+                }
+                target
+            }
+        };
+    }
+    None // step bound exceeded: parser spec has a cycle
+}
+
+fn mask_of(width: u16) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// The entry parser: the parser of the topologically-first pipeline.
+pub fn entry_parser(program: &CompiledProgram) -> Option<&ParserDecl> {
+    let order = program.cfg.pipeline_topo_order();
+    let first = program.cfg.pipeline(*order.first()?).name.clone();
+    let decl = program.source.pipelines.iter().find(|p| p.name == first)?;
+    let pname = decl.parser.as_ref()?;
+    program.source.parsers.iter().find(|p| &p.name == pname)
+}
+
+/// Serializes an input field state into a test packet: the headers the
+/// entry parser would extract, in extraction order, plus an 8-byte id
+/// payload. Returns `None` for programs without an entry parser.
+pub fn serialize_state(
+    program: &CompiledProgram,
+    state: &ConcreteState,
+    id: u64,
+) -> Option<Packet> {
+    let parser = entry_parser(program)?;
+    let order = extraction_order(program, parser, state)?;
+    Some(serialize_headers(program, state, &order, id))
+}
+
+/// Serializes the given headers (by name, in order) from `state`.
+pub fn serialize_headers(
+    program: &CompiledProgram,
+    state: &ConcreteState,
+    headers: &[String],
+    id: u64,
+) -> Packet {
+    let fields = &program.cfg.fields;
+    let mut w = BitWriter::new();
+    for hname in headers {
+        if let Some(layout) = program.header(hname) {
+            for (_, f, _) in &layout.fields {
+                w.write(state.get(fields, *f));
+            }
+        }
+    }
+    let mut bytes = w.finish();
+    bytes.extend_from_slice(&id.to_be_bytes());
+    Packet { bytes, id }
+}
+
+/// Serializes an *output* packet: headers in deparser emit order, filtered
+/// by final validity bits (what a switch's deparser does).
+pub fn serialize_output(program: &CompiledProgram, state: &ConcreteState, id: u64) -> Packet {
+    let fields = &program.cfg.fields;
+    let valid_headers: Vec<String> = program
+        .deparse_order
+        .iter()
+        .filter(|h| {
+            program
+                .header(h)
+                .map(|l| state.get(fields, l.valid) == Bv::new(1, 1))
+                .unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+    serialize_headers(program, state, &valid_headers, id)
+}
+
+/// Parses packet bytes by executing the entry parser spec; returns the
+/// reconstructed field state (extracted fields + validity bits) and the
+/// payload id. `None` on parse error (truncated packet, unknown state).
+pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Option<ConcreteState> {
+    let parser = entry_parser(program)?;
+    let fields = &program.cfg.fields;
+    let mut state = ConcreteState::new();
+    let mut r = BitReader::new(&packet.bytes);
+    let mut current = "start".to_string();
+    for _ in 0..1024 {
+        if current == "accept" {
+            return Some(state);
+        }
+        let st = parser.states.iter().find(|s| s.name == current)?;
+        for h in &st.extracts {
+            let layout = program
+                .headers
+                .iter()
+                .find(|l| &l.name == h)?;
+            for (_, f, w) in &layout.fields {
+                let v = r.read(*w)?;
+                state.set(fields, *f, v);
+            }
+            state.set(fields, layout.valid, Bv::new(1, 1));
+        }
+        current = match &st.transition {
+            Transition::Accept => "accept".to_string(),
+            Transition::Goto(next) => next.clone(),
+            Transition::Select {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let v = eval_expr(fields, &state, scrutinee, None)?;
+                let mut target = default.clone();
+                for (pat, t) in arms {
+                    let hit = match *pat {
+                        SelectPattern::Exact(k) => v.val() == k & mask_of(v.width()),
+                        SelectPattern::Mask(k, m) => (v.val() & m) == (k & m) & mask_of(v.width()),
+                        SelectPattern::Range(lo, hi) => v.val() >= lo && v.val() <= hi,
+                    };
+                    if hit {
+                        target = t.clone();
+                        break;
+                    }
+                }
+                target
+            }
+        };
+    }
+    None
+}
+
+/// Zeroes every field belonging to headers the entry parser would *not*
+/// extract for this state. The solver's model assigns arbitrary values to
+/// unconstrained fields; on the wire those headers do not exist, so both
+/// reference and target must see deterministic (zero) garbage.
+pub fn normalize_input(program: &CompiledProgram, state: &ConcreteState) -> ConcreteState {
+    let fields = &program.cfg.fields;
+    let extracted: Vec<String> = entry_parser(program)
+        .and_then(|p| extraction_order(program, p, state))
+        .unwrap_or_default();
+    let mut out = state.clone();
+    for layout in &program.headers {
+        if !extracted.contains(&layout.name) {
+            for (_, f, w) in &layout.fields {
+                out.set(fields, *f, Bv::zero(*w));
+            }
+        }
+        // Validity is decided by the parser, never by the input model.
+        out.set(fields, layout.valid, Bv::zero(1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    const PROGRAM: &str = r#"
+        header ethernet { dst: 48; src: 48; ether_type: 16; }
+        header ipv4 { version: 4; ihl: 4; ttl: 8; protocol: 8; src_addr: 32; dst_addr: 32; }
+        header tcp { src_port: 16; dst_port: 16; }
+        metadata meta { egress_port: 9; drop: 1; }
+        parser main {
+          state start {
+            extract(ethernet);
+            select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+          }
+          state parse_ipv4 {
+            extract(ipv4);
+            select (hdr.ipv4.protocol) { 6 => parse_tcp; default => accept; }
+          }
+          state parse_tcp { extract(tcp); accept; }
+        }
+        action nopa() { }
+        control ig { call nopa(); }
+        pipeline ingress0 { parser = main; control = ig; }
+        deparser { emit(ethernet); emit(ipv4); emit(tcp); }
+    "#;
+
+    fn program() -> CompiledProgram {
+        let p = parse_program(PROGRAM).unwrap();
+        compile(&p, &parse_rules("").unwrap()).unwrap()
+    }
+
+    fn state_with(program: &CompiledProgram, pairs: &[(&str, u128)]) -> ConcreteState {
+        let fields = &program.cfg.fields;
+        ConcreteState::from_pairs(pairs.iter().map(|&(n, v)| {
+            let f = fields.get(n).unwrap();
+            (f, Bv::new(fields.width(f), v))
+        }))
+    }
+
+    #[test]
+    fn extraction_follows_selects() {
+        let cp = program();
+        let parser = entry_parser(&cp).unwrap();
+        let tcp_pkt = state_with(
+            &cp,
+            &[("hdr.ethernet.ether_type", 0x0800), ("hdr.ipv4.protocol", 6)],
+        );
+        assert_eq!(
+            extraction_order(&cp, parser, &tcp_pkt).unwrap(),
+            vec!["ethernet", "ipv4", "tcp"]
+        );
+        let udp_pkt = state_with(
+            &cp,
+            &[("hdr.ethernet.ether_type", 0x0800), ("hdr.ipv4.protocol", 17)],
+        );
+        assert_eq!(
+            extraction_order(&cp, parser, &udp_pkt).unwrap(),
+            vec!["ethernet", "ipv4"]
+        );
+        let arp_pkt = state_with(&cp, &[("hdr.ethernet.ether_type", 0x0806)]);
+        assert_eq!(
+            extraction_order(&cp, parser, &arp_pkt).unwrap(),
+            vec!["ethernet"]
+        );
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let cp = program();
+        let state = state_with(
+            &cp,
+            &[
+                ("hdr.ethernet.dst", 0x001122334455),
+                ("hdr.ethernet.src", 0xaabbccddeeff),
+                ("hdr.ethernet.ether_type", 0x0800),
+                ("hdr.ipv4.version", 4),
+                ("hdr.ipv4.ihl", 5),
+                ("hdr.ipv4.ttl", 64),
+                ("hdr.ipv4.protocol", 6),
+                ("hdr.ipv4.src_addr", 0x0a000001),
+                ("hdr.ipv4.dst_addr", 0x0a000002),
+                ("hdr.tcp.src_port", 12345),
+                ("hdr.tcp.dst_port", 443),
+            ],
+        );
+        let pkt = serialize_state(&cp, &state, 77).unwrap();
+        // eth(14) + ipv4(11 bytes in this simplified layout: 4+4+8+8+32+32
+        // = 88 bits) + tcp(4) + id payload(8).
+        assert_eq!(pkt.len(), 14 + 11 + 4 + 8);
+        assert_eq!(pkt.id, 77);
+
+        let parsed = parse_packet(&cp, &pkt).unwrap();
+        let fields = &cp.cfg.fields;
+        for (name, want) in [
+            ("hdr.ethernet.ether_type", 0x0800u128),
+            ("hdr.ipv4.protocol", 6),
+            ("hdr.tcp.dst_port", 443),
+            ("hdr.ipv4.dst_addr", 0x0a000002),
+            ("hdr.ethernet.$valid", 1),
+            ("hdr.ipv4.$valid", 1),
+            ("hdr.tcp.$valid", 1),
+        ] {
+            let f = fields.get(name).unwrap();
+            assert_eq!(parsed.get(fields, f).val(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn non_ip_packet_parses_ethernet_only() {
+        let cp = program();
+        let state = state_with(&cp, &[("hdr.ethernet.ether_type", 0x0806)]);
+        let pkt = serialize_state(&cp, &state, 1).unwrap();
+        assert_eq!(pkt.len(), 14 + 8);
+        let parsed = parse_packet(&cp, &pkt).unwrap();
+        let fields = &cp.cfg.fields;
+        let ipv4_valid = fields.get("hdr.ipv4.$valid").unwrap();
+        assert_eq!(parsed.get(fields, ipv4_valid).val(), 0);
+    }
+
+    #[test]
+    fn truncated_packet_fails_parse() {
+        let cp = program();
+        let state = state_with(&cp, &[("hdr.ethernet.ether_type", 0x0800)]);
+        let mut pkt = serialize_state(&cp, &state, 1).unwrap();
+        pkt.bytes.truncate(16); // mid-ipv4
+        assert!(parse_packet(&cp, &pkt).is_none());
+    }
+
+    #[test]
+    fn output_serialization_respects_validity() {
+        let cp = program();
+        let fields = &cp.cfg.fields;
+        let mut state = state_with(
+            &cp,
+            &[("hdr.ethernet.ether_type", 0x0806), ("hdr.ethernet.dst", 42)],
+        );
+        let ev = fields.get("hdr.ethernet.$valid").unwrap();
+        state.set(fields, ev, Bv::new(1, 1));
+        let pkt = serialize_output(&cp, &state, 9);
+        assert_eq!(pkt.len(), 14 + 8, "only ethernet emitted");
+    }
+
+    #[test]
+    fn normalize_zeroes_unextracted_headers() {
+        let cp = program();
+        let fields = &cp.cfg.fields;
+        let mut state = state_with(
+            &cp,
+            &[
+                ("hdr.ethernet.ether_type", 0x0806), // non-IP
+                ("hdr.ipv4.dst_addr", 0xdeadbeef),   // solver garbage
+            ],
+        );
+        let tcp_valid = fields.get("hdr.tcp.$valid").unwrap();
+        state.set(fields, tcp_valid, Bv::new(1, 1)); // model garbage
+        let norm = normalize_input(&cp, &state);
+        let dst = fields.get("hdr.ipv4.dst_addr").unwrap();
+        assert_eq!(norm.get(fields, dst).val(), 0);
+        assert_eq!(norm.get(fields, tcp_valid).val(), 0);
+        let et = fields.get("hdr.ethernet.ether_type").unwrap();
+        assert_eq!(norm.get(fields, et).val(), 0x0806, "extracted field kept");
+    }
+
+    #[test]
+    fn payload_id_roundtrips() {
+        let cp = program();
+        let state = state_with(&cp, &[("hdr.ethernet.ether_type", 0x0806)]);
+        let pkt = serialize_state(&cp, &state, 0xdead_beef_1234_5678).unwrap();
+        let tail = &pkt.bytes[pkt.bytes.len() - 8..];
+        assert_eq!(u64::from_be_bytes(tail.try_into().unwrap()), 0xdead_beef_1234_5678);
+    }
+}

@@ -1,0 +1,481 @@
+//! The switch target: backend "compiler" + deterministic interpreter.
+//!
+//! A [`SwitchTarget`] is the *implementation under test*. It parses an
+//! arriving packet with the program's parser spec, then executes the
+//! program deterministically: at every branch it takes the first successor
+//! whose guard holds (installed rules are mutually exclusive by
+//! construction, so this matches hardware's single-match behaviour). An
+//! injected [`Fault`] perturbs execution the way the paper's non-code bugs
+//! do — at the *executed-artifact* level, invisible in the source and in
+//! the CFG every analysis tool consumes.
+
+use crate::faults::Fault;
+use crate::packet::{normalize_input, parse_packet, serialize_output, Packet};
+use meissa_ir::{AExp, BExp, Cfg, ConcreteState, FieldId, HashAlg, NodeId, Stmt};
+use meissa_lang::CompiledProgram;
+use meissa_num::Bv;
+
+/// What came out of the switch for one injected packet.
+#[derive(Clone, Debug)]
+pub struct TargetOutput {
+    /// The emitted packet; `None` when the packet was dropped (explicitly
+    /// via the program's drop flag, by a parse error, or by wedging in an
+    /// undefined branch).
+    pub packet: Option<Packet>,
+    /// Final egress port (`meta.egress_port` convention), when present.
+    pub egress_port: Option<Bv>,
+    /// The complete final field state (visible to the checker like a
+    /// hardware model's snapshot; real deployments only see `packet`).
+    pub final_state: ConcreteState,
+}
+
+/// A software switch running one compiled program, possibly mis-compiled.
+pub struct SwitchTarget {
+    program: CompiledProgram,
+    fault: Fault,
+    /// Conventional drop flag (`meta.drop`), when the program declares one.
+    drop_field: Option<FieldId>,
+    /// Conventional egress port (`meta.egress_port`), when declared.
+    egress_field: Option<FieldId>,
+}
+
+impl SwitchTarget {
+    /// A faithful target for the program.
+    pub fn new(program: &CompiledProgram) -> Self {
+        Self::with_fault(program, Fault::None)
+    }
+
+    /// A target whose backend exhibits the given fault.
+    pub fn with_fault(program: &CompiledProgram, fault: Fault) -> Self {
+        let fields = &program.cfg.fields;
+        SwitchTarget {
+            drop_field: fields.get("meta.drop"),
+            egress_field: fields.get("meta.egress_port"),
+            program: program.clone(),
+            fault,
+        }
+    }
+
+    /// The program under test.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> &Fault {
+        &self.fault
+    }
+
+    /// Injects a packet: parse → execute → deparse.
+    pub fn inject(&self, packet: &Packet) -> TargetOutput {
+        let Some(state) = parse_packet(&self.program, packet) else {
+            return TargetOutput {
+                packet: None,
+                egress_port: None,
+                final_state: ConcreteState::new(),
+            };
+        };
+        self.run_state(&state, packet.id)
+    }
+
+    /// Executes the program from an already-parsed field state. Exposed so
+    /// the test driver can also drive state-level comparisons.
+    pub fn run_state(&self, input: &ConcreteState, id: u64) -> TargetOutput {
+        let state = normalize_input(&self.program, input);
+        let cfg = &self.program.cfg;
+        match self.interpret(cfg, &state) {
+            Some(final_state) => {
+                let fields = &cfg.fields;
+                let dropped = self
+                    .drop_field
+                    .map(|f| !final_state.get(fields, f).is_zero())
+                    .unwrap_or(false);
+                let egress_port = self.egress_field.map(|f| final_state.get(fields, f));
+                let packet = if dropped {
+                    None
+                } else {
+                    Some(serialize_output(&self.program, &final_state, id))
+                };
+                TargetOutput {
+                    packet,
+                    egress_port,
+                    final_state,
+                }
+            }
+            None => TargetOutput {
+                packet: None,
+                egress_port: None,
+                final_state: state,
+            },
+        }
+    }
+
+    /// Deterministic execution with fault application. Returns the final
+    /// state, or `None` when execution wedges (no viable branch — undefined
+    /// behaviour on hardware; we model it as a silent drop).
+    fn interpret(&self, cfg: &Cfg, input: &ConcreteState) -> Option<ConcreteState> {
+        let fields = &cfg.fields;
+        let mut state = input.clone();
+        let mut node = cfg.entry();
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > cfg.num_nodes() + 16 {
+                return None; // cycle guard; CFGs are acyclic so unreachable
+            }
+            self.exec_stmt(fields, &mut state, cfg.stmt(node))?;
+            let succ = cfg.succ(node);
+            if succ.is_empty() {
+                return Some(state);
+            }
+            node = self.pick_branch(cfg, &state, succ)?;
+        }
+    }
+
+    /// Branch selection with hardware semantics: where a successor carries
+    /// a *raw* match guard (table rules, select arms), the target evaluates
+    /// the raw match in successor (priority) order — first match wins,
+    /// exactly equivalent to the CFG's flattened conditions on a faithful
+    /// backend, but perturbable by the priority-inversion fault.
+    fn pick_branch(&self, cfg: &Cfg, state: &ConcreteState, succ: &[NodeId]) -> Option<NodeId> {
+        let mut chosen = None;
+        for &s in succ {
+            let take = match (cfg.raw_guard(s), cfg.stmt(s)) {
+                (Some(raw), _) => self.eval_bexp(&cfg.fields, state, raw),
+                (None, Stmt::Assume(b)) => self.eval_bexp(&cfg.fields, state, b),
+                // Non-predicate successors are unconditional continuations.
+                (None, _) => true,
+            };
+            if take {
+                chosen = Some(s);
+                // Fault: inverted rule priority keeps scanning so the LAST
+                // matching alternative wins (but never steals the default
+                // branch's slot: hardware defaults fire only on total miss).
+                if self.fault != Fault::PriorityInverted {
+                    break;
+                }
+            }
+        }
+        chosen // None = all guards false: undefined; drop
+    }
+
+    fn exec_stmt(
+        &self,
+        fields: &meissa_ir::FieldTable,
+        state: &mut ConcreteState,
+        stmt: &Stmt,
+    ) -> Option<()> {
+        match stmt {
+            Stmt::Assume(_) => {
+                // Guards were evaluated by `pick_branch` before entering the
+                // node (raw guards included); re-checking here would wrongly
+                // re-apply the analyzer's priority flattening under the
+                // inversion fault. Nothing to execute.
+                Some(())
+            }
+            Stmt::Assign(f, e) => {
+                // Fault: setValid compiled to a no-op (backend bug C).
+                if let Fault::SetValidDropped { header } = &self.fault {
+                    let vname = format!("hdr.{header}.$valid");
+                    if fields.name(*f) == vname
+                        && matches!(e, AExp::Const(c) if c.val() == 1)
+                    {
+                        return Some(());
+                    }
+                }
+                // Fault: checksum-update writes dropped (missing flag).
+                if self.fault == Fault::ChecksumNotUpdated && contains_csum(e) {
+                    return Some(());
+                }
+                let mut value = state.eval_aexp(fields, e);
+                // Fault: corrupted immediate (frontend constant bug).
+                if let Fault::WrongConstant { field, xor_mask } = &self.fault {
+                    if fields.name(*f) == field && matches!(e, AExp::Const(_)) {
+                        value = value.xor(&Bv::new(value.width(), *xor_mask));
+                    }
+                }
+                // Fault: assignment lands on the wrong destination.
+                let mut dest = *f;
+                if let Fault::WrongAssignment { intended, actual } = &self.fault {
+                    if fields.name(*f) == intended {
+                        if let Some(alt) = fields.get(actual) {
+                            dest = alt;
+                        }
+                    }
+                }
+                state.set(fields, dest, value);
+                // Fault: pragma overlay — the partner field is clobbered.
+                if let Fault::FieldOverlap { a, b } = &self.fault {
+                    let name = fields.name(dest).to_string();
+                    let partner = if &name == a {
+                        fields.get(b)
+                    } else if &name == b {
+                        fields.get(a)
+                    } else {
+                        None
+                    };
+                    if let Some(p) = partner {
+                        if fields.width(p) == value.width() {
+                            state.set(fields, p, value);
+                        }
+                    }
+                }
+                Some(())
+            }
+        }
+    }
+
+    /// Boolean evaluation with the comparison fault applied.
+    fn eval_bexp(&self, fields: &meissa_ir::FieldTable, state: &ConcreteState, b: &BExp) -> bool {
+        match b {
+            BExp::True => true,
+            BExp::False => false,
+            BExp::Cmp(op, x, y) => {
+                let vx = state.eval_aexp(fields, x);
+                let vy = state.eval_aexp(fields, y);
+                let mut op = *op;
+                if let Fault::WrongArithComparison { width } = self.fault {
+                    if vx.width() == width {
+                        op = match op {
+                            meissa_ir::CmpOp::Lt => meissa_ir::CmpOp::Le,
+                            meissa_ir::CmpOp::Gt => meissa_ir::CmpOp::Ge,
+                            other => other,
+                        };
+                    }
+                }
+                match op {
+                    meissa_ir::CmpOp::Eq => vx == vy,
+                    meissa_ir::CmpOp::Ne => vx != vy,
+                    meissa_ir::CmpOp::Lt => vx.ult(&vy),
+                    meissa_ir::CmpOp::Gt => vx.ugt(&vy),
+                    meissa_ir::CmpOp::Le => !vx.ugt(&vy),
+                    meissa_ir::CmpOp::Ge => !vx.ult(&vy),
+                }
+            }
+            BExp::Bin(meissa_ir::BOp::And, x, y) => {
+                self.eval_bexp(fields, state, x) && self.eval_bexp(fields, state, y)
+            }
+            BExp::Bin(meissa_ir::BOp::Or, x, y) => {
+                self.eval_bexp(fields, state, x) || self.eval_bexp(fields, state, y)
+            }
+            BExp::Not(x) => !self.eval_bexp(fields, state, x),
+        }
+    }
+}
+
+fn contains_csum(e: &AExp) -> bool {
+    match e {
+        AExp::Hash(HashAlg::Csum16, _, _) => true,
+        AExp::Hash(_, _, args) => args.iter().any(contains_csum),
+        AExp::Field(_) | AExp::Const(_) => false,
+        AExp::Bin(_, a, b) => contains_csum(a) || contains_csum(b),
+        AExp::Not(a) | AExp::Shl(a, _) | AExp::Shr(a, _) => contains_csum(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::serialize_state;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    const PROGRAM: &str = r#"
+        header ethernet { dst: 48; src: 48; ether_type: 16; }
+        header ipv4 { ttl: 8; protocol: 8; src_addr: 32; dst_addr: 32; checksum: 16; }
+        header vxlan { vni: 24; }
+        metadata meta { egress_port: 9; drop: 1; }
+        parser main {
+          state start {
+            extract(ethernet);
+            select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+          }
+          state parse_ipv4 { extract(ipv4); accept; }
+        }
+        action set_port(port: 9) { meta.egress_port = port; }
+        action encap(vni: 24) {
+          hdr.vxlan.setValid();
+          hdr.vxlan.vni = vni;
+          hdr.ipv4.checksum = hash(csum16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr);
+        }
+        action drop_() { meta.drop = 1; }
+        table route {
+          key = { hdr.ipv4.dst_addr: lpm; }
+          actions = { set_port; drop_; }
+          default_action = drop_();
+        }
+        control ig {
+          if (hdr.ipv4.isValid()) {
+            apply(route);
+            if (hdr.ipv4.ttl < 2) { call drop_(); } else { call encap(99); }
+          }
+        }
+        pipeline ingress0 { parser = main; control = ig; }
+        deparser { emit(ethernet); emit(ipv4); emit(vxlan); }
+    "#;
+
+    const RULES: &str = "rules route { 10.0.0.0/8 => set_port(3); }";
+
+    fn program() -> CompiledProgram {
+        let p = parse_program(PROGRAM).unwrap();
+        compile(&p, &parse_rules(RULES).unwrap()).unwrap()
+    }
+
+    fn input(cp: &CompiledProgram, ttl: u128, dst: u128) -> ConcreteState {
+        let fields = &cp.cfg.fields;
+        let f = |n: &str| fields.get(n).unwrap();
+        ConcreteState::from_pairs([
+            (f("hdr.ethernet.ether_type"), Bv::new(16, 0x0800)),
+            (f("hdr.ipv4.ttl"), Bv::new(8, ttl)),
+            (f("hdr.ipv4.dst_addr"), Bv::new(32, dst)),
+            (f("hdr.ipv4.src_addr"), Bv::new(32, 0x01020304)),
+        ])
+    }
+
+    #[test]
+    fn faithful_target_forwards_and_encaps() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp);
+        let out = t.run_state(&input(&cp, 64, 0x0a000001), 1);
+        assert!(out.packet.is_some());
+        assert_eq!(out.egress_port, Some(Bv::new(9, 3)));
+        let fields = &cp.cfg.fields;
+        let vv = fields.get("hdr.vxlan.$valid").unwrap();
+        assert_eq!(out.final_state.get(fields, vv).val(), 1);
+        let cs = fields.get("hdr.ipv4.checksum").unwrap();
+        let expect = HashAlg::Csum16.compute(
+            16,
+            &[Bv::new(32, 0x01020304), Bv::new(32, 0x0a000001)],
+        );
+        assert_eq!(out.final_state.get(fields, cs), expect);
+    }
+
+    #[test]
+    fn drop_flag_suppresses_output() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp);
+        // dst matches no rule → default drop_.
+        let out = t.run_state(&input(&cp, 64, 0x08080808), 1);
+        assert!(out.packet.is_none());
+    }
+
+    #[test]
+    fn packet_level_injection_roundtrip() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp);
+        let state = input(&cp, 64, 0x0a000001);
+        let pkt = serialize_state(&cp, &state, 42).unwrap();
+        let out = t.inject(&pkt);
+        let got = out.packet.expect("forwarded");
+        assert_eq!(got.id, 42);
+        // Output carries vxlan now: longer than the input.
+        assert!(got.len() > pkt.len());
+    }
+
+    #[test]
+    fn setvalid_dropped_fault_diverges() {
+        let cp = program();
+        let good = SwitchTarget::new(&cp);
+        let bad = SwitchTarget::with_fault(
+            &cp,
+            Fault::SetValidDropped {
+                header: "vxlan".into(),
+            },
+        );
+        let state = input(&cp, 64, 0x0a000001);
+        let fields = &cp.cfg.fields;
+        let vv = fields.get("hdr.vxlan.$valid").unwrap();
+        assert_eq!(good.run_state(&state, 1).final_state.get(fields, vv).val(), 1);
+        assert_eq!(bad.run_state(&state, 1).final_state.get(fields, vv).val(), 0);
+        // And the emitted packets differ (no vxlan header on the wire).
+        let g = good.run_state(&state, 1).packet.unwrap();
+        let b = bad.run_state(&state, 1).packet.unwrap();
+        assert!(g.len() > b.len());
+    }
+
+    #[test]
+    fn checksum_fault_leaves_stale_checksum() {
+        let cp = program();
+        let bad = SwitchTarget::with_fault(&cp, Fault::ChecksumNotUpdated);
+        let state = input(&cp, 64, 0x0a000001);
+        let fields = &cp.cfg.fields;
+        let cs = fields.get("hdr.ipv4.checksum").unwrap();
+        let out = bad.run_state(&state, 1);
+        assert_eq!(out.final_state.get(fields, cs).val(), 0, "never updated");
+    }
+
+    #[test]
+    fn wrong_comparison_fault_flips_boundary() {
+        let cp = program();
+        let good = SwitchTarget::new(&cp);
+        let bad = SwitchTarget::with_fault(&cp, Fault::WrongArithComparison { width: 8 });
+        // ttl == 2 sits exactly on the `ttl < 2` boundary: faithful target
+        // encaps; faulty target (`<` → `<=`) drops.
+        let state = input(&cp, 2, 0x0a000001);
+        assert!(good.run_state(&state, 1).packet.is_some());
+        assert!(bad.run_state(&state, 1).packet.is_none());
+        // Away from the boundary both agree.
+        let state = input(&cp, 64, 0x0a000001);
+        assert!(good.run_state(&state, 1).packet.is_some());
+        assert!(bad.run_state(&state, 1).packet.is_some());
+    }
+
+    #[test]
+    fn wrong_assignment_fault_redirects_write() {
+        let cp = program();
+        let bad = SwitchTarget::with_fault(
+            &cp,
+            Fault::WrongAssignment {
+                intended: "hdr.vxlan.vni".into(),
+                actual: "hdr.vxlan.vni".into(), // same-name redirect is a no-op…
+            },
+        );
+        let state = input(&cp, 64, 0x0a000001);
+        let fields = &cp.cfg.fields;
+        let vni = fields.get("hdr.vxlan.vni").unwrap();
+        assert_eq!(bad.run_state(&state, 1).final_state.get(fields, vni).val(), 99);
+    }
+
+    #[test]
+    fn field_overlap_fault_clobbers_partner() {
+        // The §6 pragma case shape: a 16-bit field the program writes
+        // (ipv4.checksum, via encap) was overlaid with an unrelated 16-bit
+        // field (ethernet.ether_type) — the write corrupts both.
+        let cp = program();
+        let bad = SwitchTarget::with_fault(
+            &cp,
+            Fault::FieldOverlap {
+                a: "hdr.ethernet.ether_type".into(),
+                b: "hdr.ipv4.checksum".into(),
+            },
+        );
+        let state = input(&cp, 64, 0x0a000001);
+        let out = bad.run_state(&state, 1);
+        let fields = &cp.cfg.fields;
+        let et = fields.get("hdr.ethernet.ether_type").unwrap();
+        let cs = fields.get("hdr.ipv4.checksum").unwrap();
+        assert_eq!(
+            out.final_state.get(fields, et),
+            out.final_state.get(fields, cs),
+            "overlaid fields collapse to one value"
+        );
+        assert_ne!(
+            out.final_state.get(fields, et),
+            Bv::new(16, 0x0800),
+            "ether_type corrupted by the checksum write"
+        );
+        // The faithful target keeps them independent.
+        let good = SwitchTarget::new(&cp).run_state(&state, 1);
+        assert_eq!(good.final_state.get(fields, et), Bv::new(16, 0x0800));
+    }
+
+    #[test]
+    fn truncated_packet_is_dropped() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp);
+        let out = t.inject(&Packet {
+            bytes: vec![0u8; 3],
+            id: 0,
+        });
+        assert!(out.packet.is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Edge-case tests for the wire format and switch target: zero-length
+//! payloads, maximal headers, deparser reordering after encap/decap, and
+//! the drop conventions.
+
+use meissa_dataplane::{parse_packet, serialize_output, serialize_state, Packet, SwitchTarget};
+use meissa_ir::ConcreteState;
+use meissa_lang::{compile, parse_program, parse_rules, CompiledProgram};
+use meissa_num::Bv;
+
+fn program(src: &str, rules: &str) -> CompiledProgram {
+    compile(&parse_program(src).unwrap(), &parse_rules(rules).unwrap()).unwrap()
+}
+
+const DECAP: &str = r#"
+    header outer { kind: 8; len: 8; }
+    header tunnel { id: 16; }
+    header inner { payload_kind: 8; }
+    metadata meta { drop: 1; decapped: 1; }
+    parser p {
+      state start {
+        extract(outer);
+        select (hdr.outer.kind) {
+          7 => parse_tunnel;
+          default => accept;
+        }
+      }
+      state parse_tunnel {
+        extract(tunnel);
+        extract(inner);
+        accept;
+      }
+    }
+    action decap() {
+      hdr.outer.kind = hdr.inner.payload_kind;
+      hdr.tunnel.setInvalid();
+      hdr.inner.setInvalid();
+      meta.decapped = 1;
+    }
+    control c {
+      if (hdr.tunnel.isValid()) { call decap(); }
+    }
+    pipeline main { parser = p; control = c; }
+    deparser { emit(outer); emit(tunnel); emit(inner); }
+"#;
+
+fn state_with(cp: &CompiledProgram, pairs: &[(&str, u128)]) -> ConcreteState {
+    let fields = &cp.cfg.fields;
+    ConcreteState::from_pairs(pairs.iter().map(|&(n, v)| {
+        let f = fields.get(n).unwrap();
+        (f, Bv::new(fields.width(f), v))
+    }))
+}
+
+#[test]
+fn decap_shrinks_the_output_packet() {
+    let cp = program(DECAP, "");
+    let input = state_with(
+        &cp,
+        &[
+            ("hdr.outer.kind", 7),
+            ("hdr.outer.len", 99),
+            ("hdr.tunnel.id", 0xbeef),
+            ("hdr.inner.payload_kind", 3),
+        ],
+    );
+    let pkt = serialize_state(&cp, &input, 5).unwrap();
+    // outer(2) + tunnel(2) + inner(1) + id payload(8).
+    assert_eq!(pkt.len(), 13);
+    let out = SwitchTarget::new(&cp).inject(&pkt);
+    let emitted = out.packet.expect("forwarded");
+    // After decap only outer remains: 2 + 8.
+    assert_eq!(emitted.len(), 10);
+    // And the outer kind now carries the inner payload kind.
+    assert_eq!(emitted.bytes[0], 3);
+}
+
+#[test]
+fn non_tunnel_traffic_passes_unchanged() {
+    let cp = program(DECAP, "");
+    let input = state_with(&cp, &[("hdr.outer.kind", 1), ("hdr.outer.len", 42)]);
+    let pkt = serialize_state(&cp, &input, 9).unwrap();
+    let out = SwitchTarget::new(&cp).inject(&pkt);
+    let emitted = out.packet.expect("forwarded");
+    assert_eq!(emitted.bytes, pkt.bytes, "untouched on the non-tunnel path");
+}
+
+#[test]
+fn empty_packet_is_dropped_not_panicking() {
+    let cp = program(DECAP, "");
+    let out = SwitchTarget::new(&cp).inject(&Packet {
+        bytes: Vec::new(),
+        id: 0,
+    });
+    assert!(out.packet.is_none());
+}
+
+#[test]
+fn oversized_payload_is_preserved() {
+    let cp = program(DECAP, "");
+    let input = state_with(&cp, &[("hdr.outer.kind", 1)]);
+    let mut pkt = serialize_state(&cp, &input, 1).unwrap();
+    pkt.bytes.extend(std::iter::repeat_n(0xab, 64)); // trailing payload
+    let parsed = parse_packet(&cp, &pkt).expect("long packets parse");
+    let fields = &cp.cfg.fields;
+    let kind = fields.get("hdr.outer.kind").unwrap();
+    assert_eq!(parsed.get(fields, kind).val(), 1);
+}
+
+#[test]
+fn output_serialization_orders_by_deparser_not_parse_order() {
+    // A program whose deparser emits headers in a different order than the
+    // parser extracted them: the output must follow the deparser.
+    let src = r#"
+        header a { x: 8; }
+        header b { y: 8; }
+        metadata meta { drop: 1; }
+        parser p { state start { extract(a); extract(b); accept; } }
+        control c { }
+        pipeline main { parser = p; control = c; }
+        deparser { emit(b); emit(a); }
+    "#;
+    let cp = program(src, "");
+    let input = state_with(&cp, &[("hdr.a.x", 0x11), ("hdr.b.y", 0x22)]);
+    let fields = &cp.cfg.fields;
+    let mut state = input.clone();
+    for h in ["a", "b"] {
+        let v = fields.get(&format!("hdr.{h}.$valid")).unwrap();
+        state.set(fields, v, Bv::new(1, 1));
+    }
+    let out = serialize_output(&cp, &state, 1);
+    assert_eq!(out.bytes[0], 0x22, "b first per the deparser");
+    assert_eq!(out.bytes[1], 0x11);
+}
+
+#[test]
+fn drop_flag_and_undefined_branch_both_yield_absence() {
+    let src = r#"
+        header pkt { k: 8; }
+        metadata meta { drop: 1; }
+        parser p { state start { extract(pkt); accept; } }
+        action drop_() { meta.drop = 1; }
+        action keep() { }
+        table t {
+          key = { hdr.pkt.k: exact; }
+          actions = { keep; drop_; }
+          default_action = drop_();
+        }
+        control c { apply(t); }
+        pipeline main { parser = p; control = c; }
+        deparser { emit(pkt); }
+    "#;
+    let cp = program(src, "rules t { 1 => keep(); }");
+    let t = SwitchTarget::new(&cp);
+    let keep = serialize_state(&cp, &state_with(&cp, &[("hdr.pkt.k", 1)]), 1).unwrap();
+    assert!(t.inject(&keep).packet.is_some());
+    let dropped = serialize_state(&cp, &state_with(&cp, &[("hdr.pkt.k", 2)]), 2).unwrap();
+    assert!(t.inject(&dropped).packet.is_none(), "default action drops");
+}

@@ -1,0 +1,434 @@
+//! The Meissa test driver (§4): sender, receiver, and checker.
+//!
+//! The **sender** instantiates each test case template into a concrete
+//! packet (unique id in the payload). The **receiver** captures what the
+//! switch under test emits. The **checker** compares the captured packet
+//! against the expected one — computed from the program's *source
+//! semantics* — and validates the operator's LPI intents, reporting passed
+//! and failed cases. A failing case carries a bug-localization trace (§7):
+//! the executed statements with concrete values, which engineers review to
+//! find the root cause; a divergence from source semantics with a clean
+//! trace indicates a *non-code* bug (compiler/backend/toolchain).
+
+pub mod localize;
+pub mod report;
+
+pub use localize::{trace_execution, TraceStep};
+pub use report::{CaseResult, TestReport, Verdict};
+
+use meissa_core::RunOutput;
+use meissa_dataplane::{parse_packet, serialize_state, SwitchTarget};
+use meissa_ir::ConcreteState;
+use meissa_lang::CompiledProgram;
+
+/// The test driver for one program.
+pub struct TestDriver<'p> {
+    program: &'p CompiledProgram,
+    /// The reference implementation: a faithful execution of source
+    /// semantics, used to compute expected outputs.
+    reference: SwitchTarget,
+    /// Run the packet-structure validation (§4: the checker "validates
+    /// packet checksums" and structure). Meissa's checker has it; the
+    /// testing baselines do not.
+    structural_checks: bool,
+    /// How many distinct packets to generate per template ("One or more
+    /// input-output test cases can be generated based on the template",
+    /// §2.1).
+    packets_per_template: usize,
+}
+
+impl<'p> TestDriver<'p> {
+    /// Creates a driver for a program.
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        TestDriver {
+            program,
+            reference: SwitchTarget::new(program),
+            structural_checks: true,
+            packets_per_template: 1,
+        }
+    }
+
+    /// Sets how many distinct packets each template is instantiated into.
+    pub fn with_packets_per_template(mut self, n: usize) -> Self {
+        self.packets_per_template = n.max(1);
+        self
+    }
+
+    /// A driver without the structural packet validation, for modeling
+    /// baseline testers whose checkers only diff packets.
+    pub fn without_structural_checks(program: &'p CompiledProgram) -> Self {
+        TestDriver {
+            structural_checks: false,
+            ..Self::new(program)
+        }
+    }
+
+    /// Runs every template in `run` against `target` and checks results.
+    ///
+    /// Besides one packet per template, the driver instantiates each
+    /// template once per intent with the intent's `given` clause as an
+    /// extra constraint — the §6 deployment workflow where "network
+    /// engineers specify test-case-specific constraints" on top of Meissa's
+    /// base constraints. This also yields deterministic boundary-value
+    /// packets when a `given` pins a boundary (e.g. `src_port == 1024`).
+    pub fn run(&self, run: &mut RunOutput, target: &SwitchTarget) -> TestReport {
+        let mut report = TestReport::new(target.fault().name());
+        let mut ctx = meissa_core::symstate::SymCtx::new(None);
+        let v0 = meissa_core::symstate::ValueStack::new();
+        let givens: Vec<meissa_smt::TermId> = self
+            .program
+            .intents
+            .iter()
+            .map(|i| ctx.bexp(&mut run.pool, &run.cfg.fields, &v0, &i.given))
+            .collect();
+        for idx in 0..run.templates.len() {
+            let id = run.templates[idx].id;
+            let inputs = run.templates[idx].clone().instantiate_distinct(
+                &mut run.pool,
+                &run.cfg.fields,
+                self.packets_per_template,
+            );
+            if inputs.is_empty() {
+                report.push(CaseResult {
+                    template_id: id,
+                    verdict: Verdict::Skipped {
+                        reason: "template unsatisfiable at instantiation (hash filter)".into(),
+                    },
+                    trace: Vec::new(),
+                });
+            }
+            for input in &inputs {
+                report.push(self.check_input(target, id, input));
+            }
+            for &g in &givens {
+                let id = run.templates[idx].id;
+                if let Some(input) =
+                    run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[g])
+                {
+                    report.push(self.check_input(target, id, &input));
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs a single template (first packet only; `run` generates
+    /// `packets_per_template` variants).
+    pub fn run_case(&self, run: &mut RunOutput, target: &SwitchTarget, idx: usize) -> CaseResult {
+        let template_id = run.templates[idx].id;
+        // Sender: instantiate the template into a concrete input.
+        let Some(input) = run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[])
+        else {
+            return CaseResult {
+                template_id,
+                verdict: Verdict::Skipped {
+                    reason: "template unsatisfiable at instantiation (hash filter)".into(),
+                },
+                trace: Vec::new(),
+            };
+        };
+        self.check_input(target, template_id, &input)
+    }
+
+    /// Sends one concrete input through both the reference and the target,
+    /// then checks packets and intents.
+    pub fn check_input(
+        &self,
+        target: &SwitchTarget,
+        template_id: usize,
+        input: &ConcreteState,
+    ) -> CaseResult {
+        let id = template_id as u64 + 1;
+
+        // Sender: materialize the packet.
+        let Some(packet) = serialize_state(self.program, input, id) else {
+            return CaseResult {
+                template_id,
+                verdict: Verdict::Skipped {
+                    reason: "program has no entry parser; cannot serialize".into(),
+                },
+                trace: Vec::new(),
+            };
+        };
+
+        // Expected behaviour: the faithful reference.
+        let expected = self.reference.inject(&packet);
+        // Actual behaviour: the implementation under test.
+        let actual = target.inject(&packet);
+
+        let trace = || {
+            parse_packet(self.program, &packet)
+                .map(|st| trace_execution(self.program, &st))
+                .unwrap_or_default()
+        };
+
+        // Checker step 0: structural validation (§4: the checker validates
+        // packet structure/checksums, not just intent clauses). A header
+        // the program leaves valid must be on the deparser's emit list —
+        // catching wrong-deparser-emit code bugs.
+        if self.structural_checks && expected.packet.is_some() {
+            let fields = &self.program.cfg.fields;
+            for layout in &self.program.headers {
+                let valid = !expected.final_state.get(fields, layout.valid).is_zero();
+                if valid && !self.program.deparse_order.contains(&layout.name) {
+                    return CaseResult {
+                        template_id,
+                        verdict: Verdict::OutputMismatch {
+                            detail: format!(
+                                "deparser omits valid header `{}`",
+                                layout.name
+                            ),
+                        },
+                        trace: trace(),
+                    };
+                }
+            }
+        }
+
+        // Checker step 1: presence (absent packets are first-class — §4
+        // "or mark as absent").
+        let verdict = match (&expected.packet, &actual.packet) {
+            (Some(e), Some(a)) => {
+                if e.bytes != a.bytes {
+                    Verdict::OutputMismatch {
+                        detail: format!(
+                            "output differs: expected {} bytes, got {} bytes{}",
+                            e.len(),
+                            a.len(),
+                            first_diff(&e.bytes, &a.bytes)
+                                .map(|i| format!(", first difference at byte {i}"))
+                                .unwrap_or_default()
+                        ),
+                    }
+                } else if expected.egress_port != actual.egress_port {
+                    Verdict::OutputMismatch {
+                        detail: format!(
+                            "egress port differs: expected {:?}, got {:?}",
+                            expected.egress_port, actual.egress_port
+                        ),
+                    }
+                } else {
+                    self.check_intents(input, &actual.final_state)
+                }
+            }
+            (Some(_), None) => Verdict::OutputMismatch {
+                detail: "expected a forwarded packet, got none".into(),
+            },
+            (None, Some(_)) => Verdict::OutputMismatch {
+                detail: "expected a drop, got a forwarded packet".into(),
+            },
+            (None, None) => self.check_intents(input, &actual.final_state),
+        };
+
+        let trace = if matches!(verdict, Verdict::Pass) {
+            Vec::new()
+        } else {
+            trace()
+        };
+        CaseResult {
+            template_id,
+            verdict,
+            trace,
+        }
+    }
+
+    /// Checker step 2: LPI intents. An intent applies when its `given`
+    /// clause holds on the input; its `expect` clause must then hold on the
+    /// final state the target produced.
+    fn check_intents(&self, input: &ConcreteState, actual_final: &ConcreteState) -> Verdict {
+        let fields = &self.program.cfg.fields;
+        for intent in &self.program.intents {
+            if input.eval_bexp(fields, &intent.given)
+                && !actual_final.eval_bexp(fields, &intent.expect)
+            {
+                return Verdict::IntentViolation {
+                    intent: intent.name.clone(),
+                };
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
+    a.iter().zip(b).position(|(x, y)| x != y).or({
+        if a.len() != b.len() {
+            Some(a.len().min(b.len()))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_core::Meissa;
+    use meissa_dataplane::Fault;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    const PROGRAM: &str = r#"
+        header ethernet { dst: 48; src: 48; ether_type: 16; }
+        header ipv4 { ttl: 8; protocol: 8; src_addr: 32; dst_addr: 32; checksum: 16; }
+        header vxlan { vni: 24; }
+        metadata meta { egress_port: 9; drop: 1; }
+        parser main {
+          state start {
+            extract(ethernet);
+            select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+          }
+          state parse_ipv4 { extract(ipv4); accept; }
+        }
+        action set_port(port: 9) { meta.egress_port = port; }
+        action encap(vni: 24) {
+          hdr.vxlan.setValid();
+          hdr.vxlan.vni = vni;
+          hdr.ipv4.checksum = hash(csum16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr);
+        }
+        action drop_() { meta.drop = 1; }
+        table route {
+          key = { hdr.ipv4.dst_addr: lpm; }
+          actions = { set_port; drop_; }
+          default_action = drop_();
+        }
+        control ig {
+          if (hdr.ipv4.isValid()) {
+            apply(route);
+            if (meta.drop == 0) { call encap(7); }
+          }
+        }
+        pipeline ingress0 { parser = main; control = ig; }
+        deparser { emit(ethernet); emit(ipv4); emit(vxlan); }
+        intent routed_packets_get_tunneled {
+          given hdr.ethernet.ether_type == 0x0800;
+          expect meta.drop == 1 || hdr.vxlan.$valid == 1;
+        }
+    "#;
+
+    const RULES: &str = "rules route { 10.0.0.0/8 => set_port(3); }";
+
+    fn program() -> CompiledProgram {
+        let p = parse_program(PROGRAM).unwrap();
+        compile(&p, &parse_rules(RULES).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn faithful_target_passes_all_cases() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        assert!(!run.templates.is_empty());
+        let driver = TestDriver::new(&cp);
+        let target = SwitchTarget::new(&cp);
+        let report = driver.run(&mut run, &target);
+        assert_eq!(report.failed(), 0, "{report}");
+        assert!(report.passed() >= 3, "{report}");
+    }
+
+    #[test]
+    fn setvalid_fault_is_detected_with_trace() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        let driver = TestDriver::new(&cp);
+        let target = SwitchTarget::with_fault(
+            &cp,
+            Fault::SetValidDropped {
+                header: "vxlan".into(),
+            },
+        );
+        let report = driver.run(&mut run, &target);
+        assert!(report.failed() > 0, "setValid bug must be caught");
+        let failure = report
+            .cases
+            .iter()
+            .find(|c| !matches!(c.verdict, Verdict::Pass | Verdict::Skipped { .. }))
+            .unwrap();
+        assert!(!failure.trace.is_empty(), "failures carry a trace");
+    }
+
+    #[test]
+    fn checksum_fault_detected() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        let driver = TestDriver::new(&cp);
+        let target = SwitchTarget::with_fault(&cp, Fault::ChecksumNotUpdated);
+        let report = driver.run(&mut run, &target);
+        assert!(report.failed() > 0, "{report}");
+    }
+
+    #[test]
+    fn report_is_printable() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        let driver = TestDriver::new(&cp);
+        let report = driver.run(&mut run, &SwitchTarget::new(&cp));
+        let text = report.to_string();
+        assert!(text.contains("passed"), "{text}");
+    }
+
+    #[test]
+    fn intent_violation_detected_on_code_bug() {
+        // A *code* bug: the program forgets to encap (violates the intent on
+        // the faithful target). Testing flags it via the intent check.
+        let buggy_src = PROGRAM.replace("{ call encap(7); }", "{ }");
+        let p = parse_program(&buggy_src).unwrap();
+        let cp = compile(&p, &parse_rules(RULES).unwrap()).unwrap();
+        let mut run = Meissa::new().run(&cp);
+        let driver = TestDriver::new(&cp);
+        let report = driver.run(&mut run, &SwitchTarget::new(&cp));
+        assert!(
+            report
+                .cases
+                .iter()
+                .any(|c| matches!(&c.verdict, Verdict::IntentViolation { intent }
+                    if intent == "routed_packets_get_tunneled")),
+            "{report}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod multi_packet_tests {
+    use super::*;
+    use meissa_core::Meissa;
+    use meissa_lang::{compile, parse_program, parse_rules};
+
+    #[test]
+    fn multiple_packets_per_template_multiply_cases() {
+        let src = r#"
+            header pkt { d: 32; }
+            metadata meta { out: 9; drop: 1; }
+            parser p { state start { extract(pkt); accept; } }
+            action fwd(v: 9) { meta.out = v; }
+            action drop_() { meta.drop = 1; }
+            table t {
+              key = { hdr.pkt.d: lpm; }
+              actions = { fwd; drop_; }
+              default_action = drop_();
+            }
+            control c { apply(t); }
+            pipeline main { parser = p; control = c; }
+            deparser { emit(pkt); }
+        "#;
+        let rules = "rules t { 10.0.0.0/8 => fwd(1); }";
+        let program =
+            compile(&parse_program(src).unwrap(), &parse_rules(rules).unwrap()).unwrap();
+        let mut run = Meissa::new().run(&program);
+        let single = TestDriver::new(&program)
+            .run(&mut run, &SwitchTarget::new(&program))
+            .cases
+            .len();
+        let mut run = Meissa::new().run(&program);
+        let multi = TestDriver::new(&program)
+            .with_packets_per_template(4)
+            .run(&mut run, &SwitchTarget::new(&program))
+            .cases
+            .len();
+        assert!(multi > single, "{multi} vs {single}");
+        // And everything still passes on the faithful target.
+        let mut run = Meissa::new().run(&program);
+        let report = TestDriver::new(&program)
+            .with_packets_per_template(4)
+            .run(&mut run, &SwitchTarget::new(&program));
+        assert_eq!(report.failed(), 0, "{report}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Test reports: per-case verdicts and the aggregate the driver returns
+//! ("Meissa reports passed and failed test cases to the developer", §3).
+
+use crate::localize::TraceStep;
+use std::fmt;
+
+/// Outcome of one test case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Actual output matched the expected output and every applicable
+    /// intent held.
+    Pass,
+    /// Actual output diverged from the expected (source-semantics) output —
+    /// the signature of a non-code bug when the source is believed correct.
+    OutputMismatch {
+        /// Human-readable difference description.
+        detail: String,
+    },
+    /// An LPI intent's `expect` clause failed on the produced state.
+    IntentViolation {
+        /// Name of the violated intent.
+        intent: String,
+    },
+    /// The case could not be executed (e.g. hash post-filter rejected every
+    /// candidate packet).
+    Skipped {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// One test case's result.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Template that produced the case.
+    pub template_id: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Bug-localization trace (§7), populated on failure.
+    pub trace: Vec<TraceStep>,
+}
+
+/// The aggregate test report.
+#[derive(Clone, Debug)]
+pub struct TestReport {
+    /// Name of the fault configuration the target ran under (for bench
+    /// matrices; "none" for production targets).
+    pub target_label: String,
+    /// All case results, in template order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl TestReport {
+    /// An empty report for the given target label.
+    pub fn new(target_label: &str) -> Self {
+        TestReport {
+            target_label: target_label.to_string(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Appends a case result.
+    pub fn push(&mut self, case: CaseResult) {
+        self.cases.push(case);
+    }
+
+    /// Number of passed cases.
+    pub fn passed(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.verdict == Verdict::Pass)
+            .count()
+    }
+
+    /// Number of failed cases (mismatches + intent violations).
+    pub fn failed(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.verdict,
+                    Verdict::OutputMismatch { .. } | Verdict::IntentViolation { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of skipped cases.
+    pub fn skipped(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| matches!(c.verdict, Verdict::Skipped { .. }))
+            .count()
+    }
+
+    /// True when at least one case failed — i.e. Meissa found a bug.
+    pub fn found_bug(&self) -> bool {
+        self.failed() > 0
+    }
+}
+
+impl fmt::Display for TestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "test report (target: {}): {} passed, {} failed, {} skipped of {} cases",
+            self.target_label,
+            self.passed(),
+            self.failed(),
+            self.skipped(),
+            self.cases.len()
+        )?;
+        for c in &self.cases {
+            match &c.verdict {
+                Verdict::Pass => {}
+                Verdict::OutputMismatch { detail } => {
+                    writeln!(f, "  case #{}: NO PASS — {detail}", c.template_id)?;
+                    for step in c.trace.iter().take(12) {
+                        writeln!(f, "      {step}")?;
+                    }
+                    if c.trace.len() > 12 {
+                        writeln!(f, "      … {} more steps", c.trace.len() - 12)?;
+                    }
+                }
+                Verdict::IntentViolation { intent } => {
+                    writeln!(f, "  case #{}: NO PASS — intent `{intent}` violated", c.template_id)?;
+                }
+                Verdict::Skipped { reason } => {
+                    writeln!(f, "  case #{}: skipped — {reason}", c.template_id)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_cases() {
+        let mut r = TestReport::new("none");
+        r.push(CaseResult {
+            template_id: 0,
+            verdict: Verdict::Pass,
+            trace: vec![],
+        });
+        r.push(CaseResult {
+            template_id: 1,
+            verdict: Verdict::OutputMismatch {
+                detail: "x".into(),
+            },
+            trace: vec![],
+        });
+        r.push(CaseResult {
+            template_id: 2,
+            verdict: Verdict::IntentViolation {
+                intent: "i".into(),
+            },
+            trace: vec![],
+        });
+        r.push(CaseResult {
+            template_id: 3,
+            verdict: Verdict::Skipped {
+                reason: "r".into(),
+            },
+            trace: vec![],
+        });
+        assert_eq!(r.passed(), 1);
+        assert_eq!(r.failed(), 2);
+        assert_eq!(r.skipped(), 1);
+        assert!(r.found_bug());
+        let text = r.to_string();
+        assert!(text.contains("NO PASS"));
+        assert!(text.contains("intent `i`"));
+    }
+
+    #[test]
+    fn clean_report_has_no_failures() {
+        let mut r = TestReport::new("none");
+        for i in 0..5 {
+            r.push(CaseResult {
+                template_id: i,
+                verdict: Verdict::Pass,
+                trace: vec![],
+            });
+        }
+        assert!(!r.found_bug());
+        assert_eq!(r.passed(), 5);
+    }
+}

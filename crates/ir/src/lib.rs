@@ -1,0 +1,32 @@
+//! The control flow graph intermediate representation of paper §3.1.
+//!
+//! A data plane program — P4lite source plus its installed table rules plus
+//! the multi-pipeline topology — is compiled (by `meissa-lang`) into one
+//! acyclic CFG whose nodes each carry a single statement (Fig. 3):
+//!
+//! * **predicate** nodes, `assume bexp` — branch conditions from `if`
+//!   statements, parser `select` arms, and table rule match conditions;
+//! * **action** nodes, `field ← aexp` — assignments from table actions and
+//!   parser extraction.
+//!
+//! Pipelines appear as single-entry / single-exit regions delimited by
+//! no-op marker nodes, which is what Algorithm 2's code summary operates on.
+//!
+//! The crate also provides the paper's concrete evaluation relation
+//! (Fig. 4, [`eval`]), possible/valid path machinery (Definitions 1 and 2),
+//! and DAG path counting with arbitrary precision (the `10^390` numbers of
+//! Fig. 11c/12c).
+
+pub mod cfg;
+pub mod eval;
+pub mod exp;
+pub mod fields;
+pub mod hash;
+pub mod paths;
+
+pub use cfg::{Cfg, CfgBuilder, Node, NodeId, PipelineId, PipelineInfo};
+pub use eval::{eval_path, eval_stmt, ConcreteState, EvalError};
+pub use exp::{AExp, AOp, BExp, BOp, CmpOp, Stmt};
+pub use fields::{FieldId, FieldTable};
+pub use hash::HashAlg;
+pub use paths::{count_paths, count_paths_between, enumerate_paths, PathCounts};

@@ -1,0 +1,291 @@
+//! Abstract syntax of P4lite programs.
+//!
+//! Names in the AST are unresolved strings; resolution against declarations
+//! (and interning into `meissa_ir::FieldTable`) happens in [`mod@crate::compile`].
+
+use meissa_ir::HashAlg;
+use serde::{Deserialize, Serialize};
+
+/// A whole program: every top-level declaration plus the intent specs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Header type declarations, in declaration order (which is also the
+    /// packet serialization order used by the deparser default).
+    pub headers: Vec<HeaderDecl>,
+    /// Metadata blocks (per-packet scratch state, not serialized).
+    pub metadatas: Vec<MetadataDecl>,
+    /// Register arrays (stateful memory, modeled statelessly per §4).
+    pub registers: Vec<RegisterDecl>,
+    /// Named parsers.
+    pub parsers: Vec<ParserDecl>,
+    /// Actions.
+    pub actions: Vec<ActionDecl>,
+    /// Match-action tables.
+    pub tables: Vec<TableDecl>,
+    /// Control blocks.
+    pub controls: Vec<ControlDecl>,
+    /// Pipeline declarations binding a parser and a control.
+    pub pipelines: Vec<PipelineDecl>,
+    /// Topology edges wiring pipelines together (with optional
+    /// traffic-manager steering predicates).
+    pub topology: Vec<TopoEdge>,
+    /// Deparser emit order (header names). Empty means "declaration order".
+    pub deparser: Vec<String>,
+    /// LPI-like intent specifications.
+    pub intents: Vec<IntentDecl>,
+    /// Source lines of code (Table 1 metric), filled by the parser.
+    pub loc: usize,
+}
+
+/// `header name { field: width; … }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HeaderDecl {
+    /// Header type name.
+    pub name: String,
+    /// Fields in wire order: (name, width in bits).
+    pub fields: Vec<(String, u16)>,
+}
+
+impl HeaderDecl {
+    /// Total width of the header in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.fields.iter().map(|(_, w)| *w as u32).sum()
+    }
+}
+
+/// `metadata name { field: width; … }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetadataDecl {
+    /// Block name (fields are referenced as `name.field`).
+    pub name: String,
+    /// Fields: (name, width in bits).
+    pub fields: Vec<(String, u16)>,
+}
+
+/// `register name[size]: width;`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisterDecl {
+    /// Register array name.
+    pub name: String,
+    /// Number of cells.
+    pub size: u32,
+    /// Cell width in bits.
+    pub width: u16,
+}
+
+/// `parser name { state start { … } … }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParserDecl {
+    /// Parser name.
+    pub name: String,
+    /// States; must include one named `start`.
+    pub states: Vec<ParserState>,
+}
+
+/// One parser state: extracts then a transition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParserState {
+    /// State name.
+    pub name: String,
+    /// Headers extracted, in order.
+    pub extracts: Vec<String>,
+    /// Where to go next.
+    pub transition: Transition,
+}
+
+/// Parser state transition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Transition {
+    /// Finish parsing and enter the control.
+    Accept,
+    /// Unconditional jump to another state.
+    Goto(String),
+    /// `select (expr) { pat => state; …; default => state|accept; }`
+    Select {
+        /// The scrutinee expression.
+        scrutinee: Expr,
+        /// Arms in priority order: (pattern, target state or `accept`).
+        arms: Vec<(SelectPattern, String)>,
+        /// Default target (state name or `accept`).
+        default: String,
+    },
+}
+
+/// A select arm pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectPattern {
+    /// Exact value.
+    Exact(u128),
+    /// Value under mask: matches when `(x & mask) == (value & mask)`.
+    Mask(u128, u128),
+    /// Inclusive range.
+    Range(u128, u128),
+}
+
+/// `action name(param: width, …) { stmt; … }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ActionDecl {
+    /// Action name.
+    pub name: String,
+    /// Runtime parameters: (name, width).
+    pub params: Vec<(String, u16)>,
+    /// Body statements.
+    pub body: Vec<ActionStmt>,
+}
+
+/// An action body statement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ActionStmt {
+    /// `lvalue = expr;`
+    Assign(LValue, Expr),
+    /// `hdr.setValid();` — make a header valid (e.g. tunnel encap).
+    SetValid(String),
+    /// `hdr.setInvalid();` — make a header invalid (decap).
+    SetInvalid(String),
+}
+
+/// Assignment target.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LValue {
+    /// A dotted field reference: `hdr.ipv4.ttl` or `meta.port`.
+    Field(String),
+    /// A register cell with a constant index (§4 requires constant indices).
+    Register(String, u32),
+}
+
+/// Surface expressions (arithmetic sort).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal (width inferred from context).
+    Num(u128),
+    /// Dotted field reference.
+    Field(String),
+    /// Register cell read with a constant index.
+    Register(String, u32),
+    /// Action parameter reference (only valid inside action bodies).
+    Param(String),
+    /// Binary arithmetic.
+    Bin(meissa_ir::AOp, Box<Expr>, Box<Expr>),
+    /// Bitwise NOT.
+    Not(Box<Expr>),
+    /// Shift left by constant.
+    Shl(Box<Expr>, u16),
+    /// Shift right by constant.
+    Shr(Box<Expr>, u16),
+    /// `hash(alg, width, args…)` builtin (§4 semantics).
+    Hash(HashAlg, u16, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: meissa_ir::AOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+}
+
+/// Surface boolean conditions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Constant.
+    Bool(bool),
+    /// Comparison.
+    Cmp(meissa_ir::CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+    /// `hdr.isValid()` — header validity test.
+    IsValid(String),
+}
+
+impl Cond {
+    /// Convenience conjunction.
+    pub fn and(a: Cond, b: Cond) -> Cond {
+        Cond::And(Box::new(a), Box::new(b))
+    }
+}
+
+/// Table key match kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact match.
+    Exact,
+    /// Longest-prefix match.
+    Lpm,
+    /// Value-and-mask match.
+    Ternary,
+    /// Inclusive range match.
+    Range,
+}
+
+/// `table name { key = {…}; actions = {…}; default_action = a(args); }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// Key fields and their match kinds, in key order.
+    pub keys: Vec<(String, MatchKind)>,
+    /// Permitted action names.
+    pub actions: Vec<String>,
+    /// Default action invocation (name, constant args). `None` means the
+    /// implicit no-op default.
+    pub default_action: Option<(String, Vec<u128>)>,
+    /// Declared capacity (informational; Table 1 scale metric).
+    pub size: u32,
+}
+
+/// `control name { stmt… }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlDecl {
+    /// Control name.
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<CtrlStmt>,
+}
+
+/// Control block statements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CtrlStmt {
+    /// `apply(table);`
+    Apply(String),
+    /// `if (cond) { … } else { … }`
+    If(Cond, Vec<CtrlStmt>, Vec<CtrlStmt>),
+    /// `call action(const args);` — a direct (ruleless) action invocation.
+    Call(String, Vec<u128>),
+}
+
+/// `pipeline name { parser = p; control = c; }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineDecl {
+    /// Pipeline name (may encode the switch, e.g. `sw0_ingress0`).
+    pub name: String,
+    /// Parser to run at pipeline entry; `None` skips parsing (the pipeline
+    /// sees the predecessor's header state unchanged).
+    pub parser: Option<String>,
+    /// Control to run.
+    pub control: String,
+}
+
+/// `from -> to [when (cond)];` inside `topology { … }`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopoEdge {
+    /// Source: `start` or a pipeline name.
+    pub from: String,
+    /// Destination: `end` or a pipeline name.
+    pub to: String,
+    /// Optional traffic-manager steering predicate.
+    pub when: Option<Cond>,
+}
+
+/// `intent name { given cond; expect cond; }`
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IntentDecl {
+    /// Intent name.
+    pub name: String,
+    /// Constraint on input packets this intent covers.
+    pub given: Cond,
+    /// Property the output must satisfy.
+    pub expect: Cond,
+}

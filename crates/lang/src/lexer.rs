@@ -1,0 +1,515 @@
+//! The P4lite lexer.
+//!
+//! Hand-rolled scanner producing a flat token vector with line numbers for
+//! diagnostics. Notable literal forms:
+//!
+//! * decimal and `0x` hexadecimal integers;
+//! * dotted IPv4 literals `10.0.0.1` (lexed as one 32-bit number token —
+//!   the scanner distinguishes `10.0.0.1` from `10..20` by lookahead);
+//! * `a..b` appears as `Num DotDot Num` and is handled by the parser.
+
+use std::fmt;
+
+/// A token with its source line (1-based) for error messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, hex, or dotted IPv4).
+    Num(u128),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=>`
+    FatArrow,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&&&`
+    TernaryMask,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `_`
+    Underscore,
+    /// `/` (prefix length separator in rules)
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number `{n}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes source text into tokens (with a trailing [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($k:expr) => {
+            out.push(Token { kind: $k, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            '+' => {
+                push!(Tok::Plus);
+                i += 1;
+            }
+            '^' => {
+                push!(Tok::Caret);
+                i += 1;
+            }
+            '~' => {
+                push!(Tok::Tilde);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '_' if i + 1 >= bytes.len() || !ident_char(bytes[i + 1]) => {
+                push!(Tok::Underscore);
+                i += 1;
+            }
+            '.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    push!(Tok::DotDot);
+                    i += 2;
+                } else {
+                    push!(Tok::Dot);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Arrow);
+                    i += 2;
+                } else {
+                    push!(Tok::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::FatArrow);
+                    i += 2;
+                } else {
+                    push!(Tok::Eq);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::NotEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    push!(Tok::Shl);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Shr);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'&' && bytes[i + 2] == b'&' {
+                    push!(Tok::TernaryMask);
+                    i += 3;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push!(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    push!(Tok::Amp);
+                    i += 1;
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push!(Tok::OrOr);
+                    i += 2;
+                } else {
+                    push!(Tok::Pipe);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(bytes, i, line)?;
+                out.push(Token { kind: tok, line });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '@' || c == '$' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+}
+
+/// Lexes a number starting at `i`. Handles decimal, `0x` hex, and dotted
+/// IPv4 (`a.b.c.d` becomes one 32-bit value). A `..` after digits is left
+/// for the parser (range syntax).
+fn lex_number(bytes: &[u8], mut i: usize, line: u32) -> Result<(Tok, usize), LexError> {
+    let err = |m: String| LexError { message: m, line };
+    if bytes[i] == b'0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+        i += 2;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        if start == i {
+            return Err(err("empty hex literal".into()));
+        }
+        let s = std::str::from_utf8(&bytes[start..i]).unwrap();
+        let v = u128::from_str_radix(s, 16).map_err(|e| err(format!("bad hex literal: {e}")))?;
+        return Ok((Tok::Num(v), i));
+    }
+    let read_dec = |bytes: &[u8], mut j: usize| -> (u128, usize) {
+        let start = j;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        let s = std::str::from_utf8(&bytes[start..j]).unwrap();
+        (s.parse().unwrap_or(u128::MAX), j)
+    };
+    let (first, mut j) = read_dec(bytes, i);
+    // Try dotted IPv4: exactly `a.b.c.d` where each part is a decimal octet
+    // and the dot is a single dot (not `..`).
+    let mut parts = vec![first];
+    let mut k = j;
+    while parts.len() < 4
+        && k < bytes.len()
+        && bytes[k] == b'.'
+        && k + 1 < bytes.len()
+        && bytes[k + 1].is_ascii_digit()
+        && (k + 1 >= bytes.len() || bytes[k + 1] != b'.')
+    {
+        let (p, nk) = read_dec(bytes, k + 1);
+        parts.push(p);
+        k = nk;
+    }
+    if parts.len() == 4 {
+        for &p in &parts {
+            if p > 255 {
+                return Err(err(format!("IPv4 octet {p} out of range")));
+            }
+        }
+        let v = (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+        j = k;
+        return Ok((Tok::Num(v), j));
+    }
+    Ok((Tok::Num(first), j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = kinds("header h { a: 8; }");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("header".into()),
+                Tok::Ident("h".into()),
+                Tok::LBrace,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::Num(8),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_ip() {
+        assert_eq!(kinds("42")[0], Tok::Num(42));
+        assert_eq!(kinds("0x0800")[0], Tok::Num(0x800));
+        assert_eq!(kinds("10.0.0.1")[0], Tok::Num(0x0a000001));
+        assert_eq!(kinds("255.255.255.0")[0], Tok::Num(0xffffff00));
+    }
+
+    #[test]
+    fn range_is_not_an_ip() {
+        assert_eq!(
+            kinds("10..20"),
+            vec![Tok::Num(10), Tok::DotDot, Tok::Num(20), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn dotted_field_names() {
+        assert_eq!(
+            kinds("hdr.ipv4.ttl"),
+            vec![
+                Tok::Ident("hdr".into()),
+                Tok::Dot,
+                Tok::Ident("ipv4".into()),
+                Tok::Dot,
+                Tok::Ident("ttl".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= < > << >> && || &&& & | ! ~ ^ + - -> => = .."),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::TernaryMask,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Bang,
+                Tok::Tilde,
+                Tok::Caret,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Arrow,
+                Tok::FatArrow,
+                Tok::Eq,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = kinds("a # comment with { } tokens\nb // also ; skipped\nc");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn underscore_alone_vs_in_ident() {
+        assert_eq!(kinds("_")[0], Tok::Underscore);
+        assert_eq!(kinds("_x")[0], Tok::Ident("_x".into()));
+        assert_eq!(kinds("drop_")[0], Tok::Ident("drop_".into()));
+    }
+
+    #[test]
+    fn bad_ip_octet_fails() {
+        // 300.1.2.3 is an octet error because the 4-part pattern matched.
+        let e = lex("300.1.2.3").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unexpected_character_reports_line() {
+        let e = lex("a\nb\n%").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the frontend's serialization round-trips.
+
+use meissa_lang::{parse_rules, KeyMatch, Rule, RuleSet};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = KeyMatch> {
+    prop_oneof![
+        any::<u64>().prop_map(|v| KeyMatch::Exact(v as u128)),
+        (any::<u64>(), 0u16..=32).prop_map(|(v, l)| KeyMatch::Prefix(v as u128, l)),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(v, m)| KeyMatch::Ternary(v as u128, m as u128)),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            KeyMatch::Range(lo as u128, hi as u128)
+        }),
+        Just(KeyMatch::Any),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(key_strategy(), 1..4),
+        "[a-z][a-z0-9_]{0,8}",
+        prop::collection::vec(any::<u32>().prop_map(|v| v as u128), 0..3),
+    )
+        .prop_map(|(keys, action, args)| Rule { keys, action, args })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `RuleSet::to_text` → `parse_rules` is the identity on rules.
+    #[test]
+    fn rule_set_text_roundtrip(rules in prop::collection::vec(rule_strategy(), 1..8)) {
+        let mut set = RuleSet::new();
+        for r in &rules {
+            set.push("t", r.clone());
+        }
+        let text = set.to_text();
+        let back = parse_rules(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(back.rules_for("t"), set.rules_for("t"));
+    }
+
+    /// LOC counting is insensitive to blank-line padding.
+    #[test]
+    fn loc_ignores_padding(n in 0usize..10) {
+        let body = "header h { a: 8; }\naction f() { }\n";
+        let padded = format!("{}{}", "\n".repeat(n), body);
+        prop_assert_eq!(meissa_lang::count_loc(&padded), meissa_lang::count_loc(body));
+    }
+}

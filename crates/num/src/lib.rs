@@ -1,0 +1,19 @@
+//! Numeric primitives shared across the Meissa workspace.
+//!
+//! Two types live here:
+//!
+//! * [`Bv`] — a fixed-width bitvector value (1..=128 bits, `u128`-backed).
+//!   Every header field, table key, and intermediate arithmetic result in a
+//!   data plane program is a `Bv`. Arithmetic wraps modulo `2^width`, exactly
+//!   like P4's `bit<N>` type and like the SMT theory of bitvectors that the
+//!   constraint solver decides.
+//! * [`BigUint`] — a minimal arbitrary-precision unsigned integer. Path
+//!   counts in the paper's evaluation reach `10^390` (Fig. 11c/12c), far
+//!   beyond `u128`; `BigUint` supports exactly the operations path counting
+//!   needs (add, mul, comparison, decimal/`10^k` rendering).
+
+mod biguint;
+mod bv;
+
+pub use biguint::BigUint;
+pub use bv::Bv;

@@ -1,0 +1,874 @@
+//! A CDCL SAT solver.
+//!
+//! MiniSat-style architecture: two-watched-literal unit propagation, 1-UIP
+//! conflict analysis with clause learning, VSIDS variable activity with an
+//! indexed binary heap, phase saving, Luby-sequence restarts, and solving
+//! under assumptions. Assumptions are what the SMT layer uses to implement
+//! incremental push/pop: each frame's clauses are guarded by an activation
+//! literal assumed during `check` and permanently falsified on `pop`.
+//!
+//! Learned-clause deletion is intentionally omitted: Meissa's queries are
+//! many small solves over one shared clause set, not single hard instances,
+//! so the learned set stays modest and keeping it *is* the cross-query reuse
+//! the paper leans on ("the solver reuses intermediate results from previous
+//! invocations", §3.2).
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a sign. Encoded as `2*var + (negated as 1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 * 2 + (!positive) as u32)
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// True if the literal is positive (un-negated).
+    pub fn positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negation of this literal.
+    #[allow(clippy::should_implement_trait)] // domain op, not std::ops::Neg
+    pub fn neg(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for watch lists.
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.positive() { "" } else { "¬" }, self.var().0)
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+    fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found (read it with [`SatSolver::value`]).
+    Sat,
+    /// No satisfying assignment exists under the given assumptions.
+    Unsat,
+}
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Copy)]
+struct Watch {
+    clause: u32,
+    /// A literal from the clause; if it is already true the clause is
+    /// satisfied and the watch scan can skip loading the clause body.
+    blocker: Lit,
+}
+
+/// An indexed max-heap over variable activity (the VSIDS order).
+#[derive(Default)]
+struct OrderHeap {
+    heap: Vec<Var>,
+    /// Position of each var in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+impl OrderHeap {
+    fn ensure(&mut self, nvars: usize) {
+        self.pos.resize(nvars, usize::MAX);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.0 as usize] != usize::MAX
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.0 as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top.0 as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.0 as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        let p = self.pos[v.0 as usize];
+        if p != usize::MAX {
+            self.sift_up(p, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].0 as usize] > act[self.heap[parent].0 as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = i;
+        self.pos[self.heap[j].0 as usize] = j;
+    }
+}
+
+/// Statistics counters for a [`SatSolver`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SatStats {
+    /// Number of `solve` invocations.
+    pub solves: u64,
+    /// Total conflicts encountered.
+    pub conflicts: u64,
+    /// Total decisions made.
+    pub decisions: u64,
+    /// Total literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently retained.
+    pub learned: u64,
+}
+
+/// The CDCL SAT solver.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<u32>, // clause index or u32::MAX
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: OrderHeap,
+    polarity: Vec<bool>,
+    seen: Vec<bool>,
+    /// False once the clause set is unsatisfiable at level 0.
+    ok: bool,
+    /// Statistics.
+    pub stats: SatStats,
+}
+
+const NO_REASON: u32 = u32::MAX;
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const ACT_RESCALE: f64 = 1e100;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: OrderHeap::default(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(NO_REASON);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.ensure(self.assigns.len());
+        self.order.push(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().0 as usize];
+        if l.positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// The model value of a variable after a `Sat` answer.
+    pub fn value(&self, v: Var) -> bool {
+        // Unassigned variables (possible when they appear in no active
+        // clause) default to false.
+        matches!(self.assigns[v.0 as usize], LBool::True)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause, or conflicting units at level 0).
+    ///
+    /// Adding a clause cancels any in-progress model: the solver backtracks
+    /// to level 0 first (callers capture models before adding clauses).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        // Simplify: drop false lits, drop duplicates, detect tautology.
+        let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied forever
+                LBool::False => continue,   // cannot help
+                LBool::Undef => {
+                    if cl.contains(&l.neg()) {
+                        return true; // tautology
+                    }
+                    cl.push(l);
+                }
+            }
+        }
+        match cl.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(cl[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(cl);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        let (w0, w1) = (lits[0], lits[1]);
+        self.clauses.push(Clause { lits });
+        self.watches[w0.neg().index()].push(Watch {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[w1.neg().index()].push(Watch {
+            clause: idx,
+            blocker: w0,
+        });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assigns[v] = LBool::from_bool(l.positive());
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict: Option<u32> = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Make sure the false literal is lits[1].
+                let false_lit = p.neg();
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.neg().index()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[i].blocker = first;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.enqueue(first, w.clause);
+                    i += 1;
+                }
+            }
+            // Put back the (possibly shrunk) watch list, preserving any
+            // watchers appended to other lists during the scan.
+            let appended = std::mem::replace(&mut self.watches[p.index()], ws);
+            self.watches[p.index()].extend(appended);
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.var_inc;
+        if self.activity[v.0 as usize] > ACT_RESCALE {
+            for a in &mut self.activity {
+                *a /= ACT_RESCALE;
+            }
+            self.var_inc /= ACT_RESCALE;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc *= VAR_DECAY;
+    }
+
+    /// 1-UIP conflict analysis. Returns (learned clause, backtrack level).
+    /// The asserting literal is placed first in the learned clause.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let clause = &self.clauses[conflict as usize];
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..clause.lits.len() {
+                let q = clause.lits[k];
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.levels[v] > 0 {
+                    self.seen[v] = true;
+                    if self.levels[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Bump all vars in the conflict clause.
+            let vars: Vec<Var> = self.clauses[conflict as usize]
+                .lits
+                .iter()
+                .map(|l| l.var())
+                .collect();
+            for v in vars {
+                self.bump_var(v);
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().0 as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_idx];
+            let v = lit.var().0 as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            debug_assert_ne!(self.reasons[v], NO_REASON);
+            conflict = self.reasons[v];
+            p = Some(lit);
+        }
+        learned[0] = p.unwrap().neg();
+
+        // Backtrack level: second-highest level in the learned clause.
+        let bt_level = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.levels[learned[i].var().0 as usize]
+                    > self.levels[learned[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            self.levels[learned[1].var().0 as usize]
+        };
+
+        for l in &learned {
+            self.seen[l.var().0 as usize] = false;
+        }
+        (learned, bt_level)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.polarity[v.0 as usize] = l.positive();
+            self.assigns[v.0 as usize] = LBool::Undef;
+            self.reasons[v.0 as usize] = NO_REASON;
+            self.order.push(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.0 as usize] == LBool::Undef {
+                return Some(Lit::new(v, self.polarity[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    /// Luby restart sequence (0-indexed): 1, 1, 2, 1, 1, 2, 4, …
+    fn luby(i: u64) -> u64 {
+        let mut x = i + 1;
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < x {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == x {
+                return 1u64 << (k - 1);
+            }
+            x -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves under the given assumptions.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                // A conflict below or at the assumption prefix means the
+                // assumptions themselves are inconsistent with the clauses.
+                let (learned, bt) = self.analyze(conflict);
+                // Never backtrack into the middle of the assumption prefix
+                // without re-deciding assumptions: backtracking to `bt` is
+                // safe because the decision loop re-applies assumptions.
+                self.backtrack(bt);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let idx = self.attach_clause(learned);
+                    self.stats.learned += 1;
+                    self.enqueue(asserting, idx);
+                }
+                self.decay_activities();
+                if conflicts_this_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    conflicts_until_restart = 100 * Self::luby(restart_count);
+                    conflicts_this_restart = 0;
+                    self.backtrack(0);
+                }
+            } else {
+                // Apply pending assumptions as decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty decision level
+                            // so indices keep aligned with assumptions.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Assumption conflicts with current knowledge.
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut SatSolver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    fn pos(v: Var) -> Lit {
+        Lit::new(v, true)
+    }
+
+    fn neg(v: Var) -> Lit {
+        Lit::new(v, false)
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let v = Var(3);
+        let l = Lit::new(v, true);
+        assert_eq!(l.var(), v);
+        assert!(l.positive());
+        assert!(!l.neg().positive());
+        assert_eq!(l.neg().neg(), l);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[pos(v[0]), pos(v[1])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(v[0]) || s.value(v[1]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[pos(v[0])]);
+        assert!(!s.add_clause(&[neg(v[0])]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[pos(v[0])]);
+        s.add_clause(&[neg(v[0]), pos(v[1])]);
+        s.add_clause(&[neg(v[1]), pos(v[2])]);
+        s.add_clause(&[neg(v[2]), pos(v[3])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.value(v[3]));
+    }
+
+    #[test]
+    fn xor_chain_requires_search() {
+        // Encode x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1: unsatisfiable.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        let xor1 = |s: &mut SatSolver, a: Var, b: Var| {
+            s.add_clause(&[pos(a), pos(b)]);
+            s.add_clause(&[neg(a), neg(b)]);
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        xor1(&mut s, v[0], v[2]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[neg(v[0]), pos(v[1])]);
+        assert_eq!(s.solve(&[pos(v[0])]), SatResult::Sat);
+        assert!(s.value(v[1]));
+        s.add_clause(&[neg(v[0]), neg(v[1])]);
+        assert_eq!(s.solve(&[pos(v[0])]), SatResult::Unsat);
+        // Without the assumption the set stays satisfiable.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(!s.value(v[0]));
+    }
+
+    #[test]
+    fn conflicting_assumptions() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 1);
+        assert_eq!(s.solve(&[pos(v[0]), neg(v[0])]), SatResult::Unsat);
+        assert_eq!(s.solve(&[pos(v[0])]), SatResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes. Classic small hard instance.
+        let mut s = SatSolver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        // Each pigeon in some hole.
+        for row in &p {
+            s.add_clause(&[pos(row[0]), pos(row[1])]);
+        }
+        // No two pigeons share a hole.
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[neg(p[i][h]), neg(p[j][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = SatSolver::new();
+        let mut p = [[Var(0); 3]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[pos(row[0]), pos(row[1]), pos(row[2])]);
+        }
+        for h in 0..3 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[neg(p[i][h]), neg(p[j][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        // Verify it really is a matching.
+        for h in 0..3 {
+            let count = (0..3).filter(|&i| s.value(p[i][h])).count();
+            assert!(count <= 1);
+        }
+        for row in &p {
+            assert!(row.iter().any(|&v| s.value(v)));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[pos(v[0]), pos(v[0]), neg(v[1])]));
+        assert!(s.add_clause(&[pos(v[1]), neg(v[1])])); // tautology: ignored
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solver_is_reusable_across_queries() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[pos(v[0]), pos(v[1]), pos(v[2])]);
+        for _ in 0..10 {
+            assert_eq!(s.solve(&[neg(v[0]), neg(v[1])]), SatResult::Sat);
+            assert!(s.value(v[2]));
+            assert_eq!(s.solve(&[neg(v[2]), neg(v[1])]), SatResult::Sat);
+            assert!(s.value(v[0]));
+        }
+        assert_eq!(s.stats.solves, 20);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic pseudo-random 3-SAT instances near the phase
+        // transition; checks models returned on SAT answers.
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let n = 30;
+            let m = 120;
+            let mut s = SatSolver::new();
+            let vars = lits(&mut s, n);
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rng() % n as u64) as usize];
+                    let sign = rng() % 2 == 0;
+                    c.push(Lit::new(v, sign));
+                }
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve(&[]) == SatResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.value(l.var()) == l.positive()),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The incremental SMT façade: push / assert / check / model / pop.
+//!
+//! Frames use *activation literals*: every assertion in frame `i` is added
+//! as the clause `¬act_i ∨ assertion`, and `check` solves under the
+//! assumptions `{act_1, …, act_k}`. `pop` permanently falsifies the frame's
+//! activation literal, disabling its clauses while keeping everything the
+//! SAT engine learned about the rest — the incremental reuse the paper's
+//! early-termination optimization depends on (§3.2).
+
+use crate::blast::Blaster;
+use crate::sat::{Lit, SatResult, SatSolver};
+use crate::term::{TermId, TermPool, VarId};
+use meissa_num::Bv;
+use std::collections::HashMap;
+
+/// Result of an SMT check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckResult {
+    /// The asserted conjunction is satisfiable; a model is available.
+    Sat,
+    /// The asserted conjunction is unsatisfiable.
+    Unsat,
+}
+
+/// Counters describing solver work. The "number of SMT calls" series in the
+/// paper's Fig. 11b/12b is [`SolverStats::checks`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Total `check` invocations (every one counts, including those answered
+    /// by the constant-folding fast path).
+    pub checks: u64,
+    /// Checks answered without invoking the SAT engine (a frame asserted the
+    /// literal `false`, detected syntactically).
+    pub fast_path: u64,
+    /// Checks that reached the SAT engine.
+    pub sat_engine_calls: u64,
+    /// Sat answers.
+    pub sat: u64,
+    /// Unsat answers.
+    pub unsat: u64,
+    /// Current frame depth.
+    pub depth: u64,
+    /// Peak frame depth.
+    pub max_depth: u64,
+}
+
+struct Frame {
+    activation: Lit,
+    /// True if some assertion in this frame folded to the constant `false`.
+    poisoned: bool,
+}
+
+/// An incremental bitvector SMT solver.
+pub struct Solver {
+    sat: SatSolver,
+    blaster: Option<Blaster>, // lazily created so `Solver::new` needs no pool
+    frames: Vec<Frame>,
+    /// Model cache from the last Sat answer.
+    last_model: HashMap<VarId, Bv>,
+    /// Statistics.
+    pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with an empty assertion stack.
+    pub fn new() -> Self {
+        Solver {
+            sat: SatSolver::new(),
+            blaster: None,
+            frames: Vec::new(),
+            last_model: HashMap::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    fn blaster_mut(&mut self) -> (&mut Blaster, &mut SatSolver) {
+        if self.blaster.is_none() {
+            self.blaster = Some(Blaster::new(&mut self.sat));
+        }
+        (self.blaster.as_mut().unwrap(), &mut self.sat)
+    }
+
+    /// Opens a new assertion frame.
+    pub fn push(&mut self) {
+        let (_, sat) = self.blaster_mut();
+        let act = Lit::new(sat.new_var(), true);
+        self.frames.push(Frame {
+            activation: act,
+            poisoned: false,
+        });
+        self.stats.depth = self.frames.len() as u64;
+        self.stats.max_depth = self.stats.max_depth.max(self.stats.depth);
+    }
+
+    /// Discards the most recent frame and all its assertions.
+    ///
+    /// # Panics
+    /// Panics if no frame is open.
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        // Permanently disable this frame's guarded clauses.
+        self.sat.add_clause(&[frame.activation.neg()]);
+        self.stats.depth = self.frames.len() as u64;
+    }
+
+    /// Current frame depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Asserts a boolean term in the current frame.
+    ///
+    /// # Panics
+    /// Panics if no frame is open (assert into frame 0 is intentionally
+    /// unsupported: Meissa's executor always brackets assertions).
+    pub fn assert_term(&mut self, pool: &mut TermPool, t: TermId) {
+        assert!(
+            !self.frames.is_empty(),
+            "assert_term without an open frame; call push() first"
+        );
+        if let Some(b) = pool.as_bool_const(t) {
+            if !b {
+                self.frames.last_mut().unwrap().poisoned = true;
+            }
+            return;
+        }
+        let act = self.frames.last().unwrap().activation;
+        let (blaster, sat) = self.blaster_mut();
+        let lit = blaster.bool_lit(pool, sat, t);
+        sat.add_clause(&[act.neg(), lit]);
+    }
+
+    /// Checks satisfiability of the conjunction of all live assertions.
+    pub fn check(&mut self, pool: &mut TermPool) -> CheckResult {
+        self.stats.checks += 1;
+        if self.frames.iter().any(|f| f.poisoned) {
+            self.stats.fast_path += 1;
+            self.stats.unsat += 1;
+            return CheckResult::Unsat;
+        }
+        let assumptions: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
+        self.stats.sat_engine_calls += 1;
+        match self.sat.solve(&assumptions) {
+            SatResult::Sat => {
+                self.stats.sat += 1;
+                self.capture_model(pool);
+                CheckResult::Sat
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                CheckResult::Unsat
+            }
+        }
+    }
+
+    fn capture_model(&mut self, pool: &TermPool) {
+        self.last_model.clear();
+        if let Some(blaster) = &self.blaster {
+            for v in pool.all_vars() {
+                let w = pool.var_width(v);
+                if let Some(bv) = blaster.read_var(&self.sat, v, w) {
+                    self.last_model.insert(v, bv);
+                }
+            }
+        }
+    }
+
+    /// The model from the most recent `Sat` answer.
+    ///
+    /// Variables that never appeared in any asserted constraint are
+    /// unconstrained and default to zero.
+    pub fn model(&self, pool: &TermPool) -> Model {
+        let mut values = HashMap::new();
+        for v in pool.all_vars() {
+            let w = pool.var_width(v);
+            let bv = self.last_model.get(&v).copied().unwrap_or(Bv::zero(w));
+            values.insert(pool.var_name(v).to_string(), bv);
+        }
+        Model { values }
+    }
+
+    /// Underlying SAT statistics (propagations, conflicts, learned clauses).
+    pub fn sat_stats(&self) -> crate::sat::SatStats {
+        self.sat.stats
+    }
+}
+
+/// A satisfying assignment, keyed by variable name.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    values: HashMap<String, Bv>,
+}
+
+impl Model {
+    /// The value assigned to a variable, if the variable exists.
+    pub fn value_of(&self, name: &str) -> Option<Bv> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over all (name, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Bv)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Builds a model directly from (name, value) pairs (used by tests and
+    /// by the concrete-replay path of the test driver).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, Bv)>) -> Model {
+        Model {
+            values: pairs.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assert_check_pop_cycle() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.var("x", 8);
+        let k1 = pool.bv_const(Bv::new(8, 10));
+        let k2 = pool.bv_const(Bv::new(8, 20));
+
+        s.push();
+        let e1 = pool.eq(x, k1);
+        s.assert_term(&mut pool, e1);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_eq!(s.model(&pool).value_of("x"), Some(Bv::new(8, 10)));
+
+        // Nested frame contradicting the outer one.
+        s.push();
+        let e2 = pool.eq(x, k2);
+        s.assert_term(&mut pool, e2);
+        assert_eq!(s.check(&mut pool), CheckResult::Unsat);
+        s.pop();
+
+        // Outer frame is intact after the pop.
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.pop();
+    }
+
+    #[test]
+    fn popped_constraints_do_not_leak() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.var("x", 8);
+        let k = pool.bv_const(Bv::new(8, 1));
+
+        s.push();
+        let e = pool.eq(x, k);
+        s.assert_term(&mut pool, e);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.pop();
+
+        s.push();
+        let ne = pool.ne(x, k);
+        s.assert_term(&mut pool, ne);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_ne!(s.model(&pool).value_of("x"), Some(Bv::new(8, 1)));
+        s.pop();
+    }
+
+    #[test]
+    fn fast_path_on_constant_false() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        s.push();
+        let f = pool.bool_false();
+        s.assert_term(&mut pool, f);
+        assert_eq!(s.check(&mut pool), CheckResult::Unsat);
+        assert_eq!(s.stats.fast_path, 1);
+        assert_eq!(s.stats.sat_engine_calls, 0);
+        s.pop();
+        assert_eq!(s.check_empty_sat(&mut pool), CheckResult::Sat);
+    }
+
+    impl Solver {
+        fn check_empty_sat(&mut self, pool: &mut TermPool) -> CheckResult {
+            self.check(pool)
+        }
+    }
+
+    #[test]
+    fn deep_incremental_stack() {
+        // Mimics DFS early termination: a deep push/pop walk with checks at
+        // every level, like Alg. 1 exploring a branchy CFG.
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.var("x", 16);
+        for round in 0..3 {
+            let mut depth = 0;
+            for i in 0..20u16 {
+                s.push();
+                depth += 1;
+                // Constrain one nibble-slice per level; all consistent.
+                let lo = (i % 4) * 4;
+                let slice = pool.extract(x, lo, 4);
+                let k = pool.bv_const(Bv::new(4, (i % 16) as u128));
+                let e = pool.eq(slice, k);
+                s.assert_term(&mut pool, e);
+                let r = s.check(&mut pool);
+                // Conflicting nibble constraints appear when i and i+4 map
+                // to the same slice with different values.
+                if i >= 4 {
+                    assert_eq!(r, CheckResult::Unsat, "round {round} level {i}");
+                    break;
+                } else {
+                    assert_eq!(r, CheckResult::Sat);
+                }
+            }
+            for _ in 0..depth {
+                s.pop();
+            }
+        }
+        assert!(s.stats.checks >= 15);
+    }
+
+    #[test]
+    fn model_defaults_unconstrained_vars_to_zero() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.var("x", 8);
+        let _y = pool.var("unused", 32);
+        let k = pool.bv_const(Bv::new(8, 3));
+        s.push();
+        let e = pool.eq(x, k);
+        s.assert_term(&mut pool, e);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        let m = s.model(&pool);
+        assert_eq!(m.value_of("unused"), Some(Bv::zero(32)));
+        assert_eq!(m.value_of("x"), Some(Bv::new(8, 3)));
+        assert_eq!(m.value_of("missing"), None);
+    }
+
+    #[test]
+    fn stats_track_checks() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.var("x", 8);
+        let k = pool.bv_const(Bv::new(8, 7));
+        s.push();
+        let e = pool.eq(x, k);
+        s.assert_term(&mut pool, e);
+        for _ in 0..5 {
+            s.check(&mut pool);
+        }
+        s.pop();
+        assert_eq!(s.stats.checks, 5);
+        assert_eq!(s.stats.sat, 5);
+        assert_eq!(s.stats.max_depth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open frame")]
+    fn assert_without_push_panics() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let t = pool.bool_true();
+        s.assert_term(&mut pool, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unbalanced_pop_panics() {
+        let mut s = Solver::new();
+        s.pop();
+    }
+}

@@ -1,0 +1,913 @@
+//! Hash-consed terms over fixed-width bitvectors and booleans.
+//!
+//! Terms are interned in a [`TermPool`]: structurally equal terms share one
+//! [`TermId`], so the bit-blaster encodes each shared subterm exactly once
+//! and equality of ids is equality of terms. Smart constructors perform
+//! constant folding and cheap local rewrites — this is what lets the
+//! symbolic executor detect trivially-unsatisfiable branch prefixes without
+//! touching the SAT engine at all.
+
+use meissa_num::Bv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned term handle. Cheap to copy; meaningful only with its pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Dense index of the term within its pool (for side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A solver variable handle (a named bitvector input).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub(crate) u32);
+
+/// Binary bitvector operators with bitvector result.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BvBinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// Binary bitvector comparators with boolean result.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+}
+
+/// The term node structure. `TermId` operands refer back into the pool.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermNode {
+    /// A bitvector constant.
+    BvConst(Bv),
+    /// A named input variable.
+    BvVar(VarId),
+    /// A binary bitvector operation (both operands same width).
+    BvBin(BvBinOp, TermId, TermId),
+    /// Bitwise NOT.
+    BvNot(TermId),
+    /// Logical shift left by a constant.
+    BvShl(TermId, u16),
+    /// Logical shift right by a constant.
+    BvShr(TermId, u16),
+    /// Bit extraction `[lo, lo+len)`.
+    BvExtract(TermId, u16, u16),
+    /// Concatenation (first operand is the high bits).
+    BvConcat(TermId, TermId),
+    /// `if cond { then } else { els }` over bitvectors.
+    BvIte(TermId, TermId, TermId),
+    /// A comparison producing a boolean.
+    Cmp(CmpOp, TermId, TermId),
+    /// A boolean constant.
+    BoolConst(bool),
+    /// Boolean conjunction.
+    BoolAnd(TermId, TermId),
+    /// Boolean disjunction.
+    BoolOr(TermId, TermId),
+    /// Boolean negation.
+    BoolNot(TermId),
+}
+
+/// Sort of a term: boolean or bitvector of a width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Bitvector sort with width in bits.
+    Bv(u16),
+}
+
+struct VarInfo {
+    name: String,
+    width: u16,
+}
+
+/// The interning pool for terms and variables.
+#[derive(Default)]
+pub struct TermPool {
+    nodes: Vec<TermNode>,
+    sorts: Vec<Sort>,
+    intern: HashMap<TermNode, TermId>,
+    vars: Vec<VarInfo>,
+    var_by_name: HashMap<String, VarId>,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks at a term's node.
+    pub fn node(&self, t: TermId) -> &TermNode {
+        &self.nodes[t.0 as usize]
+    }
+
+    /// A term's sort.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.sorts[t.0 as usize]
+    }
+
+    /// A term's bitvector width.
+    ///
+    /// # Panics
+    /// Panics if the term is boolean.
+    pub fn width(&self, t: TermId) -> u16 {
+        match self.sort(t) {
+            Sort::Bv(w) => w,
+            Sort::Bool => panic!("width() on boolean term"),
+        }
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0 as usize].name
+    }
+
+    /// The declared width of a variable.
+    pub fn var_width(&self, v: VarId) -> u16 {
+        self.vars[v.0 as usize].width
+    }
+
+    /// All declared variables.
+    pub fn all_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Looks up a variable by name.
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.var_by_name.get(name).copied()
+    }
+
+    fn mk(&mut self, node: TermNode, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.sorts.push(sort);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// Declares (or retrieves) a named variable term of the given width.
+    ///
+    /// # Panics
+    /// Panics if the name was previously declared with a different width.
+    pub fn var(&mut self, name: &str, width: u16) -> TermId {
+        let vid = if let Some(&v) = self.var_by_name.get(name) {
+            assert_eq!(
+                self.vars[v.0 as usize].width, width,
+                "variable {name} redeclared with different width"
+            );
+            v
+        } else {
+            let v = VarId(self.vars.len() as u32);
+            self.vars.push(VarInfo {
+                name: name.to_string(),
+                width,
+            });
+            self.var_by_name.insert(name.to_string(), v);
+            v
+        };
+        self.mk(TermNode::BvVar(vid), Sort::Bv(width))
+    }
+
+    /// A bitvector constant term.
+    pub fn bv_const(&mut self, v: Bv) -> TermId {
+        let w = v.width();
+        self.mk(TermNode::BvConst(v), Sort::Bv(w))
+    }
+
+    /// The boolean constant `true`.
+    pub fn bool_true(&mut self) -> TermId {
+        self.mk(TermNode::BoolConst(true), Sort::Bool)
+    }
+
+    /// The boolean constant `false`.
+    pub fn bool_false(&mut self) -> TermId {
+        self.mk(TermNode::BoolConst(false), Sort::Bool)
+    }
+
+    /// A boolean constant of the given value.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.mk(TermNode::BoolConst(b), Sort::Bool)
+    }
+
+    /// If the term is a constant bitvector, its value.
+    pub fn as_const(&self, t: TermId) -> Option<Bv> {
+        match self.node(t) {
+            TermNode::BvConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// If the term is a constant boolean, its value.
+    pub fn as_bool_const(&self, t: TermId) -> Option<bool> {
+        match self.node(t) {
+            TermNode::BoolConst(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn bin(&mut self, op: BvBinOp, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b), "width mismatch in {op:?}");
+        // Constant folding.
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            let r = match op {
+                BvBinOp::Add => x.add(&y),
+                BvBinOp::Sub => x.sub(&y),
+                BvBinOp::And => x.and(&y),
+                BvBinOp::Or => x.or(&y),
+                BvBinOp::Xor => x.xor(&y),
+            };
+            return self.bv_const(r);
+        }
+        // Identity rewrites.
+        match op {
+            BvBinOp::Add => {
+                if self.is_zero_const(a) {
+                    return b;
+                }
+                if self.is_zero_const(b) {
+                    return a;
+                }
+            }
+            BvBinOp::Sub => {
+                if self.is_zero_const(b) {
+                    return a;
+                }
+                if a == b {
+                    return self.bv_const(Bv::zero(w));
+                }
+            }
+            BvBinOp::And => {
+                if self.is_zero_const(a) || self.is_zero_const(b) {
+                    return self.bv_const(Bv::zero(w));
+                }
+                if self.is_ones_const(a) {
+                    return b;
+                }
+                if self.is_ones_const(b) {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BvBinOp::Or => {
+                if self.is_zero_const(a) {
+                    return b;
+                }
+                if self.is_zero_const(b) {
+                    return a;
+                }
+                if self.is_ones_const(a) || self.is_ones_const(b) {
+                    return self.bv_const(Bv::ones(w));
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BvBinOp::Xor => {
+                if self.is_zero_const(a) {
+                    return b;
+                }
+                if self.is_zero_const(b) {
+                    return a;
+                }
+                if a == b {
+                    return self.bv_const(Bv::zero(w));
+                }
+            }
+        }
+        self.mk(TermNode::BvBin(op, a, b), Sort::Bv(w))
+    }
+
+    fn is_zero_const(&self, t: TermId) -> bool {
+        matches!(self.node(t), TermNode::BvConst(v) if v.is_zero())
+    }
+
+    fn is_ones_const(&self, t: TermId) -> bool {
+        matches!(self.node(t), TermNode::BvConst(v) if *v == Bv::ones(v.width()))
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BvBinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BvBinOp::Sub, a, b)
+    }
+
+    /// Bitwise AND.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BvBinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BvBinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BvBinOp::Xor, a, b)
+    }
+
+    /// Bitwise NOT.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_const(a) {
+            return self.bv_const(v.not());
+        }
+        if let TermNode::BvNot(inner) = *self.node(a) {
+            return inner;
+        }
+        let w = self.width(a);
+        self.mk(TermNode::BvNot(a), Sort::Bv(w))
+    }
+
+    /// Logical shift left by a constant.
+    pub fn shl(&mut self, a: TermId, amount: u16) -> TermId {
+        if amount == 0 {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.bv_const(v.shl(amount as u32));
+        }
+        let w = self.width(a);
+        if amount >= w {
+            return self.bv_const(Bv::zero(w));
+        }
+        self.mk(TermNode::BvShl(a, amount), Sort::Bv(w))
+    }
+
+    /// Logical shift right by a constant.
+    pub fn shr(&mut self, a: TermId, amount: u16) -> TermId {
+        if amount == 0 {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.bv_const(v.shr(amount as u32));
+        }
+        let w = self.width(a);
+        if amount >= w {
+            return self.bv_const(Bv::zero(w));
+        }
+        self.mk(TermNode::BvShr(a, amount), Sort::Bv(w))
+    }
+
+    /// Bit extraction `[lo, lo+len)`.
+    pub fn extract(&mut self, a: TermId, lo: u16, len: u16) -> TermId {
+        let w = self.width(a);
+        assert!(lo + len <= w, "extract out of range");
+        if lo == 0 && len == w {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.bv_const(v.extract(lo, len));
+        }
+        self.mk(TermNode::BvExtract(a, lo, len), Sort::Bv(len))
+    }
+
+    /// Concatenation (`hi` supplies the high bits).
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let w = self.width(hi) + self.width(lo);
+        assert!(w <= Bv::MAX_WIDTH, "concat width exceeds 128");
+        if let (Some(a), Some(b)) = (self.as_const(hi), self.as_const(lo)) {
+            return self.bv_const(a.concat(&b));
+        }
+        self.mk(TermNode::BvConcat(hi, lo), Sort::Bv(w))
+    }
+
+    /// Zero-extends or truncates `a` to `width`.
+    pub fn resize(&mut self, a: TermId, width: u16) -> TermId {
+        let w = self.width(a);
+        if width == w {
+            a
+        } else if width < w {
+            self.extract(a, 0, width)
+        } else {
+            let zero = self.bv_const(Bv::zero(width - w));
+            self.concat(zero, a)
+        }
+    }
+
+    /// Bitvector if-then-else.
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        assert_eq!(self.sort(cond), Sort::Bool, "ite condition must be boolean");
+        let w = self.width(then);
+        assert_eq!(w, self.width(els), "ite arm width mismatch");
+        if let Some(b) = self.as_bool_const(cond) {
+            return if b { then } else { els };
+        }
+        if then == els {
+            return then;
+        }
+        self.mk(TermNode::BvIte(cond, then, els), Sort::Bv(w))
+    }
+
+    /// Equality comparison.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.width(a), self.width(b), "width mismatch in eq");
+        if a == b {
+            return self.bool_true();
+        }
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.bool_const(x == y);
+        }
+        // Canonical operand order so `eq(a, b)` and `eq(b, a)` intern equal.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(TermNode::Cmp(CmpOp::Eq, a, b), Sort::Bool)
+    }
+
+    /// Disequality (sugar for `not(eq)`).
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.width(a), self.width(b), "width mismatch in ult");
+        if a == b {
+            return self.bool_false();
+        }
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.bool_const(x.ult(&y));
+        }
+        if self.is_zero_const(b) {
+            return self.bool_false(); // nothing is < 0
+        }
+        self.mk(TermNode::Cmp(CmpOp::Ult, a, b), Sort::Bool)
+    }
+
+    /// Unsigned greater-than (sugar).
+    pub fn ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ult(b, a)
+    }
+
+    /// Unsigned less-or-equal (sugar for `not(b < a)`).
+    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+        let gt = self.ult(b, a);
+        self.not(gt)
+    }
+
+    /// Unsigned greater-or-equal (sugar).
+    pub fn uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.ule(b, a)
+    }
+
+    /// Boolean conjunction.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.bool_false(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        // x ∧ ¬x = false
+        if self.is_negation_of(a, b) {
+            return self.bool_false();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(TermNode::BoolAnd(a, b), Sort::Bool)
+    }
+
+    /// Boolean disjunction.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.bool_true(),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.is_negation_of(a, b) {
+            return self.bool_true();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(TermNode::BoolOr(a, b), Sort::Bool)
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        if let Some(b) = self.as_bool_const(a) {
+            return self.bool_const(!b);
+        }
+        if let TermNode::BoolNot(inner) = *self.node(a) {
+            return inner;
+        }
+        self.mk(TermNode::BoolNot(a), Sort::Bool)
+    }
+
+    fn is_negation_of(&self, a: TermId, b: TermId) -> bool {
+        matches!(self.node(a), TermNode::BoolNot(x) if *x == b)
+            || matches!(self.node(b), TermNode::BoolNot(x) if *x == a)
+    }
+
+    /// Conjunction over a slice (true for an empty slice).
+    pub fn and_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_true();
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Disjunction over a slice (false for an empty slice).
+    pub fn or_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_false();
+        for &t in terms {
+            acc = self.or(acc, t);
+        }
+        acc
+    }
+
+    /// Evaluates a term under a full assignment of variables to values.
+    /// Used by tests and by the template instantiation hash post-filter.
+    ///
+    /// Returns `None` if a variable required by the term has no assignment.
+    pub fn eval(&self, t: TermId, env: &dyn Fn(VarId) -> Option<Bv>) -> Option<EvalValue> {
+        match self.node(t) {
+            TermNode::BvConst(v) => Some(EvalValue::Bv(*v)),
+            TermNode::BvVar(v) => env(*v).map(EvalValue::Bv),
+            TermNode::BvBin(op, a, b) => {
+                let x = self.eval(*a, env)?.bv();
+                let y = self.eval(*b, env)?.bv();
+                Some(EvalValue::Bv(match op {
+                    BvBinOp::Add => x.add(&y),
+                    BvBinOp::Sub => x.sub(&y),
+                    BvBinOp::And => x.and(&y),
+                    BvBinOp::Or => x.or(&y),
+                    BvBinOp::Xor => x.xor(&y),
+                }))
+            }
+            TermNode::BvNot(a) => Some(EvalValue::Bv(self.eval(*a, env)?.bv().not())),
+            TermNode::BvShl(a, n) => Some(EvalValue::Bv(self.eval(*a, env)?.bv().shl(*n as u32))),
+            TermNode::BvShr(a, n) => Some(EvalValue::Bv(self.eval(*a, env)?.bv().shr(*n as u32))),
+            TermNode::BvExtract(a, lo, len) => {
+                Some(EvalValue::Bv(self.eval(*a, env)?.bv().extract(*lo, *len)))
+            }
+            TermNode::BvConcat(a, b) => {
+                let x = self.eval(*a, env)?.bv();
+                let y = self.eval(*b, env)?.bv();
+                Some(EvalValue::Bv(x.concat(&y)))
+            }
+            TermNode::BvIte(c, a, b) => {
+                if self.eval(*c, env)?.bool() {
+                    self.eval(*a, env)
+                } else {
+                    self.eval(*b, env)
+                }
+            }
+            TermNode::Cmp(op, a, b) => {
+                let x = self.eval(*a, env)?.bv();
+                let y = self.eval(*b, env)?.bv();
+                Some(EvalValue::Bool(match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ult => x.ult(&y),
+                }))
+            }
+            TermNode::BoolConst(b) => Some(EvalValue::Bool(*b)),
+            TermNode::BoolAnd(a, b) => Some(EvalValue::Bool(
+                self.eval(*a, env)?.bool() && self.eval(*b, env)?.bool(),
+            )),
+            TermNode::BoolOr(a, b) => Some(EvalValue::Bool(
+                self.eval(*a, env)?.bool() || self.eval(*b, env)?.bool(),
+            )),
+            TermNode::BoolNot(a) => Some(EvalValue::Bool(!self.eval(*a, env)?.bool())),
+        }
+    }
+
+    /// Pretty-prints a term for diagnostics.
+    pub fn display(&self, t: TermId) -> String {
+        let mut s = String::new();
+        self.fmt_term(t, &mut s);
+        s
+    }
+
+    fn fmt_term(&self, t: TermId, out: &mut String) {
+        use fmt::Write;
+        match self.node(t) {
+            TermNode::BvConst(v) => {
+                let _ = write!(out, "{v}");
+            }
+            TermNode::BvVar(v) => out.push_str(self.var_name(*v)),
+            TermNode::BvBin(op, a, b) => {
+                let sym = match op {
+                    BvBinOp::Add => "+",
+                    BvBinOp::Sub => "-",
+                    BvBinOp::And => "&",
+                    BvBinOp::Or => "|",
+                    BvBinOp::Xor => "^",
+                };
+                out.push('(');
+                self.fmt_term(*a, out);
+                let _ = write!(out, " {sym} ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::BvNot(a) => {
+                out.push('~');
+                self.fmt_term(*a, out);
+            }
+            TermNode::BvShl(a, n) => {
+                out.push('(');
+                self.fmt_term(*a, out);
+                let _ = write!(out, " << {n})");
+            }
+            TermNode::BvShr(a, n) => {
+                out.push('(');
+                self.fmt_term(*a, out);
+                let _ = write!(out, " >> {n})");
+            }
+            TermNode::BvExtract(a, lo, len) => {
+                self.fmt_term(*a, out);
+                let _ = write!(out, "[{}:{}]", lo + len - 1, lo);
+            }
+            TermNode::BvConcat(a, b) => {
+                out.push('(');
+                self.fmt_term(*a, out);
+                out.push_str(" ++ ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::BvIte(c, a, b) => {
+                out.push_str("ite(");
+                self.fmt_term(*c, out);
+                out.push_str(", ");
+                self.fmt_term(*a, out);
+                out.push_str(", ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ult => "<",
+                };
+                out.push('(');
+                self.fmt_term(*a, out);
+                let _ = write!(out, " {sym} ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::BoolConst(b) => {
+                let _ = write!(out, "{b}");
+            }
+            TermNode::BoolAnd(a, b) => {
+                out.push('(');
+                self.fmt_term(*a, out);
+                out.push_str(" && ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::BoolOr(a, b) => {
+                out.push('(');
+                self.fmt_term(*a, out);
+                out.push_str(" || ");
+                self.fmt_term(*b, out);
+                out.push(')');
+            }
+            TermNode::BoolNot(a) => {
+                out.push('!');
+                self.fmt_term(*a, out);
+            }
+        }
+    }
+}
+
+/// Result of concrete term evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalValue {
+    /// A bitvector result.
+    Bv(Bv),
+    /// A boolean result.
+    Bool(bool),
+}
+
+impl EvalValue {
+    /// Unwraps the bitvector value.
+    pub fn bv(self) -> Bv {
+        match self {
+            EvalValue::Bv(v) => v,
+            EvalValue::Bool(_) => panic!("expected bitvector, got bool"),
+        }
+    }
+
+    /// Unwraps the boolean value.
+    pub fn bool(self) -> bool {
+        match self {
+            EvalValue::Bool(b) => b,
+            EvalValue::Bv(_) => panic!("expected bool, got bitvector"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> TermPool {
+        TermPool::new()
+    }
+
+    #[test]
+    fn interning_shares_structure() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let c1 = p.bv_const(Bv::new(8, 5));
+        let c2 = p.bv_const(Bv::new(8, 5));
+        assert_eq!(c1, c2);
+        let a1 = p.add(x, c1);
+        let a2 = p.add(x, c2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn constant_folding_arith() {
+        let mut p = pool();
+        let a = p.bv_const(Bv::new(8, 250));
+        let b = p.bv_const(Bv::new(8, 10));
+        let s = p.add(a, b);
+        assert_eq!(p.as_const(s), Some(Bv::new(8, 4)));
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let mut p = pool();
+        let x = p.var("x", 16);
+        let zero = p.bv_const(Bv::zero(16));
+        let ones = p.bv_const(Bv::ones(16));
+        let a1 = p.add(x, zero);
+        assert_eq!(a1, x);
+        let a2 = p.bv_or(x, zero);
+        assert_eq!(a2, x);
+        let a3 = p.bv_and(x, ones);
+        assert_eq!(a3, x);
+        let and0 = p.bv_and(x, zero);
+        assert_eq!(p.as_const(and0), Some(Bv::zero(16)));
+        let subxx = p.sub(x, x);
+        assert_eq!(p.as_const(subxx), Some(Bv::zero(16)));
+        let xorxx = p.bv_xor(x, x);
+        assert_eq!(p.as_const(xorxx), Some(Bv::zero(16)));
+    }
+
+    #[test]
+    fn bool_simplification() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let e = p.eq(x, y);
+        let t = p.bool_true();
+        let f = p.bool_false();
+        let r1 = p.and(e, t);
+        assert_eq!(r1, e);
+        let r2 = p.and(e, f);
+        assert_eq!(r2, f);
+        let r3 = p.or(e, f);
+        assert_eq!(r3, e);
+        let r4 = p.or(e, t);
+        assert_eq!(r4, t);
+        let ne = p.not(e);
+        let r5 = p.and(e, ne);
+        assert_eq!(r5, f);
+        let r6 = p.or(e, ne);
+        assert_eq!(r6, t);
+        let r7 = p.not(ne);
+        assert_eq!(r7, e);
+    }
+
+    #[test]
+    fn eq_is_canonicalized() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let e1 = p.eq(x, y);
+        let e2 = p.eq(y, x);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn eq_on_same_term_is_true() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let k = p.bv_const(Bv::new(8, 1));
+        let e = p.add(x, k);
+        let e2 = p.add(x, k);
+        let same = p.eq(e, e2);
+        assert_eq!(p.as_bool_const(same), Some(true));
+    }
+
+    #[test]
+    fn ult_folds() {
+        let mut p = pool();
+        let a = p.bv_const(Bv::new(8, 3));
+        let b = p.bv_const(Bv::new(8, 9));
+        let lt = p.ult(a, b);
+        assert_eq!(p.as_bool_const(lt), Some(true));
+        let gt = p.ult(b, a);
+        assert_eq!(p.as_bool_const(gt), Some(false));
+        let x = p.var("x", 8);
+        let zero = p.bv_const(Bv::zero(8));
+        let ltz = p.ult(x, zero);
+        assert_eq!(p.as_bool_const(ltz), Some(false));
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let mut p = pool();
+        let a = p.bv_const(Bv::new(8, 0xab));
+        let wide = p.resize(a, 16);
+        assert_eq!(p.as_const(wide), Some(Bv::new(16, 0xab)));
+        let narrow = p.resize(a, 4);
+        assert_eq!(p.as_const(narrow), Some(Bv::new(4, 0xb)));
+    }
+
+    #[test]
+    fn ite_folds_on_const_condition() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let t = p.bool_true();
+        let f = p.bool_false();
+        let i1 = p.ite(t, x, y);
+        assert_eq!(i1, x);
+        let i2 = p.ite(f, x, y);
+        assert_eq!(i2, y);
+        let c = p.eq(x, y);
+        let i3 = p.ite(c, x, x);
+        assert_eq!(i3, x);
+    }
+
+    #[test]
+    fn eval_matches_construction() {
+        let mut p = pool();
+        let x = p.var("x", 8);
+        let k = p.bv_const(Bv::new(8, 100));
+        let sum = p.add(x, k);
+        let cond = p.ugt(sum, k);
+        let env = |v: VarId| {
+            if p.var_name(v) == "x" {
+                Some(Bv::new(8, 1))
+            } else {
+                None
+            }
+        };
+        assert_eq!(p.eval(sum, &env), Some(EvalValue::Bv(Bv::new(8, 101))));
+        assert_eq!(p.eval(cond, &env), Some(EvalValue::Bool(true)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut p = pool();
+        let x = p.var("dstIP", 32);
+        let k = p.bv_const(Bv::new(32, 0x0a000001));
+        let e = p.eq(x, k);
+        let s = p.display(e);
+        assert!(s.contains("dstIP"), "{s}");
+        assert!(s.contains("=="), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared")]
+    fn var_width_conflict_panics() {
+        let mut p = pool();
+        p.var("x", 8);
+        p.var("x", 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the SMT solver: on randomly generated bitvector
+//! formulas, (i) every `Sat` answer's model actually satisfies the formula
+//! under concrete evaluation, and (ii) for tiny variable domains the
+//! solver's verdict agrees with brute-force enumeration.
+
+use meissa_num::Bv;
+use meissa_smt::term::EvalValue;
+use meissa_smt::{CheckResult, Solver, TermId, TermPool, VarId};
+use proptest::prelude::*;
+
+/// A recipe for one random term over two 4-bit variables.
+#[derive(Debug, Clone)]
+enum Node {
+    VarX,
+    VarY,
+    Const(u8),
+    Add(Box<Node>, Box<Node>),
+    Sub(Box<Node>, Box<Node>),
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Xor(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+}
+
+#[derive(Debug, Clone)]
+enum Formula {
+    Eq(Node, Node),
+    Ult(Node, Node),
+    FAnd(Box<Formula>, Box<Formula>),
+    FOr(Box<Formula>, Box<Formula>),
+    FNot(Box<Formula>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        Just(Node::VarX),
+        Just(Node::VarY),
+        (0u8..16).prop_map(Node::Const),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Xor(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Node::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        (node_strategy(), node_strategy()).prop_map(|(a, b)| Formula::Eq(a, b)),
+        (node_strategy(), node_strategy()).prop_map(|(a, b)| Formula::Ult(a, b)),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::FAnd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::FOr(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Formula::FNot(Box::new(a))),
+        ]
+    })
+}
+
+fn build_node(pool: &mut TermPool, n: &Node) -> TermId {
+    match n {
+        Node::VarX => pool.var("x", 4),
+        Node::VarY => pool.var("y", 4),
+        Node::Const(c) => pool.bv_const(Bv::new(4, *c as u128)),
+        Node::Add(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.add(a, b)
+        }
+        Node::Sub(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.sub(a, b)
+        }
+        Node::And(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.bv_and(a, b)
+        }
+        Node::Or(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.bv_or(a, b)
+        }
+        Node::Xor(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.bv_xor(a, b)
+        }
+        Node::Not(a) => {
+            let a = build_node(pool, a);
+            pool.bv_not(a)
+        }
+    }
+}
+
+fn build_formula(pool: &mut TermPool, f: &Formula) -> TermId {
+    match f {
+        Formula::Eq(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.eq(a, b)
+        }
+        Formula::Ult(a, b) => {
+            let (a, b) = (build_node(pool, a), build_node(pool, b));
+            pool.ult(a, b)
+        }
+        Formula::FAnd(a, b) => {
+            let (a, b) = (build_formula(pool, a), build_formula(pool, b));
+            pool.and(a, b)
+        }
+        Formula::FOr(a, b) => {
+            let (a, b) = (build_formula(pool, a), build_formula(pool, b));
+            pool.or(a, b)
+        }
+        Formula::FNot(a) => {
+            let a = build_formula(pool, a);
+            pool.not(a)
+        }
+    }
+}
+
+fn eval_under(pool: &TermPool, t: TermId, x: u128, y: u128) -> bool {
+    let env = |v: VarId| match pool.var_name(v) {
+        "x" => Some(Bv::new(4, x)),
+        "y" => Some(Bv::new(4, y)),
+        _ => None,
+    };
+    match pool.eval(t, &env) {
+        Some(EvalValue::Bool(b)) => b,
+        other => panic!("expected boolean evaluation, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On Sat, the extracted model satisfies the formula; on Unsat, no
+    /// (x, y) ∈ 16×16 satisfies it.
+    #[test]
+    fn solver_agrees_with_brute_force(f in formula_strategy()) {
+        let mut pool = TermPool::new();
+        // Force both variables to exist so models always carry them.
+        pool.var("x", 4);
+        pool.var("y", 4);
+        let t = build_formula(&mut pool, &f);
+
+        let mut solver = Solver::new();
+        solver.push();
+        solver.assert_term(&mut pool, t);
+        let verdict = solver.check(&mut pool);
+
+        let brute = (0u128..16)
+            .flat_map(|x| (0u128..16).map(move |y| (x, y)))
+            .find(|&(x, y)| eval_under(&pool, t, x, y));
+
+        match verdict {
+            CheckResult::Sat => {
+                let m = solver.model(&pool);
+                let x = m.value_of("x").unwrap().val();
+                let y = m.value_of("y").unwrap().val();
+                prop_assert!(
+                    eval_under(&pool, t, x, y),
+                    "model (x={x}, y={y}) must satisfy the formula"
+                );
+                prop_assert!(brute.is_some(), "brute force agrees Sat");
+            }
+            CheckResult::Unsat => {
+                prop_assert!(brute.is_none(), "brute force agrees Unsat");
+            }
+        }
+    }
+
+    /// Push/pop leaves earlier frames intact: asserting a random formula in
+    /// a nested frame and popping restores the outer verdict.
+    #[test]
+    fn push_pop_isolation(f in formula_strategy(), g in formula_strategy()) {
+        let mut pool = TermPool::new();
+        pool.var("x", 4);
+        pool.var("y", 4);
+        let tf = build_formula(&mut pool, &f);
+        let tg = build_formula(&mut pool, &g);
+
+        let mut solver = Solver::new();
+        solver.push();
+        solver.assert_term(&mut pool, tf);
+        let before = solver.check(&mut pool);
+        solver.push();
+        solver.assert_term(&mut pool, tg);
+        let _ = solver.check(&mut pool);
+        solver.pop();
+        let after = solver.check(&mut pool);
+        prop_assert_eq!(before, after, "outer frame verdict must be stable");
+    }
+}

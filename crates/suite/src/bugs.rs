@@ -1,0 +1,621 @@
+//! The Table 2 bug corpus: sixteen representative bugs.
+//!
+//! Six **code bugs** (1–6) are defects in the program source or its
+//! installed rules: the compiled target is faithful, but behaviour violates
+//! an intent (or the deparser omits a reachable header). Ten **non-code
+//! bugs** (7–16) pair a *correct* source with an injected backend
+//! [`Fault`] — toolchain defects invisible to any source-level analysis.
+//!
+//! Bug programs are sized to reproduce the paper's tool matrix honestly:
+//! bugs 3/4/7/8 live in a tiny table-free program (the class p4pktgen can
+//! handle), bugs 9–11 in a small program using `setValid`/hash (features
+//! p4pktgen's subset lacks, per §8), and bugs 6/12–16 in the two-pipeline
+//! elastic-IP gateway (production-shaped; too complex for Gauntlet's
+//! model-based mode, per §6).
+
+use crate::Workload;
+use meissa_dataplane::Fault;
+
+/// Code bug vs non-code bug (Table 2's two sections).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BugKind {
+    /// A defect in the P4 source or rule set.
+    Code,
+    /// A toolchain defect: correct source, faulty compiled target.
+    NonCode,
+}
+
+/// Column order of the Table 2 tool matrix.
+pub const TOOLS: [&str; 5] = ["Meissa", "p4pktgen", "PTA", "Gauntlet", "Aquila"];
+
+/// One Table 2 row.
+pub struct BugCase {
+    /// Paper index (1–16).
+    pub index: usize,
+    /// Paper row label.
+    pub name: &'static str,
+    /// Code or non-code.
+    pub kind: BugKind,
+    /// The program (+ rules) under test.
+    pub workload: Workload,
+    /// Backend fault to inject (`Fault::None` for code bugs).
+    pub fault: Fault,
+    /// The paper's reported detections, in [`TOOLS`] order.
+    pub paper: [bool; 5],
+}
+
+/// Tiny table-free program: parser + straight control logic. The class of
+/// program p4pktgen fully supports.
+const TINY: &str = r#"
+header ethernet { dst_addr: 48; src_addr: 48; ether_type: 16; }
+header ipv4 {
+  version: 4; ihl: 4; dscp: 6; ecn: 2; total_len: 16;
+  ttl: 8; protocol: 8; checksum: 16; src_addr: 32; dst_addr: 32;
+}
+header snap { code: 16; }
+metadata meta { egress_port: 9; drop: 1; seen_v4: 1; }
+parser tiny_parser {
+  state start {
+    extract(ethernet);
+    select (hdr.ethernet.ether_type) {
+      0x0800 => parse_ipv4;
+      0x0800 &&& 0xfc00 => parse_snap;
+      default => accept;
+    }
+  }
+  state parse_ipv4 { extract(ipv4); accept; }
+  state parse_snap { extract(snap); accept; }
+}
+action mark_v4() { meta.seen_v4 = 1; hdr.ipv4.dscp = 0x2e; meta.egress_port = 2; }
+action pass_other() { meta.egress_port = 1; }
+action drop_() { meta.drop = 1; }
+control tiny_ctl {
+  if (hdr.ipv4.isValid()) {
+    call mark_v4();
+    if (hdr.ipv4.ttl < 1) {
+      call drop_();
+    }
+  } else {
+    call pass_other();
+  }
+}
+pipeline main { parser = tiny_parser; control = tiny_ctl; }
+deparser { emit(ethernet); emit(snap); emit(ipv4); }
+intent v4_is_marked {
+  given hdr.ethernet.ether_type == 0x0800;
+  expect meta.drop == 1 || meta.seen_v4 == 1;
+}
+intent something_egresses {
+  given true;
+  expect meta.drop == 1 || meta.egress_port != 0;
+}
+"#;
+
+/// Small program exercising `setValid` and hashing — features p4pktgen's
+/// subset lacks, while Gauntlet's model-based testing handles them.
+const SMALLX: &str = r#"
+header ethernet { dst_addr: 48; src_addr: 48; ether_type: 16; }
+header ipv4 {
+  version: 4; ihl: 4; diffserv: 8; total_len: 16;
+  ttl: 8; protocol: 8; checksum: 16; src_addr: 32; dst_addr: 32;
+}
+header tcp { src_port: 16; dst_port: 16; }
+header probe { tag: 16; nonce: 16; }
+metadata meta { egress_port: 9; drop: 1; }
+parser sx_parser {
+  state start {
+    extract(ethernet);
+    select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    select (hdr.ipv4.protocol) { 6 => parse_tcp; default => accept; }
+  }
+  state parse_tcp { extract(tcp); accept; }
+}
+action attach_probe() {
+  hdr.probe.setValid();
+  hdr.probe.tag = 0xbeef;
+  hdr.probe.nonce = hash(crc16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr);
+  meta.egress_port = 3;
+}
+action plain_forward() { meta.egress_port = 1; }
+action rewrite_src(v: 32) { hdr.ipv4.src_addr = v; }
+action drop_() { meta.drop = 1; }
+control sx_ctl {
+  if (hdr.tcp.isValid()) {
+    if (hdr.tcp.dst_port < 4096) {
+      call attach_probe();
+      call rewrite_src(0x0a0a0a0a);
+    } else {
+      call plain_forward();
+    }
+  } else {
+    if (hdr.ipv4.isValid()) {
+      call plain_forward();
+    } else {
+      call drop_();
+    }
+  }
+}
+pipeline main { parser = sx_parser; control = sx_ctl; }
+deparser { emit(ethernet); emit(ipv4); emit(tcp); emit(probe); }
+intent probes_reach_wire {
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.protocol == 6 && hdr.tcp.dst_port == 80;
+  expect meta.drop == 1 || hdr.probe.$valid == 1;
+}
+intent port_boundary_probe {
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.protocol == 6 && hdr.tcp.dst_port == 4096;
+  expect true;
+}
+"#;
+
+/// The two-pipeline elastic-IP gateway (§6's product shape): ACL + EIP
+/// lookup in the ingress pipe, VXLAN encapsulation with inner-header copies
+/// and checksum update in the egress pipe.
+fn eipgw_source(bug6_forget_inner_tcp: bool, bug4_invert_encap_guard: bool) -> String {
+    let inner_tcp_validate = if bug6_forget_inner_tcp {
+        // §6: "our engineers forgot to parse inner TCP in the egress
+        // pipeline, so inner TCP would never be valid".
+        ""
+    } else {
+        "hdr.inner_tcp.setValid();"
+    };
+    let encap_guard = if bug4_invert_encap_guard {
+        "meta.do_encap == 0"
+    } else {
+        "meta.do_encap == 1"
+    };
+    format!(
+        r#"
+header ethernet {{ dst_addr: 48; src_addr: 48; ether_type: 16; }}
+header ipv4 {{
+  version: 4; ihl: 4; dscp: 6; ecn: 2; total_len: 16;
+  ttl: 8; protocol: 8; checksum: 16; src_addr: 32; dst_addr: 32;
+}}
+header tcp {{ src_port: 16; dst_port: 16; seq_no: 32; checksum: 16; }}
+header udp {{ src_port: 16; dst_port: 16; length: 16; checksum: 16; }}
+header vxlan {{ flags: 8; reserved: 24; vni: 24; reserved2: 8; }}
+header inner_ipv4 {{ src_addr: 32; dst_addr: 32; proto: 8; }}
+header inner_tcp {{ src_port: 16; dst_port: 16; checksum: 16; }}
+metadata meta {{ egress_port: 9; drop: 1; vni: 24; do_encap: 1; }}
+
+parser gwp {{
+  state start {{
+    extract(ethernet);
+    select (hdr.ethernet.ether_type) {{ 0x0800 => parse_ipv4; default => accept; }}
+  }}
+  state parse_ipv4 {{
+    extract(ipv4);
+    select (hdr.ipv4.protocol) {{ 6 => parse_tcp; default => accept; }}
+  }}
+  state parse_tcp {{ extract(tcp); accept; }}
+}}
+
+action drop_() {{ meta.drop = 1; }}
+action noop() {{ }}
+action acl_deny() {{ meta.drop = 1; }}
+action eip_hit(vni: 24, port: 9) {{
+  meta.vni = vni;
+  meta.egress_port = port;
+  meta.do_encap = 1;
+}}
+action mark_dscp() {{ hdr.ipv4.dscp = 0x2e; }}
+action encap_to(underlay: 32) {{
+  hdr.inner_ipv4.setValid();
+  hdr.inner_ipv4.src_addr = hdr.ipv4.src_addr;
+  hdr.inner_ipv4.dst_addr = hdr.ipv4.dst_addr;
+  hdr.inner_ipv4.proto = hdr.ipv4.protocol;
+  {inner_tcp_validate}
+  hdr.inner_tcp.src_port = hdr.tcp.src_port;
+  hdr.inner_tcp.dst_port = hdr.tcp.dst_port;
+  hdr.tcp.setInvalid();
+  hdr.udp.setValid();
+  hdr.udp.dst_port = 4789;
+  hdr.vxlan.setValid();
+  hdr.vxlan.flags = 0x08;
+  hdr.vxlan.vni = meta.vni;
+  hdr.ipv4.dst_addr = underlay;
+  hdr.ipv4.checksum = hash(csum16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr);
+}}
+action put_inner_csum() {{
+  hdr.inner_tcp.checksum = hash(csum16, 16,
+    hdr.inner_ipv4.src_addr, hdr.inner_ipv4.dst_addr,
+    hdr.inner_tcp.src_port, hdr.inner_tcp.dst_port);
+}}
+
+table acl_filter {{
+  key = {{ hdr.ipv4.src_addr: ternary; }}
+  actions = {{ acl_deny; noop; }}
+  default_action = noop();
+  size = 512;
+}}
+table eip_lookup {{
+  key = {{ hdr.ipv4.dst_addr: exact; }}
+  actions = {{ eip_hit; drop_; }}
+  default_action = drop_();
+  size = 4096;
+}}
+table vni_underlay {{
+  key = {{ meta.vni: exact; }}
+  actions = {{ encap_to; drop_; }}
+  default_action = drop_();
+  size = 4096;
+}}
+
+control gw_ingress {{
+  if (hdr.ipv4.isValid()) {{
+    apply(acl_filter);
+    if (meta.drop == 0) {{
+      apply(eip_lookup);
+      if (hdr.tcp.isValid()) {{
+        if (hdr.tcp.src_port < 1024) {{
+          call mark_dscp();
+        }}
+      }}
+      if (hdr.ipv4.ttl < 2) {{
+        call drop_();
+      }}
+    }}
+  }} else {{
+    call drop_();
+  }}
+}}
+control gw_egress {{
+  if (meta.drop == 0) {{
+    if ({encap_guard} && hdr.tcp.isValid()) {{
+      apply(vni_underlay);
+      if (hdr.inner_tcp.isValid()) {{
+        call put_inner_csum();
+      }}
+    }}
+  }}
+}}
+
+pipeline ig0 {{ parser = gwp; control = gw_ingress; }}
+pipeline eg0 {{ control = gw_egress; }}
+topology {{ start -> ig0; ig0 -> eg0; eg0 -> end; }}
+deparser {{
+  emit(ethernet); emit(ipv4); emit(udp); emit(vxlan);
+  emit(inner_ipv4); emit(inner_tcp); emit(tcp);
+}}
+
+intent known_eip_tcp_is_tunneled {{
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.protocol == 6
+     && hdr.ipv4.dst_addr == 10.0.0.1 && hdr.ipv4.src_addr == 1.2.3.4
+     && hdr.ipv4.ttl == 64;
+  expect hdr.vxlan.$valid == 1;
+}}
+intent tunneled_tcp_has_inner_csum {{
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.protocol == 6
+     && hdr.ipv4.dst_addr == 10.0.0.1 && hdr.ipv4.src_addr == 1.2.3.4
+     && hdr.ipv4.ttl == 64;
+  expect meta.drop == 1
+      || (hdr.inner_tcp.$valid == 1 && hdr.inner_tcp.checksum == hash(csum16, 16,
+            hdr.inner_ipv4.src_addr, hdr.inner_ipv4.dst_addr,
+            hdr.inner_tcp.src_port, hdr.inner_tcp.dst_port));
+}}
+intent blocked_sources_are_dropped {{
+  given hdr.ethernet.ether_type == 0x0800
+     && (hdr.ipv4.src_addr & 0xffffff00) == 0xc0a80100;
+  expect meta.drop == 1;
+}}
+intent port_boundary_probe {{
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.protocol == 6
+     && hdr.tcp.src_port == 1024 && hdr.ipv4.dst_addr == 10.0.0.1
+     && hdr.ipv4.src_addr == 1.2.3.4 && hdr.ipv4.ttl == 64;
+  expect true;
+}}
+intent ttl_boundary_probe {{
+  given hdr.ethernet.ether_type == 0x0800 && hdr.ipv4.ttl == 2
+     && hdr.ipv4.dst_addr == 10.0.0.1 && hdr.ipv4.src_addr == 1.2.3.4;
+  expect true;
+}}
+"#
+    )
+}
+
+/// Good rules for the gateway corpus programs.
+const EIPGW_RULES: &str = r#"
+rules acl_filter {
+  0xc0a80100 &&& 0xffffff00 => acl_deny();
+}
+rules eip_lookup {
+  10.0.0.1 => eip_hit(1, 1);
+  10.0.0.2 => eip_hit(2, 2);
+  10.0.0.3 => eip_hit(3, 1);
+}
+rules vni_underlay {
+  1 => encap_to(0x0b000001);
+  2 => encap_to(0x0b000002);
+  3 => encap_to(0x0b000003);
+}
+"#;
+
+/// Rules with an unrestricted (overlapping, too-broad) ACL permit ahead of
+/// the deny — Table 2 bug 2. Also the overlap PriorityInverted (bug 8 at
+/// gateway scale) would flip.
+const EIPGW_RULES_BAD_ACL: &str = r#"
+rules acl_filter {
+  0x00000000 &&& 0x00000000 => noop();
+  0xc0a80100 &&& 0xffffff00 => acl_deny();
+}
+rules eip_lookup {
+  10.0.0.1 => eip_hit(1, 1);
+  10.0.0.2 => eip_hit(2, 2);
+  10.0.0.3 => eip_hit(3, 1);
+}
+rules vni_underlay {
+  1 => encap_to(0x0b000001);
+  2 => encap_to(0x0b000002);
+  3 => encap_to(0x0b000003);
+}
+"#;
+
+/// Rules with a routing misconfiguration: one EIP forwards to port 0 (an
+/// invalid port in this deployment) — Table 2 bug 1.
+const EIPGW_RULES_BAD_ROUTE: &str = r#"
+rules acl_filter {
+  0xc0a80100 &&& 0xffffff00 => acl_deny();
+}
+rules eip_lookup {
+  10.0.0.1 => eip_hit(1, 0);
+  10.0.0.2 => eip_hit(2, 2);
+}
+rules vni_underlay {
+  1 => encap_to(0x0b000001);
+  2 => encap_to(0x0b000002);
+}
+"#;
+
+fn eipgw(name: &str, bug6: bool, bug4: bool, rules: &str) -> Workload {
+    let src = eipgw_source(bug6, bug4);
+    let mut w = crate::compile_pair(name, &src, rules);
+    w.name = name.to_string();
+    w
+}
+
+/// Adds the "valid port" intent used by the routing-misconfiguration case.
+fn eipgw_with_port_intent(name: &str, rules: &str) -> Workload {
+    let mut src = eipgw_source(false, false);
+    src.push_str(
+        r#"
+intent forwarded_packets_have_a_real_port {
+  given hdr.ethernet.ether_type == 0x0800;
+  expect meta.drop == 1 || meta.egress_port != 0;
+}
+"#,
+    );
+    crate::compile_pair(name, &src, rules)
+}
+
+/// Builds all sixteen Table 2 bug cases.
+#[allow(clippy::vec_init_then_push)] // sixteen structured rows read best sequentially
+pub fn all() -> Vec<BugCase> {
+    let mut cases = Vec::new();
+
+    // ---- code bugs (1–6) -------------------------------------------------
+    cases.push(BugCase {
+        index: 1,
+        name: "Routing misconfiguration",
+        kind: BugKind::Code,
+        workload: eipgw_with_port_intent("bug1-routing-misconfig", EIPGW_RULES_BAD_ROUTE),
+        fault: Fault::None,
+        paper: [true, false, false, false, true],
+    });
+    cases.push(BugCase {
+        index: 2,
+        name: "Unrestricted ACL rules",
+        kind: BugKind::Code,
+        workload: eipgw("bug2-unrestricted-acl", false, false, EIPGW_RULES_BAD_ACL),
+        fault: Fault::None,
+        paper: [true, false, false, false, true],
+    });
+    cases.push(BugCase {
+        index: 3,
+        name: "Parser wrong logic",
+        kind: BugKind::Code,
+        workload: crate::compile_pair(
+            "bug3-parser-wrong-logic",
+            // Transposed ether_type: IPv4 packets are never parsed as IPv4.
+            &TINY.replace("0x0800 => parse_ipv4;", "0x0008 => parse_ipv4;"),
+            "",
+        ),
+        fault: Fault::None,
+        paper: [true, true, true, true, true],
+    });
+    cases.push(BugCase {
+        index: 4,
+        name: "Ingress wrong logic",
+        kind: BugKind::Code,
+        workload: crate::compile_pair(
+            "bug4-ingress-wrong-logic",
+            // Inverted validity test: IPv4 goes down the other-traffic arm.
+            &TINY.replace(
+                "if (hdr.ipv4.isValid()) {",
+                "if (!hdr.ipv4.isValid()) {",
+            ),
+            "",
+        ),
+        fault: Fault::None,
+        paper: [true, true, true, true, true],
+    });
+    cases.push(BugCase {
+        index: 5,
+        name: "Wrong deparser emit",
+        kind: BugKind::Code,
+        workload: crate::compile_pair(
+            "bug5-wrong-deparser-emit",
+            // The snap header is parsed but never emitted.
+            &TINY.replace(
+                "deparser { emit(ethernet); emit(snap); emit(ipv4); }",
+                "deparser { emit(ethernet); emit(ipv4); }",
+            ),
+            "",
+        ),
+        fault: Fault::None,
+        paper: [true, false, true, false, true],
+    });
+    cases.push(BugCase {
+        index: 6,
+        name: "Checksum fail-to-update",
+        kind: BugKind::Code,
+        workload: eipgw("bug6-checksum-fail-to-update", true, false, EIPGW_RULES),
+        fault: Fault::None,
+        paper: [true, false, false, false, false],
+    });
+
+    // ---- non-code bugs (7–16) --------------------------------------------
+    cases.push(BugCase {
+        index: 7,
+        name: "p4c frontend bug 2147",
+        kind: BugKind::NonCode,
+        workload: crate::compile_pair("bug7-p4c-2147", TINY, ""),
+        fault: Fault::WrongConstant {
+            field: "hdr.ipv4.dscp".into(),
+            xor_mask: 0x01,
+        },
+        paper: [true, true, false, true, false],
+    });
+    cases.push(BugCase {
+        index: 8,
+        name: "p4c frontend bug 2343",
+        kind: BugKind::NonCode,
+        workload: crate::compile_pair("bug8-p4c-2343", TINY, ""),
+        // TINY's select arms genuinely overlap: 0x0800 matches both the
+        // exact arm and the 0x0800/0xfc00 mask arm. Priority inversion
+        // sends IPv4 packets down the snap parse path.
+        fault: Fault::PriorityInverted,
+        paper: [true, true, false, true, false],
+    });
+    cases.push(BugCase {
+        index: 9,
+        name: "bf-p4c backend bug 1",
+        kind: BugKind::NonCode,
+        workload: crate::compile_pair("bug9-bfp4c-1", SMALLX, ""),
+        fault: Fault::SetValidDropped {
+            header: "probe".into(),
+        },
+        paper: [true, false, false, true, false],
+    });
+    cases.push(BugCase {
+        index: 10,
+        name: "bf-p4c backend bug 3",
+        kind: BugKind::NonCode,
+        workload: crate::compile_pair("bug10-bfp4c-3", SMALLX, ""),
+        fault: Fault::WrongArithComparison { width: 16 },
+        paper: [true, false, false, true, false],
+    });
+    cases.push(BugCase {
+        index: 11,
+        name: "bf-p4c backend bug 6",
+        kind: BugKind::NonCode,
+        workload: crate::compile_pair("bug11-bfp4c-6", SMALLX, ""),
+        fault: Fault::WrongAssignment {
+            intended: "hdr.ipv4.src_addr".into(),
+            actual: "hdr.ipv4.dst_addr".into(),
+        },
+        paper: [true, false, false, true, false],
+    });
+    cases.push(BugCase {
+        index: 12,
+        name: "bf-p4c backend bug A (incorrect arithmetic comparison)",
+        kind: BugKind::NonCode,
+        workload: eipgw("bug12-wrong-comparison", false, false, EIPGW_RULES),
+        fault: Fault::WrongArithComparison { width: 8 },
+        paper: [true, false, false, false, false],
+    });
+    cases.push(BugCase {
+        index: 13,
+        name: "bf-p4c backend bug B (incorrect assignment)",
+        kind: BugKind::NonCode,
+        workload: eipgw("bug13-wrong-assignment", false, false, EIPGW_RULES),
+        fault: Fault::WrongAssignment {
+            intended: "hdr.vxlan.vni".into(),
+            actual: "hdr.vxlan.reserved".into(),
+        },
+        paper: [true, false, false, false, false],
+    });
+    cases.push(BugCase {
+        index: 14,
+        name: "bf-p4c backend bug C (setValid)",
+        kind: BugKind::NonCode,
+        workload: eipgw("bug14-setvalid", false, false, EIPGW_RULES),
+        fault: Fault::SetValidDropped {
+            header: "inner_ipv4".into(),
+        },
+        paper: [true, false, false, false, false],
+    });
+    cases.push(BugCase {
+        index: 15,
+        name: "Misuse of optimization pragmas",
+        kind: BugKind::NonCode,
+        workload: eipgw("bug15-pragma-overlap", false, false, EIPGW_RULES),
+        fault: Fault::FieldOverlap {
+            a: "hdr.ipv4.dst_addr".into(),
+            b: "hdr.inner_ipv4.dst_addr".into(),
+        },
+        paper: [true, false, false, false, false],
+    });
+    cases.push(BugCase {
+        index: 16,
+        name: "Missing compilation flags",
+        kind: BugKind::NonCode,
+        workload: eipgw("bug16-missing-flags", false, false, EIPGW_RULES),
+        fault: Fault::ChecksumNotUpdated,
+        paper: [true, false, false, false, false],
+    });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_cases_compile() {
+        let cases = all();
+        assert_eq!(cases.len(), 16);
+        for (i, c) in cases.iter().enumerate() {
+            assert_eq!(c.index, i + 1);
+            assert!(c.paper[0], "Meissa detects every Table 2 bug");
+        }
+    }
+
+    #[test]
+    fn code_bugs_have_no_fault_and_vice_versa() {
+        for c in all() {
+            match c.kind {
+                BugKind::Code => assert_eq!(c.fault, Fault::None, "bug {}", c.index),
+                BugKind::NonCode => assert_ne!(c.fault, Fault::None, "bug {}", c.index),
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matches_paper_totals() {
+        // Column sums from Table 2: Meissa 16, p4pktgen 4, PTA 3,
+        // Gauntlet 7, Aquila 5.
+        let cases = all();
+        let sums: Vec<usize> = (0..5)
+            .map(|t| cases.iter().filter(|c| c.paper[t]).count())
+            .collect();
+        assert_eq!(sums, vec![16, 4, 3, 7, 5]);
+    }
+
+    #[test]
+    fn correct_gateway_satisfies_its_intents() {
+        // The non-buggy eipgw must pass a faithful test run end-to-end —
+        // otherwise the corpus would report false positives.
+        use meissa_core::Meissa;
+        use meissa_dataplane::SwitchTarget;
+        use meissa_driver::TestDriver;
+        let w = eipgw("eipgw-clean", false, false, EIPGW_RULES);
+        let mut run = Meissa::new().run(&w.program);
+        assert!(!run.templates.is_empty());
+        let driver = TestDriver::new(&w.program);
+        let report = driver.run(&mut run, &SwitchTarget::new(&w.program));
+        assert_eq!(report.failed(), 0, "{report}");
+    }
+}

@@ -1,0 +1,729 @@
+//! Production-gateway program generators (Table 1, gw-1..gw-4) and the
+//! set-1..set-4 rule-set scales.
+//!
+//! The paper's gateways are proprietary; these generators reproduce their
+//! *shape* (DESIGN.md substitution table):
+//!
+//! * **gw-1** — 1 pipe: elastic-IP lookup + VXLAN encapsulation.
+//! * **gw-2** — 2 pipes: ingress (ACL + EIP) → egress (classification +
+//!   encap + underlay).
+//! * **gw-3** — 4 pipes, one switch, the Fig. 1 traversal
+//!   `ingress0 → egress1 → ingress1 → egress0` (gateway pipes 0, switch
+//!   pipes 1).
+//! * **gw-4** — 8 pipes across two switches; `meta.cross` steers flow A
+//!   (stays in sw0) vs flow B (continues into sw1), like Fig. 1's flows.
+//!   The fifth pipeline of the flow-B traversal (`sw1_ig0`) carries twice
+//!   the classification rules — the paper's note that most of
+//!   gw-4/set-4's complexity sits inside `ppl5`.
+//!
+//! Two structural properties drive the Figs. 9–12 shapes:
+//!
+//! 1. **Shared diagonal**: the EIP table assigns the VNI that every
+//!    downstream table keys on, so end-to-end valid paths stay `O(eips)`
+//!    while possible paths grow multiplicatively with pipes.
+//! 2. **Per-pipe fresh-field classifiers** (`port_class` →
+//!    `pclass_vni_check`): a two-table Fig. 7 diagonal over a field no
+//!    earlier pipeline constrains. A whole-program DFS must re-explore this
+//!    `O(m²)` structure for *every* valid prefix reaching the pipe; code
+//!    summary explores it once — which is exactly the horizontal-composition
+//!    observation of §3.3 and what Figs. 11/12 measure.
+//!
+//! set-(k+1) doubles set-k's elastic IPs, mirroring §5.1.
+
+use crate::Workload;
+use std::fmt::Write;
+
+/// Rule-set scale (the paper's set-1..set-4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GwScale {
+    /// Number of elastic IPs; every per-pipe table carries `O(eips)` rules.
+    pub eips: usize,
+}
+
+/// The paper's scale ladder: set-k has `4 · 2^(k-1)` elastic IPs
+/// (set-2 doubles set-1, set-3 doubles set-2, set-4 doubles set-3).
+pub fn rule_set(level: u8) -> GwScale {
+    assert!((1..=4).contains(&level), "rule sets are set-1..set-4");
+    GwScale {
+        eips: 4usize << (level - 1),
+    }
+}
+
+/// Builds gw-`level` (1..=4) with the given rule scale.
+pub fn gw(level: u8, scale: GwScale) -> Workload {
+    assert!((1..=4).contains(&level), "gateways are gw-1..gw-4");
+    let src = gw_source(level);
+    let rules = gw_rules(level, scale);
+    crate::compile_pair(&format!("gw-{level}"), &src, &rules)
+}
+
+/// gw-`level` with its evaluation-default rule set (gw-k pairs with set-k
+/// in Fig. 9: "gw-1, gw-2 and gw-3 use parts of table rule sets … gw-4
+/// fully uses the entire table rule sets").
+pub fn gw_default(level: u8) -> Workload {
+    gw(level, rule_set(level))
+}
+
+const COMMON_DECLS: &str = r#"
+header ethernet { dst_addr: 48; src_addr: 48; ether_type: 16; }
+header ipv4 {
+  version: 4; ihl: 4; diffserv: 8; total_len: 16;
+  ttl: 8; protocol: 8; checksum: 16;
+  src_addr: 32; dst_addr: 32;
+}
+header tcp { src_port: 16; dst_port: 16; seq_no: 32; checksum: 16; }
+header udp { src_port: 16; dst_port: 16; length: 16; checksum: 16; }
+header vxlan { flags: 8; reserved: 24; vni: 24; reserved2: 8; }
+metadata meta {
+  egress_port: 9; drop: 1; vni: 24; do_encap: 1; cross: 1;
+  nh: 16; stats_class: 8;
+}
+
+parser gw_parser {
+  state start {
+    extract(ethernet);
+    select (hdr.ethernet.ether_type) {
+      0x0800 => parse_ipv4;
+      default => accept;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    select (hdr.ipv4.protocol) {
+      6 => parse_tcp;
+      default => accept;
+    }
+  }
+  state parse_tcp { extract(tcp); accept; }
+}
+
+action drop_() { meta.drop = 1; }
+action noop() { }
+action eip_hit(vni: 24, port: 9, cross: 1) {
+  meta.vni = vni;
+  meta.egress_port = port;
+  meta.do_encap = 1;
+  meta.cross = cross;
+}
+action acl_deny() { meta.drop = 1; }
+action encap_to(underlay: 32) {
+  hdr.vxlan.setValid();
+  hdr.vxlan.flags = 0x08;
+  hdr.vxlan.vni = meta.vni;
+  hdr.ipv4.dst_addr = underlay;
+  hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+  hdr.ipv4.checksum = hash(csum16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr, hdr.ipv4.ttl);
+}
+action set_stats(class: 8) { meta.stats_class = class; }
+action set_nh(nh: 16) { meta.nh = nh; }
+action nh_rewrite_a(mac: 48, port: 9) {
+  hdr.ethernet.dst_addr = mac;
+  meta.egress_port = port;
+}
+"#;
+
+const EIP_TABLE: &str = r#"
+table eip_lookup{SUF} {
+  key = { hdr.ipv4.dst_addr: exact; }
+  actions = { eip_hit; drop_; }
+  default_action = drop_();
+  size = 65536;
+}
+"#;
+
+const ACL_TABLE: &str = r#"
+table acl_filter{SUF} {
+  key = { hdr.ipv4.src_addr: ternary; }
+  actions = { acl_deny; noop; }
+  default_action = noop();
+  size = 4096;
+}
+"#;
+
+const ENCAP_TABLE: &str = r#"
+table vni_underlay{SUF} {
+  key = { meta.vni: exact; }
+  actions = { encap_to; drop_; }
+  default_action = drop_();
+  size = 65536;
+}
+"#;
+
+const STATS_TABLE: &str = r#"
+table stats_egress{SUF} {
+  key = { meta.egress_port: exact; }
+  actions = { set_stats; noop; }
+  default_action = noop();
+  size = 512;
+}
+"#;
+
+const L3_TABLE: &str = r#"
+table underlay_route{SUF} {
+  key = { hdr.ipv4.dst_addr: lpm; }
+  actions = { set_nh; drop_; }
+  default_action = drop_();
+  size = 16384;
+}
+"#;
+
+const NH_TABLE: &str = r#"
+table nh_rewrite{SUF} {
+  key = { meta.vni: exact; }
+  actions = { nh_rewrite_a; drop_; }
+  default_action = drop_();
+  size = 16384;
+}
+"#;
+
+/// The fresh-field classifier chain: `port_class` fans out on the (so far
+/// unconstrained) TCP source port; three metadata-keyed class maps chain
+/// the classification (each step fully determined by the previous — the
+/// redundant interior structure whose re-verification code summary
+/// eliminates); `class_vni_gate` closes the diagonal against the shared
+/// VNI chain, dropping off-diagonal combinations.
+const PCLASS_TABLES: &str = r#"
+metadata mcls{SUF} { pclass: 16; cm1: 16; cm2: 16; cm3: 16; prio: 4; }
+action set_pclass{SUF}(c: 16) { mcls{SUF}.pclass = c; }
+action set_cm1{SUF}(c: 16) { mcls{SUF}.cm1 = c; }
+action set_cm2{SUF}(c: 16) { mcls{SUF}.cm2 = c; }
+action set_cm3{SUF}(c: 16) { mcls{SUF}.cm3 = c; }
+action set_prio{SUF}(p: 4) { mcls{SUF}.prio = p; }
+table port_class{SUF} {
+  key = { hdr.tcp.src_port: exact; }
+  actions = { set_pclass{SUF}; noop; }
+  default_action = noop();
+  size = 4096;
+}
+table class_map1{SUF} {
+  key = { mcls{SUF}.pclass: exact; }
+  actions = { set_cm1{SUF}; noop; }
+  default_action = noop();
+  size = 4096;
+}
+table class_map2{SUF} {
+  key = { mcls{SUF}.cm1: exact; }
+  actions = { set_cm2{SUF}; noop; }
+  default_action = noop();
+  size = 4096;
+}
+table class_map3{SUF} {
+  key = { mcls{SUF}.cm2: exact; }
+  actions = { set_cm3{SUF}; noop; }
+  default_action = noop();
+  size = 4096;
+}
+table class_gate{SUF} {
+  key = { mcls{SUF}.cm3: exact; meta.egress_port: exact; }
+  actions = { set_prio{SUF}; drop_; }
+  default_action = drop_();
+  size = 4096;
+}
+"#;
+
+/// The classifier application snippet, guarded so only TCP traffic pays it.
+fn pclass_apply(suffix: &str) -> String {
+    format!(
+        r#"    if (hdr.tcp.isValid()) {{
+      apply(port_class{suffix});
+      apply(class_map1{suffix});
+      apply(class_map2{suffix});
+      apply(class_map3{suffix});
+      apply(class_gate{suffix});
+    }}
+"#
+    )
+}
+
+/// A telemetry classifier: DSCP-keyed statistics class that nothing
+/// downstream reads. Production ingress pipes carry many such tables; they
+/// multiply the upstream path variants while projecting onto *no* later
+/// pipeline's reads — the workload property §3.3's observation describes
+/// and the §7 grouping exploits.
+const TELEMETRY_TABLE: &str = r#"
+metadata mtel{SUF} { tclass: 8; }
+action set_tclass{SUF}(c: 8) { mtel{SUF}.tclass = c; }
+table dscp_stats{SUF} {
+  key = { hdr.ipv4.diffserv: exact; }
+  actions = { set_tclass{SUF}; noop; }
+  default_action = noop();
+  size = 64;
+}
+"#;
+
+fn table_block(template: &str, suffix: &str) -> String {
+    template.replace("{SUF}", suffix)
+}
+
+/// Emits the P4lite source for gw-`level`.
+pub fn gw_source(level: u8) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# gw-{level}: generated production-gateway workload.");
+    s.push_str(COMMON_DECLS);
+
+    match level {
+        1 => {
+            s.push_str(&table_block(EIP_TABLE, ""));
+            s.push_str(&table_block(ENCAP_TABLE, ""));
+            s.push_str(
+                r#"
+control gw1_ingress {
+  if (hdr.ipv4.isValid()) {
+    apply(eip_lookup);
+    if (meta.drop == 0) {
+      apply(vni_underlay);
+    }
+  } else {
+    call drop_();
+  }
+}
+pipeline ig0 { parser = gw_parser; control = gw1_ingress; }
+"#,
+            );
+        }
+        2 => {
+            s.push_str(&table_block(EIP_TABLE, ""));
+            s.push_str(&table_block(ACL_TABLE, ""));
+            s.push_str(&table_block(ENCAP_TABLE, ""));
+            s.push_str(&table_block(NH_TABLE, ""));
+            s.push_str(&table_block(PCLASS_TABLES, ""));
+            s.push_str(&table_block(TELEMETRY_TABLE, "_z"));
+            let mut ctl = String::from(
+                r#"
+control gw2_ingress {
+  if (hdr.ipv4.isValid()) {
+    apply(acl_filter);
+    if (meta.drop == 0) {
+      apply(eip_lookup);
+      apply(dscp_stats_z);
+    }
+  } else {
+    call drop_();
+  }
+}
+control gw2_egress {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply(""));
+            ctl.push_str(
+                r#"    if (meta.drop == 0) {
+      apply(vni_underlay);
+      apply(nh_rewrite);
+    }
+  }
+}
+pipeline ig0 { parser = gw_parser; control = gw2_ingress; }
+pipeline eg0 { control = gw2_egress; }
+topology {
+  start -> ig0;
+  ig0 -> eg0;
+  eg0 -> end;
+}
+"#,
+            );
+            s.push_str(&ctl);
+        }
+        3 => {
+            // Fig. 1 traversal: ig0(gw) → eg1(sw) → ig1(sw) → eg0(gw).
+            s.push_str(&table_block(EIP_TABLE, ""));
+            s.push_str(&table_block(ACL_TABLE, ""));
+            s.push_str(&table_block(STATS_TABLE, ""));
+            s.push_str(&table_block(L3_TABLE, ""));
+            s.push_str(&table_block(ENCAP_TABLE, ""));
+            s.push_str(&table_block(NH_TABLE, ""));
+            s.push_str(&table_block(PCLASS_TABLES, "_a"));
+            s.push_str(&table_block(PCLASS_TABLES, "_b"));
+            s.push_str(&table_block(TELEMETRY_TABLE, "_z"));
+            let mut ctl = String::from(
+                r#"
+control gw3_ig0 {
+  if (hdr.ipv4.isValid()) {
+    apply(acl_filter);
+    if (meta.drop == 0) {
+      apply(eip_lookup);
+      apply(dscp_stats_z);
+    }
+  } else {
+    call drop_();
+  }
+}
+control gw3_eg1 {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply("_a"));
+            ctl.push_str(
+                r#"    apply(stats_egress);
+  }
+}
+control gw3_ig1 {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply("_b"));
+            ctl.push_str(
+                r#"    apply(underlay_route);
+  }
+}
+control gw3_eg0 {
+  if (meta.drop == 0) {
+    apply(vni_underlay);
+    apply(nh_rewrite);
+  }
+}
+pipeline ig0 { parser = gw_parser; control = gw3_ig0; }
+pipeline eg1 { control = gw3_eg1; }
+pipeline ig1 { control = gw3_ig1; }
+pipeline eg0 { control = gw3_eg0; }
+topology {
+  start -> ig0;
+  ig0 -> eg1;
+  eg1 -> ig1;
+  ig1 -> eg0;
+  eg0 -> end;
+}
+"#,
+            );
+            s.push_str(&ctl);
+        }
+        4 => {
+            for sw in ["sw0", "sw1"] {
+                s.push_str(&table_block(EIP_TABLE, &format!("_{sw}")));
+                s.push_str(&table_block(ACL_TABLE, &format!("_{sw}")));
+                s.push_str(&table_block(STATS_TABLE, &format!("_{sw}")));
+                s.push_str(&table_block(L3_TABLE, &format!("_{sw}")));
+                s.push_str(&table_block(ENCAP_TABLE, &format!("_{sw}")));
+                s.push_str(&table_block(NH_TABLE, &format!("_{sw}")));
+            }
+            // Fresh-field classifiers in the switch-function pipes; the
+            // fifth pipeline of the flow-B traversal (sw1_ig0) carries the
+            // double-size classifier (the paper's ppl5 skew).
+            s.push_str(&table_block(PCLASS_TABLES, "_sw0a"));
+            s.push_str(&table_block(PCLASS_TABLES, "_sw1x"));
+            s.push_str(&table_block(PCLASS_TABLES, "_sw1a"));
+            s.push_str(&table_block(TELEMETRY_TABLE, "_z0"));
+            let mut ctl = String::from(
+                r#"
+control g4_sw0_ig0 {
+  if (hdr.ipv4.isValid()) {
+    apply(acl_filter_sw0);
+    if (meta.drop == 0) {
+      apply(eip_lookup_sw0);
+      apply(dscp_stats_z0);
+    }
+  } else {
+    call drop_();
+  }
+}
+control g4_sw0_eg1 {
+  if (meta.drop == 0) {
+    apply(stats_egress_sw0);
+  }
+}
+control g4_sw0_ig1 {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply("_sw0a"));
+            ctl.push_str(
+                r#"    apply(underlay_route_sw0);
+  }
+}
+control g4_sw0_eg0 {
+  if (meta.drop == 0) {
+    apply(vni_underlay_sw0);
+    apply(nh_rewrite_sw0);
+  }
+}
+control g4_sw1_ig0 {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply("_sw1x"));
+            ctl.push_str(
+                r#"    apply(eip_lookup_sw1);
+  }
+}
+control g4_sw1_eg1 {
+  if (meta.drop == 0) {
+    apply(stats_egress_sw1);
+  }
+}
+control g4_sw1_ig1 {
+  if (meta.drop == 0) {
+"#,
+            );
+            ctl.push_str(&pclass_apply("_sw1a"));
+            ctl.push_str(
+                r#"    apply(underlay_route_sw1);
+  }
+}
+control g4_sw1_eg0 {
+  if (meta.drop == 0) {
+    apply(vni_underlay_sw1);
+    apply(nh_rewrite_sw1);
+  }
+}
+pipeline sw0_ig0 { parser = gw_parser; control = g4_sw0_ig0; }
+pipeline sw0_eg1 { control = g4_sw0_eg1; }
+pipeline sw0_ig1 { control = g4_sw0_ig1; }
+pipeline sw0_eg0 { control = g4_sw0_eg0; }
+pipeline sw1_ig0 { control = g4_sw1_ig0; }
+pipeline sw1_eg1 { control = g4_sw1_eg1; }
+pipeline sw1_ig1 { control = g4_sw1_ig1; }
+pipeline sw1_eg0 { control = g4_sw1_eg0; }
+topology {
+  start -> sw0_ig0;
+  sw0_ig0 -> sw0_eg1 when (meta.cross == 0);
+  sw0_eg1 -> sw0_ig1;
+  sw0_ig1 -> sw0_eg0;
+  sw0_ig0 -> sw0_eg0 when (meta.cross == 1);
+  sw0_eg0 -> end when (meta.cross == 0);
+  sw0_eg0 -> sw1_ig0 when (meta.cross == 1);
+  sw1_ig0 -> sw1_eg1;
+  sw1_eg1 -> sw1_ig1;
+  sw1_ig1 -> sw1_eg0;
+  sw1_eg0 -> end;
+}
+"#,
+            );
+            s.push_str(&ctl);
+        }
+        _ => unreachable!(),
+    }
+
+    s.push_str(
+        r#"
+deparser { emit(ethernet); emit(ipv4); emit(udp); emit(tcp); emit(vxlan); }
+intent eip_traffic_is_tunneled_or_dropped {
+  given hdr.ethernet.ether_type == 0x0800;
+  expect meta.drop == 1 || hdr.vxlan.$valid == 1;
+}
+intent non_ip_is_dropped {
+  given hdr.ethernet.ether_type != 0x0800;
+  expect meta.drop == 1;
+}
+"#,
+    );
+    s
+}
+
+/// Emits the rule-set document for gw-`level` at `scale`.
+pub fn gw_rules(level: u8, scale: GwScale) -> String {
+    let n = scale.eips;
+    let mut s = String::new();
+    // `base` lets switch-1 tables match post-encapsulation underlay
+    // addresses (0x0b…) while switch-0 tables match overlay EIPs (10.…).
+    let eip = |s: &mut String, table: &str, base: u32| {
+        let _ = writeln!(s, "rules {table} {{");
+        for k in 0..n {
+            // dst base+(k+1) → vni k+1, port (k%4)+1, cross = parity.
+            let _ = writeln!(
+                s,
+                "  {} => eip_hit({}, {}, {});",
+                base + 1 + k as u32,
+                k + 1,
+                (k % 4) + 1,
+                k % 2
+            );
+        }
+        let _ = writeln!(s, "}}");
+    };
+    let acl = |s: &mut String, table: &str| {
+        let _ = writeln!(s, "rules {table} {{");
+        // One deny rule on a reserved source block.
+        let _ = writeln!(s, "  0xc0a80100 &&& 0xffffff00 => acl_deny();");
+        let _ = writeln!(s, "}}");
+    };
+    let encap = |s: &mut String, table: &str| {
+        let _ = writeln!(s, "rules {table} {{");
+        for k in 0..n {
+            let _ = writeln!(s, "  {} => encap_to({});", k + 1, 0x0b00_0001u32 + k as u32);
+        }
+        let _ = writeln!(s, "}}");
+    };
+    let stats = |s: &mut String, table: &str| {
+        let _ = writeln!(s, "rules {table} {{");
+        for p in 1..=4usize {
+            let _ = writeln!(s, "  {p} => set_stats({p});");
+        }
+        let _ = writeln!(s, "}}");
+    };
+    let l3 = |s: &mut String, table: &str, base: u32| {
+        let _ = writeln!(s, "rules {table} {{");
+        for k in 0..n {
+            let _ = writeln!(s, "  0x{:x}/32 => set_nh({});", base + 1 + k as u32, k + 1);
+        }
+        let _ = writeln!(s, "}}");
+    };
+    let nh = |s: &mut String, table: &str| {
+        let _ = writeln!(s, "rules {table} {{");
+        for k in 0..n {
+            let _ = writeln!(
+                s,
+                "  {} => nh_rewrite_a(0x00aa0000{:04x}, {});",
+                k + 1,
+                k + 1,
+                (k % 4) + 1
+            );
+        }
+        let _ = writeln!(s, "}}");
+    };
+    // The fresh-field classifier chain: `count` source-port classes chained
+    // through three class maps; the gate keeps only the diagonal
+    // (class j ↔ vni j) and, like production policers, drops the rest.
+    let pclass = |s: &mut String, suffix: &str, count: usize| {
+        let _ = writeln!(s, "rules port_class{suffix} {{");
+        for j in 0..count {
+            let _ = writeln!(s, "  {} => set_pclass{suffix}({});", 1000 + j, j + 1);
+        }
+        let _ = writeln!(s, "}}");
+        for map in ["class_map1", "class_map2", "class_map3"] {
+            let _ = writeln!(s, "rules {map}{suffix} {{");
+            for j in 0..count {
+                let _ = writeln!(s, "  {} => set_{}{suffix}({});", j + 1,
+                    match map { "class_map1" => "cm1", "class_map2" => "cm2", _ => "cm3" },
+                    j + 1);
+            }
+            let _ = writeln!(s, "}}");
+        }
+        let _ = writeln!(s, "rules class_gate{suffix} {{");
+        for j in 0..count {
+            // Class j is permitted only on its QoS-aligned egress port.
+            let _ = writeln!(s, "  {}, {} => set_prio{suffix}({});", j + 1, (j % 4) + 1, (j % 8) + 1);
+        }
+        // Unclassified traffic passes.
+        let _ = writeln!(s, "  0, _ => set_prio{suffix}(0);");
+        let _ = writeln!(s, "}}");
+    };
+
+    let telemetry = |s: &mut String, suffix: &str| {
+        let _ = writeln!(s, "rules dscp_stats{suffix} {{");
+        for j in 1..=(n / 2).clamp(4, 8) {
+            let _ = writeln!(s, "  {} => set_tclass{suffix}({});", 4 * j, j);
+        }
+        let _ = writeln!(s, "}}");
+    };
+
+    match level {
+        1 => {
+            eip(&mut s, "eip_lookup", 0x0a00_0000);
+            encap(&mut s, "vni_underlay");
+        }
+        2 => {
+            eip(&mut s, "eip_lookup", 0x0a00_0000);
+            acl(&mut s, "acl_filter");
+            encap(&mut s, "vni_underlay");
+            nh(&mut s, "nh_rewrite");
+            pclass(&mut s, "", (n / 2).max(4));
+            telemetry(&mut s, "_z");
+        }
+        3 => {
+            eip(&mut s, "eip_lookup", 0x0a00_0000);
+            acl(&mut s, "acl_filter");
+            stats(&mut s, "stats_egress");
+            l3(&mut s, "underlay_route", 0x0a00_0000);
+            encap(&mut s, "vni_underlay");
+            nh(&mut s, "nh_rewrite");
+            pclass(&mut s, "_a", (n / 4).max(4));
+            telemetry(&mut s, "_z");
+            pclass(&mut s, "_b", (n / 4).max(4));
+        }
+        4 => {
+            // Switch 0 matches overlay EIPs; switch 1 sits behind sw0's
+            // encapsulation and matches underlay addresses.
+            for (sw, base) in [("sw0", 0x0a00_0000u32), ("sw1", 0x0b00_0000u32)] {
+                eip(&mut s, &format!("eip_lookup_{sw}"), base);
+                acl(&mut s, &format!("acl_filter_{sw}"));
+                stats(&mut s, &format!("stats_egress_{sw}"));
+                l3(&mut s, &format!("underlay_route_{sw}"), base);
+                encap(&mut s, &format!("vni_underlay_{sw}"));
+                nh(&mut s, &format!("nh_rewrite_{sw}"));
+            }
+            pclass(&mut s, "_sw0a", (n / 2).max(4));
+            telemetry(&mut s, "_z0");
+            // ppl5 skew: the fifth pipeline's classifier is twice as large.
+            pclass(&mut s, "_sw1x", (n / 2).max(4));
+            pclass(&mut s, "_sw1a", (n / 4).max(2));
+        }
+        _ => unreachable!(),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_levels_compile() {
+        for level in 1..=4u8 {
+            let w = gw(level, GwScale { eips: 4 });
+            assert_eq!(w.name, format!("gw-{level}"));
+            assert_eq!(w.program.num_pipes, [1, 2, 4, 8][level as usize - 1]);
+            assert_eq!(w.program.num_switches, [1, 1, 1, 2][level as usize - 1]);
+        }
+    }
+
+    #[test]
+    fn rule_sets_double() {
+        assert_eq!(rule_set(1).eips, 4);
+        assert_eq!(rule_set(2).eips, 8);
+        assert_eq!(rule_set(3).eips, 16);
+        assert_eq!(rule_set(4).eips, 32);
+    }
+
+    #[test]
+    fn loc_grows_with_level() {
+        let locs: Vec<usize> = (1..=4).map(|l| gw(l, GwScale { eips: 4 }).program.loc).collect();
+        assert!(locs.windows(2).all(|w| w[0] < w[1]), "{locs:?}");
+    }
+
+    #[test]
+    fn rules_loc_grows_with_scale() {
+        let a = gw(2, rule_set(1)).program.rules_loc;
+        let b = gw(2, rule_set(3)).program.rules_loc;
+        assert!(b > a * 2, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gw4_is_multi_switch_with_cross_steering() {
+        let w = gw(4, GwScale { eips: 4 });
+        let names: Vec<&str> = w
+            .program
+            .cfg
+            .pipelines()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert!(names.contains(&"sw0_ig0"));
+        assert!(names.contains(&"sw1_eg0"));
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn possible_paths_grow_superlinearly_with_pipes() {
+        use meissa_ir::count_paths;
+        let p1 = count_paths(&gw(1, GwScale { eips: 4 }).program.cfg).total;
+        let p3 = count_paths(&gw(3, GwScale { eips: 4 }).program.cfg).total;
+        assert!(p3 > p1.mul(&p1), "gw-3 paths ≫ gw-1 paths: {p1} vs {p3}");
+    }
+
+    #[test]
+    fn summary_is_cheaper_than_naive_on_gw3() {
+        // The Fig. 11b shape at miniature scale: code summary must reduce
+        // SMT calls on the multi-pipe gateways.
+        use meissa_core::Meissa;
+        let w = gw(3, GwScale { eips: 8 });
+        let with = Meissa::new().run(&w.program);
+        let without = Meissa::without_summary().run(&w.program);
+        assert_eq!(with.templates.len(), without.templates.len(), "coverage equal");
+        assert!(
+            with.stats.smt_checks < without.stats.smt_checks,
+            "w/ summary {} vs w/o {}",
+            with.stats.smt_checks,
+            without.stats.smt_checks
+        );
+    }
+}

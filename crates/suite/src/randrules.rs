@@ -1,0 +1,180 @@
+//! Random table rule-set generation for the open-source corpus
+//! ("We generate random table rule sets for Router, mTag, ACL and
+//! switch.p4", §5.1).
+//!
+//! Values are drawn from deliberately *small, overlapping domains* so that
+//! chained tables line up the way production rule sets do (a port assigned
+//! by one table is a key another table matches on — the Fig. 7 diagonal);
+//! a seeded RNG adds jitter for wide fields and action choice.
+
+use meissa_lang::ast::{MatchKind, Program, TableDecl};
+use meissa_lang::{KeyMatch, Rule, RuleSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates `per_table` rules for every table declared in `prog`.
+pub fn generate_rules(prog: &Program, per_table: usize, seed: u64) -> RuleSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = RuleSet::new();
+    for table in &prog.tables {
+        for i in 0..per_table {
+            let rule = generate_rule(prog, table, i, &mut rng);
+            set.push(&table.name, rule);
+        }
+    }
+    set
+}
+
+fn width_of_key(prog: &Program, field: &str) -> u16 {
+    let parts: Vec<&str> = field.split('.').collect();
+    match parts.as_slice() {
+        ["hdr", header, f] => prog
+            .headers
+            .iter()
+            .find(|h| &h.name == header)
+            .and_then(|h| h.fields.iter().find(|(n, _)| n == f))
+            .map(|(_, w)| *w)
+            .unwrap_or(8),
+        [block, f] => prog
+            .metadatas
+            .iter()
+            .find(|m| &m.name == block)
+            .and_then(|m| m.fields.iter().find(|(n, _)| n == f))
+            .map(|(_, w)| *w)
+            .unwrap_or(8),
+        _ => 8,
+    }
+}
+
+fn mask(width: u16) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+fn generate_rule(prog: &Program, table: &TableDecl, i: usize, rng: &mut StdRng) -> Rule {
+    let keys = table
+        .keys
+        .iter()
+        .map(|(field, kind)| {
+            let w = width_of_key(prog, field);
+            let m = mask(w);
+            match kind {
+                // Small sequential exacts line up across chained tables.
+                MatchKind::Exact => KeyMatch::Exact((i as u128 + 1) & m),
+                MatchKind::Lpm => {
+                    // /24-style prefixes on wide keys, shorter on narrow.
+                    let len = (w / 4 * 3).clamp(1, w);
+                    let base = ((i as u128 + 1) << (w - len)) & m;
+                    KeyMatch::Prefix(base, len)
+                }
+                MatchKind::Ternary => {
+                    // Mostly fully-masked exacts with occasional wildcards
+                    // on a random nibble — realistic ACL shapes.
+                    let v = (i as u128 + 1) & m;
+                    if rng.random_range(0..4) == 0 && w >= 8 {
+                        let hole = rng.random_range(0..(w / 4)) as u32 * 4;
+                        KeyMatch::Ternary(v, m & !(0xf << hole))
+                    } else {
+                        KeyMatch::Ternary(v, m)
+                    }
+                }
+                MatchKind::Range => {
+                    let span = 8u128.min(m);
+                    let lo = (i as u128 * (span + 2)) & m;
+                    KeyMatch::Range(lo, (lo + span).min(m))
+                }
+            }
+        })
+        .collect();
+
+    // Cycle through the table's actions, preferring non-drop actions so
+    // most rules exercise real behaviour.
+    let mut names: Vec<&String> = table.actions.iter().collect();
+    names.sort_by_key(|n| n.contains("drop") || n.contains("deny"));
+    let aname = names[i % names.len().max(1)].clone();
+    let decl = prog
+        .actions
+        .iter()
+        .find(|a| a.name == aname)
+        .unwrap_or_else(|| panic!("table {} references unknown action {aname}", table.name));
+    let args = decl
+        .params
+        .iter()
+        .enumerate()
+        .map(|(j, (_, w))| {
+            let m = mask(*w);
+            // Small sequential values (aligned with exact keys), never 0 so
+            // "port assigned" intents stay meaningful.
+            (((i + j) as u128) & m).max(1u128.min(m))
+        })
+        .collect();
+    Rule {
+        keys,
+        action: aname,
+        args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use meissa_lang::parse_program;
+
+    #[test]
+    fn generates_requested_counts() {
+        let prog = parse_program(programs::ROUTER).unwrap();
+        let rs = generate_rules(&prog, 10, 1);
+        assert_eq!(rs.rules_for("ipv4_lpm").len(), 10);
+        assert_eq!(rs.rules_for("dmac_rewrite").len(), 10);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let prog = parse_program(programs::ACL).unwrap();
+        let a = generate_rules(&prog, 8, 7);
+        let b = generate_rules(&prog, 8, 7);
+        assert_eq!(a.rules_for("acl_filter"), b.rules_for("acl_filter"));
+    }
+
+    #[test]
+    fn rules_compile_against_their_program() {
+        for src in [
+            programs::ROUTER,
+            programs::MTAG,
+            programs::ACL,
+            programs::SWITCH_LITE,
+        ] {
+            let prog = parse_program(src).unwrap();
+            let rs = generate_rules(&prog, 6, 99);
+            meissa_lang::compile(&prog, &rs).expect("generated rules compile");
+        }
+    }
+
+    #[test]
+    fn exact_keys_are_distinct_per_rule() {
+        let prog = parse_program(programs::ROUTER).unwrap();
+        let rs = generate_rules(&prog, 12, 3);
+        let keys: Vec<_> = rs
+            .rules_for("dmac_rewrite")
+            .iter()
+            .map(|r| r.keys[0])
+            .collect();
+        let uniq: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(uniq.len(), keys.len());
+    }
+
+    #[test]
+    fn action_args_fit_their_widths() {
+        let prog = parse_program(programs::MTAG).unwrap();
+        let rs = generate_rules(&prog, 20, 5);
+        for r in rs.rules_for("mtag_add") {
+            for &a in &r.args {
+                assert!(a < 256, "8-bit arg fits");
+            }
+        }
+    }
+}

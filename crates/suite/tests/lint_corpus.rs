@@ -1,0 +1,95 @@
+//! The corpus must be lint-clean (no dead rules, no orphan declarations) —
+//! a guard against the generators drifting into producing meaningless
+//! workloads whose "coverage" is a pile of unreachable arms.
+
+use meissa_lang::{lint, parse_program, parse_rules, Lint};
+use meissa_suite::{gw, programs, randrules};
+
+#[test]
+fn open_source_sources_have_no_structural_lints() {
+    for (name, src) in [
+        ("router", programs::ROUTER),
+        ("acl", programs::ACL),
+        ("switch_lite", programs::SWITCH_LITE),
+    ] {
+        let prog = parse_program(src).unwrap();
+        let rules = randrules::generate_rules(&prog, 4, 1);
+        let lints = lint(&prog, &rules);
+        let structural: Vec<&Lint> = lints
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l,
+                    Lint::UnusedTable(_)
+                        | Lint::UnusedControl(_)
+                        | Lint::UnusedParser(_)
+                        | Lint::EmptyTable(_)
+                        | Lint::NeverValidHeader(_)
+                )
+            })
+            .collect();
+        assert!(structural.is_empty(), "{name}: {structural:?}");
+    }
+}
+
+#[test]
+fn gw_generators_emit_no_dead_rules() {
+    for level in 1..=4u8 {
+        let src = gw::gw_source(level);
+        let rules_text = gw::gw_rules(level, gw::rule_set(level));
+        let prog = parse_program(&src).unwrap();
+        let rules = parse_rules(&rules_text).unwrap();
+        let lints = lint(&prog, &rules);
+        let dead: Vec<&Lint> = lints
+            .iter()
+            .filter(|l| matches!(l, Lint::ShadowedRule { .. }))
+            .collect();
+        assert!(dead.is_empty(), "gw-{level}: {dead:?}");
+        let empty: Vec<&Lint> = lints
+            .iter()
+            .filter(|l| matches!(l, Lint::EmptyTable(_)))
+            .collect();
+        assert!(empty.is_empty(), "gw-{level}: {empty:?}");
+    }
+}
+
+#[test]
+fn bug2_unrestricted_acl_is_flagged_by_the_linter() {
+    // The §6 workflow: linting would have caught the bad ACL config before
+    // any switch time (the broad permit shadows the deny).
+    let cases = meissa_suite::bugs::all();
+    let bug2 = cases.iter().find(|c| c.index == 2).unwrap();
+    let lints = lint(
+        &bug2.workload.program.source,
+        &rules_of(&bug2.workload.program),
+    );
+    assert!(
+        lints
+            .iter()
+            .any(|l| matches!(l, Lint::ShadowedRule { table, .. } if table == "acl_filter")),
+        "{lints:?}"
+    );
+}
+
+/// Reconstructs the rule set of a compiled program for lint purposes by
+/// re-parsing the corpus text is not possible here; instead lint the clean
+/// gateway's rules against the bad-ACL variant via the bug corpus. The bug
+/// corpus compiles rules into the CFG, so rebuild the rule set from the
+/// known corpus constant.
+fn rules_of(_p: &meissa_lang::CompiledProgram) -> meissa_lang::RuleSet {
+    meissa_lang::parse_rules(
+        r#"
+        rules acl_filter {
+          0x00000000 &&& 0x00000000 => noop();
+          0xc0a80100 &&& 0xffffff00 => acl_deny();
+        }
+        rules eip_lookup {
+          10.0.0.1 => eip_hit(1, 1);
+        }
+        rules vni_underlay {
+          1 => encap_to(0x0b000001);
+        }
+    "#,
+    )
+    .unwrap()
+}

@@ -1,0 +1,71 @@
+//! The §6 production cases: three real bugs Meissa caught in deployment,
+//! reproduced end-to-end — checksum fail-to-update (Table 2 #6), the
+//! bf-p4c `setValid` backend bug (#14), and the pragma field-overlap
+//! miscompilation (#15) — plus the bug-localization trace engineers read.
+//!
+//! ```sh
+//! cargo run --release --example bug_hunt
+//! ```
+
+use meissa::baselines::aquila;
+use meissa::core::Meissa;
+use meissa::dataplane::SwitchTarget;
+use meissa::driver::{TestDriver, Verdict};
+use meissa::suite::bugs;
+
+fn main() {
+    let cases = bugs::all();
+    for index in [6usize, 14, 15] {
+        let case = cases.iter().find(|c| c.index == index).unwrap();
+        println!("── Table 2 bug #{}: {} ───────────────", case.index, case.name);
+        let program = &case.workload.program;
+
+        // Generate the full-coverage suite and run it against the deployed
+        // build (which carries the fault for the non-code cases).
+        let mut run = Meissa::new().run(program);
+        let driver = TestDriver::new(program);
+        let target = SwitchTarget::with_fault(program, case.fault.clone());
+        let report = driver.run(&mut run, &target);
+        assert!(report.found_bug(), "bug #{index} must be detected");
+
+        let failing = report
+            .cases
+            .iter()
+            .find(|c| !matches!(c.verdict, Verdict::Pass | Verdict::Skipped { .. }))
+            .expect("a failing case");
+        match &failing.verdict {
+            Verdict::OutputMismatch { detail } => {
+                println!("Meissa: NO PASS — {detail}");
+            }
+            Verdict::IntentViolation { intent } => {
+                println!("Meissa: NO PASS — intent `{intent}` violated");
+            }
+            _ => unreachable!(),
+        }
+
+        // §7 bug localization: the symbolic replay trace engineers review.
+        println!("localization trace (first steps):");
+        for step in failing.trace.iter().take(6) {
+            println!("  {step}");
+        }
+        if failing.trace.is_empty() {
+            println!("  (intent violation: trace omitted — see test report)");
+        }
+
+        // Verification cannot see these: the code logic is correct (or the
+        // checksum is outside the solver's reach for #6).
+        let verdict = aquila::verify(program, None);
+        println!(
+            "Aquila-like verification: {} (violations: {:?}, skipped intents: {:?})",
+            if verdict.found_bug() { "flagged" } else { "clean — bug invisible to verification" },
+            verdict.violations,
+            verdict.skipped_intents
+        );
+        assert!(
+            !verdict.found_bug(),
+            "verification must miss bug #{index} per Table 2"
+        );
+        println!();
+    }
+    println!("All three §6 production cases reproduced: testing catches them, verification cannot.");
+}

@@ -1,0 +1,92 @@
+//! Figure 1: the multi-switch multi-pipeline data plane.
+//!
+//! gw-4 spans two switches × four pipes each. Flow A stays inside switch 0
+//! (`ingress0 → egress1 → ingress1 → egress0`); flow B crosses into switch
+//! 1 and traverses six pipelines end-to-end. This example generates the
+//! full-coverage suite, then injects one concrete packet per flow and
+//! prints the pipeline traversal each one takes.
+//!
+//! ```sh
+//! cargo run --release --example multi_switch
+//! ```
+
+use meissa::core::Meissa;
+use meissa::dataplane::{serialize_state, SwitchTarget};
+use meissa::ir::ConcreteState;
+use meissa::num::Bv;
+use meissa::suite::gw;
+
+fn main() {
+    // gw-4 at a small rule scale: 8 pipelines across 2 switches.
+    let w = gw::gw(4, gw::GwScale { eips: 4 });
+    let program = &w.program;
+    let paths = meissa::ir::count_paths(&program.cfg).total;
+    println!(
+        "gw-4: {} pipelines across {} switches, 10^{:.1} possible paths",
+        program.num_pipes,
+        program.num_switches,
+        paths.log10()
+    );
+    for p in program.cfg.pipelines() {
+        println!("  pipeline {}", p.name);
+    }
+
+    // Full-coverage test generation across both switches.
+    let run = Meissa::new().run(program);
+    println!(
+        "\n{} templates cover every end-to-end behaviour ({} SMT checks)",
+        run.templates.len(),
+        run.stats.smt_checks
+    );
+
+    // Two hand-picked flows, like Fig. 1's A and B. The EIP rules assign
+    // cross = k % 2: EIP .1 (k=0) stays in sw0, EIP .2 (k=1) crosses.
+    let fields = &program.cfg.fields;
+    let f = |n: &str| fields.get(n).unwrap();
+    let mk_flow = |dst: u128, src_port: u128| {
+        ConcreteState::from_pairs([
+            (f("hdr.ethernet.ether_type"), Bv::new(16, 0x0800)),
+            (f("hdr.ipv4.protocol"), Bv::new(8, 6)),
+            (f("hdr.ipv4.ttl"), Bv::new(8, 64)),
+            (f("hdr.ipv4.src_addr"), Bv::new(32, 0x01020304)),
+            (f("hdr.ipv4.dst_addr"), Bv::new(32, dst)),
+            (f("hdr.tcp.src_port"), Bv::new(16, src_port)),
+        ])
+    };
+
+    let target = SwitchTarget::new(program);
+    // Source ports pick the QoS class the per-switch gates permit on each
+    // flow's egress port (class j is allowed on port (j % 4) + 1).
+    for (name, dst, sport) in [
+        ("flow A (stays in switch 0)", 0x0a00_0001u128, 1000u128),
+        ("flow B (crosses to switch 1)", 0x0a00_0002, 1001),
+    ] {
+        let input = mk_flow(dst, sport);
+        let packet = serialize_state(program, &input, 1).unwrap();
+        let out = target.inject(&packet);
+        let trace = meissa::driver::trace_execution(program, &input);
+
+        // Which pipelines did the packet traverse? A pipeline was entered
+        // iff its entry marker appears in the deterministic trace... the
+        // markers are no-ops, so recover traversal from node membership.
+        let mut traversed: Vec<String> = Vec::new();
+        for step in &trace {
+            if let Some(pid) = program.cfg.pipeline_of(step.node) {
+                let pname = &program.cfg.pipeline(pid).name;
+                if traversed.last() != Some(pname) {
+                    traversed.push(pname.clone());
+                }
+            }
+        }
+        println!("\n{name}:");
+        println!("  traversal: {}", traversed.join(" → "));
+        match out.packet {
+            Some(p) => println!(
+                "  forwarded on port {:?}, {} bytes on the wire",
+                out.egress_port.map(|b| b.val()),
+                p.len()
+            ),
+            None => println!("  dropped"),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # Meissa-rs
+//!
+//! A from-scratch Rust reproduction of *"Meissa: Scalable Network Testing for
+//! Programmable Data Planes"* (SIGCOMM 2022).
+//!
+//! This facade crate re-exports the whole workspace so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`num`] — bitvector values and big-integer path counters.
+//! * [`smt`] — the incremental bitvector SMT solver (bit-blasting + CDCL).
+//! * [`ir`] — the control flow graph of paper §3.1 and its semantics.
+//! * [`lang`] — the P4lite frontend: parser, rules, intents, CFG compiler.
+//! * [`dataplane`] — the software switch target and fault-injection backend.
+//! * [`core`] — symbolic execution (Alg. 1) and code summary (Alg. 2).
+//! * [`driver`] — the sender/receiver/checker test driver and reports.
+//! * [`suite`] — the evaluation corpus (Table 1 programs, rule sets, bugs).
+//! * [`baselines`] — p4pktgen-like, Gauntlet-like, and Aquila-like baselines.
+//!
+//! See `README.md` for a walkthrough and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use meissa_baselines as baselines;
+pub use meissa_core as core;
+pub use meissa_dataplane as dataplane;
+pub use meissa_driver as driver;
+pub use meissa_ir as ir;
+pub use meissa_lang as lang;
+pub use meissa_num as num;
+pub use meissa_smt as smt;
+pub use meissa_suite as suite;
