@@ -20,9 +20,10 @@
 use crate::{ToolRun, ToolVerdict};
 use meissa_core::exec::{explore, ExecConfig, RawPath};
 use meissa_core::symstate::{SymCtx, ValueStack};
+use meissa_core::SolveSession;
 use meissa_ir::{AExp, BExp, HashAlg};
 use meissa_lang::CompiledProgram;
-use meissa_smt::{CheckResult, Solver, TermPool};
+use meissa_smt::{CheckResult, Solver};
 use std::time::{Duration, Instant};
 
 /// A verification outcome.
@@ -67,7 +68,7 @@ fn bexp_has_csum(e: &BExp) -> bool {
 pub fn verify(program: &CompiledProgram, budget: Option<Duration>) -> VerifyOutcome {
     let t0 = Instant::now();
     let cfg = &program.cfg;
-    let mut pool = TermPool::new();
+    let mut session = SolveSession::new();
     let mut ctx = SymCtx::new(None);
 
     // Static deparser completeness: every header that *can* be valid at the
@@ -87,7 +88,7 @@ pub fn verify(program: &CompiledProgram, budget: Option<Duration>) -> VerifyOutc
     let mut paths: Vec<RawPath> = Vec::new();
     let stats = explore(
         cfg,
-        &mut pool,
+        &mut session,
         &mut ctx,
         cfg.entry(),
         None,
@@ -95,6 +96,9 @@ pub fn verify(program: &CompiledProgram, budget: Option<Duration>) -> VerifyOutc
         &exec_cfg,
         &mut |p| paths.push(p),
     );
+    // Path enumeration is done; the verification conditions below run on
+    // per-query fresh solvers, so only the pool outlives the session.
+    let mut pool = session.into_pool();
 
     let mut violations: Vec<String> = Vec::new();
     let mut skipped: Vec<String> = Vec::new();

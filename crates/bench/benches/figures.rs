@@ -1,4 +1,5 @@
-//! Criterion benches mirroring the paper's figures at CI-friendly scale.
+//! Benches mirroring the paper's figures at CI-friendly scale, on the
+//! in-repo `meissa_testkit::bench` timer.
 //!
 //! The report binaries (`cargo run --release -p meissa-bench --bin fig9` …)
 //! regenerate each figure at full scale; these benches track the same
@@ -7,18 +8,16 @@
 //! Appendix A pipeline-count scaling) with small inputs so regressions show
 //! up in routine `cargo bench` runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meissa_bench::{measure, meissa_config, no_summary_config};
 use meissa_core::exec::{generate_templates, ExecConfig};
 use meissa_core::summary::summarize;
-use meissa_core::{Meissa, MeissaConfig};
-use meissa_smt::TermPool;
+use meissa_core::{Meissa, MeissaConfig, SolveSession};
 use meissa_suite::gw::{gw, GwScale};
-use std::hint::black_box;
+use meissa_testkit::bench::{black_box, Suite};
 
 /// Fig. 7 microbench: intra-pipeline redundancy elimination on the
 /// two-chained-tables pipeline (n rules each: n² possible, n valid).
-fn fig7_redundancy(c: &mut Criterion) {
+fn fig7_redundancy() {
     use meissa_ir::{AExp, BExp, CfgBuilder, Stmt};
     use meissa_num::Bv;
 
@@ -55,140 +54,116 @@ fn fig7_redundancy(c: &mut Criterion) {
         b.finish()
     }
 
-    let mut group = c.benchmark_group("fig7_redundancy");
-    group.sample_size(10);
+    let mut group = Suite::new("fig7_redundancy").samples(10);
     for n in [10u128, 20] {
         let cfg = fig7_cfg(n);
-        group.bench_with_input(BenchmarkId::new("summarize", n), &cfg, |bench, cfg| {
-            bench.iter(|| {
-                let mut c = cfg.clone();
-                let mut pool = TermPool::new();
-                black_box(summarize(&mut c, &mut pool, &ExecConfig::default()));
-            })
+        group.bench(&format!("summarize/{n}"), || {
+            let mut c = cfg.clone();
+            let mut session = SolveSession::new();
+            black_box(summarize(&mut c, &mut session, &ExecConfig::default()));
         });
-        group.bench_with_input(BenchmarkId::new("naive_dfs", n), &cfg, |bench, cfg| {
-            bench.iter(|| {
-                let mut pool = TermPool::new();
-                black_box(generate_templates(cfg, &mut pool, &ExecConfig::default()));
-            })
+        group.bench(&format!("naive_dfs/{n}"), || {
+            let mut session = SolveSession::new();
+            black_box(generate_templates(&cfg, &mut session, &ExecConfig::default()));
         });
     }
-    group.finish();
 }
 
 /// Fig. 9 at small scale: Meissa vs the two testing baselines on Router.
-fn fig9_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_scalability");
-    group.sample_size(10);
+fn fig9_scalability() {
+    let mut group = Suite::new("fig9_scalability").samples(10);
     let w = meissa_suite::router(6, 7);
-    group.bench_function("meissa", |b| {
-        b.iter(|| black_box(measure(&w, meissa_config(None))))
+    group.bench("meissa", || {
+        black_box(measure(&w, meissa_config(None)));
     });
-    group.bench_function("p4pktgen_like", |b| {
-        b.iter(|| {
-            black_box(
-                Meissa {
-                    config: MeissaConfig {
-                        code_summary: false,
-                        incremental: false,
-                        ..MeissaConfig::default()
-                    },
-                }
-                .run(&w.program),
-            )
-        })
+    group.bench("p4pktgen_like", || {
+        black_box(
+            Meissa {
+                config: MeissaConfig {
+                    code_summary: false,
+                    incremental: false,
+                    ..MeissaConfig::default()
+                },
+            }
+            .run(&w.program),
+        );
     });
-    group.bench_function("gauntlet_like", |b| {
-        b.iter(|| {
-            black_box(
-                Meissa {
-                    config: MeissaConfig {
-                        code_summary: false,
-                        early_termination: false,
-                        incremental: false,
-                        ..MeissaConfig::default()
-                    },
-                }
-                .run(&w.program),
-            )
-        })
+    group.bench("gauntlet_like", || {
+        black_box(
+            Meissa {
+                config: MeissaConfig {
+                    code_summary: false,
+                    early_termination: false,
+                    incremental: false,
+                    ..MeissaConfig::default()
+                },
+            }
+            .run(&w.program),
+        );
     });
-    group.finish();
 }
 
 /// Fig. 11 at small scale: summary on/off across gw levels.
-fn fig11_summary(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_summary");
-    group.sample_size(10);
+fn fig11_summary() {
+    let mut group = Suite::new("fig11_summary").samples(10);
     for level in [2u8, 3] {
         let w = gw(level, GwScale { eips: 4 });
-        group.bench_with_input(BenchmarkId::new("with_summary", level), &w, |b, w| {
-            b.iter(|| black_box(measure(w, meissa_config(None))))
+        group.bench(&format!("with_summary/{level}"), || {
+            black_box(measure(&w, meissa_config(None)));
         });
-        group.bench_with_input(BenchmarkId::new("without_summary", level), &w, |b, w| {
-            b.iter(|| black_box(measure(w, no_summary_config(None))))
+        group.bench(&format!("without_summary/{level}"), || {
+            black_box(measure(&w, no_summary_config(None)));
         });
     }
-    group.finish();
 }
 
 /// Fig. 12 at small scale: rule-set sweep on gw-2.
-fn fig12_rulesets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_rulesets");
-    group.sample_size(10);
+fn fig12_rulesets() {
+    let mut group = Suite::new("fig12_rulesets").samples(10);
     for eips in [4usize, 8] {
         let w = gw(2, GwScale { eips });
-        group.bench_with_input(BenchmarkId::new("with_summary", eips), &w, |b, w| {
-            b.iter(|| black_box(measure(w, meissa_config(None))))
+        group.bench(&format!("with_summary/{eips}"), || {
+            black_box(measure(&w, meissa_config(None)));
         });
-        group.bench_with_input(BenchmarkId::new("without_summary", eips), &w, |b, w| {
-            b.iter(|| black_box(measure(w, no_summary_config(None))))
+        group.bench(&format!("without_summary/{eips}"), || {
+            black_box(measure(&w, no_summary_config(None)));
         });
     }
-    group.finish();
 }
 
 /// Appendix A: pipeline-count scaling (k = 1, 2, 4 pipes at fixed rules).
-fn appendix_a_complexity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("appendix_a_complexity");
-    group.sample_size(10);
+fn appendix_a_complexity() {
+    let mut group = Suite::new("appendix_a_complexity").samples(10);
     for level in [1u8, 2, 3] {
         let w = gw(level, GwScale { eips: 4 });
-        group.bench_with_input(BenchmarkId::new("meissa", level), &w, |b, w| {
-            b.iter(|| black_box(measure(w, meissa_config(None))))
+        group.bench(&format!("meissa/{level}"), || {
+            black_box(measure(&w, meissa_config(None)));
         });
     }
-    group.finish();
 }
 
 /// Ablation: §7 grouped pre-conditions vs the ungrouped Algorithm 2
 /// (the design choice DESIGN.md §5 calls out).
-fn ablation_grouped_summary(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_grouped_summary");
-    group.sample_size(10);
+fn ablation_grouped_summary() {
+    let mut group = Suite::new("ablation_grouped_summary").samples(10);
     let w = gw(3, GwScale { eips: 8 });
-    group.bench_function("grouped", |b| {
-        b.iter(|| black_box(measure(&w, meissa_config(None))))
+    group.bench("grouped", || {
+        black_box(measure(&w, meissa_config(None)));
     });
-    group.bench_function("ungrouped", |b| {
-        b.iter(|| {
-            let cfg = MeissaConfig {
-                grouped_summary: false,
-                ..MeissaConfig::default()
-            };
-            black_box(measure(&w, cfg))
-        })
+    group.bench("ungrouped", || {
+        let cfg = MeissaConfig {
+            grouped_summary: false,
+            ..MeissaConfig::default()
+        };
+        black_box(measure(&w, cfg));
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    fig7_redundancy,
-    fig9_scalability,
-    fig11_summary,
-    fig12_rulesets,
-    appendix_a_complexity,
-    ablation_grouped_summary
-);
-criterion_main!(figures);
+fn main() {
+    fig7_redundancy();
+    fig9_scalability();
+    fig11_summary();
+    fig12_rulesets();
+    appendix_a_complexity();
+    ablation_grouped_summary();
+}

@@ -1,6 +1,7 @@
 //! Shared measurement helpers for the figure/table report binaries and the
-//! Criterion benches. Each paper artifact has a binary in `src/bin/` that
-//! regenerates it:
+//! `benches/figures.rs` bench suite (on the in-repo `meissa_testkit::bench`
+//! timer). Each paper artifact has a binary in `src/bin/` that regenerates
+//! it:
 //!
 //! | artifact | binary |
 //! |---|---|
@@ -17,11 +18,11 @@
 use meissa_core::{Meissa, MeissaConfig, RunOutput};
 use meissa_num::BigUint;
 use meissa_suite::Workload;
-use serde::Serialize;
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 use std::time::{Duration, Instant};
 
 /// One engine measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EngineRun {
     /// Wall-clock seconds.
     pub secs: f64,
@@ -34,6 +35,35 @@ pub struct EngineRun {
     pub log10_paths: f64,
     /// True when the time budget expired.
     pub timed_out: bool,
+}
+
+impl ToJson for EngineRun {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".into(), self.secs.to_json()),
+            ("smt_checks".into(), self.smt_checks.to_json()),
+            ("templates".into(), self.templates.to_json()),
+            ("log10_paths".into(), self.log10_paths.to_json()),
+            ("timed_out".into(), self.timed_out.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineRun {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(EngineRun {
+            secs: FromJson::from_json(v.field("secs")?)
+                .map_err(|e: JsonError| e.context("EngineRun.secs"))?,
+            smt_checks: FromJson::from_json(v.field("smt_checks")?)
+                .map_err(|e: JsonError| e.context("EngineRun.smt_checks"))?,
+            templates: FromJson::from_json(v.field("templates")?)
+                .map_err(|e: JsonError| e.context("EngineRun.templates"))?,
+            log10_paths: FromJson::from_json(v.field("log10_paths")?)
+                .map_err(|e: JsonError| e.context("EngineRun.log10_paths"))?,
+            timed_out: FromJson::from_json(v.field("timed_out")?)
+                .map_err(|e: JsonError| e.context("EngineRun.timed_out"))?,
+        })
+    }
 }
 
 /// Runs an engine configuration on a workload and collects the numbers.

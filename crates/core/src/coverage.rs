@@ -120,9 +120,9 @@ pub fn full_valid_coverage(_cfg: &Cfg, templates: &[TestTemplate], valid_paths: 
 mod tests {
     use super::*;
     use crate::exec::{generate_templates, ExecConfig};
+    use crate::session::SolveSession;
     use meissa_ir::{AExp, BExp, CfgBuilder, Stmt};
     use meissa_num::Bv;
-    use meissa_smt::TermPool;
 
     fn diamond() -> Cfg {
         let mut b = CfgBuilder::new();
@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn full_coverage_on_all_valid_paths() {
         let cfg = diamond();
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         let report = measure(&cfg, &out.templates);
         assert_eq!(report.paths_covered, 3);
         assert_eq!(report.statement_ratio(), 1.0);
@@ -160,8 +160,8 @@ mod tests {
     #[test]
     fn partial_template_sets_show_partial_coverage() {
         let cfg = diamond();
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         let partial = &out.templates[..1];
         let report = measure(&cfg, partial);
         assert_eq!(report.paths_covered, 1);
@@ -202,8 +202,8 @@ mod tests {
         b.nop();
         let cfg = b.finish();
 
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         let valid: Vec<Vec<NodeId>> = out.templates.iter().map(|t| t.path.clone()).collect();
         assert!(full_valid_coverage(&cfg, &out.templates, &valid));
         let report = measure(&cfg, &out.templates);

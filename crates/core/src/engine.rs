@@ -6,12 +6,13 @@
 //! after code summary (Figs. 11c/12c).
 
 use crate::exec::{generate_templates, ExecConfig};
+use crate::session::SolveSession;
 use crate::summary::{summarize, SummaryStats};
 use crate::template::TestTemplate;
 use meissa_ir::{count_paths, Cfg};
 use meissa_lang::CompiledProgram;
 use meissa_num::BigUint;
-use meissa_smt::TermPool;
+use meissa_smt::{SolverStats, TermPool};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -83,6 +84,10 @@ pub struct RunStats {
     pub pruned: u64,
     /// Per-pipeline summary stats.
     pub summary: Option<SummaryStats>,
+    /// Cumulative solver counters across every solver the run's
+    /// [`SolveSession`] retired (fast-path vs SAT-engine split, verdict
+    /// tallies, peak frame depth).
+    pub solver: SolverStats,
     /// True when a time budget expired before completion.
     pub timed_out: bool,
 }
@@ -142,7 +147,7 @@ impl Meissa {
     /// Runs test case generation directly on a CFG.
     pub fn run_on_cfg(&self, original: &Cfg) -> RunOutput {
         let t0 = Instant::now();
-        let mut pool = TermPool::new();
+        let mut session = SolveSession::new();
         let mut cfg = original.clone();
         let mut stats = RunStats {
             paths_before: count_paths(original).total,
@@ -155,13 +160,13 @@ impl Meissa {
         // basic framework is the whole algorithm.
         let multi_pipe = cfg.pipeline_topo_order().len() >= 2;
         if self.config.code_summary && multi_pipe {
-            let outcome = summarize(&mut cfg, &mut pool, &self.config.exec_config());
+            let outcome = summarize(&mut cfg, &mut session, &self.config.exec_config());
             stats.summary_elapsed = outcome.stats.elapsed;
             stats.smt_checks += outcome.stats.smt_checks;
             stats.timed_out |= outcome.stats.timed_out;
             if let Some(paths) = outcome.completed {
                 completed = Some(crate::exec::raw_paths_to_templates(
-                    &pool,
+                    &session.pool,
                     &outcome.ctx,
                     paths,
                 ));
@@ -180,7 +185,7 @@ impl Meissa {
                 templates
             }
             None => {
-                let exec = generate_templates(&cfg, &mut pool, &self.config.exec_config());
+                let exec = generate_templates(&cfg, &mut session, &self.config.exec_config());
                 stats.exec_elapsed = exec.stats.elapsed;
                 stats.smt_checks += exec.stats.smt_checks;
                 stats.valid_paths = exec.stats.valid_paths;
@@ -190,10 +195,11 @@ impl Meissa {
                 exec.templates
             }
         };
+        stats.solver = session.solver_stats();
         stats.elapsed = t0.elapsed();
 
         RunOutput {
-            pool,
+            pool: session.into_pool(),
             cfg,
             templates,
             stats,

@@ -17,6 +17,7 @@
 //!   re-asserted constraint list (what a tool without push/pop pays);
 //! * both `true` — Meissa's configuration.
 
+use crate::session::SolveSession;
 use crate::symstate::{SymCtx, ValueStack};
 use crate::template::{HashObligation, TestTemplate};
 use meissa_ir::{Cfg, NodeId, Stmt};
@@ -92,12 +93,16 @@ pub struct RawPath {
 }
 
 /// Generates test case templates for a CFG (Algorithm 1).
-pub fn generate_templates(cfg: &Cfg, pool: &mut TermPool, config: &ExecConfig) -> ExecOutput {
+pub fn generate_templates(
+    cfg: &Cfg,
+    session: &mut SolveSession,
+    config: &ExecConfig,
+) -> ExecOutput {
     let mut ctx = SymCtx::new(None);
     let mut paths = Vec::new();
     let stats = explore(
         cfg,
-        pool,
+        session,
         &mut ctx,
         cfg.entry(),
         None,
@@ -105,7 +110,7 @@ pub fn generate_templates(cfg: &Cfg, pool: &mut TermPool, config: &ExecConfig) -
         config,
         &mut |p| paths.push(p),
     );
-    let templates = raw_paths_to_templates(pool, &ctx, paths);
+    let templates = raw_paths_to_templates(&session.pool, &ctx, paths);
     ExecOutput { templates, stats }
 }
 
@@ -199,7 +204,7 @@ fn term_set_mentions(
 #[allow(clippy::too_many_arguments)]
 pub fn explore(
     cfg: &Cfg,
-    pool: &mut TermPool,
+    session: &mut SolveSession,
     ctx: &mut SymCtx,
     start: NodeId,
     target: Option<NodeId>,
@@ -210,7 +215,7 @@ pub fn explore(
     let targets = target.into_iter().collect();
     explore_multi(
         cfg,
-        pool,
+        session,
         ctx,
         start,
         &targets,
@@ -229,10 +234,16 @@ pub fn explore(
 /// emitted (the caller distinguishes them by their last node) — Algorithm
 /// 2's extension needs both continuations toward later pipelines and
 /// program-completing paths.
+/// Starts from a **fresh solver** (`session.reset_solver()`): frames and
+/// learned clauses from a previous top-level exploration would slow unit
+/// propagation more than re-blasting costs. Use [`explore_in_session`] to
+/// keep the session's current solver — and its bit-blasting cache — warm
+/// across related explorations (Algorithm 2's per-group searches and
+/// per-seed extensions).
 #[allow(clippy::too_many_arguments)]
 pub fn explore_multi(
     cfg: &Cfg,
-    pool: &mut TermPool,
+    session: &mut SolveSession,
     ctx: &mut SymCtx,
     start: NodeId,
     targets: &std::collections::HashSet<NodeId>,
@@ -241,86 +252,70 @@ pub fn explore_multi(
     config: &ExecConfig,
     sink: &mut dyn FnMut(RawPath),
 ) -> ExecStats {
-    let mut explorer = Explorer::new(config.clone());
-    explorer.run(
+    session.reset_solver();
+    explore_in_session(
         cfg,
-        pool,
+        session,
         ctx,
         start,
         targets,
         base_constraints,
         initial_values,
+        config,
         sink,
     )
 }
 
-/// A reusable exploration engine: one incremental solver (and therefore one
-/// bit-blasting cache) shared across many [`Explorer::run`] calls. Base
-/// constraints are installed in a solver frame per call, so successive
-/// explorations with different pre-conditions — Algorithm 2's per-group
-/// searches and per-seed extensions — reuse everything the solver has
-/// already learned, instead of re-encoding the shared program terms from
-/// scratch each time.
-pub struct Explorer {
-    solver: Solver,
-    config: ExecConfig,
-    checks_consumed: u64,
-}
-
-impl Explorer {
-    /// Creates an explorer with the given configuration.
-    pub fn new(config: ExecConfig) -> Self {
-        Explorer {
-            solver: Solver::new(),
-            config,
-            checks_consumed: 0,
-        }
+/// One exploration pass over the session's **current** solver; see
+/// [`explore_multi`] for parameter semantics. Base constraints are installed
+/// in a solver frame per call, so successive calls with different
+/// pre-conditions reuse everything the solver has already learned (one
+/// shared bit-blasting cache), instead of re-encoding the shared program
+/// terms from scratch each time. Frame isolation keeps verdicts independent
+/// across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_in_session(
+    cfg: &Cfg,
+    session: &mut SolveSession,
+    ctx: &mut SymCtx,
+    start: NodeId,
+    targets: &std::collections::HashSet<NodeId>,
+    base_constraints: &[TermId],
+    initial_values: &[(meissa_ir::FieldId, TermId)],
+    config: &ExecConfig,
+    sink: &mut dyn FnMut(RawPath),
+) -> ExecStats {
+    let mut stats = ExecStats::default();
+    let t0 = Instant::now();
+    let SolveSession { pool, solver, .. } = session;
+    solver.push();
+    for &c in base_constraints {
+        solver.assert_term(pool, c);
     }
-
-    /// One exploration pass; see [`explore_multi`] for parameter semantics.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run(
-        &mut self,
-        cfg: &Cfg,
-        pool: &mut TermPool,
-        ctx: &mut SymCtx,
-        start: NodeId,
-        targets: &std::collections::HashSet<NodeId>,
-        base_constraints: &[TermId],
-        initial_values: &[(meissa_ir::FieldId, TermId)],
-        sink: &mut dyn FnMut(RawPath),
-    ) -> ExecStats {
-        let mut stats = ExecStats::default();
-        let t0 = Instant::now();
-        self.solver.push();
-        for &c in base_constraints {
-            self.solver.assert_term(pool, c);
-        }
-        let mut walker = Walker {
-            cfg,
-            targets,
-            config: &self.config,
-            stats: &mut stats,
-            sink,
-            t0,
-            all_constraints: base_constraints.to_vec(),
-            trace: Vec::new(),
-            emitted: 0,
-        };
-        let mut v = ValueStack::new();
-        for &(f, t) in initial_values {
-            v.set(f, t);
-        }
-        walker.visit(pool, ctx, &mut self.solver, &mut v, start);
-        self.solver.pop();
-        // Incremental checks are counted by the shared solver (delta since
-        // the previous run); non-incremental checks were tallied directly
-        // into `stats.smt_checks` by the walker.
-        stats.smt_checks += self.solver.stats.checks - self.checks_consumed;
-        self.checks_consumed = self.solver.stats.checks;
-        stats.elapsed = t0.elapsed();
-        stats
+    let mut walker = Walker {
+        cfg,
+        targets,
+        config,
+        stats: &mut stats,
+        sink,
+        t0,
+        all_constraints: base_constraints.to_vec(),
+        trace: Vec::new(),
+        emitted: 0,
+    };
+    let mut v = ValueStack::new();
+    for &(f, t) in initial_values {
+        v.set(f, t);
     }
+    walker.visit(pool, ctx, solver, &mut v, start);
+    solver.pop();
+    // Incremental checks are counted by the session's solver (delta since
+    // the previous exploration); non-incremental checks were tallied
+    // directly into `stats.smt_checks` by the walker.
+    stats.smt_checks += session.take_new_checks();
+    stats.elapsed = t0.elapsed();
+    session.record(&stats);
+    stats
 }
 
 struct Walker<'a> {
@@ -548,8 +543,8 @@ mod tests {
     #[test]
     fn fig7_valid_paths_are_diagonal() {
         let cfg = fig7_cfg(5);
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         // 25 possible, 5 valid (port set by table A must match table B key).
         assert_eq!(out.templates.len(), 5);
         assert_eq!(out.stats.valid_paths, 5);
@@ -559,12 +554,12 @@ mod tests {
     #[test]
     fn early_termination_prunes_smt_work() {
         let cfg = fig7_cfg(6);
-        let mut pool1 = TermPool::new();
-        let with = generate_templates(&cfg, &mut pool1, &ExecConfig::default());
-        let mut pool2 = TermPool::new();
+        let mut session1 = SolveSession::new();
+        let with = generate_templates(&cfg, &mut session1, &ExecConfig::default());
+        let mut session2 = SolveSession::new();
         let without = generate_templates(
             &cfg,
-            &mut pool2,
+            &mut session2,
             &ExecConfig {
                 early_termination: false,
                 ..ExecConfig::default()
@@ -580,11 +575,11 @@ mod tests {
         // End-to-end Definition 3 check: every template's model drives the
         // concrete evaluator down exactly the template's path.
         let cfg = fig7_cfg(4);
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         for t in &out.templates {
             let input = t
-                .instantiate(&mut pool, &cfg.fields, &[])
+                .instantiate(&mut session.pool, &cfg.fields, &[])
                 .expect("valid template instantiates");
             let result = meissa_ir::eval_path(&cfg, &t.path, &input);
             assert!(result.is_ok(), "model must execute the covered path");
@@ -594,8 +589,8 @@ mod tests {
     #[test]
     fn distinct_templates_cover_distinct_paths() {
         let cfg = fig7_cfg(4);
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         let mut seen = std::collections::HashSet::new();
         for t in &out.templates {
             assert!(seen.insert(t.path.clone()), "duplicate path");
@@ -625,8 +620,8 @@ mod tests {
         b.nop();
         let cfg = b.finish();
 
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         assert_eq!(out.templates.len(), 1);
         assert_eq!(out.stats.pruned, 1);
     }
@@ -643,8 +638,8 @@ mod tests {
             AExp::Const(Bv::new(32, 0x0a010101)),
         )));
         let cfg = b.finish();
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         assert_eq!(out.templates.len(), 0);
         assert_eq!(out.stats.pruned, 1);
     }
@@ -652,10 +647,10 @@ mod tests {
     #[test]
     fn max_templates_caps_output() {
         let cfg = fig7_cfg(8);
-        let mut pool = TermPool::new();
+        let mut session = SolveSession::new();
         let out = generate_templates(
             &cfg,
-            &mut pool,
+            &mut session,
             &ExecConfig {
                 max_templates: Some(3),
                 ..ExecConfig::default()
@@ -667,10 +662,10 @@ mod tests {
     #[test]
     fn time_budget_flags_timeout() {
         let cfg = fig7_cfg(10);
-        let mut pool = TermPool::new();
+        let mut session = SolveSession::new();
         let out = generate_templates(
             &cfg,
-            &mut pool,
+            &mut session,
             &ExecConfig {
                 time_budget: Some(Duration::from_nanos(1)),
                 ..ExecConfig::default()
@@ -682,12 +677,12 @@ mod tests {
     #[test]
     fn non_incremental_mode_matches_results() {
         let cfg = fig7_cfg(5);
-        let mut pool1 = TermPool::new();
-        let inc = generate_templates(&cfg, &mut pool1, &ExecConfig::default());
-        let mut pool2 = TermPool::new();
+        let mut session1 = SolveSession::new();
+        let inc = generate_templates(&cfg, &mut session1, &ExecConfig::default());
+        let mut session2 = SolveSession::new();
         let fresh = generate_templates(
             &cfg,
-            &mut pool2,
+            &mut session2,
             &ExecConfig {
                 incremental: false,
                 ..ExecConfig::default()
@@ -697,55 +692,76 @@ mod tests {
     }
 
     #[test]
-    fn explorer_reuses_one_solver_across_runs() {
-        // The Explorer keeps one solver: successive runs with different
-        // base constraints answer from the shared bit-blasting cache, and
-        // frame isolation keeps verdicts independent.
+    fn session_reuses_one_solver_across_explorations() {
+        // `explore_in_session` keeps the session's solver: successive runs
+        // with different base constraints answer from the shared
+        // bit-blasting cache, and frame isolation keeps verdicts
+        // independent.
         let cfg = fig7_cfg(4);
-        let mut pool = TermPool::new();
+        let mut session = SolveSession::new();
         let mut ctx = crate::symstate::SymCtx::new(None);
-        let mut explorer = Explorer::new(ExecConfig::default());
+        let config = ExecConfig::default();
         let dst = cfg.fields.get("dstIP").unwrap();
-        let dst_var = pool.var("dstIP", 32);
+        let dst_var = session.pool.var("dstIP", 32);
         let targets = std::collections::HashSet::new();
 
         // Unconstrained: all 4 diagonal paths.
         let mut n_free = 0;
-        explorer.run(&cfg, &mut pool, &mut ctx, cfg.entry(), &targets, &[], &[], &mut |_| {
-            n_free += 1;
-        });
+        explore_in_session(
+            &cfg,
+            &mut session,
+            &mut ctx,
+            cfg.entry(),
+            &targets,
+            &[],
+            &[],
+            &config,
+            &mut |_| n_free += 1,
+        );
         assert_eq!(n_free, 4);
 
         // Base-constrained to one dst: a single path.
-        let k = pool.bv_const(meissa_num::Bv::new(32, 0x01010102));
-        let pin = pool.eq(dst_var, k);
+        let k = session.pool.bv_const(meissa_num::Bv::new(32, 0x01010102));
+        let pin = session.pool.eq(dst_var, k);
         let mut n_pinned = 0;
-        explorer.run(
+        explore_in_session(
             &cfg,
-            &mut pool,
+            &mut session,
             &mut ctx,
             cfg.entry(),
             &targets,
             &[pin],
             &[],
+            &config,
             &mut |_| n_pinned += 1,
         );
         assert_eq!(n_pinned, 1);
 
         // And the constraint did not leak into a third run.
         let mut n_again = 0;
-        explorer.run(&cfg, &mut pool, &mut ctx, cfg.entry(), &targets, &[], &[], &mut |_| {
-            n_again += 1;
-        });
+        explore_in_session(
+            &cfg,
+            &mut session,
+            &mut ctx,
+            cfg.entry(),
+            &targets,
+            &[],
+            &[],
+            &config,
+            &mut |_| n_again += 1,
+        );
         assert_eq!(n_again, 4);
+        // The session accumulated every exploration's work.
+        assert_eq!(session.exec.valid_paths, 9);
+        assert!(session.solver_stats().checks > 0);
         let _ = dst;
     }
 
     #[test]
     fn final_values_capture_effects() {
         let cfg = fig7_cfg(3);
-        let mut pool = TermPool::new();
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         let mac = cfg.fields.get("dstMAC").unwrap();
         for t in &out.templates {
             let mac_val = t
@@ -754,7 +770,7 @@ mod tests {
                 .find(|(f, _)| *f == mac)
                 .map(|&(_, v)| v)
                 .expect("dstMAC assigned on every valid path");
-            assert!(pool.as_const(mac_val).is_some());
+            assert!(session.pool.as_const(mac_val).is_some());
         }
     }
 }

@@ -11,6 +11,10 @@
 //!   paths' constraints and agreeing values) prune the per-pipeline search,
 //!   and each surviving valid path is re-encoded as one guard predicate plus
 //!   atomic effect assignments via `@` auxiliary variables.
+//! * [`session`] — the [`session::SolveSession`] bundle (term pool +
+//!   incremental solver + cumulative statistics) threaded through every
+//!   layer instead of loose `(pool, solver, stats)` parameters; the unit of
+//!   state a future parallel DFS hands to each worker.
 //! * [`template`] — test case templates and their instantiation into
 //!   concrete input states (solver model extraction + hash post-filtering).
 //! * [`engine`] — the top-level [`engine::Meissa`] façade used by the test
@@ -21,10 +25,12 @@
 pub mod coverage;
 pub mod engine;
 pub mod exec;
+pub mod session;
 pub mod summary;
 pub mod symstate;
 pub mod template;
 
 pub use engine::{Meissa, MeissaConfig, RunOutput, RunStats};
 pub use exec::{ExecConfig, ExecOutput, ExecStats};
+pub use session::SolveSession;
 pub use template::{HashObligation, TestTemplate};

@@ -1,0 +1,150 @@
+//! The unified solve session threaded through the engine layers.
+//!
+//! Historically `engine` → `summary` → `exec` passed a `&mut TermPool`, a
+//! `Solver`, and loose stat counters as separate parameters at every level.
+//! [`SolveSession`] bundles them: one term pool, one current incremental
+//! solver, and cumulative statistics across every exploration the session
+//! ran. Besides removing the parameter threading, the bundle is the unit a
+//! future parallel DFS hands to each worker — a worker owns one session,
+//! and merging workers is merging their cumulative stats.
+
+use crate::exec::ExecStats;
+use meissa_smt::{Solver, SolverStats, TermPool};
+
+/// One solving context: term pool + current incremental solver + cumulative
+/// statistics. All engine-layer entry points ([`crate::exec::explore_multi`],
+/// [`crate::exec::generate_templates`], [`crate::summary::summarize`]) take
+/// `&mut SolveSession` instead of loose `(pool, solver, stats)` triples.
+pub struct SolveSession {
+    /// The term pool every constraint of this session lives in.
+    pub pool: TermPool,
+    /// The current incremental solver. Private: explorations manage frames
+    /// and check accounting through it, and [`SolveSession::reset_solver`]
+    /// replaces it wholesale.
+    pub(crate) solver: Solver,
+    /// Cumulative execution counters across every exploration this session
+    /// ran (each call also returns its own per-call [`ExecStats`] delta).
+    pub exec: ExecStats,
+    /// Solver counters retired by [`SolveSession::reset_solver`]; added to
+    /// the live solver's counters by [`SolveSession::solver_stats`].
+    retired: SolverStats,
+    /// Live-solver checks already attributed to some exploration's
+    /// per-call stats (the incremental-check delta accounting previously
+    /// kept by the `Explorer`).
+    pub(crate) checks_consumed: u64,
+}
+
+impl Default for SolveSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolveSession {
+    /// A fresh session: empty pool, fresh solver, zeroed statistics.
+    pub fn new() -> Self {
+        SolveSession {
+            pool: TermPool::new(),
+            solver: Solver::new(),
+            exec: ExecStats::default(),
+            retired: SolverStats::default(),
+            checks_consumed: 0,
+        }
+    }
+
+    /// Replaces the incremental solver with a fresh one, retiring its
+    /// counters into the session totals. Frames and learned clauses from
+    /// thousands of probes would otherwise accumulate and slow unit
+    /// propagation more than re-blasting costs — which is why each
+    /// top-level exploration starts from a fresh solver.
+    pub fn reset_solver(&mut self) {
+        let old = std::mem::replace(&mut self.solver, Solver::new());
+        self.retired = add_solver_stats(self.retired, old.stats);
+        self.checks_consumed = 0;
+    }
+
+    /// Cumulative solver counters: every retired solver plus the live one.
+    pub fn solver_stats(&self) -> SolverStats {
+        add_solver_stats(self.retired, self.solver.stats)
+    }
+
+    /// Live-solver checks not yet attributed to a per-exploration stats
+    /// delta; marks them consumed.
+    pub(crate) fn take_new_checks(&mut self) -> u64 {
+        let delta = self.solver.stats.checks - self.checks_consumed;
+        self.checks_consumed = self.solver.stats.checks;
+        delta
+    }
+
+    /// Folds one exploration's per-call counters into the session totals.
+    pub(crate) fn record(&mut self, delta: &ExecStats) {
+        self.exec.paths_explored += delta.paths_explored;
+        self.exec.valid_paths += delta.valid_paths;
+        self.exec.pruned += delta.pruned;
+        self.exec.smt_checks += delta.smt_checks;
+        self.exec.elapsed += delta.elapsed;
+        self.exec.timed_out |= delta.timed_out;
+    }
+
+    /// Consumes the session, yielding the pool (for [`crate::RunOutput`],
+    /// whose templates' constraints live in it).
+    pub fn into_pool(self) -> TermPool {
+        self.pool
+    }
+}
+
+/// `SolverStats` has no `Add` impl upstream; the session sums every counter
+/// except `depth`, which is a gauge (the retired solver's depth is dead, the
+/// live one's is current).
+fn add_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
+    SolverStats {
+        checks: a.checks + b.checks,
+        fast_path: a.fast_path + b.fast_path,
+        sat_engine_calls: a.sat_engine_calls + b.sat_engine_calls,
+        sat: a.sat + b.sat,
+        unsat: a.unsat + b.unsat,
+        depth: b.depth,
+        max_depth: a.max_depth.max(b.max_depth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_retires_counters() {
+        let mut s = SolveSession::new();
+        let t = s.pool.bool_const(true);
+        s.solver.push();
+        s.solver.assert_term(&mut s.pool, t);
+        s.solver.check(&mut s.pool);
+        assert_eq!(s.solver_stats().checks, 1);
+        s.reset_solver();
+        assert_eq!(s.solver_stats().checks, 1, "retired checks survive reset");
+        assert_eq!(s.take_new_checks(), 0, "fresh solver has no new checks");
+        s.solver.push();
+        s.solver.assert_term(&mut s.pool, t);
+        s.solver.check(&mut s.pool);
+        assert_eq!(s.solver_stats().checks, 2);
+        assert_eq!(s.take_new_checks(), 1);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = SolveSession::new();
+        let d = ExecStats {
+            paths_explored: 3,
+            valid_paths: 2,
+            pruned: 1,
+            smt_checks: 5,
+            elapsed: std::time::Duration::from_millis(2),
+            timed_out: false,
+        };
+        s.record(&d);
+        s.record(&d);
+        assert_eq!(s.exec.paths_explored, 6);
+        assert_eq!(s.exec.smt_checks, 10);
+        assert!(!s.exec.timed_out);
+    }
+}

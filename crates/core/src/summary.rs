@@ -26,6 +26,7 @@
 //! path condition and effect — holds by construction (§3.4).
 
 use crate::exec::{ExecConfig, ExecStats, RawPath};
+use crate::session::SolveSession;
 use crate::symstate::SymCtx;
 use meissa_ir::{AExp, AOp, BExp, Cfg, CmpOp, FieldId, PipelineId, Stmt};
 use meissa_smt::{TermId, TermNode, TermPool};
@@ -69,7 +70,7 @@ pub struct SummaryOutcome {
 /// re-exploring the whole prefix graph per pipeline. This is a sound
 /// refinement — summarizing a pipeline never changes the regions before it
 /// — that removes a quadratic-in-pipeline-count re-enumeration.
-pub fn summarize(cfg: &mut Cfg, pool: &mut TermPool, config: &ExecConfig) -> SummaryOutcome {
+pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig) -> SummaryOutcome {
     let mut stats = SummaryStats::default();
     let mut completed: Vec<RawPath> = Vec::new();
     let t0 = std::time::Instant::now();
@@ -91,7 +92,7 @@ pub fn summarize(cfg: &mut Cfg, pool: &mut TermPool, config: &ExecConfig) -> Sum
         let mut sink_paths: Vec<RawPath> = Vec::new();
         let st = crate::exec::explore_multi(
             cfg,
-            pool,
+            session,
             &mut prog_ctx,
             cfg.entry(),
             &targets,
@@ -116,7 +117,7 @@ pub fn summarize(cfg: &mut Cfg, pool: &mut TermPool, config: &ExecConfig) -> Sum
     for (idx, &pid) in order.iter().enumerate() {
         let entry = entry_of[idx];
         let seeds = cache.remove(&entry).unwrap_or_default();
-        summarize_pipeline(cfg, pool, &mut prog_ctx, pid, &seeds, config, &mut stats);
+        summarize_pipeline(cfg, session, &mut prog_ctx, pid, &seeds, config, &mut stats);
         if stats.timed_out {
             break;
         }
@@ -130,7 +131,7 @@ pub fn summarize(cfg: &mut Cfg, pool: &mut TermPool, config: &ExecConfig) -> Sum
             let mut extended: Vec<RawPath> = Vec::new();
             let st = crate::exec::explore_multi(
                 cfg,
-                pool,
+                session,
                 &mut prog_ctx,
                 entry,
                 &later,
@@ -163,7 +164,7 @@ pub fn summarize(cfg: &mut Cfg, pool: &mut TermPool, config: &ExecConfig) -> Sum
     }
     stats.elapsed = t0.elapsed();
     let interrupted = stats.timed_out;
-    let completed = dedup_subsumed(pool, completed);
+    let completed = dedup_subsumed(&session.pool, completed);
     SummaryOutcome {
         stats,
         completed: if interrupted { None } else { Some(completed) },
@@ -216,7 +217,7 @@ fn dedup_subsumed(pool: &TermPool, completed: Vec<RawPath>) -> Vec<RawPath> {
 
 fn summarize_pipeline(
     cfg: &mut Cfg,
-    pool: &mut TermPool,
+    session: &mut SolveSession,
     prog_ctx: &mut SymCtx,
     pid: PipelineId,
     entry_paths: &[RawPath],
@@ -282,7 +283,7 @@ fn summarize_pipeline(
         let key: Vec<(FieldId, meissa_num::Bv)> = if config.grouped_summary {
             read_set
                 .iter()
-                .filter_map(|&f| const_value_on(prog_ctx, pool, p, f).map(|c| (f, c)))
+                .filter_map(|&f| const_value_on(prog_ctx, &session.pool, p, f).map(|c| (f, c)))
                 .collect()
         } else {
             // Ablation: one global group — Algorithm 2's ungrouped public
@@ -341,7 +342,7 @@ fn summarize_pipeline(
         base.sort(); // deterministic assertion order
         let seeds: Vec<(FieldId, TermId)> = projection
             .iter()
-            .map(|&(f, c)| (f, pool.bv_const(c)))
+            .map(|&(f, c)| (f, session.pool.bv_const(c)))
             .collect();
         let seed_map: HashMap<FieldId, TermId> = seeds.iter().copied().collect();
         // Non-constant reads on which every member still agrees get binding
@@ -365,21 +366,21 @@ fn summarize_pipeline(
                 if seed_map.contains_key(&f) {
                     continue;
                 }
-                let first = value_on(prog_ctx, pool, members[0], f);
+                let first = value_on(prog_ctx, &mut session.pool, members[0], f);
                 for p in &members[1..] {
-                    if value_on(prog_ctx, pool, p, f) != first {
+                    if value_on(prog_ctx, &mut session.pool, p, f) != first {
                         continue 'bind; // ★: members disagree
                     }
                 }
-                let entry_var = ppl_ctx.read(pool, &fields, &v0, f);
-                let bind = pool.eq(entry_var, first);
+                let entry_var = ppl_ctx.read(&mut session.pool, &fields, &v0, f);
+                let bind = session.pool.eq(entry_var, first);
                 base.push(bind);
             }
         }
         let mut local_paths: Vec<RawPath> = Vec::new();
         let in_stats: ExecStats = crate::exec::explore_multi(
             cfg,
-            pool,
+            session,
             &mut ppl_ctx,
             entry,
             &std::iter::once(exit).collect(),
@@ -409,7 +410,7 @@ fn summarize_pipeline(
         // local conjunct can be hash-consed to the same term as a base one.
         for p in &local_paths {
             let mut enc = group_guard.clone();
-            enc.extend(encode_path(cfg, pool, &ppl_ctx, &name, p, base.len(), &seed_map));
+            enc.extend(encode_path(cfg, &session.pool, &ppl_ctx, &name, p, base.len(), &seed_map));
             if seen_paths.insert(enc.clone()) {
                 encoded.push(enc);
             }
@@ -678,8 +679,8 @@ mod tests {
     fn fig7_intra_pipeline_elimination() {
         let mut cfg = fig7_pipeline(10);
         assert_eq!(count_paths(&cfg).total, BigUint::from_u64(100));
-        let mut pool = TermPool::new();
-        let outcome = summarize(&mut cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let outcome = summarize(&mut cfg, &mut session, &ExecConfig::default());
         assert_eq!(count_paths(&cfg).total, BigUint::from_u64(10));
         assert_eq!(outcome.stats.pipelines.len(), 1);
         assert_eq!(outcome.stats.pipelines[0].2, 10, "10 valid paths kept");
@@ -692,16 +693,16 @@ mod tests {
         // with identical final state.
         let original = fig7_pipeline(6);
         let mut summarized = original.clone();
-        let mut pool = TermPool::new();
-        summarize(&mut summarized, &mut pool, &ExecConfig::default());
-        let out = generate_templates(&summarized, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        summarize(&mut summarized, &mut session, &ExecConfig::default());
+        let out = generate_templates(&summarized, &mut session, &ExecConfig::default());
         assert_eq!(out.templates.len(), 6);
         let mac = original.fields.get("dstMAC").unwrap();
         let port = original.fields.get("egressPort").unwrap();
         let mut seen_macs = HashSet::new();
         for t in &out.templates {
             let input = t
-                .instantiate(&mut pool, &summarized.fields, &[])
+                .instantiate(&mut session.pool, &summarized.fields, &[])
                 .expect("template instantiates");
             // Replay on the summarized path: must succeed.
             let sum_out = meissa_ir::eval_path(&summarized, &t.path, &input)
@@ -779,8 +780,8 @@ mod tests {
         let mut cfg = fig8_two_pipelines();
         // Before: 2 (ppl1) × 2 (ppl2) = 4 possible paths.
         assert_eq!(count_paths(&cfg).total, BigUint::from_u64(4));
-        let mut pool = TermPool::new();
-        let outcome = summarize(&mut cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let outcome = summarize(&mut cfg, &mut session, &ExecConfig::default());
         // ppl2 keeps only the TCP path: 2 × 1 = 2 paths remain.
         assert_eq!(count_paths(&cfg).total, BigUint::from_u64(2));
         let ppl2 = &outcome.stats.pipelines[1];
@@ -811,8 +812,8 @@ mod tests {
         let original = b.finish();
 
         let mut summarized = original.clone();
-        let mut pool = TermPool::new();
-        summarize(&mut summarized, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        summarize(&mut summarized, &mut session, &ExecConfig::default());
 
         // Concrete check on both graphs from srcPort = 555.
         let init = meissa_ir::ConcreteState::from_pairs([(sp, Bv::new(16, 555))]);
@@ -865,13 +866,13 @@ mod tests {
         b.nop();
         let cfg = b.finish();
 
-        let mut pool_naive = TermPool::new();
-        let naive = generate_templates(&cfg, &mut pool_naive, &ExecConfig::default());
+        let mut session_naive = SolveSession::new();
+        let naive = generate_templates(&cfg, &mut session_naive, &ExecConfig::default());
 
         let mut summarized = cfg.clone();
-        let mut pool = TermPool::new();
-        summarize(&mut summarized, &mut pool, &ExecConfig::default());
-        let with_summary = generate_templates(&summarized, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        summarize(&mut summarized, &mut session, &ExecConfig::default());
+        let with_summary = generate_templates(&summarized, &mut session, &ExecConfig::default());
 
         // x is never modified, so only x∈{0,1} survives all three pipelines
         // (p2 needs x<2, p0/p1 need x<3): 2 valid end-to-end paths.
@@ -892,11 +893,11 @@ mod tests {
         b.end_pipeline();
         b.nop();
         let mut cfg = b.finish();
-        let mut pool = TermPool::new();
-        let outcome = summarize(&mut cfg, &mut pool, &ExecConfig::default());
+        let mut session = SolveSession::new();
+        let outcome = summarize(&mut cfg, &mut session, &ExecConfig::default());
         assert_eq!(outcome.stats.pipelines[0].2, 0, "gate keeps zero paths");
         assert_eq!(outcome.stats.pipelines[1].1, 0, "nothing reaches `after`");
-        let out = generate_templates(&cfg, &mut pool, &ExecConfig::default());
+        let out = generate_templates(&cfg, &mut session, &ExecConfig::default());
         assert!(out.templates.is_empty());
     }
 }

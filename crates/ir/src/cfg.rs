@@ -8,19 +8,45 @@
 
 use crate::exp::{BExp, Stmt};
 use crate::fields::FieldTable;
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::{HashMap, VecDeque};
 
 /// A node handle within one [`Cfg`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NodeId(pub u32);
 
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0 as u128)
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(NodeId(u32::from_json(v).map_err(|e| e.context("NodeId"))?))
+    }
+}
+
 /// A pipeline handle within one [`Cfg`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct PipelineId(pub u32);
 
+impl ToJson for PipelineId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0 as u128)
+    }
+}
+
+impl FromJson for PipelineId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PipelineId(
+            u32::from_json(v).map_err(|e| e.context("PipelineId"))?,
+        ))
+    }
+}
+
 /// One CFG node: a statement plus its successors.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// The statement executed at this node.
     pub stmt: Stmt,
@@ -28,8 +54,27 @@ pub struct Node {
     pub succ: Vec<NodeId>,
 }
 
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("stmt".into(), self.stmt.to_json()),
+            ("succ".into(), self.succ.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Node {
+            stmt: Stmt::from_json(v.field("stmt")?).map_err(|e| e.context("Node.stmt"))?,
+            succ: Vec::<NodeId>::from_json(v.field("succ")?)
+                .map_err(|e| e.context("Node.succ"))?,
+        })
+    }
+}
+
 /// Metadata for one pipeline region.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PipelineInfo {
     /// Human-readable name, e.g. `sw0.ingress0`.
     pub name: String,
@@ -39,8 +84,31 @@ pub struct PipelineInfo {
     pub exit: NodeId,
 }
 
+impl ToJson for PipelineInfo {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("entry".into(), self.entry.to_json()),
+            ("exit".into(), self.exit.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PipelineInfo {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PipelineInfo {
+            name: String::from_json(v.field("name")?)
+                .map_err(|e| e.context("PipelineInfo.name"))?,
+            entry: NodeId::from_json(v.field("entry")?)
+                .map_err(|e| e.context("PipelineInfo.entry"))?,
+            exit: NodeId::from_json(v.field("exit")?)
+                .map_err(|e| e.context("PipelineInfo.exit"))?,
+        })
+    }
+}
+
 /// The control flow graph of a whole (multi-pipeline, multi-switch) program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cfg {
     nodes: Vec<Node>,
     entry: NodeId,
@@ -342,6 +410,76 @@ impl Cfg {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+impl ToJson for Cfg {
+    fn to_json(&self) -> Json {
+        // raw_guards is a HashMap; emit entries sorted by node id so the
+        // encoded text is byte-stable across runs.
+        let mut guards: Vec<(&NodeId, &BExp)> = self.raw_guards.iter().collect();
+        guards.sort_by_key(|(n, _)| **n);
+        Json::Obj(vec![
+            ("nodes".into(), self.nodes.to_json()),
+            ("entry".into(), self.entry.to_json()),
+            ("fields".into(), self.fields.to_json()),
+            ("pipelines".into(), self.pipelines.to_json()),
+            (
+                "raw_guards".into(),
+                Json::Arr(
+                    guards
+                        .into_iter()
+                        .map(|(n, g)| Json::Arr(vec![n.to_json(), g.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Cfg {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let nodes = Vec::<Node>::from_json(v.field("nodes")?)
+            .map_err(|e| e.context("Cfg.nodes"))?;
+        let entry = NodeId::from_json(v.field("entry")?).map_err(|e| e.context("Cfg.entry"))?;
+        let fields = FieldTable::from_json(v.field("fields")?)
+            .map_err(|e| e.context("Cfg.fields"))?;
+        let pipelines = Vec::<PipelineInfo>::from_json(v.field("pipelines")?)
+            .map_err(|e| e.context("Cfg.pipelines"))?;
+        let raw_guards = Vec::<(NodeId, BExp)>::from_json(v.field("raw_guards")?)
+            .map_err(|e| e.context("Cfg.raw_guards"))?
+            .into_iter()
+            .collect::<HashMap<_, _>>();
+        let bound = nodes.len() as u32;
+        let check = |id: NodeId, what: &str| -> Result<(), JsonError> {
+            if id.0 >= bound {
+                return Err(JsonError::new(format!(
+                    "Cfg {what} references node {} out of {bound}",
+                    id.0
+                )));
+            }
+            Ok(())
+        };
+        check(entry, "entry")?;
+        for n in &nodes {
+            for &s in &n.succ {
+                check(s, "edge")?;
+            }
+        }
+        for p in &pipelines {
+            check(p.entry, "pipeline entry")?;
+            check(p.exit, "pipeline exit")?;
+        }
+        for id in raw_guards.keys() {
+            check(*id, "raw guard")?;
+        }
+        Ok(Cfg {
+            nodes,
+            entry,
+            fields,
+            pipelines,
+            raw_guards,
+        })
     }
 }
 
@@ -671,6 +809,44 @@ mod tests {
         let problems = g.validate();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("16-bit value to 8-bit"), "{problems:?}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let mut b = CfgBuilder::new();
+        b.begin_pipeline("ingress0");
+        let f = b.fields_mut().intern("x", 8);
+        let raw = BExp::Cmp(CmpOp::Eq, AExp::Field(f), AExp::Const(Bv::new(8, 7)));
+        b.stmt_with_raw(Stmt::Assume(raw.clone()), raw.clone());
+        assign(&mut b, "y", 16, 2);
+        b.end_pipeline();
+        let g = b.finish();
+
+        let text = g.to_json_text();
+        let back = Cfg::from_json_text(&text).unwrap();
+        // Cfg has no PartialEq; re-encoding must reproduce the same bytes,
+        // and the structural accessors must agree.
+        assert_eq!(back.to_json_text(), text);
+        assert_eq!(back.entry(), g.entry());
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.pipelines().len(), 1);
+        assert_eq!(back.pipelines()[0].name, "ingress0");
+        assert_eq!(back.fields.get("x"), g.fields.get("x"));
+        let guarded = g
+            .reachable()
+            .into_iter()
+            .find(|&n| g.raw_guard(n).is_some())
+            .unwrap();
+        assert_eq!(back.raw_guard(guarded), Some(&raw));
+    }
+
+    #[test]
+    fn json_decode_rejects_dangling_edges() {
+        let mut b = CfgBuilder::new();
+        assign(&mut b, "x", 8, 1);
+        let g = b.finish();
+        let text = g.to_json_text().replace("\"entry\":0", "\"entry\":99");
+        assert!(Cfg::from_json_text(&text).is_err());
     }
 
     #[test]

@@ -14,10 +14,10 @@
 use crate::fields::{FieldId, FieldTable};
 use crate::hash::HashAlg;
 use meissa_num::Bv;
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{tagged, untag, FromJson, Json, JsonError, ToJson};
 
 /// Arithmetic (bitvector) operators — `aop` in Fig. 3.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AOp {
     /// Wrapping addition, `+`.
     Add,
@@ -32,7 +32,7 @@ pub enum AOp {
 }
 
 /// Boolean connectives — `bop` in Fig. 3.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BOp {
     /// Conjunction, `&&`.
     And,
@@ -42,7 +42,7 @@ pub enum BOp {
 
 /// Comparison operators — `cop` in Fig. 3 (`<=` and `>=` appear in range
 /// table matches).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     /// `==`
     Eq,
@@ -59,7 +59,7 @@ pub enum CmpOp {
 }
 
 /// Arithmetic expressions — `aexp` in Fig. 3.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum AExp {
     /// A header field variable.
     Field(FieldId),
@@ -149,7 +149,7 @@ impl AExp {
 }
 
 /// Boolean expressions — `bexp` in Fig. 3.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum BExp {
     /// Constant true.
     True,
@@ -255,7 +255,7 @@ impl BExp {
 }
 
 /// Statements — `stmt` in Fig. 3.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Stmt {
     /// An action: `field ← aexp`.
     Assign(FieldId, AExp),
@@ -274,6 +274,210 @@ impl Stmt {
         match self {
             Stmt::Assign(f, e) => format!("{} ← {}", fields.name(*f), e.display(fields)),
             Stmt::Assume(b) => format!("assume {}", b.display(fields)),
+        }
+    }
+}
+
+impl ToJson for AOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                AOp::Add => "Add",
+                AOp::Sub => "Sub",
+                AOp::And => "And",
+                AOp::Or => "Or",
+                AOp::Xor => "Xor",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for AOp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str().map_err(|e| e.context("AOp"))? {
+            "Add" => Ok(AOp::Add),
+            "Sub" => Ok(AOp::Sub),
+            "And" => Ok(AOp::And),
+            "Or" => Ok(AOp::Or),
+            "Xor" => Ok(AOp::Xor),
+            other => Err(JsonError::new(format!("unknown AOp `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for BOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                BOp::And => "And",
+                BOp::Or => "Or",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for BOp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str().map_err(|e| e.context("BOp"))? {
+            "And" => Ok(BOp::And),
+            "Or" => Ok(BOp::Or),
+            other => Err(JsonError::new(format!("unknown BOp `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                CmpOp::Eq => "Eq",
+                CmpOp::Ne => "Ne",
+                CmpOp::Lt => "Lt",
+                CmpOp::Gt => "Gt",
+                CmpOp::Le => "Le",
+                CmpOp::Ge => "Ge",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str().map_err(|e| e.context("CmpOp"))? {
+            "Eq" => Ok(CmpOp::Eq),
+            "Ne" => Ok(CmpOp::Ne),
+            "Lt" => Ok(CmpOp::Lt),
+            "Gt" => Ok(CmpOp::Gt),
+            "Le" => Ok(CmpOp::Le),
+            "Ge" => Ok(CmpOp::Ge),
+            other => Err(JsonError::new(format!("unknown CmpOp `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for AExp {
+    fn to_json(&self) -> Json {
+        match self {
+            AExp::Field(f) => tagged("Field", f.to_json()),
+            AExp::Const(v) => tagged("Const", v.to_json()),
+            AExp::Bin(op, a, b) => {
+                tagged("Bin", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            AExp::Not(a) => tagged("Not", a.to_json()),
+            AExp::Shl(a, n) => tagged("Shl", Json::Arr(vec![a.to_json(), n.to_json()])),
+            AExp::Shr(a, n) => tagged("Shr", Json::Arr(vec![a.to_json(), n.to_json()])),
+            AExp::Hash(alg, w, args) => tagged(
+                "Hash",
+                Json::Arr(vec![alg.to_json(), w.to_json(), args.to_json()]),
+            ),
+        }
+    }
+}
+
+impl FromJson for AExp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("AExp"))?;
+        match tag {
+            "Field" => Ok(AExp::Field(FieldId::from_json(payload)?)),
+            "Const" => Ok(AExp::Const(Bv::from_json(payload)?)),
+            "Bin" => match payload.as_arr()? {
+                [op, a, b] => Ok(AExp::bin(
+                    AOp::from_json(op)?,
+                    AExp::from_json(a)?,
+                    AExp::from_json(b)?,
+                )),
+                _ => Err(JsonError::new("AExp::Bin needs [op, a, b]")),
+            },
+            "Not" => Ok(AExp::Not(Box::new(AExp::from_json(payload)?))),
+            "Shl" => match payload.as_arr()? {
+                [a, n] => Ok(AExp::Shl(Box::new(AExp::from_json(a)?), u16::from_json(n)?)),
+                _ => Err(JsonError::new("AExp::Shl needs [a, n]")),
+            },
+            "Shr" => match payload.as_arr()? {
+                [a, n] => Ok(AExp::Shr(Box::new(AExp::from_json(a)?), u16::from_json(n)?)),
+                _ => Err(JsonError::new("AExp::Shr needs [a, n]")),
+            },
+            "Hash" => match payload.as_arr()? {
+                [alg, w, args] => Ok(AExp::Hash(
+                    HashAlg::from_json(alg)?,
+                    u16::from_json(w)?,
+                    Vec::<AExp>::from_json(args)?,
+                )),
+                _ => Err(JsonError::new("AExp::Hash needs [alg, width, args]")),
+            },
+            other => Err(JsonError::new(format!("unknown AExp variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for BExp {
+    fn to_json(&self) -> Json {
+        match self {
+            BExp::True => Json::Str("True".into()),
+            BExp::False => Json::Str("False".into()),
+            BExp::Cmp(op, a, b) => {
+                tagged("Cmp", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            BExp::Bin(op, a, b) => {
+                tagged("Bin", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            BExp::Not(a) => tagged("Not", a.to_json()),
+        }
+    }
+}
+
+impl FromJson for BExp {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("BExp"))?;
+        match tag {
+            "True" => Ok(BExp::True),
+            "False" => Ok(BExp::False),
+            "Cmp" => match payload.as_arr()? {
+                [op, a, b] => Ok(BExp::Cmp(
+                    CmpOp::from_json(op)?,
+                    AExp::from_json(a)?,
+                    AExp::from_json(b)?,
+                )),
+                _ => Err(JsonError::new("BExp::Cmp needs [op, a, b]")),
+            },
+            // Decode structurally (no smart constructor): round-trips must
+            // preserve the exact tree the encoder saw.
+            "Bin" => match payload.as_arr()? {
+                [op, a, b] => Ok(BExp::Bin(
+                    BOp::from_json(op)?,
+                    Box::new(BExp::from_json(a)?),
+                    Box::new(BExp::from_json(b)?),
+                )),
+                _ => Err(JsonError::new("BExp::Bin needs [op, a, b]")),
+            },
+            "Not" => Ok(BExp::Not(Box::new(BExp::from_json(payload)?))),
+            other => Err(JsonError::new(format!("unknown BExp variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Stmt {
+    fn to_json(&self) -> Json {
+        match self {
+            Stmt::Assign(f, e) => tagged("Assign", Json::Arr(vec![f.to_json(), e.to_json()])),
+            Stmt::Assume(b) => tagged("Assume", b.to_json()),
+        }
+    }
+}
+
+impl FromJson for Stmt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("Stmt"))?;
+        match tag {
+            "Assign" => match payload.as_arr()? {
+                [f, e] => Ok(Stmt::Assign(FieldId::from_json(f)?, AExp::from_json(e)?)),
+                _ => Err(JsonError::new("Stmt::Assign needs [field, exp]")),
+            },
+            "Assume" => Ok(Stmt::Assume(BExp::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown Stmt variant `{other}`"))),
         }
     }
 }
@@ -349,5 +553,29 @@ mod tests {
         assert!(Stmt::Assume(BExp::True).is_nop());
         assert!(!Stmt::Assume(BExp::False).is_nop());
         assert!(!Stmt::Assign(a, AExp::Const(Bv::zero(32))).is_nop());
+    }
+
+    #[test]
+    fn stmt_json_roundtrip() {
+        let (_, a, b) = table();
+        let stmts = [
+            Stmt::Assume(BExp::True),
+            Stmt::Assign(
+                a,
+                AExp::Hash(
+                    HashAlg::Crc32,
+                    32,
+                    vec![AExp::Shl(Box::new(AExp::Field(b)), 3)],
+                ),
+            ),
+            Stmt::Assume(BExp::not(BExp::eq(
+                AExp::bin(AOp::Xor, AExp::Field(a), AExp::Field(b)),
+                AExp::Const(Bv::zero(32)),
+            ))),
+        ];
+        for s in stmts {
+            let text = s.to_json_text();
+            assert_eq!(Stmt::from_json_text(&text).unwrap(), s, "via `{text}`");
+        }
     }
 }

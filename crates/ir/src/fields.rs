@@ -6,15 +6,27 @@
 //! variable `@ppl2.hdr.tcp.src_port`. Fields are interned into dense ids so
 //! that symbolic and concrete states are flat vectors/maps keyed by `u32`.
 
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::HashMap;
 
 /// A dense handle for an interned field name.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FieldId(pub u32);
 
+impl ToJson for FieldId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0 as u128)
+    }
+}
+
+impl FromJson for FieldId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FieldId(u32::from_json(v).map_err(|e| e.context("FieldId"))?))
+    }
+}
+
 /// The interning table mapping field names to ids and widths.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug)]
 pub struct FieldTable {
     names: Vec<String>,
     widths: Vec<u16>,
@@ -86,6 +98,41 @@ impl FieldTable {
     /// never appear in a test template's input constraints.
     pub fn is_auxiliary(&self, id: FieldId) -> bool {
         self.name(id).starts_with('@')
+    }
+}
+
+impl ToJson for FieldTable {
+    fn to_json(&self) -> Json {
+        // `by_name` is derived from `names`, so only names/widths persist.
+        Json::Obj(vec![
+            ("names".into(), self.names.to_json()),
+            ("widths".into(), self.widths.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FieldTable {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let names = Vec::<String>::from_json(v.field("names")?)
+            .map_err(|e| e.context("FieldTable.names"))?;
+        let widths = Vec::<u16>::from_json(v.field("widths")?)
+            .map_err(|e| e.context("FieldTable.widths"))?;
+        if names.len() != widths.len() {
+            return Err(JsonError::new("FieldTable names/widths length mismatch"));
+        }
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), FieldId(i as u32)))
+            .collect::<HashMap<_, _>>();
+        if by_name.len() != names.len() {
+            return Err(JsonError::new("FieldTable has duplicate field names"));
+        }
+        Ok(FieldTable {
+            names,
+            widths,
+            by_name,
+        })
     }
 }
 

@@ -8,11 +8,11 @@
 //! semantics agree on hash values by construction.
 
 use meissa_num::Bv;
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 
 /// Hash algorithms available to P4lite programs (Tofino exposes CRC-family
 /// hashes plus an identity/"straight-through" selector).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum HashAlg {
     /// CRC-16/ARC (poly 0x8005 reflected).
     Crc16,
@@ -47,6 +47,32 @@ impl HashAlg {
             }
         };
         Bv::new(width, raw)
+    }
+}
+
+impl ToJson for HashAlg {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                HashAlg::Crc16 => "Crc16",
+                HashAlg::Crc32 => "Crc32",
+                HashAlg::Identity => "Identity",
+                HashAlg::Csum16 => "Csum16",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for HashAlg {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str().map_err(|e| e.context("HashAlg"))? {
+            "Crc16" => Ok(HashAlg::Crc16),
+            "Crc32" => Ok(HashAlg::Crc32),
+            "Identity" => Ok(HashAlg::Identity),
+            "Csum16" => Ok(HashAlg::Csum16),
+            other => Err(JsonError::new(format!("unknown HashAlg `{other}`"))),
+        }
     }
 }
 

@@ -4,10 +4,9 @@
 //! (and interning into `meissa_ir::FieldTable`) happens in [`mod@crate::compile`].
 
 use meissa_ir::HashAlg;
-use serde::{Deserialize, Serialize};
 
 /// A whole program: every top-level declaration plus the intent specs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     /// Header type declarations, in declaration order (which is also the
     /// packet serialization order used by the deparser default).
@@ -38,7 +37,7 @@ pub struct Program {
 }
 
 /// `header name { field: width; … }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HeaderDecl {
     /// Header type name.
     pub name: String,
@@ -54,7 +53,7 @@ impl HeaderDecl {
 }
 
 /// `metadata name { field: width; … }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MetadataDecl {
     /// Block name (fields are referenced as `name.field`).
     pub name: String,
@@ -63,7 +62,7 @@ pub struct MetadataDecl {
 }
 
 /// `register name[size]: width;`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RegisterDecl {
     /// Register array name.
     pub name: String,
@@ -74,7 +73,7 @@ pub struct RegisterDecl {
 }
 
 /// `parser name { state start { … } … }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParserDecl {
     /// Parser name.
     pub name: String,
@@ -83,7 +82,7 @@ pub struct ParserDecl {
 }
 
 /// One parser state: extracts then a transition.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParserState {
     /// State name.
     pub name: String,
@@ -94,7 +93,7 @@ pub struct ParserState {
 }
 
 /// Parser state transition.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Transition {
     /// Finish parsing and enter the control.
     Accept,
@@ -112,7 +111,7 @@ pub enum Transition {
 }
 
 /// A select arm pattern.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SelectPattern {
     /// Exact value.
     Exact(u128),
@@ -123,7 +122,7 @@ pub enum SelectPattern {
 }
 
 /// `action name(param: width, …) { stmt; … }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ActionDecl {
     /// Action name.
     pub name: String,
@@ -134,7 +133,7 @@ pub struct ActionDecl {
 }
 
 /// An action body statement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum ActionStmt {
     /// `lvalue = expr;`
     Assign(LValue, Expr),
@@ -145,7 +144,7 @@ pub enum ActionStmt {
 }
 
 /// Assignment target.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LValue {
     /// A dotted field reference: `hdr.ipv4.ttl` or `meta.port`.
     Field(String),
@@ -154,7 +153,7 @@ pub enum LValue {
 }
 
 /// Surface expressions (arithmetic sort).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Expr {
     /// Integer literal (width inferred from context).
     Num(u128),
@@ -184,7 +183,7 @@ impl Expr {
 }
 
 /// Surface boolean conditions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Cond {
     /// Constant.
     Bool(bool),
@@ -208,7 +207,7 @@ impl Cond {
 }
 
 /// Table key match kinds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MatchKind {
     /// Exact match.
     Exact,
@@ -221,7 +220,7 @@ pub enum MatchKind {
 }
 
 /// `table name { key = {…}; actions = {…}; default_action = a(args); }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TableDecl {
     /// Table name.
     pub name: String,
@@ -237,7 +236,7 @@ pub struct TableDecl {
 }
 
 /// `control name { stmt… }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ControlDecl {
     /// Control name.
     pub name: String,
@@ -246,7 +245,7 @@ pub struct ControlDecl {
 }
 
 /// Control block statements.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum CtrlStmt {
     /// `apply(table);`
     Apply(String),
@@ -257,7 +256,7 @@ pub enum CtrlStmt {
 }
 
 /// `pipeline name { parser = p; control = c; }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PipelineDecl {
     /// Pipeline name (may encode the switch, e.g. `sw0_ingress0`).
     pub name: String,
@@ -269,7 +268,7 @@ pub struct PipelineDecl {
 }
 
 /// `from -> to [when (cond)];` inside `topology { … }`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TopoEdge {
     /// Source: `start` or a pipeline name.
     pub from: String,
@@ -280,7 +279,7 @@ pub struct TopoEdge {
 }
 
 /// `intent name { given cond; expect cond; }`
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IntentDecl {
     /// Intent name.
     pub name: String,

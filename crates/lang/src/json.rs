@@ -1,0 +1,665 @@
+//! JSON encodings for the P4lite AST ([`crate::ast`]).
+//!
+//! Hand-written against `meissa-testkit`'s `ToJson`/`FromJson` (the
+//! hermetic replacement for the former `serde` derives). Conventions match
+//! the rest of the workspace: structs are objects keyed by field name in
+//! declaration order, unit enum variants are bare strings, payload variants
+//! are single-key objects (`{"Goto": "state"}`), and multi-payload variants
+//! carry an array.
+
+use crate::ast::*;
+use meissa_testkit::json::{tagged, untag, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Program {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("headers".into(), self.headers.to_json()),
+            ("metadatas".into(), self.metadatas.to_json()),
+            ("registers".into(), self.registers.to_json()),
+            ("parsers".into(), self.parsers.to_json()),
+            ("actions".into(), self.actions.to_json()),
+            ("tables".into(), self.tables.to_json()),
+            ("controls".into(), self.controls.to_json()),
+            ("pipelines".into(), self.pipelines.to_json()),
+            ("topology".into(), self.topology.to_json()),
+            ("deparser".into(), self.deparser.to_json()),
+            ("intents".into(), self.intents.to_json()),
+            ("loc".into(), self.loc.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Program {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Program {
+            headers: FromJson::from_json(v.field("headers")?)
+                .map_err(|e: JsonError| e.context("Program.headers"))?,
+            metadatas: FromJson::from_json(v.field("metadatas")?)
+                .map_err(|e: JsonError| e.context("Program.metadatas"))?,
+            registers: FromJson::from_json(v.field("registers")?)
+                .map_err(|e: JsonError| e.context("Program.registers"))?,
+            parsers: FromJson::from_json(v.field("parsers")?)
+                .map_err(|e: JsonError| e.context("Program.parsers"))?,
+            actions: FromJson::from_json(v.field("actions")?)
+                .map_err(|e: JsonError| e.context("Program.actions"))?,
+            tables: FromJson::from_json(v.field("tables")?)
+                .map_err(|e: JsonError| e.context("Program.tables"))?,
+            controls: FromJson::from_json(v.field("controls")?)
+                .map_err(|e: JsonError| e.context("Program.controls"))?,
+            pipelines: FromJson::from_json(v.field("pipelines")?)
+                .map_err(|e: JsonError| e.context("Program.pipelines"))?,
+            topology: FromJson::from_json(v.field("topology")?)
+                .map_err(|e: JsonError| e.context("Program.topology"))?,
+            deparser: FromJson::from_json(v.field("deparser")?)
+                .map_err(|e: JsonError| e.context("Program.deparser"))?,
+            intents: FromJson::from_json(v.field("intents")?)
+                .map_err(|e: JsonError| e.context("Program.intents"))?,
+            loc: FromJson::from_json(v.field("loc")?)
+                .map_err(|e: JsonError| e.context("Program.loc"))?,
+        })
+    }
+}
+
+impl ToJson for HeaderDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("fields".into(), self.fields.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HeaderDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(HeaderDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("HeaderDecl.name"))?,
+            fields: FromJson::from_json(v.field("fields")?)
+                .map_err(|e: JsonError| e.context("HeaderDecl.fields"))?,
+        })
+    }
+}
+
+impl ToJson for MetadataDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("fields".into(), self.fields.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetadataDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MetadataDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("MetadataDecl.name"))?,
+            fields: FromJson::from_json(v.field("fields")?)
+                .map_err(|e: JsonError| e.context("MetadataDecl.fields"))?,
+        })
+    }
+}
+
+impl ToJson for RegisterDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("size".into(), self.size.to_json()),
+            ("width".into(), self.width.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RegisterDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RegisterDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("RegisterDecl.name"))?,
+            size: FromJson::from_json(v.field("size")?)
+                .map_err(|e: JsonError| e.context("RegisterDecl.size"))?,
+            width: FromJson::from_json(v.field("width")?)
+                .map_err(|e: JsonError| e.context("RegisterDecl.width"))?,
+        })
+    }
+}
+
+impl ToJson for ParserDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("states".into(), self.states.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ParserDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ParserDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("ParserDecl.name"))?,
+            states: FromJson::from_json(v.field("states")?)
+                .map_err(|e: JsonError| e.context("ParserDecl.states"))?,
+        })
+    }
+}
+
+impl ToJson for ParserState {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("extracts".into(), self.extracts.to_json()),
+            ("transition".into(), self.transition.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ParserState {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ParserState {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("ParserState.name"))?,
+            extracts: FromJson::from_json(v.field("extracts")?)
+                .map_err(|e: JsonError| e.context("ParserState.extracts"))?,
+            transition: FromJson::from_json(v.field("transition")?)
+                .map_err(|e: JsonError| e.context("ParserState.transition"))?,
+        })
+    }
+}
+
+impl ToJson for Transition {
+    fn to_json(&self) -> Json {
+        match self {
+            Transition::Accept => Json::Str("Accept".into()),
+            Transition::Goto(s) => tagged("Goto", s.to_json()),
+            Transition::Select {
+                scrutinee,
+                arms,
+                default,
+            } => tagged(
+                "Select",
+                Json::Obj(vec![
+                    ("scrutinee".into(), scrutinee.to_json()),
+                    ("arms".into(), arms.to_json()),
+                    ("default".into(), default.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Transition {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("Transition"))?;
+        match tag {
+            "Accept" => Ok(Transition::Accept),
+            "Goto" => Ok(Transition::Goto(String::from_json(payload)?)),
+            "Select" => Ok(Transition::Select {
+                scrutinee: FromJson::from_json(payload.field("scrutinee")?)
+                    .map_err(|e: JsonError| e.context("Select.scrutinee"))?,
+                arms: FromJson::from_json(payload.field("arms")?)
+                    .map_err(|e: JsonError| e.context("Select.arms"))?,
+                default: FromJson::from_json(payload.field("default")?)
+                    .map_err(|e: JsonError| e.context("Select.default"))?,
+            }),
+            other => Err(JsonError::new(format!("unknown Transition `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for SelectPattern {
+    fn to_json(&self) -> Json {
+        match self {
+            SelectPattern::Exact(v) => tagged("Exact", Json::UInt(*v)),
+            SelectPattern::Mask(v, m) => {
+                tagged("Mask", Json::Arr(vec![Json::UInt(*v), Json::UInt(*m)]))
+            }
+            SelectPattern::Range(a, b) => {
+                tagged("Range", Json::Arr(vec![Json::UInt(*a), Json::UInt(*b)]))
+            }
+        }
+    }
+}
+
+impl FromJson for SelectPattern {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("SelectPattern"))?;
+        match tag {
+            "Exact" => Ok(SelectPattern::Exact(u128::from_json(payload)?)),
+            "Mask" => match payload.as_arr()? {
+                [a, m] => Ok(SelectPattern::Mask(u128::from_json(a)?, u128::from_json(m)?)),
+                _ => Err(JsonError::new("SelectPattern::Mask needs [value, mask]")),
+            },
+            "Range" => match payload.as_arr()? {
+                [a, b] => Ok(SelectPattern::Range(u128::from_json(a)?, u128::from_json(b)?)),
+                _ => Err(JsonError::new("SelectPattern::Range needs [lo, hi]")),
+            },
+            other => Err(JsonError::new(format!("unknown SelectPattern `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for ActionDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("params".into(), self.params.to_json()),
+            ("body".into(), self.body.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ActionDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ActionDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("ActionDecl.name"))?,
+            params: FromJson::from_json(v.field("params")?)
+                .map_err(|e: JsonError| e.context("ActionDecl.params"))?,
+            body: FromJson::from_json(v.field("body")?)
+                .map_err(|e: JsonError| e.context("ActionDecl.body"))?,
+        })
+    }
+}
+
+impl ToJson for ActionStmt {
+    fn to_json(&self) -> Json {
+        match self {
+            ActionStmt::Assign(lv, e) => {
+                tagged("Assign", Json::Arr(vec![lv.to_json(), e.to_json()]))
+            }
+            ActionStmt::SetValid(h) => tagged("SetValid", h.to_json()),
+            ActionStmt::SetInvalid(h) => tagged("SetInvalid", h.to_json()),
+        }
+    }
+}
+
+impl FromJson for ActionStmt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("ActionStmt"))?;
+        match tag {
+            "Assign" => match payload.as_arr()? {
+                [lv, e] => Ok(ActionStmt::Assign(
+                    LValue::from_json(lv)?,
+                    Expr::from_json(e)?,
+                )),
+                _ => Err(JsonError::new("ActionStmt::Assign needs [lvalue, expr]")),
+            },
+            "SetValid" => Ok(ActionStmt::SetValid(String::from_json(payload)?)),
+            "SetInvalid" => Ok(ActionStmt::SetInvalid(String::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown ActionStmt `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for LValue {
+    fn to_json(&self) -> Json {
+        match self {
+            LValue::Field(f) => tagged("Field", f.to_json()),
+            LValue::Register(r, i) => {
+                tagged("Register", Json::Arr(vec![r.to_json(), i.to_json()]))
+            }
+        }
+    }
+}
+
+impl FromJson for LValue {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("LValue"))?;
+        match tag {
+            "Field" => Ok(LValue::Field(String::from_json(payload)?)),
+            "Register" => match payload.as_arr()? {
+                [r, i] => Ok(LValue::Register(String::from_json(r)?, u32::from_json(i)?)),
+                _ => Err(JsonError::new("LValue::Register needs [name, index]")),
+            },
+            other => Err(JsonError::new(format!("unknown LValue `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        match self {
+            Expr::Num(n) => tagged("Num", Json::UInt(*n)),
+            Expr::Field(f) => tagged("Field", f.to_json()),
+            Expr::Register(r, i) => {
+                tagged("Register", Json::Arr(vec![r.to_json(), i.to_json()]))
+            }
+            Expr::Param(p) => tagged("Param", p.to_json()),
+            Expr::Bin(op, a, b) => {
+                tagged("Bin", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            Expr::Not(a) => tagged("Not", a.to_json()),
+            Expr::Shl(a, n) => tagged("Shl", Json::Arr(vec![a.to_json(), n.to_json()])),
+            Expr::Shr(a, n) => tagged("Shr", Json::Arr(vec![a.to_json(), n.to_json()])),
+            Expr::Hash(alg, w, args) => tagged(
+                "Hash",
+                Json::Arr(vec![alg.to_json(), w.to_json(), args.to_json()]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Expr {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("Expr"))?;
+        match tag {
+            "Num" => Ok(Expr::Num(u128::from_json(payload)?)),
+            "Field" => Ok(Expr::Field(String::from_json(payload)?)),
+            "Register" => match payload.as_arr()? {
+                [r, i] => Ok(Expr::Register(String::from_json(r)?, u32::from_json(i)?)),
+                _ => Err(JsonError::new("Expr::Register needs [name, index]")),
+            },
+            "Param" => Ok(Expr::Param(String::from_json(payload)?)),
+            "Bin" => match payload.as_arr()? {
+                [op, a, b] => Ok(Expr::bin(
+                    meissa_ir::AOp::from_json(op)?,
+                    Expr::from_json(a)?,
+                    Expr::from_json(b)?,
+                )),
+                _ => Err(JsonError::new("Expr::Bin needs [op, a, b]")),
+            },
+            "Not" => Ok(Expr::Not(Box::new(Expr::from_json(payload)?))),
+            "Shl" => match payload.as_arr()? {
+                [a, n] => Ok(Expr::Shl(Box::new(Expr::from_json(a)?), u16::from_json(n)?)),
+                _ => Err(JsonError::new("Expr::Shl needs [a, n]")),
+            },
+            "Shr" => match payload.as_arr()? {
+                [a, n] => Ok(Expr::Shr(Box::new(Expr::from_json(a)?), u16::from_json(n)?)),
+                _ => Err(JsonError::new("Expr::Shr needs [a, n]")),
+            },
+            "Hash" => match payload.as_arr()? {
+                [alg, w, args] => Ok(Expr::Hash(
+                    meissa_ir::HashAlg::from_json(alg)?,
+                    u16::from_json(w)?,
+                    Vec::<Expr>::from_json(args)?,
+                )),
+                _ => Err(JsonError::new("Expr::Hash needs [alg, width, args]")),
+            },
+            other => Err(JsonError::new(format!("unknown Expr `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Cond {
+    fn to_json(&self) -> Json {
+        match self {
+            Cond::Bool(b) => tagged("Bool", b.to_json()),
+            Cond::Cmp(op, a, b) => {
+                tagged("Cmp", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            Cond::And(a, b) => tagged("And", Json::Arr(vec![a.to_json(), b.to_json()])),
+            Cond::Or(a, b) => tagged("Or", Json::Arr(vec![a.to_json(), b.to_json()])),
+            Cond::Not(a) => tagged("Not", a.to_json()),
+            Cond::IsValid(h) => tagged("IsValid", h.to_json()),
+        }
+    }
+}
+
+impl FromJson for Cond {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("Cond"))?;
+        match tag {
+            "Bool" => Ok(Cond::Bool(bool::from_json(payload)?)),
+            "Cmp" => match payload.as_arr()? {
+                [op, a, b] => Ok(Cond::Cmp(
+                    meissa_ir::CmpOp::from_json(op)?,
+                    Expr::from_json(a)?,
+                    Expr::from_json(b)?,
+                )),
+                _ => Err(JsonError::new("Cond::Cmp needs [op, a, b]")),
+            },
+            "And" => match payload.as_arr()? {
+                [a, b] => Ok(Cond::And(
+                    Box::new(Cond::from_json(a)?),
+                    Box::new(Cond::from_json(b)?),
+                )),
+                _ => Err(JsonError::new("Cond::And needs [a, b]")),
+            },
+            "Or" => match payload.as_arr()? {
+                [a, b] => Ok(Cond::Or(
+                    Box::new(Cond::from_json(a)?),
+                    Box::new(Cond::from_json(b)?),
+                )),
+                _ => Err(JsonError::new("Cond::Or needs [a, b]")),
+            },
+            "Not" => Ok(Cond::Not(Box::new(Cond::from_json(payload)?))),
+            "IsValid" => Ok(Cond::IsValid(String::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown Cond `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for MatchKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                MatchKind::Exact => "Exact",
+                MatchKind::Lpm => "Lpm",
+                MatchKind::Ternary => "Ternary",
+                MatchKind::Range => "Range",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for MatchKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str().map_err(|e| e.context("MatchKind"))? {
+            "Exact" => Ok(MatchKind::Exact),
+            "Lpm" => Ok(MatchKind::Lpm),
+            "Ternary" => Ok(MatchKind::Ternary),
+            "Range" => Ok(MatchKind::Range),
+            other => Err(JsonError::new(format!("unknown MatchKind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for TableDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("keys".into(), self.keys.to_json()),
+            ("actions".into(), self.actions.to_json()),
+            ("default_action".into(), self.default_action.to_json()),
+            ("size".into(), self.size.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TableDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TableDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("TableDecl.name"))?,
+            keys: FromJson::from_json(v.field("keys")?)
+                .map_err(|e: JsonError| e.context("TableDecl.keys"))?,
+            actions: FromJson::from_json(v.field("actions")?)
+                .map_err(|e: JsonError| e.context("TableDecl.actions"))?,
+            default_action: FromJson::from_json(v.field("default_action")?)
+                .map_err(|e: JsonError| e.context("TableDecl.default_action"))?,
+            size: FromJson::from_json(v.field("size")?)
+                .map_err(|e: JsonError| e.context("TableDecl.size"))?,
+        })
+    }
+}
+
+impl ToJson for ControlDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("body".into(), self.body.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ControlDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ControlDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("ControlDecl.name"))?,
+            body: FromJson::from_json(v.field("body")?)
+                .map_err(|e: JsonError| e.context("ControlDecl.body"))?,
+        })
+    }
+}
+
+impl ToJson for CtrlStmt {
+    fn to_json(&self) -> Json {
+        match self {
+            CtrlStmt::Apply(t) => tagged("Apply", t.to_json()),
+            CtrlStmt::If(c, then, els) => tagged(
+                "If",
+                Json::Arr(vec![c.to_json(), then.to_json(), els.to_json()]),
+            ),
+            CtrlStmt::Call(a, args) => {
+                tagged("Call", Json::Arr(vec![a.to_json(), args.to_json()]))
+            }
+        }
+    }
+}
+
+impl FromJson for CtrlStmt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = untag(v).map_err(|e| e.context("CtrlStmt"))?;
+        match tag {
+            "Apply" => Ok(CtrlStmt::Apply(String::from_json(payload)?)),
+            "If" => match payload.as_arr()? {
+                [c, then, els] => Ok(CtrlStmt::If(
+                    Cond::from_json(c)?,
+                    Vec::<CtrlStmt>::from_json(then)?,
+                    Vec::<CtrlStmt>::from_json(els)?,
+                )),
+                _ => Err(JsonError::new("CtrlStmt::If needs [cond, then, else]")),
+            },
+            "Call" => match payload.as_arr()? {
+                [a, args] => Ok(CtrlStmt::Call(
+                    String::from_json(a)?,
+                    Vec::<u128>::from_json(args)?,
+                )),
+                _ => Err(JsonError::new("CtrlStmt::Call needs [action, args]")),
+            },
+            other => Err(JsonError::new(format!("unknown CtrlStmt `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for PipelineDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("parser".into(), self.parser.to_json()),
+            ("control".into(), self.control.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PipelineDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PipelineDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("PipelineDecl.name"))?,
+            parser: FromJson::from_json(v.field("parser")?)
+                .map_err(|e: JsonError| e.context("PipelineDecl.parser"))?,
+            control: FromJson::from_json(v.field("control")?)
+                .map_err(|e: JsonError| e.context("PipelineDecl.control"))?,
+        })
+    }
+}
+
+impl ToJson for TopoEdge {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("from".into(), self.from.to_json()),
+            ("to".into(), self.to.to_json()),
+            ("when".into(), self.when.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TopoEdge {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TopoEdge {
+            from: FromJson::from_json(v.field("from")?)
+                .map_err(|e: JsonError| e.context("TopoEdge.from"))?,
+            to: FromJson::from_json(v.field("to")?)
+                .map_err(|e: JsonError| e.context("TopoEdge.to"))?,
+            when: FromJson::from_json(v.field("when")?)
+                .map_err(|e: JsonError| e.context("TopoEdge.when"))?,
+        })
+    }
+}
+
+impl ToJson for IntentDecl {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("given".into(), self.given.to_json()),
+            ("expect".into(), self.expect.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IntentDecl {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(IntentDecl {
+            name: FromJson::from_json(v.field("name")?)
+                .map_err(|e: JsonError| e.context("IntentDecl.name"))?,
+            given: FromJson::from_json(v.field("given")?)
+                .map_err(|e: JsonError| e.context("IntentDecl.given"))?,
+            expect: FromJson::from_json(v.field("expect")?)
+                .map_err(|e: JsonError| e.context("IntentDecl.expect"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_json_roundtrip() {
+        let src = r#"
+            header eth { dst: 48; src: 48; ty: 16; }
+            metadata meta { port: 9; }
+            register counters[4]: 32;
+            parser p {
+              state start {
+                extract(eth);
+                select (hdr.eth.ty) {
+                  0x0800 => mid;
+                  0x8100 &&& 0xff00 => mid;
+                  1..9 => mid;
+                  default => accept;
+                }
+              }
+              state mid { goto fin; }
+              state fin { accept; }
+            }
+            action set_port(port: 9) { meta.port = port; }
+            action bump() { counters[0] = counters[0] + 1; }
+            table t {
+              key = { hdr.eth.ty: exact; hdr.eth.dst: ternary; }
+              actions = { set_port; bump; }
+              default_action = set_port(0);
+              size = 16;
+            }
+            control c {
+              if (hdr.eth.isValid() && hdr.eth.ty == 0x0800) { apply(t); } else { call bump(); }
+            }
+            pipeline ingress0 { parser = p; control = c; }
+            topology { start -> ingress0; ingress0 -> end; }
+            intent keep_port { given hdr.eth.ty == 0x0800; expect meta.port != 0; }
+        "#;
+        let prog = crate::parse_program(src).expect("example parses");
+        let text = prog.to_json_text();
+        let back = Program::from_json_text(&text).expect("decodes");
+        // The AST has no PartialEq; byte-stable re-encode is the equality
+        // proxy, backed by structural spot checks.
+        assert_eq!(back.to_json_text(), text);
+        assert_eq!(back.headers.len(), prog.headers.len());
+        assert_eq!(back.actions.len(), prog.actions.len());
+        assert_eq!(back.tables[0].keys, prog.tables[0].keys);
+        assert_eq!(back.loc, prog.loc);
+    }
+}

@@ -1,51 +1,72 @@
 //! Property tests for the frontend's serialization round-trips.
 
 use meissa_lang::{parse_rules, KeyMatch, Rule, RuleSet};
-use proptest::prelude::*;
+use meissa_testkit::prop::{self, G};
+use meissa_testkit::{prop_assert_eq, ToJson};
 
-fn key_strategy() -> impl Strategy<Value = KeyMatch> {
-    prop_oneof![
-        any::<u64>().prop_map(|v| KeyMatch::Exact(v as u128)),
-        (any::<u64>(), 0u16..=32).prop_map(|(v, l)| KeyMatch::Prefix(v as u128, l)),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(v, m)| KeyMatch::Ternary(v as u128, m as u128)),
-        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| {
+fn arb_key(g: &mut G) -> KeyMatch {
+    match g.index(5) {
+        0 => KeyMatch::Exact(g.u64() as u128),
+        1 => KeyMatch::Prefix(g.u64() as u128, g.range(0..=32u16)),
+        2 => KeyMatch::Ternary(g.u64() as u128, g.u64() as u128),
+        3 => {
+            let (a, b) = (g.u32(), g.u32());
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             KeyMatch::Range(lo as u128, hi as u128)
-        }),
-        Just(KeyMatch::Any),
-    ]
+        }
+        _ => KeyMatch::Any,
+    }
 }
 
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (
-        prop::collection::vec(key_strategy(), 1..4),
-        "[a-z][a-z0-9_]{0,8}",
-        prop::collection::vec(any::<u32>().prop_map(|v| v as u128), 0..3),
-    )
-        .prop_map(|(keys, action, args)| Rule { keys, action, args })
+fn arb_rule(g: &mut G) -> Rule {
+    let keys = (0..g.len(1, 3)).map(|_| arb_key(g)).collect();
+    let action = g.ident(8);
+    let args = (0..g.len(0, 2)).map(|_| g.u32() as u128).collect();
+    Rule { keys, action, args }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// `RuleSet::to_text` → `parse_rules` is the identity on rules.
-    #[test]
-    fn rule_set_text_roundtrip(rules in prop::collection::vec(rule_strategy(), 1..8)) {
+/// `RuleSet::to_text` → `parse_rules` is the identity on rules.
+#[test]
+fn rule_set_text_roundtrip() {
+    prop::check(prop::DEFAULT_CASES, |g| {
+        let rules: Vec<Rule> = (0..g.len(1, 7)).map(|_| arb_rule(g)).collect();
         let mut set = RuleSet::new();
         for r in &rules {
             set.push("t", r.clone());
         }
         let text = set.to_text();
-        let back = parse_rules(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        let back = parse_rules(&text).map_err(|e| format!("{e}\n{text}"))?;
         prop_assert_eq!(back.rules_for("t"), set.rules_for("t"));
-    }
+        Ok(())
+    });
+}
 
-    /// LOC counting is insensitive to blank-line padding.
-    #[test]
-    fn loc_ignores_padding(n in 0usize..10) {
+/// JSON encode → decode is the identity on rule sets (and re-encoding is
+/// byte-stable).
+#[test]
+fn rule_set_json_roundtrip() {
+    use meissa_testkit::FromJson;
+    prop::check(prop::DEFAULT_CASES, |g| {
+        let mut set = RuleSet::new();
+        for _ in 0..g.len(1, 5) {
+            set.push("t", arb_rule(g));
+        }
+        let text = set.to_json_text();
+        let back = RuleSet::from_json_text(&text).map_err(|e| format!("{e}\n{text}"))?;
+        prop_assert_eq!(back.rules_for("t"), set.rules_for("t"));
+        prop_assert_eq!(back.to_json_text(), text);
+        Ok(())
+    });
+}
+
+/// LOC counting is insensitive to blank-line padding.
+#[test]
+fn loc_ignores_padding() {
+    prop::check(prop::DEFAULT_CASES, |g| {
+        let n = g.len(0, 9);
         let body = "header h { a: 8; }\naction f() { }\n";
         let padded = format!("{}{}", "\n".repeat(n), body);
         prop_assert_eq!(meissa_lang::count_loc(&padded), meissa_lang::count_loc(body));
-    }
+        Ok(())
+    });
 }

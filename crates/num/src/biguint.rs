@@ -5,7 +5,7 @@
 //! addition, multiplication, comparison, decimal rendering, and an
 //! approximate `log10` for plotting — on a base-`2^32` limb representation.
 
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -13,7 +13,7 @@ use std::fmt;
 ///
 /// The representation is normalized: no trailing zero limbs; zero is the
 /// empty limb vector.
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct BigUint {
     limbs: Vec<u32>,
 }
@@ -153,6 +153,21 @@ impl BigUint {
     }
 }
 
+impl ToJson for BigUint {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.limbs.iter().map(|&l| Json::UInt(l as u128)).collect())
+    }
+}
+
+impl FromJson for BigUint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let limbs = Vec::<u32>::from_json(v).map_err(|e| e.context("BigUint.limbs"))?;
+        let mut out = BigUint { limbs };
+        out.normalize();
+        Ok(out)
+    }
+}
+
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -282,35 +297,63 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use meissa_testkit::{prop, prop_assert_eq};
 
-    proptest! {
-        #[test]
-        fn add_commutes(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn add_commutes() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let (a, b) = (g.u64(), g.u64());
             let (x, y) = (BigUint::from_u64(a), BigUint::from_u64(b));
             prop_assert_eq!(x.add(&y), y.add(&x));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn mul_matches_u128() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let (a, b) = (g.u64(), g.u64());
             let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
             prop_assert_eq!(prod.to_string(), (a as u128 * b as u128).to_string());
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn add_matches_u128() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let (a, b) = (g.u64(), g.u64());
             let sum = BigUint::from_u64(a).add(&BigUint::from_u64(b));
             prop_assert_eq!(sum.to_string(), (a as u128 + b as u128).to_string());
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn display_roundtrips_via_digits(a in any::<u64>()) {
+    #[test]
+    fn display_roundtrips_via_digits() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let a = g.u64();
             prop_assert_eq!(BigUint::from_u64(a).to_string(), a.to_string());
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn ordering_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn ordering_matches_u64() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let (a, b) = (g.u64(), g.u64());
             prop_assert_eq!(BigUint::from_u64(a).cmp(&BigUint::from_u64(b)), a.cmp(&b));
-        }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn json_roundtrip_arbitrary() {
+        use meissa_testkit::json::{FromJson, ToJson};
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let v = BigUint::pow(&BigUint::from_u64(g.range(2..=1000u64)), g.range(0..=40u32));
+            prop_assert_eq!(BigUint::from_json_text(&v.to_json_text()).unwrap(), v);
+            Ok(())
+        });
     }
 }

@@ -1,6 +1,6 @@
 //! Fixed-width bitvector values.
 
-use serde::{Deserialize, Serialize};
+use meissa_testkit::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A fixed-width bitvector value, the concrete value domain of the data plane.
@@ -9,7 +9,7 @@ use std::fmt;
 /// and so that mixed-width operations are caught early (they panic, because a
 /// width mismatch is always a compiler bug in this workspace, never a runtime
 /// condition).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bv {
     width: u16,
     val: u128,
@@ -201,6 +201,26 @@ impl Bv {
     }
 }
 
+impl ToJson for Bv {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("width".into(), Json::UInt(self.width as u128)),
+            ("val".into(), Json::UInt(self.val)),
+        ])
+    }
+}
+
+impl FromJson for Bv {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let width = u16::from_json(v.field("width")?).map_err(|e| e.context("Bv.width"))?;
+        let val = u128::from_json(v.field("val")?).map_err(|e| e.context("Bv.val"))?;
+        if !(1..=Bv::MAX_WIDTH).contains(&width) {
+            return Err(JsonError::new(format!("Bv width {width} out of range")));
+        }
+        Ok(Bv::new(width, val))
+    }
+}
+
 impl fmt::Debug for Bv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}'d{}", self.width, self.val)
@@ -324,5 +344,46 @@ mod tests {
     fn display_hex_for_wide_values() {
         assert_eq!(Bv::new(16, 0x800).to_string(), "0x0800");
         assert_eq!(Bv::new(8, 17).to_string(), "17");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for bv in [Bv::new(8, 0x42), Bv::ones(128), Bv::bool(true)] {
+            let text = bv.to_json_text();
+            assert_eq!(Bv::from_json_text(&text).unwrap(), bv, "via `{text}`");
+        }
+        assert!(Bv::from_json_text(r#"{"width":0,"val":0}"#).is_err());
+        assert!(Bv::from_json_text(r#"{"width":200,"val":0}"#).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use meissa_testkit::{prop, prop_assert_eq};
+
+    #[test]
+    fn add_sub_roundtrips() {
+        // Smoke property for the testkit harness: (a + b) - b == a for any
+        // width and payloads.
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let width = g.range(1..=128u16);
+            let a = Bv::new(width, g.bits(width));
+            let b = Bv::new(width, g.bits(width));
+            prop_assert_eq!(a.add(&b).sub(&b), a, "({a:?} + {b:?}) - {b:?} != {a:?}");
+            prop_assert_eq!(a.sub(&b).add(&b), a, "({a:?} - {b:?}) + {b:?} != {a:?}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn add_commutes() {
+        prop::check(prop::DEFAULT_CASES, |g| {
+            let width = g.range(1..=128u16);
+            let a = Bv::new(width, g.bits(width));
+            let b = Bv::new(width, g.bits(width));
+            prop_assert_eq!(a.add(&b), b.add(&a));
+            Ok(())
+        });
     }
 }

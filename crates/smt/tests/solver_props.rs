@@ -6,7 +6,8 @@
 use meissa_num::Bv;
 use meissa_smt::term::EvalValue;
 use meissa_smt::{CheckResult, Solver, TermId, TermPool, VarId};
-use proptest::prelude::*;
+use meissa_testkit::prop::{self, G};
+use meissa_testkit::{prop_assert, prop_assert_eq};
 
 /// A recipe for one random term over two 4-bit variables.
 #[derive(Debug, Clone)]
@@ -31,43 +32,53 @@ enum Formula {
     FNot(Box<Formula>),
 }
 
-fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        Just(Node::VarX),
-        Just(Node::VarY),
-        (0u8..16).prop_map(Node::Const),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Xor(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Node::Not(Box::new(a))),
-        ]
-    })
+/// A random term over two 4-bit variables; `depth` bounds recursion, and
+/// leaves come first in the choice order so shrinking collapses subtrees.
+fn arb_node(g: &mut G, depth: u32) -> Node {
+    let choices = if depth == 0 { 3 } else { 9 };
+    match g.index(choices) {
+        0 => Node::VarX,
+        1 => Node::VarY,
+        2 => Node::Const(g.range(0..16u8)),
+        3 => Node::Add(
+            Box::new(arb_node(g, depth - 1)),
+            Box::new(arb_node(g, depth - 1)),
+        ),
+        4 => Node::Sub(
+            Box::new(arb_node(g, depth - 1)),
+            Box::new(arb_node(g, depth - 1)),
+        ),
+        5 => Node::And(
+            Box::new(arb_node(g, depth - 1)),
+            Box::new(arb_node(g, depth - 1)),
+        ),
+        6 => Node::Or(
+            Box::new(arb_node(g, depth - 1)),
+            Box::new(arb_node(g, depth - 1)),
+        ),
+        7 => Node::Xor(
+            Box::new(arb_node(g, depth - 1)),
+            Box::new(arb_node(g, depth - 1)),
+        ),
+        _ => Node::Not(Box::new(arb_node(g, depth - 1))),
+    }
 }
 
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let atom = prop_oneof![
-        (node_strategy(), node_strategy()).prop_map(|(a, b)| Formula::Eq(a, b)),
-        (node_strategy(), node_strategy()).prop_map(|(a, b)| Formula::Ult(a, b)),
-    ];
-    atom.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::FAnd(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::FOr(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Formula::FNot(Box::new(a))),
-        ]
-    })
+fn arb_formula(g: &mut G, depth: u32) -> Formula {
+    let choices = if depth == 0 { 2 } else { 5 };
+    match g.index(choices) {
+        0 => Formula::Eq(arb_node(g, 3), arb_node(g, 3)),
+        1 => Formula::Ult(arb_node(g, 3), arb_node(g, 3)),
+        2 => Formula::FAnd(
+            Box::new(arb_formula(g, depth - 1)),
+            Box::new(arb_formula(g, depth - 1)),
+        ),
+        3 => Formula::FOr(
+            Box::new(arb_formula(g, depth - 1)),
+            Box::new(arb_formula(g, depth - 1)),
+        ),
+        _ => Formula::FNot(Box::new(arb_formula(g, depth - 1))),
+    }
 }
 
 fn build_node(pool: &mut TermPool, n: &Node) -> TermId {
@@ -139,13 +150,12 @@ fn eval_under(pool: &TermPool, t: TermId, x: u128, y: u128) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// On Sat, the extracted model satisfies the formula; on Unsat, no
-    /// (x, y) ∈ 16×16 satisfies it.
-    #[test]
-    fn solver_agrees_with_brute_force(f in formula_strategy()) {
+/// On Sat, the extracted model satisfies the formula; on Unsat, no
+/// (x, y) ∈ 16×16 satisfies it.
+#[test]
+fn solver_agrees_with_brute_force() {
+    prop::check(prop::DEFAULT_CASES, |g| {
+        let f = arb_formula(g, 2);
         let mut pool = TermPool::new();
         // Force both variables to exist so models always carry them.
         pool.var("x", 4);
@@ -176,12 +186,17 @@ proptest! {
                 prop_assert!(brute.is_none(), "brute force agrees Unsat");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Push/pop leaves earlier frames intact: asserting a random formula in
-    /// a nested frame and popping restores the outer verdict.
-    #[test]
-    fn push_pop_isolation(f in formula_strategy(), g in formula_strategy()) {
+/// Push/pop leaves earlier frames intact: asserting a random formula in
+/// a nested frame and popping restores the outer verdict.
+#[test]
+fn push_pop_isolation() {
+    prop::check(prop::DEFAULT_CASES, |gen| {
+        let f = arb_formula(gen, 2);
+        let g = arb_formula(gen, 2);
         let mut pool = TermPool::new();
         pool.var("x", 4);
         pool.var("y", 4);
@@ -198,5 +213,6 @@ proptest! {
         solver.pop();
         let after = solver.check(&mut pool);
         prop_assert_eq!(before, after, "outer frame verdict must be stable");
-    }
+        Ok(())
+    });
 }

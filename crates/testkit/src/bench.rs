@@ -1,0 +1,182 @@
+//! A micro-benchmark timer: warmup, N timed iterations, median/p95 report.
+//!
+//! Replaces `criterion` for this workspace's `harness = false` bench
+//! targets. The design goal is legible, deterministic-shape output — not
+//! statistical rigor: each sample is one closure invocation timed with
+//! `Instant`, and the report prints min/median/p95/mean so regressions are
+//! visible at a glance in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimization barrier benches should wrap outputs in.
+pub use std::hint::black_box;
+
+/// Timing summary for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// 50th percentile sample.
+    pub median: Duration,
+    /// 95th percentile sample.
+    pub p95: Duration,
+    /// Arithmetic mean of samples.
+    pub mean: Duration,
+}
+
+impl BenchResult {
+    /// One-line human report, e.g.
+    /// `fig9/depth=4  median 1.234ms  p95 1.301ms  min 1.198ms  (20 samples)`.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples)",
+            self.name,
+            fmt_duration(self.median),
+            fmt_duration(self.p95),
+            fmt_duration(self.min),
+            self.samples,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Runs one benchmark: `warmup` unmeasured invocations, then `samples`
+/// timed ones.
+///
+/// The closure should produce its result through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn run<F: FnMut()>(name: &str, warmup: usize, samples: usize, mut f: F) -> BenchResult {
+    assert!(samples > 0, "benchmark needs at least one sample");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let total: Duration = times.iter().sum();
+    BenchResult {
+        name: name.to_owned(),
+        samples,
+        min: times[0],
+        median: times[times.len() / 2],
+        // Nearest-rank p95, clamped to the last sample.
+        p95: times[((times.len() * 95).div_ceil(100)).saturating_sub(1).min(times.len() - 1)],
+        mean: total / samples as u32,
+    }
+}
+
+/// A named group of benchmarks printed criterion-style as they complete.
+pub struct Suite {
+    group: String,
+    warmup: usize,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Creates a suite with default warmup (2) and sample (10) counts.
+    pub fn new(group: &str) -> Suite {
+        Suite {
+            group: group.to_owned(),
+            warmup: 2,
+            samples: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn samples(mut self, samples: usize) -> Suite {
+        self.samples = samples;
+        self
+    }
+
+    /// Overrides the unmeasured warmup count.
+    pub fn warmup(mut self, warmup: usize) -> Suite {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Times `f` under `<group>/<name>` and prints the result line.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) -> &BenchResult {
+        let label = format!("{}/{}", self.group, name);
+        let result = run(&label, self.warmup, self.samples, f);
+        println!("{}", result.line());
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_warmup_plus_samples() {
+        let count = std::cell::Cell::new(0u32);
+        let r = run("counting", 3, 7, || {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 10, "3 warmup + 7 timed");
+        assert_eq!(r.samples, 7);
+        assert!(r.min <= r.median && r.median <= r.p95);
+    }
+
+    #[test]
+    fn stats_ordering_holds_on_real_work() {
+        let r = run("spin", 1, 20, || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc);
+        });
+        assert!(r.min <= r.median);
+        assert!(r.median <= r.p95);
+        assert!(r.mean >= r.min && r.mean <= r.p95.max(r.mean));
+    }
+
+    #[test]
+    fn suite_collects_and_labels() {
+        let mut s = Suite::new("unit").samples(3).warmup(0);
+        s.bench("a", || {
+            black_box(1 + 1);
+        });
+        s.bench("b", || {
+            black_box(2 + 2);
+        });
+        let names: Vec<&str> = s.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["unit/a", "unit/b"]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,26 @@
+//! `meissa-testkit`: zero-dependency test infrastructure for the hermetic
+//! workspace.
+//!
+//! The build environment has no network and no crates.io registry cache, so
+//! everything the workspace used external crates for lives here instead:
+//!
+//! - [`rng`] — seeded deterministic RNG (`StdRng::seed_from_u64` +
+//!   `random_range`), replacing `rand` for rule/program generation.
+//! - [`prop`] — property-testing harness with tape-based shrinking,
+//!   replacing `proptest`.
+//! - [`json`] — `ToJson`/`FromJson` traits plus a hand-written JSON
+//!   encoder/parser, replacing the `serde`/`serde_json` derive stack.
+//! - [`bench`] — warmup + N-iteration micro-bench timer with median/p95
+//!   reporting, replacing `criterion`.
+//!
+//! This crate must stay dependency-free (including on other `meissa-*`
+//! crates): it is the root every other crate's dev/test plumbing hangs off.
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use prop::G;
+pub use rng::{RngExt, SeedableRng, StdRng};

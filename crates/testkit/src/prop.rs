@@ -1,0 +1,333 @@
+//! A minimal property-testing harness.
+//!
+//! A property is a closure `Fn(&mut G) -> Result<(), String>`: it draws
+//! arbitrary inputs from [`G`] and returns `Err` (usually via
+//! [`prop_assert!`](crate::prop_assert)) when the property is violated.
+//! [`check`] runs the closure over many deterministic seeds; on failure it
+//! *shrinks* the failing case and panics with the minimized report.
+//!
+//! Shrinking is internal (tape-based): every draw is recorded as an offset
+//! from its range's minimum, and the shrinker replays mutated tapes —
+//! zeroing and halving entries — re-running the property each time. Because
+//! generators map smaller offsets to simpler choices (earlier enum
+//! variants, shorter collections, smaller integers), halving the tape
+//! halves the structure, which is exactly the "shrinking by halving for
+//! integer/bitvector inputs" this workspace needs.
+
+use crate::rng::{RngExt, SampleRange, SeedableRng, StdRng, UniformInt};
+
+/// Default number of cases when the caller does not specify one.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Base seed for case generation; override with `MEISSA_PROP_SEED` to
+/// explore a different corner of the input space.
+fn base_seed() -> u64 {
+    std::env::var("MEISSA_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x6d65_6973_7361_2131) // "meissa!1"
+}
+
+enum Source {
+    /// Fresh generation: draw from the RNG, record offsets on the tape.
+    Fresh(StdRng),
+    /// Shrink replay: offsets come from a fixed tape; reads past its end
+    /// (structure changed under mutation) return 0 — the minimal choice.
+    Replay,
+}
+
+/// The draw handle passed to properties.
+pub struct G {
+    source: Source,
+    tape: Vec<u128>,
+    pos: usize,
+}
+
+impl G {
+    fn fresh(seed: u64) -> G {
+        G {
+            source: Source::Fresh(StdRng::seed_from_u64(seed)),
+            tape: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn replay(tape: Vec<u128>) -> G {
+        G {
+            source: Source::Replay,
+            tape,
+            pos: 0,
+        }
+    }
+
+    /// Core draw: a uniform offset in `0..=span_max`, recorded on the tape.
+    fn offset(&mut self, span_max: u128) -> u128 {
+        let v = match &mut self.source {
+            Source::Fresh(rng) => {
+                let v = if span_max == u128::MAX {
+                    rng.next_u128()
+                } else {
+                    rng.random_range(0..=span_max)
+                };
+                self.tape.push(v);
+                v
+            }
+            Source::Replay => {
+                let raw = self.tape.get(self.pos).copied().unwrap_or(0);
+                // A mutated entry may exceed the span asked for at this
+                // position (structure drifted); clamp instead of wrapping so
+                // shrinking stays monotone.
+                raw.min(span_max)
+            }
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// A uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    pub fn range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds_inclusive();
+        let (lo_u, hi_u) = (lo.to_u128(), hi.to_u128());
+        T::from_u128(lo_u + self.offset(hi_u - lo_u))
+    }
+
+    /// An arbitrary `u64` (shrinks toward 0).
+    pub fn u64(&mut self) -> u64 {
+        self.range(0..=u64::MAX)
+    }
+
+    /// An arbitrary `u32` (shrinks toward 0).
+    pub fn u32(&mut self) -> u32 {
+        self.range(0..=u32::MAX)
+    }
+
+    /// An arbitrary bitvector payload of the given bit width.
+    pub fn bits(&mut self, width: u16) -> u128 {
+        let max = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        self.offset(max)
+    }
+
+    /// A boolean (shrinks toward `false`).
+    pub fn bool(&mut self) -> bool {
+        self.offset(1) == 1
+    }
+
+    /// An index into `0..n` (shrinks toward 0 — put simpler variants first).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty choice set");
+        self.offset(n as u128 - 1) as usize
+    }
+
+    /// A collection length in `min..=max` (shrinks toward `min`).
+    pub fn len(&mut self, min: usize, max: usize) -> usize {
+        self.range(min..=max)
+    }
+
+    /// A lowercase identifier like `[a-z][a-z0-9_]{0,extra}`.
+    pub fn ident(&mut self, extra: usize) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut s = String::new();
+        s.push(FIRST[self.index(FIRST.len())] as char);
+        for _ in 0..self.len(0, extra) {
+            s.push(REST[self.index(REST.len())] as char);
+        }
+        s
+    }
+}
+
+/// Runs `f` over `cases` deterministic inputs; shrinks and panics on the
+/// first failure.
+///
+/// # Panics
+/// Panics with the (shrunk) failure report when the property is violated.
+pub fn check<F>(cases: u32, f: F)
+where
+    F: Fn(&mut G) -> Result<(), String>,
+{
+    let base = base_seed();
+    for case in 0..cases {
+        let mut g = G::fresh(base.wrapping_add(case as u64));
+        if let Err(msg) = f(&mut g) {
+            let (tape, final_msg, rounds) = shrink(&f, g.tape, msg);
+            panic!(
+                "property failed (case {case}/{cases}, shrunk {rounds} rounds, \
+                 {} draws): {final_msg}\n(rerun with MEISSA_PROP_SEED={base})",
+                tape.len(),
+            );
+        }
+    }
+}
+
+/// Shrinks a failing tape by halving: each entry is binary-searched down to
+/// the smallest value under which the property still fails, repeated until
+/// a whole pass makes no progress.
+fn shrink<F>(f: &F, mut tape: Vec<u128>, mut msg: String) -> (Vec<u128>, String, u32)
+where
+    F: Fn(&mut G) -> Result<(), String>,
+{
+    let still_fails = |t: &[u128]| -> Option<String> {
+        f(&mut G::replay(t.to_vec())).err()
+    };
+    let mut rounds = 0;
+    const MAX_ROUNDS: u32 = 8;
+    loop {
+        let mut improved = false;
+        for i in 0..tape.len() {
+            if tape[i] == 0 {
+                continue;
+            }
+            let orig = tape[i];
+            tape[i] = 0;
+            if still_fails(&tape).is_some() {
+                improved = true;
+                continue;
+            }
+            // Binary search the boundary: `hi` fails, everything <= `lo`
+            // passes. Invariant holds because `orig` failed and 0 passed.
+            let (mut lo, mut hi) = (0u128, orig);
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                tape[i] = mid;
+                if still_fails(&tape).is_some() {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            tape[i] = hi;
+            if hi < orig {
+                improved = true;
+            }
+        }
+        rounds += 1;
+        if !improved || rounds >= MAX_ROUNDS {
+            // One final replay so the reported message (and any state the
+            // property captured) reflects the minimized tape exactly.
+            if let Some(m) = still_fails(&tape) {
+                msg = m;
+            }
+            return (tape, msg, rounds);
+        }
+    }
+}
+
+/// Asserts a condition inside a property, returning `Err` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property, returning `Err` on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}:{})",
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        // `check` takes Fn, so count via a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        check(32, |g| {
+            counter.set(counter.get() + 1);
+            let a = g.u64();
+            let b = g.u64();
+            prop_assert_eq!(
+                a.wrapping_add(b),
+                b.wrapping_add(a),
+                "addition commutes"
+            );
+            Ok(())
+        });
+        ran += counter.get();
+        assert_eq!(ran, 32);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // Property "x < 100" fails for x >= 100; the shrinker must land on
+        // exactly 100 (halving + decrement reaches the boundary).
+        let witness = std::cell::Cell::new(0u64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(256, |g| {
+                let x = g.u64();
+                if x >= 100 {
+                    witness.set(x);
+                    Err(format!("x = {x} too large"))
+                } else {
+                    Ok(())
+                }
+            });
+        }));
+        assert!(result.is_err(), "property must fail");
+        assert_eq!(witness.get(), 100, "shrunk to the minimal counterexample");
+    }
+
+    #[test]
+    fn replay_past_tape_end_is_minimal() {
+        let mut g = G::replay(vec![5]);
+        assert_eq!(g.range(0..=10u32), 5);
+        assert_eq!(g.range(0..=10u32), 0, "past-end draw is the minimum");
+        assert!(!g.bool());
+    }
+
+    #[test]
+    fn ident_shape() {
+        let mut g = G::fresh(1);
+        for _ in 0..50 {
+            let s = g.ident(8);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = |seed| {
+            let mut g = G::fresh(seed);
+            (g.u64(), g.index(7), g.bits(32))
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+}

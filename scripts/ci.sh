@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: hermetic (offline) build + tests + dependency guard.
+#
+# The workspace must build with NOTHING from crates.io — every dependency is
+# an in-repo `meissa-*` path crate (`meissa-testkit` supplies the RNG,
+# property-testing, JSON, and bench support that external crates used to).
+# The guard at the end fails the run if any non-workspace crate sneaks into
+# the dependency graph.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, offline)"
+cargo build --release --offline --workspace --benches
+
+echo "==> test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> dependency guard: workspace crates only"
+# Every line of the flat dependency listing must be a meissa-* path crate
+# (or the facade crate `meissa` itself). Anything else is an external
+# dependency and breaks the hermetic-build guarantee.
+bad=$(cargo tree --offline --workspace --prefix none --edges normal,build,dev \
+  | sed 's/ (\*)$//' | sort -u \
+  | grep -v -E '^meissa(-[a-z]+)? v[0-9.]+ \(/' || true)
+if [ -n "$bad" ]; then
+  echo "non-workspace dependencies found:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "ok: dependency graph is meissa-* only"

@@ -15,6 +15,7 @@
 //! * [`driver`] — the sender/receiver/checker test driver and reports.
 //! * [`suite`] — the evaluation corpus (Table 1 programs, rule sets, bugs).
 //! * [`baselines`] — p4pktgen-like, Gauntlet-like, and Aquila-like baselines.
+//! * [`testkit`] — in-repo RNG, property-testing, JSON, and bench support.
 //!
 //! See `README.md` for a walkthrough and `DESIGN.md` for the system
 //! inventory and per-experiment index.
@@ -28,3 +29,4 @@ pub use meissa_lang as lang;
 pub use meissa_num as num;
 pub use meissa_smt as smt;
 pub use meissa_suite as suite;
+pub use meissa_testkit as testkit;

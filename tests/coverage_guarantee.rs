@@ -14,8 +14,7 @@
 use meissa::core::Meissa;
 use meissa::driver::trace_execution;
 use meissa::lang::{compile, parse_program, parse_rules, CompiledProgram};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use meissa::testkit::rng::{RngExt, SeedableRng, StdRng};
 use std::collections::BTreeSet;
 
 /// Generates a random 2–3 pipeline program with chained tables.

@@ -1,0 +1,62 @@
+//! Golden round-trip for the in-repo JSON codec: compile a real corpus
+//! program, serialize its whole CFG, decode it back, and check the decoded
+//! graph is structurally identical.
+//!
+//! `Cfg` deliberately has no `PartialEq` (it holds interned tables and a
+//! guard map), so equality is checked two ways: re-encoding the decoded
+//! graph must reproduce the original text byte for byte (the encoder is
+//! deterministic — maps are emitted in sorted key order), and the load-
+//! bearing structure (entry, node/pipeline counts, successor lists, field
+//! table) is compared directly.
+
+use meissa::ir::Cfg;
+use meissa::suite;
+use meissa::testkit::json::{FromJson, ToJson};
+
+fn assert_same_structure(a: &Cfg, b: &Cfg) {
+    assert_eq!(a.entry(), b.entry(), "entry node");
+    assert_eq!(a.num_nodes(), b.num_nodes(), "node count");
+    assert_eq!(a.pipelines().len(), b.pipelines().len(), "pipeline count");
+    for (pa, pb) in a.pipelines().iter().zip(b.pipelines()) {
+        assert_eq!(pa.name, pb.name);
+        assert_eq!(pa.entry, pb.entry);
+        assert_eq!(pa.exit, pb.exit);
+    }
+    assert_eq!(a.fields.len(), b.fields.len(), "field table size");
+    for i in 0..a.num_nodes() {
+        let id = meissa::ir::NodeId(i as u32);
+        assert_eq!(a.succ(id), b.succ(id), "successors of node {i}");
+        assert_eq!(
+            format!("{:?}", a.stmt(id)),
+            format!("{:?}", b.stmt(id)),
+            "statement at node {i}"
+        );
+        assert_eq!(
+            a.raw_guard(id).map(|g| format!("{g:?}")),
+            b.raw_guard(id).map(|g| format!("{g:?}")),
+            "raw guard at node {i}"
+        );
+    }
+}
+
+#[test]
+fn acl_cfg_json_roundtrip_is_lossless() {
+    let w = suite::acl(4, 7);
+    let cfg = &w.program.cfg;
+    let text = cfg.to_json_text();
+    let back = Cfg::from_json_text(&text).expect("decoded CFG");
+    assert_same_structure(cfg, &back);
+    assert_eq!(back.to_json_text(), text, "re-encode is byte-stable");
+}
+
+#[test]
+fn whole_corpus_cfgs_roundtrip() {
+    for w in suite::open_source_corpus() {
+        let cfg = &w.program.cfg;
+        let text = cfg.to_json_text();
+        let back =
+            Cfg::from_json_text(&text).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+        assert_same_structure(cfg, &back);
+        assert_eq!(back.to_json_text(), text, "{}: byte-stable", w.name);
+    }
+}
