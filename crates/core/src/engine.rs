@@ -32,6 +32,25 @@ pub struct MeissaConfig {
     pub max_templates: Option<usize>,
     /// Wall-clock budget for the whole run.
     pub time_budget: Option<Duration>,
+    /// Worker threads for path exploration and same-level summary passes.
+    /// `1` runs the fully sequential engine. The default honours the
+    /// `MEISSA_THREADS` env var, falling back to
+    /// [`std::thread::available_parallelism`]. The template *set* is
+    /// identical for every thread count and the emitted order is
+    /// deterministic (merged paths are sorted into sequential DFS order
+    /// before template generation).
+    pub threads: usize,
+}
+
+/// Default thread count: `MEISSA_THREADS` if set and parseable (clamped to
+/// at least 1), else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MEISSA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Default for MeissaConfig {
@@ -43,6 +62,7 @@ impl Default for MeissaConfig {
             grouped_summary: true,
             max_templates: None,
             time_budget: None,
+            threads: default_threads(),
         }
     }
 }
@@ -55,6 +75,7 @@ impl MeissaConfig {
             grouped_summary: self.grouped_summary,
             max_templates: self.max_templates,
             time_budget: self.time_budget,
+            threads: self.threads.max(1),
         }
     }
 }

@@ -22,6 +22,7 @@ use crate::symstate::{SymCtx, ValueStack};
 use crate::template::{HashObligation, TestTemplate};
 use meissa_ir::{Cfg, NodeId, Stmt};
 use meissa_smt::{CheckResult, Solver, TermId, TermPool};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration for one symbolic execution.
@@ -42,6 +43,14 @@ pub struct ExecConfig {
     pub max_templates: Option<usize>,
     /// Wall-clock budget; exceeded ⇒ the run reports a timeout.
     pub time_budget: Option<Duration>,
+    /// Worker threads for top-level explorations and summary batches.
+    /// `1` (the default) runs the unchanged sequential engine; `> 1`
+    /// routes [`generate_templates`] through the work-sharing frontier of
+    /// [`crate::parallel`] and batches code summary's independent
+    /// searches. The final template *set* is identical for any value; with
+    /// `max_templates` or a time budget, which subset survives the cap can
+    /// differ across thread counts.
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -52,8 +61,91 @@ impl Default for ExecConfig {
             grouped_summary: true,
             max_templates: None,
             time_budget: None,
+            threads: 1,
         }
     }
+}
+
+/// Shared cancellation + emission state for one top-level exploration,
+/// consulted by every walker — the sequential one, or one per parallel
+/// worker. Once any observer trips the template cap or the deadline, the
+/// sticky `state` makes every other walker's next [`ExploreBudget::poll`]
+/// answer "stop", which is what propagates a budget expiry observed in one
+/// worker to all of them promptly.
+pub(crate) struct ExploreBudget {
+    deadline: Option<Instant>,
+    max_templates: Option<usize>,
+    emitted: AtomicUsize,
+    /// 0 = running, 1 = template cap reached, 2 = time budget expired.
+    state: AtomicU8,
+}
+
+const BUDGET_RUNNING: u8 = 0;
+const BUDGET_CAPPED: u8 = 1;
+const BUDGET_TIMED_OUT: u8 = 2;
+
+impl ExploreBudget {
+    pub(crate) fn new(config: &ExecConfig, t0: Instant) -> Self {
+        ExploreBudget {
+            deadline: config.time_budget.map(|b| t0 + b),
+            max_templates: config.max_templates,
+            emitted: AtomicUsize::new(0),
+            state: AtomicU8::new(BUDGET_RUNNING),
+        }
+    }
+
+    /// Should exploration stop? `Some(timed_out)` when yes.
+    pub(crate) fn poll(&self) -> Option<bool> {
+        match self.state.load(Ordering::Relaxed) {
+            BUDGET_CAPPED => return Some(false),
+            BUDGET_TIMED_OUT => return Some(true),
+            _ => {}
+        }
+        if let Some(max) = self.max_templates {
+            if self.emitted.load(Ordering::Relaxed) >= max {
+                self.state.store(BUDGET_CAPPED, Ordering::Relaxed);
+                return Some(false);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                self.state.store(BUDGET_TIMED_OUT, Ordering::Relaxed);
+                return Some(true);
+            }
+        }
+        None
+    }
+
+    /// Counts one emitted template (toward `max_templates`).
+    pub(crate) fn note_emit(&self) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Did the time budget expire (on any observer)?
+    pub(crate) fn timed_out(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == BUDGET_TIMED_OUT
+    }
+}
+
+/// Donation hook a parallel frontier installs on each worker's walker: at a
+/// multi-child node, a worker whose siblings would otherwise be explored
+/// depth-first can hand all but the first child to idle workers, as
+/// `(node, path-prefix, constraint-prefix, value-snapshot)` tasks.
+pub(crate) trait WorkSharer: Sync {
+    /// Is anyone idle (or the queue nearly empty)? Donation is gated on
+    /// this so a saturated frontier costs only one atomic load per branch.
+    fn hungry(&self) -> bool;
+    /// Enqueues one task per sibling, snapshotting the donor's current
+    /// prefix. `pool` is the donor's pool — terms must be translated into a
+    /// pool the task owns, since the donor keeps mutating its own.
+    fn donate(
+        &self,
+        pool: &TermPool,
+        trace: &[NodeId],
+        constraints: &[TermId],
+        values: &ValueStack,
+        siblings: &[NodeId],
+    );
 }
 
 /// Counters for one execution (the raw numbers behind Figs. 9–12).
@@ -92,24 +184,41 @@ pub struct RawPath {
     pub final_values: Vec<(meissa_ir::FieldId, TermId)>,
 }
 
-/// Generates test case templates for a CFG (Algorithm 1).
+/// Generates test case templates for a CFG (Algorithm 1). With
+/// `config.threads > 1` the DFS is sharded across a work-stealing frontier
+/// ([`crate::parallel`]); the template set is identical either way, and the
+/// emission order is the sequential DFS order in both cases.
 pub fn generate_templates(
     cfg: &Cfg,
     session: &mut SolveSession,
     config: &ExecConfig,
 ) -> ExecOutput {
     let mut ctx = SymCtx::new(None);
-    let mut paths = Vec::new();
-    let stats = explore(
-        cfg,
-        session,
-        &mut ctx,
-        cfg.entry(),
-        None,
-        &[],
-        config,
-        &mut |p| paths.push(p),
-    );
+    let (paths, stats) = if config.threads > 1 {
+        crate::parallel::explore_parallel(
+            cfg,
+            session,
+            &mut ctx,
+            cfg.entry(),
+            &std::collections::HashSet::new(),
+            &[],
+            &[],
+            config,
+        )
+    } else {
+        let mut paths = Vec::new();
+        let stats = explore(
+            cfg,
+            session,
+            &mut ctx,
+            cfg.entry(),
+            None,
+            &[],
+            config,
+            &mut |p| paths.push(p),
+        );
+        (paths, stats)
+    };
     let templates = raw_paths_to_templates(&session.pool, &ctx, paths);
     ExecOutput { templates, stats }
 }
@@ -121,7 +230,14 @@ pub fn raw_paths_to_templates(
     ctx: &SymCtx,
     paths: Vec<RawPath>,
 ) -> Vec<TestTemplate> {
-    let obligations: Vec<HashObligation> = ctx.hash_defs().map(HashObligation::from).collect();
+    let mut obligations: Vec<HashObligation> = ctx.hash_defs().map(HashObligation::from).collect();
+    // Stand-in names are content-keyed and unique per application; sorting
+    // by them pins the obligation order, which hash-map iteration above does
+    // not (and parallel workers discover obligations in racy order).
+    obligations.sort_by_key(|o| match *pool.node(o.out) {
+        meissa_smt::TermNode::BvVar(v) => pool.var_name(v).to_string(),
+        _ => String::new(),
+    });
     paths
         .into_iter()
         .enumerate()
@@ -285,11 +401,50 @@ pub fn explore_in_session(
     config: &ExecConfig,
     sink: &mut dyn FnMut(RawPath),
 ) -> ExecStats {
+    let budget = ExploreBudget::new(config, Instant::now());
+    explore_task(
+        cfg,
+        session,
+        ctx,
+        start,
+        targets,
+        &[],
+        base_constraints,
+        initial_values,
+        config,
+        &budget,
+        None,
+        sink,
+    )
+}
+
+/// The workhorse behind [`explore_in_session`] and each parallel worker's
+/// subtree task: explores from `start` with an already-established prefix —
+/// `prefix_trace` (path nodes up to but excluding `start`),
+/// `prefix_constraints` (asserted into one solver frame, **without**
+/// re-checking: the donor already validated them), and `initial_values`
+/// (the value stack at `start`). Budget state is shared through `budget`;
+/// `sharer`, when present, may be offered sibling subtrees at branch nodes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_task(
+    cfg: &Cfg,
+    session: &mut SolveSession,
+    ctx: &mut SymCtx,
+    start: NodeId,
+    targets: &std::collections::HashSet<NodeId>,
+    prefix_trace: &[NodeId],
+    prefix_constraints: &[TermId],
+    initial_values: &[(meissa_ir::FieldId, TermId)],
+    config: &ExecConfig,
+    budget: &ExploreBudget,
+    sharer: Option<&dyn WorkSharer>,
+    sink: &mut dyn FnMut(RawPath),
+) -> ExecStats {
     let mut stats = ExecStats::default();
     let t0 = Instant::now();
     let SolveSession { pool, solver, .. } = session;
     solver.push();
-    for &c in base_constraints {
+    for &c in prefix_constraints {
         solver.assert_term(pool, c);
     }
     let mut walker = Walker {
@@ -298,10 +453,10 @@ pub fn explore_in_session(
         config,
         stats: &mut stats,
         sink,
-        t0,
-        all_constraints: base_constraints.to_vec(),
-        trace: Vec::new(),
-        emitted: 0,
+        budget,
+        sharer,
+        all_constraints: prefix_constraints.to_vec(),
+        trace: prefix_trace.to_vec(),
     };
     let mut v = ValueStack::new();
     for &(f, t) in initial_values {
@@ -324,28 +479,25 @@ struct Walker<'a> {
     config: &'a ExecConfig,
     stats: &'a mut ExecStats,
     sink: &'a mut dyn FnMut(RawPath),
-    t0: Instant,
+    budget: &'a ExploreBudget,
+    sharer: Option<&'a dyn WorkSharer>,
     /// Every constraint currently on the path (for non-incremental
     /// re-solving and for template emission).
     all_constraints: Vec<TermId>,
     trace: Vec<NodeId>,
-    emitted: usize,
 }
 
 impl Walker<'_> {
     fn out_of_budget(&mut self) -> bool {
-        if let Some(max) = self.config.max_templates {
-            if self.emitted >= max {
-                return true;
+        match self.budget.poll() {
+            Some(timed_out) => {
+                if timed_out {
+                    self.stats.timed_out = true;
+                }
+                true
             }
+            None => false,
         }
-        if let Some(budget) = self.config.time_budget {
-            if self.t0.elapsed() > budget {
-                self.stats.timed_out = true;
-                return true;
-            }
-        }
-        false
     }
 
     /// Satisfiability of the current constraint set, honoring the
@@ -421,6 +573,15 @@ impl Walker<'_> {
                         pushed = true;
                         let before = self.all_constraints.len();
                         flatten_conjuncts(pool, t, &mut self.all_constraints);
+                        // `BoolAnd` canonicalizes its operands by pool-local
+                        // TermId, so the flatten order above depends on term
+                        // interning history — fine sequentially, but a parallel
+                        // worker's pool interns in a schedule-dependent order.
+                        // Re-sort the statement's conjuncts by their
+                        // pool-independent canonical rendering so every pool
+                        // records the same constraint sequence.
+                        self.all_constraints[before..]
+                            .sort_by_cached_key(|&c| pool.canonical_key(c));
                         for i in before..self.all_constraints.len() {
                             let c = self.all_constraints[i];
                             solver.assert_term(pool, c);
@@ -445,7 +606,37 @@ impl Walker<'_> {
             if at_target || children.is_empty() {
                 self.leaf(pool, solver, v);
             } else {
-                for &c in children.to_vec().iter() {
+                let children = children.to_vec();
+                let mut local: &[NodeId] = &children;
+                // Work sharing: when the frontier is hungry, hand all but
+                // the first child off as tasks — each carries this prefix's
+                // trace, constraints, and value snapshot, so the receiving
+                // worker re-establishes it without re-checking (every tree
+                // edge is still explored exactly once, which is what keeps
+                // merged stats equal to a sequential run's).
+                // Only shallow subtrees are worth shipping: a task pays a
+                // fixed cost (prefix translation + re-assertion in the
+                // receiver's solver) that a near-leaf subtree never earns
+                // back, and the busiest donation sites are precisely the
+                // deep ones. Gating on prefix length keeps tasks chunky —
+                // the top few predicate levels of a data plane program fan
+                // out into far more subtrees than there are workers.
+                const DONATE_MAX_PREFIX: usize = 6;
+                if children.len() > 1 && self.all_constraints.len() <= DONATE_MAX_PREFIX {
+                    if let Some(sh) = self.sharer {
+                        if sh.hungry() {
+                            sh.donate(
+                                pool,
+                                &self.trace,
+                                &self.all_constraints,
+                                v,
+                                &children[1..],
+                            );
+                            local = &children[..1];
+                        }
+                    }
+                }
+                for &c in local {
                     let mark = v.mark();
                     self.visit(pool, ctx, solver, v, c);
                     v.restore(mark);
@@ -478,11 +669,15 @@ impl Walker<'_> {
             return;
         }
         self.stats.valid_paths += 1;
-        self.emitted += 1;
+        self.budget.note_emit();
+        // Sorted by field so emitted paths are deterministic — the value
+        // stack is a hash map, whose iteration order is not.
+        let mut final_values: Vec<_> = v.iter().collect();
+        final_values.sort_by_key(|&(f, _)| f);
         (self.sink)(RawPath {
             path: self.trace.clone(),
             constraints: self.all_constraints.clone(),
-            final_values: v.iter().collect(),
+            final_values,
         });
     }
 }

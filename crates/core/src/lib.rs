@@ -14,7 +14,11 @@
 //! * [`session`] — the [`session::SolveSession`] bundle (term pool +
 //!   incremental solver + cumulative statistics) threaded through every
 //!   layer instead of loose `(pool, solver, stats)` parameters; the unit of
-//!   state a future parallel DFS hands to each worker.
+//!   per-worker state for the parallel explorer.
+//! * [`parallel`] — the work-stealing parallel explorer: subtree tasks over
+//!   per-worker sessions, minipool term translation at task boundaries, a
+//!   deterministic DFS-order merge, and the batch runner behind code
+//!   summary's concurrent group searches and seed extensions.
 //! * [`template`] — test case templates and their instantiation into
 //!   concrete input states (solver model extraction + hash post-filtering).
 //! * [`engine`] — the top-level [`engine::Meissa`] façade used by the test
@@ -25,6 +29,7 @@
 pub mod coverage;
 pub mod engine;
 pub mod exec;
+pub(crate) mod parallel;
 pub mod session;
 pub mod summary;
 pub mod symstate;

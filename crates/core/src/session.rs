@@ -52,6 +52,23 @@ impl SolveSession {
         }
     }
 
+    /// A worker session *forked* from a main pool: its pool starts as a
+    /// clone, so every main-pool `TermId` below the fork point stays valid
+    /// verbatim inside the worker — prefix constraints and value seeds need
+    /// no translation on the way in, and
+    /// [`meissa_smt::TermPool::import_from`] translates only worker-created
+    /// terms on the way back. Solver and counters start fresh; the caller
+    /// folds them back with [`SolveSession::merge_worker`] at join.
+    pub fn fork_from(pool: &TermPool) -> Self {
+        SolveSession {
+            pool: pool.clone(),
+            solver: Solver::new(),
+            exec: ExecStats::default(),
+            retired: SolverStats::default(),
+            checks_consumed: 0,
+        }
+    }
+
     /// Replaces the incremental solver with a fresh one, retiring its
     /// counters into the session totals. Frames and learned clauses from
     /// thousands of probes would otherwise accumulate and slow unit
@@ -86,6 +103,23 @@ impl SolveSession {
         self.exec.timed_out |= delta.timed_out;
     }
 
+    /// Merges a parallel worker's cumulative counters into this session at
+    /// join: execution tallies sum (and `timed_out` ORs) into
+    /// [`SolveSession::exec`], solver counters fold into the retired totals
+    /// so [`SolveSession::solver_stats`] covers every worker's solver.
+    /// Merging N workers that together did a sequential run's work yields
+    /// that run's counters: every field is a sum except `depth` (a gauge of
+    /// the *live* solver, meaningless for a joined worker and dropped) and
+    /// `max_depth` (a peak, merged via max).
+    pub fn merge_worker(&mut self, exec: &ExecStats, solver: &SolverStats) {
+        self.record(exec);
+        let dead = SolverStats {
+            depth: 0, // joined workers hold no live frames
+            ..*solver
+        };
+        self.retired = add_solver_stats(self.retired, dead);
+    }
+
     /// Consumes the session, yielding the pool (for [`crate::RunOutput`],
     /// whose templates' constraints live in it).
     pub fn into_pool(self) -> TermPool {
@@ -95,8 +129,8 @@ impl SolveSession {
 
 /// `SolverStats` has no `Add` impl upstream; the session sums every counter
 /// except `depth`, which is a gauge (the retired solver's depth is dead, the
-/// live one's is current).
-fn add_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
+/// live one's is current), and `max_depth`, a peak merged via max.
+pub fn add_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
     SolverStats {
         checks: a.checks + b.checks,
         fast_path: a.fast_path + b.fast_path,
@@ -128,6 +162,123 @@ mod tests {
         s.solver.check(&mut s.pool);
         assert_eq!(s.solver_stats().checks, 2);
         assert_eq!(s.take_new_checks(), 1);
+    }
+
+    #[test]
+    fn merging_workers_equals_sequential_counters() {
+        // A sequential run whose work was split across 3 workers must
+        // reconstruct the same counters at join: tallies sum, peaks max.
+        let worker_exec = [
+            ExecStats {
+                paths_explored: 4,
+                valid_paths: 2,
+                pruned: 1,
+                smt_checks: 9,
+                elapsed: std::time::Duration::from_millis(5),
+                timed_out: false,
+            },
+            ExecStats {
+                paths_explored: 3,
+                valid_paths: 3,
+                pruned: 0,
+                smt_checks: 7,
+                elapsed: std::time::Duration::from_millis(4),
+                timed_out: false,
+            },
+            ExecStats {
+                paths_explored: 1,
+                valid_paths: 0,
+                pruned: 2,
+                smt_checks: 5,
+                elapsed: std::time::Duration::from_millis(1),
+                timed_out: false,
+            },
+        ];
+        let worker_solver = [
+            SolverStats {
+                checks: 9,
+                fast_path: 4,
+                sat_engine_calls: 5,
+                sat: 6,
+                unsat: 3,
+                depth: 3,
+                max_depth: 7,
+            },
+            SolverStats {
+                checks: 7,
+                fast_path: 2,
+                sat_engine_calls: 5,
+                sat: 5,
+                unsat: 2,
+                depth: 1,
+                max_depth: 11,
+            },
+            SolverStats {
+                checks: 5,
+                fast_path: 5,
+                sat_engine_calls: 0,
+                sat: 1,
+                unsat: 4,
+                depth: 2,
+                max_depth: 4,
+            },
+        ];
+        let mut main = SolveSession::new();
+        for (e, s) in worker_exec.iter().zip(&worker_solver) {
+            main.merge_worker(e, s);
+        }
+        // Execution tallies: sums of the per-worker deltas.
+        assert_eq!(main.exec.paths_explored, 8);
+        assert_eq!(main.exec.valid_paths, 5);
+        assert_eq!(main.exec.pruned, 3);
+        assert_eq!(main.exec.smt_checks, 21);
+        assert!(!main.exec.timed_out);
+        // Solver tallies: sums; peak depth via max; live depth is the main
+        // session's own (0 — joined workers hold no frames here).
+        let s = main.solver_stats();
+        assert_eq!(s.checks, 21);
+        assert_eq!(s.fast_path, 11);
+        assert_eq!(s.sat_engine_calls, 10);
+        assert_eq!(s.sat, 12);
+        assert_eq!(s.unsat, 9);
+        assert_eq!(s.max_depth, 11, "peak depth merges via max");
+        assert_eq!(s.depth, 0, "worker live depth is not carried over");
+    }
+
+    #[test]
+    fn merge_worker_propagates_timeout() {
+        let mut main = SolveSession::new();
+        let mut e = ExecStats::default();
+        main.merge_worker(&e, &SolverStats::default());
+        assert!(!main.exec.timed_out);
+        e.timed_out = true;
+        main.merge_worker(&e, &SolverStats::default());
+        assert!(main.exec.timed_out, "one timed-out worker flags the run");
+    }
+
+    #[test]
+    fn merge_worker_composes_with_own_explorations() {
+        // Counters a session accumulated itself and counters absorbed from
+        // workers land in the same totals.
+        let mut s = SolveSession::new();
+        let t = s.pool.bool_const(true);
+        s.solver.push();
+        s.solver.assert_term(&mut s.pool, t);
+        s.solver.check(&mut s.pool);
+        let own_checks = s.solver_stats().checks;
+        s.merge_worker(
+            &ExecStats {
+                smt_checks: 3,
+                ..ExecStats::default()
+            },
+            &SolverStats {
+                checks: 3,
+                max_depth: 2,
+                ..SolverStats::default()
+            },
+        );
+        assert_eq!(s.solver_stats().checks, own_checks + 3);
+        assert_eq!(s.exec.smt_checks, 3);
     }
 
     #[test]

@@ -89,18 +89,32 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
     // Seed: paths from the program entry to the first pipeline entries.
     {
         let targets: HashSet<meissa_ir::NodeId> = entry_of.iter().copied().collect();
-        let mut sink_paths: Vec<RawPath> = Vec::new();
-        let st = crate::exec::explore_multi(
-            cfg,
-            session,
-            &mut prog_ctx,
-            cfg.entry(),
-            &targets,
-            &[],
-            &[],
-            config,
-            &mut |p| sink_paths.push(p),
-        );
+        let (sink_paths, st) = if config.threads > 1 {
+            crate::parallel::explore_parallel(
+                cfg,
+                session,
+                &mut prog_ctx,
+                cfg.entry(),
+                &targets,
+                &[],
+                &[],
+                config,
+            )
+        } else {
+            let mut sink_paths: Vec<RawPath> = Vec::new();
+            let st = crate::exec::explore_multi(
+                cfg,
+                session,
+                &mut prog_ctx,
+                cfg.entry(),
+                &targets,
+                &[],
+                &[],
+                config,
+                &mut |p| sink_paths.push(p),
+            );
+            (sink_paths, st)
+        };
         stats.smt_checks += st.smt_checks;
         stats.timed_out |= st.timed_out;
         let entry_set: HashSet<meissa_ir::NodeId> = entry_of.iter().copied().collect();
@@ -112,6 +126,28 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
                 completed.push(p); // terminated before any pipeline
             }
         }
+    }
+
+    if config.threads > 1 {
+        summarize_pipelines_batched(
+            cfg,
+            session,
+            config,
+            &order,
+            &entry_of,
+            &mut prog_ctx,
+            &mut cache,
+            &mut completed,
+            &mut stats,
+        );
+        stats.elapsed = t0.elapsed();
+        let interrupted = stats.timed_out;
+        let completed = dedup_subsumed(&session.pool, completed);
+        return SummaryOutcome {
+            stats,
+            completed: if interrupted { None } else { Some(completed) },
+            ctx: prog_ctx,
+        };
     }
 
     for (idx, &pid) in order.iter().enumerate() {
@@ -237,155 +273,34 @@ fn summarize_pipeline(
         return;
     }
 
-    // §7 grouping ("we group pre-conditions according to packet type,
-    // conduct summary separately and merge them into a full summary"):
-    // entry paths are grouped by the *constant-valued* projection onto the
-    // pipeline's read-set — the fields this region consumes whose symbolic
-    // value at entry is a known constant (packet type flags, assigned VNIs,
-    // drop bits…). Within a group those constants are installed as
-    // value-stack seeds, so the per-group search folds its way through the
-    // pipeline exactly like a concrete prefix would, and each group's paths
-    // are re-encoded behind a shared group-guard prefix that restores the
-    // discrimination in the merged summary.
-    let read_set = {
-        let mut rs: Vec<FieldId> = region_read_set(cfg, entry, exit).into_iter().collect();
-        rs.sort();
-        rs
-    };
-
+    let (read_set, group_list, discriminating) =
+        group_entry_paths(cfg, &session.pool, prog_ctx, entry, exit, entry_paths, config, &name);
     let fields = cfg.fields.clone();
-    // A read field is constant at entry when its symbolic value folded to a
-    // constant (assigned upstream), or when the path *constrains* it to one
-    // (`dst == 10.0.0.7` from an upstream exact match): both pin the field
-    // for every packet following the path.
-    let const_value_on = |prog_ctx: &SymCtx, pool: &TermPool, p: &RawPath, f: FieldId| -> Option<meissa_num::Bv> {
-        if let Some(&(_, t)) = p.final_values.iter().find(|&&(pf, _)| pf == f) {
-            return pool.as_const(t);
-        }
-        for &c in &p.constraints {
-            if let TermNode::Cmp(meissa_smt::term::CmpOp::Eq, a, b) = *pool.node(c) {
-                let (var_side, const_side) = match (pool.node(a), pool.node(b)) {
-                    (TermNode::BvVar(v), TermNode::BvConst(k)) => (*v, *k),
-                    (TermNode::BvConst(k), TermNode::BvVar(v)) => (*v, *k),
-                    _ => continue,
-                };
-                if prog_ctx.field_of_var(var_side) == Some(f) {
-                    return Some(const_side);
-                }
-            }
-        }
-        None
-    };
-
-    type Projection = Vec<(FieldId, meissa_num::Bv)>;
-    let mut groups: HashMap<Projection, Vec<&RawPath>> = HashMap::new();
-    for p in entry_paths {
-        let key: Vec<(FieldId, meissa_num::Bv)> = if config.grouped_summary {
-            read_set
-                .iter()
-                .filter_map(|&f| const_value_on(prog_ctx, &session.pool, p, f).map(|c| (f, c)))
-                .collect()
-        } else {
-            // Ablation: one global group — Algorithm 2's ungrouped public
-            // pre-condition (lines 4–7 verbatim).
-            Vec::new()
-        };
-        groups.entry(key).or_default().push(p);
-    }
-    let mut group_list: Vec<(Projection, Vec<&RawPath>)> = groups.into_iter().collect();
-    group_list.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
-    if std::env::var_os("MEISSA_SUMMARY_DEBUG").is_some() {
-        eprintln!(
-            "summary[{name}]: {} entry paths, {} groups, read_set {}",
-            entry_paths.len(),
-            group_list.len(),
-            read_set.len()
-        );
-    }
-
-    // Fields whose projected constant is identical across every group (or
-    // absent everywhere) discriminate nothing; dropping them keeps group
-    // guards short while preserving pairwise exclusivity of groups.
-    let discriminating: HashSet<FieldId> = {
-        let mut values: HashMap<FieldId, HashSet<meissa_num::Bv>> = HashMap::new();
-        let mut presence: HashMap<FieldId, usize> = HashMap::new();
-        for (proj, _) in &group_list {
-            for &(f, c) in proj {
-                values.entry(f).or_default().insert(c);
-                *presence.entry(f).or_insert(0) += 1;
-            }
-        }
-        values
-            .into_iter()
-            .filter(|(f, vs)| vs.len() > 1 || presence[f] < group_list.len())
-            .map(|(f, _)| f)
-            .collect()
-    };
 
     let mut encoded: Vec<Vec<Stmt>> = Vec::new();
     let mut seen_paths: HashSet<Vec<Stmt>> = HashSet::new();
     let mut kept = 0u64;
 
     for (projection, members) in &group_list {
-        // Group pre-condition: C_pub^g (constraint intersection within the
-        // group); the constant projection is installed as value seeds so
-        // interior predicates fold the way they would under any member
-        // prefix (Lemma 1 holds per group: every member's concrete state
-        // agrees with the seeds on the seeded fields).
-        let mut c_pub: HashSet<TermId> = members[0].constraints.iter().copied().collect();
-        for p in &members[1..] {
-            let set: HashSet<TermId> = p.constraints.iter().copied().collect();
-            c_pub.retain(|t| set.contains(t));
-        }
-        let mut ppl_ctx = SymCtx::new(Some(&name));
-        let mut base: Vec<TermId> = c_pub.into_iter().collect();
-        base.sort(); // deterministic assertion order
-        let seeds: Vec<(FieldId, TermId)> = projection
-            .iter()
-            .map(|&(f, c)| (f, session.pool.bv_const(c)))
-            .collect();
-        let seed_map: HashMap<FieldId, TermId> = seeds.iter().copied().collect();
-        // Non-constant reads on which every member still agrees get binding
-        // equations instead of value seeds: they connect the pipeline-entry
-        // variable to the program-level term so that C_pub^g constraints
-        // (e.g. Fig. 8's `proto == TCP`) keep filtering inside the pipe.
-        {
-            let value_on = |prog_ctx: &mut SymCtx,
-                            pool: &mut TermPool,
-                            p: &RawPath,
-                            f: FieldId|
-             -> TermId {
-                p.final_values
-                    .iter()
-                    .find(|&&(pf, _)| pf == f)
-                    .map(|&(_, t)| t)
-                    .unwrap_or_else(|| prog_ctx.input_var(pool, &fields, f))
-            };
-            let v0 = crate::symstate::ValueStack::new();
-            'bind: for &f in &read_set {
-                if seed_map.contains_key(&f) {
-                    continue;
-                }
-                let first = value_on(prog_ctx, &mut session.pool, members[0], f);
-                for p in &members[1..] {
-                    if value_on(prog_ctx, &mut session.pool, p, f) != first {
-                        continue 'bind; // ★: members disagree
-                    }
-                }
-                let entry_var = ppl_ctx.read(&mut session.pool, &fields, &v0, f);
-                let bind = session.pool.eq(entry_var, first);
-                base.push(bind);
-            }
-        }
+        let mut plan = build_group_plan(
+            &fields,
+            &mut session.pool,
+            prog_ctx,
+            &name,
+            &read_set,
+            &discriminating,
+            projection,
+            members,
+        );
         let mut local_paths: Vec<RawPath> = Vec::new();
         let in_stats: ExecStats = crate::exec::explore_multi(
             cfg,
             session,
-            &mut ppl_ctx,
+            &mut plan.ppl_ctx,
             entry,
             &std::iter::once(exit).collect(),
-            &base,
-            &seeds,
+            &plan.base,
+            &plan.seeds,
             config,
             &mut |p| local_paths.push(p),
         );
@@ -396,21 +311,21 @@ fn summarize_pipeline(
         stats.timed_out |= in_stats.timed_out;
         kept += local_paths.len() as u64;
 
-        // Group guard: one predicate per projected constant, shared by all
-        // of the group's paths (the trie merges them into one node chain).
-        let group_guard: Vec<Stmt> = projection
-            .iter()
-            .filter(|(f, _)| discriminating.contains(f))
-            .map(|&(f, c)| Stmt::Assume(BExp::eq(AExp::Field(f), AExp::Const(c))))
-            .collect();
-
         // ---- lines 10–25: re-encode each valid path -----------------------
         // The first `base.len()` constraint entries are the pre-condition
         // frame (context, not guard); filtering is positional because a
         // local conjunct can be hash-consed to the same term as a base one.
         for p in &local_paths {
-            let mut enc = group_guard.clone();
-            enc.extend(encode_path(cfg, &session.pool, &ppl_ctx, &name, p, base.len(), &seed_map));
+            let mut enc = plan.guard.clone();
+            enc.extend(encode_path(
+                cfg,
+                &session.pool,
+                &plan.ppl_ctx,
+                &name,
+                p,
+                plan.base.len(),
+                &plan.seed_map,
+            ));
             if seen_paths.insert(enc.clone()) {
                 encoded.push(enc);
             }
@@ -429,6 +344,469 @@ fn summarize_pipeline(
     let kept = encoded.len() as u64;
     cfg.replace_pipeline_body(pid, encoded);
     stats.pipelines.push((name, num_entry_paths, kept));
+}
+
+/// A constant projection of a path onto a pipeline's read-set (§7 grouping
+/// key).
+type Projection = Vec<(FieldId, meissa_num::Bv)>;
+
+/// A read field is constant at entry when its symbolic value folded to a
+/// constant (assigned upstream), or when the path *constrains* it to one
+/// (`dst == 10.0.0.7` from an upstream exact match): both pin the field
+/// for every packet following the path.
+fn const_value_on(
+    prog_ctx: &SymCtx,
+    pool: &TermPool,
+    p: &RawPath,
+    f: FieldId,
+) -> Option<meissa_num::Bv> {
+    if let Some(&(_, t)) = p.final_values.iter().find(|&&(pf, _)| pf == f) {
+        return pool.as_const(t);
+    }
+    for &c in &p.constraints {
+        if let TermNode::Cmp(meissa_smt::term::CmpOp::Eq, a, b) = *pool.node(c) {
+            let (var_side, const_side) = match (pool.node(a), pool.node(b)) {
+                (TermNode::BvVar(v), TermNode::BvConst(k)) => (*v, *k),
+                (TermNode::BvConst(k), TermNode::BvVar(v)) => (*v, *k),
+                _ => continue,
+            };
+            if prog_ctx.field_of_var(var_side) == Some(f) {
+                return Some(const_side);
+            }
+        }
+    }
+    None
+}
+
+/// §7 grouping ("we group pre-conditions according to packet type, conduct
+/// summary separately and merge them into a full summary"): entry paths are
+/// grouped by the *constant-valued* projection onto the pipeline's read-set
+/// — the fields this region consumes whose symbolic value at entry is a
+/// known constant (packet type flags, assigned VNIs, drop bits…). Within a
+/// group those constants are installed as value-stack seeds, so the
+/// per-group search folds its way through the pipeline exactly like a
+/// concrete prefix would, and each group's paths are re-encoded behind a
+/// shared group-guard prefix that restores the discrimination in the merged
+/// summary. Also computes the discriminating-field set: fields whose
+/// projected constant is identical across every group (or absent
+/// everywhere) discriminate nothing; dropping them keeps group guards short
+/// while preserving pairwise exclusivity of groups.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn group_entry_paths<'a>(
+    cfg: &Cfg,
+    pool: &TermPool,
+    prog_ctx: &SymCtx,
+    entry: meissa_ir::NodeId,
+    exit: meissa_ir::NodeId,
+    entry_paths: &'a [RawPath],
+    config: &ExecConfig,
+    name: &str,
+) -> (
+    Vec<FieldId>,
+    Vec<(Projection, Vec<&'a RawPath>)>,
+    HashSet<FieldId>,
+) {
+    let read_set = {
+        let mut rs: Vec<FieldId> = region_read_set(cfg, entry, exit).into_iter().collect();
+        rs.sort();
+        rs
+    };
+    let mut groups: HashMap<Projection, Vec<&RawPath>> = HashMap::new();
+    for p in entry_paths {
+        let key: Projection = if config.grouped_summary {
+            read_set
+                .iter()
+                .filter_map(|&f| const_value_on(prog_ctx, pool, p, f).map(|c| (f, c)))
+                .collect()
+        } else {
+            // Ablation: one global group — Algorithm 2's ungrouped public
+            // pre-condition (lines 4–7 verbatim).
+            Vec::new()
+        };
+        groups.entry(key).or_default().push(p);
+    }
+    let mut group_list: Vec<(Projection, Vec<&RawPath>)> = groups.into_iter().collect();
+    group_list.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
+    if std::env::var_os("MEISSA_SUMMARY_DEBUG").is_some() {
+        eprintln!(
+            "summary[{name}]: {} entry paths, {} groups, read_set {}",
+            entry_paths.len(),
+            group_list.len(),
+            read_set.len()
+        );
+    }
+    let discriminating: HashSet<FieldId> = {
+        let mut values: HashMap<FieldId, HashSet<meissa_num::Bv>> = HashMap::new();
+        let mut presence: HashMap<FieldId, usize> = HashMap::new();
+        for (proj, _) in &group_list {
+            for &(f, c) in proj {
+                values.entry(f).or_default().insert(c);
+                *presence.entry(f).or_insert(0) += 1;
+            }
+        }
+        values
+            .into_iter()
+            .filter(|(f, vs)| vs.len() > 1 || presence[f] < group_list.len())
+            .map(|(f, _)| f)
+            .collect()
+    };
+    (read_set, group_list, discriminating)
+}
+
+/// Everything Algorithm 2 needs to *search* one §7 group, computed without
+/// running the search: the group pre-condition `C_pub^g` plus binding
+/// equations (`base`), the constant value seeds, the group guard, and a
+/// fresh pipeline-scope context. Building a plan mutates the main pool
+/// (constants, entry variables, binding equations) but issues no solver
+/// query — so plans for many groups, or for every pipeline at one topo
+/// depth, can be built up front and their searches run as one parallel
+/// batch.
+struct GroupPlan {
+    /// Group guard: one predicate per discriminating projected constant,
+    /// shared by all of the group's paths (the trie merges them into one
+    /// node chain).
+    guard: Vec<Stmt>,
+    ppl_ctx: SymCtx,
+    base: Vec<TermId>,
+    seeds: Vec<(FieldId, TermId)>,
+    seed_map: HashMap<FieldId, TermId>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_group_plan(
+    fields: &meissa_ir::FieldTable,
+    pool: &mut TermPool,
+    prog_ctx: &mut SymCtx,
+    name: &str,
+    read_set: &[FieldId],
+    discriminating: &HashSet<FieldId>,
+    projection: &Projection,
+    members: &[&RawPath],
+) -> GroupPlan {
+    // Group pre-condition: C_pub^g (constraint intersection within the
+    // group); the constant projection is installed as value seeds so
+    // interior predicates fold the way they would under any member
+    // prefix (Lemma 1 holds per group: every member's concrete state
+    // agrees with the seeds on the seeded fields).
+    let mut c_pub: HashSet<TermId> = members[0].constraints.iter().copied().collect();
+    for p in &members[1..] {
+        let set: HashSet<TermId> = p.constraints.iter().copied().collect();
+        c_pub.retain(|t| set.contains(t));
+    }
+    let mut ppl_ctx = SymCtx::new(Some(name));
+    let mut base: Vec<TermId> = c_pub.into_iter().collect();
+    base.sort(); // deterministic assertion order
+    let seeds: Vec<(FieldId, TermId)> = projection
+        .iter()
+        .map(|&(f, c)| (f, pool.bv_const(c)))
+        .collect();
+    let seed_map: HashMap<FieldId, TermId> = seeds.iter().copied().collect();
+    // Non-constant reads on which every member still agrees get binding
+    // equations instead of value seeds: they connect the pipeline-entry
+    // variable to the program-level term so that C_pub^g constraints
+    // (e.g. Fig. 8's `proto == TCP`) keep filtering inside the pipe.
+    {
+        let value_on =
+            |prog_ctx: &mut SymCtx, pool: &mut TermPool, p: &RawPath, f: FieldId| -> TermId {
+                p.final_values
+                    .iter()
+                    .find(|&&(pf, _)| pf == f)
+                    .map(|&(_, t)| t)
+                    .unwrap_or_else(|| prog_ctx.input_var(pool, fields, f))
+            };
+        let v0 = crate::symstate::ValueStack::new();
+        'bind: for &f in read_set {
+            if seed_map.contains_key(&f) {
+                continue;
+            }
+            let first = value_on(prog_ctx, pool, members[0], f);
+            for p in &members[1..] {
+                if value_on(prog_ctx, pool, p, f) != first {
+                    continue 'bind; // ★: members disagree
+                }
+            }
+            let entry_var = ppl_ctx.read(pool, fields, &v0, f);
+            let bind = pool.eq(entry_var, first);
+            base.push(bind);
+        }
+    }
+    let guard: Vec<Stmt> = projection
+        .iter()
+        .filter(|(f, _)| discriminating.contains(f))
+        .map(|&(f, c)| Stmt::Assume(BExp::eq(AExp::Field(f), AExp::Const(c))))
+        .collect();
+    GroupPlan {
+        guard,
+        ppl_ctx,
+        base,
+        seeds,
+        seed_map,
+    }
+}
+
+/// A pipeline's search plan: one [`GroupPlan`] per §7 group, ready to run
+/// as batch jobs. Empty `groups` means the pipeline is unreachable.
+struct PipelinePlan {
+    name: String,
+    entry: meissa_ir::NodeId,
+    exit: meissa_ir::NodeId,
+    num_entry_paths: u64,
+    groups: Vec<GroupPlan>,
+}
+
+fn plan_pipeline(
+    cfg: &Cfg,
+    session: &mut SolveSession,
+    prog_ctx: &mut SymCtx,
+    pid: PipelineId,
+    entry_paths: &[RawPath],
+    config: &ExecConfig,
+) -> PipelinePlan {
+    let (name, entry, exit) = {
+        let p = cfg.pipeline(pid);
+        (p.name.clone(), p.entry, p.exit)
+    };
+    let num_entry_paths = entry_paths.len() as u64;
+    if entry_paths.is_empty() {
+        return PipelinePlan {
+            name,
+            entry,
+            exit,
+            num_entry_paths,
+            groups: Vec::new(),
+        };
+    }
+    let (read_set, group_list, discriminating) =
+        group_entry_paths(cfg, &session.pool, prog_ctx, entry, exit, entry_paths, config, &name);
+    let fields = cfg.fields.clone();
+    let groups = group_list
+        .iter()
+        .map(|(projection, members)| {
+            build_group_plan(
+                &fields,
+                &mut session.pool,
+                prog_ctx,
+                &name,
+                &read_set,
+                &discriminating,
+                projection,
+                members,
+            )
+        })
+        .collect();
+    PipelinePlan {
+        name,
+        entry,
+        exit,
+        num_entry_paths,
+        groups,
+    }
+}
+
+/// Re-encodes one pipeline's batched group-search results and replaces the
+/// pipeline body (lines 10–25), exactly as the sequential group loop does.
+fn encode_pipeline(
+    cfg: &mut Cfg,
+    session: &mut SolveSession,
+    stats: &mut SummaryStats,
+    pid: PipelineId,
+    plan: PipelinePlan,
+    group_results: Vec<crate::parallel::JobResult>,
+) {
+    let PipelinePlan {
+        name,
+        num_entry_paths,
+        groups,
+        ..
+    } = plan;
+    if groups.is_empty() {
+        // Unreachable pipeline: make the region impassable (an empty body
+        // would read as a terminal leaf and fabricate truncated paths).
+        cfg.replace_pipeline_body(pid, vec![vec![Stmt::Assume(BExp::False)]]);
+        stats.pipelines.push((name, 0, 0));
+        return;
+    }
+    let mut encoded: Vec<Vec<Stmt>> = Vec::new();
+    let mut seen_paths: HashSet<Vec<Stmt>> = HashSet::new();
+    for (mut g, r) in groups.into_iter().zip(group_results) {
+        stats.smt_checks += r.stats.smt_checks;
+        stats.timed_out |= r.stats.timed_out;
+        // The worker explored in its own pool and scope; adopt its hash
+        // obligations and entry variables so re-encoding sees the same
+        // context a sequential search would have built.
+        for d in r.hash_defs {
+            g.ppl_ctx.add_hash_def(d);
+        }
+        g.ppl_ctx.register_pool_vars(&mut session.pool, &cfg.fields);
+        for p in &r.paths {
+            let mut enc = g.guard.clone();
+            enc.extend(encode_path(
+                cfg,
+                &session.pool,
+                &g.ppl_ctx,
+                &name,
+                p,
+                g.base.len(),
+                &g.seed_map,
+            ));
+            if seen_paths.insert(enc.clone()) {
+                encoded.push(enc);
+            }
+        }
+    }
+    if encoded.is_empty() {
+        cfg.replace_pipeline_body(pid, vec![vec![Stmt::Assume(BExp::False)]]);
+        stats.pipelines.push((name, num_entry_paths, 0));
+        return;
+    }
+    let kept = encoded.len() as u64;
+    cfg.replace_pipeline_body(pid, encoded);
+    stats.pipelines.push((name, num_entry_paths, kept));
+}
+
+/// Partitions pipelines into topo-depth levels: depth(B) = 1 + max depth(A)
+/// over every pipeline A from whose exit B's entry is reachable. Same-depth
+/// pipelines are mutually unreachable (any path between two pipelines
+/// passes the upstream one's exit, which would increment the depth), so
+/// their pre-conditions don't depend on each other and their searches can
+/// run concurrently. `order` is a topo linearization, which makes the
+/// single forward pass below sufficient.
+fn pipeline_levels(cfg: &Cfg, order: &[PipelineId]) -> Vec<Vec<usize>> {
+    let n = order.len();
+    let entry_index: HashMap<meissa_ir::NodeId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (cfg.pipeline(p).entry, i))
+        .collect();
+    let mut depth = vec![0usize; n];
+    for i in 0..n {
+        let exit = cfg.pipeline(order[i]).exit;
+        let mut stack = vec![exit];
+        let mut seen = HashSet::new();
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(&j) = entry_index.get(&v) {
+                if j != i && depth[j] < depth[i] + 1 {
+                    depth[j] = depth[i] + 1;
+                }
+            }
+            stack.extend(cfg.succ(v).iter().copied());
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n.min(max_depth + 1)];
+    for (i, &d) in depth.iter().enumerate() {
+        levels[d].push(i);
+    }
+    levels.retain(|l| !l.is_empty());
+    levels
+}
+
+/// The `config.threads > 1` pipeline loop: per topo-depth level, plan every
+/// pipeline sequentially (cheap; pool mutations stay deterministic), run
+/// all group searches of the level as one parallel batch, re-encode in topo
+/// order, then run every seed extension of the level as a second batch.
+/// Batch results merge in job order, so cache routing, completed-path
+/// order, and main-pool term interning are identical to the sequential
+/// loop's.
+#[allow(clippy::too_many_arguments)]
+fn summarize_pipelines_batched(
+    cfg: &mut Cfg,
+    session: &mut SolveSession,
+    config: &ExecConfig,
+    order: &[PipelineId],
+    entry_of: &[meissa_ir::NodeId],
+    prog_ctx: &mut SymCtx,
+    cache: &mut HashMap<meissa_ir::NodeId, Vec<RawPath>>,
+    completed: &mut Vec<RawPath>,
+    stats: &mut SummaryStats,
+) {
+    use crate::parallel::{explore_batch, ExploreJob};
+    for level in pipeline_levels(cfg, order) {
+        // ---- plan (sequential, topo order) --------------------------------
+        let mut entries: Vec<(usize, Vec<RawPath>, Option<PipelinePlan>)> = Vec::new();
+        for &idx in &level {
+            let seeds = cache.remove(&entry_of[idx]).unwrap_or_default();
+            let plan = plan_pipeline(cfg, session, prog_ctx, order[idx], &seeds, config);
+            entries.push((idx, seeds, Some(plan)));
+        }
+        // ---- batched group searches ---------------------------------------
+        let mut jobs: Vec<ExploreJob> = Vec::new();
+        for (_, _, plan) in &entries {
+            let plan = plan.as_ref().unwrap();
+            for g in &plan.groups {
+                jobs.push(ExploreJob {
+                    start: plan.entry,
+                    targets: std::iter::once(plan.exit).collect(),
+                    base: g.base.clone(),
+                    seeds: g.seeds.clone(),
+                    scope: Some(plan.name.clone()),
+                });
+            }
+        }
+        let mut group_results = explore_batch(cfg, session, config, &jobs).into_iter();
+        // ---- encode + replace bodies (topo order) -------------------------
+        for (idx, _, plan) in &mut entries {
+            let plan = plan.take().unwrap();
+            let n = plan.groups.len();
+            let results: Vec<_> = group_results.by_ref().take(n).collect();
+            encode_pipeline(cfg, session, stats, order[*idx], plan, results);
+        }
+        if stats.timed_out {
+            return;
+        }
+        // ---- batched seed extensions --------------------------------------
+        // Extend each seed through its just-summarized pipeline: paths
+        // reaching a later pipeline entry are cached for it; paths reaching
+        // a program terminal are complete end-to-end valid paths. A
+        // same-level pipeline's entry can appear in `later` but is
+        // unreachable, so level batching routes exactly as the sequential
+        // loop does.
+        let laters: Vec<HashSet<meissa_ir::NodeId>> = entries
+            .iter()
+            .map(|&(idx, _, _)| entry_of[idx + 1..].iter().copied().collect())
+            .collect();
+        let mut ext_jobs: Vec<ExploreJob> = Vec::new();
+        let mut ext_src: Vec<(usize, usize)> = Vec::new();
+        for (pi, (idx, seeds, _)) in entries.iter().enumerate() {
+            for (si, seed) in seeds.iter().enumerate() {
+                ext_jobs.push(ExploreJob {
+                    start: entry_of[*idx],
+                    targets: laters[pi].clone(),
+                    base: seed.constraints.clone(),
+                    seeds: seed.final_values.clone(),
+                    scope: None,
+                });
+                ext_src.push((pi, si));
+            }
+        }
+        let ext_results = explore_batch(cfg, session, config, &ext_jobs);
+        for ((pi, si), r) in ext_src.into_iter().zip(ext_results) {
+            stats.smt_checks += r.stats.smt_checks;
+            stats.timed_out |= r.stats.timed_out;
+            for d in r.hash_defs {
+                prog_ctx.add_hash_def(d);
+            }
+            let seed = &entries[pi].1[si];
+            for mut p in r.paths {
+                let end = *p.path.last().expect("non-empty path");
+                let mut full = seed.path.clone();
+                full.extend(p.path.iter().copied());
+                p.path = full;
+                if laters[pi].contains(&end) {
+                    cache.entry(end).or_default().push(p);
+                } else {
+                    completed.push(p);
+                }
+            }
+        }
+        prog_ctx.register_pool_vars(&mut session.pool, &cfg.fields);
+        if stats.timed_out {
+            return;
+        }
+    }
 }
 
 /// Fields *read* by statements in the region between `entry` and `exit`

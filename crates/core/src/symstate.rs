@@ -20,6 +20,14 @@
 //! concretely; otherwise the result is a fresh unconstrained variable and
 //! the `(algorithm, keys, output)` triple is recorded so the template
 //! instantiator can post-filter generated packets.
+//!
+//! Hash stand-ins are named by **content** — a digest of the algorithm,
+//! width, and a pool-independent canonical rendering of the key terms —
+//! rather than by discovery order. Two consequences: the same hash
+//! application reached along two paths shares one stand-in (sound, since a
+//! hash is a function of its keys), and a parallel worker that discovers a
+//! hash site in its own term pool mints exactly the name the sequential
+//! engine would, which is what keeps parallel output byte-identical.
 
 use meissa_ir::{AExp, AOp, BExp, BOp, CmpOp, FieldId, FieldTable, HashAlg};
 use meissa_smt::{TermId, TermPool, VarId};
@@ -49,7 +57,6 @@ pub struct SymCtx {
     var_to_field: HashMap<VarId, FieldId>,
     /// Hash stand-in variables: out term → definition.
     hash_defs: HashMap<TermId, HashDef>,
-    hash_counter: usize,
 }
 
 /// The value stack `V` with an undo log for DFS backtracking.
@@ -120,8 +127,14 @@ impl SymCtx {
             input_vars: HashMap::new(),
             var_to_field: HashMap::new(),
             hash_defs: HashMap::new(),
-            hash_counter: 0,
         }
+    }
+
+    /// The scope suffix for input variable names (`None` = program inputs).
+    /// Parallel workers create their own contexts with the same scope so
+    /// variables unify by name when terms translate back.
+    pub fn scope(&self) -> Option<&str> {
+        self.scope.as_deref()
     }
 
     /// The input variable term for a field (created on first use).
@@ -176,6 +189,70 @@ impl SymCtx {
         self.hash_defs.get(&t)
     }
 
+    /// Registers an externally-discovered hash definition (a parallel
+    /// worker's obligation, translated into this context's pool). Keyed by
+    /// the stand-in term, so re-registering the same application is a no-op.
+    pub fn add_hash_def(&mut self, def: HashDef) {
+        self.hash_defs.insert(def.out, def);
+    }
+
+    /// Content-keyed stand-in name: algorithm, width, and an FNV-1a digest
+    /// of the keys' pool-independent canonical renderings.
+    fn hash_name(
+        &self,
+        pool: &TermPool,
+        alg: HashAlg,
+        width: u16,
+        keys: &[TermId],
+    ) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let eat = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&mut h, format!("{alg:?}/{width}").as_bytes());
+        for &k in keys {
+            eat(&mut h, b"/");
+            eat(&mut h, pool.canonical_key(k).as_bytes());
+        }
+        match &self.scope {
+            None => format!("$hash_{alg:?}_{width}_{h:016x}"),
+            Some(s) => format!("$hash_{alg:?}_{width}_{h:016x}@{s}"),
+        }
+    }
+
+    /// Adopts every variable of `pool` that names one of our fields into
+    /// the reverse `var → field` map (and the input-var table), declaring
+    /// it in the pool if needed so the [`TermId`] is available.
+    ///
+    /// A parallel worker reads fields the main thread never touched; after
+    /// its terms are imported, the main context must recognize those input
+    /// variables — code summary's term re-encoding relies on
+    /// [`SymCtx::field_of_var`] covering them.
+    pub fn register_pool_vars(&mut self, pool: &mut TermPool, fields: &FieldTable) {
+        let scope_suffix = self.scope.as_ref().map(|s| format!("@{s}"));
+        let vars: Vec<_> = pool.all_vars().collect();
+        for v in vars {
+            let name = pool.var_name(v).to_string();
+            let base = match &scope_suffix {
+                None => name.as_str(),
+                Some(suf) => match name.strip_suffix(suf.as_str()) {
+                    Some(b) => b,
+                    None => continue,
+                },
+            };
+            let Some(f) = fields.get(base) else { continue };
+            if fields.width(f) != pool.var_width(v) {
+                continue;
+            }
+            let t = pool.var(&name, fields.width(f));
+            self.var_to_field.entry(v).or_insert(f);
+            self.input_vars.entry(f).or_insert(t);
+        }
+    }
+
     /// Translates an arithmetic expression under `V` — the `⟦V⟧a`
     /// substitution of Fig. 6.
     pub fn aexp(
@@ -222,13 +299,11 @@ impl SymCtx {
                 if let Some(cs) = consts {
                     return pool.bv_const(alg.compute(*w, &cs));
                 }
-                // Otherwise: fresh unconstrained stand-in + recorded
-                // obligation for post-filtering.
-                let name = match &self.scope {
-                    None => format!("$hash{}", self.hash_counter),
-                    Some(s) => format!("$hash{}@{s}", self.hash_counter),
-                };
-                self.hash_counter += 1;
+                // Otherwise: unconstrained stand-in + recorded obligation
+                // for post-filtering. The stand-in is named by content, so
+                // the same application (same algorithm, width, keys) yields
+                // the same variable on every path, in every worker pool.
+                let name = self.hash_name(pool, *alg, *w, &keys);
                 let out = pool.var(&name, *w);
                 self.hash_defs.insert(
                     out,
@@ -428,5 +503,108 @@ mod tests {
         assert_eq!(defs[0].out, t);
         assert_eq!(defs[0].alg, HashAlg::Crc32);
         assert!(ctx.hash_def_of(t).is_some());
+    }
+
+    #[test]
+    fn hash_names_are_content_keyed_across_pools() {
+        // Two pools with skewed numbering; same application must mint the
+        // same stand-in name, so worker-discovered hashes line up with the
+        // sequential engine's after import.
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.src", 32);
+        let e = AExp::Hash(HashAlg::Crc32, 32, vec![AExp::Field(f)]);
+
+        let mut p1 = TermPool::new();
+        let mut c1 = SymCtx::new(None);
+        let t1 = c1.aexp(&mut p1, &fields, &ValueStack::new(), &e);
+
+        let mut p2 = TermPool::new();
+        p2.var("skew", 4); // different ids in this pool
+        let mut c2 = SymCtx::new(None);
+        let t2 = c2.aexp(&mut p2, &fields, &ValueStack::new(), &e);
+
+        assert_eq!(p1.display(t1), p2.display(t2));
+        assert!(p1.display(t1).starts_with("$hash_Crc32_32_"));
+    }
+
+    #[test]
+    fn same_hash_application_shares_one_standin() {
+        let (mut pool, fields, mut ctx, v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let e = AExp::Hash(HashAlg::Crc16, 16, vec![AExp::Field(f)]);
+        let t1 = ctx.aexp(&mut pool, &fields, &v, &e);
+        let t2 = ctx.aexp(&mut pool, &fields, &v, &e);
+        assert_eq!(t1, t2);
+        assert_eq!(ctx.hash_defs().count(), 1);
+        // A different application gets a different stand-in.
+        let g = fields.get("hdr.ip.dst").unwrap();
+        let e2 = AExp::Hash(HashAlg::Crc16, 16, vec![AExp::Field(g)]);
+        let t3 = ctx.aexp(&mut pool, &fields, &v, &e2);
+        assert_ne!(t1, t3);
+        assert_eq!(ctx.hash_defs().count(), 2);
+    }
+
+    #[test]
+    fn add_hash_def_registers_external_obligation() {
+        let (mut pool, fields, mut ctx, _v) = setup();
+        let f = fields.get("hdr.ip.src").unwrap();
+        let key = ctx.input_var(&mut pool, &fields, f);
+        let out = pool.var("$hash_Crc16_16_feedbeef", 16);
+        ctx.add_hash_def(HashDef {
+            alg: HashAlg::Crc16,
+            width: 16,
+            keys: vec![key],
+            out,
+        });
+        assert!(ctx.hash_def_of(out).is_some());
+        assert_eq!(ctx.hash_defs().count(), 1);
+    }
+
+    #[test]
+    fn register_pool_vars_adopts_worker_inputs() {
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.src", 32);
+        let g = fields.intern("meta.port", 9);
+        // Worker pool read both fields; main ctx never touched them.
+        let mut pool = TermPool::new();
+        let mut worker_ctx = SymCtx::new(None);
+        let v = ValueStack::new();
+        worker_ctx.read(&mut pool, &fields, &v, f);
+        worker_ctx.read(&mut pool, &fields, &v, g);
+        pool.var("$hash_Crc16_16_0000000000000000", 16); // not a field
+
+        let mut main_ctx = SymCtx::new(None);
+        main_ctx.register_pool_vars(&mut pool, &fields);
+        let vf = pool.find_var("hdr.ip.src").unwrap();
+        let vg = pool.find_var("meta.port").unwrap();
+        assert_eq!(main_ctx.field_of_var(vf), Some(f));
+        assert_eq!(main_ctx.field_of_var(vg), Some(g));
+        // Reading now returns the same input var the worker used.
+        let t = main_ctx.read(&mut pool, &fields, &v, f);
+        assert_eq!(pool.display(t), "hdr.ip.src");
+    }
+
+    #[test]
+    fn register_pool_vars_respects_scope() {
+        let mut fields = FieldTable::new();
+        let f = fields.intern("hdr.ip.src", 32);
+        let mut pool = TermPool::new();
+        let mut scoped = SymCtx::new(Some("ppl1"));
+        let v = ValueStack::new();
+        scoped.read(&mut pool, &fields, &v, f); // mints hdr.ip.src@ppl1
+        let mut plain = SymCtx::new(None);
+        plain.read(&mut pool, &fields, &v, f); // mints hdr.ip.src
+
+        let mut adopt_scoped = SymCtx::new(Some("ppl1"));
+        adopt_scoped.register_pool_vars(&mut pool, &fields);
+        let scoped_var = pool.find_var("hdr.ip.src@ppl1").unwrap();
+        let plain_var = pool.find_var("hdr.ip.src").unwrap();
+        assert_eq!(adopt_scoped.field_of_var(scoped_var), Some(f));
+        assert_eq!(adopt_scoped.field_of_var(plain_var), None);
+
+        let mut adopt_plain = SymCtx::new(None);
+        adopt_plain.register_pool_vars(&mut pool, &fields);
+        assert_eq!(adopt_plain.field_of_var(plain_var), Some(f));
+        assert_eq!(adopt_plain.field_of_var(scoped_var), None);
     }
 }

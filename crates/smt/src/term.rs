@@ -92,19 +92,32 @@ pub enum Sort {
     Bv(u16),
 }
 
+#[derive(Clone)]
 struct VarInfo {
     name: String,
     width: u16,
 }
 
 /// The interning pool for terms and variables.
-#[derive(Default)]
+///
+/// `Clone` is cheap relative to re-interning and lets a parallel-task donor
+/// snapshot a prefix pool once and hand each sibling subtree its own copy.
+#[derive(Clone, Default)]
 pub struct TermPool {
     nodes: Vec<TermNode>,
     sorts: Vec<Sort>,
     intern: HashMap<TermNode, TermId>,
     vars: Vec<VarInfo>,
     var_by_name: HashMap<String, VarId>,
+    /// Pool-independent content hash per term (variables hash by *name*,
+    /// children by their content hashes), computed once at intern time.
+    /// This is what the commutative constructors order operands by, so a
+    /// term's stored shape — and everything derived from it (rendering,
+    /// bit-blasting, models) — does not depend on the pool's interning
+    /// history. Two pools that interned the same structure in different
+    /// orders still store operand-identical terms, which is what makes
+    /// parallel-worker output byte-identical to a sequential run's.
+    hashes: Vec<u64>,
 }
 
 impl TermPool {
@@ -169,10 +182,73 @@ impl TermPool {
             return id;
         }
         let id = TermId(self.nodes.len() as u32);
+        let h = self.node_hash(&node);
         self.nodes.push(node.clone());
         self.sorts.push(sort);
+        self.hashes.push(h);
         self.intern.insert(node, id);
         id
+    }
+
+    /// A term's pool-independent content hash (see the `hashes` field).
+    pub fn term_hash(&self, t: TermId) -> u64 {
+        self.hashes[t.0 as usize]
+    }
+
+    fn node_hash(&self, node: &TermNode) -> u64 {
+        // splitmix64-style mixing; fixed constants, no per-process seeding,
+        // so the hash is stable across runs and across pools.
+        fn mix(mut h: u64, v: u64) -> u64 {
+            h = h.wrapping_add(0x9e3779b97f4a7c15).wrapping_add(v);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+            h ^ (h >> 31)
+        }
+        let child = |t: &TermId| self.hashes[t.0 as usize];
+        match node {
+            TermNode::BvConst(v) => mix(mix(1, u64::from(v.width())), (v.val() >> 64) as u64)
+                .wrapping_add(mix(2, v.val() as u64)),
+            TermNode::BvVar(v) => {
+                let info = &self.vars[v.0 as usize];
+                let mut h = mix(3, u64::from(info.width));
+                for b in info.name.as_bytes() {
+                    h = mix(h, u64::from(*b));
+                }
+                h
+            }
+            TermNode::BoolConst(b) => mix(4, u64::from(*b)),
+            TermNode::BvBin(op, a, b) => mix(mix(mix(5, *op as u64), child(a)), child(b)),
+            TermNode::BvNot(a) => mix(6, child(a)),
+            TermNode::BvShl(a, n) => mix(mix(7, child(a)), u64::from(*n)),
+            TermNode::BvShr(a, n) => mix(mix(8, child(a)), u64::from(*n)),
+            TermNode::BvExtract(a, lo, len) => {
+                mix(mix(mix(9, child(a)), u64::from(*lo)), u64::from(*len))
+            }
+            TermNode::BvConcat(a, b) => mix(mix(10, child(a)), child(b)),
+            TermNode::BvIte(c, a, b) => mix(mix(mix(11, child(c)), child(a)), child(b)),
+            TermNode::Cmp(op, a, b) => mix(mix(mix(12, *op as u64), child(a)), child(b)),
+            TermNode::BoolAnd(a, b) => mix(mix(13, child(a)), child(b)),
+            TermNode::BoolOr(a, b) => mix(mix(14, child(a)), child(b)),
+            TermNode::BoolNot(a) => mix(15, child(a)),
+        }
+    }
+
+    /// Orders a commutative pair by content hash (ties broken by the full
+    /// canonical rendering — hash collisions between distinct terms are
+    /// possible, and the order must still be pool-independent).
+    fn canon_pair(&self, a: TermId, b: TermId) -> (TermId, TermId) {
+        let (ha, hb) = (self.term_hash(a), self.term_hash(b));
+        match ha.cmp(&hb) {
+            std::cmp::Ordering::Less => (a, b),
+            std::cmp::Ordering::Greater => (b, a),
+            std::cmp::Ordering::Equal => {
+                if self.canonical_key(a) <= self.canonical_key(b) {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        }
     }
 
     /// Declares (or retrieves) a named variable term of the given width.
@@ -444,8 +520,9 @@ impl TermPool {
         if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
             return self.bool_const(x == y);
         }
-        // Canonical operand order so `eq(a, b)` and `eq(b, a)` intern equal.
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        // Canonical operand order so `eq(a, b)` and `eq(b, a)` intern equal
+        // — by content hash, so the order is pool-independent.
+        let (a, b) = self.canon_pair(a, b);
         self.mk(TermNode::Cmp(CmpOp::Eq, a, b), Sort::Bool)
     }
 
@@ -501,7 +578,7 @@ impl TermPool {
         if self.is_negation_of(a, b) {
             return self.bool_false();
         }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.canon_pair(a, b);
         self.mk(TermNode::BoolAnd(a, b), Sort::Bool)
     }
 
@@ -519,7 +596,7 @@ impl TermPool {
         if self.is_negation_of(a, b) {
             return self.bool_true();
         }
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.canon_pair(a, b);
         self.mk(TermNode::BoolOr(a, b), Sort::Bool)
     }
 
@@ -555,6 +632,264 @@ impl TermPool {
             acc = self.or(acc, t);
         }
         acc
+    }
+
+    /// Imports a term from another pool into this one, returning the
+    /// equivalent term here. Variables are matched **by name** (and width);
+    /// structure is rebuilt through the smart constructors (operand order
+    /// of commutative nodes is content-hash canonical in every pool, so
+    /// the rebuilt term has the same shape it had in `src`) — importing a
+    /// term whose structure already exists here returns the existing id. `cache` maps source ids to destination ids and may be
+    /// reused across calls as long as both pools only grow (pools are
+    /// append-only, so a per-(src, dst) cache never goes stale).
+    ///
+    /// This is the translation step at a parallel-worker boundary: the
+    /// main thread interns a path prefix into a worker's pool, and the
+    /// worker's discovered constraints translate back into the main pool.
+    pub fn import(
+        &mut self,
+        src: &TermPool,
+        t: TermId,
+        cache: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        self.import_from(src, t, 0, cache)
+    }
+
+    /// [`TermPool::import`] for a `src` pool that was *forked* from this one
+    /// (cloned when this pool held `shared` terms, with both pools only
+    /// appended to since): the first `shared` ids are identical in both
+    /// pools, so they translate to themselves and only fork-local terms are
+    /// rebuilt. With `shared == 0` this is exactly `import`.
+    ///
+    /// This is what makes forked worker sessions cheap: a worker clones the
+    /// main pool once, explores (prefix term ids stay valid verbatim), and
+    /// only the terms the exploration *created* pay translation cost on the
+    /// way back.
+    pub fn import_from(
+        &mut self,
+        src: &TermPool,
+        t: TermId,
+        shared: u32,
+        cache: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if t.0 < shared {
+            return t;
+        }
+        if let Some(&d) = cache.get(&t) {
+            return d;
+        }
+        // Explicit post-order worklist: constraint conjunctions and parser
+        // concat chains can nest deeply enough to threaten the stack.
+        let mut order: Vec<TermId> = Vec::new();
+        let mut seen: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+        let mut visit: Vec<(TermId, bool)> = vec![(t, false)];
+        while let Some((n, expanded)) = visit.pop() {
+            if cache.contains_key(&n) {
+                continue;
+            }
+            if n.0 < shared {
+                cache.insert(n, n);
+                continue;
+            }
+            if expanded {
+                order.push(n);
+                continue;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            visit.push((n, true));
+            match *src.node(n) {
+                TermNode::BvConst(_) | TermNode::BvVar(_) | TermNode::BoolConst(_) => {}
+                TermNode::BvBin(_, a, b) | TermNode::BvConcat(a, b) => {
+                    visit.push((a, false));
+                    visit.push((b, false));
+                }
+                TermNode::Cmp(_, a, b) | TermNode::BoolAnd(a, b) | TermNode::BoolOr(a, b) => {
+                    // Operand order needs no care here: the commutative
+                    // constructors re-canonicalize by content hash, which is
+                    // pool-independent.
+                    visit.push((a, false));
+                    visit.push((b, false));
+                }
+                TermNode::BvNot(a)
+                | TermNode::BvShl(a, _)
+                | TermNode::BvShr(a, _)
+                | TermNode::BvExtract(a, _, _)
+                | TermNode::BoolNot(a) => visit.push((a, false)),
+                TermNode::BvIte(c, a, b) => {
+                    visit.push((c, false));
+                    visit.push((a, false));
+                    visit.push((b, false));
+                }
+            }
+        }
+        for n in order {
+            if cache.contains_key(&n) {
+                continue;
+            }
+            let d = match *src.node(n) {
+                TermNode::BvConst(v) => self.bv_const(v),
+                TermNode::BvVar(v) => self.var(src.var_name(v), src.var_width(v)),
+                TermNode::BoolConst(b) => self.bool_const(b),
+                TermNode::BvBin(op, a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.bin(op, a, b)
+                }
+                TermNode::BvNot(a) => {
+                    let a = cache[&a];
+                    self.bv_not(a)
+                }
+                TermNode::BvShl(a, k) => {
+                    let a = cache[&a];
+                    self.shl(a, k)
+                }
+                TermNode::BvShr(a, k) => {
+                    let a = cache[&a];
+                    self.shr(a, k)
+                }
+                TermNode::BvExtract(a, lo, len) => {
+                    let a = cache[&a];
+                    self.extract(a, lo, len)
+                }
+                TermNode::BvConcat(a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.concat(a, b)
+                }
+                TermNode::BvIte(c, a, b) => {
+                    let (c, a, b) = (cache[&c], cache[&a], cache[&b]);
+                    self.ite(c, a, b)
+                }
+                TermNode::Cmp(CmpOp::Eq, a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.eq(a, b)
+                }
+                TermNode::Cmp(CmpOp::Ult, a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.ult(a, b)
+                }
+                TermNode::BoolAnd(a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.and(a, b)
+                }
+                TermNode::BoolOr(a, b) => {
+                    let (a, b) = (cache[&a], cache[&b]);
+                    self.or(a, b)
+                }
+                TermNode::BoolNot(a) => {
+                    let a = cache[&a];
+                    self.not(a)
+                }
+            };
+            cache.insert(n, d);
+        }
+        cache[&t]
+    }
+
+    /// A pool-independent canonical rendering of a term, suitable as a
+    /// content key across pools. Variables render as `name:width`, constants
+    /// carry their width, and the operands of the canonically-ordered
+    /// commutative nodes (`eq`, `and`, `or` sort by pool-local [`TermId`])
+    /// are re-sorted **lexicographically by rendering**, so two pools that
+    /// interned the same structure in different orders produce the same
+    /// string. Non-canonicalized operators (`+`, `^`, …) keep construction
+    /// order, which is already determined by the source expression.
+    pub fn canonical_key(&self, t: TermId) -> String {
+        let mut s = String::new();
+        self.fmt_canonical(t, &mut s);
+        s
+    }
+
+    fn fmt_canonical(&self, t: TermId, out: &mut String) {
+        use fmt::Write;
+        match self.node(t) {
+            TermNode::BvConst(v) => {
+                let _ = write!(out, "#{v}w{}", v.width());
+            }
+            TermNode::BvVar(v) => {
+                let _ = write!(out, "{}:{}", self.var_name(*v), self.var_width(*v));
+            }
+            TermNode::BvBin(op, a, b) => {
+                let _ = write!(out, "({op:?} ");
+                self.fmt_canonical(*a, out);
+                out.push(' ');
+                self.fmt_canonical(*b, out);
+                out.push(')');
+            }
+            TermNode::BvNot(a) => {
+                out.push_str("(BvNot ");
+                self.fmt_canonical(*a, out);
+                out.push(')');
+            }
+            TermNode::BvShl(a, n) => {
+                let _ = write!(out, "(Shl{n} ");
+                self.fmt_canonical(*a, out);
+                out.push(')');
+            }
+            TermNode::BvShr(a, n) => {
+                let _ = write!(out, "(Shr{n} ");
+                self.fmt_canonical(*a, out);
+                out.push(')');
+            }
+            TermNode::BvExtract(a, lo, len) => {
+                let _ = write!(out, "(Ext{lo}+{len} ");
+                self.fmt_canonical(*a, out);
+                out.push(')');
+            }
+            TermNode::BvConcat(a, b) => {
+                out.push_str("(Concat ");
+                self.fmt_canonical(*a, out);
+                out.push(' ');
+                self.fmt_canonical(*b, out);
+                out.push(')');
+            }
+            TermNode::BvIte(c, a, b) => {
+                out.push_str("(Ite ");
+                self.fmt_canonical(*c, out);
+                out.push(' ');
+                self.fmt_canonical(*a, out);
+                out.push(' ');
+                self.fmt_canonical(*b, out);
+                out.push(')');
+            }
+            TermNode::Cmp(CmpOp::Ult, a, b) => {
+                out.push_str("(Ult ");
+                self.fmt_canonical(*a, out);
+                out.push(' ');
+                self.fmt_canonical(*b, out);
+                out.push(')');
+            }
+            // Operand order of these three is pool-local (sorted by TermId
+            // at construction): re-sort by rendering so the key is stable.
+            TermNode::Cmp(CmpOp::Eq, a, b) => self.fmt_sorted("Eq", *a, *b, out),
+            TermNode::BoolAnd(a, b) => self.fmt_sorted("And", *a, *b, out),
+            TermNode::BoolOr(a, b) => self.fmt_sorted("Or", *a, *b, out),
+            TermNode::BoolConst(b) => {
+                let _ = write!(out, "{b}");
+            }
+            TermNode::BoolNot(a) => {
+                out.push_str("(Not ");
+                self.fmt_canonical(*a, out);
+                out.push(')');
+            }
+        }
+    }
+
+    fn fmt_sorted(&self, tag: &str, a: TermId, b: TermId, out: &mut String) {
+        let mut ra = String::new();
+        self.fmt_canonical(a, &mut ra);
+        let mut rb = String::new();
+        self.fmt_canonical(b, &mut rb);
+        if ra > rb {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        out.push('(');
+        out.push_str(tag);
+        out.push(' ');
+        out.push_str(&ra);
+        out.push(' ');
+        out.push_str(&rb);
+        out.push(')');
     }
 
     /// Evaluates a term under a full assignment of variables to values.
@@ -909,5 +1244,136 @@ mod tests {
         let mut p = pool();
         p.var("x", 8);
         p.var("x", 16);
+    }
+
+    #[test]
+    fn import_rebuilds_structure_across_pools() {
+        let mut main = pool();
+        let x = main.var("x", 8);
+        let y = main.var("y", 8);
+        let k = main.bv_const(Bv::new(8, 3));
+        let sum = main.add(x, k);
+        let e = main.eq(sum, y);
+        let lt = main.ult(x, y);
+        let top = main.or(e, lt);
+
+        // Worker pool with different id numbering.
+        let mut worker = pool();
+        worker.var("unrelated", 4);
+        let mut cache = HashMap::new();
+        let w = worker.import(&main, top, &mut cache);
+        // Worker-local operand order of `or` may differ (TermId-sorted),
+        // but the pool-independent canonical key must agree.
+        assert_eq!(worker.canonical_key(w), main.canonical_key(top));
+        // Variables matched by name, not id.
+        assert_eq!(worker.var_width(worker.find_var("x").unwrap()), 8);
+    }
+
+    #[test]
+    fn import_roundtrip_is_identity() {
+        // main → worker → main lands on the original TermId: interning is
+        // structural and the smart constructors re-canonicalize on the way
+        // back. This is what makes parallel output byte-identical.
+        let mut main = pool();
+        let x = main.var("x", 16);
+        let y = main.var("y", 16);
+        let k = main.bv_const(Bv::new(16, 0xff));
+        let m = main.bv_and(x, k);
+        let e1 = main.eq(m, y);
+        let e2 = main.ult(y, k);
+        let top = main.and(e1, e2);
+
+        let mut worker = pool();
+        // Skew the worker's numbering so ids cannot accidentally line up.
+        worker.var("z9", 16);
+        worker.var("z8", 16);
+        let mut fwd = HashMap::new();
+        let w = worker.import(&main, top, &mut fwd);
+        let mut back = HashMap::new();
+        let r = main.import(&worker, w, &mut back);
+        assert_eq!(r, top);
+    }
+
+    #[test]
+    fn import_existing_structure_returns_existing_id() {
+        let mut a = pool();
+        let x = a.var("x", 8);
+        let k = a.bv_const(Bv::new(8, 1));
+        let s = a.add(x, k);
+
+        let mut b = pool();
+        let bx = b.var("x", 8);
+        let bk = b.bv_const(Bv::new(8, 1));
+        let bs = b.add(bx, bk);
+        let mut cache = HashMap::new();
+        assert_eq!(b.import(&a, s, &mut cache), bs);
+    }
+
+    #[test]
+    fn import_shares_subterms_in_cache() {
+        // A deep chain with heavy sharing must not blow up: 40 doublings of
+        // a shared subterm is ~2^40 paths if sharing is lost.
+        let mut a = pool();
+        let mut t = a.var("x", 32);
+        for _ in 0..40 {
+            t = a.add(t, t); // folds x+x? no: add(t,t) has no a==b rewrite
+        }
+        let mut b = pool();
+        let mut cache = HashMap::new();
+        let r = b.import(&a, t, &mut cache);
+        assert_eq!(b.width(r), 32);
+        assert!(cache.len() <= 42, "sharing preserved, cache={}", cache.len());
+    }
+
+    #[test]
+    fn canonical_key_is_pool_independent() {
+        // Build the same equation with opposite interning orders, so the
+        // canonically-sorted (by TermId) operand order differs between
+        // pools; the canonical key must not.
+        let mut p1 = pool();
+        let a1 = p1.var("a", 8);
+        let b1 = p1.var("b", 8);
+        let e1 = p1.eq(a1, b1);
+
+        let mut p2 = pool();
+        let b2 = p2.var("b", 8);
+        let a2 = p2.var("a", 8);
+        let e2 = p2.eq(a2, b2);
+
+        assert_eq!(p1.canonical_key(e1), p2.canonical_key(e2));
+
+        let f1 = p1.ult(a1, b1);
+        let c1 = p1.and(e1, f1);
+        let f2 = p2.ult(a2, b2);
+        let c2 = p2.and(e2, f2);
+        assert_eq!(p1.canonical_key(c1), p2.canonical_key(c2));
+    }
+
+    #[test]
+    fn stored_shape_is_pool_independent() {
+        // Commutative operands are ordered by content hash, not TermId, so
+        // the *stored* node — and hence the pretty rendering a parallel
+        // merge ends up displaying — is identical no matter the interning
+        // order or argument order. (canonical_key would hide a flip here;
+        // display follows stored order and would not.)
+        let mut p1 = pool();
+        let x1 = p1.var("x", 16);
+        let k1 = p1.bv_const(Bv::new(16, 0x0800));
+        let e1 = p1.eq(x1, k1);
+
+        let mut p2 = pool();
+        let k2 = p2.bv_const(Bv::new(16, 0x0800));
+        let x2 = p2.var("x", 16);
+        let e2 = p2.eq(k2, x2);
+
+        assert_eq!(p1.display(e1), p2.display(e2));
+
+        let y1 = p1.var("y", 16);
+        let f1 = p1.eq(y1, k1);
+        let c1 = p1.and(e1, f1);
+        let y2 = p2.var("y", 16);
+        let f2 = p2.eq(y2, k2);
+        let c2 = p2.and(f2, e2);
+        assert_eq!(p1.display(c1), p2.display(c2));
     }
 }

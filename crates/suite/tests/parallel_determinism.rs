@@ -1,0 +1,130 @@
+//! Parallel-exploration determinism: for every thread count the engine must
+//! produce the *same* template sequence — same paths, in the same order,
+//! with the same constraints and output values — and the same headline
+//! statistics as the sequential engine. The comparison renders terms two
+//! ways: via [`meissa_smt::TermPool::canonical_key`] (pool-independent
+//! structural identity — worker pools intern in schedule-dependent order,
+//! so raw `TermId`s are not comparable across runs) *and* via the pretty
+//! `display` rendering, which follows stored operand order and therefore
+//! catches operand-order flips that canonical keys normalize away.
+
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_suite as suite;
+
+/// A pool-independent fingerprint of one engine run: per template the node
+/// path, canonically-rendered constraints, and canonically-rendered final
+/// values, plus the path-counting statistics the figures report.
+fn fingerprint(run: &meissa_core::engine::RunOutput) -> (Vec<String>, String) {
+    let templates = run
+        .templates
+        .iter()
+        .map(|t| {
+            let path: Vec<String> = t.path.iter().map(|n| format!("{n:?}")).collect();
+            let cs: Vec<String> = t
+                .constraints
+                .iter()
+                .map(|&c| format!("{}|{}", run.pool.canonical_key(c), run.pool.display(c)))
+                .collect();
+            let fv: Vec<String> = t
+                .final_values
+                .iter()
+                .map(|&(f, v)| {
+                    format!(
+                        "{f:?}={}|{}",
+                        run.pool.canonical_key(v),
+                        run.pool.display(v)
+                    )
+                })
+                .collect();
+            format!("path={path:?} constraints={cs:?} finals={fv:?}")
+        })
+        .collect();
+    let stats = format!(
+        "valid={} before={} after={}",
+        run.stats.valid_paths, run.stats.paths_before, run.stats.paths_after
+    );
+    (templates, stats)
+}
+
+fn assert_thread_invariant(name: &str, config_for: impl Fn(usize) -> MeissaConfig) {
+    let baseline = Meissa {
+        config: config_for(1),
+    }
+    .run_output(name);
+    for threads in [2usize, 4, 8] {
+        let got = Meissa {
+            config: config_for(threads),
+        }
+        .run_output(name);
+        assert_eq!(
+            baseline.1, got.1,
+            "{name}: stats diverge at {threads} threads"
+        );
+        assert_eq!(
+            baseline.0.len(),
+            got.0.len(),
+            "{name}: template count diverges at {threads} threads"
+        );
+        for (i, (a, b)) in baseline.0.iter().zip(&got.0).enumerate() {
+            assert_eq!(a, b, "{name}: template {i} diverges at {threads} threads");
+        }
+    }
+}
+
+/// Helper so the closure-driven test reads naturally: run the named corpus
+/// workload under this engine and fingerprint the output.
+trait RunByName {
+    fn run_output(&self, name: &str) -> (Vec<String>, String);
+}
+
+impl RunByName for Meissa {
+    fn run_output(&self, name: &str) -> (Vec<String>, String) {
+        let w = workload(name);
+        let run = self.run(&w.program);
+        fingerprint(&run)
+    }
+}
+
+fn workload(name: &str) -> suite::Workload {
+    match name {
+        "router" => suite::router(6, 3),
+        "mtag" => suite::mtag(4, 5),
+        "acl" => suite::acl(4, 7),
+        "switch_lite" => suite::switch_lite(3, 9),
+        "gw2" => suite::gw::gw(2, suite::gw::GwScale { eips: 4 }),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+#[test]
+fn corpus_summary_engine_is_thread_count_invariant() {
+    for name in ["router", "mtag", "acl", "switch_lite"] {
+        assert_thread_invariant(name, |threads| MeissaConfig {
+            threads,
+            ..MeissaConfig::default()
+        });
+    }
+}
+
+#[test]
+fn corpus_plain_dfs_is_thread_count_invariant() {
+    // code_summary off: the work-stealing DFS itself carries the whole
+    // search, so this exercises donation + deterministic merge directly.
+    for name in ["router", "mtag"] {
+        assert_thread_invariant(name, |threads| MeissaConfig {
+            code_summary: false,
+            threads,
+            ..MeissaConfig::default()
+        });
+    }
+}
+
+#[test]
+fn multi_pipeline_gateway_is_thread_count_invariant() {
+    // gw level 2 has multiple chained pipelines: exercises the batched
+    // summary path (level planning, group-search batch, extension batch).
+    assert_thread_invariant("gw2", |threads| MeissaConfig {
+        threads,
+        ..MeissaConfig::default()
+    });
+}

@@ -12,8 +12,14 @@ cd "$(dirname "$0")/.."
 echo "==> build (release, offline)"
 cargo build --release --offline --workspace --benches
 
-echo "==> test (offline)"
-cargo test -q --offline --workspace
+echo "==> test (offline, sequential engine: MEISSA_THREADS=1)"
+MEISSA_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> test (offline, parallel engine: MEISSA_THREADS=4)"
+# Same suite again under the work-stealing explorer: templates must be
+# byte-identical to the sequential run (the golden/e2e tests assert exact
+# output), so this catches any thread-count-dependent behavior.
+MEISSA_THREADS=4 cargo test -q --offline --workspace
 
 echo "==> dependency guard: workspace crates only"
 # Every line of the flat dependency listing must be a meissa-* path crate
