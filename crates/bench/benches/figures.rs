@@ -263,6 +263,72 @@ fn parallel_scaling() {
     .expect("write BENCH_parallel.json");
 }
 
+/// Wire-driver throughput: the gw-3 suite streamed through the loopback
+/// switch agent at 1 and 4 client connections, transport faults off.
+/// Reports end-to-end cases/sec (plan → inject → check) plus the per-case
+/// latency percentiles the driver's report now carries. Writes
+/// `results/netdriver_loopback.txt` and `BENCH_netdriver.json`.
+fn netdriver_loopback() {
+    use meissa_dataplane::SwitchTarget;
+    use meissa_netdriver::{Agent, WireDriver};
+    use meissa_testkit::json::{Json, ToJson};
+
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let w = gw(3, GwScale { eips: 8 });
+    let program = &w.program;
+
+    let mut table = String::from(
+        "Wire driver loopback throughput: gw-3 (8 EIPs) through the\n\
+         switch-agent daemon on 127.0.0.1, transport faults off\n\n",
+    );
+    table.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>12} {:>10} {:>10}\n",
+        "connections", "cases", "wall ms", "cases/sec", "p50 µs", "p99 µs"
+    ));
+    let mut rows: Vec<Json> = Vec::new();
+
+    for connections in [1usize, 4] {
+        let agent = Agent::spawn(Some(SwitchTarget::new(program)), None).expect("spawn agent");
+        let mut run = Meissa::new().run(program);
+        let report = WireDriver::new(program, agent.addr())
+            .with_connections(connections)
+            .run(&mut run)
+            .expect("wire driver run");
+        agent.shutdown();
+
+        assert_eq!(report.failed(), 0, "bench target is faithful: {report}");
+        let cases = report.cases.len() - report.skipped();
+        let wall_ms = report.elapsed.as_secs_f64() * 1e3;
+        let rate = report.cases_per_sec().unwrap_or(0.0);
+        let p50 = report.latency_p50().unwrap_or_default().as_secs_f64() * 1e6;
+        let p99 = report.latency_p99().unwrap_or_default().as_secs_f64() * 1e6;
+        table.push_str(&format!(
+            "{connections:<12} {cases:>8} {wall_ms:>10.1} {rate:>12.0} {p50:>10.1} {p99:>10.1}\n"
+        ));
+        rows.push(Json::Obj(vec![
+            ("connections".into(), (connections as u64).to_json()),
+            ("cases".into(), (cases as u64).to_json()),
+            ("wall_ms".into(), wall_ms.to_json()),
+            ("cases_per_sec".into(), rate.to_json()),
+            ("latency_p50_us".into(), p50.to_json()),
+            ("latency_p99_us".into(), p99.to_json()),
+        ]));
+    }
+
+    print!("{table}");
+    std::fs::write(format!("{repo_root}/results/netdriver_loopback.txt"), &table)
+        .expect("write results/netdriver_loopback.txt");
+    let json = Json::Obj(vec![
+        ("bench".into(), "netdriver_loopback".to_json()),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    std::fs::write(
+        format!("{repo_root}/BENCH_netdriver.json"),
+        json.to_text() + "\n",
+    )
+    .expect("write BENCH_netdriver.json");
+}
+
 fn main() {
     fig7_redundancy();
     fig9_scalability();
@@ -271,4 +337,5 @@ fn main() {
     appendix_a_complexity();
     ablation_grouped_summary();
     parallel_scaling();
+    netdriver_loopback();
 }

@@ -109,8 +109,25 @@ pub struct RunStats {
     /// [`SolveSession`] retired (fast-path vs SAT-engine split, verdict
     /// tallies, peak frame depth).
     pub solver: SolverStats,
+    /// Early-termination probes that consulted the session's verdict cache,
+    /// across both phases (summary + final DFS).
+    pub cache_probes: u64,
+    /// Probes answered from the verdict cache without invoking the solver.
+    pub cache_hits: u64,
     /// True when a time budget expired before completion.
     pub timed_out: bool,
+}
+
+impl RunStats {
+    /// Fraction of early-termination probes the session verdict cache
+    /// answered without the solver (`0.0` when no probe was issued).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_probes as f64
+        }
+    }
 }
 
 /// The output of an engine run: templates plus everything needed to
@@ -216,6 +233,10 @@ impl Meissa {
                 exec.templates
             }
         };
+        // The session's cumulative exec counters saw every exploration of
+        // both phases, so they carry the run-wide cache totals.
+        stats.cache_probes = session.exec.cache_probes;
+        stats.cache_hits = session.exec.cache_hits;
         stats.solver = session.solver_stats();
         stats.elapsed = t0.elapsed();
 
@@ -374,6 +395,9 @@ mod tests {
         let cp = program();
         let out = Meissa::new().run(&cp);
         assert!(out.stats.smt_checks > 0);
+        assert!(out.stats.cache_probes > 0, "full config probes the cache");
+        assert!(out.stats.cache_hits <= out.stats.cache_probes);
+        assert!((0.0..=1.0).contains(&out.stats.cache_hit_rate()));
         assert!(!out.stats.paths_before.is_zero());
         assert_eq!(out.stats.valid_paths as usize, out.templates.len());
         // Single-pipeline program: the engine skips the summary pass.

@@ -159,6 +159,11 @@ pub struct ExecStats {
     pub pruned: u64,
     /// SMT checks issued.
     pub smt_checks: u64,
+    /// Early-termination probes that consulted the session's verdict cache
+    /// (incremental + early-termination configuration only).
+    pub cache_probes: u64,
+    /// Probes answered from the verdict cache without invoking the solver.
+    pub cache_hits: u64,
     /// Wall-clock time of the execution.
     pub elapsed: Duration,
     /// True when the time budget expired before completion.
@@ -442,11 +447,29 @@ pub(crate) fn explore_task(
 ) -> ExecStats {
     let mut stats = ExecStats::default();
     let t0 = Instant::now();
-    let SolveSession { pool, solver, .. } = session;
+    let SolveSession {
+        pool,
+        solver,
+        verdict_cache,
+        ..
+    } = session;
     solver.push();
     for &c in prefix_constraints {
         solver.assert_term(pool, c);
     }
+    // The verdict cache keys on the canonical rendering of the *entire*
+    // current constraint set, so the prefix's keys seed the stack. Only the
+    // incremental early-termination configuration probes it; the baselines
+    // skip the (non-trivial) key rendering entirely.
+    let use_cache = config.incremental && config.early_termination;
+    let key_stack: Vec<String> = if use_cache {
+        prefix_constraints
+            .iter()
+            .map(|&c| pool.canonical_key(c))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut walker = Walker {
         cfg,
         targets,
@@ -457,6 +480,9 @@ pub(crate) fn explore_task(
         sharer,
         all_constraints: prefix_constraints.to_vec(),
         trace: prefix_trace.to_vec(),
+        cache: verdict_cache,
+        key_stack,
+        use_cache,
     };
     let mut v = ValueStack::new();
     for &(f, t) in initial_values {
@@ -485,6 +511,17 @@ struct Walker<'a> {
     /// re-solving and for template emission).
     all_constraints: Vec<TermId>,
     trace: Vec<NodeId>,
+    /// The session's `(constraint set) → verdict` cache: satisfiability of
+    /// a constraint set is context-free, so verdicts survive across tasks,
+    /// explorations, and solver resets within one session. This is what
+    /// lets a parallel worker that re-explores a familiar region after a
+    /// donation skip already-decided sibling arms.
+    cache: &'a mut std::collections::HashMap<String, bool>,
+    /// Pool-independent canonical keys of `all_constraints`, maintained in
+    /// lockstep (only when `use_cache`); their join is the cache key for
+    /// the current set.
+    key_stack: Vec<String>,
+    use_cache: bool,
 }
 
 impl Walker<'_> {
@@ -515,6 +552,30 @@ impl Walker<'_> {
             }
             fresh.check(pool)
         }
+    }
+
+    /// Early-termination probe: is the current constraint set unsatisfiable?
+    /// Under the incremental configuration the probe first consults the
+    /// session's verdict cache — satisfiability depends only on the
+    /// constraint set, so a set already decided by an earlier task (or an
+    /// earlier exploration in the same session) is answered without the
+    /// solver. A hit still counts one `smt_checks`, exactly like the folded
+    /// checks above, so the Fig. 11b "number of SMT calls" metric stays
+    /// comparable whether or not the cache intervenes.
+    fn probe_unsat(&mut self, pool: &mut TermPool, solver: &mut Solver) -> bool {
+        if !self.use_cache {
+            return self.check(pool, solver) == CheckResult::Unsat;
+        }
+        self.stats.cache_probes += 1;
+        let key = self.key_stack.join("\u{1}");
+        if let Some(&unsat) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            self.stats.smt_checks += 1; // cached validity check
+            return unsat;
+        }
+        let unsat = self.check(pool, solver) == CheckResult::Unsat;
+        self.cache.insert(key, unsat);
+        unsat
     }
 
     fn visit(
@@ -585,10 +646,11 @@ impl Walker<'_> {
                         for i in before..self.all_constraints.len() {
                             let c = self.all_constraints[i];
                             solver.assert_term(pool, c);
+                            if self.use_cache {
+                                self.key_stack.push(pool.canonical_key(c));
+                            }
                         }
-                        if self.config.early_termination
-                            && self.check(pool, solver) == CheckResult::Unsat
-                        {
+                        if self.config.early_termination && self.probe_unsat(pool, solver) {
                             feasible = false;
                             self.stats.pruned += 1;
                         }
@@ -650,6 +712,9 @@ impl Walker<'_> {
         if pushed {
             solver.pop();
             self.all_constraints.truncate(constraints_mark);
+            if self.use_cache {
+                self.key_stack.truncate(constraints_mark);
+            }
         }
         self.trace.pop();
     }
@@ -763,6 +828,60 @@ mod tests {
         assert_eq!(with.templates.len(), without.templates.len());
         assert_eq!(without.stats.paths_explored, 36, "all possible paths");
         assert!(with.stats.paths_explored < without.stats.paths_explored);
+    }
+
+    #[test]
+    fn verdict_cache_answers_repeat_probes() {
+        let cfg = fig7_cfg(4);
+        let config = ExecConfig::default();
+        let mut session = SolveSession::new();
+        let first = generate_templates(&cfg, &mut session, &config);
+        assert!(
+            first.stats.cache_probes > 0,
+            "early-termination probes consult the cache"
+        );
+        assert_eq!(first.stats.cache_hits, 0, "a fresh session starts cold");
+        // Re-exploring the same CFG in the same session re-issues the same
+        // constraint sets; every probe is now answered from the cache.
+        let second = generate_templates(&cfg, &mut session, &config);
+        assert_eq!(second.stats.cache_probes, first.stats.cache_probes);
+        assert_eq!(
+            second.stats.cache_hits, second.stats.cache_probes,
+            "identical re-exploration hits on every probe"
+        );
+        assert_eq!(
+            second.stats.smt_checks, first.stats.smt_checks,
+            "hits count as checks, keeping the Fig. 11b metric comparable"
+        );
+        assert_eq!(second.templates.len(), first.templates.len());
+        // Session totals carry the cumulative counters.
+        assert_eq!(
+            session.exec.cache_probes,
+            first.stats.cache_probes + second.stats.cache_probes
+        );
+        assert_eq!(session.exec.cache_hits, second.stats.cache_hits);
+    }
+
+    #[test]
+    fn verdict_cache_is_off_in_baseline_modes() {
+        let cfg = fig7_cfg(3);
+        for config in [
+            ExecConfig {
+                early_termination: false,
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                incremental: false,
+                ..ExecConfig::default()
+            },
+        ] {
+            let mut session = SolveSession::new();
+            let a = generate_templates(&cfg, &mut session, &config);
+            let b = generate_templates(&cfg, &mut session, &config);
+            assert_eq!(a.stats.cache_probes, 0, "baselines never probe the cache");
+            assert_eq!(b.stats.cache_hits, 0);
+            assert_eq!(b.templates.len(), a.templates.len());
+        }
     }
 
     #[test]

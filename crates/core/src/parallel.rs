@@ -422,6 +422,8 @@ pub(crate) fn explore_parallel(
         stats.valid_paths += out.session.exec.valid_paths;
         stats.pruned += out.session.exec.pruned;
         stats.smt_checks += out.session.exec.smt_checks;
+        stats.cache_probes += out.session.exec.cache_probes;
+        stats.cache_hits += out.session.exec.cache_hits;
         stats.timed_out |= out.session.exec.timed_out;
         session.merge_worker(&out.session.exec, &out.session.solver_stats());
     }
@@ -705,6 +707,11 @@ mod tests {
             assert_eq!(par.stats.paths_explored, seq.stats.paths_explored);
             assert_eq!(par.stats.pruned, seq.stats.pruned);
             assert_eq!(par.stats.smt_checks, seq.stats.smt_checks);
+            // Each predicate node probes exactly once regardless of which
+            // worker visits it (donated prefixes are re-asserted without
+            // re-probing); hit counts may differ — workers keep private
+            // verdict caches — but probe counts must not.
+            assert_eq!(par.stats.cache_probes, seq.stats.cache_probes);
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::exec::ExecStats;
 use meissa_smt::{Solver, SolverStats, TermPool};
+use std::collections::HashMap;
 
 /// One solving context: term pool + current incremental solver + cumulative
 /// statistics. All engine-layer entry points ([`crate::exec::explore_multi`],
@@ -32,6 +33,13 @@ pub struct SolveSession {
     /// per-call stats (the incremental-check delta accounting previously
     /// kept by the `Explorer`).
     pub(crate) checks_consumed: u64,
+    /// `(canonical constraint set) → unsat?` verdicts from early-termination
+    /// probes. Satisfiability is context-free in the constraint set, so the
+    /// cache is sound across explorations, CFGs, and solver resets within
+    /// one session; a parallel worker re-exploring a familiar region after
+    /// a donation skips already-decided sibling arms. Keys render through
+    /// [`meissa_smt::TermPool::canonical_key`], so they are pool-independent.
+    pub(crate) verdict_cache: HashMap<String, bool>,
 }
 
 impl Default for SolveSession {
@@ -49,6 +57,7 @@ impl SolveSession {
             exec: ExecStats::default(),
             retired: SolverStats::default(),
             checks_consumed: 0,
+            verdict_cache: HashMap::new(),
         }
     }
 
@@ -66,6 +75,10 @@ impl SolveSession {
             exec: ExecStats::default(),
             retired: SolverStats::default(),
             checks_consumed: 0,
+            // Workers start cold: cloning the main cache would mostly copy
+            // entries for regions the worker never visits, and the merged
+            // counters should reflect what each worker actually decided.
+            verdict_cache: HashMap::new(),
         }
     }
 
@@ -99,6 +112,8 @@ impl SolveSession {
         self.exec.valid_paths += delta.valid_paths;
         self.exec.pruned += delta.pruned;
         self.exec.smt_checks += delta.smt_checks;
+        self.exec.cache_probes += delta.cache_probes;
+        self.exec.cache_hits += delta.cache_hits;
         self.exec.elapsed += delta.elapsed;
         self.exec.timed_out |= delta.timed_out;
     }
@@ -174,6 +189,8 @@ mod tests {
                 valid_paths: 2,
                 pruned: 1,
                 smt_checks: 9,
+                cache_probes: 6,
+                cache_hits: 2,
                 elapsed: std::time::Duration::from_millis(5),
                 timed_out: false,
             },
@@ -182,6 +199,8 @@ mod tests {
                 valid_paths: 3,
                 pruned: 0,
                 smt_checks: 7,
+                cache_probes: 4,
+                cache_hits: 0,
                 elapsed: std::time::Duration::from_millis(4),
                 timed_out: false,
             },
@@ -190,6 +209,8 @@ mod tests {
                 valid_paths: 0,
                 pruned: 2,
                 smt_checks: 5,
+                cache_probes: 3,
+                cache_hits: 1,
                 elapsed: std::time::Duration::from_millis(1),
                 timed_out: false,
             },
@@ -232,6 +253,8 @@ mod tests {
         assert_eq!(main.exec.valid_paths, 5);
         assert_eq!(main.exec.pruned, 3);
         assert_eq!(main.exec.smt_checks, 21);
+        assert_eq!(main.exec.cache_probes, 13);
+        assert_eq!(main.exec.cache_hits, 3);
         assert!(!main.exec.timed_out);
         // Solver tallies: sums; peak depth via max; live depth is the main
         // session's own (0 — joined workers hold no frames here).
@@ -289,6 +312,8 @@ mod tests {
             valid_paths: 2,
             pruned: 1,
             smt_checks: 5,
+            cache_probes: 4,
+            cache_hits: 2,
             elapsed: std::time::Duration::from_millis(2),
             timed_out: false,
         };
@@ -296,6 +321,8 @@ mod tests {
         s.record(&d);
         assert_eq!(s.exec.paths_explored, 6);
         assert_eq!(s.exec.smt_checks, 10);
+        assert_eq!(s.exec.cache_probes, 8);
+        assert_eq!(s.exec.cache_hits, 4);
         assert!(!s.exec.timed_out);
     }
 }

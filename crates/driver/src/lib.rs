@@ -9,6 +9,15 @@
 //! the executed statements with concrete values, which engineers review to
 //! find the root cause; a divergence from source semantics with a clean
 //! trace indicates a *non-code* bug (compiler/backend/toolchain).
+//!
+//! The checker is transport-agnostic: [`Checker::check_case`] compares an
+//! expected [`TargetOutput`] against an [`Observation`] regardless of
+//! whether the observation came from an in-process `SwitchTarget::inject`
+//! call (this crate's [`TestDriver`]) or from frames on a socket (the
+//! `meissa-netdriver` wire driver). [`plan_cases`] is the shared sender:
+//! it enumerates the concrete test cases for a run, assigning each the
+//! paper's unique packet-ID stamp so receivers can match responses under
+//! loss and reordering.
 
 pub mod localize;
 pub mod report;
@@ -17,147 +26,182 @@ pub use localize::{trace_execution, TraceStep};
 pub use report::{CaseResult, TestReport, Verdict};
 
 use meissa_core::RunOutput;
-use meissa_dataplane::{parse_packet, serialize_state, SwitchTarget};
+use meissa_dataplane::{parse_packet, serialize_state, Packet, SwitchTarget, TargetOutput};
 use meissa_ir::ConcreteState;
 use meissa_lang::CompiledProgram;
+use std::time::{Duration, Instant};
 
-/// The test driver for one program.
-pub struct TestDriver<'p> {
-    program: &'p CompiledProgram,
-    /// The reference implementation: a faithful execution of source
-    /// semantics, used to compute expected outputs.
-    reference: SwitchTarget,
-    /// Run the packet-structure validation (§4: the checker "validates
-    /// packet checksums" and structure). Meissa's checker has it; the
-    /// testing baselines do not.
-    structural_checks: bool,
-    /// How many distinct packets to generate per template ("One or more
-    /// input-output test cases can be generated based on the template",
-    /// §2.1).
-    packets_per_template: usize,
+/// What a receiver observed for one injected packet, however it observed
+/// it. Mirrors [`TargetOutput`] but is constructed by transports: the
+/// in-process path converts directly, the wire path reassembles it from
+/// `Output` frames (and synthesizes the all-`None` value for cases whose
+/// response never arrived — the drain phase classifies those as drops).
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The emitted packet, or `None` for a drop (or a lost response).
+    pub packet: Option<Packet>,
+    /// Logical egress port, when forwarded.
+    pub egress_port: Option<meissa_num::Bv>,
+    /// The target's final state snapshot (the hardware-model register
+    /// dump the checker validates intents against).
+    pub final_state: ConcreteState,
 }
 
-impl<'p> TestDriver<'p> {
-    /// Creates a driver for a program.
-    pub fn new(program: &'p CompiledProgram) -> Self {
-        TestDriver {
-            program,
-            reference: SwitchTarget::new(program),
-            structural_checks: true,
-            packets_per_template: 1,
+impl Observation {
+    /// The observation for a case whose response never arrived: no packet,
+    /// no port, empty state. Intent checks on an empty state see every
+    /// field as zero.
+    pub fn missing() -> Self {
+        Observation {
+            packet: None,
+            egress_port: None,
+            final_state: ConcreteState::new(),
         }
     }
+}
 
-    /// Sets how many distinct packets each template is instantiated into.
-    pub fn with_packets_per_template(mut self, n: usize) -> Self {
-        self.packets_per_template = n.max(1);
-        self
-    }
-
-    /// A driver without the structural packet validation, for modeling
-    /// baseline testers whose checkers only diff packets.
-    pub fn without_structural_checks(program: &'p CompiledProgram) -> Self {
-        TestDriver {
-            structural_checks: false,
-            ..Self::new(program)
+impl From<TargetOutput> for Observation {
+    fn from(out: TargetOutput) -> Self {
+        Observation {
+            packet: out.packet,
+            egress_port: out.egress_port,
+            final_state: out.final_state,
         }
     }
+}
 
-    /// Runs every template in `run` against `target` and checks results.
-    ///
-    /// Besides one packet per template, the driver instantiates each
-    /// template once per intent with the intent's `given` clause as an
-    /// extra constraint — the §6 deployment workflow where "network
-    /// engineers specify test-case-specific constraints" on top of Meissa's
-    /// base constraints. This also yields deterministic boundary-value
-    /// packets when a `given` pins a boundary (e.g. `src_port == 1024`).
-    pub fn run(&self, run: &mut RunOutput, target: &SwitchTarget) -> TestReport {
-        let mut report = TestReport::new(target.fault().name());
-        let mut ctx = meissa_core::symstate::SymCtx::new(None);
-        let v0 = meissa_core::symstate::ValueStack::new();
-        let givens: Vec<meissa_smt::TermId> = self
-            .program
-            .intents
-            .iter()
-            .map(|i| ctx.bexp(&mut run.pool, &run.cfg.fields, &v0, &i.given))
-            .collect();
-        for idx in 0..run.templates.len() {
-            let id = run.templates[idx].id;
-            let inputs = run.templates[idx].clone().instantiate_distinct(
-                &mut run.pool,
-                &run.cfg.fields,
-                self.packets_per_template,
-            );
-            if inputs.is_empty() {
-                report.push(CaseResult {
-                    template_id: id,
-                    verdict: Verdict::Skipped {
-                        reason: "template unsatisfiable at instantiation (hash filter)".into(),
-                    },
-                    trace: Vec::new(),
-                });
-            }
-            for input in &inputs {
-                report.push(self.check_input(target, id, input));
-            }
-            for &g in &givens {
-                let id = run.templates[idx].id;
-                if let Some(input) =
-                    run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[g])
-                {
-                    report.push(self.check_input(target, id, &input));
-                }
+/// One planned test case, produced by [`plan_cases`]. The sender half of
+/// the driver: transports consume this list, serialize the inputs, and
+/// deliver them however they deliver things.
+#[derive(Clone, Debug)]
+pub enum CaseSpec {
+    /// The template could not be instantiated; the report records why.
+    Skip {
+        /// Originating template.
+        template_id: usize,
+        /// Why no packet exists.
+        reason: String,
+    },
+    /// A concrete input to inject.
+    Case {
+        /// Originating template.
+        template_id: usize,
+        /// Globally unique packet-ID stamp (§4) — the last 8 payload bytes.
+        /// Receivers match responses to cases by this id, which is what
+        /// makes the checker robust to duplication and reordering.
+        wire_id: u64,
+        /// The concrete input state.
+        input: ConcreteState,
+    },
+}
+
+impl CaseSpec {
+    /// The template this case came from.
+    pub fn template_id(&self) -> usize {
+        match self {
+            CaseSpec::Skip { template_id, .. } | CaseSpec::Case { template_id, .. } => {
+                *template_id
             }
         }
-        report
     }
+}
 
-    /// Runs a single template (first packet only; `run` generates
-    /// `packets_per_template` variants).
-    pub fn run_case(&self, run: &mut RunOutput, target: &SwitchTarget, idx: usize) -> CaseResult {
+/// Enumerates every concrete test case for `run`: `packets_per_template`
+/// distinct instantiations per template, plus one instantiation per intent
+/// with the intent's `given` clause as an extra constraint (the §6
+/// deployment workflow where "network engineers specify test-case-specific
+/// constraints"). Each case gets a globally unique `wire_id` (1-based,
+/// in plan order).
+pub fn plan_cases(
+    program: &CompiledProgram,
+    run: &mut RunOutput,
+    packets_per_template: usize,
+) -> Vec<CaseSpec> {
+    let mut ctx = meissa_core::symstate::SymCtx::new(None);
+    let v0 = meissa_core::symstate::ValueStack::new();
+    let givens: Vec<meissa_smt::TermId> = program
+        .intents
+        .iter()
+        .map(|i| ctx.bexp(&mut run.pool, &run.cfg.fields, &v0, &i.given))
+        .collect();
+    let mut cases = Vec::new();
+    let mut next_id: u64 = 1;
+    for idx in 0..run.templates.len() {
         let template_id = run.templates[idx].id;
-        // Sender: instantiate the template into a concrete input.
-        let Some(input) = run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[])
-        else {
-            return CaseResult {
+        let inputs = run.templates[idx].clone().instantiate_distinct(
+            &mut run.pool,
+            &run.cfg.fields,
+            packets_per_template,
+        );
+        if inputs.is_empty() {
+            cases.push(CaseSpec::Skip {
                 template_id,
-                verdict: Verdict::Skipped {
-                    reason: "template unsatisfiable at instantiation (hash filter)".into(),
-                },
-                trace: Vec::new(),
-            };
-        };
-        self.check_input(target, template_id, &input)
+                reason: "template unsatisfiable at instantiation (hash filter)".into(),
+            });
+        }
+        for input in inputs {
+            cases.push(CaseSpec::Case {
+                template_id,
+                wire_id: next_id,
+                input,
+            });
+            next_id += 1;
+        }
+        for &g in &givens {
+            if let Some(input) =
+                run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[g])
+            {
+                cases.push(CaseSpec::Case {
+                    template_id,
+                    wire_id: next_id,
+                    input,
+                });
+                next_id += 1;
+            }
+        }
+    }
+    cases
+}
+
+/// The transport-agnostic checker: given what the reference says should
+/// happen and what some transport observed, produce the verdict. Shared
+/// verbatim by the in-process and wire drivers, so both classify every
+/// `dataplane::Fault` identically.
+pub struct Checker<'p> {
+    program: &'p CompiledProgram,
+    structural_checks: bool,
+}
+
+impl<'p> Checker<'p> {
+    /// A checker with the full Meissa validation (§4: the checker
+    /// "validates packet checksums" and structure).
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        Checker {
+            program,
+            structural_checks: true,
+        }
     }
 
-    /// Sends one concrete input through both the reference and the target,
-    /// then checks packets and intents.
-    pub fn check_input(
+    /// A checker that only diffs packets, modeling baseline testers.
+    pub fn without_structural_checks(program: &'p CompiledProgram) -> Self {
+        Checker {
+            program,
+            structural_checks: false,
+        }
+    }
+
+    /// Checks one observed case against the reference output. `packet` is
+    /// the injected packet (for the localization trace on failure).
+    pub fn check_case(
         &self,
-        target: &SwitchTarget,
         template_id: usize,
         input: &ConcreteState,
+        packet: &Packet,
+        expected: &TargetOutput,
+        actual: &Observation,
     ) -> CaseResult {
-        let id = template_id as u64 + 1;
-
-        // Sender: materialize the packet.
-        let Some(packet) = serialize_state(self.program, input, id) else {
-            return CaseResult {
-                template_id,
-                verdict: Verdict::Skipped {
-                    reason: "program has no entry parser; cannot serialize".into(),
-                },
-                trace: Vec::new(),
-            };
-        };
-
-        // Expected behaviour: the faithful reference.
-        let expected = self.reference.inject(&packet);
-        // Actual behaviour: the implementation under test.
-        let actual = target.inject(&packet);
-
         let trace = || {
-            parse_packet(self.program, &packet)
+            parse_packet(self.program, packet)
                 .map(|st| trace_execution(self.program, &st))
                 .unwrap_or_default()
         };
@@ -171,16 +215,13 @@ impl<'p> TestDriver<'p> {
             for layout in &self.program.headers {
                 let valid = !expected.final_state.get(fields, layout.valid).is_zero();
                 if valid && !self.program.deparse_order.contains(&layout.name) {
-                    return CaseResult {
+                    return CaseResult::new(
                         template_id,
-                        verdict: Verdict::OutputMismatch {
-                            detail: format!(
-                                "deparser omits valid header `{}`",
-                                layout.name
-                            ),
+                        Verdict::OutputMismatch {
+                            detail: format!("deparser omits valid header `{}`", layout.name),
                         },
-                        trace: trace(),
-                    };
+                        trace(),
+                    );
                 }
             }
         }
@@ -225,11 +266,7 @@ impl<'p> TestDriver<'p> {
         } else {
             trace()
         };
-        CaseResult {
-            template_id,
-            verdict,
-            trace,
-        }
+        CaseResult::new(template_id, verdict, trace)
     }
 
     /// Checker step 2: LPI intents. An intent applies when its `given`
@@ -248,6 +285,152 @@ impl<'p> TestDriver<'p> {
         }
         Verdict::Pass
     }
+}
+
+/// The in-process test driver for one program: sender, receiver, and
+/// checker wired directly to `SwitchTarget::inject` calls.
+pub struct TestDriver<'p> {
+    program: &'p CompiledProgram,
+    /// The reference implementation: a faithful execution of source
+    /// semantics, used to compute expected outputs.
+    reference: SwitchTarget,
+    /// The shared transport-agnostic checker.
+    checker: Checker<'p>,
+    /// How many distinct packets to generate per template ("One or more
+    /// input-output test cases can be generated based on the template",
+    /// §2.1).
+    packets_per_template: usize,
+}
+
+impl<'p> TestDriver<'p> {
+    /// Creates a driver for a program.
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        TestDriver {
+            program,
+            reference: SwitchTarget::new(program),
+            checker: Checker::new(program),
+            packets_per_template: 1,
+        }
+    }
+
+    /// Sets how many distinct packets each template is instantiated into.
+    pub fn with_packets_per_template(mut self, n: usize) -> Self {
+        self.packets_per_template = n.max(1);
+        self
+    }
+
+    /// A driver without the structural packet validation, for modeling
+    /// baseline testers whose checkers only diff packets.
+    pub fn without_structural_checks(program: &'p CompiledProgram) -> Self {
+        TestDriver {
+            checker: Checker::without_structural_checks(program),
+            ..Self::new(program)
+        }
+    }
+
+    /// Runs every template in `run` against `target` and checks results.
+    ///
+    /// Besides one packet per template, the driver instantiates each
+    /// template once per intent with the intent's `given` clause as an
+    /// extra constraint — the §6 deployment workflow where "network
+    /// engineers specify test-case-specific constraints" on top of Meissa's
+    /// base constraints. This also yields deterministic boundary-value
+    /// packets when a `given` pins a boundary (e.g. `src_port == 1024`).
+    pub fn run(&self, run: &mut RunOutput, target: &SwitchTarget) -> TestReport {
+        let started = Instant::now();
+        let mut report = TestReport::new(target.fault().name());
+        for spec in plan_cases(self.program, run, self.packets_per_template) {
+            match spec {
+                CaseSpec::Skip {
+                    template_id,
+                    reason,
+                } => report.push(CaseResult::new(
+                    template_id,
+                    Verdict::Skipped { reason },
+                    Vec::new(),
+                )),
+                CaseSpec::Case {
+                    template_id,
+                    wire_id,
+                    input,
+                } => report.push(self.check_with_id(target, template_id, wire_id, &input)),
+            }
+        }
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Runs a single template (first packet only; `run` generates
+    /// `packets_per_template` variants).
+    pub fn run_case(&self, run: &mut RunOutput, target: &SwitchTarget, idx: usize) -> CaseResult {
+        let template_id = run.templates[idx].id;
+        // Sender: instantiate the template into a concrete input.
+        let Some(input) = run.templates[idx].instantiate(&mut run.pool, &run.cfg.fields, &[])
+        else {
+            return CaseResult::new(
+                template_id,
+                Verdict::Skipped {
+                    reason: "template unsatisfiable at instantiation (hash filter)".into(),
+                },
+                Vec::new(),
+            );
+        };
+        self.check_input(target, template_id, &input)
+    }
+
+    /// Sends one concrete input through both the reference and the target,
+    /// then checks packets and intents. Stamps the packet with
+    /// `template_id + 1` — unique per template, matching single-case use.
+    pub fn check_input(
+        &self,
+        target: &SwitchTarget,
+        template_id: usize,
+        input: &ConcreteState,
+    ) -> CaseResult {
+        self.check_with_id(target, template_id, template_id as u64 + 1, input)
+    }
+
+    fn check_with_id(
+        &self,
+        target: &SwitchTarget,
+        template_id: usize,
+        wire_id: u64,
+        input: &ConcreteState,
+    ) -> CaseResult {
+        // Sender: materialize the packet.
+        let Some(packet) = serialize_state(self.program, input, wire_id) else {
+            return CaseResult::new(
+                template_id,
+                Verdict::Skipped {
+                    reason: "program has no entry parser; cannot serialize".into(),
+                },
+                Vec::new(),
+            );
+        };
+
+        // Expected behaviour: the faithful reference.
+        let expected = self.reference.inject(&packet);
+        // Actual behaviour: the implementation under test — the latency
+        // window spans injection through verdict, mirroring what the wire
+        // driver measures send → matched response.
+        let injected = Instant::now();
+        let actual: Observation = target.inject(&packet).into();
+        let mut result =
+            self.checker
+                .check_case(template_id, input, &packet, &expected, &actual);
+        result.latency = injected.elapsed().max(Duration::from_nanos(1));
+        result
+    }
+}
+
+/// Computes the expected (reference) output for a planned case. Shared by
+/// transports that evaluate the reference client-side while the target
+/// runs remotely.
+pub fn expected_output(
+    reference: &SwitchTarget,
+    packet: &Packet,
+) -> TargetOutput {
+    reference.inject(packet)
 }
 
 fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
@@ -383,6 +566,43 @@ mod tests {
                     if intent == "routed_packets_get_tunneled")),
             "{report}"
         );
+    }
+
+    #[test]
+    fn run_records_latency_and_elapsed() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        let report = TestDriver::new(&cp).run(&mut run, &SwitchTarget::new(&cp));
+        assert!(!report.elapsed.is_zero());
+        assert!(report.latency_p50().is_some());
+        assert!(report.latency_p99().is_some());
+        assert!(report
+            .cases
+            .iter()
+            .filter(|c| !matches!(c.verdict, Verdict::Skipped { .. }))
+            .all(|c| !c.latency.is_zero()));
+        assert!(report.cases_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn plan_cases_assigns_unique_wire_ids() {
+        let cp = program();
+        let mut run = Meissa::new().run(&cp);
+        let cases = plan_cases(&cp, &mut run, 2);
+        let ids: Vec<u64> = cases
+            .iter()
+            .filter_map(|c| match c {
+                CaseSpec::Case { wire_id, .. } => Some(*wire_id),
+                CaseSpec::Skip { .. } => None,
+            })
+            .collect();
+        assert!(!ids.is_empty());
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "wire ids must be unique");
+        // Plan order is deterministic: ids are assigned 1..=n in order.
+        assert_eq!(ids, (1..=ids.len() as u64).collect::<Vec<_>>());
     }
 }
 

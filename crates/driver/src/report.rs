@@ -1,8 +1,14 @@
 //! Test reports: per-case verdicts and the aggregate the driver returns
 //! ("Meissa reports passed and failed test cases to the developer", §3).
+//!
+//! Besides verdict counters, the report carries timing: every case records
+//! its wall-clock latency (send → verdict), and the aggregate surfaces the
+//! p50/p99 latency and end-to-end throughput — the numbers that matter once
+//! the driver runs over a real wire instead of an in-process call.
 
 use crate::localize::TraceStep;
 use std::fmt;
+use std::time::Duration;
 
 /// Outcome of one test case.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +44,22 @@ pub struct CaseResult {
     pub verdict: Verdict,
     /// Bug-localization trace (§7), populated on failure.
     pub trace: Vec<TraceStep>,
+    /// Wall-clock latency from injection to verdict. For the wire driver
+    /// this spans send → matched response (including retries); skipped
+    /// cases record zero.
+    pub latency: Duration,
+}
+
+impl CaseResult {
+    /// A case result with no latency recorded yet.
+    pub fn new(template_id: usize, verdict: Verdict, trace: Vec<TraceStep>) -> Self {
+        CaseResult {
+            template_id,
+            verdict,
+            trace,
+            latency: Duration::ZERO,
+        }
+    }
 }
 
 /// The aggregate test report.
@@ -48,6 +70,10 @@ pub struct TestReport {
     pub target_label: String,
     /// All case results, in template order.
     pub cases: Vec<CaseResult>,
+    /// End-to-end wall time of the whole run (sender + receiver + checker);
+    /// the denominator of [`TestReport::cases_per_sec`]. Zero when the
+    /// driver did not record it.
+    pub elapsed: Duration,
 }
 
 impl TestReport {
@@ -56,6 +82,7 @@ impl TestReport {
         TestReport {
             target_label: target_label.to_string(),
             cases: Vec::new(),
+            elapsed: Duration::ZERO,
         }
     }
 
@@ -97,6 +124,49 @@ impl TestReport {
     pub fn found_bug(&self) -> bool {
         self.failed() > 0
     }
+
+    /// Latencies of every executed (non-skipped) case, sorted ascending.
+    fn sorted_latencies(&self) -> Vec<Duration> {
+        let mut v: Vec<Duration> = self
+            .cases
+            .iter()
+            .filter(|c| !matches!(c.verdict, Verdict::Skipped { .. }))
+            .map(|c| c.latency)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Nearest-rank percentile of executed-case latency (`p` in 0..=100).
+    /// `None` when every case was skipped.
+    pub fn latency_percentile(&self, p: u32) -> Option<Duration> {
+        let v = self.sorted_latencies();
+        if v.is_empty() {
+            return None;
+        }
+        let rank = ((p as usize) * (v.len() - 1) + 50) / 100;
+        Some(v[rank.min(v.len() - 1)])
+    }
+
+    /// Median per-case latency.
+    pub fn latency_p50(&self) -> Option<Duration> {
+        self.latency_percentile(50)
+    }
+
+    /// 99th-percentile per-case latency.
+    pub fn latency_p99(&self) -> Option<Duration> {
+        self.latency_percentile(99)
+    }
+
+    /// Executed cases per second of end-to-end wall time. `None` when the
+    /// driver recorded no elapsed time.
+    pub fn cases_per_sec(&self) -> Option<f64> {
+        if self.elapsed.is_zero() {
+            return None;
+        }
+        let executed = self.cases.len() - self.skipped();
+        Some(executed as f64 / self.elapsed.as_secs_f64())
+    }
 }
 
 impl fmt::Display for TestReport {
@@ -110,6 +180,18 @@ impl fmt::Display for TestReport {
             self.skipped(),
             self.cases.len()
         )?;
+        if let (Some(p50), Some(p99)) = (self.latency_p50(), self.latency_p99()) {
+            write!(
+                f,
+                "  latency p50 {:.3}ms, p99 {:.3}ms",
+                p50.as_secs_f64() * 1e3,
+                p99.as_secs_f64() * 1e3
+            )?;
+            if let Some(tput) = self.cases_per_sec() {
+                write!(f, ", {tput:.0} cases/s")?;
+            }
+            writeln!(f)?;
+        }
         for c in &self.cases {
             match &c.verdict {
                 Verdict::Pass => {}
@@ -141,32 +223,22 @@ mod tests {
     #[test]
     fn counters_partition_cases() {
         let mut r = TestReport::new("none");
-        r.push(CaseResult {
-            template_id: 0,
-            verdict: Verdict::Pass,
-            trace: vec![],
-        });
-        r.push(CaseResult {
-            template_id: 1,
-            verdict: Verdict::OutputMismatch {
-                detail: "x".into(),
-            },
-            trace: vec![],
-        });
-        r.push(CaseResult {
-            template_id: 2,
-            verdict: Verdict::IntentViolation {
-                intent: "i".into(),
-            },
-            trace: vec![],
-        });
-        r.push(CaseResult {
-            template_id: 3,
-            verdict: Verdict::Skipped {
-                reason: "r".into(),
-            },
-            trace: vec![],
-        });
+        r.push(CaseResult::new(0, Verdict::Pass, vec![]));
+        r.push(CaseResult::new(
+            1,
+            Verdict::OutputMismatch { detail: "x".into() },
+            vec![],
+        ));
+        r.push(CaseResult::new(
+            2,
+            Verdict::IntentViolation { intent: "i".into() },
+            vec![],
+        ));
+        r.push(CaseResult::new(
+            3,
+            Verdict::Skipped { reason: "r".into() },
+            vec![],
+        ));
         assert_eq!(r.passed(), 1);
         assert_eq!(r.failed(), 2);
         assert_eq!(r.skipped(), 1);
@@ -180,13 +252,40 @@ mod tests {
     fn clean_report_has_no_failures() {
         let mut r = TestReport::new("none");
         for i in 0..5 {
+            r.push(CaseResult::new(i, Verdict::Pass, vec![]));
+        }
+        assert!(!r.found_bug());
+        assert_eq!(r.passed(), 5);
+    }
+
+    #[test]
+    fn latency_percentiles_use_executed_cases_only() {
+        let mut r = TestReport::new("none");
+        for (i, ms) in [10u64, 20, 30, 40, 1000].iter().enumerate() {
             r.push(CaseResult {
                 template_id: i,
                 verdict: Verdict::Pass,
                 trace: vec![],
+                latency: Duration::from_millis(*ms),
             });
         }
-        assert!(!r.found_bug());
-        assert_eq!(r.passed(), 5);
+        // A skipped case's zero latency must not drag the percentiles down.
+        r.push(CaseResult::new(9, Verdict::Skipped { reason: "s".into() }, vec![]));
+        assert_eq!(r.latency_p50(), Some(Duration::from_millis(30)));
+        assert_eq!(r.latency_p99(), Some(Duration::from_millis(1000)));
+        r.elapsed = Duration::from_secs(1);
+        assert_eq!(r.cases_per_sec(), Some(5.0));
+        let text = r.to_string();
+        assert!(text.contains("latency p50"), "{text}");
+    }
+
+    #[test]
+    fn empty_and_all_skipped_reports_have_no_percentiles() {
+        let r = TestReport::new("none");
+        assert_eq!(r.latency_p50(), None);
+        assert_eq!(r.cases_per_sec(), None);
+        let mut r = TestReport::new("none");
+        r.push(CaseResult::new(0, Verdict::Skipped { reason: "s".into() }, vec![]));
+        assert_eq!(r.latency_p99(), None);
     }
 }

@@ -1,0 +1,305 @@
+//! The switch-agent daemon: hosts a [`SwitchTarget`] behind the wire
+//! protocol, playing the role of the switch-side agent in the paper's §4
+//! test setup (receive packets on an injection port, run the data plane,
+//! report what came out of which logical egress port).
+//!
+//! One TCP connection multiplexes everything: each `Inject` is answered by
+//! an `Output` frame on the same connection, tagged with the packet's id
+//! and logical egress port. Per-port forwarding tallies are kept in the
+//! agent's stats, so the egress-port → stream mapping is observable via
+//! `Stats` without needing one socket per port.
+
+use crate::fault::{FaultGate, TransportFaults};
+use crate::proto::{encode, Request, Response, PROTO_VERSION};
+use meissa_dataplane::{Packet, SwitchTarget};
+use meissa_ir::ConcreteState;
+use meissa_lang::{compile, parse_program, parse_rules, CompiledProgram};
+use meissa_testkit::wire::{write_frame, FrameReader};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// A program hosted by the agent.
+struct Hosted {
+    target: SwitchTarget,
+    /// Source text, kept for `InstallRules` recompiles. Absent when the
+    /// target was handed to [`Agent::spawn`] pre-built.
+    source: Option<String>,
+}
+
+/// Cumulative traffic counters.
+#[derive(Default)]
+struct AgentStats {
+    injected: u64,
+    forwarded: u64,
+    dropped: u64,
+    /// Forwarded count per logical egress port value.
+    per_port: BTreeMap<u128, u64>,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    hosted: RwLock<Option<Hosted>>,
+    stats: Mutex<AgentStats>,
+    stop: AtomicBool,
+    conn_seq: AtomicU64,
+    faults: Option<TransportFaults>,
+}
+
+/// Handle to a running agent: its address, and the accept thread to join
+/// on shutdown.
+pub struct AgentHandle {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    shared: Arc<Shared>,
+}
+
+impl AgentHandle {
+    /// The address the agent listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the agent: best-effort `Shutdown` frame, then joins the accept
+    /// loop.
+    pub fn shutdown(self) {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            let _ = crate::client::shutdown(self.addr);
+        }
+        let _ = self.accept.join();
+    }
+
+    /// Blocks until some client sends `Shutdown` (the daemon main loop).
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// The switch-agent daemon.
+pub struct Agent;
+
+impl Agent {
+    /// Spawns an agent on an ephemeral loopback port, optionally pre-loaded
+    /// with a target and optionally with transport faults on its `Output`
+    /// path.
+    pub fn spawn(
+        target: Option<SwitchTarget>,
+        faults: Option<TransportFaults>,
+    ) -> io::Result<AgentHandle> {
+        Self::serve(TcpListener::bind("127.0.0.1:0")?, target, faults)
+    }
+
+    /// Runs an agent on an already-bound listener.
+    pub fn serve(
+        listener: TcpListener,
+        target: Option<SwitchTarget>,
+        faults: Option<TransportFaults>,
+    ) -> io::Result<AgentHandle> {
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            hosted: RwLock::new(target.map(|t| Hosted {
+                target: t,
+                source: None,
+            })),
+            stats: Mutex::new(AgentStats::default()),
+            stop: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+            faults,
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = accept_shared.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_conn(conn_shared, stream);
+                });
+            }
+        });
+        Ok(AgentHandle {
+            addr,
+            accept,
+            shared,
+        })
+    }
+}
+
+fn compile_target(
+    source: &str,
+    rules: &str,
+    fault: meissa_dataplane::Fault,
+) -> Result<SwitchTarget, String> {
+    let prog = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
+    let ruleset = parse_rules(rules).map_err(|e| format!("rules parse error: {e}"))?;
+    let cp = compile(&prog, &ruleset).map_err(|e| format!("compile error: {e}"))?;
+    Ok(SwitchTarget::with_fault(&cp, fault))
+}
+
+/// Serializes a final state as `(name, width, value)` triples, in the
+/// field table's deterministic id order.
+fn encode_state(program: &CompiledProgram, state: &ConcreteState) -> Vec<(String, u16, u128)> {
+    let fields = &program.cfg.fields;
+    let mut triples: Vec<(String, u16, u128)> = state
+        .iter()
+        .map(|(f, bv)| (fields.name(f).to_string(), bv.width(), bv.val()))
+        .collect();
+    triples.sort();
+    triples
+}
+
+fn send_reliable(w: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode(resp))
+}
+
+fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let conn_id = sh.conn_seq.fetch_add(1, Ordering::SeqCst);
+    let mut gate = sh.faults.map(|f| FaultGate::new(f, conn_id));
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let frame = match reader.next_frame() {
+            Ok(f) => f,
+            // Client hung up (or stream error): this connection is done.
+            Err(_) => return Ok(()),
+        };
+        let req = match crate::proto::decode::<Request>(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                send_reliable(
+                    &mut writer,
+                    &Response::Err {
+                        msg: format!("bad request: {e}"),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match req {
+            Request::Hello { .. } => {
+                let (loaded, label) = match &*sh.hosted.read().unwrap() {
+                    Some(h) => (true, h.target.fault().name().to_string()),
+                    None => (false, "none".to_string()),
+                };
+                send_reliable(
+                    &mut writer,
+                    &Response::Hello {
+                        version: PROTO_VERSION,
+                        loaded,
+                        label,
+                    },
+                )?;
+            }
+            Request::LoadProgram {
+                source,
+                rules,
+                fault,
+            } => {
+                let resp = match compile_target(&source, &rules, fault) {
+                    Ok(target) => {
+                        *sh.hosted.write().unwrap() = Some(Hosted {
+                            target,
+                            source: Some(source),
+                        });
+                        Response::Ok
+                    }
+                    Err(msg) => Response::Err { msg },
+                };
+                send_reliable(&mut writer, &resp)?;
+            }
+            Request::InstallRules { rules } => {
+                let mut hosted = sh.hosted.write().unwrap();
+                let resp = match hosted.as_ref().and_then(|h| h.source.clone()) {
+                    None => Response::Err {
+                        msg: "no recompilable program loaded (agent holds a pre-built target)"
+                            .into(),
+                    },
+                    Some(source) => {
+                        let fault = hosted.as_ref().unwrap().target.fault().clone();
+                        match compile_target(&source, &rules, fault) {
+                            Ok(target) => {
+                                *hosted = Some(Hosted {
+                                    target,
+                                    source: Some(source),
+                                });
+                                Response::Ok
+                            }
+                            Err(msg) => Response::Err { msg },
+                        }
+                    }
+                };
+                drop(hosted);
+                send_reliable(&mut writer, &resp)?;
+            }
+            Request::Inject { id, bytes } => {
+                let hosted = sh.hosted.read().unwrap();
+                let Some(h) = hosted.as_ref() else {
+                    drop(hosted);
+                    send_reliable(
+                        &mut writer,
+                        &Response::Err {
+                            msg: "no program loaded".into(),
+                        },
+                    )?;
+                    continue;
+                };
+                let out = h.target.inject(&Packet { bytes, id });
+                let resp = Response::Output {
+                    id,
+                    packet: out.packet.as_ref().map(|p| p.bytes.clone()),
+                    port: out.egress_port,
+                    state: encode_state(h.target.program(), &out.final_state),
+                };
+                drop(hosted);
+                {
+                    let mut stats = sh.stats.lock().unwrap();
+                    stats.injected += 1;
+                    match &resp {
+                        Response::Output {
+                            packet: Some(_),
+                            port,
+                            ..
+                        } => {
+                            stats.forwarded += 1;
+                            if let Some(bv) = port {
+                                *stats.per_port.entry(bv.val()).or_insert(0) += 1;
+                            }
+                        }
+                        _ => stats.dropped += 1,
+                    }
+                }
+                // Outputs ride the (possibly faulty) data path.
+                let payload = encode(&resp);
+                match gate.as_mut() {
+                    Some(g) => g.send(&mut writer, payload)?,
+                    None => write_frame(&mut writer, &payload)?,
+                }
+            }
+            Request::Stats => {
+                let stats = sh.stats.lock().unwrap();
+                let resp = Response::Stats {
+                    injected: stats.injected,
+                    forwarded: stats.forwarded,
+                    dropped: stats.dropped,
+                    per_port: stats.per_port.iter().map(|(&p, &n)| (p, n)).collect(),
+                };
+                drop(stats);
+                send_reliable(&mut writer, &resp)?;
+            }
+            Request::Shutdown => {
+                send_reliable(&mut writer, &Response::Ok)?;
+                sh.stop.store(true, Ordering::SeqCst);
+                // Poke the accept loop so it notices the stop flag.
+                let _ = TcpStream::connect(sh.addr);
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! `meissa-agent`: the switch-agent daemon.
+//!
+//! Hosts a compiled program behind the wire protocol so a `WireDriver`
+//! (or any protocol client) can inject packets and observe outputs.
+//!
+//! ```text
+//! meissa-agent [--listen ADDR] [--program FILE --rules FILE]
+//! ```
+//!
+//! With no `--program`, the agent starts empty and waits for a
+//! `LoadProgram` frame. Runs until a `Shutdown` frame arrives.
+
+use meissa_dataplane::{Fault, SwitchTarget};
+use meissa_lang::{compile, parse_program, parse_rules};
+use meissa_netdriver::Agent;
+use std::net::TcpListener;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: meissa-agent [--listen ADDR] [--program FILE --rules FILE]");
+    exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:9917".to_string();
+    let mut program_path: Option<String> = None;
+    let mut rules_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--program" => program_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--rules" => rules_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let target = match (&program_path, &rules_path) {
+        (None, None) => None,
+        (Some(p), Some(r)) => {
+            let source = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                exit(1);
+            });
+            let rules = std::fs::read_to_string(r).unwrap_or_else(|e| {
+                eprintln!("cannot read {r}: {e}");
+                exit(1);
+            });
+            let prog = parse_program(&source).unwrap_or_else(|e| {
+                eprintln!("parse error in {p}: {e}");
+                exit(1);
+            });
+            let ruleset = parse_rules(&rules).unwrap_or_else(|e| {
+                eprintln!("rules parse error in {r}: {e}");
+                exit(1);
+            });
+            let cp = compile(&prog, &ruleset).unwrap_or_else(|e| {
+                eprintln!("compile error: {e}");
+                exit(1);
+            });
+            Some(SwitchTarget::with_fault(&cp, Fault::None))
+        }
+        _ => {
+            eprintln!("--program and --rules must be given together");
+            usage();
+        }
+    };
+
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        exit(1);
+    });
+    let handle = Agent::serve(listener, target, None).unwrap_or_else(|e| {
+        eprintln!("agent failed to start: {e}");
+        exit(1);
+    });
+    println!("meissa-agent listening on {}", handle.addr());
+    handle.wait();
+}

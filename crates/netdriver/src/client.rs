@@ -1,0 +1,438 @@
+//! The client side of the wire driver: concurrent sender/receiver/checker
+//! streaming test cases to a remote agent over N connections.
+//!
+//! The sender is `driver::plan_cases` — the same enumeration the
+//! in-process driver uses, so both produce case-for-case comparable
+//! reports. Cases are sharded round-robin across connections; each
+//! connection worker pipelines a window of outstanding injects, matches
+//! responses to cases by the packet-ID stamp (§4) — which makes it immune
+//! to duplication and reordering — retries cases whose deadline passes
+//! (bounded, with linear backoff), and after the final attempt waits one
+//! drain period before classifying the missing output as a drop. Expected
+//! outputs come from a client-side reference `SwitchTarget` (source
+//! semantics); verdicts come from the shared transport-agnostic
+//! `driver::Checker`.
+
+use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
+use meissa_core::RunOutput;
+use meissa_dataplane::{serialize_state, Fault, Packet, SwitchTarget};
+use meissa_driver::{plan_cases, CaseResult, CaseSpec, Checker, Observation, TestReport, Verdict};
+use meissa_ir::ConcreteState;
+use meissa_lang::CompiledProgram;
+use meissa_testkit::wire::{write_frame, FrameReader};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How many injects a connection keeps outstanding.
+const WINDOW: usize = 16;
+
+/// The wire-level test driver for one program.
+pub struct WireDriver<'p> {
+    program: &'p CompiledProgram,
+    addr: SocketAddr,
+    connections: usize,
+    packets_per_template: usize,
+    structural_checks: bool,
+    /// Per-attempt response deadline.
+    case_timeout: Duration,
+    /// Total send attempts per case (first send included).
+    max_attempts: u32,
+    /// Extra deadline added per retry (linear backoff).
+    backoff: Duration,
+    /// Grace period after the final attempt before a missing output is
+    /// classified as a drop.
+    drain_timeout: Duration,
+}
+
+impl<'p> WireDriver<'p> {
+    /// A driver for `program` against the agent at `addr`.
+    pub fn new(program: &'p CompiledProgram, addr: SocketAddr) -> Self {
+        WireDriver {
+            program,
+            addr,
+            connections: 1,
+            packets_per_template: 1,
+            structural_checks: true,
+            case_timeout: Duration::from_millis(100),
+            max_attempts: 8,
+            backoff: Duration::from_millis(25),
+            drain_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Streams cases over `n` concurrent connections.
+    pub fn with_connections(mut self, n: usize) -> Self {
+        self.connections = n.max(1);
+        self
+    }
+
+    /// Sets how many distinct packets each template is instantiated into.
+    pub fn with_packets_per_template(mut self, n: usize) -> Self {
+        self.packets_per_template = n.max(1);
+        self
+    }
+
+    /// Disables the structural packet validation (baseline-tester mode).
+    pub fn without_structural_checks(mut self) -> Self {
+        self.structural_checks = false;
+        self
+    }
+
+    /// Tunes the retry machinery: per-attempt deadline, total attempts,
+    /// and per-retry backoff increment.
+    pub fn with_retries(mut self, case_timeout: Duration, max_attempts: u32, backoff: Duration) -> Self {
+        self.case_timeout = case_timeout;
+        self.max_attempts = max_attempts.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the post-final-attempt drain period.
+    pub fn with_drain_timeout(mut self, t: Duration) -> Self {
+        self.drain_timeout = t;
+        self
+    }
+
+    /// Runs every template in `run` against the remote agent and checks
+    /// results, exactly as `TestDriver::run` does in-process.
+    pub fn run(&self, run: &mut RunOutput) -> io::Result<TestReport> {
+        let started = Instant::now();
+        let plan = plan_cases(self.program, run, self.packets_per_template);
+        let mut slots: Vec<Option<CaseResult>> = vec![None; plan.len()];
+        let mut work: Vec<WireCase> = Vec::new();
+        for (slot, spec) in plan.into_iter().enumerate() {
+            match spec {
+                CaseSpec::Skip {
+                    template_id,
+                    reason,
+                } => {
+                    slots[slot] = Some(CaseResult::new(
+                        template_id,
+                        Verdict::Skipped { reason },
+                        Vec::new(),
+                    ));
+                }
+                CaseSpec::Case {
+                    template_id,
+                    wire_id,
+                    input,
+                } => match serialize_state(self.program, &input, wire_id) {
+                    None => {
+                        slots[slot] = Some(CaseResult::new(
+                            template_id,
+                            Verdict::Skipped {
+                                reason: "program has no entry parser; cannot serialize".into(),
+                            },
+                            Vec::new(),
+                        ));
+                    }
+                    Some(packet) => work.push(WireCase {
+                        slot,
+                        template_id,
+                        wire_id,
+                        input,
+                        packet,
+                    }),
+                },
+            }
+        }
+
+        let label = hello(self.addr)?.2;
+
+        let nconn = self.connections.min(work.len()).max(1);
+        let mut shards: Vec<Vec<WireCase>> = (0..nconn).map(|_| Vec::new()).collect();
+        for (i, case) in work.into_iter().enumerate() {
+            shards[i % nconn].push(case);
+        }
+        let outcomes: Vec<io::Result<Vec<(usize, CaseResult)>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| s.spawn(move || self.run_shard(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for outcome in outcomes {
+            for (slot, result) in outcome? {
+                slots[slot] = Some(result);
+            }
+        }
+
+        let mut report = TestReport::new(&label);
+        report.cases = slots
+            .into_iter()
+            .map(|s| s.expect("every planned case produced a result"))
+            .collect();
+        report.elapsed = started.elapsed();
+        Ok(report)
+    }
+
+    /// Drives one connection's shard of cases to completion.
+    fn run_shard(&self, shard: Vec<WireCase>) -> io::Result<Vec<(usize, CaseResult)>> {
+        if shard.is_empty() {
+            return Ok(Vec::new());
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = FrameReader::new(stream);
+        write_frame(&mut writer, &encode(&Request::Hello { version: PROTO_VERSION }))?;
+        wait_for_hello(&mut reader)?;
+
+        let reference = SwitchTarget::new(self.program);
+        let checker = if self.structural_checks {
+            Checker::new(self.program)
+        } else {
+            Checker::without_structural_checks(self.program)
+        };
+
+        struct Pending {
+            idx: usize,
+            attempts: u32,
+            first_sent: Instant,
+            deadline: Instant,
+        }
+        let mut pending: HashMap<u64, Pending> = HashMap::new();
+        let mut results: Vec<(usize, CaseResult)> = Vec::with_capacity(shard.len());
+        let mut next = 0usize;
+
+        while results.len() < shard.len() {
+            // Sender: keep the window full.
+            while next < shard.len() && pending.len() < WINDOW {
+                let case = &shard[next];
+                self.send_inject(&mut writer, case)?;
+                pending.insert(
+                    case.wire_id,
+                    Pending {
+                        idx: next,
+                        attempts: 1,
+                        first_sent: Instant::now(),
+                        deadline: Instant::now() + self.case_timeout,
+                    },
+                );
+                next += 1;
+            }
+
+            // Receiver: match responses to pending cases by packet id;
+            // duplicates and unknown ids fall through harmlessly.
+            match reader.poll_frame()? {
+                Some(frame) => {
+                    // A transport-truncated frame fails to decode; drop it —
+                    // the retry path recovers the case.
+                    let Ok(resp) = decode::<Response>(&frame) else {
+                        continue;
+                    };
+                    match resp {
+                        Response::Output {
+                            id,
+                            packet,
+                            port,
+                            state,
+                        } => {
+                            if let Some(p) = pending.remove(&id) {
+                                let case = &shard[p.idx];
+                                let obs = Observation {
+                                    packet: packet.map(|bytes| Packet { bytes, id }),
+                                    egress_port: port,
+                                    final_state: decode_state(self.program, &state),
+                                };
+                                let expected = reference.inject(&case.packet);
+                                let mut r = checker.check_case(
+                                    case.template_id,
+                                    &case.input,
+                                    &case.packet,
+                                    &expected,
+                                    &obs,
+                                );
+                                r.latency = p.first_sent.elapsed();
+                                results.push((case.slot, r));
+                            }
+                        }
+                        Response::Err { msg } => {
+                            return Err(io::Error::other(format!("agent error: {msg}")));
+                        }
+                        // Stray control responses (e.g. a duplicate Hello)
+                        // are ignorable.
+                        _ => {}
+                    }
+                }
+                None => {
+                    // Checker timeout scan: retry expired cases; after the
+                    // final attempt's drain period, classify as a drop.
+                    let now = Instant::now();
+                    let expired: Vec<u64> = pending
+                        .iter()
+                        .filter(|(_, p)| now >= p.deadline)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in expired {
+                        let p = pending.get_mut(&id).unwrap();
+                        if p.attempts >= self.max_attempts {
+                            let p = pending.remove(&id).unwrap();
+                            let case = &shard[p.idx];
+                            let expected = reference.inject(&case.packet);
+                            // Drain phase verdict: the output never arrived,
+                            // so the receiver records it as a drop and the
+                            // checker judges that against the reference.
+                            let mut r = checker.check_case(
+                                case.template_id,
+                                &case.input,
+                                &case.packet,
+                                &expected,
+                                &Observation::missing(),
+                            );
+                            r.latency = p.first_sent.elapsed();
+                            results.push((case.slot, r));
+                        } else {
+                            let case = &shard[p.idx];
+                            self.send_inject(&mut writer, case)?;
+                            p.attempts += 1;
+                            p.deadline = if p.attempts >= self.max_attempts {
+                                now + self.drain_timeout
+                            } else {
+                                now + self.case_timeout + self.backoff * p.attempts
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn send_inject(&self, w: &mut TcpStream, case: &WireCase) -> io::Result<()> {
+        write_frame(
+            w,
+            &encode(&Request::Inject {
+                id: case.wire_id,
+                bytes: case.packet.bytes.clone(),
+            }),
+        )
+    }
+}
+
+struct WireCase {
+    /// Index into the report's case list (plan order).
+    slot: usize,
+    template_id: usize,
+    wire_id: u64,
+    input: ConcreteState,
+    packet: Packet,
+}
+
+/// Rebuilds a `ConcreteState` from the agent's `(name, width, value)`
+/// snapshot, resolving names against the client's own field table.
+fn decode_state(program: &CompiledProgram, triples: &[(String, u16, u128)]) -> ConcreteState {
+    let fields = &program.cfg.fields;
+    let mut state = ConcreteState::new();
+    for (name, width, val) in triples {
+        if let Some(f) = fields.get(name) {
+            state.set(fields, f, meissa_num::Bv::new(*width, *val));
+        }
+    }
+    state
+}
+
+fn wait_for_hello<R: io::Read>(reader: &mut FrameReader<R>) -> io::Result<(u64, bool, String)> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some(frame) = reader.poll_frame()? {
+            return match decode::<Response>(&frame) {
+                Ok(Response::Hello {
+                    version,
+                    loaded,
+                    label,
+                }) => Ok((version, loaded, label)),
+                Ok(other) => Err(io::Error::other(format!(
+                    "expected Hello, got {other:?}"
+                ))),
+                Err(e) => Err(io::Error::other(format!("bad Hello frame: {e}"))),
+            };
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no Hello response from agent",
+            ));
+        }
+    }
+}
+
+/// One-shot request over a fresh connection; control responses are
+/// reliable, so a single blocking read suffices.
+fn oneshot(addr: impl ToSocketAddrs, req: &Request) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = FrameReader::new(stream);
+    write_frame(&mut writer, &encode(req))?;
+    let frame = reader.next_frame()?;
+    decode::<Response>(&frame).map_err(|e| io::Error::other(format!("bad response: {e}")))
+}
+
+/// Handshakes with the agent, returning `(version, loaded, label)`.
+pub fn hello(addr: SocketAddr) -> io::Result<(u64, bool, String)> {
+    match oneshot(addr, &Request::Hello { version: PROTO_VERSION })? {
+        Response::Hello {
+            version,
+            loaded,
+            label,
+        } => Ok((version, loaded, label)),
+        other => Err(io::Error::other(format!("expected Hello, got {other:?}"))),
+    }
+}
+
+/// Compiles and hosts a program (with an injected fault) on the agent.
+pub fn load_program(
+    addr: SocketAddr,
+    source: &str,
+    rules: &str,
+    fault: Fault,
+) -> io::Result<()> {
+    match oneshot(
+        addr,
+        &Request::LoadProgram {
+            source: source.into(),
+            rules: rules.into(),
+            fault,
+        },
+    )? {
+        Response::Ok => Ok(()),
+        Response::Err { msg } => Err(io::Error::other(msg)),
+        other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Installs a new rule set on the agent's hosted program.
+pub fn install_rules(addr: SocketAddr, rules: &str) -> io::Result<()> {
+    match oneshot(addr, &Request::InstallRules { rules: rules.into() })? {
+        Response::Ok => Ok(()),
+        Response::Err { msg } => Err(io::Error::other(msg)),
+        other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Traffic counters snapshot: `(injected, forwarded, dropped, per_port)`.
+pub fn fetch_stats(addr: SocketAddr) -> io::Result<(u64, u64, u64, Vec<(u128, u64)>)> {
+    match oneshot(addr, &Request::Stats)? {
+        Response::Stats {
+            injected,
+            forwarded,
+            dropped,
+            per_port,
+        } => Ok((injected, forwarded, dropped, per_port)),
+        other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Asks the agent to stop accepting connections.
+pub fn shutdown(addr: SocketAddr) -> io::Result<()> {
+    match oneshot(addr, &Request::Shutdown)? {
+        Response::Ok => Ok(()),
+        other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+    }
+}

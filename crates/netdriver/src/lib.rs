@@ -1,0 +1,36 @@
+//! `meissa-netdriver`: the wire-level test driver (§4 over real sockets).
+//!
+//! The in-process driver (`meissa-driver`) injects packets by function
+//! call; this crate drives the same test plan over TCP, the way Meissa's
+//! deployment runs it against a physical switch via an on-switch agent:
+//!
+//! - [`agent`] — the switch-agent daemon (also the `meissa-agent` binary):
+//!   hosts a `SwitchTarget` behind a length-framed JSON protocol
+//!   (`Hello`/`LoadProgram`/`InstallRules`/`Inject`/`Output`/`Stats`/
+//!   `Shutdown`), answering each injected packet with its output, logical
+//!   egress port, and final-state snapshot.
+//! - [`client`] — [`WireDriver`]: the concurrent sender/receiver/checker.
+//!   Streams cases over N connections with per-case deadlines, bounded
+//!   retries with backoff, duplicate/reorder tolerance keyed on the
+//!   packet-ID stamp, and a drain phase that classifies missing outputs as
+//!   drops. Verdicts come from the shared `driver::Checker`, so wire and
+//!   in-process reports agree case for case.
+//! - [`fault`] — seeded transport faults (drop/duplicate/delay/truncate)
+//!   injected at the framing layer, so the client's robustness machinery
+//!   is itself under test.
+//! - [`proto`] — the frame payload codec.
+//!
+//! Everything is `std::net`/`std::thread` only: the workspace stays
+//! hermetic.
+
+pub mod agent;
+pub mod client;
+pub mod fault;
+pub mod proto;
+
+pub use agent::{Agent, AgentHandle};
+pub use client::{
+    fetch_stats, hello, install_rules, load_program, shutdown, WireDriver,
+};
+pub use fault::TransportFaults;
+pub use proto::{Request, Response, PROTO_VERSION};

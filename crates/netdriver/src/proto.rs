@@ -1,0 +1,514 @@
+//! The agent wire protocol: JSON messages in length-prefixed frames
+//! (`meissa_testkit::wire`).
+//!
+//! Every message is a JSON object whose `"t"` field names the message
+//! type. Requests flow client → agent; each `Inject` is answered by one
+//! `Output` on the same connection (the agent maps the injected packet's
+//! logical egress port back onto the response, so one TCP connection
+//! multiplexes all egress ports), and control requests are answered by
+//! `Hello`/`Ok`/`Err`/`Stats`. The transport fault layer perturbs `Output`
+//! frames only — control responses stay reliable, like a management channel
+//! beside a lossy data plane.
+
+use meissa_dataplane::Fault;
+use meissa_num::Bv;
+use meissa_testkit::json::{tagged, untag, FromJson, Json, JsonError, ToJson};
+
+/// Protocol version, exchanged in `Hello`.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Client → agent messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Handshake; the agent answers with [`Response::Hello`].
+    Hello {
+        /// Client protocol version.
+        version: u64,
+    },
+    /// Compile `source` + `rules` agent-side and host the result with the
+    /// given injected backend fault.
+    LoadProgram {
+        /// Program source text.
+        source: String,
+        /// Rule-set text.
+        rules: String,
+        /// Backend fault to inject (`Fault::None` for a faithful target).
+        fault: Fault,
+    },
+    /// Recompile the hosted program with a new rule set.
+    InstallRules {
+        /// Rule-set text.
+        rules: String,
+    },
+    /// Inject one packet; answered by [`Response::Output`] carrying `id`.
+    Inject {
+        /// The packet-ID stamp (§4) — echoed in the response.
+        id: u64,
+        /// Raw packet bytes.
+        bytes: Vec<u8>,
+    },
+    /// Ask for cumulative traffic counters.
+    Stats,
+    /// Stop the agent's accept loop.
+    Shutdown,
+}
+
+/// Agent → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake answer.
+    Hello {
+        /// Agent protocol version.
+        version: u64,
+        /// Whether a program is currently hosted.
+        loaded: bool,
+        /// The hosted target's fault label (`"none"` when faithful or when
+        /// nothing is loaded) — becomes the report's `target_label`.
+        label: String,
+    },
+    /// Success without payload.
+    Ok,
+    /// Failure; the connection stays usable.
+    Err {
+        /// What went wrong.
+        msg: String,
+    },
+    /// The switch's observable behaviour for one injected packet.
+    Output {
+        /// Echo of the inject's packet-ID stamp.
+        id: u64,
+        /// Emitted packet bytes, or `None` for a drop.
+        packet: Option<Vec<u8>>,
+        /// Logical egress port, when forwarded.
+        port: Option<Bv>,
+        /// Final-state snapshot as `(field name, width, value)` triples —
+        /// the hardware-model register dump the checker validates intents
+        /// against.
+        state: Vec<(String, u16, u128)>,
+    },
+    /// Cumulative traffic counters.
+    Stats {
+        /// Packets injected.
+        injected: u64,
+        /// Packets forwarded.
+        forwarded: u64,
+        /// Packets dropped.
+        dropped: u64,
+        /// Forwarded-packet tally per logical egress port value.
+        per_port: Vec<(u128, u64)>,
+    },
+}
+
+/// Encodes a [`Fault`] as JSON, tagged with its [`Fault::name`] string.
+pub fn fault_to_json(fault: &Fault) -> Json {
+    match fault {
+        Fault::None | Fault::ChecksumNotUpdated | Fault::PriorityInverted => {
+            Json::Str(fault.name().into())
+        }
+        Fault::SetValidDropped { header } => tagged(
+            fault.name(),
+            Json::Obj(vec![("header".into(), header.to_json())]),
+        ),
+        Fault::FieldOverlap { a, b } => tagged(
+            fault.name(),
+            Json::Obj(vec![("a".into(), a.to_json()), ("b".into(), b.to_json())]),
+        ),
+        Fault::WrongArithComparison { width } => tagged(
+            fault.name(),
+            Json::Obj(vec![("width".into(), (*width as u64).to_json())]),
+        ),
+        Fault::WrongAssignment { intended, actual } => tagged(
+            fault.name(),
+            Json::Obj(vec![
+                ("intended".into(), intended.to_json()),
+                ("actual".into(), actual.to_json()),
+            ]),
+        ),
+        Fault::WrongConstant { field, xor_mask } => tagged(
+            fault.name(),
+            Json::Obj(vec![
+                ("field".into(), field.to_json()),
+                ("xor_mask".into(), Json::UInt(*xor_mask)),
+            ]),
+        ),
+    }
+}
+
+/// Decodes a [`Fault`] from its tagged JSON encoding.
+pub fn fault_from_json(v: &Json) -> Result<Fault, JsonError> {
+    let (tag, payload) = untag(v)?;
+    Ok(match tag {
+        "none" => Fault::None,
+        "checksum-not-updated" => Fault::ChecksumNotUpdated,
+        "priority-inverted" => Fault::PriorityInverted,
+        "setValid-dropped" => Fault::SetValidDropped {
+            header: String::from_json(payload.field("header")?)?,
+        },
+        "field-overlap" => Fault::FieldOverlap {
+            a: String::from_json(payload.field("a")?)?,
+            b: String::from_json(payload.field("b")?)?,
+        },
+        "wrong-arith-comparison" => Fault::WrongArithComparison {
+            width: u16::from_json(payload.field("width")?)?,
+        },
+        "wrong-assignment" => Fault::WrongAssignment {
+            intended: String::from_json(payload.field("intended")?)?,
+            actual: String::from_json(payload.field("actual")?)?,
+        },
+        "wrong-constant" => Fault::WrongConstant {
+            field: String::from_json(payload.field("field")?)?,
+            xor_mask: payload.field("xor_mask")?.as_u128()?,
+        },
+        other => return Err(JsonError::new(format!("unknown fault tag `{other}`"))),
+    })
+}
+
+/// Lowercase-hex encoding for packet bytes.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a lowercase/uppercase hex string.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, JsonError> {
+    if s.len() % 2 != 0 {
+        return Err(JsonError::new("hex string has odd length"));
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| JsonError::new("invalid hex digit"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| JsonError::new("invalid hex digit"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+fn obj(t: &str, mut rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![("t".to_string(), Json::Str(t.into()))];
+    pairs.append(&mut rest);
+    Json::Obj(pairs)
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Hello { version } => obj("hello", vec![("v".into(), version.to_json())]),
+            Request::LoadProgram {
+                source,
+                rules,
+                fault,
+            } => obj(
+                "load_program",
+                vec![
+                    ("source".into(), source.to_json()),
+                    ("rules".into(), rules.to_json()),
+                    ("fault".into(), fault_to_json(fault)),
+                ],
+            ),
+            Request::InstallRules { rules } => {
+                obj("install_rules", vec![("rules".into(), rules.to_json())])
+            }
+            Request::Inject { id, bytes } => obj(
+                "inject",
+                vec![
+                    ("id".into(), id.to_json()),
+                    ("bytes".into(), Json::Str(hex_encode(bytes))),
+                ],
+            ),
+            Request::Stats => obj("stats", vec![]),
+            Request::Shutdown => obj("shutdown", vec![]),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let t = v.field("t")?.as_str()?;
+        Ok(match t {
+            "hello" => Request::Hello {
+                version: u64::from_json(v.field("v")?)?,
+            },
+            "load_program" => Request::LoadProgram {
+                source: String::from_json(v.field("source")?)?,
+                rules: String::from_json(v.field("rules")?)?,
+                fault: fault_from_json(v.field("fault")?)?,
+            },
+            "install_rules" => Request::InstallRules {
+                rules: String::from_json(v.field("rules")?)?,
+            },
+            "inject" => Request::Inject {
+                id: u64::from_json(v.field("id")?)?,
+                bytes: hex_decode(v.field("bytes")?.as_str()?)?,
+            },
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(JsonError::new(format!("unknown request `{other}`"))),
+        })
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Hello {
+                version,
+                loaded,
+                label,
+            } => obj(
+                "hello",
+                vec![
+                    ("v".into(), version.to_json()),
+                    ("loaded".into(), loaded.to_json()),
+                    ("label".into(), label.to_json()),
+                ],
+            ),
+            Response::Ok => obj("ok", vec![]),
+            Response::Err { msg } => obj("err", vec![("msg".into(), msg.to_json())]),
+            Response::Output {
+                id,
+                packet,
+                port,
+                state,
+            } => obj(
+                "output",
+                vec![
+                    ("id".into(), id.to_json()),
+                    (
+                        "packet".into(),
+                        match packet {
+                            Some(bytes) => Json::Str(hex_encode(bytes)),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "port".into(),
+                        match port {
+                            Some(bv) => bv.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "state".into(),
+                        Json::Arr(
+                            state
+                                .iter()
+                                .map(|(name, w, val)| {
+                                    Json::Arr(vec![
+                                        name.to_json(),
+                                        Json::UInt(*w as u128),
+                                        Json::UInt(*val),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+            Response::Stats {
+                injected,
+                forwarded,
+                dropped,
+                per_port,
+            } => obj(
+                "stats",
+                vec![
+                    ("injected".into(), injected.to_json()),
+                    ("forwarded".into(), forwarded.to_json()),
+                    ("dropped".into(), dropped.to_json()),
+                    (
+                        "per_port".into(),
+                        Json::Arr(
+                            per_port
+                                .iter()
+                                .map(|(port, n)| {
+                                    Json::Arr(vec![Json::UInt(*port), Json::UInt(*n as u128)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let t = v.field("t")?.as_str()?;
+        Ok(match t {
+            "hello" => Response::Hello {
+                version: u64::from_json(v.field("v")?)?,
+                loaded: v.field("loaded")?.as_bool()?,
+                label: String::from_json(v.field("label")?)?,
+            },
+            "ok" => Response::Ok,
+            "err" => Response::Err {
+                msg: String::from_json(v.field("msg")?)?,
+            },
+            "output" => Response::Output {
+                id: u64::from_json(v.field("id")?)?,
+                packet: match v.field("packet")? {
+                    Json::Null => None,
+                    Json::Str(s) => Some(hex_decode(s)?),
+                    _ => {
+                        return Err(JsonError::new(
+                            "Output.packet: expected hex string or null",
+                        ))
+                    }
+                },
+                port: match v.field("port")? {
+                    Json::Null => None,
+                    other => Some(Bv::from_json(other)?),
+                },
+                state: {
+                    let mut triples = Vec::new();
+                    for item in v.field("state")?.as_arr()? {
+                        let row = item.as_arr()?;
+                        if row.len() != 3 {
+                            return Err(JsonError::new("Output.state row must be a triple"));
+                        }
+                        triples.push((
+                            String::from_json(&row[0])?,
+                            u16::from_json(&row[1])?,
+                            row[2].as_u128()?,
+                        ));
+                    }
+                    triples
+                },
+            },
+            "stats" => Response::Stats {
+                injected: u64::from_json(v.field("injected")?)?,
+                forwarded: u64::from_json(v.field("forwarded")?)?,
+                dropped: u64::from_json(v.field("dropped")?)?,
+                per_port: {
+                    let mut pairs = Vec::new();
+                    for item in v.field("per_port")?.as_arr()? {
+                        let row = item.as_arr()?;
+                        if row.len() != 2 {
+                            return Err(JsonError::new("Stats.per_port row must be a pair"));
+                        }
+                        pairs.push((row[0].as_u128()?, u64::from_json(&row[1])?));
+                    }
+                    pairs
+                },
+            },
+            other => return Err(JsonError::new(format!("unknown response `{other}`"))),
+        })
+    }
+}
+
+/// Encodes a message into frame payload bytes.
+pub fn encode<T: ToJson>(msg: &T) -> Vec<u8> {
+    msg.to_json().to_text().into_bytes()
+}
+
+/// Decodes frame payload bytes into a message. Fails on non-UTF-8, bad
+/// JSON (e.g. a transport-truncated frame), or an unknown message type.
+pub fn decode<T: FromJson>(payload: &[u8]) -> Result<T, JsonError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| JsonError::new("frame payload is not UTF-8"))?;
+    T::from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(decode::<Request>(&encode(&r)).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(decode::<Response>(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello { version: 1 });
+        roundtrip_req(Request::LoadProgram {
+            source: "header h { x: 8; }".into(),
+            rules: "".into(),
+            fault: Fault::WrongArithComparison { width: 16 },
+        });
+        roundtrip_req(Request::InstallRules { rules: "r".into() });
+        roundtrip_req(Request::Inject {
+            id: 42,
+            bytes: vec![0x00, 0xff, 0x10],
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Hello {
+            version: 1,
+            loaded: true,
+            label: "none".into(),
+        });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Err { msg: "boom".into() });
+        roundtrip_resp(Response::Output {
+            id: 7,
+            packet: Some(vec![1, 2, 3]),
+            port: Some(Bv::new(9, 3)),
+            state: vec![("meta.drop".into(), 1, 0), ("hdr.ipv4.ttl".into(), 8, 64)],
+        });
+        roundtrip_resp(Response::Output {
+            id: 8,
+            packet: None,
+            port: None,
+            state: vec![],
+        });
+        roundtrip_resp(Response::Stats {
+            injected: 10,
+            forwarded: 7,
+            dropped: 3,
+            per_port: vec![(3, 5), (4, 2)],
+        });
+    }
+
+    #[test]
+    fn every_fault_variant_roundtrips() {
+        let all = [
+            Fault::None,
+            Fault::SetValidDropped {
+                header: "vxlan".into(),
+            },
+            Fault::FieldOverlap {
+                a: "hdr.tcp.seqno".into(),
+                b: "hdr.tcp.ackno".into(),
+            },
+            Fault::WrongArithComparison { width: 8 },
+            Fault::WrongAssignment {
+                intended: "a".into(),
+                actual: "b".into(),
+            },
+            Fault::ChecksumNotUpdated,
+            Fault::WrongConstant {
+                field: "f".into(),
+                xor_mask: 0xff00,
+            },
+            Fault::PriorityInverted,
+        ];
+        for fault in all {
+            let back = fault_from_json(&fault_to_json(&fault)).unwrap();
+            assert_eq!(back, fault);
+        }
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+        assert_eq!(hex_decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Corpus-level wire/in-process equivalence, and transport-fault immunity.
+//!
+//! These are the ISSUE's acceptance checks (and the ci.sh loopback smoke
+//! test): with transport faults off, the wire driver's `TestReport` is
+//! verdict-for-verdict identical to the in-process driver's on the gateway
+//! corpus — zero spurious failures on a faithful target — and with
+//! transport faults on, the retry/dedup/drain machinery never lets a lossy
+//! transport masquerade as a data plane bug.
+
+use meissa_core::Meissa;
+use meissa_dataplane::SwitchTarget;
+use meissa_driver::{TestDriver, TestReport, Verdict};
+use meissa_netdriver::{Agent, TransportFaults, WireDriver};
+use meissa_suite::gw::{gw, GwScale};
+use std::time::Duration;
+
+fn verdicts(report: &TestReport) -> Vec<(usize, Verdict)> {
+    report
+        .cases
+        .iter()
+        .map(|c| (c.template_id, c.verdict.clone()))
+        .collect()
+}
+
+#[test]
+fn gw3_loopback_smoke_matches_in_process_with_zero_failures() {
+    let w = gw(3, GwScale { eips: 4 });
+    let program = &w.program;
+
+    let agent = Agent::spawn(Some(SwitchTarget::new(program)), None).unwrap();
+    let mut run = Meissa::new().run(program);
+    let wire = WireDriver::new(program, agent.addr())
+        .with_connections(4)
+        .run(&mut run)
+        .unwrap();
+    agent.shutdown();
+
+    assert_eq!(
+        wire.failed(),
+        0,
+        "faithful gw-3 over loopback must be clean: {wire}"
+    );
+    assert!(wire.passed() > 0, "smoke run exercised no cases");
+
+    let mut run = Meissa::new().run(program);
+    let local = TestDriver::new(program).run(&mut run, &SwitchTarget::new(program));
+    assert_eq!(
+        verdicts(&wire),
+        verdicts(&local),
+        "wire and in-process reports diverge on gw-3"
+    );
+    assert!(wire.latency_p99() >= wire.latency_p50());
+}
+
+#[test]
+fn transport_faults_are_not_bugs_on_the_gateway_corpus() {
+    let w = gw(2, GwScale { eips: 4 });
+    let program = &w.program;
+
+    // 4% drop/dup/delay/truncate each, across 2 connections.
+    let agent = Agent::spawn(
+        Some(SwitchTarget::new(program)),
+        Some(TransportFaults::uniform(0x5EED, 40)),
+    )
+    .unwrap();
+    let mut run = Meissa::new().run(program);
+    let wire = WireDriver::new(program, agent.addr())
+        .with_connections(2)
+        .with_retries(Duration::from_millis(50), 10, Duration::from_millis(10))
+        .run(&mut run)
+        .unwrap();
+    agent.shutdown();
+
+    assert_eq!(
+        wire.failed(),
+        0,
+        "transport faults surfaced as bug verdicts: {wire}"
+    );
+    assert!(wire.passed() > 0);
+}

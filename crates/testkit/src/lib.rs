@@ -12,6 +12,9 @@
 //!   encoder/parser, replacing the `serde`/`serde_json` derive stack.
 //! - [`bench`] — warmup + N-iteration micro-bench timer with median/p95
 //!   reporting, replacing `criterion`.
+//! - [`wire`] — length-framed message transport (4-byte big-endian length
+//!   prefix) over any `Read`/`Write`, used by the `meissa-netdriver` wire
+//!   protocol.
 //!
 //! This crate must stay dependency-free (including on other `meissa-*`
 //! crates): it is the root every other crate's dev/test plumbing hangs off.
@@ -20,7 +23,9 @@ pub mod bench;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod wire;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use prop::G;
 pub use rng::{RngExt, SeedableRng, StdRng};
+pub use wire::{write_frame, FrameReader, MAX_FRAME};

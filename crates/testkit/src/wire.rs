@@ -1,0 +1,206 @@
+//! Length-framed message transport over any `Read`/`Write` pair.
+//!
+//! The wire driver (`meissa-netdriver`) speaks JSON messages over TCP; this
+//! module supplies the framing: a 4-byte big-endian length prefix followed
+//! by that many payload bytes (UTF-8 JSON text by convention, though the
+//! framing itself is payload-agnostic). The reader buffers partial frames
+//! internally, so a socket read timeout mid-frame never loses stream sync —
+//! the next poll resumes where the last one stopped.
+
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Frames larger than this are rejected as corrupt — a desynchronized
+/// stream's "length" is usually garbage, and this bounds the allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Incremental frame reader. Keeps partially-read frames across calls so a
+/// read timeout between (or inside) frames is recoverable.
+pub struct FrameReader<R> {
+    inner: R,
+    /// Bytes received but not yet assembled into a frame.
+    buf: Vec<u8>,
+    /// Payload length of the frame being assembled, once its header is in.
+    want: Option<usize>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            want: None,
+        }
+    }
+
+    /// The wrapped stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Tries to complete a frame from buffered bytes alone.
+    fn take_buffered(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.want.is_none() && self.buf.len() >= 4 {
+            let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                as usize;
+            if len > MAX_FRAME {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("frame header claims {len} bytes; stream desynchronized"),
+                ));
+            }
+            self.buf.drain(..4);
+            self.want = Some(len);
+        }
+        if let Some(len) = self.want {
+            if self.buf.len() >= len {
+                let rest = self.buf.split_off(len);
+                let frame = std::mem::replace(&mut self.buf, rest);
+                self.want = None;
+                return Ok(Some(frame));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads until one frame is complete, a read would block/time out
+    /// (`Ok(None)`), or the stream errors. EOF mid-stream surfaces as
+    /// `UnexpectedEof`.
+    pub fn poll_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if let Some(frame) = self.take_buffered()? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "stream closed mid-conversation",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks until a frame arrives (retrying over read timeouts).
+    pub fn next_frame(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            if let Some(frame) = self.poll_frame()? {
+                return Ok(frame);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that delivers its script one slice per `read` call, with
+    /// `WouldBlock` errors interleaved — a socket with a short timeout.
+    struct Chunked {
+        chunks: Vec<Option<Vec<u8>>>,
+        at: usize,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let Some(slot) = self.chunks.get(self.at) else {
+                return Ok(0);
+            };
+            self.at += 1;
+            match slot {
+                None => Err(io::Error::new(ErrorKind::WouldBlock, "timeout")),
+                Some(bytes) => {
+                    out[..bytes.len()].copy_from_slice(bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xffu8; 300]).unwrap();
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(r.next_frame().unwrap(), b"hello");
+        assert_eq!(r.next_frame().unwrap(), b"");
+        assert_eq!(r.next_frame().unwrap(), vec![0xffu8; 300]);
+    }
+
+    #[test]
+    fn partial_delivery_and_timeouts_keep_sync() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        write_frame(&mut wire, b"XY").unwrap();
+        // Split the stream at awkward points: mid-header, mid-payload, and
+        // interleave timeouts.
+        let chunks = vec![
+            Some(wire[..2].to_vec()),
+            None,
+            Some(wire[2..5].to_vec()),
+            None,
+            Some(wire[5..11].to_vec()),
+            Some(wire[11..].to_vec()),
+        ];
+        let mut r = FrameReader::new(Chunked { chunks, at: 0 });
+        let mut frames = Vec::new();
+        loop {
+            match r.poll_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => continue,
+                Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(frames, vec![b"abcdef".to_vec(), b"XY".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected() {
+        let mut wire = (u32::MAX).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(
+            r.next_frame().unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn eof_between_frames_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"only").unwrap();
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(r.next_frame().unwrap(), b"only");
+        assert_eq!(
+            r.next_frame().unwrap_err().kind(),
+            ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Driving a *remote* switch over the wire protocol (§4's test setup).
+//!
+//! In production the switch-agent daemon (`meissa-agent`) runs next to the
+//! hardware; here it is spawned in-process on a loopback port so the
+//! example is self-contained. The client then does everything over TCP:
+//! pushes the program to the agent (compiled switch-side with an injected
+//! backend fault, standing in for a miscompiling toolchain), streams the
+//! generated test cases through the sender/receiver/checker, and prints
+//! the localization report for the fault the wire driver catches.
+//!
+//! ```sh
+//! cargo run --release --example remote_switch
+//! ```
+
+use meissa::core::Meissa;
+use meissa::dataplane::Fault;
+use meissa::driver::Verdict;
+use meissa::netdriver::{fetch_stats, load_program, Agent, WireDriver};
+
+const PROGRAM: &str = r#"
+header ethernet { dst: 48; src: 48; ether_type: 16; }
+header ipv4 { ttl: 8; protocol: 8; src_addr: 32; dst_addr: 32; checksum: 16; }
+header vxlan { vni: 24; }
+metadata meta { egress_port: 9; drop: 1; }
+parser main {
+  state start {
+    extract(ethernet);
+    select (hdr.ethernet.ether_type) { 0x0800 => parse_ipv4; default => accept; }
+  }
+  state parse_ipv4 { extract(ipv4); accept; }
+}
+action set_port(port: 9) { meta.egress_port = port; }
+action encap(vni: 24) {
+  hdr.vxlan.setValid();
+  hdr.vxlan.vni = vni;
+  hdr.ipv4.checksum = hash(csum16, 16, hdr.ipv4.src_addr, hdr.ipv4.dst_addr);
+}
+action drop_() { meta.drop = 1; }
+table route {
+  key = { hdr.ipv4.dst_addr: lpm; }
+  actions = { set_port; drop_; }
+  default_action = drop_();
+}
+control ig {
+  if (hdr.ipv4.isValid()) {
+    apply(route);
+    if (meta.drop == 0) { call encap(7); }
+  }
+}
+pipeline ingress0 { parser = main; control = ig; }
+deparser { emit(ethernet); emit(ipv4); emit(vxlan); }
+intent routed_packets_get_tunneled {
+  given hdr.ethernet.ether_type == 0x0800;
+  expect meta.drop == 1 || hdr.vxlan.$valid == 1;
+}
+"#;
+
+const RULES: &str = "rules route { 10.0.0.0/8 => set_port(3); }";
+
+fn main() {
+    // The "remote" switch: an empty agent daemon on a loopback port.
+    let agent = Agent::spawn(None, None).expect("spawn switch agent");
+    println!("switch agent listening on {}", agent.addr());
+
+    // Ship the program to the agent. The switch-side toolchain is broken:
+    // checksum-update writes are silently dropped (Table 2's bug class 16).
+    load_program(agent.addr(), PROGRAM, RULES, Fault::ChecksumNotUpdated)
+        .expect("load program onto agent");
+    println!("program loaded agent-side (with a checksum-engine fault)\n");
+
+    // Client side: compile the *intended* program, generate full-coverage
+    // test cases, and stream them through the wire driver. The client's
+    // local reference execution supplies expected outputs, so any
+    // switch-side deviation — here the stale checksum — surfaces.
+    let cp = {
+        let ast = meissa::lang::parse_program(PROGRAM).unwrap();
+        let rules = meissa::lang::parse_rules(RULES).unwrap();
+        meissa::lang::compile(&ast, &rules).unwrap()
+    };
+    let mut run = Meissa::new().run(&cp);
+    let report = WireDriver::new(&cp, agent.addr())
+        .with_connections(2)
+        .run(&mut run)
+        .expect("drive remote switch");
+
+    println!("{report}");
+    for case in report
+        .cases
+        .iter()
+        .filter(|c| !matches!(c.verdict, Verdict::Pass | Verdict::Skipped { .. }))
+    {
+        println!("template {} localizes the fault:", case.template_id);
+        println!("  verdict: {:?}", case.verdict);
+        for line in &case.trace {
+            println!("  {line}");
+        }
+    }
+
+    let (injected, forwarded, dropped, per_port) =
+        fetch_stats(agent.addr()).expect("fetch agent stats");
+    println!("\nagent saw {injected} injections ({forwarded} forwarded, {dropped} dropped)");
+    for (port, n) in per_port {
+        println!("  egress port {port}: {n} packets");
+    }
+
+    agent.shutdown();
+    assert!(report.found_bug(), "the checksum fault must be caught");
+}

@@ -21,6 +21,13 @@ echo "==> test (offline, parallel engine: MEISSA_THREADS=4)"
 # output), so this catches any thread-count-dependent behavior.
 MEISSA_THREADS=4 cargo test -q --offline --workspace
 
+echo "==> loopback smoke test: gw-3 through the wire driver"
+# Spawns the switch agent on an ephemeral loopback port and streams the
+# gw-3 suite through the TCP sender/receiver/checker (transport faults
+# off); the test asserts zero spurious failures and verdict-for-verdict
+# agreement with the in-process driver.
+cargo test -q --offline -p meissa-suite --test wire_equivalence
+
 echo "==> dependency guard: workspace crates only"
 # Every line of the flat dependency listing must be a meissa-* path crate
 # (or the facade crate `meissa` itself). Anything else is an external

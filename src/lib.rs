@@ -13,6 +13,8 @@
 //! * [`dataplane`] — the software switch target and fault-injection backend.
 //! * [`core`] — symbolic execution (Alg. 1) and code summary (Alg. 2).
 //! * [`driver`] — the sender/receiver/checker test driver and reports.
+//! * [`netdriver`] — the wire-level driver: switch-agent daemon + TCP
+//!   sender/receiver/checker with retries and transport-fault injection.
 //! * [`suite`] — the evaluation corpus (Table 1 programs, rule sets, bugs).
 //! * [`baselines`] — p4pktgen-like, Gauntlet-like, and Aquila-like baselines.
 //! * [`testkit`] — in-repo RNG, property-testing, JSON, and bench support.
@@ -26,6 +28,7 @@ pub use meissa_dataplane as dataplane;
 pub use meissa_driver as driver;
 pub use meissa_ir as ir;
 pub use meissa_lang as lang;
+pub use meissa_netdriver as netdriver;
 pub use meissa_num as num;
 pub use meissa_smt as smt;
 pub use meissa_suite as suite;
