@@ -189,16 +189,19 @@ fn parallel_scaling() {
     let mut table = String::from(
         "Parallel scaling: work-stealing DFS across thread counts\n\
          (best of 3; speedup is vs the threads=1 run of the same row)\n\n\
-         Note: this container exposes a single CPU, so no true thread\n\
-         concurrency is available. The speedup measured here is algorithmic:\n\
-         each worker periodically retires its incremental solver, so its SAT\n\
-         clause database stays small, while the sequential engine drags one\n\
-         ever-growing database through the whole tree. On a multi-core host\n\
-         the thread-level parallelism stacks on top of this.\n\n",
+         Note: this container exposes a single CPU. The engine right-sizes\n\
+         its worker pool to the available parallelism (and to the possible-\n\
+         path mass below the exploration root), so requesting more threads\n\
+         than cores now degenerates to the sequential engine instead of\n\
+         paying fork/steal/merge overhead for no concurrency — the speedup\n\
+         column should sit near 1.00x for every row on this host. On a\n\
+         multi-core host real thread-level scaling appears, stacked on the\n\
+         workers' periodic solver retirement (which keeps each SAT clause\n\
+         database small).\n\n",
     );
     table.push_str(&format!(
-        "{:<24} {:>8} {:>10} {:>12} {:>10} {:>9}\n",
-        "program/engine", "threads", "wall ms", "smt_checks", "templates", "speedup"
+        "{:<24} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9}\n",
+        "program/engine", "threads", "wall ms", "smt_checks", "sat_calls", "templates", "speedup"
     ));
     let mut rows: Vec<Json> = Vec::new();
 
@@ -235,14 +238,17 @@ fn parallel_scaling() {
             }
             let speedup = base_ms / ms;
             table.push_str(&format!(
-                "{name:<24} {threads:>8} {ms:>10.1} {:>12} {:>10} {speedup:>8.2}x\n",
-                run.smt_checks, run.templates
+                "{name:<24} {threads:>8} {ms:>10.1} {:>12} {:>12} {:>10} {speedup:>8.2}x\n",
+                run.smt_checks, run.sat_engine_calls, run.templates
             ));
             rows.push(Json::Obj(vec![
                 ("program".into(), name.as_str().to_json()),
                 ("threads".into(), (threads as u64).to_json()),
                 ("wall_ms".into(), ms.to_json()),
                 ("smt_checks".into(), run.smt_checks.to_json()),
+                ("sat_engine_calls".into(), run.sat_engine_calls.to_json()),
+                ("batched_probes".into(), run.batched_probes.to_json()),
+                ("arm_batches".into(), run.arm_batches.to_json()),
                 ("templates".into(), (run.templates as u64).to_json()),
                 ("speedup_vs_1".into(), speedup.to_json()),
             ]));
@@ -329,7 +335,55 @@ fn netdriver_loopback() {
     .expect("write BENCH_netdriver.json");
 }
 
+/// CI smoke: one gw-3-r8 run per engine, checked against the golden
+/// counters the checked-in `BENCH_parallel.json` rows were recorded with.
+/// Catches silent drift in `smt_checks` (the Fig. 11b metric must stay
+/// comparable across solver-strategy changes — a batched arm still counts
+/// as one check) and in the template count. Run via
+/// `MEISSA_BENCH_SMOKE=1 cargo bench -p meissa-bench`, as `scripts/ci.sh`
+/// does; any drift panics, failing the bench run.
+fn bench_smoke() {
+    const GOLDEN_DFS_SMT_CHECKS: u64 = 12648;
+    const GOLDEN_SUMMARY_SMT_CHECKS: u64 = 11406;
+    const GOLDEN_TEMPLATES: usize = 253;
+
+    let w = gw(3, GwScale { eips: 8 });
+    let dfs = measure(&w, MeissaConfig { code_summary: false, threads: 1, ..MeissaConfig::default() });
+    assert_eq!(
+        dfs.smt_checks, GOLDEN_DFS_SMT_CHECKS,
+        "gw-3-r8/dfs smt_checks drifted from the recorded golden"
+    );
+    assert_eq!(
+        dfs.templates, GOLDEN_TEMPLATES,
+        "gw-3-r8/dfs template count drifted from the recorded golden"
+    );
+    let summary = measure(&w, MeissaConfig { threads: 1, ..MeissaConfig::default() });
+    assert_eq!(
+        summary.smt_checks, GOLDEN_SUMMARY_SMT_CHECKS,
+        "gw-3-r8/summary smt_checks drifted from the recorded golden"
+    );
+    assert_eq!(
+        summary.templates, GOLDEN_TEMPLATES,
+        "gw-3-r8/summary template count drifted from the recorded golden"
+    );
+    println!(
+        "bench smoke OK: gw-3-r8 dfs {} checks ({} sat calls, {} batched), \
+         summary {} checks ({} sat calls, {} batched), {} templates",
+        dfs.smt_checks,
+        dfs.sat_engine_calls,
+        dfs.batched_probes,
+        summary.smt_checks,
+        summary.sat_engine_calls,
+        summary.batched_probes,
+        dfs.templates,
+    );
+}
+
 fn main() {
+    if std::env::var_os("MEISSA_BENCH_SMOKE").is_some() {
+        bench_smoke();
+        return;
+    }
     fig7_redundancy();
     fig9_scalability();
     fig11_summary();

@@ -33,6 +33,14 @@ pub struct EngineRun {
     /// log10 of possible paths in the CFG the final generation ran on
     /// (Fig. 11c/12c metric).
     pub log10_paths: f64,
+    /// SAT-engine invocations behind the checks — the cost `smt_checks`
+    /// alone hides: fast paths, verdict-cache hits, model reuse, and
+    /// batched assumption probes all answer checks without one.
+    pub sat_engine_calls: u64,
+    /// Sibling-arm probes answered through batched `check_under` calls.
+    pub batched_probes: u64,
+    /// Batched sibling probes issued (≥ 2 arms each).
+    pub arm_batches: u64,
     /// True when the time budget expired.
     pub timed_out: bool,
 }
@@ -44,6 +52,9 @@ impl ToJson for EngineRun {
             ("smt_checks".into(), self.smt_checks.to_json()),
             ("templates".into(), self.templates.to_json()),
             ("log10_paths".into(), self.log10_paths.to_json()),
+            ("sat_engine_calls".into(), self.sat_engine_calls.to_json()),
+            ("batched_probes".into(), self.batched_probes.to_json()),
+            ("arm_batches".into(), self.arm_batches.to_json()),
             ("timed_out".into(), self.timed_out.to_json()),
         ])
     }
@@ -60,6 +71,23 @@ impl FromJson for EngineRun {
                 .map_err(|e: JsonError| e.context("EngineRun.templates"))?,
             log10_paths: FromJson::from_json(v.field("log10_paths")?)
                 .map_err(|e: JsonError| e.context("EngineRun.log10_paths"))?,
+            // Counters introduced after the first captured runs: absent in
+            // old JSON, so default to 0 rather than failing the parse.
+            sat_engine_calls: v
+                .field("sat_engine_calls")
+                .ok()
+                .map_or(Ok(0), FromJson::from_json)
+                .map_err(|e: JsonError| e.context("EngineRun.sat_engine_calls"))?,
+            batched_probes: v
+                .field("batched_probes")
+                .ok()
+                .map_or(Ok(0), FromJson::from_json)
+                .map_err(|e: JsonError| e.context("EngineRun.batched_probes"))?,
+            arm_batches: v
+                .field("arm_batches")
+                .ok()
+                .map_or(Ok(0), FromJson::from_json)
+                .map_err(|e: JsonError| e.context("EngineRun.arm_batches"))?,
             timed_out: FromJson::from_json(v.field("timed_out")?)
                 .map_err(|e: JsonError| e.context("EngineRun.timed_out"))?,
         })
@@ -76,6 +104,9 @@ pub fn measure(w: &Workload, config: MeissaConfig) -> EngineRun {
         smt_checks: out.stats.smt_checks,
         templates: out.templates.len(),
         log10_paths: out.stats.paths_after.log10(),
+        sat_engine_calls: out.stats.solver.sat_engine_calls,
+        batched_probes: out.stats.batched_probes,
+        arm_batches: out.stats.arm_batches,
         timed_out: out.stats.timed_out,
     }
 }
@@ -161,6 +192,9 @@ mod tests {
             smt_checks: 10,
             templates: 5,
             log10_paths: 42.0,
+            sat_engine_calls: 7,
+            batched_probes: 6,
+            arm_batches: 2,
             timed_out: false,
         };
         assert_eq!(cell(&ok), "1.23s");

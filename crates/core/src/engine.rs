@@ -40,6 +40,16 @@ pub struct MeissaConfig {
     /// deterministic (merged paths are sorted into sequential DFS order
     /// before template generation).
     pub threads: usize,
+    /// Batched sibling-arm probing through the solver's assumption API;
+    /// see [`ExecConfig::batched_probing`]. `false` restores the per-arm
+    /// `push/assert/check/pop` reference path (identical output, more
+    /// SAT-engine work).
+    pub batched_probing: bool,
+    /// Parallel-exploration right-sizing; see
+    /// [`ExecConfig::min_paths_per_worker`]. `0` disables the cap and
+    /// spawns exactly `threads` workers (tests exercising the parallel
+    /// machinery on small inputs).
+    pub min_paths_per_worker: u64,
 }
 
 /// Default thread count: `MEISSA_THREADS` if set and parseable (clamped to
@@ -63,6 +73,8 @@ impl Default for MeissaConfig {
             max_templates: None,
             time_budget: None,
             threads: default_threads(),
+            batched_probing: true,
+            min_paths_per_worker: ExecConfig::default().min_paths_per_worker,
         }
     }
 }
@@ -76,6 +88,9 @@ impl MeissaConfig {
             max_templates: self.max_templates,
             time_budget: self.time_budget,
             threads: self.threads.max(1),
+            batched_probing: self.batched_probing,
+            min_paths_per_worker: self.min_paths_per_worker,
+            ..ExecConfig::default()
         }
     }
 }
@@ -114,6 +129,13 @@ pub struct RunStats {
     pub cache_probes: u64,
     /// Probes answered from the verdict cache without invoking the solver.
     pub cache_hits: u64,
+    /// Sibling-arm probes routed through the batched assumption API
+    /// ([`meissa_smt::Solver::check_under`]) instead of individual
+    /// `push/assert/check/pop` cycles. Each batched arm still counts as one
+    /// `smt_checks`, keeping the Fig. 11b metric comparable.
+    pub batched_probes: u64,
+    /// Batched sibling probes issued (each covering ≥ 2 arms).
+    pub arm_batches: u64,
     /// True when a time budget expired before completion.
     pub timed_out: bool,
 }
@@ -126,6 +148,16 @@ impl RunStats {
             0.0
         } else {
             self.cache_hits as f64 / self.cache_probes as f64
+        }
+    }
+
+    /// Mean number of sibling arms per batched probe (`0.0` when no batch
+    /// was issued) — the fan-in `check_under` amortizes per branch point.
+    pub fn arms_per_batch(&self) -> f64 {
+        if self.arm_batches == 0 {
+            0.0
+        } else {
+            self.batched_probes as f64 / self.arm_batches as f64
         }
     }
 }
@@ -237,6 +269,8 @@ impl Meissa {
         // both phases, so they carry the run-wide cache totals.
         stats.cache_probes = session.exec.cache_probes;
         stats.cache_hits = session.exec.cache_hits;
+        stats.batched_probes = session.exec.batched_probes;
+        stats.arm_batches = session.exec.arm_batches;
         stats.solver = session.solver_stats();
         stats.elapsed = t0.elapsed();
 

@@ -51,6 +51,21 @@ pub struct ExecConfig {
     /// `max_templates` or a time budget, which subset survives the cap can
     /// differ across thread counts.
     pub threads: usize,
+    /// Right-sizing for the parallel frontier: an extra worker joins the
+    /// pool only when the saturating possible-path estimate below the
+    /// exploration root grants it at least this many paths. Tiny trees
+    /// otherwise pay fork/steal/merge overhead with nothing to share
+    /// (gw-3-r8 at 8 threads ran at 0.54× sequential). `0` disables the
+    /// cap — used by tests that exercise the parallel machinery on
+    /// deliberately small graphs.
+    pub min_paths_per_worker: u64,
+    /// Probe all sibling arms of a branch point through one batched
+    /// [`meissa_smt::Solver::check_under`] call (assumption literals over
+    /// the blasted prefix, learned clauses retained across siblings)
+    /// instead of a `push/assert/check/pop` cycle per arm. Verdicts,
+    /// counters, and templates are identical either way; `false` keeps the
+    /// per-arm reference path that the equivalence suite compares against.
+    pub batched_probing: bool,
 }
 
 impl Default for ExecConfig {
@@ -62,6 +77,8 @@ impl Default for ExecConfig {
             max_templates: None,
             time_budget: None,
             threads: 1,
+            min_paths_per_worker: 512,
+            batched_probing: true,
         }
     }
 }
@@ -164,10 +181,29 @@ pub struct ExecStats {
     pub cache_probes: u64,
     /// Probes answered from the verdict cache without invoking the solver.
     pub cache_hits: u64,
+    /// Sibling-arm probes issued through batched branch expansion
+    /// ([`crate::session::SolveSession::probe_arms`] /
+    /// [`meissa_smt::Solver::check_under`]). Each batched arm still counts
+    /// one `smt_checks`, so this splits the Fig. 11b metric by probing
+    /// style rather than adding to it.
+    pub batched_probes: u64,
+    /// Branch points whose sibling arms were probed as one batch.
+    pub arm_batches: u64,
     /// Wall-clock time of the execution.
     pub elapsed: Duration,
     /// True when the time budget expired before completion.
     pub timed_out: bool,
+}
+
+impl ExecStats {
+    /// Mean sibling arms per batched branch probe (0 when nothing batched).
+    pub fn arms_per_batch(&self) -> f64 {
+        if self.arm_batches == 0 {
+            0.0
+        } else {
+            self.batched_probes as f64 / self.arm_batches as f64
+        }
+    }
 }
 
 /// The result of a symbolic execution.
@@ -274,7 +310,7 @@ pub fn raw_paths_to_templates(
 /// Splits a boolean term into its top-level conjuncts, appending them to
 /// `out`. `a && (b && c)` yields `[a, b, c]`; non-conjunction terms are
 /// appended as-is.
-fn flatten_conjuncts(pool: &TermPool, t: TermId, out: &mut Vec<TermId>) {
+pub(crate) fn flatten_conjuncts(pool: &TermPool, t: TermId, out: &mut Vec<TermId>) {
     if let meissa_smt::TermNode::BoolAnd(a, b) = *pool.node(t) {
         flatten_conjuncts(pool, a, out);
         flatten_conjuncts(pool, b, out);
@@ -488,7 +524,7 @@ pub(crate) fn explore_task(
     for &(f, t) in initial_values {
         v.set(f, t);
     }
-    walker.visit(pool, ctx, solver, &mut v, start);
+    walker.visit(pool, ctx, solver, &mut v, start, None);
     solver.pop();
     // Incremental checks are counted by the session's solver (delta since
     // the previous exploration); non-incremental checks were tallied
@@ -522,6 +558,18 @@ struct Walker<'a> {
     /// the current set.
     key_stack: Vec<String>,
     use_cache: bool,
+}
+
+/// One sibling arm's guard, translated and probed at the parent's branch
+/// point as part of a batch; the child's `visit` asserts it without
+/// re-translating or re-probing.
+struct PreArm {
+    /// The guard's conjuncts, sorted by canonical key.
+    conjuncts: Vec<TermId>,
+    /// Canonical keys of `conjuncts`, in the same order.
+    keys: Vec<String>,
+    /// The batched probe's verdict for `prefix ++ conjuncts`.
+    unsat: bool,
 }
 
 impl Walker<'_> {
@@ -578,6 +626,74 @@ impl Walker<'_> {
         unsat
     }
 
+    /// Translates the guards of the local sibling `Assume` arms under the
+    /// current value stack and probes them all in one batched solver
+    /// interaction ([`crate::session::probe_arms_cached`] →
+    /// [`meissa_smt::Solver::check_under`]). Returns one optional
+    /// [`PreArm`] per local child; `None` entries (markers, guards answered
+    /// by constant folding, non-predicate nodes, or the non-batching
+    /// baseline configurations) fall back to the per-node logic in `visit`.
+    /// Donated siblings are excluded by construction — their receiving
+    /// worker probes them itself, keeping per-arm accounting identical to a
+    /// sequential run.
+    fn probe_local_arms(
+        &mut self,
+        pool: &mut TermPool,
+        ctx: &mut SymCtx,
+        solver: &mut Solver,
+        v: &ValueStack,
+        local: &[NodeId],
+    ) -> Vec<Option<PreArm>> {
+        if !self.use_cache || !self.config.batched_probing {
+            return Vec::new();
+        }
+        let mut pres: Vec<Option<PreArm>> = Vec::new();
+        pres.resize_with(local.len(), || None);
+        let mut idx = Vec::new();
+        let mut terms = Vec::new();
+        let mut bundles: Vec<(Vec<TermId>, Vec<String>)> = Vec::new();
+        for (i, &child) in local.iter().enumerate() {
+            let Stmt::Assume(b) = self.cfg.stmt(child) else {
+                continue;
+            };
+            if b == &meissa_ir::BExp::True {
+                continue; // structural marker: no validity question
+            }
+            let t = ctx.bexp(pool, &self.cfg.fields, v, b);
+            if pool.as_bool_const(t).is_some() {
+                continue; // constant folding answers it in `visit`
+            }
+            let mut cs = Vec::new();
+            flatten_conjuncts(pool, t, &mut cs);
+            cs.sort_by_cached_key(|&c| pool.canonical_key(c));
+            let ks: Vec<String> = cs.iter().map(|&c| pool.canonical_key(c)).collect();
+            idx.push(i);
+            terms.push(t);
+            bundles.push((cs, ks));
+        }
+        if idx.is_empty() {
+            return pres;
+        }
+        let arm_keys: Vec<Vec<String>> = bundles.iter().map(|(_, ks)| ks.clone()).collect();
+        let unsats = crate::session::probe_arms_cached(
+            pool,
+            solver,
+            self.cache,
+            self.stats,
+            &self.key_stack,
+            &terms,
+            &arm_keys,
+        );
+        for ((i, (conjuncts, keys)), unsat) in idx.into_iter().zip(bundles).zip(unsats) {
+            pres[i] = Some(PreArm {
+                conjuncts,
+                keys,
+                unsat,
+            });
+        }
+        pres
+    }
+
     fn visit(
         &mut self,
         pool: &mut TermPool,
@@ -585,6 +701,7 @@ impl Walker<'_> {
         solver: &mut Solver,
         v: &mut ValueStack,
         node: NodeId,
+        pre: Option<PreArm>,
     ) {
         if self.out_of_budget() {
             return;
@@ -595,6 +712,26 @@ impl Walker<'_> {
         let constraints_mark = self.all_constraints.len();
 
         match self.cfg.stmt(node) {
+            Stmt::Assume(_) if pre.is_some() => {
+                // The parent's branch expansion already translated and
+                // probed this arm (one batched interaction across all local
+                // siblings, counted per arm exactly like the individual
+                // probes below). An infeasible arm prunes without ever
+                // materializing a solver frame or its guard clauses.
+                let arm = pre.unwrap();
+                if arm.unsat {
+                    feasible = false;
+                    self.stats.pruned += 1;
+                } else {
+                    solver.push();
+                    pushed = true;
+                    for (c, k) in arm.conjuncts.into_iter().zip(arm.keys) {
+                        solver.assert_term(pool, c);
+                        self.all_constraints.push(c);
+                        self.key_stack.push(k);
+                    }
+                }
+            }
             Stmt::Assume(b) => {
                 // Structural no-op markers carry no validity question;
                 // every other predicate node costs one validity check under
@@ -698,9 +835,13 @@ impl Walker<'_> {
                         }
                     }
                 }
-                for &c in local {
+                // Batched branch expansion: translate and probe every local
+                // sibling arm in one solver interaction before descending.
+                let mut pres = self.probe_local_arms(pool, ctx, solver, v, local);
+                for (i, &c) in local.iter().enumerate() {
                     let mark = v.mark();
-                    self.visit(pool, ctx, solver, v, c);
+                    let pre = pres.get_mut(i).and_then(Option::take);
+                    self.visit(pool, ctx, solver, v, c, pre);
                     v.restore(mark);
                     if self.out_of_budget() {
                         break;

@@ -192,6 +192,28 @@ fn cmp_paths(cfg: &Cfg, a: &[NodeId], b: &[NodeId]) -> std::cmp::Ordering {
     a.len().cmp(&b.len())
 }
 
+/// Saturating possible-path count below `start`, clamped to `limit`:
+/// [`meissa_ir::count_paths_between`] in `u64` arithmetic, since the worker
+/// cap only needs to distinguish "a handful" from "plenty" — real targets'
+/// exact counts (up to 10^390) are irrelevant here.
+fn possible_path_estimate(cfg: &Cfg, start: NodeId, limit: u64) -> u64 {
+    let order = cfg.topo_order();
+    let mut counts: HashMap<NodeId, u64> = HashMap::with_capacity(order.len());
+    for &n in order.iter().rev() {
+        let succ = cfg.succ(n);
+        let c = if succ.is_empty() {
+            1
+        } else {
+            succ.iter()
+                .map(|s| counts.get(s).copied().unwrap_or(1))
+                .fold(0u64, u64::saturating_add)
+                .min(limit)
+        };
+        counts.insert(n, c);
+    }
+    counts.get(&start).copied().unwrap_or(1)
+}
+
 struct WorkerOutput {
     session: SolveSession,
     ctx: SymCtx,
@@ -297,7 +319,26 @@ pub(crate) fn explore_parallel(
     initial_values: &[(FieldId, TermId)],
     config: &ExecConfig,
 ) -> (Vec<RawPath>, ExecStats) {
-    let threads = config.threads.max(1);
+    let mut threads = config.threads.max(1);
+    if threads > 1 && config.min_paths_per_worker > 0 {
+        // Right-size the pool before paying for it. Two caps:
+        //
+        // (a) machine cores — workers beyond the available parallelism
+        //     only add scheduling latency, and each still costs a pool
+        //     fork plus its share of the deterministic merge (observed:
+        //     gw-3-r8 dropped to 0.54× sequential when 8 workers shared
+        //     one core);
+        // (b) possible paths below the root — a subtree with fewer than
+        //     `min_paths_per_worker` paths per worker cannot keep the
+        //     frontier fed, so tiny trees fall back toward the sequential
+        //     engine. The estimate saturates, keeping the counting
+        //     O(V + E) in u64; huge graphs always pass this cap.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        threads = threads.min(cores);
+        let limit = (threads as u64).saturating_mul(config.min_paths_per_worker);
+        let est = possible_path_estimate(cfg, start, limit);
+        threads = threads.min((est / config.min_paths_per_worker).max(1) as usize);
+    }
     if threads == 1 {
         let mut paths = Vec::new();
         let stats = crate::exec::explore_multi(
@@ -424,6 +465,8 @@ pub(crate) fn explore_parallel(
         stats.smt_checks += out.session.exec.smt_checks;
         stats.cache_probes += out.session.exec.cache_probes;
         stats.cache_hits += out.session.exec.cache_hits;
+        stats.batched_probes += out.session.exec.batched_probes;
+        stats.arm_batches += out.session.exec.arm_batches;
         stats.timed_out |= out.session.exec.timed_out;
         session.merge_worker(&out.session.exec, &out.session.solver_stats());
     }
@@ -494,7 +537,15 @@ pub(crate) fn explore_batch(
         /// (job index, paths in worker pool, stats, defs in worker pool)
         done: Vec<(usize, Vec<RawPath>, ExecStats, Vec<HashDef>)>,
     }
-    let threads = config.threads.max(1).min(jobs.len().max(1));
+    let mut threads = config.threads.max(1).min(jobs.len().max(1));
+    if config.min_paths_per_worker > 0 {
+        // Same right-sizing rationale as `explore_parallel` cap (a): a
+        // batch worker beyond the core count only adds scheduling latency
+        // plus a pool fork. Job-count imbalance is already handled by the
+        // shared-counter pull below.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        threads = threads.min(cores);
+    }
     let next = AtomicUsize::new(0);
     let main_pool = &session.pool;
     let shared = main_pool.len() as u32;
@@ -672,6 +723,10 @@ mod tests {
                 &mut par_session,
                 &ExecConfig {
                     threads,
+                    // fig7(7) has only 49 possible paths; disable the
+                    // worker right-sizing so this test keeps exercising
+                    // the full parallel machinery.
+                    min_paths_per_worker: 0,
                     ..ExecConfig::default()
                 },
             );
@@ -726,6 +781,7 @@ mod tests {
             &mut par_session,
             &ExecConfig {
                 threads: 4,
+                min_paths_per_worker: 0,
                 ..ExecConfig::default()
             },
         );
@@ -779,6 +835,7 @@ mod tests {
             .collect();
         let config = ExecConfig {
             threads: 4,
+            min_paths_per_worker: 0,
             ..ExecConfig::default()
         };
         let results = explore_batch(&cfg, &mut session, &config, &jobs);

@@ -9,8 +9,17 @@
 //! and merging workers is merging their cumulative stats.
 
 use crate::exec::ExecStats;
-use meissa_smt::{Solver, SolverStats, TermPool};
+use meissa_smt::{CheckResult, Solver, SolverStats, TermId, TermPool};
 use std::collections::HashMap;
+
+/// Verdict of one branch-arm probe (see [`SolveSession::probe_arms`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The prefix extended by the arm is satisfiable.
+    Sat,
+    /// The prefix extended by the arm is unsatisfiable.
+    Unsat,
+}
 
 /// One solving context: term pool + current incremental solver + cumulative
 /// statistics. All engine-layer entry points ([`crate::exec::explore_multi`],
@@ -106,6 +115,52 @@ impl SolveSession {
         delta
     }
 
+    /// Probes every sibling arm of a branch point in one batched solver
+    /// interaction: per arm the verdict cache is consulted first (keyed on
+    /// the canonical rendering of `prefix ++ arm`, so verdicts survive
+    /// across explorations and pools), the misses go through
+    /// [`meissa_smt::Solver::check_under`] as one assumption batch over the
+    /// solver's current frame stack, and fresh verdicts are fed back into
+    /// the cache. The solver's live frames must assert exactly `prefix`.
+    ///
+    /// Every arm counts one check (cache hit or not), keeping the Fig. 11b
+    /// metric identical to individual `push/assert/check/pop` probing.
+    pub fn probe_arms(&mut self, prefix: &[TermId], arms: &[TermId]) -> Vec<Verdict> {
+        let prefix_keys: Vec<String> = prefix
+            .iter()
+            .map(|&c| self.pool.canonical_key(c))
+            .collect();
+        let arm_keys: Vec<Vec<String>> = arms
+            .iter()
+            .map(|&a| {
+                // Key at conjunct granularity, sorted — the same shape the
+                // walker uses, so verdicts flow both ways through the cache.
+                let mut cs = Vec::new();
+                crate::exec::flatten_conjuncts(&self.pool, a, &mut cs);
+                let mut ks: Vec<String> =
+                    cs.iter().map(|&c| self.pool.canonical_key(c)).collect();
+                ks.sort();
+                ks
+            })
+            .collect();
+        let mut exec = ExecStats::default();
+        let verdicts = probe_arms_cached(
+            &mut self.pool,
+            &mut self.solver,
+            &mut self.verdict_cache,
+            &mut exec,
+            &prefix_keys,
+            arms,
+            &arm_keys,
+        );
+        exec.smt_checks += self.take_new_checks();
+        self.record(&exec);
+        verdicts
+            .into_iter()
+            .map(|unsat| if unsat { Verdict::Unsat } else { Verdict::Sat })
+            .collect()
+    }
+
     /// Folds one exploration's per-call counters into the session totals.
     pub(crate) fn record(&mut self, delta: &ExecStats) {
         self.exec.paths_explored += delta.paths_explored;
@@ -114,6 +169,8 @@ impl SolveSession {
         self.exec.smt_checks += delta.smt_checks;
         self.exec.cache_probes += delta.cache_probes;
         self.exec.cache_hits += delta.cache_hits;
+        self.exec.batched_probes += delta.batched_probes;
+        self.exec.arm_batches += delta.arm_batches;
         self.exec.elapsed += delta.elapsed;
         self.exec.timed_out |= delta.timed_out;
     }
@@ -142,6 +199,65 @@ impl SolveSession {
     }
 }
 
+/// The cache-then-batch probe shared by [`SolveSession::probe_arms`] and the
+/// walker's branch expansion (which holds the session's pool, solver, and
+/// cache as separate borrows). Per arm: one `cache_probes`; a hit answers
+/// from the cache (one `cache_hits`, one `smt_checks` — cached validity
+/// check); the misses go through one [`meissa_smt::Solver::check_under`]
+/// batch, whose per-arm `checks` the caller attributes via
+/// `take_new_checks`, and their verdicts are fed back into the cache.
+/// Returns `unsat?` per arm, in order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_arms_cached(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    cache: &mut HashMap<String, bool>,
+    exec: &mut ExecStats,
+    prefix_keys: &[String],
+    arms: &[TermId],
+    arm_keys: &[Vec<String>],
+) -> Vec<bool> {
+    debug_assert_eq!(arms.len(), arm_keys.len());
+    if arms.len() >= 2 {
+        exec.arm_batches += 1;
+        exec.batched_probes += arms.len() as u64;
+    }
+    let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(arms.len());
+    let mut miss_terms: Vec<TermId> = Vec::new();
+    let mut miss_keys: Vec<String> = Vec::new();
+    for (i, &arm) in arms.iter().enumerate() {
+        exec.cache_probes += 1;
+        let key = {
+            let mut parts: Vec<&str> = prefix_keys.iter().map(String::as_str).collect();
+            parts.extend(arm_keys[i].iter().map(String::as_str));
+            parts.join("\u{1}")
+        };
+        if let Some(&unsat) = cache.get(&key) {
+            exec.cache_hits += 1;
+            exec.smt_checks += 1; // cached validity check
+            verdicts.push(Some(unsat));
+        } else {
+            verdicts.push(None);
+            miss_terms.push(arm);
+            miss_keys.push(key);
+        }
+    }
+    let solved = solver.check_under(pool, &miss_terms);
+    let mut solved_it = solved.into_iter().zip(miss_keys);
+    verdicts
+        .into_iter()
+        .map(|v| match v {
+            Some(unsat) => unsat,
+            None => {
+                let (res, key) = solved_it.next().expect("one verdict per miss");
+                let unsat = res == CheckResult::Unsat;
+                cache.insert(key, unsat);
+                unsat
+            }
+        })
+        .collect()
+}
+
 /// `SolverStats` has no `Add` impl upstream; the session sums every counter
 /// except `depth`, which is a gauge (the retired solver's depth is dead, the
 /// live one's is current), and `max_depth`, a peak merged via max.
@@ -150,6 +266,7 @@ pub fn add_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         checks: a.checks + b.checks,
         fast_path: a.fast_path + b.fast_path,
         sat_engine_calls: a.sat_engine_calls + b.sat_engine_calls,
+        model_reuse: a.model_reuse + b.model_reuse,
         sat: a.sat + b.sat,
         unsat: a.unsat + b.unsat,
         depth: b.depth,
@@ -191,6 +308,8 @@ mod tests {
                 smt_checks: 9,
                 cache_probes: 6,
                 cache_hits: 2,
+                batched_probes: 4,
+                arm_batches: 2,
                 elapsed: std::time::Duration::from_millis(5),
                 timed_out: false,
             },
@@ -201,6 +320,8 @@ mod tests {
                 smt_checks: 7,
                 cache_probes: 4,
                 cache_hits: 0,
+                batched_probes: 2,
+                arm_batches: 1,
                 elapsed: std::time::Duration::from_millis(4),
                 timed_out: false,
             },
@@ -211,6 +332,8 @@ mod tests {
                 smt_checks: 5,
                 cache_probes: 3,
                 cache_hits: 1,
+                batched_probes: 0,
+                arm_batches: 0,
                 elapsed: std::time::Duration::from_millis(1),
                 timed_out: false,
             },
@@ -220,6 +343,7 @@ mod tests {
                 checks: 9,
                 fast_path: 4,
                 sat_engine_calls: 5,
+                model_reuse: 1,
                 sat: 6,
                 unsat: 3,
                 depth: 3,
@@ -229,6 +353,7 @@ mod tests {
                 checks: 7,
                 fast_path: 2,
                 sat_engine_calls: 5,
+                model_reuse: 0,
                 sat: 5,
                 unsat: 2,
                 depth: 1,
@@ -238,6 +363,7 @@ mod tests {
                 checks: 5,
                 fast_path: 5,
                 sat_engine_calls: 0,
+                model_reuse: 1,
                 sat: 1,
                 unsat: 4,
                 depth: 2,
@@ -255,6 +381,8 @@ mod tests {
         assert_eq!(main.exec.smt_checks, 21);
         assert_eq!(main.exec.cache_probes, 13);
         assert_eq!(main.exec.cache_hits, 3);
+        assert_eq!(main.exec.batched_probes, 6);
+        assert_eq!(main.exec.arm_batches, 3);
         assert!(!main.exec.timed_out);
         // Solver tallies: sums; peak depth via max; live depth is the main
         // session's own (0 — joined workers hold no frames here).
@@ -262,6 +390,7 @@ mod tests {
         assert_eq!(s.checks, 21);
         assert_eq!(s.fast_path, 11);
         assert_eq!(s.sat_engine_calls, 10);
+        assert_eq!(s.model_reuse, 2);
         assert_eq!(s.sat, 12);
         assert_eq!(s.unsat, 9);
         assert_eq!(s.max_depth, 11, "peak depth merges via max");
@@ -314,6 +443,8 @@ mod tests {
             smt_checks: 5,
             cache_probes: 4,
             cache_hits: 2,
+            batched_probes: 3,
+            arm_batches: 1,
             elapsed: std::time::Duration::from_millis(2),
             timed_out: false,
         };

@@ -40,10 +40,26 @@ pub struct SummaryStats {
     pub pipelines: Vec<(String, u64, u64)>,
     /// SMT checks spent inside the summary pass.
     pub smt_checks: u64,
+    /// Pre-condition probes the pass routed through the batched assumption
+    /// API ([`meissa_smt::Solver::check_under`]); each still counts as one
+    /// of `smt_checks`.
+    pub batched_probes: u64,
+    /// Batched sibling probes issued by the pass (≥ 2 arms each).
+    pub arm_batches: u64,
     /// Wall time of the pass.
     pub elapsed: Duration,
     /// True when a time budget expired mid-pass.
     pub timed_out: bool,
+}
+
+impl SummaryStats {
+    /// Folds one exploration's per-call counters into the pass totals.
+    fn absorb(&mut self, st: &ExecStats) {
+        self.smt_checks += st.smt_checks;
+        self.batched_probes += st.batched_probes;
+        self.arm_batches += st.arm_batches;
+        self.timed_out |= st.timed_out;
+    }
 }
 
 /// The result of a code-summary pass.
@@ -115,8 +131,7 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
             );
             (sink_paths, st)
         };
-        stats.smt_checks += st.smt_checks;
-        stats.timed_out |= st.timed_out;
+        stats.absorb(&st);
         let entry_set: HashSet<meissa_ir::NodeId> = entry_of.iter().copied().collect();
         for p in sink_paths {
             let end = *p.path.last().expect("non-empty path");
@@ -176,9 +191,8 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
                 config,
                 &mut |p| extended.push(p),
             );
-            stats.smt_checks += st.smt_checks;
+            stats.absorb(&st);
             ext_smt += st.smt_checks;
-            stats.timed_out |= st.timed_out;
             for mut p in extended {
                 let end = *p.path.last().expect("non-empty path");
                 let mut full = seed.path.clone();
@@ -307,8 +321,7 @@ fn summarize_pipeline(
         if std::env::var_os("MEISSA_SUMMARY_DEBUG").is_some() {
             eprintln!("  group interior: {} smt, {} kept, {} members", in_stats.smt_checks, local_paths.len(), members.len());
         }
-        stats.smt_checks += in_stats.smt_checks;
-        stats.timed_out |= in_stats.timed_out;
+        stats.absorb(&in_stats);
         kept += local_paths.len() as u64;
 
         // ---- lines 10–25: re-encode each valid path -----------------------
@@ -629,8 +642,7 @@ fn encode_pipeline(
     let mut encoded: Vec<Vec<Stmt>> = Vec::new();
     let mut seen_paths: HashSet<Vec<Stmt>> = HashSet::new();
     for (mut g, r) in groups.into_iter().zip(group_results) {
-        stats.smt_checks += r.stats.smt_checks;
-        stats.timed_out |= r.stats.timed_out;
+        stats.absorb(&r.stats);
         // The worker explored in its own pool and scope; adopt its hash
         // obligations and entry variables so re-encoding sees the same
         // context a sequential search would have built.
@@ -784,8 +796,7 @@ fn summarize_pipelines_batched(
         }
         let ext_results = explore_batch(cfg, session, config, &ext_jobs);
         for ((pi, si), r) in ext_src.into_iter().zip(ext_results) {
-            stats.smt_checks += r.stats.smt_checks;
-            stats.timed_out |= r.stats.timed_out;
+            stats.absorb(&r.stats);
             for d in r.hash_defs {
                 prog_ctx.add_hash_def(d);
             }

@@ -30,20 +30,23 @@ struct Hosted {
     source: Option<String>,
 }
 
-/// Cumulative traffic counters.
+/// Cumulative traffic counters. The headline tallies are atomics so
+/// concurrent connections never serialize on a lock in the inject path;
+/// only the per-port map — touched solely for forwarded packets — sits
+/// behind a (narrow) mutex.
 #[derive(Default)]
 struct AgentStats {
-    injected: u64,
-    forwarded: u64,
-    dropped: u64,
+    injected: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
     /// Forwarded count per logical egress port value.
-    per_port: BTreeMap<u128, u64>,
+    per_port: Mutex<BTreeMap<u128, u64>>,
 }
 
 struct Shared {
     addr: SocketAddr,
     hosted: RwLock<Option<Hosted>>,
-    stats: Mutex<AgentStats>,
+    stats: AgentStats,
     stop: AtomicBool,
     conn_seq: AtomicU64,
     faults: Option<TransportFaults>,
@@ -105,7 +108,7 @@ impl Agent {
                 target: t,
                 source: None,
             })),
-            stats: Mutex::new(AgentStats::default()),
+            stats: AgentStats::default(),
             stop: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
             faults,
@@ -258,21 +261,21 @@ fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     state: encode_state(h.target.program(), &out.final_state),
                 };
                 drop(hosted);
-                {
-                    let mut stats = sh.stats.lock().unwrap();
-                    stats.injected += 1;
-                    match &resp {
-                        Response::Output {
-                            packet: Some(_),
-                            port,
-                            ..
-                        } => {
-                            stats.forwarded += 1;
-                            if let Some(bv) = port {
-                                *stats.per_port.entry(bv.val()).or_insert(0) += 1;
-                            }
+                sh.stats.injected.fetch_add(1, Ordering::Relaxed);
+                match &resp {
+                    Response::Output {
+                        packet: Some(_),
+                        port,
+                        ..
+                    } => {
+                        sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                        if let Some(bv) = port {
+                            let mut per_port = sh.stats.per_port.lock().unwrap();
+                            *per_port.entry(bv.val()).or_insert(0) += 1;
                         }
-                        _ => stats.dropped += 1,
+                    }
+                    _ => {
+                        sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 // Outputs ride the (possibly faulty) data path.
@@ -283,14 +286,16 @@ fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                 }
             }
             Request::Stats => {
-                let stats = sh.stats.lock().unwrap();
-                let resp = Response::Stats {
-                    injected: stats.injected,
-                    forwarded: stats.forwarded,
-                    dropped: stats.dropped,
-                    per_port: stats.per_port.iter().map(|(&p, &n)| (p, n)).collect(),
+                let per_port: Vec<(u128, u64)> = {
+                    let map = sh.stats.per_port.lock().unwrap();
+                    map.iter().map(|(&p, &n)| (p, n)).collect()
                 };
-                drop(stats);
+                let resp = Response::Stats {
+                    injected: sh.stats.injected.load(Ordering::Relaxed),
+                    forwarded: sh.stats.forwarded.load(Ordering::Relaxed),
+                    dropped: sh.stats.dropped.load(Ordering::Relaxed),
+                    per_port,
+                };
                 send_reliable(&mut writer, &resp)?;
             }
             Request::Shutdown => {

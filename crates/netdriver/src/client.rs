@@ -3,14 +3,19 @@
 //!
 //! The sender is `driver::plan_cases` — the same enumeration the
 //! in-process driver uses, so both produce case-for-case comparable
-//! reports. Cases are sharded round-robin across connections; each
-//! connection worker pipelines a window of outstanding injects, matches
-//! responses to cases by the packet-ID stamp (§4) — which makes it immune
-//! to duplication and reordering — retries cases whose deadline passes
-//! (bounded, with linear backoff), and after the final attempt waits one
-//! drain period before classifying the missing output as a drop. Expected
-//! outputs come from a client-side reference `SwitchTarget` (source
-//! semantics); verdicts come from the shared transport-agnostic
+//! reports. Connections pull cases dynamically from one shared queue as
+//! their send windows open (a connection slowed by retries naturally takes
+//! fewer cases — static round-robin sharding made the whole run wait on
+//! the unluckiest shard); each connection worker pipelines a window of
+//! outstanding injects, matches responses to cases by the packet-ID stamp
+//! (§4) — which makes it immune to duplication and reordering — retries
+//! cases whose deadline passes (bounded, with linear backoff), and after
+//! the final attempt waits one drain period before classifying the missing
+//! output as a drop. Expected outputs come from a single client-side
+//! reference `SwitchTarget` shared by every connection (injection takes
+//! `&self`, so no lock mediates it) and are computed once per case — the
+//! retry and drain paths reuse the cached output instead of re-running the
+//! reference interpreter. Verdicts come from the shared transport-agnostic
 //! `driver::Checker`.
 
 use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
@@ -134,6 +139,7 @@ impl<'p> WireDriver<'p> {
                         wire_id,
                         input,
                         packet,
+                        expected: None,
                     }),
                 },
             }
@@ -141,19 +147,36 @@ impl<'p> WireDriver<'p> {
 
         let label = hello(self.addr)?.2;
 
+        // One reference target and one checker for the whole run, shared by
+        // every connection: both answer through `&self`, so no lock — and no
+        // per-connection program clone — mediates the hot check path.
+        let reference = SwitchTarget::new(self.program);
+        let checker = if self.structural_checks {
+            Checker::new(self.program)
+        } else {
+            Checker::without_structural_checks(self.program)
+        };
+
         let nconn = self.connections.min(work.len()).max(1);
-        let mut shards: Vec<Vec<WireCase>> = (0..nconn).map(|_| Vec::new()).collect();
-        for (i, case) in work.into_iter().enumerate() {
-            shards[i % nconn].push(case);
-        }
+        // Dynamic pulling: cases queue front-to-back (popped from the
+        // reversed vec's tail) and each connection takes the next one as its
+        // send window opens. A connection slowed by retries naturally takes
+        // fewer cases, where the old round-robin sharding made the whole run
+        // wait on the unluckiest shard.
+        work.reverse();
+        let queue = std::sync::Mutex::new(work);
         let outcomes: Vec<io::Result<Vec<(usize, CaseResult)>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| s.spawn(move || self.run_shard(shard)))
+            let handles: Vec<_> = (0..nconn)
+                .map(|_| {
+                    let queue = &queue;
+                    let reference = &reference;
+                    let checker = &checker;
+                    s.spawn(move || self.run_conn(queue, reference, checker))
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().expect("connection worker panicked"))
                 .collect()
         });
         for outcome in outcomes {
@@ -171,11 +194,15 @@ impl<'p> WireDriver<'p> {
         Ok(report)
     }
 
-    /// Drives one connection's shard of cases to completion.
-    fn run_shard(&self, shard: Vec<WireCase>) -> io::Result<Vec<(usize, CaseResult)>> {
-        if shard.is_empty() {
-            return Ok(Vec::new());
-        }
+    /// Drives one connection: pulls cases off the shared queue as the send
+    /// window opens and checks responses until both the queue and the
+    /// window are empty.
+    fn run_conn(
+        &self,
+        queue: &std::sync::Mutex<Vec<WireCase>>,
+        reference: &SwitchTarget,
+        checker: &Checker,
+    ) -> io::Result<Vec<(usize, CaseResult)>> {
         let stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(Duration::from_millis(2)))?;
@@ -184,38 +211,37 @@ impl<'p> WireDriver<'p> {
         write_frame(&mut writer, &encode(&Request::Hello { version: PROTO_VERSION }))?;
         wait_for_hello(&mut reader)?;
 
-        let reference = SwitchTarget::new(self.program);
-        let checker = if self.structural_checks {
-            Checker::new(self.program)
-        } else {
-            Checker::without_structural_checks(self.program)
-        };
-
         struct Pending {
-            idx: usize,
+            case: WireCase,
             attempts: u32,
             first_sent: Instant,
             deadline: Instant,
         }
         let mut pending: HashMap<u64, Pending> = HashMap::new();
-        let mut results: Vec<(usize, CaseResult)> = Vec::with_capacity(shard.len());
-        let mut next = 0usize;
+        let mut results: Vec<(usize, CaseResult)> = Vec::new();
 
-        while results.len() < shard.len() {
-            // Sender: keep the window full.
-            while next < shard.len() && pending.len() < WINDOW {
-                let case = &shard[next];
-                self.send_inject(&mut writer, case)?;
+        loop {
+            // Sender: refill the window from the shared queue. Once a case
+            // is pulled this connection owns it outright — retries and the
+            // drop verdict never touch the queue again.
+            while pending.len() < WINDOW {
+                let Some(case) = queue.lock().unwrap().pop() else {
+                    break;
+                };
+                self.send_inject(&mut writer, &case)?;
                 pending.insert(
                     case.wire_id,
                     Pending {
-                        idx: next,
+                        case,
                         attempts: 1,
                         first_sent: Instant::now(),
                         deadline: Instant::now() + self.case_timeout,
                     },
                 );
-                next += 1;
+            }
+            if pending.is_empty() {
+                // Window drained and the queue answered empty: done.
+                return Ok(results);
             }
 
             // Receiver: match responses to pending cases by packet id;
@@ -234,23 +260,23 @@ impl<'p> WireDriver<'p> {
                             port,
                             state,
                         } => {
-                            if let Some(p) = pending.remove(&id) {
-                                let case = &shard[p.idx];
+                            if let Some(mut p) = pending.remove(&id) {
                                 let obs = Observation {
                                     packet: packet.map(|bytes| Packet { bytes, id }),
                                     egress_port: port,
                                     final_state: decode_state(self.program, &state),
                                 };
-                                let expected = reference.inject(&case.packet);
+                                let case = &mut p.case;
+                                case.ensure_expected(reference);
                                 let mut r = checker.check_case(
                                     case.template_id,
                                     &case.input,
                                     &case.packet,
-                                    &expected,
+                                    case.expected.as_ref().unwrap(),
                                     &obs,
                                 );
                                 r.latency = p.first_sent.elapsed();
-                                results.push((case.slot, r));
+                                results.push((p.case.slot, r));
                             }
                         }
                         Response::Err { msg } => {
@@ -273,9 +299,9 @@ impl<'p> WireDriver<'p> {
                     for id in expired {
                         let p = pending.get_mut(&id).unwrap();
                         if p.attempts >= self.max_attempts {
-                            let p = pending.remove(&id).unwrap();
-                            let case = &shard[p.idx];
-                            let expected = reference.inject(&case.packet);
+                            let mut p = pending.remove(&id).unwrap();
+                            let case = &mut p.case;
+                            case.ensure_expected(reference);
                             // Drain phase verdict: the output never arrived,
                             // so the receiver records it as a drop and the
                             // checker judges that against the reference.
@@ -283,14 +309,13 @@ impl<'p> WireDriver<'p> {
                                 case.template_id,
                                 &case.input,
                                 &case.packet,
-                                &expected,
+                                case.expected.as_ref().unwrap(),
                                 &Observation::missing(),
                             );
                             r.latency = p.first_sent.elapsed();
-                            results.push((case.slot, r));
+                            results.push((p.case.slot, r));
                         } else {
-                            let case = &shard[p.idx];
-                            self.send_inject(&mut writer, case)?;
+                            self.send_inject(&mut writer, &p.case)?;
                             p.attempts += 1;
                             p.deadline = if p.attempts >= self.max_attempts {
                                 now + self.drain_timeout
@@ -302,7 +327,6 @@ impl<'p> WireDriver<'p> {
                 }
             }
         }
-        Ok(results)
     }
 
     fn send_inject(&self, w: &mut TcpStream, case: &WireCase) -> io::Result<()> {
@@ -323,6 +347,19 @@ struct WireCase {
     wire_id: u64,
     input: ConcreteState,
     packet: Packet,
+    /// Reference output, computed on first use and reused by retries and
+    /// the drain-phase drop verdict.
+    expected: Option<meissa_dataplane::TargetOutput>,
+}
+
+impl WireCase {
+    /// Fills `expected` from the reference target if this is the first
+    /// consultation; retries and verdict paths after it hit the cache.
+    fn ensure_expected(&mut self, reference: &SwitchTarget) {
+        if self.expected.is_none() {
+            self.expected = Some(reference.inject(&self.packet));
+        }
+    }
 }
 
 /// Rebuilds a `ConcreteState` from the agent's `(name, width, value)`

@@ -329,6 +329,12 @@ impl Blaster {
     }
 
     /// Encodes a boolean term into a single literal.
+    ///
+    /// The literal is cached per term: repeat calls return the same `Lit`
+    /// and add no variables or clauses. `Solver::check_under` depends on
+    /// this — a branch arm's literal is blasted once, then reused as a
+    /// solve assumption however many times the arm is probed, and sibling
+    /// arms share every sub-cone they have in common.
     pub fn bool_lit(&mut self, pool: &TermPool, sat: &mut SatSolver, t: TermId) -> Lit {
         if let Some(&l) = self.bools.get(&t) {
             return l;
@@ -407,6 +413,35 @@ mod tests {
     fn val(pool: &TermPool, sat: &SatSolver, bl: &Blaster, name: &str, w: u16) -> Bv {
         let v = pool.find_var(name).unwrap();
         bl.read_var(sat, v, w).unwrap_or(Bv::zero(w))
+    }
+
+    #[test]
+    fn bool_lit_is_cached_and_stable() {
+        // Assumption-batching contract: re-blasting a term is free and
+        // returns the identical literal, so `check_under` can assume it
+        // on every probe without growing the SAT instance.
+        let mut p = TermPool::new();
+        let mut sat = SatSolver::new();
+        let mut bl = Blaster::new(&mut sat);
+        let x = p.var("x", 8);
+        let k = p.bv_const(Bv::new(8, 42));
+        let t = p.eq(x, k);
+        let first = bl.bool_lit(&p, &mut sat, t);
+        let (vars, clauses, cache) = (sat.num_vars(), sat.num_clauses(), bl.cache_size());
+        for _ in 0..3 {
+            assert_eq!(bl.bool_lit(&p, &mut sat, t), first);
+        }
+        assert_eq!(sat.num_vars(), vars);
+        assert_eq!(sat.num_clauses(), clauses);
+        assert_eq!(bl.cache_size(), cache);
+        // A sibling arm over the same variable reuses x's bit cone: new
+        // gate clauses, but no second copy of the variable's bits.
+        let k2 = p.bv_const(Bv::new(8, 7));
+        let t2 = p.eq(x, k2);
+        let second = bl.bool_lit(&p, &mut sat, t2);
+        assert_ne!(second, first);
+        let xv = p.find_var("x").unwrap();
+        assert_eq!(bl.var_bits(xv).unwrap().len(), 8);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! conflict analysis with clause learning, VSIDS variable activity with an
 //! indexed binary heap, phase saving, Luby-sequence restarts, and solving
 //! under assumptions. Assumptions are what the SMT layer uses to implement
-//! incremental push/pop: each frame's clauses are guarded by an activation
-//! literal assumed during `check` and permanently falsified on `pop`.
+//! incrementality, in two roles: each push/pop frame's clauses are guarded
+//! by an activation literal assumed during `check` and permanently
+//! falsified on `pop`, and `Solver::check_under` probes every sibling
+//! branch arm by assuming its (cached) blasted literal — one `solve` per
+//! arm over the same clause set, with no frame churn and no falsification.
 //!
 //! Learned-clause deletion is intentionally omitted: Meissa's queries are
 //! many small solves over one shared clause set, not single hard instances,
@@ -731,6 +734,46 @@ mod tests {
         // Without the assumption the set stays satisfiable.
         assert_eq!(s.solve(&[]), SatResult::Sat);
         assert!(!s.value(v[0]));
+    }
+
+    #[test]
+    fn learned_clauses_persist_across_assumption_solves() {
+        // The property batched arm probing leans on: clauses learned while
+        // refuting one assumption stay in the database and pay off on the
+        // next solve. PHP(3,2) guarded by g: solving under `g` is Unsat and
+        // learns; re-solving under `g` must replay those learned clauses
+        // instead of re-deriving them, i.e. strictly fewer new conflicts.
+        let mut s = SatSolver::new();
+        let g = s.new_var();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[neg(g), pos(row[0]), pos(row[1])]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[neg(g), neg(p[i][h]), neg(p[j][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[pos(g)]), SatResult::Unsat);
+        let first = s.stats.conflicts;
+        let learned = s.stats.learned;
+        assert!(learned > 0, "refutation must learn clauses");
+        assert_eq!(s.solve(&[pos(g)]), SatResult::Unsat);
+        let second = s.stats.conflicts - first;
+        assert!(
+            second < first,
+            "retained clauses must shortcut the re-solve ({second} vs {first} conflicts)"
+        );
+        assert!(s.stats.learned >= learned, "learned set is never dropped");
+        // The guard stays assumable the other way: nothing was falsified.
+        assert_eq!(s.solve(&[neg(g)]), SatResult::Sat);
     }
 
     #[test]

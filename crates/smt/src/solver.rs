@@ -6,10 +6,17 @@
 //! activation literal, disabling its clauses while keeping everything the
 //! SAT engine learned about the rest — the incremental reuse the paper's
 //! early-termination optimization depends on (§3.2).
+//!
+//! [`Solver::check_under`] extends the same machinery to *batched sibling
+//! probes*: each assumption term is blasted once to a literal (cached in the
+//! [`Blaster`], so sibling arms share the prefix's clauses and each other's
+//! cones) and checked with one assumption-based SAT call per arm — no frame
+//! push/pop, no per-probe guard clause, and every clause the engine learns
+//! while refuting one arm stays available to its siblings.
 
 use crate::blast::Blaster;
 use crate::sat::{Lit, SatResult, SatSolver};
-use crate::term::{TermId, TermPool, VarId};
+use crate::term::{EvalValue, TermId, TermPool, VarId};
 use meissa_num::Bv;
 use std::collections::HashMap;
 
@@ -34,6 +41,9 @@ pub struct SolverStats {
     pub fast_path: u64,
     /// Checks that reached the SAT engine.
     pub sat_engine_calls: u64,
+    /// Batched probes answered Sat by evaluating the arm under the last
+    /// model instead of calling the SAT engine (see [`Solver::check_under`]).
+    pub model_reuse: u64,
     /// Sat answers.
     pub sat: u64,
     /// Unsat answers.
@@ -57,6 +67,12 @@ pub struct Solver {
     frames: Vec<Frame>,
     /// Model cache from the last Sat answer.
     last_model: HashMap<VarId, Bv>,
+    /// How many leading frames `last_model` is known to satisfy (every
+    /// asserted term in `frames[..model_depth]` evaluates to true under the
+    /// model, extended by zero for variables it does not mention). When
+    /// `model_depth == frames.len()`, a batched probe whose arm also
+    /// evaluates to true is Sat without touching the SAT engine.
+    model_depth: usize,
     /// Statistics.
     pub stats: SolverStats,
 }
@@ -75,6 +91,7 @@ impl Solver {
             blaster: None,
             frames: Vec::new(),
             last_model: HashMap::new(),
+            model_depth: 0,
             stats: SolverStats::default(),
         }
     }
@@ -88,12 +105,18 @@ impl Solver {
 
     /// Opens a new assertion frame.
     pub fn push(&mut self) {
+        // An empty frame is vacuously satisfied: a model certifying every
+        // frame so far still certifies the stack after the push.
+        let extend_model = self.model_depth == self.frames.len();
         let (_, sat) = self.blaster_mut();
         let act = Lit::new(sat.new_var(), true);
         self.frames.push(Frame {
             activation: act,
             poisoned: false,
         });
+        if extend_model {
+            self.model_depth = self.frames.len();
+        }
         self.stats.depth = self.frames.len() as u64;
         self.stats.max_depth = self.stats.max_depth.max(self.stats.depth);
     }
@@ -106,6 +129,7 @@ impl Solver {
         let frame = self.frames.pop().expect("pop without matching push");
         // Permanently disable this frame's guarded clauses.
         self.sat.add_clause(&[frame.activation.neg()]);
+        self.model_depth = self.model_depth.min(self.frames.len());
         self.stats.depth = self.frames.len() as u64;
     }
 
@@ -127,13 +151,35 @@ impl Solver {
         if let Some(b) = pool.as_bool_const(t) {
             if !b {
                 self.frames.last_mut().unwrap().poisoned = true;
+                self.model_depth = self.model_depth.min(self.frames.len() - 1);
             }
             return;
+        }
+        // Model validity: the last model keeps certifying the full stack
+        // only if it also satisfies the new assertion.
+        if self.model_depth == self.frames.len() && !self.model_certifies(pool, t) {
+            self.model_depth = self.frames.len() - 1;
         }
         let act = self.frames.last().unwrap().activation;
         let (blaster, sat) = self.blaster_mut();
         let lit = blaster.bool_lit(pool, sat, t);
         sat.add_clause(&[act.neg(), lit]);
+    }
+
+    /// Does the last captured model (zero-extended over variables it does
+    /// not assign) evaluate `t` to true? Evaluation is on the *term*, so it
+    /// is sound regardless of what has been bit-blasted since the capture.
+    fn model_certifies(&self, pool: &TermPool, t: TermId) -> bool {
+        let model = &self.last_model;
+        let env = move |v: VarId| {
+            Some(
+                model
+                    .get(&v)
+                    .copied()
+                    .unwrap_or_else(|| Bv::zero(pool.var_width(v))),
+            )
+        };
+        matches!(pool.eval(t, &env), Some(EvalValue::Bool(true)))
     }
 
     /// Checks satisfiability of the conjunction of all live assertions.
@@ -169,6 +215,75 @@ impl Solver {
                 }
             }
         }
+        // A freshly captured model satisfies every open frame by
+        // construction (the engine solved under all frame activations).
+        self.model_depth = self.frames.len();
+    }
+
+    /// Checks the live assertion stack extended by each assumption term
+    /// *independently* — one verdict per term, as if each were probed with
+    /// its own `push / assert_term / check / pop` cycle, but in a single
+    /// batched solver interaction:
+    ///
+    /// * each arm is blasted once to a literal (cached in the [`Blaster`],
+    ///   so sibling arms share the prefix's clauses and each other's cones)
+    ///   and solved under `{frame activations} ∪ {arm literal}` — no frame
+    ///   churn, no per-probe guard clause, and no dead pop unit clauses;
+    /// * clauses the engine learns refuting one arm stay active for its
+    ///   siblings (a `pop` would have kept them too, but attached to a
+    ///   now-falsified activation var the engine still has to track);
+    /// * when the most recent model already satisfies every open frame, an
+    ///   arm the model also satisfies is answered `Sat` by term evaluation
+    ///   alone (`model_reuse` in the stats), skipping the engine entirely.
+    ///
+    /// Every arm counts one `checks`, exactly like an individual `check`,
+    /// so batch-shape changes never move the Fig. 11b metric.
+    pub fn check_under(&mut self, pool: &mut TermPool, assumptions: &[TermId]) -> Vec<CheckResult> {
+        let poisoned = self.frames.iter().any(|f| f.poisoned);
+        let mut out = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            self.stats.checks += 1;
+            if poisoned || pool.as_bool_const(t) == Some(false) {
+                self.stats.fast_path += 1;
+                self.stats.unsat += 1;
+                out.push(CheckResult::Unsat);
+                continue;
+            }
+            if self.model_depth == self.frames.len() && self.model_certifies(pool, t) {
+                self.stats.model_reuse += 1;
+                self.stats.sat += 1;
+                out.push(CheckResult::Sat);
+                continue;
+            }
+            let mut assume: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
+            if pool.as_bool_const(t) != Some(true) {
+                let (blaster, sat) = self.blaster_mut();
+                let lit = blaster.bool_lit(pool, sat, t);
+                if lit == blaster.false_lit() {
+                    // The blasted cone folded to constant false.
+                    self.stats.fast_path += 1;
+                    self.stats.unsat += 1;
+                    out.push(CheckResult::Unsat);
+                    continue;
+                }
+                if lit != blaster.true_lit() {
+                    assume.push(lit);
+                }
+            }
+            self.stats.sat_engine_calls += 1;
+            match self.sat.solve(&assume) {
+                SatResult::Sat => {
+                    self.stats.sat += 1;
+                    self.capture_model(pool);
+                    out.push(CheckResult::Sat);
+                }
+                SatResult::Unsat => {
+                    self.stats.unsat += 1;
+                    out.push(CheckResult::Unsat);
+                }
+            }
+        }
+        out
     }
 
     /// The model from the most recent `Sat` answer.

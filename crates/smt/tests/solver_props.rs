@@ -190,6 +190,57 @@ fn solver_agrees_with_brute_force() {
     });
 }
 
+/// Batched assumption probing is observationally identical to individual
+/// probing: for a random prefix formula and a random set of sibling arms,
+/// `check_under(arms)` returns exactly the verdicts that a fresh solver
+/// produces by probing each arm with its own `push/assert/check/pop`
+/// cycle — and the batch leaves the assertion stack's own verdict intact.
+#[test]
+fn check_under_matches_individual_probes() {
+    prop::check(prop::DEFAULT_CASES, |g| {
+        let prefix = arb_formula(g, 2);
+        let n_arms = g.range(1..5usize);
+        let arms: Vec<Formula> = (0..n_arms).map(|_| arb_formula(g, 2)).collect();
+
+        let mut pool = TermPool::new();
+        pool.var("x", 4);
+        pool.var("y", 4);
+        let t_prefix = build_formula(&mut pool, &prefix);
+        let t_arms: Vec<TermId> = arms.iter().map(|a| build_formula(&mut pool, a)).collect();
+
+        // Batched: one solver, one check_under over all sibling arms.
+        let mut batched = Solver::new();
+        batched.push();
+        batched.assert_term(&mut pool, t_prefix);
+        let before = batched.check(&mut pool);
+        let got = batched.check_under(&mut pool, &t_arms);
+        let after = batched.check(&mut pool);
+        prop_assert_eq!(before, after, "check_under must not disturb the stack");
+
+        // Individual: a fresh solver probing each arm in its own frame.
+        let mut single = Solver::new();
+        single.push();
+        single.assert_term(&mut pool, t_prefix);
+        let mut want = Vec::with_capacity(t_arms.len());
+        for &arm in &t_arms {
+            single.push();
+            single.assert_term(&mut pool, arm);
+            want.push(single.check(&mut pool));
+            single.pop();
+        }
+
+        prop_assert_eq!(&got, &want, "batched verdicts must match individual probes");
+        // Counter parity: each batched arm costs exactly one `checks`, like
+        // an individual probe (Fig. 11b comparability).
+        prop_assert_eq!(
+            batched.stats.checks,
+            single.stats.checks + 2,
+            "one check per arm plus the two stack checks"
+        );
+        Ok(())
+    });
+}
+
 /// Push/pop leaves earlier frames intact: asserting a random formula in
 /// a nested frame and popping restores the outer verdict.
 #[test]

@@ -1,0 +1,89 @@
+//! Batched branch probing must be invisible in the output: the gw-3
+//! gateway workload has to produce byte-identical templates — same paths,
+//! same constraints, same final values, rendered the same way — whether
+//! sibling arms are probed through `check_under` batches or one by one,
+//! and at both `MEISSA_THREADS=1` and `=4` (the env var feeds
+//! `MeissaConfig::threads`, which is what we set directly here).
+
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_suite::gw::{gw, GwScale};
+
+/// Renders one run as a list of template strings plus a stats line. The
+/// rendering follows stored operand order, so it catches any divergence a
+/// canonical form would normalize away.
+fn render(config: MeissaConfig) -> (Vec<String>, String) {
+    let w = gw(3, GwScale { eips: 4 });
+    let run = Meissa { config }.run(&w.program);
+    let templates = run
+        .templates
+        .iter()
+        .map(|t| {
+            let path: Vec<String> = t.path.iter().map(|n| format!("{n:?}")).collect();
+            let cs: Vec<String> = t
+                .constraints
+                .iter()
+                .map(|&c| run.pool.display(c))
+                .collect();
+            let fv: Vec<String> = t
+                .final_values
+                .iter()
+                .map(|&(f, v)| format!("{f:?}={}", run.pool.display(v)))
+                .collect();
+            format!("path={path:?} constraints={cs:?} finals={fv:?}")
+        })
+        .collect();
+    let stats = format!(
+        "valid={} before={} after={} smt={}",
+        run.stats.valid_paths, run.stats.paths_before, run.stats.paths_after, run.stats.smt_checks
+    );
+    (templates, stats)
+}
+
+fn config(batched: bool, threads: usize) -> MeissaConfig {
+    MeissaConfig {
+        batched_probing: batched,
+        threads,
+        // Disable worker right-sizing so threads=4 really forks workers on
+        // this (small) workload.
+        min_paths_per_worker: 0,
+        ..MeissaConfig::default()
+    }
+}
+
+#[test]
+fn gw3_templates_identical_with_batching_on_off_across_threads() {
+    let baseline = render(config(true, 1));
+    for (batched, threads) in [(true, 4), (false, 1), (false, 4)] {
+        let got = render(config(batched, threads));
+        assert_eq!(
+            baseline.1, got.1,
+            "stats diverge at batched={batched} threads={threads}"
+        );
+        assert_eq!(
+            baseline.0.len(),
+            got.0.len(),
+            "template count diverges at batched={batched} threads={threads}"
+        );
+        for (i, (a, b)) in baseline.0.iter().zip(&got.0).enumerate() {
+            assert_eq!(
+                a, b,
+                "template {i} diverges at batched={batched} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gw3_dfs_templates_identical_with_batching_on_off() {
+    // Plain DFS (code_summary off): the walker probes arms directly, so
+    // this exercises the exec-layer batching path end to end.
+    let base = render(MeissaConfig {
+        code_summary: false,
+        ..config(true, 1)
+    });
+    let unbatched = render(MeissaConfig {
+        code_summary: false,
+        ..config(false, 1)
+    });
+    assert_eq!(base, unbatched, "DFS templates diverge with batching off");
+}

@@ -101,6 +101,9 @@ fn corpus_summary_engine_is_thread_count_invariant() {
     for name in ["router", "mtag", "acl", "switch_lite"] {
         assert_thread_invariant(name, |threads| MeissaConfig {
             threads,
+            // Disable worker right-sizing: these workloads are small, and
+            // the point here is to exercise the parallel machinery itself.
+            min_paths_per_worker: 0,
             ..MeissaConfig::default()
         });
     }
@@ -114,6 +117,7 @@ fn corpus_plain_dfs_is_thread_count_invariant() {
         assert_thread_invariant(name, |threads| MeissaConfig {
             code_summary: false,
             threads,
+            min_paths_per_worker: 0,
             ..MeissaConfig::default()
         });
     }
@@ -125,6 +129,7 @@ fn multi_pipeline_gateway_is_thread_count_invariant() {
     // summary path (level planning, group-search batch, extension batch).
     assert_thread_invariant("gw2", |threads| MeissaConfig {
         threads,
+        min_paths_per_worker: 0,
         ..MeissaConfig::default()
     });
 }

@@ -28,6 +28,14 @@ echo "==> loopback smoke test: gw-3 through the wire driver"
 # agreement with the in-process driver.
 cargo test -q --offline -p meissa-suite --test wire_equivalence
 
+echo "==> bench smoke: gw-3-r8 figures row vs goldens"
+# Runs the figures bench in smoke mode: one gw-3 (8-EIP) row through the
+# DFS and summary engines at threads=1, asserting smt_checks and template
+# counts against goldens. Catches silent drift in the Fig. 11b metric —
+# batched probing must keep one smt_check per probed arm — without paying
+# for the full bench sweep.
+MEISSA_BENCH_SMOKE=1 cargo bench -q --offline -p meissa-bench
+
 echo "==> dependency guard: workspace crates only"
 # Every line of the flat dependency listing must be a meissa-* path crate
 # (or the facade crate `meissa` itself). Anything else is an external
