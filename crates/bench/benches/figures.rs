@@ -14,6 +14,32 @@ use meissa_core::summary::summarize;
 use meissa_core::{Meissa, MeissaConfig, SolveSession};
 use meissa_suite::gw::{gw, GwScale};
 use meissa_testkit::bench::{black_box, Suite};
+use meissa_testkit::obs;
+
+/// Runs one figure with tracing routed to `results/trace_<fig>.jsonl`, so
+/// every full bench run leaves one inspectable trace per figure
+/// (`meissa-trace results/trace_fig11.jsonl`). Tracing is switched off
+/// again before returning so figures never observe each other's sink.
+fn traced(fig: &str, f: impl FnOnce()) {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    obs::trace_to(format!("{repo_root}/results/trace_{fig}.jsonl"));
+    f();
+    let _ = obs::flush_trace();
+    obs::trace_off();
+}
+
+/// Best-of-3 to damp scheduler noise; timing claims should not hinge on
+/// one unlucky sample.
+fn best_of_3(w: &meissa_suite::Workload, config: &MeissaConfig) -> meissa_bench::EngineRun {
+    let mut best: Option<meissa_bench::EngineRun> = None;
+    for _ in 0..3 {
+        let run = meissa_bench::measure(w, config.clone());
+        if best.as_ref().is_none_or(|b| run.secs < b.secs) {
+            best = Some(run);
+        }
+    }
+    best.unwrap()
+}
 
 /// Fig. 7 microbench: intra-pipeline redundancy elimination on the
 /// two-chained-tables pipeline (n rules each: n² possible, n valid).
@@ -167,24 +193,10 @@ fn ablation_grouped_summary() {
 /// `results/parallel_scaling.txt` and machine-readable rows to
 /// `BENCH_parallel.json` at the repo root.
 fn parallel_scaling() {
-    use meissa_bench::EngineRun;
     use meissa_testkit::json::{Json, ToJson};
 
     const THREADS: [usize; 4] = [1, 2, 4, 8];
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-
-    /// Best-of-3 to damp scheduler noise; scaling claims should not hinge
-    /// on one unlucky sample.
-    fn best_of_3(w: &meissa_suite::Workload, config: &MeissaConfig) -> EngineRun {
-        let mut best: Option<EngineRun> = None;
-        for _ in 0..3 {
-            let run = meissa_bench::measure(w, config.clone());
-            if best.as_ref().is_none_or(|b| run.secs < b.secs) {
-                best = Some(run);
-            }
-        }
-        best.unwrap()
-    }
 
     let mut table = String::from(
         "Parallel scaling: work-stealing DFS across thread counts\n\
@@ -335,6 +347,109 @@ fn netdriver_loopback() {
     .expect("write BENCH_netdriver.json");
 }
 
+/// Tracing overhead: gw-3 with the 32-EIP rule set (the
+/// `BENCH_parallel.json` large row) run with observability off and then
+/// with a live JSONL trace sink, at 1 and 4 threads. Best-of-3 each way;
+/// the overhead column is what the §7 "guaranteed cheap when off /
+/// bounded when on" claim rests on. Writes `results/obs_overhead.txt`
+/// and `BENCH_obs.json`.
+fn obs_overhead() {
+    use meissa_testkit::json::{Json, ToJson};
+
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let w = gw(3, GwScale { eips: 32 });
+    let dfs = MeissaConfig {
+        code_summary: false,
+        ..MeissaConfig::default()
+    };
+
+    let mut table = String::from(
+        "Tracing overhead: gw-3 (32 EIPs), work-stealing DFS engine,\n\
+         observability off vs MEISSA_TRACE-style JSONL sink on (best of 3)\n\n",
+    );
+    table.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>10}\n",
+        "threads", "off ms", "trace ms", "overhead"
+    ));
+    let mut rows: Vec<Json> = Vec::new();
+
+    for threads in [1usize, 4] {
+        let config = MeissaConfig {
+            threads,
+            ..dfs.clone()
+        };
+        obs::trace_off();
+        let off = best_of_3(&w, &config);
+        obs::trace_to(format!(
+            "{repo_root}/results/trace_obs_overhead_t{threads}.jsonl"
+        ));
+        let on = best_of_3(&w, &config);
+        let _ = obs::flush_trace();
+        obs::trace_off();
+        assert_eq!(
+            off.templates, on.templates,
+            "tracing must not change engine results"
+        );
+        assert_eq!(
+            off.smt_checks, on.smt_checks,
+            "tracing must not change solver counters"
+        );
+        let overhead_pct = (on.secs / off.secs - 1.0) * 100.0;
+        table.push_str(&format!(
+            "{threads:<10} {:>12.1} {:>12.1} {overhead_pct:>9.1}%\n",
+            off.secs * 1e3,
+            on.secs * 1e3,
+        ));
+        rows.push(Json::Obj(vec![
+            ("program".into(), "gw-3-r32/dfs".to_json()),
+            ("threads".into(), (threads as u64).to_json()),
+            ("wall_ms_obs_off".into(), (off.secs * 1e3).to_json()),
+            ("wall_ms_trace_on".into(), (on.secs * 1e3).to_json()),
+            ("overhead_pct".into(), overhead_pct.to_json()),
+            ("smt_checks".into(), off.smt_checks.to_json()),
+            ("templates".into(), (off.templates as u64).to_json()),
+        ]));
+    }
+
+    print!("{table}");
+    std::fs::write(format!("{repo_root}/results/obs_overhead.txt"), &table)
+        .expect("write results/obs_overhead.txt");
+    let json = Json::Obj(vec![
+        ("bench".into(), "obs_overhead".to_json()),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    std::fs::write(format!("{repo_root}/BENCH_obs.json"), json.to_text() + "\n")
+        .expect("write BENCH_obs.json");
+}
+
+/// The disabled-path budget the obs design promises: one relaxed atomic
+/// load per instrumentation site when nothing is enabled. Measures the
+/// real per-site cost over 50M gated calls and fails the smoke run if it
+/// creeps past 5 ns — a regression here means someone put work ahead of
+/// the `active()` gate. Skipped when tracing is on (the measurement is
+/// only about the disabled path).
+fn obs_disabled_guard() {
+    if obs::active() {
+        println!("obs disabled-path guard skipped (observability is enabled)");
+        return;
+    }
+    const N: u64 = 50_000_000;
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..N {
+        if black_box(obs::active()) {
+            acc = acc.wrapping_add(i);
+        }
+    }
+    black_box(acc);
+    let per_site_ns = start.elapsed().as_nanos() as f64 / N as f64;
+    assert!(
+        per_site_ns < 5.0,
+        "disabled obs gate costs {per_site_ns:.2} ns/site (budget 5 ns)"
+    );
+    println!("obs disabled-path guard OK: {per_site_ns:.3} ns per gated site");
+}
+
 /// CI smoke: one gw-3-r8 run per engine, checked against the golden
 /// counters the checked-in `BENCH_parallel.json` rows were recorded with.
 /// Catches silent drift in `smt_checks` (the Fig. 11b metric must stay
@@ -380,16 +495,22 @@ fn bench_smoke() {
 }
 
 fn main() {
+    obs::init_from_env();
     if std::env::var_os("MEISSA_BENCH_SMOKE").is_some() {
+        obs_disabled_guard();
         bench_smoke();
         return;
     }
-    fig7_redundancy();
-    fig9_scalability();
-    fig11_summary();
-    fig12_rulesets();
-    appendix_a_complexity();
-    ablation_grouped_summary();
+    traced("fig7", fig7_redundancy);
+    traced("fig9", fig9_scalability);
+    traced("fig11", fig11_summary);
+    traced("fig12", fig12_rulesets);
+    traced("appendix_a", appendix_a_complexity);
+    traced("ablation_grouped", ablation_grouped_summary);
+    // The scaling/overhead series manage tracing themselves: their wall
+    // times are the recorded baselines, so the sink must stay off except
+    // where the overhead bench turns it on deliberately.
     parallel_scaling();
     netdriver_loopback();
+    obs_overhead();
 }

@@ -1,0 +1,287 @@
+//! `meissa-trace`: summarize (or validate) a `MEISSA_TRACE` JSONL file.
+//!
+//! ```text
+//! meissa-trace <trace.jsonl>          per-phase / per-worker breakdown
+//! meissa-trace --check <trace.jsonl>  schema + span-tree validation
+//! ```
+//!
+//! The report mode prints, for every `engine.run` span in the file:
+//! phase wall time (summary vs. exec vs. unattributed), the per-worker
+//! table from `parallel.worker` spans (tasks, steals, busy solve time),
+//! and the solver cache/batch counters the engine stamped on the run
+//! span — the same values `RunStats` reports, so the trace reconciles
+//! with the engine's own accounting. Wire-driver traces get the same
+//! treatment via `wire.run`/`wire.conn` spans. A final section shows the
+//! last metric snapshot (cumulative counters at the last flush).
+//!
+//! The check mode validates what CI relies on: every line parses as one
+//! of the known record kinds, span ids are unique, parent references
+//! resolve, and a child span nests inside its parent's time range on the
+//! same thread.
+
+use meissa_testkit::json::Json;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::exit;
+
+struct Span {
+    name: String,
+    id: u64,
+    parent: u64,
+    tid: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    fields: Vec<(String, u64)>,
+}
+
+struct Event {
+    name: String,
+    #[allow(dead_code)]
+    span: u64,
+}
+
+#[derive(Default)]
+struct Trace {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    /// name → value from the *last* snapshot in the file.
+    counters: BTreeMap<String, u64>,
+    /// name → (count, sum, p50, p99) from the last snapshot.
+    hists: BTreeMap<String, (u64, u64, u64, u64)>,
+    lines: usize,
+}
+
+fn num(v: &Json, key: &str) -> Result<u64, String> {
+    v.field(key)
+        .and_then(|f| f.as_u128())
+        .map(|n| n as u64)
+        .map_err(|e| e.to_string())
+}
+
+fn text(v: &Json, key: &str) -> Result<String, String> {
+    v.field(key)
+        .and_then(|f| f.as_str().map(str::to_string))
+        .map_err(|e| e.to_string())
+}
+
+fn fields_of(v: &Json) -> Vec<(String, u64)> {
+    match v.get("fields") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(k, fv)| fv.as_u128().ok().map(|n| (k.clone(), n as u64)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn parse_trace(path: &str) -> Result<Trace, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut t = Trace::default();
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: bad JSON: {e}", lineno + 1))?;
+        let kind = text(&v, "t").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match kind.as_str() {
+            "meta" => {}
+            "span" => t.spans.push(Span {
+                name: text(&v, "name")?,
+                id: num(&v, "id")?,
+                parent: num(&v, "parent")?,
+                tid: num(&v, "tid")?,
+                start_ns: num(&v, "start_ns")?,
+                dur_ns: num(&v, "dur_ns")?,
+                fields: fields_of(&v),
+            }),
+            "event" => t.events.push(Event {
+                name: text(&v, "name")?,
+                span: num(&v, "span")?,
+            }),
+            "counter" | "gauge" => {
+                t.counters.insert(text(&v, "name")?, num(&v, "value")?);
+            }
+            "hist" => {
+                t.hists.insert(
+                    text(&v, "name")?,
+                    (num(&v, "count")?, num(&v, "sum")?, num(&v, "p50")?, num(&v, "p99")?),
+                );
+            }
+            other => return Err(format!("line {}: unknown record kind `{other}`", lineno + 1)),
+        }
+        t.lines += 1;
+    }
+    Ok(t)
+}
+
+/// `--check`: span ids unique, parents resolve, children nest inside
+/// their same-thread parent's interval.
+fn check(t: &Trace) -> Result<(), String> {
+    let mut by_id: HashMap<u64, &Span> = HashMap::new();
+    for s in &t.spans {
+        if by_id.insert(s.id, s).is_some() {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    for s in &t.spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let Some(p) = by_id.get(&s.parent) else {
+            return Err(format!(
+                "span {} ({}) references unknown parent {}",
+                s.id, s.name, s.parent
+            ));
+        };
+        if p.tid != s.tid {
+            return Err(format!(
+                "span {} ({}) is parented across threads ({} vs {})",
+                s.id, s.name, s.tid, p.tid
+            ));
+        }
+        if s.start_ns < p.start_ns || s.start_ns + s.dur_ns > p.start_ns + p.dur_ns {
+            return Err(format!(
+                "span {} ({}) does not nest inside parent {} ({})",
+                s.id, s.name, p.id, p.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn field(s: &Span, key: &str) -> Option<u64> {
+    s.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn report(t: &Trace) -> String {
+    let mut out = String::new();
+    let runs: Vec<&Span> = t.spans.iter().filter(|s| s.name == "engine.run").collect();
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(out, "== engine.run #{} ({:.1} ms) ==", i + 1, ms(run.dur_ns));
+        let children: Vec<&Span> =
+            t.spans.iter().filter(|s| s.parent == run.id).collect();
+        let mut attributed = 0u64;
+        let _ = writeln!(out, "  phase breakdown:");
+        for c in &children {
+            attributed += c.dur_ns;
+            let _ = writeln!(out, "    {:<16} {:>9.1} ms", c.name, ms(c.dur_ns));
+        }
+        let _ = writeln!(
+            out,
+            "    {:<16} {:>9.1} ms",
+            "(unattributed)",
+            ms(run.dur_ns.saturating_sub(attributed))
+        );
+        // Worker spans live on their own threads (roots there), inside the
+        // run's time range.
+        let workers: Vec<&Span> = t
+            .spans
+            .iter()
+            .filter(|s| {
+                s.name == "parallel.worker"
+                    && s.start_ns >= run.start_ns
+                    && s.start_ns < run.start_ns + run.dur_ns
+            })
+            .collect();
+        if !workers.is_empty() {
+            let _ = writeln!(out, "  workers:");
+            let _ = writeln!(
+                out,
+                "    {:<4} {:>7} {:>7} {:>12} {:>12}",
+                "wid", "tasks", "steals", "busy ms", "checks"
+            );
+            for w in &workers {
+                let _ = writeln!(
+                    out,
+                    "    {:<4} {:>7} {:>7} {:>12.1} {:>12}",
+                    field(w, "wid").unwrap_or(0),
+                    field(w, "tasks").unwrap_or(0),
+                    field(w, "steals").unwrap_or(0),
+                    ms(field(w, "busy_us").unwrap_or(0) * 1000),
+                    field(w, "smt_checks").unwrap_or(0),
+                );
+            }
+        }
+        if !run.fields.is_empty() {
+            let _ = writeln!(out, "  run counters (from RunStats):");
+            for (k, v) in &run.fields {
+                let _ = writeln!(out, "    {k:<18} {v}");
+            }
+        }
+    }
+    let wire_runs: Vec<&Span> = t.spans.iter().filter(|s| s.name == "wire.run").collect();
+    for (i, run) in wire_runs.iter().enumerate() {
+        let _ = writeln!(out, "== wire.run #{} ({:.1} ms) ==", i + 1, ms(run.dur_ns));
+        for (k, v) in &run.fields {
+            let _ = writeln!(out, "    {k:<14} {v}");
+        }
+        let conns = t.spans.iter().filter(|s| s.name == "wire.conn").count();
+        let cases = t.spans.iter().filter(|s| s.name == "wire.case").count();
+        let _ = writeln!(out, "    conn spans     {conns}");
+        let _ = writeln!(out, "    case spans     {cases}");
+    }
+    if !t.events.is_empty() {
+        let mut tally: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in &t.events {
+            *tally.entry(e.name.as_str()).or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "== events ==");
+        for (name, n) in tally {
+            let _ = writeln!(out, "    {name:<24} {n}");
+        }
+    }
+    if !t.counters.is_empty() || !t.hists.is_empty() {
+        let _ = writeln!(out, "== metrics (last snapshot) ==");
+        for (name, v) in &t.counters {
+            let _ = writeln!(out, "    {name:<24} {v}");
+        }
+        for (name, (count, sum, p50, p99)) in &t.hists {
+            let _ = writeln!(
+                out,
+                "    {name:<24} count={count} sum={sum} p50≈{p50} p99≈{p99}"
+            );
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check_mode, path) = match args.as_slice() {
+        [flag, p] if flag == "--check" => (true, p.clone()),
+        [p] if p != "--check" && !p.starts_with("--") => (false, p.clone()),
+        _ => {
+            eprintln!("usage: meissa-trace [--check] <trace.jsonl>");
+            exit(2);
+        }
+    };
+    let t = match parse_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("meissa-trace: {e}");
+            exit(1);
+        }
+    };
+    if check_mode {
+        if let Err(e) = check(&t) {
+            eprintln!("meissa-trace: span tree invalid: {e}");
+            exit(1);
+        }
+        println!(
+            "ok: {} records ({} spans, {} events, {} metrics)",
+            t.lines,
+            t.spans.len(),
+            t.events.len(),
+            t.counters.len() + t.hists.len()
+        );
+    } else {
+        // A truncated reader (`meissa-trace … | head`) closes the pipe
+        // early; that is not an error worth a panic or a non-zero exit.
+        let _ = std::io::stdout().write_all(report(&t).as_bytes());
+    }
+}

@@ -12,7 +12,9 @@ use crate::template::TestTemplate;
 use meissa_ir::{count_paths, Cfg};
 use meissa_lang::CompiledProgram;
 use meissa_num::BigUint;
+use meissa_smt::sat::SatStats;
 use meissa_smt::{SolverStats, TermPool};
+use meissa_testkit::obs;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -124,6 +126,9 @@ pub struct RunStats {
     /// [`SolveSession`] retired (fast-path vs SAT-engine split, verdict
     /// tallies, peak frame depth).
     pub solver: SolverStats,
+    /// Cumulative SAT-engine counters (propagations, conflicts, decisions)
+    /// across every solver the run retired.
+    pub sat: SatStats,
     /// Early-termination probes that consulted the session's verdict cache,
     /// across both phases (summary + final DFS).
     pub cache_probes: u64,
@@ -216,6 +221,8 @@ impl Meissa {
 
     /// Runs test case generation directly on a CFG.
     pub fn run_on_cfg(&self, original: &Cfg) -> RunOutput {
+        obs::init_from_env();
+        let mut run_span = obs::span("engine.run");
         let t0 = Instant::now();
         let mut session = SolveSession::new();
         let mut cfg = original.clone();
@@ -230,7 +237,11 @@ impl Meissa {
         // basic framework is the whole algorithm.
         let multi_pipe = cfg.pipeline_topo_order().len() >= 2;
         if self.config.code_summary && multi_pipe {
+            let mut summary_span = obs::span("engine.summary");
             let outcome = summarize(&mut cfg, &mut session, &self.config.exec_config());
+            summary_span.field("smt_checks", outcome.stats.smt_checks);
+            summary_span.field("pipelines", outcome.stats.pipelines.len() as u64);
+            drop(summary_span);
             stats.summary_elapsed = outcome.stats.elapsed;
             stats.smt_checks += outcome.stats.smt_checks;
             stats.timed_out |= outcome.stats.timed_out;
@@ -255,7 +266,12 @@ impl Meissa {
                 templates
             }
             None => {
+                let mut exec_span = obs::span("engine.exec");
                 let exec = generate_templates(&cfg, &mut session, &self.config.exec_config());
+                exec_span.field("smt_checks", exec.stats.smt_checks);
+                exec_span.field("paths_explored", exec.stats.paths_explored);
+                exec_span.field("valid_paths", exec.stats.valid_paths);
+                drop(exec_span);
                 stats.exec_elapsed = exec.stats.elapsed;
                 stats.smt_checks += exec.stats.smt_checks;
                 stats.valid_paths = exec.stats.valid_paths;
@@ -272,7 +288,41 @@ impl Meissa {
         stats.batched_probes = session.exec.batched_probes;
         stats.arm_batches = session.exec.arm_batches;
         stats.solver = session.solver_stats();
+        stats.sat = session.sat_stats();
         stats.elapsed = t0.elapsed();
+
+        if obs::trace_on() {
+            // Authoritative per-run counters straight from RunStats, so a
+            // trace reader can reconcile spans against the engine's own
+            // accounting without re-deriving anything.
+            run_span.field("threads", self.config.threads as u64);
+            run_span.field("templates", templates.len() as u64);
+            run_span.field("smt_checks", stats.smt_checks);
+            run_span.field("cache_probes", stats.cache_probes);
+            run_span.field("cache_hits", stats.cache_hits);
+            run_span.field("batched_probes", stats.batched_probes);
+            run_span.field("arm_batches", stats.arm_batches);
+            run_span.field("sat_engine_calls", stats.solver.sat_engine_calls);
+            run_span.field("model_reuse", stats.solver.model_reuse);
+            run_span.field("sat_propagations", stats.sat.propagations);
+            run_span.field("sat_conflicts", stats.sat.conflicts);
+            drop(run_span);
+            if let Err(e) = obs::flush_trace() {
+                eprintln!("meissa: trace flush failed: {e}");
+            }
+        }
+        if obs::log_on(obs::LogLevel::Info) {
+            obs::log(
+                obs::LogLevel::Info,
+                "engine",
+                &format!(
+                    "run done: templates={} smt_checks={} elapsed={:?}",
+                    templates.len(),
+                    stats.smt_checks,
+                    stats.elapsed
+                ),
+            );
+        }
 
         RunOutput {
             pool: session.into_pool(),

@@ -37,6 +37,7 @@ use crate::session::SolveSession;
 use crate::symstate::{HashDef, SymCtx, ValueStack};
 use meissa_ir::{Cfg, FieldId, NodeId};
 use meissa_smt::{TermId, TermNode, TermPool};
+use meissa_testkit::obs;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -171,6 +172,10 @@ impl WorkSharer for Frontier {
         self.queue_hint.store(st.tasks.len(), Ordering::Relaxed);
         drop(st);
         self.available.notify_all();
+        obs::event(
+            "worker.donate",
+            &[("siblings", siblings.len() as u64), ("depth", trace.len() as u64)],
+        );
     }
 }
 
@@ -240,13 +245,22 @@ fn worker_loop(
     // a worker bounds it by retiring its solver after this many checks and
     // re-blasting the (shallow) next prefix into a fresh one.
     const WORKER_RESET_CHECKS: u64 = 512;
+    let mut span = obs::span("parallel.worker");
+    span.field("wid", wid as u64);
     let mut session = SolveSession::fork_from(main_pool);
     let mut ctx = SymCtx::new(scope);
     let mut busy = std::time::Duration::ZERO;
     let mut tasks = 0usize;
+    let mut steals = 0u64;
     while let Some(task) = frontier.pop() {
         let t_task = Instant::now();
         tasks += 1;
+        if task.pool.is_some() {
+            // A minipool snapshot means this task was donated by a sibling
+            // worker rather than seeded by the dispatcher.
+            steals += 1;
+            obs::event("worker.steal", &[("depth", task.trace.len() as u64)]);
+        }
         if session.solver.stats.checks >= WORKER_RESET_CHECKS {
             session.reset_solver();
         }
@@ -293,6 +307,10 @@ fn worker_loop(
         frontier.finish_task();
         busy += t_task.elapsed();
     }
+    span.field("tasks", tasks as u64);
+    span.field("steals", steals);
+    span.field("busy_us", busy.as_micros() as u64);
+    span.field("smt_checks", session.exec.smt_checks);
     WorkerOutput {
         session,
         ctx,
@@ -468,7 +486,7 @@ pub(crate) fn explore_parallel(
         stats.batched_probes += out.session.exec.batched_probes;
         stats.arm_batches += out.session.exec.arm_batches;
         stats.timed_out |= out.session.exec.timed_out;
-        session.merge_worker(&out.session.exec, &out.session.solver_stats());
+        session.merge_worker(&out.session.exec, &out.session.solver_stats(), &out.session.sat_stats());
     }
     stats.timed_out |= budget.timed_out();
     stats.elapsed = t0.elapsed();
@@ -651,7 +669,7 @@ pub(crate) fn explore_batch(
         });
     }
     for out in &outputs {
-        session.merge_worker(&out.session.exec, &out.session.solver_stats());
+        session.merge_worker(&out.session.exec, &out.session.solver_stats(), &out.session.sat_stats());
     }
     results
 }

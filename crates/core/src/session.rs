@@ -9,8 +9,29 @@
 //! and merging workers is merging their cumulative stats.
 
 use crate::exec::ExecStats;
+use meissa_smt::sat::SatStats;
 use meissa_smt::{CheckResult, Solver, SolverStats, TermId, TermPool};
+use meissa_testkit::obs;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Live observability metrics for the session cache layer
+/// (`meissa_session_*` in the Prometheus exposition). Only touched when
+/// [`obs::active`].
+struct ObsMetrics {
+    cache_probes: Arc<obs::Counter>,
+    cache_hits: Arc<obs::Counter>,
+    arm_batch: Arc<obs::Histogram>,
+}
+
+fn obs_metrics() -> &'static ObsMetrics {
+    static M: OnceLock<ObsMetrics> = OnceLock::new();
+    M.get_or_init(|| ObsMetrics {
+        cache_probes: obs::counter("session.cache_probes"),
+        cache_hits: obs::counter("session.cache_hits"),
+        arm_batch: obs::histogram("session.arm_batch_size"),
+    })
+}
 
 /// Verdict of one branch-arm probe (see [`SolveSession::probe_arms`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,6 +59,9 @@ pub struct SolveSession {
     /// Solver counters retired by [`SolveSession::reset_solver`]; added to
     /// the live solver's counters by [`SolveSession::solver_stats`].
     retired: SolverStats,
+    /// SAT-engine counters retired alongside [`SolveSession::retired`];
+    /// added to the live engine's counters by [`SolveSession::sat_stats`].
+    retired_sat: SatStats,
     /// Live-solver checks already attributed to some exploration's
     /// per-call stats (the incremental-check delta accounting previously
     /// kept by the `Explorer`).
@@ -65,6 +89,7 @@ impl SolveSession {
             solver: Solver::new(),
             exec: ExecStats::default(),
             retired: SolverStats::default(),
+            retired_sat: SatStats::default(),
             checks_consumed: 0,
             verdict_cache: HashMap::new(),
         }
@@ -83,6 +108,7 @@ impl SolveSession {
             solver: Solver::new(),
             exec: ExecStats::default(),
             retired: SolverStats::default(),
+            retired_sat: SatStats::default(),
             checks_consumed: 0,
             // Workers start cold: cloning the main cache would mostly copy
             // entries for regions the worker never visits, and the merged
@@ -98,13 +124,29 @@ impl SolveSession {
     /// top-level exploration starts from a fresh solver.
     pub fn reset_solver(&mut self) {
         let old = std::mem::replace(&mut self.solver, Solver::new());
+        if obs::trace_on() {
+            obs::event(
+                "session.solver_retire",
+                &[
+                    ("checks", old.stats.checks),
+                    ("learned", old.sat_stats().learned),
+                ],
+            );
+        }
         self.retired = add_solver_stats(self.retired, old.stats);
+        self.retired_sat = add_sat_stats(self.retired_sat, old.sat_stats());
         self.checks_consumed = 0;
     }
 
     /// Cumulative solver counters: every retired solver plus the live one.
     pub fn solver_stats(&self) -> SolverStats {
         add_solver_stats(self.retired, self.solver.stats)
+    }
+
+    /// Cumulative SAT-engine counters: every retired solver's engine plus
+    /// the live one's.
+    pub fn sat_stats(&self) -> SatStats {
+        add_sat_stats(self.retired_sat, self.solver.sat_stats())
     }
 
     /// Live-solver checks not yet attributed to a per-exploration stats
@@ -183,13 +225,18 @@ impl SolveSession {
     /// that run's counters: every field is a sum except `depth` (a gauge of
     /// the *live* solver, meaningless for a joined worker and dropped) and
     /// `max_depth` (a peak, merged via max).
-    pub fn merge_worker(&mut self, exec: &ExecStats, solver: &SolverStats) {
+    pub fn merge_worker(&mut self, exec: &ExecStats, solver: &SolverStats, sat: &SatStats) {
         self.record(exec);
         let dead = SolverStats {
             depth: 0, // joined workers hold no live frames
             ..*solver
         };
         self.retired = add_solver_stats(self.retired, dead);
+        let dead_sat = SatStats {
+            learned: 0, // a joined worker's clause store is gone
+            ..*sat
+        };
+        self.retired_sat = add_sat_stats(self.retired_sat, dead_sat);
     }
 
     /// Consumes the session, yielding the pool (for [`crate::RunOutput`],
@@ -218,9 +265,13 @@ pub(crate) fn probe_arms_cached(
     arm_keys: &[Vec<String>],
 ) -> Vec<bool> {
     debug_assert_eq!(arms.len(), arm_keys.len());
+    let obs_on = obs::active();
     if arms.len() >= 2 {
         exec.arm_batches += 1;
         exec.batched_probes += arms.len() as u64;
+        if obs_on {
+            obs_metrics().arm_batch.record(arms.len() as u64);
+        }
     }
     let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(arms.len());
     let mut miss_terms: Vec<TermId> = Vec::new();
@@ -241,6 +292,11 @@ pub(crate) fn probe_arms_cached(
             miss_terms.push(arm);
             miss_keys.push(key);
         }
+    }
+    if obs_on {
+        let m = obs_metrics();
+        m.cache_probes.add(arms.len() as u64);
+        m.cache_hits.add((arms.len() - miss_terms.len()) as u64);
     }
     let solved = solver.check_under(pool, &miss_terms);
     let mut solved_it = solved.into_iter().zip(miss_keys);
@@ -271,6 +327,20 @@ pub fn add_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         unsat: a.unsat + b.unsat,
         depth: b.depth,
         max_depth: a.max_depth.max(b.max_depth),
+    }
+}
+
+/// Sums SAT-engine tallies; `learned` is a gauge (clauses *currently*
+/// retained), so the live side's value wins — mirroring how
+/// [`add_solver_stats`] treats `depth`.
+pub fn add_sat_stats(a: SatStats, b: SatStats) -> SatStats {
+    SatStats {
+        solves: a.solves + b.solves,
+        conflicts: a.conflicts + b.conflicts,
+        decisions: a.decisions + b.decisions,
+        propagations: a.propagations + b.propagations,
+        restarts: a.restarts + b.restarts,
+        learned: b.learned,
     }
 }
 
@@ -370,9 +440,14 @@ mod tests {
                 max_depth: 4,
             },
         ];
+        let worker_sat = [
+            SatStats { solves: 5, conflicts: 2, decisions: 9, propagations: 40, restarts: 1, learned: 3 },
+            SatStats { solves: 5, conflicts: 1, decisions: 7, propagations: 30, restarts: 0, learned: 2 },
+            SatStats { solves: 0, conflicts: 0, decisions: 0, propagations: 0, restarts: 0, learned: 0 },
+        ];
         let mut main = SolveSession::new();
-        for (e, s) in worker_exec.iter().zip(&worker_solver) {
-            main.merge_worker(e, s);
+        for ((e, s), sat) in worker_exec.iter().zip(&worker_solver).zip(&worker_sat) {
+            main.merge_worker(e, s, sat);
         }
         // Execution tallies: sums of the per-worker deltas.
         assert_eq!(main.exec.paths_explored, 8);
@@ -395,16 +470,20 @@ mod tests {
         assert_eq!(s.unsat, 9);
         assert_eq!(s.max_depth, 11, "peak depth merges via max");
         assert_eq!(s.depth, 0, "worker live depth is not carried over");
+        let sat = main.sat_stats();
+        assert_eq!(sat.solves, 10);
+        assert_eq!(sat.propagations, 70);
+        assert_eq!(sat.learned, 0, "worker clause stores are not carried over");
     }
 
     #[test]
     fn merge_worker_propagates_timeout() {
         let mut main = SolveSession::new();
         let mut e = ExecStats::default();
-        main.merge_worker(&e, &SolverStats::default());
+        main.merge_worker(&e, &SolverStats::default(), &SatStats::default());
         assert!(!main.exec.timed_out);
         e.timed_out = true;
-        main.merge_worker(&e, &SolverStats::default());
+        main.merge_worker(&e, &SolverStats::default(), &SatStats::default());
         assert!(main.exec.timed_out, "one timed-out worker flags the run");
     }
 
@@ -428,6 +507,7 @@ mod tests {
                 max_depth: 2,
                 ..SolverStats::default()
             },
+            &SatStats::default(),
         );
         assert_eq!(s.solver_stats().checks, own_checks + 3);
         assert_eq!(s.exec.smt_checks, 3);

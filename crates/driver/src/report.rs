@@ -144,7 +144,7 @@ impl TestReport {
         if v.is_empty() {
             return None;
         }
-        let rank = ((p as usize) * (v.len() - 1) + 50) / 100;
+        let rank = meissa_testkit::obs::percentile_index(v.len(), p);
         Some(v[rank.min(v.len() - 1)])
     }
 
@@ -287,5 +287,19 @@ mod tests {
         let mut r = TestReport::new("none");
         r.push(CaseResult::new(0, Verdict::Skipped { reason: "s".into() }, vec![]));
         assert_eq!(r.latency_p99(), None);
+    }
+
+    #[test]
+    fn cases_per_sec_is_none_without_recorded_elapsed() {
+        // `elapsed` is documented as zero when the driver did not record
+        // it; throughput must be absent rather than a division by zero,
+        // even when the report holds executed cases.
+        let mut r = TestReport::new("none");
+        r.push(CaseResult::new(0, Verdict::Pass, vec![]));
+        r.push(CaseResult::new(1, Verdict::OutputMismatch { detail: "x".into() }, vec![]));
+        assert_eq!(r.elapsed, Duration::ZERO);
+        assert_eq!(r.cases_per_sec(), None);
+        r.elapsed = Duration::from_millis(500);
+        assert_eq!(r.cases_per_sec(), Some(4.0));
     }
 }

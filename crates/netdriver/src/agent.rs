@@ -157,6 +157,39 @@ fn encode_state(program: &CompiledProgram, state: &ConcreteState) -> Vec<(String
     triples
 }
 
+/// Renders the agent's live traffic counters — plus every `testkit::obs`
+/// metric registered in this process — in Prometheus text exposition
+/// format. Reads only atomics and a narrow per-port lock, so scraping
+/// mid-run never stalls the inject path.
+fn metrics_exposition(stats: &AgentStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# TYPE meissa_agent_injected_total counter\nmeissa_agent_injected_total {}\n",
+        stats.injected.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "# TYPE meissa_agent_forwarded_total counter\nmeissa_agent_forwarded_total {}\n",
+        stats.forwarded.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "# TYPE meissa_agent_dropped_total counter\nmeissa_agent_dropped_total {}\n",
+        stats.dropped.load(Ordering::Relaxed)
+    ));
+    {
+        let per_port = stats.per_port.lock().unwrap();
+        if !per_port.is_empty() {
+            out.push_str("# TYPE meissa_agent_port_forwarded_total counter\n");
+            for (&port, &n) in per_port.iter() {
+                out.push_str(&format!(
+                    "meissa_agent_port_forwarded_total{{port=\"{port}\"}} {n}\n"
+                ));
+            }
+        }
+    }
+    out.push_str(&meissa_testkit::obs::metrics_text());
+    out
+}
+
 fn send_reliable(w: &mut TcpStream, resp: &Response) -> io::Result<()> {
     write_frame(w, &encode(resp))
 }
@@ -295,6 +328,12 @@ fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     forwarded: sh.stats.forwarded.load(Ordering::Relaxed),
                     dropped: sh.stats.dropped.load(Ordering::Relaxed),
                     per_port,
+                };
+                send_reliable(&mut writer, &resp)?;
+            }
+            Request::Metrics => {
+                let resp = Response::Metrics {
+                    text: metrics_exposition(&sh.stats),
                 };
                 send_reliable(&mut writer, &resp)?;
             }

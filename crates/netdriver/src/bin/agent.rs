@@ -22,6 +22,9 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Honour MEISSA_LOG/MEISSA_TRACE; the `Metrics` RPC serves the obs
+    // registry regardless.
+    meissa_testkit::obs::init_from_env();
     let mut listen = "127.0.0.1:9917".to_string();
     let mut program_path: Option<String> = None;
     let mut rules_path: Option<String> = None;

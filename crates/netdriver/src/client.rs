@@ -24,6 +24,7 @@ use meissa_dataplane::{serialize_state, Fault, Packet, SwitchTarget};
 use meissa_driver::{plan_cases, CaseResult, CaseSpec, Checker, Observation, TestReport, Verdict};
 use meissa_ir::ConcreteState;
 use meissa_lang::CompiledProgram;
+use meissa_testkit::obs;
 use meissa_testkit::wire::{write_frame, FrameReader};
 use std::collections::HashMap;
 use std::io;
@@ -103,6 +104,8 @@ impl<'p> WireDriver<'p> {
     /// Runs every template in `run` against the remote agent and checks
     /// results, exactly as `TestDriver::run` does in-process.
     pub fn run(&self, run: &mut RunOutput) -> io::Result<TestReport> {
+        obs::init_from_env();
+        let mut run_span = obs::span("wire.run");
         let started = Instant::now();
         let plan = plan_cases(self.program, run, self.packets_per_template);
         let mut slots: Vec<Option<CaseResult>> = vec![None; plan.len()];
@@ -191,6 +194,14 @@ impl<'p> WireDriver<'p> {
             .map(|s| s.expect("every planned case produced a result"))
             .collect();
         report.elapsed = started.elapsed();
+        if obs::trace_on() {
+            run_span.field("cases", report.cases.len() as u64);
+            run_span.field("connections", nconn as u64);
+            drop(run_span);
+            if let Err(e) = obs::flush_trace() {
+                eprintln!("meissa: trace flush failed: {e}");
+            }
+        }
         Ok(report)
     }
 
@@ -219,6 +230,10 @@ impl<'p> WireDriver<'p> {
         }
         let mut pending: HashMap<u64, Pending> = HashMap::new();
         let mut results: Vec<(usize, CaseResult)> = Vec::new();
+        let mut conn_span = obs::span("wire.conn");
+        let mut sent = 0u64;
+        let mut retries = 0u64;
+        let mut drops = 0u64;
 
         loop {
             // Sender: refill the window from the shared queue. Once a case
@@ -229,6 +244,7 @@ impl<'p> WireDriver<'p> {
                     break;
                 };
                 self.send_inject(&mut writer, &case)?;
+                sent += 1;
                 pending.insert(
                     case.wire_id,
                     Pending {
@@ -241,6 +257,14 @@ impl<'p> WireDriver<'p> {
             }
             if pending.is_empty() {
                 // Window drained and the queue answered empty: done.
+                if obs::trace_on() {
+                    conn_span.field("cases", results.len() as u64);
+                    conn_span.field("sent", sent);
+                    conn_span.field("retries", retries);
+                    conn_span.field("drops", drops);
+                }
+                drop(conn_span);
+                obs::park_current_thread();
                 return Ok(results);
             }
 
@@ -276,6 +300,20 @@ impl<'p> WireDriver<'p> {
                                     &obs,
                                 );
                                 r.latency = p.first_sent.elapsed();
+                                if obs::active() {
+                                    wire_obs().case_latency_us.record(r.latency.as_micros() as u64);
+                                    // The send and the verdict are separated
+                                    // by other windowed cases, so the case
+                                    // span is recorded retroactively: one
+                                    // send→check span per case, parented
+                                    // under this connection's span.
+                                    obs::span_closed(
+                                        "wire.case",
+                                        obs::now_ns().saturating_sub(r.latency.as_nanos() as u64),
+                                        r.latency.as_nanos() as u64,
+                                        &[("id", id), ("attempts", p.attempts as u64)],
+                                    );
+                                }
                                 results.push((p.case.slot, r));
                             }
                         }
@@ -313,10 +351,28 @@ impl<'p> WireDriver<'p> {
                                 &Observation::missing(),
                             );
                             r.latency = p.first_sent.elapsed();
+                            drops += 1;
+                            obs::event("wire.drop", &[("id", id), ("attempts", p.attempts as u64)]);
+                            if obs::active() {
+                                wire_obs().dropped.add(1);
+                            }
                             results.push((p.case.slot, r));
                         } else {
                             self.send_inject(&mut writer, &p.case)?;
+                            sent += 1;
+                            retries += 1;
                             p.attempts += 1;
+                            obs::event(
+                                "wire.retry",
+                                &[
+                                    ("id", id),
+                                    ("attempt", p.attempts as u64),
+                                    ("backoff_ms", (self.backoff * p.attempts).as_millis() as u64),
+                                ],
+                            );
+                            if obs::active() {
+                                wire_obs().retries.add(1);
+                            }
                             p.deadline = if p.attempts >= self.max_attempts {
                                 now + self.drain_timeout
                             } else {
@@ -338,6 +394,23 @@ impl<'p> WireDriver<'p> {
             }),
         )
     }
+}
+
+/// Live observability metrics for the wire client (`meissa_wire_*` in
+/// the Prometheus exposition). Only touched when [`obs::active`].
+struct WireObs {
+    case_latency_us: std::sync::Arc<obs::Histogram>,
+    retries: std::sync::Arc<obs::Counter>,
+    dropped: std::sync::Arc<obs::Counter>,
+}
+
+fn wire_obs() -> &'static WireObs {
+    static W: std::sync::OnceLock<WireObs> = std::sync::OnceLock::new();
+    W.get_or_init(|| WireObs {
+        case_latency_us: obs::histogram("wire.case_latency_us"),
+        retries: obs::counter("wire.retries"),
+        dropped: obs::counter("wire.dropped"),
+    })
 }
 
 struct WireCase {
@@ -462,6 +535,15 @@ pub fn fetch_stats(addr: SocketAddr) -> io::Result<(u64, u64, u64, Vec<(u128, u6
             dropped,
             per_port,
         } => Ok((injected, forwarded, dropped, per_port)),
+        other => Err(io::Error::other(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Live metrics snapshot in Prometheus text exposition format (agent
+/// traffic counters plus the agent process's `testkit::obs` registry).
+pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
+    match oneshot(addr, &Request::Metrics)? {
+        Response::Metrics { text } => Ok(text),
         other => Err(io::Error::other(format!("unexpected response {other:?}"))),
     }
 }

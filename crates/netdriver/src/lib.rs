@@ -30,7 +30,7 @@ pub mod proto;
 
 pub use agent::{Agent, AgentHandle};
 pub use client::{
-    fetch_stats, hello, install_rules, load_program, shutdown, WireDriver,
+    fetch_metrics, fetch_stats, hello, install_rules, load_program, shutdown, WireDriver,
 };
 pub use fault::TransportFaults;
 pub use proto::{Request, Response, PROTO_VERSION};

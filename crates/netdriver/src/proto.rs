@@ -49,6 +49,13 @@ pub enum Request {
     },
     /// Ask for cumulative traffic counters.
     Stats,
+    /// Ask for a live metrics snapshot in Prometheus text exposition
+    /// format (agent traffic counters plus every `testkit::obs` metric
+    /// registered in the agent process); answered by
+    /// [`Response::Metrics`]. Scrapable mid-run — the counters are plain
+    /// atomics, so a management-channel request never blocks the data
+    /// path.
+    Metrics,
     /// Stop the agent's accept loop.
     Shutdown,
 }
@@ -85,6 +92,11 @@ pub enum Response {
         /// the hardware-model register dump the checker validates intents
         /// against.
         state: Vec<(String, u16, u128)>,
+    },
+    /// Prometheus text exposition of the agent's live counters.
+    Metrics {
+        /// `# TYPE` lines plus samples, one metric per stanza.
+        text: String,
     },
     /// Cumulative traffic counters.
     Stats {
@@ -224,6 +236,7 @@ impl ToJson for Request {
                 ],
             ),
             Request::Stats => obj("stats", vec![]),
+            Request::Metrics => obj("metrics", vec![]),
             Request::Shutdown => obj("shutdown", vec![]),
         }
     }
@@ -249,6 +262,7 @@ impl FromJson for Request {
                 bytes: hex_decode(v.field("bytes")?.as_str()?)?,
             },
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(JsonError::new(format!("unknown request `{other}`"))),
         })
@@ -272,6 +286,7 @@ impl ToJson for Response {
             ),
             Response::Ok => obj("ok", vec![]),
             Response::Err { msg } => obj("err", vec![("msg".into(), msg.to_json())]),
+            Response::Metrics { text } => obj("metrics", vec![("text".into(), text.to_json())]),
             Response::Output {
                 id,
                 packet,
@@ -352,6 +367,9 @@ impl FromJson for Response {
             "ok" => Response::Ok,
             "err" => Response::Err {
                 msg: String::from_json(v.field("msg")?)?,
+            },
+            "metrics" => Response::Metrics {
+                text: String::from_json(v.field("text")?)?,
             },
             "output" => Response::Output {
                 id: u64::from_json(v.field("id")?)?,
@@ -444,6 +462,7 @@ mod tests {
             bytes: vec![0x00, 0xff, 0x10],
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Shutdown);
     }
 
@@ -467,6 +486,9 @@ mod tests {
             packet: None,
             port: None,
             state: vec![],
+        });
+        roundtrip_resp(Response::Metrics {
+            text: "# TYPE meissa_agent_injected_total counter\nmeissa_agent_injected_total 3\n".into(),
         });
         roundtrip_resp(Response::Stats {
             injected: 10,

@@ -175,3 +175,48 @@ fn load_program_and_install_rules_over_the_wire() {
 
     agent.shutdown();
 }
+
+#[test]
+fn metrics_rpc_returns_live_counters_mid_run() {
+    use meissa_netdriver::proto::{decode, encode, Request, Response, PROTO_VERSION};
+    use meissa_testkit::wire::{write_frame, FrameReader};
+    use std::net::TcpStream;
+
+    let cp = program();
+    let agent = Agent::spawn(Some(SwitchTarget::new(&cp)), None).unwrap();
+
+    // Drive injects over a raw protocol connection, scraping metrics
+    // between packets while the connection is still live — the agent must
+    // answer from its atomics without waiting for the run to end.
+    let stream = TcpStream::connect(agent.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = FrameReader::new(stream);
+    write_frame(&mut writer, &encode(&Request::Hello { version: PROTO_VERSION })).unwrap();
+    let _hello = reader.next_frame().unwrap();
+
+    for id in 0..3u64 {
+        write_frame(
+            &mut writer,
+            &encode(&Request::Inject { id, bytes: vec![0u8; 20] }),
+        )
+        .unwrap();
+        let frame = reader.next_frame().unwrap();
+        match decode::<Response>(&frame).unwrap() {
+            Response::Output { id: got, .. } => assert_eq!(got, id),
+            other => panic!("expected Output, got {other:?}"),
+        }
+        // Mid-run scrape over a separate control connection.
+        let text = meissa_netdriver::fetch_metrics(agent.addr()).unwrap();
+        let want = format!("meissa_agent_injected_total {}", id + 1);
+        assert!(
+            text.contains("# TYPE meissa_agent_injected_total counter"),
+            "missing TYPE line:\n{text}"
+        );
+        assert!(text.contains(&want), "expected `{want}` in:\n{text}");
+    }
+    let text = meissa_netdriver::fetch_metrics(agent.addr()).unwrap();
+    assert!(text.contains("meissa_agent_injected_total 3"), "{text}");
+    drop(writer);
+    drop(reader);
+    agent.shutdown();
+}

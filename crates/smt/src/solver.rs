@@ -18,7 +18,35 @@ use crate::blast::Blaster;
 use crate::sat::{Lit, SatResult, SatSolver};
 use crate::term::{EvalValue, TermId, TermPool, VarId};
 use meissa_num::Bv;
+use meissa_testkit::obs;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Live observability counters (`meissa_smt_*` in the Prometheus
+/// exposition). Updated only when [`obs::active`], so the disabled path
+/// costs one relaxed atomic load per solver interaction.
+struct ObsCounters {
+    checks: Arc<obs::Counter>,
+    fast_path: Arc<obs::Counter>,
+    sat_engine_calls: Arc<obs::Counter>,
+    model_reuse: Arc<obs::Counter>,
+    sat_propagations: Arc<obs::Counter>,
+    sat_conflicts: Arc<obs::Counter>,
+    sat_learned: Arc<obs::Gauge>,
+}
+
+fn obs_counters() -> &'static ObsCounters {
+    static C: OnceLock<ObsCounters> = OnceLock::new();
+    C.get_or_init(|| ObsCounters {
+        checks: obs::counter("smt.checks"),
+        fast_path: obs::counter("smt.fast_path"),
+        sat_engine_calls: obs::counter("smt.sat_engine_calls"),
+        model_reuse: obs::counter("smt.model_reuse"),
+        sat_propagations: obs::counter("sat.propagations"),
+        sat_conflicts: obs::counter("sat.conflicts"),
+        sat_learned: obs::gauge("sat.learned_clauses"),
+    })
+}
 
 /// Result of an SMT check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -184,6 +212,30 @@ impl Solver {
 
     /// Checks satisfiability of the conjunction of all live assertions.
     pub fn check(&mut self, pool: &mut TermPool) -> CheckResult {
+        if !obs::active() {
+            return self.check_inner(pool);
+        }
+        let (before, sat_before) = (self.stats, self.sat.stats);
+        let out = self.check_inner(pool);
+        self.publish_obs(before, sat_before);
+        out
+    }
+
+    /// Publishes the counter deltas of one solver interaction to the
+    /// observability registry. Only called when obs is enabled.
+    fn publish_obs(&self, before: SolverStats, sat_before: crate::sat::SatStats) {
+        let c = obs_counters();
+        c.checks.add(self.stats.checks - before.checks);
+        c.fast_path.add(self.stats.fast_path - before.fast_path);
+        c.sat_engine_calls.add(self.stats.sat_engine_calls - before.sat_engine_calls);
+        c.model_reuse.add(self.stats.model_reuse - before.model_reuse);
+        let sat = self.sat.stats;
+        c.sat_propagations.add(sat.propagations - sat_before.propagations);
+        c.sat_conflicts.add(sat.conflicts - sat_before.conflicts);
+        c.sat_learned.set(sat.learned);
+    }
+
+    fn check_inner(&mut self, pool: &mut TermPool) -> CheckResult {
         self.stats.checks += 1;
         if self.frames.iter().any(|f| f.poisoned) {
             self.stats.fast_path += 1;
@@ -239,6 +291,20 @@ impl Solver {
     /// Every arm counts one `checks`, exactly like an individual `check`,
     /// so batch-shape changes never move the Fig. 11b metric.
     pub fn check_under(&mut self, pool: &mut TermPool, assumptions: &[TermId]) -> Vec<CheckResult> {
+        if !obs::active() {
+            return self.check_under_inner(pool, assumptions);
+        }
+        let (before, sat_before) = (self.stats, self.sat.stats);
+        let out = self.check_under_inner(pool, assumptions);
+        self.publish_obs(before, sat_before);
+        out
+    }
+
+    fn check_under_inner(
+        &mut self,
+        pool: &mut TermPool,
+        assumptions: &[TermId],
+    ) -> Vec<CheckResult> {
         let poisoned = self.frames.iter().any(|f| f.poisoned);
         let mut out = Vec::with_capacity(assumptions.len());
         for &t in assumptions {

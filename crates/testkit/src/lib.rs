@@ -21,6 +21,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 pub mod wire;

@@ -33,8 +33,22 @@ echo "==> bench smoke: gw-3-r8 figures row vs goldens"
 # DFS and summary engines at threads=1, asserting smt_checks and template
 # counts against goldens. Catches silent drift in the Fig. 11b metric —
 # batched probing must keep one smt_check per probed arm — without paying
-# for the full bench sweep.
+# for the full bench sweep. With observability off (no MEISSA_TRACE here),
+# this also runs the disabled-path guard: a gated obs site must cost one
+# relaxed atomic load (< 5 ns), or the smoke run fails.
 MEISSA_BENCH_SMOKE=1 cargo bench -q --offline -p meissa-bench
+
+echo "==> obs smoke: traced gw-3-r8 run + meissa-trace --check"
+# Re-runs the bench smoke with a JSONL trace sink attached (the engine's
+# counters must not move — the smoke goldens still apply), then validates
+# the trace with meissa-trace: every line parses, span ids are unique,
+# parents resolve, children nest inside their parent's interval. The
+# summarizer run at the end proves the per-phase/per-worker report path.
+OBS_TRACE="$PWD/target/obs_smoke.jsonl"
+rm -f "$OBS_TRACE"
+MEISSA_BENCH_SMOKE=1 MEISSA_TRACE="$OBS_TRACE" cargo bench -q --offline -p meissa-bench
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- --check "$OBS_TRACE"
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- "$OBS_TRACE"
 
 echo "==> dependency guard: workspace crates only"
 # Every line of the flat dependency listing must be a meissa-* path crate
