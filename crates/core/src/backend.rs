@@ -1,0 +1,409 @@
+//! The predicate-backend abstraction: one trait, two engines, one router.
+//!
+//! Every probe the explorers issue — "is this constraint set satisfiable?",
+//! "which of these sibling arms survive under the shared prefix?" — flows
+//! through [`BackendRouter`] instead of calling [`Solver`] directly. The
+//! router owns both engines behind the [`PredicateBackend`] trait:
+//!
+//! * [`SmtBackend`] — the incremental SMT solver, unchanged in behavior:
+//!   single probes use `check` against the live frames, arm batches use
+//!   `check_under` assumptions. It accepts every query.
+//! * [`BddBackend`] — the hermetic ROBDD engine
+//!   ([`meissa_smt::bdd::BddEngine`]), exact on *match-field-only*
+//!   constraint sets (boolean structure over `field ⋈ const` comparisons)
+//!   and unable to answer anything else.
+//!
+//! Routing is per probe and whole-set atomic: a probe goes to the BDD only
+//! when its *entire* constraint set (context and arms alike) classifies as
+//! match-field-only; one out-of-class conjunct sends the whole probe to
+//! SMT, so the two engines never split a single verdict. The session's
+//! verdict cache sits *above* this router — a cache hit never reaches it,
+//! and both engines populate the same cache on miss.
+//!
+//! Accounting: `smt_checks` keeps its meaning of "probes answered" (one per
+//! arm regardless of which engine answered), so routing does not disturb the
+//! golden counters; `sat_engine_calls` still counts only real CDCL runs and
+//! therefore *drops* when the BDD absorbs probes. Router decisions and BDD
+//! work are tallied in the four `backend_*`/`bdd_*` [`ExecStats`] fields and
+//! mirrored to `testkit::obs` counters when tracing is live.
+
+use crate::exec::ExecStats;
+use meissa_smt::bdd::BddEngine;
+use meissa_smt::{CheckResult, Solver, TermId, TermPool};
+use meissa_testkit::obs;
+use std::sync::{Arc, OnceLock};
+
+/// Live observability counters for the routing layer (`meissa_backend_*` in
+/// the Prometheus exposition). Only touched when [`obs::active`].
+struct ObsBackend {
+    routed_smt: Arc<obs::Counter>,
+    routed_bdd: Arc<obs::Counter>,
+    bdd_probes: Arc<obs::Counter>,
+    bdd_nodes: Arc<obs::Counter>,
+}
+
+fn obs_backend() -> &'static ObsBackend {
+    static B: OnceLock<ObsBackend> = OnceLock::new();
+    B.get_or_init(|| ObsBackend {
+        routed_smt: obs::counter("backend.routed_smt"),
+        routed_bdd: obs::counter("backend.routed_bdd"),
+        bdd_probes: obs::counter("backend.bdd_probes"),
+        bdd_nodes: obs::counter("backend.bdd_nodes"),
+    })
+}
+
+/// Which predicate backend answers probes (`MeissaConfig.backend`,
+/// `MEISSA_BACKEND=smt|bdd|auto`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// Every probe goes to the incremental SMT solver (the historical path).
+    Smt,
+    /// Match-field-only probes go to the BDD engine. Out-of-class probes
+    /// still fall back to SMT — the BDD cannot answer them — so today this
+    /// routes identically to [`BackendKind::Auto`]; it exists so the two
+    /// policies can diverge (e.g. a strict mode that rejects fallback).
+    Bdd,
+    /// The router classifies each probe: match-field-only → BDD, anything
+    /// else → SMT. The default.
+    Auto,
+}
+
+impl BackendKind {
+    /// Parses the `MEISSA_BACKEND` spelling.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "smt" => Some(BackendKind::Smt),
+            "bdd" => Some(BackendKind::Bdd),
+            "auto" => Some(BackendKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// The process-default backend: `MEISSA_BACKEND` when set and valid,
+/// otherwise [`BackendKind::Auto`].
+pub fn default_backend() -> BackendKind {
+    std::env::var("MEISSA_BACKEND")
+        .ok()
+        .and_then(|s| BackendKind::parse(&s))
+        .unwrap_or(BackendKind::Auto)
+}
+
+/// A predicate engine that can answer satisfiability probes over constraint
+/// sets. Probes arrive as slices-of-slices so callers pass (prefix, delta)
+/// pairs without concatenating; the conjunction of everything is the query.
+pub trait PredicateBackend {
+    /// Engine name for reports and trace events.
+    fn name(&self) -> &'static str;
+
+    /// Can this engine answer a probe over exactly these constraint sets?
+    /// Must be cheap — it runs on every probe under [`BackendKind::Auto`].
+    fn accepts(&mut self, pool: &TermPool, sets: &[&[TermId]]) -> bool;
+
+    /// Satisfiability of the conjunction of all sets. For [`SmtBackend`]
+    /// the sets must already be asserted in the live frames (they are
+    /// documentation of the query, not re-asserted); for [`BddBackend`]
+    /// they are the whole query.
+    fn check(&mut self, pool: &mut TermPool, sets: &[&[TermId]]) -> CheckResult;
+
+    /// Batched sibling arms: each arm is probed as `ctx ∧ arm`
+    /// independently. Same frame contract as [`PredicateBackend::check`]:
+    /// the SMT engine expects `ctx` live in its frames and probes the arms
+    /// as assumptions.
+    fn check_arms(&mut self, pool: &mut TermPool, ctx: &[&[TermId]], arms: &[TermId])
+        -> Vec<CheckResult>;
+}
+
+/// The incremental SMT solver behind the trait. Frames, assumptions, and
+/// all counters behave exactly as before the refactor.
+pub struct SmtBackend {
+    pub solver: Solver,
+}
+
+impl PredicateBackend for SmtBackend {
+    fn name(&self) -> &'static str {
+        "smt"
+    }
+
+    fn accepts(&mut self, _pool: &TermPool, _sets: &[&[TermId]]) -> bool {
+        true
+    }
+
+    fn check(&mut self, pool: &mut TermPool, _sets: &[&[TermId]]) -> CheckResult {
+        self.solver.check(pool)
+    }
+
+    fn check_arms(
+        &mut self,
+        pool: &mut TermPool,
+        _ctx: &[&[TermId]],
+        arms: &[TermId],
+    ) -> Vec<CheckResult> {
+        self.solver.check_under(pool, arms)
+    }
+}
+
+/// The ROBDD engine behind the trait: exact on match-field-only sets,
+/// rejects everything else via [`PredicateBackend::accepts`].
+pub struct BddBackend {
+    pub engine: BddEngine,
+}
+
+impl PredicateBackend for BddBackend {
+    fn name(&self) -> &'static str {
+        "bdd"
+    }
+
+    fn accepts(&mut self, pool: &TermPool, sets: &[&[TermId]]) -> bool {
+        sets.iter()
+            .copied()
+            .flatten()
+            .all(|&t| self.engine.accepts(pool, t))
+    }
+
+    fn check(&mut self, pool: &mut TermPool, sets: &[&[TermId]]) -> CheckResult {
+        if self.engine.conj_sat(pool, sets) {
+            CheckResult::Sat
+        } else {
+            CheckResult::Unsat
+        }
+    }
+
+    fn check_arms(
+        &mut self,
+        pool: &mut TermPool,
+        ctx: &[&[TermId]],
+        arms: &[TermId],
+    ) -> Vec<CheckResult> {
+        self.engine
+            .conj_sat_arms(pool, ctx, arms)
+            .iter()
+            .map(|&sat| if sat { CheckResult::Sat } else { CheckResult::Unsat })
+            .collect()
+    }
+}
+
+/// Owns both engines and routes each probe to one of them according to
+/// [`BackendKind`]. Lives inside [`crate::SolveSession`]; the explorers
+/// never see a raw [`Solver`] for probing anymore (frame management —
+/// push/pop/assert — still goes through [`BackendRouter::solver_mut`],
+/// because frames are an SMT-engine concept).
+pub struct BackendRouter {
+    pub kind: BackendKind,
+    pub smt: SmtBackend,
+    pub bdd: BddBackend,
+}
+
+impl BackendRouter {
+    pub fn new(kind: BackendKind) -> BackendRouter {
+        BackendRouter {
+            kind,
+            smt: SmtBackend { solver: Solver::new() },
+            bdd: BddBackend { engine: BddEngine::new() },
+        }
+    }
+
+    pub fn solver(&self) -> &Solver {
+        &self.smt.solver
+    }
+
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.smt.solver
+    }
+
+    /// Does the whole probe classify for the BDD under the current policy?
+    fn bdd_takes(&mut self, pool: &TermPool, sets: &[&[TermId]]) -> bool {
+        self.kind != BackendKind::Smt && self.bdd.accepts(pool, sets)
+    }
+
+    /// Routes one whole-set probe. `ctx` is the complete constraint set of
+    /// the query and must already be asserted in the SMT solver's live
+    /// frames (the SMT path checks the frames; the BDD path checks `ctx`).
+    /// Returns `true` when satisfiable.
+    ///
+    /// Accounting: a BDD answer bumps `exec.smt_checks` directly (one probe
+    /// answered); an SMT answer leaves `smt_checks` to the caller's
+    /// solver-delta fold, as before.
+    pub fn check_set(&mut self, pool: &mut TermPool, ctx: &[TermId], exec: &mut ExecStats) -> bool {
+        let sets: [&[TermId]; 1] = [ctx];
+        if self.bdd_takes(pool, &sets) {
+            let before = self.bdd.engine.node_count();
+            let sat = self.bdd.check(pool, &sets) == CheckResult::Sat;
+            let grown = self.bdd.engine.node_count() - before;
+            exec.backend_routed_bdd += 1;
+            exec.bdd_probes += 1;
+            exec.bdd_nodes += grown;
+            exec.smt_checks += 1;
+            if obs::active() {
+                let m = obs_backend();
+                m.routed_bdd.add(1);
+                m.bdd_probes.add(1);
+                m.bdd_nodes.add(grown);
+            }
+            sat
+        } else {
+            exec.backend_routed_smt += 1;
+            if obs::active() {
+                obs_backend().routed_smt.add(1);
+            }
+            self.smt.check(pool, &sets) == CheckResult::Sat
+        }
+    }
+
+    /// Routes a batch of sibling arms under a shared context. The batch is
+    /// atomic: the BDD takes it only when the context *and every arm*
+    /// classify; otherwise the whole batch goes to `check_under`. An empty
+    /// batch returns without counting a routing decision.
+    pub fn check_arm_batch(
+        &mut self,
+        pool: &mut TermPool,
+        ctx: &[&[TermId]],
+        arms: &[TermId],
+        exec: &mut ExecStats,
+    ) -> Vec<bool> {
+        if arms.is_empty() {
+            return Vec::new();
+        }
+        let all_in_class =
+            self.kind != BackendKind::Smt && self.bdd.accepts(pool, ctx) && self.bdd.accepts(pool, &[arms]);
+        if all_in_class {
+            let before = self.bdd.engine.node_count();
+            let verdicts = self.bdd.check_arms(pool, ctx, arms);
+            let grown = self.bdd.engine.node_count() - before;
+            exec.backend_routed_bdd += 1;
+            exec.bdd_probes += arms.len() as u64;
+            exec.bdd_nodes += grown;
+            exec.smt_checks += arms.len() as u64;
+            if obs::active() {
+                let m = obs_backend();
+                m.routed_bdd.add(1);
+                m.bdd_probes.add(arms.len() as u64);
+                m.bdd_nodes.add(grown);
+            }
+            verdicts.iter().map(|&v| v == CheckResult::Sat).collect()
+        } else {
+            exec.backend_routed_smt += 1;
+            if obs::active() {
+                obs_backend().routed_smt.add(1);
+            }
+            self.smt
+                .check_arms(pool, ctx, arms)
+                .iter()
+                .map(|&v| v == CheckResult::Sat)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meissa_num::Bv;
+
+    #[test]
+    fn kind_parses_env_spellings() {
+        assert_eq!(BackendKind::parse("smt"), Some(BackendKind::Smt));
+        assert_eq!(BackendKind::parse("BDD "), Some(BackendKind::Bdd));
+        assert_eq!(BackendKind::parse("Auto"), Some(BackendKind::Auto));
+        assert_eq!(BackendKind::parse("z3"), None);
+    }
+
+    #[test]
+    fn backend_names() {
+        let r = BackendRouter::new(BackendKind::Auto);
+        assert_eq!(r.smt.name(), "smt");
+        let mut b = r.bdd;
+        assert_eq!(b.name(), "bdd");
+        let pool = TermPool::new();
+        assert!(b.accepts(&pool, &[]));
+    }
+
+    /// In-class probes route to the BDD under auto, and the verdict matches
+    /// what the SMT path would say; out-of-class probes fall back.
+    #[test]
+    fn auto_routes_by_class_and_agrees() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let k3 = pool.bv_const(Bv::new(8, 3));
+        let k5 = pool.bv_const(Bv::new(8, 5));
+        let eq3 = pool.eq(x, k3);
+        let eq5 = pool.eq(x, k5);
+
+        let mut r = BackendRouter::new(BackendKind::Auto);
+        let mut exec = ExecStats::default();
+        // Contradiction, fully in class: BDD answers Unsat.
+        r.solver_mut().push();
+        r.solver_mut().assert_term(&mut pool, eq3);
+        r.solver_mut().assert_term(&mut pool, eq5);
+        let sat = r.check_set(&mut pool, &[eq3, eq5], &mut exec);
+        assert!(!sat);
+        assert_eq!(exec.backend_routed_bdd, 1);
+        assert_eq!(exec.backend_routed_smt, 0);
+        assert_eq!(exec.bdd_probes, 1);
+        assert_eq!(exec.smt_checks, 1);
+        assert!(exec.bdd_nodes > 0);
+        assert_eq!(r.solver().stats.checks, 0, "BDD probe never touched SMT");
+        r.solver_mut().pop();
+
+        // Out of class (arithmetic): falls back to the live frames.
+        let sum = pool.add(x, k3);
+        let arith = pool.eq(sum, k5);
+        r.solver_mut().push();
+        r.solver_mut().assert_term(&mut pool, arith);
+        let sat = r.check_set(&mut pool, &[arith], &mut exec);
+        assert!(sat);
+        assert_eq!(exec.backend_routed_smt, 1);
+        assert_eq!(r.solver().stats.checks, 1);
+        r.solver_mut().pop();
+    }
+
+    #[test]
+    fn smt_kind_never_routes_to_bdd() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let k3 = pool.bv_const(Bv::new(8, 3));
+        let eq3 = pool.eq(x, k3);
+        let mut r = BackendRouter::new(BackendKind::Smt);
+        let mut exec = ExecStats::default();
+        r.solver_mut().push();
+        r.solver_mut().assert_term(&mut pool, eq3);
+        assert!(r.check_set(&mut pool, &[eq3], &mut exec));
+        assert_eq!(exec.backend_routed_smt, 1);
+        assert_eq!(exec.backend_routed_bdd, 0);
+        assert_eq!(exec.bdd_probes, 0);
+        r.solver_mut().pop();
+    }
+
+    #[test]
+    fn arm_batch_is_atomic_on_class() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let k3 = pool.bv_const(Bv::new(8, 3));
+        let k5 = pool.bv_const(Bv::new(8, 5));
+        let eq3 = pool.eq(x, k3);
+        let eq5 = pool.eq(x, k5);
+        let sum = pool.add(x, k3);
+        let arith = pool.eq(sum, k5);
+
+        let mut r = BackendRouter::new(BackendKind::Auto);
+        let mut exec = ExecStats::default();
+        // Whole batch in class → BDD, one decision for two arms.
+        let v = r.check_arm_batch(&mut pool, &[&[eq3]], &[eq3, eq5], &mut exec);
+        assert_eq!(v, vec![true, false]);
+        assert_eq!(exec.backend_routed_bdd, 1);
+        assert_eq!(exec.bdd_probes, 2);
+        assert_eq!(exec.smt_checks, 2);
+
+        // One out-of-class arm taints the batch → all arms via check_under.
+        let v = r.check_arm_batch(&mut pool, &[], &[eq3, arith], &mut exec);
+        assert_eq!(v, vec![true, true]);
+        assert_eq!(exec.backend_routed_smt, 1);
+        assert_eq!(exec.bdd_probes, 2, "unchanged");
+        assert_eq!(r.solver().stats.checks, 2, "both arms probed by SMT");
+
+        // Empty batch: no routing decision recorded.
+        let routed = exec.backend_routed_smt + exec.backend_routed_bdd;
+        assert!(r.check_arm_batch(&mut pool, &[], &[], &mut exec).is_empty());
+        assert_eq!(exec.backend_routed_smt + exec.backend_routed_bdd, routed);
+    }
+}

@@ -17,6 +17,7 @@
 //!   re-asserted constraint list (what a tool without push/pop pays);
 //! * both `true` — Meissa's configuration.
 
+use crate::backend::{BackendKind, BackendRouter};
 use crate::session::SolveSession;
 use crate::symstate::{SymCtx, ValueStack};
 use crate::template::{HashObligation, TestTemplate};
@@ -66,6 +67,10 @@ pub struct ExecConfig {
     /// counters, and templates are identical either way; `false` keeps the
     /// per-arm reference path that the equivalence suite compares against.
     pub batched_probing: bool,
+    /// Which predicate backend answers probes: the incremental SMT solver,
+    /// the BDD engine (with SMT fallback for out-of-class sets), or the
+    /// classifying router (the default; see [`crate::backend`]).
+    pub backend: BackendKind,
 }
 
 impl Default for ExecConfig {
@@ -79,6 +84,7 @@ impl Default for ExecConfig {
             threads: 1,
             min_paths_per_worker: 512,
             batched_probing: true,
+            backend: crate::backend::default_backend(),
         }
     }
 }
@@ -189,6 +195,19 @@ pub struct ExecStats {
     pub batched_probes: u64,
     /// Branch points whose sibling arms were probed as one batch.
     pub arm_batches: u64,
+    /// Router decisions that sent a probe (or a whole arm batch) to the
+    /// incremental SMT solver.
+    pub backend_routed_smt: u64,
+    /// Router decisions that sent a probe (or a whole arm batch) to the
+    /// BDD engine — match-field-only constraint sets under
+    /// [`crate::backend::BackendKind::Auto`]/`Bdd`.
+    pub backend_routed_bdd: u64,
+    /// Individual probe verdicts answered by the BDD engine (each also
+    /// counts one `smt_checks`, keeping the Fig. 11b metric comparable
+    /// across backends).
+    pub bdd_probes: u64,
+    /// Decision nodes allocated in BDD node tables while answering probes.
+    pub bdd_nodes: u64,
     /// Wall-clock time of the execution.
     pub elapsed: Duration,
     /// True when the time budget expired before completion.
@@ -485,23 +504,24 @@ pub(crate) fn explore_task(
     let t0 = Instant::now();
     let SolveSession {
         pool,
-        solver,
+        backend,
         verdict_cache,
         ..
     } = session;
-    solver.push();
+    backend.kind = config.backend;
+    backend.solver_mut().push();
     for &c in prefix_constraints {
-        solver.assert_term(pool, c);
+        backend.solver_mut().assert_term(pool, c);
     }
-    // The verdict cache keys on the canonical rendering of the *entire*
-    // current constraint set, so the prefix's keys seed the stack. Only the
-    // incremental early-termination configuration probes it; the baselines
-    // skip the (non-trivial) key rendering entirely.
+    // The verdict cache keys on the content hash of the *entire* current
+    // constraint set, so the prefix's conjunct hashes seed the stack. Only
+    // the incremental early-termination configuration probes it; the
+    // baselines skip the keying entirely.
     let use_cache = config.incremental && config.early_termination;
-    let key_stack: Vec<String> = if use_cache {
+    let key_stack: Vec<u64> = if use_cache {
         prefix_constraints
             .iter()
-            .map(|&c| pool.canonical_key(c))
+            .map(|&c| pool.term_hash(c))
             .collect()
     } else {
         Vec::new()
@@ -524,8 +544,8 @@ pub(crate) fn explore_task(
     for &(f, t) in initial_values {
         v.set(f, t);
     }
-    walker.visit(pool, ctx, solver, &mut v, start, None);
-    solver.pop();
+    walker.visit(pool, ctx, backend, &mut v, start, None);
+    backend.solver_mut().pop();
     // Incremental checks are counted by the session's solver (delta since
     // the previous exploration); non-incremental checks were tallied
     // directly into `stats.smt_checks` by the walker.
@@ -552,11 +572,12 @@ struct Walker<'a> {
     /// explorations, and solver resets within one session. This is what
     /// lets a parallel worker that re-explores a familiar region after a
     /// donation skip already-decided sibling arms.
-    cache: &'a mut std::collections::HashMap<String, bool>,
-    /// Pool-independent canonical keys of `all_constraints`, maintained in
-    /// lockstep (only when `use_cache`); their join is the cache key for
-    /// the current set.
-    key_stack: Vec<String>,
+    cache: &'a mut std::collections::HashMap<u128, bool>,
+    /// Pool-independent structural hashes of `all_constraints`, maintained
+    /// in lockstep (only when `use_cache`); their lane fold
+    /// ([`crate::session::verdict_key`]) is the cache key for the current
+    /// set.
+    key_stack: Vec<u64>,
     use_cache: bool,
 }
 
@@ -564,10 +585,10 @@ struct Walker<'a> {
 /// point as part of a batch; the child's `visit` asserts it without
 /// re-translating or re-probing.
 struct PreArm {
-    /// The guard's conjuncts, sorted by canonical key.
+    /// The guard's conjuncts, sorted by structural hash.
     conjuncts: Vec<TermId>,
-    /// Canonical keys of `conjuncts`, in the same order.
-    keys: Vec<String>,
+    /// Structural hashes of `conjuncts`, in the same order.
+    hashes: Vec<u64>,
     /// The batched probe's verdict for `prefix ++ conjuncts`.
     unsat: bool,
 }
@@ -586,10 +607,13 @@ impl Walker<'_> {
     }
 
     /// Satisfiability of the current constraint set, honoring the
-    /// incremental/non-incremental configuration.
-    fn check(&mut self, pool: &mut TermPool, solver: &mut Solver) -> CheckResult {
+    /// incremental/non-incremental configuration. This is the *unrouted*
+    /// SMT path: leaf validation and the baseline configurations stay on
+    /// the solver regardless of backend (the router only sees
+    /// early-termination probes, where BDD classification pays off).
+    fn check(&mut self, pool: &mut TermPool, backend: &mut BackendRouter) -> CheckResult {
         if self.config.incremental {
-            solver.check(pool)
+            backend.solver_mut().check(pool)
         } else {
             // Fresh solver per query: what a tool without push/pop pays.
             self.stats.smt_checks += 1;
@@ -609,19 +633,21 @@ impl Walker<'_> {
     /// earlier exploration in the same session) is answered without the
     /// solver. A hit still counts one `smt_checks`, exactly like the folded
     /// checks above, so the Fig. 11b "number of SMT calls" metric stays
-    /// comparable whether or not the cache intervenes.
-    fn probe_unsat(&mut self, pool: &mut TermPool, solver: &mut Solver) -> bool {
+    /// comparable whether or not the cache intervenes. A cache miss goes to
+    /// the backend router: the BDD engine when the whole current set is
+    /// match-field-only, otherwise the incremental solver's live frames.
+    fn probe_unsat(&mut self, pool: &mut TermPool, backend: &mut BackendRouter) -> bool {
         if !self.use_cache {
-            return self.check(pool, solver) == CheckResult::Unsat;
+            return self.check(pool, backend) == CheckResult::Unsat;
         }
         self.stats.cache_probes += 1;
-        let key = self.key_stack.join("\u{1}");
+        let key = crate::session::verdict_key(&self.key_stack);
         if let Some(&unsat) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             self.stats.smt_checks += 1; // cached validity check
             return unsat;
         }
-        let unsat = self.check(pool, solver) == CheckResult::Unsat;
+        let unsat = !backend.check_set(pool, &self.all_constraints, self.stats);
         self.cache.insert(key, unsat);
         unsat
     }
@@ -640,7 +666,7 @@ impl Walker<'_> {
         &mut self,
         pool: &mut TermPool,
         ctx: &mut SymCtx,
-        solver: &mut Solver,
+        backend: &mut BackendRouter,
         v: &ValueStack,
         local: &[NodeId],
     ) -> Vec<Option<PreArm>> {
@@ -651,7 +677,7 @@ impl Walker<'_> {
         pres.resize_with(local.len(), || None);
         let mut idx = Vec::new();
         let mut terms = Vec::new();
-        let mut bundles: Vec<(Vec<TermId>, Vec<String>)> = Vec::new();
+        let mut bundles: Vec<(Vec<TermId>, Vec<u64>)> = Vec::new();
         for (i, &child) in local.iter().enumerate() {
             let Stmt::Assume(b) = self.cfg.stmt(child) else {
                 continue;
@@ -665,29 +691,30 @@ impl Walker<'_> {
             }
             let mut cs = Vec::new();
             flatten_conjuncts(pool, t, &mut cs);
-            cs.sort_by_cached_key(|&c| pool.canonical_key(c));
-            let ks: Vec<String> = cs.iter().map(|&c| pool.canonical_key(c)).collect();
+            cs.sort_by_key(|&c| pool.term_hash(c));
+            let hs: Vec<u64> = cs.iter().map(|&c| pool.term_hash(c)).collect();
             idx.push(i);
             terms.push(t);
-            bundles.push((cs, ks));
+            bundles.push((cs, hs));
         }
         if idx.is_empty() {
             return pres;
         }
-        let arm_keys: Vec<Vec<String>> = bundles.iter().map(|(_, ks)| ks.clone()).collect();
+        let arm_hashes: Vec<Vec<u64>> = bundles.iter().map(|(_, hs)| hs.clone()).collect();
         let unsats = crate::session::probe_arms_cached(
             pool,
-            solver,
+            backend,
             self.cache,
             self.stats,
             &self.key_stack,
+            &self.all_constraints,
             &terms,
-            &arm_keys,
+            &arm_hashes,
         );
-        for ((i, (conjuncts, keys)), unsat) in idx.into_iter().zip(bundles).zip(unsats) {
+        for ((i, (conjuncts, hashes)), unsat) in idx.into_iter().zip(bundles).zip(unsats) {
             pres[i] = Some(PreArm {
                 conjuncts,
-                keys,
+                hashes,
                 unsat,
             });
         }
@@ -698,7 +725,7 @@ impl Walker<'_> {
         &mut self,
         pool: &mut TermPool,
         ctx: &mut SymCtx,
-        solver: &mut Solver,
+        backend: &mut BackendRouter,
         v: &mut ValueStack,
         node: NodeId,
         pre: Option<PreArm>,
@@ -723,12 +750,12 @@ impl Walker<'_> {
                     feasible = false;
                     self.stats.pruned += 1;
                 } else {
-                    solver.push();
+                    backend.solver_mut().push();
                     pushed = true;
-                    for (c, k) in arm.conjuncts.into_iter().zip(arm.keys) {
-                        solver.assert_term(pool, c);
+                    for (c, h) in arm.conjuncts.into_iter().zip(arm.hashes) {
+                        backend.solver_mut().assert_term(pool, c);
                         self.all_constraints.push(c);
-                        self.key_stack.push(k);
+                        self.key_stack.push(h);
                     }
                 }
             }
@@ -758,8 +785,8 @@ impl Walker<'_> {
                         // Naive mode must not benefit from folding: carry
                         // the contradiction along and discover it at the
                         // leaf check, like a tool without early termination.
-                        solver.push();
-                        solver.assert_term(pool, t);
+                        backend.solver_mut().push();
+                        backend.solver_mut().assert_term(pool, t);
                         self.all_constraints.push(t);
                         pushed = true;
                     }
@@ -767,7 +794,7 @@ impl Walker<'_> {
                         // Record individual conjuncts: Algorithm 2's public
                         // pre-condition intersects *constraint sets*, which
                         // only works at conjunct granularity.
-                        solver.push();
+                        backend.solver_mut().push();
                         pushed = true;
                         let before = self.all_constraints.len();
                         flatten_conjuncts(pool, t, &mut self.all_constraints);
@@ -776,18 +803,18 @@ impl Walker<'_> {
                         // interning history — fine sequentially, but a parallel
                         // worker's pool interns in a schedule-dependent order.
                         // Re-sort the statement's conjuncts by their
-                        // pool-independent canonical rendering so every pool
+                        // pool-independent structural hash so every pool
                         // records the same constraint sequence.
                         self.all_constraints[before..]
-                            .sort_by_cached_key(|&c| pool.canonical_key(c));
+                            .sort_by_key(|&c| pool.term_hash(c));
                         for i in before..self.all_constraints.len() {
                             let c = self.all_constraints[i];
-                            solver.assert_term(pool, c);
+                            backend.solver_mut().assert_term(pool, c);
                             if self.use_cache {
-                                self.key_stack.push(pool.canonical_key(c));
+                                self.key_stack.push(pool.term_hash(c));
                             }
                         }
-                        if self.config.early_termination && self.probe_unsat(pool, solver) {
+                        if self.config.early_termination && self.probe_unsat(pool, backend) {
                             feasible = false;
                             self.stats.pruned += 1;
                         }
@@ -803,7 +830,7 @@ impl Walker<'_> {
             let at_target = self.targets.contains(&node);
             let children = self.cfg.succ(node);
             if at_target || children.is_empty() {
-                self.leaf(pool, solver, v);
+                self.leaf(pool, backend, v);
             } else {
                 let children = children.to_vec();
                 let mut local: &[NodeId] = &children;
@@ -837,11 +864,11 @@ impl Walker<'_> {
                 }
                 // Batched branch expansion: translate and probe every local
                 // sibling arm in one solver interaction before descending.
-                let mut pres = self.probe_local_arms(pool, ctx, solver, v, local);
+                let mut pres = self.probe_local_arms(pool, ctx, backend, v, local);
                 for (i, &c) in local.iter().enumerate() {
                     let mark = v.mark();
                     let pre = pres.get_mut(i).and_then(Option::take);
-                    self.visit(pool, ctx, solver, v, c, pre);
+                    self.visit(pool, ctx, backend, v, c, pre);
                     v.restore(mark);
                     if self.out_of_budget() {
                         break;
@@ -851,7 +878,7 @@ impl Walker<'_> {
         }
 
         if pushed {
-            solver.pop();
+            backend.solver_mut().pop();
             self.all_constraints.truncate(constraints_mark);
             if self.use_cache {
                 self.key_stack.truncate(constraints_mark);
@@ -860,7 +887,7 @@ impl Walker<'_> {
         self.trace.pop();
     }
 
-    fn leaf(&mut self, pool: &mut TermPool, solver: &mut Solver, v: &ValueStack) {
+    fn leaf(&mut self, pool: &mut TermPool, backend: &mut BackendRouter, v: &ValueStack) {
         self.stats.paths_explored += 1;
         // With early termination every prefix was checked, but the last
         // check may predate recent assume-true / assignment nodes; the
@@ -869,7 +896,7 @@ impl Walker<'_> {
         let valid = if self.config.early_termination {
             true
         } else {
-            self.check(pool, solver) == CheckResult::Sat
+            self.check(pool, backend) == CheckResult::Sat
         };
         if !valid {
             return;
@@ -1001,6 +1028,46 @@ mod tests {
             first.stats.cache_probes + second.stats.cache_probes
         );
         assert_eq!(session.exec.cache_hits, second.stats.cache_hits);
+    }
+
+    #[test]
+    fn backends_agree_and_route_as_configured() {
+        // fig7's guards are all `field == const`, so every probe is
+        // BDD-classifiable: `auto` and `bdd` must answer entirely without
+        // the SAT engine, `smt` entirely with it — and all three must
+        // produce the same templates and the same probe accounting.
+        let cfg = fig7_cfg(5);
+        let mut runs = Vec::new();
+        for backend in [BackendKind::Smt, BackendKind::Bdd, BackendKind::Auto] {
+            let mut session = SolveSession::new();
+            let out = generate_templates(
+                &cfg,
+                &mut session,
+                &ExecConfig {
+                    backend,
+                    ..ExecConfig::default()
+                },
+            );
+            runs.push((backend, out, session));
+        }
+        let (_, smt_out, smt_session) = &runs[0];
+        for (backend, out, session) in &runs[1..] {
+            assert_eq!(out.templates.len(), smt_out.templates.len());
+            assert_eq!(out.stats.smt_checks, smt_out.stats.smt_checks, "{backend:?}");
+            assert_eq!(out.stats.cache_probes, smt_out.stats.cache_probes);
+            assert_eq!(out.stats.pruned, smt_out.stats.pruned);
+            assert!(out.stats.bdd_probes > 0, "{backend:?} must use the BDD");
+            assert_eq!(out.stats.backend_routed_smt, 0, "nothing out of class");
+            assert_eq!(
+                session.solver_stats().sat_engine_calls,
+                0,
+                "{backend:?}: the SAT engine never ran"
+            );
+        }
+        assert_eq!(smt_out.stats.bdd_probes, 0);
+        assert_eq!(smt_out.stats.backend_routed_bdd, 0);
+        assert!(smt_out.stats.backend_routed_smt > 0);
+        assert!(smt_session.solver_stats().checks > 0);
     }
 
     #[test]
@@ -1155,7 +1222,13 @@ mod tests {
         let cfg = fig7_cfg(4);
         let mut session = SolveSession::new();
         let mut ctx = crate::symstate::SymCtx::new(None);
-        let config = ExecConfig::default();
+        // Pin the SMT backend: under `auto` the fig7 probes are all
+        // match-field-only and the BDD would answer every one, leaving no
+        // solver activity for this test to observe.
+        let config = ExecConfig {
+            backend: BackendKind::Smt,
+            ..ExecConfig::default()
+        };
         let dst = cfg.fields.get("dstIP").unwrap();
         let dst_var = session.pool.var("dstIP", 32);
         let targets = std::collections::HashSet::new();

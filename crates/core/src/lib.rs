@@ -24,8 +24,12 @@
 //! * [`engine`] — the top-level [`engine::Meissa`] façade used by the test
 //!   driver, examples, and benchmarks; collects the statistics the paper's
 //!   figures report (time, SMT calls, possible paths).
+//! * [`backend`] — the predicate-backend abstraction: every probe routes
+//!   through a [`backend::PredicateBackend`] (incremental SMT solver or the
+//!   hermetic BDD engine) picked per probe by [`backend::BackendRouter`].
 //! * [`coverage`] — coverage accounting (path / branch / statement).
 
+pub mod backend;
 pub mod coverage;
 pub mod engine;
 pub mod exec;
@@ -35,6 +39,7 @@ pub mod summary;
 pub mod symstate;
 pub mod template;
 
+pub use backend::{default_backend, BackendKind, BackendRouter, PredicateBackend};
 pub use engine::{Meissa, MeissaConfig, RunOutput, RunStats};
 pub use exec::{ExecConfig, ExecOutput, ExecStats};
 pub use session::SolveSession;

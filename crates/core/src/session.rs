@@ -8,9 +8,10 @@
 //! future parallel DFS hands to each worker — a worker owns one session,
 //! and merging workers is merging their cumulative stats.
 
+use crate::backend::{default_backend, BackendRouter};
 use crate::exec::ExecStats;
 use meissa_smt::sat::SatStats;
-use meissa_smt::{CheckResult, Solver, SolverStats, TermId, TermPool};
+use meissa_smt::{Solver, SolverStats, TermId, TermPool};
 use meissa_testkit::obs;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -49,10 +50,12 @@ pub enum Verdict {
 pub struct SolveSession {
     /// The term pool every constraint of this session lives in.
     pub pool: TermPool,
-    /// The current incremental solver. Private: explorations manage frames
-    /// and check accounting through it, and [`SolveSession::reset_solver`]
-    /// replaces it wholesale.
-    pub(crate) solver: Solver,
+    /// The predicate-backend router every probe flows through: the current
+    /// incremental SMT solver plus the session's BDD engine, with per-probe
+    /// routing (see [`crate::backend`]). Private: explorations manage
+    /// frames and check accounting through it, and
+    /// [`SolveSession::reset_solver`] replaces the SMT side wholesale.
+    pub(crate) backend: BackendRouter,
     /// Cumulative execution counters across every exploration this session
     /// ran (each call also returns its own per-call [`ExecStats`] delta).
     pub exec: ExecStats,
@@ -70,9 +73,55 @@ pub struct SolveSession {
     /// probes. Satisfiability is context-free in the constraint set, so the
     /// cache is sound across explorations, CFGs, and solver resets within
     /// one session; a parallel worker re-exploring a familiar region after
-    /// a donation skips already-decided sibling arms. Keys render through
-    /// [`meissa_smt::TermPool::canonical_key`], so they are pool-independent.
-    pub(crate) verdict_cache: HashMap<String, bool>,
+    /// a donation skips already-decided sibling arms. Keys are 128-bit
+    /// content hashes folded from per-conjunct structural hashes
+    /// ([`meissa_smt::TermPool::term_hash`]) — pool-independent like the
+    /// canonical renderings they replaced, but allocation-free per probe.
+    /// The cache sits *above* the backend router: a hit never reaches
+    /// either engine, and both engines populate it on miss.
+    pub(crate) verdict_cache: HashMap<u128, bool>,
+}
+
+/// One step of the order-sensitive 64-bit lane fold behind [`verdict_key`]
+/// (the same splitmix64 finalizer the term pool uses for structural hashes).
+#[inline]
+fn fold_step(mut h: u64, v: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(v);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Running state of the two independently-seeded key lanes.
+#[derive(Clone, Copy)]
+pub(crate) struct KeyLanes(u64, u64);
+
+impl KeyLanes {
+    /// Seeds chosen so the two lanes diverge immediately; any fixed,
+    /// distinct pair works.
+    pub(crate) fn new() -> KeyLanes {
+        KeyLanes(0x6d65_6973_7361_2d61, 0x6d65_6973_7361_2d62)
+    }
+
+    pub(crate) fn fold(mut self, hashes: &[u64]) -> KeyLanes {
+        for &h in hashes {
+            self.0 = fold_step(self.0, h);
+            self.1 = fold_step(self.1, !h);
+        }
+        self
+    }
+
+    pub(crate) fn key(self) -> u128 {
+        (self.0 as u128) << 64 | self.1 as u128
+    }
+}
+
+/// The 128-bit verdict-cache key for a constraint set given as per-conjunct
+/// structural hashes: two independent order-sensitive lane folds,
+/// concatenated. Same sequence → same key on any pool; distinct sequences
+/// collide with probability ~2⁻¹²⁸.
+pub(crate) fn verdict_key(hashes: &[u64]) -> u128 {
+    KeyLanes::new().fold(hashes).key()
 }
 
 impl Default for SolveSession {
@@ -86,7 +135,7 @@ impl SolveSession {
     pub fn new() -> Self {
         SolveSession {
             pool: TermPool::new(),
-            solver: Solver::new(),
+            backend: BackendRouter::new(default_backend()),
             exec: ExecStats::default(),
             retired: SolverStats::default(),
             retired_sat: SatStats::default(),
@@ -105,7 +154,9 @@ impl SolveSession {
     pub fn fork_from(pool: &TermPool) -> Self {
         SolveSession {
             pool: pool.clone(),
-            solver: Solver::new(),
+            // A fresh router with a cold BDD engine: its memo tables key on
+            // this worker's pool lineage, which forks here.
+            backend: BackendRouter::new(default_backend()),
             exec: ExecStats::default(),
             retired: SolverStats::default(),
             retired_sat: SatStats::default(),
@@ -123,7 +174,7 @@ impl SolveSession {
     /// propagation more than re-blasting costs — which is why each
     /// top-level exploration starts from a fresh solver.
     pub fn reset_solver(&mut self) {
-        let old = std::mem::replace(&mut self.solver, Solver::new());
+        let old = std::mem::replace(self.backend.solver_mut(), Solver::new());
         if obs::trace_on() {
             obs::event(
                 "session.solver_retire",
@@ -138,62 +189,68 @@ impl SolveSession {
         self.checks_consumed = 0;
     }
 
+    /// The live incremental SMT solver behind the router (frame management
+    /// and counter reads; probing goes through the router).
+    pub(crate) fn solver(&self) -> &Solver {
+        self.backend.solver()
+    }
+
     /// Cumulative solver counters: every retired solver plus the live one.
     pub fn solver_stats(&self) -> SolverStats {
-        add_solver_stats(self.retired, self.solver.stats)
+        add_solver_stats(self.retired, self.solver().stats)
     }
 
     /// Cumulative SAT-engine counters: every retired solver's engine plus
     /// the live one's.
     pub fn sat_stats(&self) -> SatStats {
-        add_sat_stats(self.retired_sat, self.solver.sat_stats())
+        add_sat_stats(self.retired_sat, self.solver().sat_stats())
     }
 
     /// Live-solver checks not yet attributed to a per-exploration stats
     /// delta; marks them consumed.
     pub(crate) fn take_new_checks(&mut self) -> u64 {
-        let delta = self.solver.stats.checks - self.checks_consumed;
-        self.checks_consumed = self.solver.stats.checks;
+        let delta = self.solver().stats.checks - self.checks_consumed;
+        self.checks_consumed = self.solver().stats.checks;
         delta
     }
 
-    /// Probes every sibling arm of a branch point in one batched solver
+    /// Probes every sibling arm of a branch point in one batched backend
     /// interaction: per arm the verdict cache is consulted first (keyed on
-    /// the canonical rendering of `prefix ++ arm`, so verdicts survive
-    /// across explorations and pools), the misses go through
-    /// [`meissa_smt::Solver::check_under`] as one assumption batch over the
-    /// solver's current frame stack, and fresh verdicts are fed back into
-    /// the cache. The solver's live frames must assert exactly `prefix`.
+    /// the content hash of `prefix ++ arm`, so verdicts survive across
+    /// explorations and pools), the misses go to the backend router as one
+    /// batch — the BDD engine when the whole query is match-field-only,
+    /// otherwise [`meissa_smt::Solver::check_under`] as one assumption
+    /// batch over the solver's current frame stack — and fresh verdicts
+    /// are fed back into the cache. The solver's live frames must assert
+    /// exactly `prefix`.
     ///
-    /// Every arm counts one check (cache hit or not), keeping the Fig. 11b
-    /// metric identical to individual `push/assert/check/pop` probing.
+    /// Every arm counts one check (cache hit, BDD answer, or SAT run
+    /// alike), keeping the Fig. 11b metric identical to individual
+    /// `push/assert/check/pop` probing.
     pub fn probe_arms(&mut self, prefix: &[TermId], arms: &[TermId]) -> Vec<Verdict> {
-        let prefix_keys: Vec<String> = prefix
-            .iter()
-            .map(|&c| self.pool.canonical_key(c))
-            .collect();
-        let arm_keys: Vec<Vec<String>> = arms
+        let prefix_hashes: Vec<u64> = prefix.iter().map(|&c| self.pool.term_hash(c)).collect();
+        let arm_hashes: Vec<Vec<u64>> = arms
             .iter()
             .map(|&a| {
                 // Key at conjunct granularity, sorted — the same shape the
                 // walker uses, so verdicts flow both ways through the cache.
                 let mut cs = Vec::new();
                 crate::exec::flatten_conjuncts(&self.pool, a, &mut cs);
-                let mut ks: Vec<String> =
-                    cs.iter().map(|&c| self.pool.canonical_key(c)).collect();
-                ks.sort();
-                ks
+                let mut hs: Vec<u64> = cs.iter().map(|&c| self.pool.term_hash(c)).collect();
+                hs.sort_unstable();
+                hs
             })
             .collect();
         let mut exec = ExecStats::default();
         let verdicts = probe_arms_cached(
             &mut self.pool,
-            &mut self.solver,
+            &mut self.backend,
             &mut self.verdict_cache,
             &mut exec,
-            &prefix_keys,
+            &prefix_hashes,
+            prefix,
             arms,
-            &arm_keys,
+            &arm_hashes,
         );
         exec.smt_checks += self.take_new_checks();
         self.record(&exec);
@@ -213,6 +270,10 @@ impl SolveSession {
         self.exec.cache_hits += delta.cache_hits;
         self.exec.batched_probes += delta.batched_probes;
         self.exec.arm_batches += delta.arm_batches;
+        self.exec.backend_routed_smt += delta.backend_routed_smt;
+        self.exec.backend_routed_bdd += delta.backend_routed_bdd;
+        self.exec.bdd_probes += delta.bdd_probes;
+        self.exec.bdd_nodes += delta.bdd_nodes;
         self.exec.elapsed += delta.elapsed;
         self.exec.timed_out |= delta.timed_out;
     }
@@ -247,24 +308,29 @@ impl SolveSession {
 }
 
 /// The cache-then-batch probe shared by [`SolveSession::probe_arms`] and the
-/// walker's branch expansion (which holds the session's pool, solver, and
+/// walker's branch expansion (which holds the session's pool, router, and
 /// cache as separate borrows). Per arm: one `cache_probes`; a hit answers
 /// from the cache (one `cache_hits`, one `smt_checks` — cached validity
-/// check); the misses go through one [`meissa_smt::Solver::check_under`]
-/// batch, whose per-arm `checks` the caller attributes via
-/// `take_new_checks`, and their verdicts are fed back into the cache.
-/// Returns `unsat?` per arm, in order.
+/// check); the misses go to the backend router as one atomic batch — the
+/// BDD engine when `ctx_terms` and every miss arm are match-field-only,
+/// otherwise one [`meissa_smt::Solver::check_under`] call whose per-arm
+/// `checks` the caller attributes via `take_new_checks` — and their
+/// verdicts are fed back into the cache. `prefix_hashes` are the context's
+/// per-conjunct content hashes in assertion order; `ctx_terms` the same
+/// context as terms (what the live frames assert). Returns `unsat?` per
+/// arm, in order.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn probe_arms_cached(
     pool: &mut TermPool,
-    solver: &mut Solver,
-    cache: &mut HashMap<String, bool>,
+    backend: &mut BackendRouter,
+    cache: &mut HashMap<u128, bool>,
     exec: &mut ExecStats,
-    prefix_keys: &[String],
+    prefix_hashes: &[u64],
+    ctx_terms: &[TermId],
     arms: &[TermId],
-    arm_keys: &[Vec<String>],
+    arm_hashes: &[Vec<u64>],
 ) -> Vec<bool> {
-    debug_assert_eq!(arms.len(), arm_keys.len());
+    debug_assert_eq!(arms.len(), arm_hashes.len());
     let obs_on = obs::active();
     if arms.len() >= 2 {
         exec.arm_batches += 1;
@@ -273,16 +339,13 @@ pub(crate) fn probe_arms_cached(
             obs_metrics().arm_batch.record(arms.len() as u64);
         }
     }
+    let prefix_lanes = KeyLanes::new().fold(prefix_hashes);
     let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(arms.len());
     let mut miss_terms: Vec<TermId> = Vec::new();
-    let mut miss_keys: Vec<String> = Vec::new();
+    let mut miss_keys: Vec<u128> = Vec::new();
     for (i, &arm) in arms.iter().enumerate() {
         exec.cache_probes += 1;
-        let key = {
-            let mut parts: Vec<&str> = prefix_keys.iter().map(String::as_str).collect();
-            parts.extend(arm_keys[i].iter().map(String::as_str));
-            parts.join("\u{1}")
-        };
+        let key = prefix_lanes.fold(&arm_hashes[i]).key();
         if let Some(&unsat) = cache.get(&key) {
             exec.cache_hits += 1;
             exec.smt_checks += 1; // cached validity check
@@ -298,15 +361,15 @@ pub(crate) fn probe_arms_cached(
         m.cache_probes.add(arms.len() as u64);
         m.cache_hits.add((arms.len() - miss_terms.len()) as u64);
     }
-    let solved = solver.check_under(pool, &miss_terms);
+    let solved = backend.check_arm_batch(pool, &[ctx_terms], &miss_terms, exec);
     let mut solved_it = solved.into_iter().zip(miss_keys);
     verdicts
         .into_iter()
         .map(|v| match v {
             Some(unsat) => unsat,
             None => {
-                let (res, key) = solved_it.next().expect("one verdict per miss");
-                let unsat = res == CheckResult::Unsat;
+                let (sat, key) = solved_it.next().expect("one verdict per miss");
+                let unsat = !sat;
                 cache.insert(key, unsat);
                 unsat
             }
@@ -352,16 +415,16 @@ mod tests {
     fn reset_retires_counters() {
         let mut s = SolveSession::new();
         let t = s.pool.bool_const(true);
-        s.solver.push();
-        s.solver.assert_term(&mut s.pool, t);
-        s.solver.check(&mut s.pool);
+        s.backend.smt.solver.push();
+        s.backend.smt.solver.assert_term(&mut s.pool, t);
+        s.backend.smt.solver.check(&mut s.pool);
         assert_eq!(s.solver_stats().checks, 1);
         s.reset_solver();
         assert_eq!(s.solver_stats().checks, 1, "retired checks survive reset");
         assert_eq!(s.take_new_checks(), 0, "fresh solver has no new checks");
-        s.solver.push();
-        s.solver.assert_term(&mut s.pool, t);
-        s.solver.check(&mut s.pool);
+        s.backend.smt.solver.push();
+        s.backend.smt.solver.assert_term(&mut s.pool, t);
+        s.backend.smt.solver.check(&mut s.pool);
         assert_eq!(s.solver_stats().checks, 2);
         assert_eq!(s.take_new_checks(), 1);
     }
@@ -380,6 +443,10 @@ mod tests {
                 cache_hits: 2,
                 batched_probes: 4,
                 arm_batches: 2,
+                backend_routed_smt: 2,
+                backend_routed_bdd: 1,
+                bdd_probes: 2,
+                bdd_nodes: 10,
                 elapsed: std::time::Duration::from_millis(5),
                 timed_out: false,
             },
@@ -392,6 +459,10 @@ mod tests {
                 cache_hits: 0,
                 batched_probes: 2,
                 arm_batches: 1,
+                backend_routed_smt: 1,
+                backend_routed_bdd: 2,
+                bdd_probes: 3,
+                bdd_nodes: 20,
                 elapsed: std::time::Duration::from_millis(4),
                 timed_out: false,
             },
@@ -404,6 +475,10 @@ mod tests {
                 cache_hits: 1,
                 batched_probes: 0,
                 arm_batches: 0,
+                backend_routed_smt: 0,
+                backend_routed_bdd: 0,
+                bdd_probes: 0,
+                bdd_nodes: 0,
                 elapsed: std::time::Duration::from_millis(1),
                 timed_out: false,
             },
@@ -458,6 +533,10 @@ mod tests {
         assert_eq!(main.exec.cache_hits, 3);
         assert_eq!(main.exec.batched_probes, 6);
         assert_eq!(main.exec.arm_batches, 3);
+        assert_eq!(main.exec.backend_routed_smt, 3);
+        assert_eq!(main.exec.backend_routed_bdd, 3);
+        assert_eq!(main.exec.bdd_probes, 5);
+        assert_eq!(main.exec.bdd_nodes, 30);
         assert!(!main.exec.timed_out);
         // Solver tallies: sums; peak depth via max; live depth is the main
         // session's own (0 — joined workers hold no frames here).
@@ -493,9 +572,9 @@ mod tests {
         // workers land in the same totals.
         let mut s = SolveSession::new();
         let t = s.pool.bool_const(true);
-        s.solver.push();
-        s.solver.assert_term(&mut s.pool, t);
-        s.solver.check(&mut s.pool);
+        s.backend.smt.solver.push();
+        s.backend.smt.solver.assert_term(&mut s.pool, t);
+        s.backend.smt.solver.check(&mut s.pool);
         let own_checks = s.solver_stats().checks;
         s.merge_worker(
             &ExecStats {
@@ -525,6 +604,10 @@ mod tests {
             cache_hits: 2,
             batched_probes: 3,
             arm_batches: 1,
+            backend_routed_smt: 2,
+            backend_routed_bdd: 1,
+            bdd_probes: 2,
+            bdd_nodes: 7,
             elapsed: std::time::Duration::from_millis(2),
             timed_out: false,
         };
@@ -534,6 +617,10 @@ mod tests {
         assert_eq!(s.exec.smt_checks, 10);
         assert_eq!(s.exec.cache_probes, 8);
         assert_eq!(s.exec.cache_hits, 4);
+        assert_eq!(s.exec.backend_routed_smt, 4);
+        assert_eq!(s.exec.backend_routed_bdd, 2);
+        assert_eq!(s.exec.bdd_probes, 4);
+        assert_eq!(s.exec.bdd_nodes, 14);
         assert!(!s.exec.timed_out);
     }
 }

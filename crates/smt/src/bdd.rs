@@ -1,0 +1,660 @@
+//! A hermetic ROBDD engine for match-field-only predicates.
+//!
+//! Data plane table matches are boolean functions over header-field bits —
+//! `field == const`, range guards, and boolean combinations thereof. For
+//! that class a reduced ordered BDD answers satisfiability *exactly* and
+//! without bit-blasting: the function is `false` iff its root node is the
+//! `false` terminal. [`BddEngine`] classifies a term ([`BddEngine::accepts`])
+//! and, when it is in class, compiles it to a node ([`BddEngine::build`])
+//! over a node table shared across probes.
+//!
+//! Structure is the textbook trio:
+//!
+//! * a **node table with hash-consing** — `(level, lo, hi)` triples are
+//!   interned, so structurally equal subfunctions share one node and
+//!   equality of functions is pointer equality of roots;
+//! * **ite/apply with an operation cache** — `ite(f, g, h)` memoizes on the
+//!   argument triple, bounding apply cost by the product of node counts
+//!   rather than the formula size;
+//! * a **variable order derived from the field layout**: bit `j` of solver
+//!   variable `v` (a header field interned in layout order) sits at level
+//!   `v·128 + (width−1−j)` — fields in layout order, MSB-first within a
+//!   field, which keeps the cube for `field == const` a linear chain and
+//!   keeps related fields adjacent.
+
+use crate::term::{CmpOp, TermId, TermNode, TermPool, VarId};
+use meissa_num::Bv;
+use std::collections::HashMap;
+
+/// A node handle into one [`Bdd`]'s table. `0` and `1` are the terminals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+/// The `false` terminal.
+pub const FALSE: NodeId = NodeId(0);
+/// The `true` terminal.
+pub const TRUE: NodeId = NodeId(1);
+
+/// Terminals carry this pseudo-level so "topmost variable" comparisons
+/// (smallest level wins) never select them.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    level: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// The raw reduced ordered BDD: node table, unique table, operation cache.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), NodeId>,
+    ite_cache: HashMap<(u32, u32, u32), NodeId>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    pub fn new() -> Self {
+        let terminal = |_| Node {
+            level: TERMINAL_LEVEL,
+            lo: FALSE,
+            hi: FALSE,
+        };
+        Bdd {
+            nodes: (0..2u32).map(terminal).collect(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Decision nodes allocated so far (terminals excluded).
+    pub fn node_count(&self) -> u64 {
+        self.nodes.len() as u64 - 2
+    }
+
+    fn level(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].level
+    }
+
+    /// Interning constructor: collapses redundant tests (`lo == hi`) and
+    /// returns the existing node for a seen `(level, lo, hi)` triple, so
+    /// the table stays reduced and canonical by construction.
+    fn mk(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(level < self.level(lo) && level < self.level(hi));
+        *self.unique.entry((level, lo.0, hi.0)).or_insert_with(|| {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node { level, lo, hi });
+            id
+        })
+    }
+
+    /// A single positive or negated variable test.
+    pub fn literal(&mut self, level: u32, positive: bool) -> NodeId {
+        if positive {
+            self.mk(level, FALSE, TRUE)
+        } else {
+            self.mk(level, TRUE, FALSE)
+        }
+    }
+
+    fn cofactor(&self, n: NodeId, level: u32) -> (NodeId, NodeId) {
+        let node = self.nodes[n.0 as usize];
+        if node.level == level {
+            (node.lo, node.hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    /// If-then-else: the one apply operator every boolean connective
+    /// reduces to. Memoized on the argument triple.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let (h0, h1) = self.cofactor(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, FALSE)
+    }
+
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, TRUE, g)
+    }
+
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// Is the represented function unsatisfiable? Exact by canonicity: a
+    /// reduced ordered BDD is `false` iff its root is the `false` terminal.
+    pub fn is_false(&self, n: NodeId) -> bool {
+        n == FALSE
+    }
+
+    /// Evaluates the function under a total assignment of levels to truth
+    /// values (test support and cross-checks).
+    pub fn eval(&self, mut n: NodeId, assign: &dyn Fn(u32) -> bool) -> bool {
+        loop {
+            if n == TRUE {
+                return true;
+            }
+            if n == FALSE {
+                return false;
+            }
+            let node = self.nodes[n.0 as usize];
+            n = if assign(node.level) { node.hi } else { node.lo };
+        }
+    }
+}
+
+/// A contiguous slice of one solver variable's bits: the whole variable, or
+/// a `BvExtract` of it. Bit `j` of the slice is bit `lo + j` of the
+/// variable (`j = 0` is the LSB).
+#[derive(Clone, Copy)]
+struct FieldSlice {
+    var: VarId,
+    var_width: u16,
+    lo: u16,
+    len: u16,
+}
+
+impl FieldSlice {
+    /// BDD level of slice bit `j`: fields in `VarId` (layout) order,
+    /// MSB-first within the field, so equality cubes are linear chains.
+    fn level(&self, j: u16) -> u32 {
+        debug_assert!(j < self.len);
+        let var_bit = self.lo + j;
+        self.var.0 * 128 + (self.var_width - 1 - var_bit) as u32
+    }
+}
+
+/// The BDD predicate engine: classification, term compilation, and the
+/// shared node table. One engine serves one [`TermPool`] lineage (a session
+/// pool or a worker fork of it) — both memo tables key on `TermId`s, which
+/// are stable within a lineage.
+pub struct BddEngine {
+    bdd: Bdd,
+    /// `TermId → node` across probes: path prefixes recur constraint by
+    /// constraint, so most of a probe's set compiles to cached roots and
+    /// only the newest guard does real work.
+    build_memo: HashMap<TermId, NodeId>,
+    /// `TermId → in-class?` classification memo.
+    class_memo: HashMap<TermId, bool>,
+}
+
+impl Default for BddEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddEngine {
+    pub fn new() -> Self {
+        BddEngine {
+            bdd: Bdd::new(),
+            build_memo: HashMap::new(),
+            class_memo: HashMap::new(),
+        }
+    }
+
+    /// Decision nodes allocated in the shared table.
+    pub fn node_count(&self) -> u64 {
+        self.bdd.node_count()
+    }
+
+    /// Is `t` a match-field-only predicate — boolean structure over
+    /// `field ⋈ const` comparisons (`⋈ ∈ {==, <}`, either operand order,
+    /// whole fields or bit slices)? Only such terms compile to BDDs;
+    /// everything else (arithmetic, concatenations, field-to-field
+    /// relations, hash stand-ins) stays with the SMT solver.
+    pub fn accepts(&mut self, pool: &TermPool, t: TermId) -> bool {
+        if let Some(&ok) = self.class_memo.get(&t) {
+            return ok;
+        }
+        let ok = match *pool.node(t) {
+            TermNode::BoolConst(_) => true,
+            TermNode::BoolNot(a) => self.accepts(pool, a),
+            TermNode::BoolAnd(a, b) | TermNode::BoolOr(a, b) => {
+                self.accepts(pool, a) && self.accepts(pool, b)
+            }
+            TermNode::Cmp(_, a, b) => match_pair(pool, a, b).is_some(),
+            _ => false,
+        };
+        self.class_memo.insert(t, ok);
+        ok
+    }
+
+    /// Compiles an accepted term to a node. Call only after
+    /// [`BddEngine::accepts`]; out-of-class terms panic.
+    pub fn build(&mut self, pool: &TermPool, t: TermId) -> NodeId {
+        if let Some(&n) = self.build_memo.get(&t) {
+            return n;
+        }
+        let n = match *pool.node(t) {
+            TermNode::BoolConst(b) => {
+                if b {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+            TermNode::BoolNot(a) => {
+                let na = self.build(pool, a);
+                self.bdd.not(na)
+            }
+            TermNode::BoolAnd(a, b) => {
+                let na = self.build(pool, a);
+                let nb = self.build(pool, b);
+                self.bdd.and(na, nb)
+            }
+            TermNode::BoolOr(a, b) => {
+                let na = self.build(pool, a);
+                let nb = self.build(pool, b);
+                self.bdd.or(na, nb)
+            }
+            TermNode::Cmp(op, a, b) => {
+                let (slice, c, const_on_left) =
+                    match_pair(pool, a, b).expect("build requires an accepted term");
+                match (op, const_on_left) {
+                    (CmpOp::Eq, _) => self.eq_const(slice, c),
+                    // slice < const
+                    (CmpOp::Ult, false) => self.ult_const(slice, c),
+                    // const < slice
+                    (CmpOp::Ult, true) => self.ugt_const(slice, c),
+                }
+            }
+            _ => panic!("build requires an accepted term"),
+        };
+        self.build_memo.insert(t, n);
+        n
+    }
+
+    /// Satisfiability of a conjunction of accepted terms; short-circuits on
+    /// the `false` terminal.
+    pub fn conj_sat(&mut self, pool: &TermPool, sets: &[&[TermId]]) -> bool {
+        let mut acc = TRUE;
+        for &c in sets.iter().copied().flatten() {
+            let n = self.build(pool, c);
+            acc = self.bdd.and(acc, n);
+            if acc == FALSE {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Batched sibling arms: the shared context is conjoined once, each arm
+    /// extends it independently — the BDD analogue of
+    /// [`crate::Solver::check_under`]'s assumption batch.
+    pub fn conj_sat_arms(&mut self, pool: &TermPool, ctx: &[&[TermId]], arms: &[TermId]) -> Vec<bool> {
+        let mut base = TRUE;
+        for &c in ctx.iter().copied().flatten() {
+            let n = self.build(pool, c);
+            base = self.bdd.and(base, n);
+            if base == FALSE {
+                break;
+            }
+        }
+        arms.iter()
+            .map(|&arm| {
+                if base == FALSE {
+                    return false;
+                }
+                let n = self.build(pool, arm);
+                self.bdd.and(base, n) != FALSE
+            })
+            .collect()
+    }
+
+    /// `slice == c`: a linear cube — one node per bit, chained from the
+    /// deepest level (slice LSB) up, so no apply recursion is needed.
+    fn eq_const(&mut self, slice: FieldSlice, c: Bv) -> NodeId {
+        let mut acc = TRUE;
+        for j in 0..slice.len {
+            let level = slice.level(j);
+            acc = if c.bit(j) {
+                self.bdd.mk(level, FALSE, acc)
+            } else {
+                self.bdd.mk(level, acc, FALSE)
+            };
+        }
+        acc
+    }
+
+    /// `slice < c`: the comparator chain. Processing LSB→MSB maintains
+    /// `acc = "low bits decide less-than"`; at each bit,
+    /// `less = (bit < c_bit) ∨ (bit == c_bit ∧ acc)`.
+    fn ult_const(&mut self, slice: FieldSlice, c: Bv) -> NodeId {
+        let mut acc = FALSE;
+        for j in 0..slice.len {
+            let level = slice.level(j);
+            acc = if c.bit(j) {
+                self.bdd.mk(level, TRUE, acc)
+            } else {
+                self.bdd.mk(level, acc, FALSE)
+            };
+        }
+        acc
+    }
+
+    /// `slice > c`, i.e. `c < slice`: the mirrored comparator chain.
+    fn ugt_const(&mut self, slice: FieldSlice, c: Bv) -> NodeId {
+        let mut acc = FALSE;
+        for j in 0..slice.len {
+            let level = slice.level(j);
+            acc = if c.bit(j) {
+                self.bdd.mk(level, FALSE, acc)
+            } else {
+                self.bdd.mk(level, acc, TRUE)
+            };
+        }
+        acc
+    }
+}
+
+/// Splits a comparison's operands into `(field slice, constant,
+/// const-on-left?)` when exactly that shape is present.
+fn match_pair(pool: &TermPool, a: TermId, b: TermId) -> Option<(FieldSlice, Bv, bool)> {
+    if let (Some(s), Some(c)) = (slice_of(pool, a), pool.as_const(b)) {
+        return Some((s, c, false));
+    }
+    if let (Some(c), Some(s)) = (pool.as_const(a), slice_of(pool, b)) {
+        return Some((s, c, true));
+    }
+    None
+}
+
+/// A term denoting raw field bits: a variable, or an extract of one.
+fn slice_of(pool: &TermPool, t: TermId) -> Option<FieldSlice> {
+    match *pool.node(t) {
+        TermNode::BvVar(v) => Some(FieldSlice {
+            var: v,
+            var_width: pool.var_width(v),
+            lo: 0,
+            len: pool.var_width(v),
+        }),
+        TermNode::BvExtract(a, lo, len) => match *pool.node(a) {
+            TermNode::BvVar(v) => Some(FieldSlice {
+                var: v,
+                var_width: pool.var_width(v),
+                lo,
+                len,
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckResult, Solver};
+
+    #[test]
+    fn hash_consing_dedups_nodes() {
+        let mut b = Bdd::new();
+        let x = b.literal(3, true);
+        let y = b.literal(3, true);
+        assert_eq!(x, y);
+        assert_eq!(b.node_count(), 1);
+        let z = b.literal(3, false);
+        assert_ne!(x, z);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn redundant_test_collapses() {
+        let mut b = Bdd::new();
+        let x = b.literal(1, true);
+        // ite(x, y, y) must be y without allocating a node for x's level.
+        let y = b.literal(2, true);
+        assert_eq!(b.ite(x, y, y), y);
+    }
+
+    #[test]
+    fn ite_matches_truth_table() {
+        let mut b = Bdd::new();
+        let f = b.literal(0, true);
+        let g = b.literal(1, true);
+        let h = b.literal(2, true);
+        let r = b.ite(f, g, h);
+        for bits in 0..8u32 {
+            let assign = |level: u32| bits & (1 << level) != 0;
+            let want = if assign(0) { assign(1) } else { assign(2) };
+            assert_eq!(b.eval(r, &assign), want, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut b = Bdd::new();
+        let x = b.literal(0, true);
+        let y = b.literal(1, true);
+        let and = b.and(x, y);
+        let or = b.or(x, y);
+        let nx = b.not(x);
+        for bits in 0..4u32 {
+            let assign = |level: u32| bits & (1 << level) != 0;
+            assert_eq!(b.eval(and, &assign), assign(0) && assign(1));
+            assert_eq!(b.eval(or, &assign), assign(0) || assign(1));
+            assert_eq!(b.eval(nx, &assign), !assign(0));
+        }
+    }
+
+    #[test]
+    fn contradiction_is_the_false_terminal() {
+        let mut b = Bdd::new();
+        let x = b.literal(0, true);
+        let nx = b.not(x);
+        assert_eq!(b.and(x, nx), FALSE);
+        assert_eq!(b.or(x, nx), TRUE);
+    }
+
+    #[test]
+    fn op_cache_reuses_results() {
+        let mut b = Bdd::new();
+        let x = b.literal(0, true);
+        let y = b.literal(1, true);
+        let first = b.and(x, y);
+        let nodes = b.node_count();
+        let second = b.and(x, y);
+        assert_eq!(first, second);
+        assert_eq!(b.node_count(), nodes, "cached apply allocates nothing");
+    }
+
+    /// Exhaustively checks a compiled comparison against direct evaluation
+    /// over every value of a small variable.
+    fn check_cmp_exhaustive(op: CmpOp, width: u16, konst: u128, const_left: bool) {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", width);
+        let k = pool.bv_const(Bv::new(width, konst));
+        let t = match (op, const_left) {
+            (CmpOp::Eq, false) => pool.eq(x, k),
+            (CmpOp::Eq, true) => pool.eq(k, x),
+            (CmpOp::Ult, false) => pool.ult(x, k),
+            (CmpOp::Ult, true) => pool.ult(k, x),
+        };
+        let mut e = BddEngine::new();
+        // Constant folding may already have answered (e.g. `x < 0`).
+        if let Some(b) = pool.as_bool_const(t) {
+            let any = (0..1u128 << width).any(|v| cmp_val(op, const_left, v, konst));
+            let all = (0..1u128 << width).all(|v| cmp_val(op, const_left, v, konst));
+            assert!(if b { all } else { !any });
+            return;
+        }
+        assert!(e.accepts(&pool, t));
+        let n = e.build(&pool, t);
+        let v = pool.find_var("x").unwrap();
+        for val in 0..1u128 << width {
+            let assign = |level: u32| {
+                let msb_off = level - v.0 * 128;
+                let bit = (width as u32 - 1 - msb_off) as u16;
+                val & (1 << bit) != 0
+            };
+            assert_eq!(
+                e.bdd.eval(n, &assign),
+                cmp_val(op, const_left, val, konst),
+                "{op:?} const_left={const_left} width={width} k={konst} v={val}"
+            );
+        }
+    }
+
+    fn cmp_val(op: CmpOp, const_left: bool, v: u128, k: u128) -> bool {
+        match (op, const_left) {
+            (CmpOp::Eq, _) => v == k,
+            (CmpOp::Ult, false) => v < k,
+            (CmpOp::Ult, true) => k < v,
+        }
+    }
+
+    #[test]
+    fn comparisons_match_semantics_exhaustively() {
+        for width in [1u16, 3, 5] {
+            let max = (1u128 << width) - 1;
+            for k in [0u128, 1, max / 2, max] {
+                for const_left in [false, true] {
+                    check_cmp_exhaustive(CmpOp::Eq, width, k, const_left);
+                    check_cmp_exhaustive(CmpOp::Ult, width, k, const_left);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_slices_map_to_variable_bits() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let mid = pool.extract(x, 2, 4); // bits 2..6
+        let k = pool.bv_const(Bv::new(4, 0b1010));
+        let t = pool.eq(mid, k);
+        let mut e = BddEngine::new();
+        assert!(e.accepts(&pool, t));
+        let n = e.build(&pool, t);
+        let v = pool.find_var("x").unwrap();
+        for val in 0..256u128 {
+            let assign = |level: u32| {
+                let msb_off = level - v.0 * 128;
+                let bit = (8u32 - 1 - msb_off) as u16;
+                val & (1 << bit) != 0
+            };
+            assert_eq!(e.bdd.eval(n, &assign), (val >> 2) & 0xf == 0b1010);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_class_terms() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let k = pool.bv_const(Bv::new(8, 3));
+        let mut e = BddEngine::new();
+        let var_to_var = pool.eq(x, y);
+        assert!(!e.accepts(&pool, var_to_var), "field-to-field is SMT work");
+        let sum = pool.add(x, k);
+        let arith = pool.eq(sum, k);
+        assert!(!e.accepts(&pool, arith), "arithmetic is SMT work");
+        let in_class = pool.eq(x, k);
+        let mixed = pool.and(in_class, arith);
+        assert!(!e.accepts(&pool, mixed), "one bad conjunct taints the set");
+        assert!(e.accepts(&pool, in_class));
+    }
+
+    /// The engine-level contract the router relies on: on match-field-only
+    /// constraint sets the BDD verdict equals the SMT solver's.
+    #[test]
+    fn agrees_with_smt_solver_on_match_sets() {
+        let mut pool = TermPool::new();
+        let dst = pool.var("dstIP", 8);
+        let port = pool.var("port", 4);
+        let mut terms = Vec::new();
+        for k in [1u128, 2, 7] {
+            let c = pool.bv_const(Bv::new(8, k));
+            terms.push(pool.eq(dst, c));
+            let e = pool.eq(dst, c);
+            terms.push(pool.not(e));
+            terms.push(pool.ult(dst, c));
+        }
+        for k in [0u128, 3] {
+            let c = pool.bv_const(Bv::new(4, k));
+            terms.push(pool.eq(port, c));
+        }
+        // A few conjunctions/disjunctions of the atoms above.
+        let (a, b, c, d) = (terms[0], terms[1], terms[3], terms[9]);
+        terms.push(pool.and(a, d));
+        terms.push(pool.or(a, c));
+        let ab = pool.and(a, b);
+        terms.push(ab);
+        let mut e = BddEngine::new();
+        // Pairwise conjunction probes, mirroring prefix+arm shapes.
+        for i in 0..terms.len() {
+            for j in i..terms.len() {
+                let set = [terms[i], terms[j]];
+                if !set.iter().all(|&t| e.accepts(&pool, t)) {
+                    continue;
+                }
+                let bdd_sat = e.conj_sat(&pool, &[&set]);
+                let mut solver = Solver::new();
+                solver.push();
+                for &t in &set {
+                    solver.assert_term(&mut pool, t);
+                }
+                let smt_sat = solver.check(&mut pool) == CheckResult::Sat;
+                assert_eq!(bdd_sat, smt_sat, "set {i},{j} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_arms_match_individual_probes() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let k1 = pool.bv_const(Bv::new(8, 1));
+        let k2 = pool.bv_const(Bv::new(8, 2));
+        let ctx = [pool.eq(x, k1)];
+        let arm_same = pool.eq(x, k1);
+        let arm_clash = pool.eq(x, k2);
+        let arm_range = pool.ult(x, k2);
+        let arms = [arm_same, arm_clash, arm_range];
+        let mut e = BddEngine::new();
+        let batch = e.conj_sat_arms(&pool, &[&ctx], &arms);
+        let single: Vec<bool> = arms
+            .iter()
+            .map(|&a| e.conj_sat(&pool, &[&ctx, &[a]]))
+            .collect();
+        assert_eq!(batch, single);
+        assert_eq!(batch, vec![true, false, true]);
+    }
+}

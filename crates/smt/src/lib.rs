@@ -43,6 +43,7 @@
 //! solver.pop();
 //! ```
 
+pub mod bdd;
 pub mod blast;
 pub mod sat;
 pub mod solver;

@@ -1,0 +1,100 @@
+//! Backend equivalence on the evaluation corpus: the predicate backend a
+//! run answers its probes on (`MeissaConfig.backend` / `MEISSA_BACKEND`)
+//! must be invisible in the output. For every backend × thread-count
+//! combination the gw-3 run must produce byte-identical templates — same
+//! paths, same constraints rendered the same way, same final values — and
+//! the same headline statistics. Only *where* verdicts come from (SAT
+//! engine vs BDD engine) may move, which the routing counters witness.
+
+use meissa_core::{BackendKind, Meissa, MeissaConfig};
+use meissa_suite::gw::{gw, GwScale};
+
+/// A pool-independent, rendering-faithful fingerprint of one run (same
+/// shape as the parallel-determinism suite's): per template the node path,
+/// canonically-rendered constraints, and rendered final values.
+fn fingerprint(run: &meissa_core::engine::RunOutput) -> Vec<String> {
+    run.templates
+        .iter()
+        .map(|t| {
+            let path: Vec<String> = t.path.iter().map(|n| format!("{n:?}")).collect();
+            let cs: Vec<String> = t
+                .constraints
+                .iter()
+                .map(|&c| format!("{}|{}", run.pool.canonical_key(c), run.pool.display(c)))
+                .collect();
+            let fv: Vec<String> = t
+                .final_values
+                .iter()
+                .map(|&(f, v)| {
+                    format!(
+                        "{f:?}={}|{}",
+                        run.pool.canonical_key(v),
+                        run.pool.display(v)
+                    )
+                })
+                .collect();
+            format!("path={path:?} constraints={cs:?} finals={fv:?}")
+        })
+        .collect()
+}
+
+#[test]
+fn gw3_templates_identical_across_backends_and_threads() {
+    let w = gw(3, GwScale { eips: 4 });
+    let run_with = |backend: BackendKind, threads: usize| {
+        let run = Meissa {
+            config: MeissaConfig {
+                backend,
+                threads,
+                // Small workload: force the parallel machinery on so the
+                // worker sessions' fresh BDD engines are exercised too.
+                min_paths_per_worker: 0,
+                ..MeissaConfig::default()
+            },
+        }
+        .run(&w.program);
+        let stats = (
+            run.stats.smt_checks,
+            run.stats.cache_probes,
+            run.stats.cache_hits,
+            run.templates.len(),
+        );
+        (fingerprint(&run), stats, run.stats)
+    };
+
+    let (base_fp, _, _) = run_with(BackendKind::Smt, 1);
+    for threads in [1usize, 4] {
+        // Counters like cache hits legitimately move with the worker count
+        // (each worker holds its own verdict cache), so the stats baseline
+        // is per thread count; the templates baseline is global.
+        let (_, base_stats, _) = run_with(BackendKind::Smt, threads);
+        for backend in [BackendKind::Smt, BackendKind::Bdd, BackendKind::Auto] {
+            let (fp, stats, raw) = run_with(backend, threads);
+            assert_eq!(
+                stats, base_stats,
+                "{backend:?}/threads={threads}: headline stats diverge from smt at the same thread count"
+            );
+            assert_eq!(
+                fp.len(),
+                base_fp.len(),
+                "{backend:?}/threads={threads}: template count diverges"
+            );
+            for (i, (a, b)) in base_fp.iter().zip(&fp).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "{backend:?}/threads={threads}: template {i} diverges from smt/1"
+                );
+            }
+            match backend {
+                BackendKind::Smt => assert_eq!(
+                    raw.bdd_probes, 0,
+                    "smt backend must never consult the BDD engine"
+                ),
+                BackendKind::Bdd | BackendKind::Auto => assert!(
+                    raw.bdd_probes > 0,
+                    "{backend:?}/threads={threads}: router never used the BDD engine"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the BDD predicate backend.
+//!
+//! 1. Verdict agreement: on randomly generated *match-field-only*
+//!    constraint sets — conjunctions of boolean combinations of
+//!    `field == const` / `field < const` atoms, optionally over bit
+//!    slices — the hermetic BDD engine must return exactly the verdict the
+//!    incremental SMT solver returns. This is the soundness contract the
+//!    `auto` router rests on.
+//! 2. End-to-end: on random-rule-set corpus programs (the §5.1 randrules
+//!    generator), a run answered on the BDD-routing backend must produce
+//!    the same templates as the smt-only run.
+
+use meissa_core::{BackendKind, Meissa, MeissaConfig};
+use meissa_smt::bdd::BddEngine;
+use meissa_smt::{CheckResult, Solver, TermId, TermPool};
+use meissa_testkit::prop::{self, G};
+use meissa_testkit::prop_assert;
+use meissa_num::Bv;
+
+/// Draws one match-field-only atom over the given variables:
+/// `slice ⋈ const` with ⋈ ∈ {==, <}, possibly wrapped in not/or/and.
+fn gen_atom(g: &mut G, pool: &mut TermPool, vars: &[(TermId, u16)]) -> TermId {
+    let (var, width) = vars[g.index(vars.len())];
+    // Operand: the whole field or a sub-slice of it.
+    let (lhs, w) = if width > 1 && g.bool() {
+        let lo = g.index(width as usize) as u16;
+        let len = 1 + g.index((width - lo) as usize) as u16;
+        if lo == 0 && len == width {
+            (var, width)
+        } else {
+            (pool.extract(var, lo, len), len)
+        }
+    } else {
+        (var, width)
+    };
+    let c = pool.bv_const(Bv::new(w, g.bits(w)));
+    // Both operand orders are in the accepted class.
+    let atom = match (g.index(2), g.bool()) {
+        (0, true) => pool.eq(lhs, c),
+        (0, false) => pool.eq(c, lhs),
+        (_, true) => pool.ult(lhs, c),
+        (_, false) => pool.ult(c, lhs),
+    };
+    if g.bool() {
+        pool.not(atom)
+    } else {
+        atom
+    }
+}
+
+/// Draws a small boolean combination of atoms.
+fn gen_conjunct(g: &mut G, pool: &mut TermPool, vars: &[(TermId, u16)]) -> TermId {
+    let a = gen_atom(g, pool, vars);
+    match g.index(3) {
+        0 => a,
+        1 => {
+            let b = gen_atom(g, pool, vars);
+            pool.or(a, b)
+        }
+        _ => {
+            let b = gen_atom(g, pool, vars);
+            pool.and(a, b)
+        }
+    }
+}
+
+#[test]
+fn bdd_and_smt_agree_on_random_match_field_sets() {
+    prop::check(96, |g| {
+        let mut pool = TermPool::new();
+        let vars: Vec<(TermId, u16)> = [("dstIP", 16u16), ("port", 9), ("vlan", 12), ("flag", 1)]
+            .iter()
+            .map(|&(n, w)| (pool.var(n, w), w))
+            .collect();
+        let n = g.len(1, 6);
+        let set: Vec<TermId> = (0..n).map(|_| gen_conjunct(g, &mut pool, &vars)).collect();
+
+        let mut engine = BddEngine::new();
+        for &c in &set {
+            prop_assert!(
+                engine.accepts(&pool, c),
+                "generator strayed outside the match-field-only class: {}",
+                pool.display(c)
+            );
+        }
+        let bdd_sat = engine.conj_sat(&pool, &[&set]);
+
+        let mut solver = Solver::new();
+        solver.push();
+        for &c in &set {
+            solver.assert_term(&mut pool, c);
+        }
+        let smt_sat = solver.check(&mut pool) == CheckResult::Sat;
+
+        prop_assert!(
+            bdd_sat == smt_sat,
+            "verdicts diverge (bdd={bdd_sat} smt={smt_sat}) on {:?}",
+            set.iter().map(|&c| pool.display(c)).collect::<Vec<_>>()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn randrules_programs_produce_identical_templates_on_both_backends() {
+    // Smaller case count: each case is a full engine run. The rule seed and
+    // corpus program vary per case, so drifts anywhere in the translated
+    // constraint space get a chance to surface.
+    prop::check(8, |g| {
+        let rules = 2 + g.index(3);
+        let seed = g.u64();
+        let w = match g.index(3) {
+            0 => meissa_suite::router(rules, seed),
+            1 => meissa_suite::mtag(rules, seed),
+            _ => meissa_suite::acl(rules, seed),
+        };
+        let run_with = |backend: BackendKind| {
+            let run = Meissa {
+                config: MeissaConfig {
+                    backend,
+                    threads: 1,
+                    ..MeissaConfig::default()
+                },
+            }
+            .run(&w.program);
+            let fp: Vec<String> = run
+                .templates
+                .iter()
+                .map(|t| {
+                    let cs: Vec<String> = t
+                        .constraints
+                        .iter()
+                        .map(|&c| run.pool.canonical_key(c))
+                        .collect();
+                    format!("{:?}|{cs:?}", t.path)
+                })
+                .collect();
+            (fp, run.stats.smt_checks, run.stats.cache_probes)
+        };
+        let smt = run_with(BackendKind::Smt);
+        let bdd = run_with(BackendKind::Bdd);
+        prop_assert!(
+            smt == bdd,
+            "{}: smt and bdd backends diverge (rules={rules} seed={seed})",
+            w.name
+        );
+        Ok(())
+    });
+}

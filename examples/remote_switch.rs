@@ -6,7 +6,10 @@
 //! pushes the program to the agent (compiled switch-side with an injected
 //! backend fault, standing in for a miscompiling toolchain), streams the
 //! generated test cases through the sender/receiver/checker, and prints
-//! the localization report for the fault the wire driver catches.
+//! the localization report for the fault the wire driver catches. At the
+//! end it scrapes the agent's Metrics RPC (`fetch_metrics`), which serves
+//! live Prometheus-format counters — the same endpoint a real deployment
+//! points its monitoring at mid-run.
 //!
 //! ```sh
 //! cargo run --release --example remote_switch
@@ -15,7 +18,7 @@
 use meissa::core::Meissa;
 use meissa::dataplane::Fault;
 use meissa::driver::Verdict;
-use meissa::netdriver::{fetch_stats, load_program, Agent, WireDriver};
+use meissa::netdriver::{fetch_metrics, fetch_stats, load_program, Agent, WireDriver};
 
 const PROGRAM: &str = r#"
 header ethernet { dst: 48; src: 48; ether_type: 16; }
@@ -101,6 +104,15 @@ fn main() {
     println!("\nagent saw {injected} injections ({forwarded} forwarded, {dropped} dropped)");
     for (port, n) in per_port {
         println!("  egress port {port}: {n} packets");
+    }
+
+    // The agent also exposes Prometheus-format metrics over its Metrics
+    // RPC — the scrape path a monitoring stack would use against a live
+    // daemon.
+    let metrics = fetch_metrics(agent.addr()).expect("fetch agent metrics");
+    println!("\nagent metrics (Prometheus text, first lines):");
+    for line in metrics.lines().take(6) {
+        println!("  {line}");
     }
 
     agent.shutdown();

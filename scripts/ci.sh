@@ -12,14 +12,23 @@ cd "$(dirname "$0")/.."
 echo "==> build (release, offline)"
 cargo build --release --offline --workspace --benches
 
-echo "==> test (offline, sequential engine: MEISSA_THREADS=1)"
-MEISSA_THREADS=1 cargo test -q --offline --workspace
+echo "==> test (offline, sequential engine: MEISSA_THREADS=1, auto backend)"
+# MEISSA_BACKEND=auto is the default; pin it so the CI run is explicit
+# about which predicate backend answered the probes.
+MEISSA_BACKEND=auto MEISSA_THREADS=1 cargo test -q --offline --workspace
 
-echo "==> test (offline, parallel engine: MEISSA_THREADS=4)"
+echo "==> test (offline, parallel engine: MEISSA_THREADS=4, auto backend)"
 # Same suite again under the work-stealing explorer: templates must be
 # byte-identical to the sequential run (the golden/e2e tests assert exact
 # output), so this catches any thread-count-dependent behavior.
-MEISSA_THREADS=4 cargo test -q --offline --workspace
+MEISSA_BACKEND=auto MEISSA_THREADS=4 cargo test -q --offline --workspace
+
+echo "==> test (offline, smt-only backend: MEISSA_BACKEND=smt)"
+# The suite once more with every probe forced onto the incremental SMT
+# solver: output must not depend on which backend decided the probes
+# (backend_equivalence/backend_prop assert it explicitly; the rest of the
+# suite re-asserts it wholesale).
+MEISSA_BACKEND=smt MEISSA_THREADS=4 cargo test -q --offline -p meissa-suite -p meissa-core
 
 echo "==> loopback smoke test: gw-3 through the wire driver"
 # Spawns the switch agent on an ephemeral loopback port and streams the
