@@ -197,6 +197,7 @@ fn parallel_scaling() {
 
     const THREADS: [usize; 4] = [1, 2, 4, 8];
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut table = String::from(
         "Parallel scaling: work-stealing DFS across thread counts\n\
@@ -256,6 +257,10 @@ fn parallel_scaling() {
             rows.push(Json::Obj(vec![
                 ("program".into(), name.as_str().to_json()),
                 ("threads".into(), (threads as u64).to_json()),
+                // The host's core count rides along so a reader (or the CI
+                // scaling guard) can tell a genuine scaling regression from
+                // a row recorded on a host with fewer cores than threads.
+                ("cores".into(), (cores as u64).to_json()),
                 ("wall_ms".into(), ms.to_json()),
                 ("smt_checks".into(), run.smt_checks.to_json()),
                 ("sat_engine_calls".into(), run.sat_engine_calls.to_json()),
@@ -264,6 +269,22 @@ fn parallel_scaling() {
                 ("templates".into(), (run.templates as u64).to_json()),
                 ("speedup_vs_1".into(), speedup.to_json()),
             ]));
+            // Host-gated scaling floor: only meaningful when the host can
+            // actually run the requested workers concurrently.
+            if name.ends_with("-r32/dfs") && cores >= threads {
+                let floor = match threads {
+                    4 => Some(2.0),
+                    8 => Some(3.0),
+                    _ => None,
+                };
+                if let Some(f) = floor {
+                    assert!(
+                        speedup >= f,
+                        "{name}: speedup {speedup:.2}x at {threads} threads \
+                         below the {f:.1}x floor on a {cores}-core host"
+                    );
+                }
+            }
         }
     }
 
@@ -554,6 +575,44 @@ fn obs_disabled_guard() {
 /// as one check) and in the template count. Run via
 /// `MEISSA_BENCH_SMOKE=1 cargo bench -p meissa-bench`, as `scripts/ci.sh`
 /// does; any drift panics, failing the bench run.
+/// CI scaling guard: gw-3-r32 through the no-summary DFS at 1 and 4
+/// threads, failing the run when the 4-thread speedup falls below 2.0x.
+/// Host-gated — on a host with fewer than 4 cores the engine right-sizes
+/// its pool to the available parallelism and the target is unattainable by
+/// construction, so the guard reports the skip and passes (`scripts/ci.sh`
+/// additionally gates the invocation on `nproc`). Run via
+/// `MEISSA_BENCH_SCALING=1 cargo bench -p meissa-bench`.
+fn scaling_guard() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        println!("scaling guard skipped: host exposes {cores} core(s) (< 4)");
+        return;
+    }
+    let w = gw(3, GwScale { eips: 32 });
+    let dfs = MeissaConfig {
+        code_summary: false,
+        ..MeissaConfig::default()
+    };
+    let t1 = best_of_3(&w, &MeissaConfig { threads: 1, ..dfs.clone() });
+    let t4 = best_of_3(&w, &MeissaConfig { threads: 4, ..dfs });
+    assert_eq!(
+        t1.templates, t4.templates,
+        "scaling guard: template count must be thread-count invariant"
+    );
+    let speedup = t1.secs / t4.secs;
+    assert!(
+        speedup >= 2.0,
+        "scaling guard: gw-3-r32/dfs t4 speedup {speedup:.2}x below the \
+         2.0x floor on a {cores}-core host (t1 {:.1} ms, t4 {:.1} ms)",
+        t1.secs * 1e3,
+        t4.secs * 1e3,
+    );
+    println!(
+        "scaling guard OK: gw-3-r32/dfs t4 speedup {speedup:.2}x on a \
+         {cores}-core host"
+    );
+}
+
 fn bench_smoke() {
     const GOLDEN_DFS_SMT_CHECKS: u64 = 12648;
     const GOLDEN_SUMMARY_SMT_CHECKS: u64 = 11406;
@@ -563,7 +622,14 @@ fn bench_smoke() {
     // router), and the 128-bit hash keys must probe/hit exactly like the
     // string keys they replaced.
     const GOLDEN_DFS_CACHE: (u64, u64) = (1796, 0);
-    const GOLDEN_SUMMARY_CACHE: (u64, u64) = (5820, 119);
+    // Summary hits dropped 119 → 104 when the engine moved to the batched
+    // summary path at every thread count: group-search jobs now warm-start
+    // from a read-only snapshot of the cache taken *before* the batch (plus
+    // their own discoveries), not from whatever earlier jobs in the same
+    // batch happened to discover. That intra-batch coupling was exactly the
+    // thread-count-dependent drift (5121 vs 5217 sat_engine_calls) this
+    // golden now guards against coming back.
+    const GOLDEN_SUMMARY_CACHE: (u64, u64) = (5820, 104);
 
     let w = gw(3, GwScale { eips: 8 });
     let smt_only = MeissaConfig {
@@ -657,6 +723,10 @@ fn main() {
     if std::env::var_os("MEISSA_BENCH_SMOKE").is_some() {
         obs_disabled_guard();
         bench_smoke();
+        return;
+    }
+    if std::env::var_os("MEISSA_BENCH_SCALING").is_some() {
+        scaling_guard();
         return;
     }
     traced("fig7", fig7_redundancy);

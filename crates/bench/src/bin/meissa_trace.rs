@@ -189,21 +189,53 @@ fn report(t: &Trace) -> String {
             })
             .collect();
         if !workers.is_empty() {
+            // Utilization = busy / wall per worker: the single number that
+            // says whether a scaling problem is starvation (low util, high
+            // steal-wait) or serialization outside the workers (high util,
+            // t_N wall ≈ t_1 wall). Merge share reads off the `parallel.
+            // merge` child span below.
             let _ = writeln!(out, "  workers:");
             let _ = writeln!(
                 out,
-                "    {:<4} {:>7} {:>7} {:>12} {:>12}",
-                "wid", "tasks", "steals", "busy ms", "checks"
+                "    {:<4} {:>7} {:>7} {:>12} {:>12} {:>7} {:>12}",
+                "wid", "tasks", "steals", "busy ms", "steal-wait", "util%", "checks"
             );
             for w in &workers {
+                let busy_us = field(w, "busy_us").unwrap_or(0);
+                let wall_us = field(w, "wall_us").unwrap_or(0);
+                let util = if wall_us == 0 {
+                    0.0
+                } else {
+                    100.0 * busy_us as f64 / wall_us as f64
+                };
                 let _ = writeln!(
                     out,
-                    "    {:<4} {:>7} {:>7} {:>12.1} {:>12}",
+                    "    {:<4} {:>7} {:>7} {:>12.1} {:>12.1} {:>7.1} {:>12}",
                     field(w, "wid").unwrap_or(0),
                     field(w, "tasks").unwrap_or(0),
                     field(w, "steals").unwrap_or(0),
-                    ms(field(w, "busy_us").unwrap_or(0) * 1000),
+                    ms(busy_us * 1000),
+                    ms(field(w, "steal_wait_us").unwrap_or(0) * 1000),
+                    util,
                     field(w, "smt_checks").unwrap_or(0),
+                );
+            }
+            let merge_ns: u64 = t
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.name == "parallel.merge"
+                        && s.start_ns >= run.start_ns
+                        && s.start_ns < run.start_ns + run.dur_ns
+                })
+                .map(|s| s.dur_ns)
+                .sum();
+            if merge_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "    merge/retire     {:>9.1} ms ({:.1}% of run)",
+                    ms(merge_ns),
+                    100.0 * merge_ns as f64 / run.dur_ns.max(1) as f64
                 );
             }
         }

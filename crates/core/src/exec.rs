@@ -56,9 +56,11 @@ pub struct ExecConfig {
     /// pool only when the saturating possible-path estimate below the
     /// exploration root grants it at least this many paths. Tiny trees
     /// otherwise pay fork/steal/merge overhead with nothing to share
-    /// (gw-3-r8 at 8 threads ran at 0.54× sequential). `0` disables the
-    /// cap — used by tests that exercise the parallel machinery on
-    /// deliberately small graphs.
+    /// (gw-3-r8 at 8 threads ran at 0.54× sequential). Batched sibling
+    /// probing roughly halved per-path solver cost, so the floor doubled
+    /// to keep the fork break-even point where measurements put it. `0`
+    /// disables the cap — used by tests that exercise the parallel
+    /// machinery on deliberately small graphs.
     pub min_paths_per_worker: u64,
     /// Probe all sibling arms of a branch point through one batched
     /// [`meissa_smt::Solver::check_under`] call (assumption literals over
@@ -82,7 +84,7 @@ impl Default for ExecConfig {
             max_templates: None,
             time_budget: None,
             threads: 1,
-            min_paths_per_worker: 512,
+            min_paths_per_worker: 1024,
             batched_probing: true,
             backend: crate::backend::default_backend(),
         }
@@ -169,6 +171,15 @@ pub(crate) trait WorkSharer: Sync {
         values: &ValueStack,
         siblings: &[NodeId],
     );
+    /// Deepest constraint prefix still worth donating from. A task pays a
+    /// fixed cost (prefix translation + re-assertion in the receiver's
+    /// solver) that a near-leaf subtree never earns back; the frontier
+    /// adapts this bound to the task costs it actually observes (see
+    /// [`crate::parallel`]). The default never gates — tests exercising
+    /// the donation path on tiny graphs want every branch offered.
+    fn donation_limit(&self) -> usize {
+        usize::MAX
+    }
 }
 
 /// Counters for one execution (the raw numbers behind Figs. 9–12).
@@ -502,10 +513,14 @@ pub(crate) fn explore_task(
 ) -> ExecStats {
     let mut stats = ExecStats::default();
     let t0 = Instant::now();
+    // Task boundary: pick up clauses sibling workers published since this
+    // worker's last task (no-op without an exchange attached).
+    session.import_shared();
     let SolveSession {
         pool,
         backend,
         verdict_cache,
+        base_verdicts,
         ..
     } = session;
     backend.kind = config.backend;
@@ -537,6 +552,7 @@ pub(crate) fn explore_task(
         all_constraints: prefix_constraints.to_vec(),
         trace: prefix_trace.to_vec(),
         cache: verdict_cache,
+        base: base_verdicts.as_deref(),
         key_stack,
         use_cache,
     };
@@ -573,6 +589,10 @@ struct Walker<'a> {
     /// lets a parallel worker that re-explores a familiar region after a
     /// donation skip already-decided sibling arms.
     cache: &'a mut std::collections::HashMap<u128, bool>,
+    /// Read-only verdicts inherited from the parent session (see
+    /// [`crate::session::SolveSession::base_verdicts`]); consulted after a
+    /// `cache` miss, never written.
+    base: Option<&'a std::collections::HashMap<u128, bool>>,
     /// Pool-independent structural hashes of `all_constraints`, maintained
     /// in lockstep (only when `use_cache`); their lane fold
     /// ([`crate::session::verdict_key`]) is the cache key for the current
@@ -642,7 +662,11 @@ impl Walker<'_> {
         }
         self.stats.cache_probes += 1;
         let key = crate::session::verdict_key(&self.key_stack);
-        if let Some(&unsat) = self.cache.get(&key) {
+        if let Some(&unsat) = self
+            .cache
+            .get(&key)
+            .or_else(|| self.base.and_then(|b| b.get(&key)))
+        {
             self.stats.cache_hits += 1;
             self.stats.smt_checks += 1; // cached validity check
             return unsat;
@@ -705,6 +729,7 @@ impl Walker<'_> {
             pool,
             backend,
             self.cache,
+            self.base,
             self.stats,
             &self.key_stack,
             &self.all_constraints,
@@ -846,11 +871,12 @@ impl Walker<'_> {
                 // back, and the busiest donation sites are precisely the
                 // deep ones. Gating on prefix length keeps tasks chunky —
                 // the top few predicate levels of a data plane program fan
-                // out into far more subtrees than there are workers.
-                const DONATE_MAX_PREFIX: usize = 6;
-                if children.len() > 1 && self.all_constraints.len() <= DONATE_MAX_PREFIX {
+                // out into far more subtrees than there are workers. The
+                // frontier picks the depth bound from the task costs it
+                // observes (see `WorkSharer::donation_limit`).
+                if children.len() > 1 {
                     if let Some(sh) = self.sharer {
-                        if sh.hungry() {
+                        if self.all_constraints.len() <= sh.donation_limit() && sh.hungry() {
                             sh.donate(
                                 pool,
                                 &self.trace,

@@ -36,12 +36,30 @@ use crate::exec::{explore_task, ExecConfig, ExecStats, ExploreBudget, RawPath, W
 use crate::session::SolveSession;
 use crate::symstate::{HashDef, SymCtx, ValueStack};
 use meissa_ir::{Cfg, FieldId, NodeId};
-use meissa_smt::{TermId, TermNode, TermPool};
+use meissa_smt::{ClauseExchange, TermId, TermNode, TermPool};
 use meissa_testkit::obs;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Slots in the cross-worker learned-clause exchange. Publication is
+/// append-only and drops on overflow, so this bounds both memory and the
+/// work a late import can possibly do.
+const EXCHANGE_CAPACITY: usize = 4096;
+
+/// The cross-worker clause pool for a run, honoring the
+/// `MEISSA_CLAUSE_SHARE` switch (`off` disables sharing; anything else —
+/// including unset — enables it for multi-worker runs).
+fn clause_exchange(workers: usize) -> Option<Arc<ClauseExchange>> {
+    if workers < 2 {
+        return None; // nothing to exchange with
+    }
+    if std::env::var("MEISSA_CLAUSE_SHARE").is_ok_and(|v| v == "off") {
+        return None;
+    }
+    Some(Arc::new(ClauseExchange::new(EXCHANGE_CAPACITY)))
+}
 
 /// One subtree task. Every worker pool is a fork of the main pool, so the
 /// seed task (`pool: None`) carries main-pool ids that are valid verbatim
@@ -75,7 +93,18 @@ struct Frontier {
     available: Condvar,
     idle_hint: AtomicUsize,
     queue_hint: AtomicUsize,
+    /// EWMA of observed task durations in nanoseconds (0 = no sample yet).
+    /// Feeds [`Frontier::donation_limit`]: the donation depth gate adapts
+    /// to how chunky tasks actually are instead of assuming one size.
+    task_ns_ewma: AtomicU64,
+    /// Current donation depth bound derived from the EWMA (see
+    /// [`WorkSharer::donation_limit`]).
+    donate_depth: AtomicUsize,
 }
+
+/// The static donation depth bound before any task has been timed — the
+/// value the gate used when it was a compile-time constant.
+const DONATE_DEPTH_DEFAULT: usize = 6;
 
 impl Frontier {
     fn new(initial: Task) -> Self {
@@ -91,6 +120,8 @@ impl Frontier {
             available: Condvar::new(),
             idle_hint: AtomicUsize::new(0),
             queue_hint: AtomicUsize::new(1),
+            task_ns_ewma: AtomicU64::new(0),
+            donate_depth: AtomicUsize::new(DONATE_DEPTH_DEFAULT),
         }
     }
 
@@ -113,8 +144,29 @@ impl Frontier {
         }
     }
 
-    /// Marks one popped task finished; the last finish ends the run.
-    fn finish_task(&self) {
+    /// Marks one popped task finished; the last finish ends the run. The
+    /// task's duration feeds the EWMA behind the adaptive donation gate:
+    /// when tasks run tiny, donation retreats toward the root so each
+    /// shipped subtree is chunky enough to earn back its fixed cost
+    /// (minipool snapshot + prefix re-assertion); when tasks run long,
+    /// deeper donation splits them finer so idle workers find food.
+    fn finish_task(&self, dur: std::time::Duration) {
+        let dur_ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.task_ns_ewma.load(Ordering::Relaxed);
+        let ewma = if old == 0 {
+            dur_ns.max(1)
+        } else {
+            (old.saturating_mul(3).saturating_add(dur_ns)) / 4
+        };
+        self.task_ns_ewma.store(ewma, Ordering::Relaxed);
+        let depth = match ewma {
+            0..=100_000 => 2,            // ≤ 0.1 ms: only root-adjacent subtrees pay off
+            100_001..=500_000 => 4,      // ≤ 0.5 ms
+            500_001..=2_000_000 => DONATE_DEPTH_DEFAULT, // ≤ 2 ms: the old static regime
+            2_000_001..=10_000_000 => 9, // ≤ 10 ms
+            _ => 12,                     // chunky tasks: split them fine
+        };
+        self.donate_depth.store(depth, Ordering::Relaxed);
         let mut st = self.state.lock().unwrap();
         st.pending -= 1;
         if st.pending == 0 {
@@ -177,6 +229,10 @@ impl WorkSharer for Frontier {
             &[("siblings", siblings.len() as u64), ("depth", trace.len() as u64)],
         );
     }
+
+    fn donation_limit(&self) -> usize {
+        self.donate_depth.load(Ordering::Relaxed)
+    }
 }
 
 /// Sequential DFS emission order, reconstructed from path node sequences:
@@ -235,6 +291,7 @@ fn worker_loop(
     frontier: &Frontier,
     budget: &ExploreBudget,
     scope: Option<&str>,
+    exchange: Option<&Arc<ClauseExchange>>,
     tx: mpsc::Sender<(usize, RawPath)>,
     wid: usize,
 ) -> WorkerOutput {
@@ -245,14 +302,25 @@ fn worker_loop(
     // a worker bounds it by retiring its solver after this many checks and
     // re-blasting the (shallow) next prefix into a fresh one.
     const WORKER_RESET_CHECKS: u64 = 512;
+    let t_worker = Instant::now();
     let mut span = obs::span("parallel.worker");
     span.field("wid", wid as u64);
     let mut session = SolveSession::fork_from(main_pool);
+    if let Some(ex) = exchange {
+        session.attach_exchange(ex.clone(), wid);
+    }
     let mut ctx = SymCtx::new(scope);
     let mut busy = std::time::Duration::ZERO;
+    let mut steal_wait = std::time::Duration::ZERO;
     let mut tasks = 0usize;
     let mut steals = 0u64;
-    while let Some(task) = frontier.pop() {
+    loop {
+        let t_pop = Instant::now();
+        let Some(task) = frontier.pop() else {
+            steal_wait += t_pop.elapsed();
+            break;
+        };
+        steal_wait += t_pop.elapsed();
         let t_task = Instant::now();
         tasks += 1;
         if task.pool.is_some() {
@@ -304,12 +372,18 @@ fn worker_loop(
                 let _ = tx.send((wid, p));
             },
         );
-        frontier.finish_task();
-        busy += t_task.elapsed();
+        let dur = t_task.elapsed();
+        frontier.finish_task(dur);
+        busy += dur;
     }
+    // Last export: the clauses this worker learned after its final retire
+    // boundary are still useful to stragglers.
+    session.share_learned();
     span.field("tasks", tasks as u64);
     span.field("steals", steals);
     span.field("busy_us", busy.as_micros() as u64);
+    span.field("steal_wait_us", steal_wait.as_micros() as u64);
+    span.field("wall_us", t_worker.elapsed().as_micros() as u64);
     span.field("smt_checks", session.exec.smt_checks);
     WorkerOutput {
         session,
@@ -391,27 +465,40 @@ pub(crate) fn explore_parallel(
     });
     let budget = ExploreBudget::new(config, t0);
     let scope: Option<String> = ctx.scope().map(str::to_string);
+    let exchange = clause_exchange(threads);
     let (tx, rx) = mpsc::channel::<(usize, RawPath)>();
 
     let main_pool = &session.pool;
-    let outputs: Vec<WorkerOutput> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|wid| {
-                let frontier = &frontier;
-                let budget = &budget;
-                let scope = scope.as_deref();
-                let tx = tx.clone();
-                s.spawn(move || {
-                    worker_loop(cfg, main_pool, targets, config, frontier, budget, scope, tx, wid)
+    // The main thread drains the path channel *inside* the scope, while
+    // workers are still exploring — collecting (and allocating for) the
+    // result set used to sit on the critical join path.
+    let (outputs, mut tagged): (Vec<WorkerOutput>, Vec<(usize, RawPath)>) =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|wid| {
+                    let frontier = &frontier;
+                    let budget = &budget;
+                    let scope = scope.as_deref();
+                    let exchange = exchange.as_ref();
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        worker_loop(
+                            cfg, main_pool, targets, config, frontier, budget, scope, exchange,
+                            tx, wid,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel exploration worker panicked"))
-            .collect()
-    });
-    drop(tx);
+                .collect();
+            // Workers hold the remaining senders; the drain ends when the
+            // last one exits its loop and drops its clone.
+            drop(tx);
+            let tagged: Vec<(usize, RawPath)> = rx.iter().collect();
+            let outputs = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel exploration worker panicked"))
+                .collect();
+            (outputs, tagged)
+        });
     let t_explore = t0.elapsed();
 
     // ---- deterministic merge -------------------------------------------
@@ -419,7 +506,7 @@ pub(crate) fn explore_parallel(
     // translating into the main pool: translation order decides main-pool
     // term-id assignment, so sorting first makes those ids — and every
     // downstream rendering — independent of scheduling.
-    let mut tagged: Vec<(usize, RawPath)> = rx.into_iter().collect();
+    let mut mspan = obs::span("parallel.merge");
     tagged.sort_by(|a, b| cmp_paths(cfg, &a.1.path, &b.1.path));
     if let Some(max) = config.max_templates {
         // Workers may overshoot the cap by in-flight emissions; keep the
@@ -473,6 +560,8 @@ pub(crate) fn explore_parallel(
         });
     }
     ctx.register_pool_vars(&mut session.pool, &cfg.fields);
+    mspan.field("paths", merged.len() as u64);
+    drop(mspan);
 
     // ---- counter merge --------------------------------------------------
     let mut stats = ExecStats::default();
@@ -556,8 +645,9 @@ pub(crate) fn explore_batch(
 ) -> Vec<JobResult> {
     struct BatchWorkerOutput {
         session: SolveSession,
-        /// (job index, paths in worker pool, stats, defs in worker pool)
-        done: Vec<(usize, Vec<RawPath>, ExecStats, Vec<HashDef>)>,
+        /// (job index, paths in worker pool, stats, defs in worker pool,
+        /// verdicts the job decided itself)
+        done: Vec<(usize, Vec<RawPath>, ExecStats, Vec<HashDef>, HashMap<u128, bool>)>,
     }
     let mut threads = config.threads.max(1).min(jobs.len().max(1));
     if config.min_paths_per_worker > 0 {
@@ -569,16 +659,29 @@ pub(crate) fn explore_batch(
         threads = threads.min(cores);
     }
     let next = AtomicUsize::new(0);
+    // Workers see the main cache as a read-only snapshot: each job starts
+    // from the same warm base at every thread count, which is what makes
+    // per-job probe/hit/engine-call counters — and their batch sums —
+    // thread-invariant. What a job decides on top of the base it keeps
+    // locally; those discoveries are merged back below in job order.
+    let base: Arc<HashMap<u128, bool>> = Arc::new(session.verdict_cache.clone());
+    let exchange = clause_exchange(threads);
     let main_pool = &session.pool;
     let shared = main_pool.len() as u32;
     let outputs: Vec<BatchWorkerOutput> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|wid| {
                 let next = &next;
+                let base = base.clone();
+                let exchange = exchange.clone();
                 s.spawn(move || {
                     // Fork the main pool once per worker: job prefixes are
                     // main-pool ids and need no translation on the way in.
                     let mut wsession = SolveSession::fork_from(main_pool);
+                    wsession.base_verdicts = Some(base);
+                    if let Some(ex) = exchange {
+                        wsession.attach_exchange(ex, wid);
+                    }
                     let mut done = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -600,8 +703,13 @@ pub(crate) fn explore_batch(
                             &mut |p| paths.push(p),
                         );
                         let defs: Vec<HashDef> = ctx.hash_defs().cloned().collect();
-                        done.push((i, paths, stats, defs));
+                        // Emptying the local cache per job keeps every job's
+                        // counters a function of (job, base) alone — not of
+                        // which jobs this worker happened to run before.
+                        let found = wsession.take_discoveries();
+                        done.push((i, paths, stats, defs, found));
                     }
+                    wsession.share_learned();
                     BatchWorkerOutput {
                         session: wsession,
                         done,
@@ -617,17 +725,26 @@ pub(crate) fn explore_batch(
 
     // Translate back in **job order** (not completion order) so main-pool
     // term-id assignment is deterministic.
-    let mut by_job: Vec<Option<(usize, &Vec<RawPath>, ExecStats, &Vec<HashDef>)>> =
+    #[allow(clippy::type_complexity)]
+    let mut by_job: Vec<Option<(usize, &Vec<RawPath>, ExecStats, &Vec<HashDef>, &HashMap<u128, bool>)>> =
         (0..jobs.len()).map(|_| None).collect();
     for (w, out) in outputs.iter().enumerate() {
-        for (i, paths, stats, defs) in &out.done {
-            by_job[*i] = Some((w, paths, *stats, defs));
+        for (i, paths, stats, defs, found) in &out.done {
+            by_job[*i] = Some((w, paths, *stats, defs, found));
         }
     }
     let mut caches: Vec<HashMap<TermId, TermId>> = (0..outputs.len()).map(|_| HashMap::new()).collect();
     let mut results: Vec<JobResult> = Vec::with_capacity(jobs.len());
     for slot in by_job {
-        let (w, paths, stats, defs) = slot.expect("every job was executed");
+        let (w, paths, stats, defs, found) = slot.expect("every job was executed");
+        // Fold the job's verdict discoveries into the main cache in job
+        // order — a later `explore_batch` (or sequential exploration) in
+        // the same session starts from the same warm cache regardless of
+        // which worker ran which job. Keys are pool-independent content
+        // hashes, so no translation is needed.
+        for (&k, &v) in found {
+            session.verdict_cache.entry(k).or_insert(v);
+        }
         let wpool = &outputs[w].session.pool;
         let paths = paths
             .iter()

@@ -11,10 +11,16 @@
 use crate::backend::{default_backend, BackendRouter};
 use crate::exec::ExecStats;
 use meissa_smt::sat::SatStats;
-use meissa_smt::{Solver, SolverStats, TermId, TermPool};
+use meissa_smt::{ClauseExchange, SharedClause, Solver, SolverStats, TermId, TermPool};
 use meissa_testkit::obs;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
+
+/// Longest learned clause worth exchanging: short clauses prune the most
+/// per literal, and translation cost is linear in clause length.
+const MAX_SHARE_LITS: usize = 8;
+/// Cap on clauses parked for retry because their atoms are not blasted yet.
+const MAX_PENDING_IMPORTS: usize = 512;
 
 /// Live observability metrics for the session cache layer
 /// (`meissa_session_*` in the Prometheus exposition). Only touched when
@@ -23,6 +29,8 @@ struct ObsMetrics {
     cache_probes: Arc<obs::Counter>,
     cache_hits: Arc<obs::Counter>,
     arm_batch: Arc<obs::Histogram>,
+    clauses_exported: Arc<obs::Counter>,
+    clauses_imported: Arc<obs::Counter>,
 }
 
 fn obs_metrics() -> &'static ObsMetrics {
@@ -31,6 +39,8 @@ fn obs_metrics() -> &'static ObsMetrics {
         cache_probes: obs::counter("session.cache_probes"),
         cache_hits: obs::counter("session.cache_hits"),
         arm_batch: obs::histogram("session.arm_batch_size"),
+        clauses_exported: obs::counter("session.clauses_exported"),
+        clauses_imported: obs::counter("session.clauses_imported"),
     })
 }
 
@@ -80,6 +90,27 @@ pub struct SolveSession {
     /// The cache sits *above* the backend router: a hit never reaches
     /// either engine, and both engines populate it on miss.
     pub(crate) verdict_cache: HashMap<u128, bool>,
+    /// Read-only verdicts inherited from the parent session at fork time.
+    /// Consulted after a `verdict_cache` miss (a hit counts exactly like a
+    /// local one) but never written: `verdict_cache` then holds only what
+    /// this session decided itself, so a batched-exploration driver can
+    /// merge those *discoveries* back deterministically.
+    pub(crate) base_verdicts: Option<Arc<HashMap<u128, bool>>>,
+    /// The cross-worker learned-clause pool, when clause sharing is on.
+    /// Export happens at solver-retire boundaries ([`SolveSession::
+    /// reset_solver`] / [`SolveSession::share_learned`]); import at the
+    /// driver's task boundaries via [`SolveSession::import_shared`].
+    exchange: Option<Arc<ClauseExchange>>,
+    /// This session's worker id on the exchange (own clauses are skipped).
+    exchange_wid: usize,
+    /// How far into the exchange this session has read.
+    exchange_cursor: usize,
+    /// Shared clauses whose atoms the live solver has not blasted yet;
+    /// retried on the next import, bounded by [`MAX_PENDING_IMPORTS`].
+    pending_import: Vec<SharedClause>,
+    /// Content hashes of clauses already published, so successive retire
+    /// boundaries don't republish the re-exported survivors.
+    published: HashSet<u64>,
 }
 
 /// One step of the order-sensitive 64-bit lane fold behind [`verdict_key`]
@@ -141,6 +172,12 @@ impl SolveSession {
             retired_sat: SatStats::default(),
             checks_consumed: 0,
             verdict_cache: HashMap::new(),
+            base_verdicts: None,
+            exchange: None,
+            exchange_wid: 0,
+            exchange_cursor: 0,
+            pending_import: Vec::new(),
+            published: HashSet::new(),
         }
     }
 
@@ -164,8 +201,84 @@ impl SolveSession {
             // Workers start cold: cloning the main cache would mostly copy
             // entries for regions the worker never visits, and the merged
             // counters should reflect what each worker actually decided.
+            // Drivers that *do* want inherited verdicts attach a read-only
+            // snapshot via `base_verdicts` instead.
             verdict_cache: HashMap::new(),
+            base_verdicts: None,
+            exchange: None,
+            exchange_wid: 0,
+            exchange_cursor: 0,
+            pending_import: Vec::new(),
+            published: HashSet::new(),
         }
+    }
+
+    /// Attaches the cross-worker clause exchange; `wid` identifies this
+    /// session so it never re-imports its own exports.
+    pub(crate) fn attach_exchange(&mut self, exchange: Arc<ClauseExchange>, wid: usize) {
+        self.exchange = Some(exchange);
+        self.exchange_wid = wid;
+        self.exchange_cursor = 0;
+    }
+
+    /// Publishes the live solver's short, portable learned clauses to the
+    /// exchange (no-op without one). Called from every retire boundary and
+    /// by drivers at worker exit, so siblings stop re-deriving conflicts
+    /// this solver already paid for.
+    pub(crate) fn share_learned(&mut self) {
+        let Some(ex) = self.exchange.clone() else {
+            return;
+        };
+        let mut exported = 0u64;
+        for lits in self.solver().export_portable(MAX_SHARE_LITS) {
+            let h = lits
+                .iter()
+                .fold(0x636c_6175_7365u64, |h, &(k, pol)| fold_step(h, k ^ pol as u64));
+            if !self.published.insert(h) {
+                continue;
+            }
+            if !ex.publish(self.exchange_wid, lits) {
+                break; // exchange full — later boundaries need not retry
+            }
+            exported += 1;
+        }
+        if exported > 0 && obs::active() {
+            obs_metrics().clauses_exported.add(exported);
+        }
+    }
+
+    /// Imports clauses other workers published since the last call into the
+    /// live solver (no-op without an exchange). Clauses mentioning atoms
+    /// this solver has not blasted yet are parked and retried next time;
+    /// imports are logical consequences of the shared constraint content,
+    /// so verdicts — and with them every counter above the SAT engine —
+    /// are unchanged.
+    pub(crate) fn import_shared(&mut self) {
+        let Some(ex) = self.exchange.clone() else {
+            return;
+        };
+        let mut fresh = ex.read_new(self.exchange_wid, &mut self.exchange_cursor);
+        if fresh.is_empty() && self.pending_import.is_empty() {
+            return;
+        }
+        fresh.append(&mut self.pending_import);
+        let (imported, deferred) = self.backend.solver_mut().import_portable(fresh);
+        self.pending_import = deferred;
+        if self.pending_import.len() > MAX_PENDING_IMPORTS {
+            let excess = self.pending_import.len() - MAX_PENDING_IMPORTS;
+            self.pending_import.drain(..excess);
+        }
+        if imported > 0 && obs::active() {
+            obs_metrics().clauses_imported.add(imported as u64);
+        }
+    }
+
+    /// Takes the verdicts this session decided itself, leaving the local
+    /// cache empty. With a `base_verdicts` snapshot attached these are
+    /// exactly the *new* discoveries — what a batched driver merges back
+    /// into the parent cache in deterministic job order.
+    pub(crate) fn take_discoveries(&mut self) -> HashMap<u128, bool> {
+        std::mem::take(&mut self.verdict_cache)
     }
 
     /// Replaces the incremental solver with a fresh one, retiring its
@@ -174,6 +287,9 @@ impl SolveSession {
     /// propagation more than re-blasting costs — which is why each
     /// top-level exploration starts from a fresh solver.
     pub fn reset_solver(&mut self) {
+        // A retiring solver's learned clauses are about to be dropped —
+        // last chance to publish them for siblings.
+        self.share_learned();
         let old = std::mem::replace(self.backend.solver_mut(), Solver::new());
         if obs::trace_on() {
             obs::event(
@@ -246,6 +362,7 @@ impl SolveSession {
             &mut self.pool,
             &mut self.backend,
             &mut self.verdict_cache,
+            self.base_verdicts.as_deref(),
             &mut exec,
             &prefix_hashes,
             prefix,
@@ -324,6 +441,7 @@ pub(crate) fn probe_arms_cached(
     pool: &mut TermPool,
     backend: &mut BackendRouter,
     cache: &mut HashMap<u128, bool>,
+    base: Option<&HashMap<u128, bool>>,
     exec: &mut ExecStats,
     prefix_hashes: &[u64],
     ctx_terms: &[TermId],
@@ -346,7 +464,12 @@ pub(crate) fn probe_arms_cached(
     for (i, &arm) in arms.iter().enumerate() {
         exec.cache_probes += 1;
         let key = prefix_lanes.fold(&arm_hashes[i]).key();
-        if let Some(&unsat) = cache.get(&key) {
+        if let Some(&unsat) = cache
+            .get(&key)
+            .or_else(|| base.and_then(|b| b.get(&key)))
+        {
+            // A base-snapshot hit counts exactly like a local one but is
+            // not copied down: `cache` stays "what this session decided".
             exec.cache_hits += 1;
             exec.smt_checks += 1; // cached validity check
             verdicts.push(Some(unsat));

@@ -103,34 +103,20 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
     let mut cache: HashMap<meissa_ir::NodeId, Vec<RawPath>> = HashMap::new();
 
     // Seed: paths from the program entry to the first pipeline entries.
+    // (`explore_parallel` runs the unchanged sequential engine at one
+    // thread, so this is one code path for every thread count.)
     {
         let targets: HashSet<meissa_ir::NodeId> = entry_of.iter().copied().collect();
-        let (sink_paths, st) = if config.threads > 1 {
-            crate::parallel::explore_parallel(
-                cfg,
-                session,
-                &mut prog_ctx,
-                cfg.entry(),
-                &targets,
-                &[],
-                &[],
-                config,
-            )
-        } else {
-            let mut sink_paths: Vec<RawPath> = Vec::new();
-            let st = crate::exec::explore_multi(
-                cfg,
-                session,
-                &mut prog_ctx,
-                cfg.entry(),
-                &targets,
-                &[],
-                &[],
-                config,
-                &mut |p| sink_paths.push(p),
-            );
-            (sink_paths, st)
-        };
+        let (sink_paths, st) = crate::parallel::explore_parallel(
+            cfg,
+            session,
+            &mut prog_ctx,
+            cfg.entry(),
+            &targets,
+            &[],
+            &[],
+            config,
+        );
         stats.absorb(&st);
         let entry_set: HashSet<meissa_ir::NodeId> = entry_of.iter().copied().collect();
         for p in sink_paths {
@@ -143,75 +129,25 @@ pub fn summarize(cfg: &mut Cfg, session: &mut SolveSession, config: &ExecConfig)
         }
     }
 
-    if config.threads > 1 {
-        summarize_pipelines_batched(
-            cfg,
-            session,
-            config,
-            &order,
-            &entry_of,
-            &mut prog_ctx,
-            &mut cache,
-            &mut completed,
-            &mut stats,
-        );
-        stats.elapsed = t0.elapsed();
-        let interrupted = stats.timed_out;
-        let completed = dedup_subsumed(&session.pool, completed);
-        return SummaryOutcome {
-            stats,
-            completed: if interrupted { None } else { Some(completed) },
-            ctx: prog_ctx,
-        };
-    }
-
-    for (idx, &pid) in order.iter().enumerate() {
-        let entry = entry_of[idx];
-        let seeds = cache.remove(&entry).unwrap_or_default();
-        summarize_pipeline(cfg, session, &mut prog_ctx, pid, &seeds, config, &mut stats);
-        if stats.timed_out {
-            break;
-        }
-        // Extend each seed through the just-summarized pipeline: paths
-        // reaching a later pipeline entry are cached for it; paths reaching
-        // a program terminal are complete end-to-end valid paths.
-        let later: HashSet<meissa_ir::NodeId> =
-            entry_of[idx + 1..].iter().copied().collect();
-        let mut ext_smt = 0u64;
-        for seed in &seeds {
-            let mut extended: Vec<RawPath> = Vec::new();
-            let st = crate::exec::explore_multi(
-                cfg,
-                session,
-                &mut prog_ctx,
-                entry,
-                &later,
-                &seed.constraints,
-                &seed.final_values,
-                config,
-                &mut |p| extended.push(p),
-            );
-            stats.absorb(&st);
-            ext_smt += st.smt_checks;
-            for mut p in extended {
-                let end = *p.path.last().expect("non-empty path");
-                let mut full = seed.path.clone();
-                full.extend(p.path.iter().copied());
-                p.path = full;
-                if later.contains(&end) {
-                    cache.entry(end).or_default().push(p);
-                } else {
-                    completed.push(p);
-                }
-            }
-        }
-        if std::env::var_os("MEISSA_SUMMARY_DEBUG").is_some() {
-            eprintln!("  extension after pipe {idx}: {} smt over {} seeds", ext_smt, seeds.len());
-        }
-        if stats.timed_out {
-            break;
-        }
-    }
+    // One pipeline engine for every thread count. The batched loop runs
+    // each group search and seed extension as an `explore_batch` job over a
+    // worker session seeded with a read-only snapshot of the main verdict
+    // cache, so per-job counters are a function of (job, snapshot) alone —
+    // sequential and parallel summary used to disagree on
+    // `sat_engine_calls` (5121 vs 5217 on gw-3-r8) precisely because the
+    // sequential loop shared one accumulating cache while batch workers
+    // started cold.
+    summarize_pipelines_batched(
+        cfg,
+        session,
+        config,
+        &order,
+        &entry_of,
+        &mut prog_ctx,
+        &mut cache,
+        &mut completed,
+        &mut stats,
+    );
     stats.elapsed = t0.elapsed();
     let interrupted = stats.timed_out;
     let completed = dedup_subsumed(&session.pool, completed);
@@ -263,100 +199,6 @@ fn dedup_subsumed(pool: &TermPool, completed: Vec<RawPath>) -> Vec<RawPath> {
         .filter(|(i, _)| !drop.contains(i))
         .map(|(_, p)| p)
         .collect()
-}
-
-fn summarize_pipeline(
-    cfg: &mut Cfg,
-    session: &mut SolveSession,
-    prog_ctx: &mut SymCtx,
-    pid: PipelineId,
-    entry_paths: &[RawPath],
-    config: &ExecConfig,
-    stats: &mut SummaryStats,
-) {
-    let (name, entry, exit) = {
-        let p = cfg.pipeline(pid);
-        (p.name.clone(), p.entry, p.exit)
-    };
-    let num_entry_paths = entry_paths.len() as u64;
-    if entry_paths.is_empty() {
-        // Unreachable pipeline: make the region impassable (an empty body
-        // would read as a terminal leaf and fabricate truncated paths).
-        cfg.replace_pipeline_body(pid, vec![vec![Stmt::Assume(BExp::False)]]);
-        stats.pipelines.push((name, 0, 0));
-        return;
-    }
-
-    let (read_set, group_list, discriminating) =
-        group_entry_paths(cfg, &session.pool, prog_ctx, entry, exit, entry_paths, config, &name);
-    let fields = cfg.fields.clone();
-
-    let mut encoded: Vec<Vec<Stmt>> = Vec::new();
-    let mut seen_paths: HashSet<Vec<Stmt>> = HashSet::new();
-    let mut kept = 0u64;
-
-    for (projection, members) in &group_list {
-        let mut plan = build_group_plan(
-            &fields,
-            &mut session.pool,
-            prog_ctx,
-            &name,
-            &read_set,
-            &discriminating,
-            projection,
-            members,
-        );
-        let mut local_paths: Vec<RawPath> = Vec::new();
-        let in_stats: ExecStats = crate::exec::explore_multi(
-            cfg,
-            session,
-            &mut plan.ppl_ctx,
-            entry,
-            &std::iter::once(exit).collect(),
-            &plan.base,
-            &plan.seeds,
-            config,
-            &mut |p| local_paths.push(p),
-        );
-        if std::env::var_os("MEISSA_SUMMARY_DEBUG").is_some() {
-            eprintln!("  group interior: {} smt, {} kept, {} members", in_stats.smt_checks, local_paths.len(), members.len());
-        }
-        stats.absorb(&in_stats);
-        kept += local_paths.len() as u64;
-
-        // ---- lines 10–25: re-encode each valid path -----------------------
-        // The first `base.len()` constraint entries are the pre-condition
-        // frame (context, not guard); filtering is positional because a
-        // local conjunct can be hash-consed to the same term as a base one.
-        for p in &local_paths {
-            let mut enc = plan.guard.clone();
-            enc.extend(encode_path(
-                cfg,
-                &session.pool,
-                &plan.ppl_ctx,
-                &name,
-                p,
-                plan.base.len(),
-                &plan.seed_map,
-            ));
-            if seen_paths.insert(enc.clone()) {
-                encoded.push(enc);
-            }
-        }
-        if stats.timed_out {
-            break;
-        }
-    }
-
-    if encoded.is_empty() {
-        cfg.replace_pipeline_body(pid, vec![vec![Stmt::Assume(BExp::False)]]);
-        stats.pipelines.push((name, num_entry_paths, 0));
-        return;
-    }
-    let _ = kept;
-    let kept = encoded.len() as u64;
-    cfg.replace_pipeline_body(pid, encoded);
-    stats.pipelines.push((name, num_entry_paths, kept));
 }
 
 /// A constant projection of a path onto a pipeline's read-set (§7 grouping
@@ -567,51 +409,91 @@ struct PipelinePlan {
     groups: Vec<GroupPlan>,
 }
 
-fn plan_pipeline(
+/// The read-only half of pipeline planning: region read-set, §7 grouping,
+/// and the discriminating-field set. Touches the pool, program context, and
+/// CFG only through shared references and issues no solver query — which is
+/// what lets one topo level's analyses run on scoped threads while the pool
+/// materialization ([`build_group_plan`]) stays sequential and
+/// deterministic.
+struct PipelineAnalysis<'a> {
+    name: String,
+    entry: meissa_ir::NodeId,
+    exit: meissa_ir::NodeId,
+    num_entry_paths: u64,
+    read_set: Vec<FieldId>,
+    group_list: Vec<(Projection, Vec<&'a RawPath>)>,
+    discriminating: HashSet<FieldId>,
+}
+
+fn analyze_pipeline<'a>(
     cfg: &Cfg,
-    session: &mut SolveSession,
-    prog_ctx: &mut SymCtx,
+    pool: &TermPool,
+    prog_ctx: &SymCtx,
     pid: PipelineId,
-    entry_paths: &[RawPath],
+    entry_paths: &'a [RawPath],
     config: &ExecConfig,
-) -> PipelinePlan {
+) -> PipelineAnalysis<'a> {
     let (name, entry, exit) = {
         let p = cfg.pipeline(pid);
         (p.name.clone(), p.entry, p.exit)
     };
     let num_entry_paths = entry_paths.len() as u64;
     if entry_paths.is_empty() {
-        return PipelinePlan {
+        return PipelineAnalysis {
             name,
             entry,
             exit,
             num_entry_paths,
-            groups: Vec::new(),
+            read_set: Vec::new(),
+            group_list: Vec::new(),
+            discriminating: HashSet::new(),
         };
     }
     let (read_set, group_list, discriminating) =
-        group_entry_paths(cfg, &session.pool, prog_ctx, entry, exit, entry_paths, config, &name);
+        group_entry_paths(cfg, pool, prog_ctx, entry, exit, entry_paths, config, &name);
+    PipelineAnalysis {
+        name,
+        entry,
+        exit,
+        num_entry_paths,
+        read_set,
+        group_list,
+        discriminating,
+    }
+}
+
+/// The mutating half: materializes each group's plan into the main pool
+/// (constants, entry variables, binding equations). Must run in topo order
+/// on one thread — pool interning order decides `TermId` assignment, which
+/// downstream sorts and renderings depend on.
+fn plan_from_analysis(
+    cfg: &Cfg,
+    session: &mut SolveSession,
+    prog_ctx: &mut SymCtx,
+    analysis: &PipelineAnalysis<'_>,
+) -> PipelinePlan {
     let fields = cfg.fields.clone();
-    let groups = group_list
+    let groups = analysis
+        .group_list
         .iter()
         .map(|(projection, members)| {
             build_group_plan(
                 &fields,
                 &mut session.pool,
                 prog_ctx,
-                &name,
-                &read_set,
-                &discriminating,
+                &analysis.name,
+                &analysis.read_set,
+                &analysis.discriminating,
                 projection,
                 members,
             )
         })
         .collect();
     PipelinePlan {
-        name,
-        entry,
-        exit,
-        num_entry_paths,
+        name: analysis.name.clone(),
+        entry: analysis.entry,
+        exit: analysis.exit,
+        num_entry_paths: analysis.num_entry_paths,
         groups,
     }
 }
@@ -737,13 +619,53 @@ fn summarize_pipelines_batched(
 ) {
     use crate::parallel::{explore_batch, ExploreJob};
     for level in pipeline_levels(cfg, order) {
-        // ---- plan (sequential, topo order) --------------------------------
-        let mut entries: Vec<(usize, Vec<RawPath>, Option<PipelinePlan>)> = Vec::new();
-        for &idx in &level {
-            let seeds = cache.remove(&entry_of[idx]).unwrap_or_default();
-            let plan = plan_pipeline(cfg, session, prog_ctx, order[idx], &seeds, config);
-            entries.push((idx, seeds, Some(plan)));
-        }
+        // ---- analyze (read-only, parallel across the level) ---------------
+        let seeds_by: Vec<(usize, Vec<RawPath>)> = level
+            .iter()
+            .map(|&idx| (idx, cache.remove(&entry_of[idx]).unwrap_or_default()))
+            .collect();
+        let analyses: Vec<PipelineAnalysis<'_>> = {
+            let cfg_r: &Cfg = cfg;
+            let pool: &TermPool = &session.pool;
+            let ctx_r: &SymCtx = prog_ctx;
+            if config.threads > 1 && seeds_by.len() > 1 {
+                // §7 grouping scans every entry path's constraint list per
+                // read field — the serial fraction Amdahl charges the whole
+                // parallel region for. Same-level pipelines are independent,
+                // so their analyses fan out on scoped threads.
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = seeds_by
+                        .iter()
+                        .map(|(idx, seeds)| {
+                            let idx = *idx;
+                            s.spawn(move || {
+                                analyze_pipeline(cfg_r, pool, ctx_r, order[idx], seeds, config)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("summary analysis thread panicked"))
+                        .collect()
+                })
+            } else {
+                seeds_by
+                    .iter()
+                    .map(|(idx, seeds)| analyze_pipeline(cfg_r, pool, ctx_r, order[*idx], seeds, config))
+                    .collect()
+            }
+        };
+        // ---- materialize plans (sequential, topo order) -------------------
+        let plans: Vec<PipelinePlan> = analyses
+            .iter()
+            .map(|a| plan_from_analysis(cfg, session, prog_ctx, a))
+            .collect();
+        drop(analyses);
+        let mut entries: Vec<(usize, Vec<RawPath>, Option<PipelinePlan>)> = seeds_by
+            .into_iter()
+            .zip(plans)
+            .map(|((idx, seeds), plan)| (idx, seeds, Some(plan)))
+            .collect();
         // ---- batched group searches ---------------------------------------
         let mut jobs: Vec<ExploreJob> = Vec::new();
         for (_, _, plan) in &entries {

@@ -13,10 +13,11 @@
 //! the final attempt waits one drain period before classifying the missing
 //! output as a drop. Expected outputs come from a single client-side
 //! reference `SwitchTarget` shared by every connection (injection takes
-//! `&self`, so no lock mediates it) and are computed once per case — the
-//! retry and drain paths reuse the cached output instead of re-running the
-//! reference interpreter. Verdicts come from the shared transport-agnostic
-//! `driver::Checker`.
+//! `&self`, so no lock mediates it) and are computed once per case, at
+//! queue-pull time — overlapping the reference interpreter with the agent's
+//! processing of already-sent cases instead of stalling the receive loop —
+//! and the retry and drain paths reuse the cached output. Verdicts come
+//! from the shared transport-agnostic `driver::Checker`.
 
 use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
 use meissa_core::RunOutput;
@@ -31,8 +32,24 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// How many injects a connection keeps outstanding.
-const WINDOW: usize = 16;
+/// How many injects the whole run keeps outstanding, across every
+/// connection. The budget is split per connection rather than granted per
+/// connection: with a fixed per-connection window, adding connections
+/// multiplied the queue depth at the agent, and by Little's law the extra
+/// outstanding cases bought latency, not throughput (4 connections × 16
+/// outstanding pushed loopback p50 from ~11ms to ~49ms while throughput
+/// *dropped*). Splitting the budget keeps the agent-side queue depth
+/// constant as connections scale.
+const TOTAL_WINDOW: usize = 16;
+
+/// Floor on the per-connection share of [`TOTAL_WINDOW`], so a high
+/// connection count still pipelines enough to cover the network RTT.
+const MIN_WINDOW: usize = 4;
+
+/// How many cases a connection pulls per queue-lock acquisition. Pulling
+/// in small chunks amortizes the mutex without letting one connection
+/// hoard work it cannot send yet.
+const PULL_CHUNK: usize = 4;
 
 /// The wire-level test driver for one program.
 pub struct WireDriver<'p> {
@@ -161,6 +178,7 @@ impl<'p> WireDriver<'p> {
         };
 
         let nconn = self.connections.min(work.len()).max(1);
+        let window = (TOTAL_WINDOW / nconn).max(MIN_WINDOW);
         // Dynamic pulling: cases queue front-to-back (popped from the
         // reversed vec's tail) and each connection takes the next one as its
         // send window opens. A connection slowed by retries naturally takes
@@ -174,7 +192,7 @@ impl<'p> WireDriver<'p> {
                     let queue = &queue;
                     let reference = &reference;
                     let checker = &checker;
-                    s.spawn(move || self.run_conn(queue, reference, checker))
+                    s.spawn(move || self.run_conn(queue, reference, checker, window))
                 })
                 .collect();
             handles
@@ -213,6 +231,7 @@ impl<'p> WireDriver<'p> {
         queue: &std::sync::Mutex<Vec<WireCase>>,
         reference: &SwitchTarget,
         checker: &Checker,
+        window: usize,
     ) -> io::Result<Vec<(usize, CaseResult)>> {
         let stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
@@ -234,34 +253,69 @@ impl<'p> WireDriver<'p> {
         let mut sent = 0u64;
         let mut retries = 0u64;
         let mut drops = 0u64;
+        // Where this connection's time goes, for the scaling trace: queue
+        // lock + pull, reference-interpreter runs, and checker verdicts.
+        let mut pull_time = Duration::ZERO;
+        let mut ref_time = Duration::ZERO;
+        let mut check_time = Duration::ZERO;
+        let mut queue_done = false;
 
         loop {
-            // Sender: refill the window from the shared queue. Once a case
-            // is pulled this connection owns it outright — retries and the
-            // drop verdict never touch the queue again.
-            while pending.len() < WINDOW {
-                let Some(case) = queue.lock().unwrap().pop() else {
+            // Sender: refill the window from the shared queue, a small
+            // chunk per lock so the mutex is amortized without hoarding.
+            // Once a case is pulled this connection owns it outright —
+            // retries and the drop verdict never touch the queue again.
+            while !queue_done && pending.len() < window {
+                let t_pull = Instant::now();
+                let mut chunk: Vec<WireCase> = Vec::with_capacity(PULL_CHUNK);
+                {
+                    let mut q = queue.lock().unwrap();
+                    let want = PULL_CHUNK.min(window - pending.len());
+                    for _ in 0..want {
+                        match q.pop() {
+                            Some(case) => chunk.push(case),
+                            None => {
+                                queue_done = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                pull_time += t_pull.elapsed();
+                if chunk.is_empty() {
                     break;
-                };
-                self.send_inject(&mut writer, &case)?;
-                sent += 1;
-                pending.insert(
-                    case.wire_id,
-                    Pending {
-                        case,
-                        attempts: 1,
-                        first_sent: Instant::now(),
-                        deadline: Instant::now() + self.case_timeout,
-                    },
-                );
+                }
+                for mut case in chunk {
+                    // Compute the expected output now, off the receive path:
+                    // the reference interpreter runs while the agent chews on
+                    // already-sent cases, instead of stalling the receive
+                    // loop (and the whole window behind it) per response.
+                    let t_ref = Instant::now();
+                    case.ensure_expected(reference);
+                    ref_time += t_ref.elapsed();
+                    self.send_inject(&mut writer, &case)?;
+                    sent += 1;
+                    pending.insert(
+                        case.wire_id,
+                        Pending {
+                            case,
+                            attempts: 1,
+                            first_sent: Instant::now(),
+                            deadline: Instant::now() + self.case_timeout,
+                        },
+                    );
+                }
             }
-            if pending.is_empty() {
+            if pending.is_empty() && queue_done {
                 // Window drained and the queue answered empty: done.
                 if obs::trace_on() {
                     conn_span.field("cases", results.len() as u64);
                     conn_span.field("sent", sent);
                     conn_span.field("retries", retries);
                     conn_span.field("drops", drops);
+                    conn_span.field("pull_us", pull_time.as_micros() as u64);
+                    conn_span.field("ref_us", ref_time.as_micros() as u64);
+                    conn_span.field("check_us", check_time.as_micros() as u64);
                 }
                 drop(conn_span);
                 obs::park_current_thread();
@@ -291,7 +345,10 @@ impl<'p> WireDriver<'p> {
                                     final_state: decode_state(self.program, &state),
                                 };
                                 let case = &mut p.case;
+                                // `expected` was filled at pull time; this
+                                // is a memoized no-op kept for safety.
                                 case.ensure_expected(reference);
+                                let t_check = Instant::now();
                                 let mut r = checker.check_case(
                                     case.template_id,
                                     &case.input,
@@ -299,6 +356,7 @@ impl<'p> WireDriver<'p> {
                                     case.expected.as_ref().unwrap(),
                                     &obs,
                                 );
+                                check_time += t_check.elapsed();
                                 r.latency = p.first_sent.elapsed();
                                 if obs::active() {
                                     wire_obs().case_latency_us.record(r.latency.as_micros() as u64);
@@ -343,6 +401,7 @@ impl<'p> WireDriver<'p> {
                             // Drain phase verdict: the output never arrived,
                             // so the receiver records it as a drop and the
                             // checker judges that against the reference.
+                            let t_check = Instant::now();
                             let mut r = checker.check_case(
                                 case.template_id,
                                 &case.input,
@@ -350,6 +409,7 @@ impl<'p> WireDriver<'p> {
                                 case.expected.as_ref().unwrap(),
                                 &Observation::missing(),
                             );
+                            check_time += t_check.elapsed();
                             r.latency = p.first_sent.elapsed();
                             drops += 1;
                             obs::event("wire.drop", &[("id", id), ("attempts", p.attempts as u64)]);
@@ -420,8 +480,8 @@ struct WireCase {
     wire_id: u64,
     input: ConcreteState,
     packet: Packet,
-    /// Reference output, computed on first use and reused by retries and
-    /// the drain-phase drop verdict.
+    /// Reference output, computed at queue-pull time and reused by the
+    /// receive, retry, and drain-phase verdict paths.
     expected: Option<meissa_dataplane::TargetOutput>,
 }
 

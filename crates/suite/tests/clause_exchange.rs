@@ -1,0 +1,140 @@
+//! Clause-exchange correctness: sharing learned clauses between worker
+//! solvers must be *invisible* in every output. Two angles:
+//!
+//! 1. End to end, the engine must produce byte-identical templates and
+//!    identical probe counts with the exchange enabled (the default) and
+//!    disabled (`MEISSA_CLAUSE_SHARE=off`) — a shared lemma may only save
+//!    SAT-engine work, never steer the search.
+//! 2. At the solver level, a clause imported from a donor must never flip
+//!    a verdict: every probe is cross-checked against a fresh solver that
+//!    never saw the import.
+
+use meissa_core::{Meissa, MeissaConfig};
+use meissa_num::Bv;
+use meissa_smt::{CheckResult, SharedClause, Solver, TermId, TermPool};
+use meissa_suite as suite;
+
+/// Pool-independent rendering of one run's template sequence (worker pools
+/// intern in schedule-dependent order, so raw `TermId`s don't compare).
+fn fingerprint(run: &meissa_core::engine::RunOutput) -> Vec<String> {
+    run.templates
+        .iter()
+        .map(|t| {
+            let path: Vec<String> = t.path.iter().map(|n| format!("{n:?}")).collect();
+            let cs: Vec<String> = t
+                .constraints
+                .iter()
+                .map(|&c| format!("{}|{}", run.pool.canonical_key(c), run.pool.display(c)))
+                .collect();
+            let fv: Vec<String> = t
+                .final_values
+                .iter()
+                .map(|&(f, v)| format!("{f:?}={}", run.pool.canonical_key(v)))
+                .collect();
+            format!("path={path:?} constraints={cs:?} finals={fv:?}")
+        })
+        .collect()
+}
+
+/// The exchange toggle must not change templates or probe counts. Both
+/// runs live in one test body because `MEISSA_CLAUSE_SHARE` is process
+/// state — no other test in this binary reads it, so the two sequential
+/// runs see exactly the value they set.
+#[test]
+fn sharing_toggle_yields_identical_templates() {
+    let w = suite::gw::gw(2, suite::gw::GwScale { eips: 4 });
+    let config = |threads| MeissaConfig {
+        threads,
+        // Force real workers even on a small host: the exchange only
+        // exists at two or more workers.
+        min_paths_per_worker: 0,
+        ..MeissaConfig::default()
+    };
+    std::env::remove_var("MEISSA_CLAUSE_SHARE");
+    let on = Meissa { config: config(4) }.run(&w.program);
+    std::env::set_var("MEISSA_CLAUSE_SHARE", "off");
+    let off = Meissa { config: config(4) }.run(&w.program);
+    std::env::remove_var("MEISSA_CLAUSE_SHARE");
+
+    assert_eq!(
+        fingerprint(&on),
+        fingerprint(&off),
+        "clause sharing changed the template sequence"
+    );
+    assert_eq!(on.stats.valid_paths, off.stats.valid_paths);
+    assert_eq!(on.stats.smt_checks, off.stats.smt_checks);
+    assert_eq!(on.stats.cache_probes, off.stats.cache_probes);
+}
+
+fn probe(s: &mut Solver, pool: &mut TermPool, arm: TermId) -> CheckResult {
+    s.push();
+    s.assert_term(pool, arm);
+    let r = s.check(pool);
+    s.pop();
+    r
+}
+
+/// Every verdict an importing solver gives must match a fresh solver that
+/// never imported anything. The donor learns real conflict clauses from
+/// the carry-chain bound (`x + y == 255` refutes `x ^ y != 255` only
+/// after search), so the import is non-trivial.
+#[test]
+fn imported_clauses_preserve_every_verdict() {
+    let mut pool = TermPool::new();
+    let x = pool.var("x", 8);
+    let y = pool.var("y", 8);
+    let c255 = pool.bv_const(Bv::new(8, 255));
+    let sum = pool.add(x, y);
+    let bound = pool.eq(sum, c255);
+    let xor = pool.bv_xor(x, y);
+    let hard = pool.ne(xor, c255);
+
+    let mut donor = Solver::new();
+    donor.push();
+    donor.assert_term(&mut pool, bound);
+    donor.push();
+    donor.assert_term(&mut pool, hard);
+    assert_eq!(donor.check(&mut pool), CheckResult::Unsat);
+    donor.pop();
+    let exported = donor.export_portable(8);
+    assert!(
+        !exported.is_empty(),
+        "refuting the carry-chain arm must yield portable lemmas"
+    );
+
+    let mut importer = Solver::new();
+    importer.push();
+    importer.assert_term(&mut pool, bound);
+    let shared: Vec<SharedClause> = exported
+        .iter()
+        .map(|lits| SharedClause {
+            source: 7,
+            lits: lits.clone(),
+        })
+        .collect();
+    let (imported, _deferred) = importer.import_portable(shared);
+    assert!(imported > 0, "identically blasted terms must translate");
+
+    // Probe arms spanning both verdicts: the refuted xor arm, satisfiable
+    // and unsatisfiable point constraints, and slice constraints.
+    let mut arms: Vec<TermId> = vec![hard];
+    for k in 0..16u128 {
+        let kx = pool.bv_const(Bv::new(8, (k * 31) & 0xff));
+        arms.push(pool.eq(x, kx));
+        let ky = pool.bv_const(Bv::new(8, (k * 7) & 0xff));
+        arms.push(pool.ne(y, ky));
+    }
+    for &arm in &arms {
+        let mut fresh = Solver::new();
+        fresh.push();
+        fresh.assert_term(&mut pool, bound);
+        let want = probe(&mut fresh, &mut pool, arm);
+        let got = probe(&mut importer, &mut pool, arm);
+        assert_eq!(
+            want,
+            got,
+            "imported lemmas changed the verdict of `{}`",
+            pool.display(arm)
+        );
+    }
+}

@@ -40,8 +40,22 @@ fn fingerprint(run: &meissa_core::engine::RunOutput) -> (Vec<String>, String) {
         })
         .collect();
     let stats = format!(
-        "valid={} before={} after={}",
-        run.stats.valid_paths, run.stats.paths_before, run.stats.paths_after
+        "valid={} before={} after={} checks={} probes={}",
+        run.stats.valid_paths,
+        run.stats.paths_before,
+        run.stats.paths_after,
+        // Probe-level counters are part of the invariant: a probe is issued
+        // per arm per path visit regardless of which worker owns the
+        // subtree, so `smt_checks`/`cache_probes` must not move with the
+        // thread count. Solver-*internal* counters (the cache-hit /
+        // fast-path / model-reuse / SAT-engine split) are deliberately
+        // excluded here: work stealing donates subtrees to workers with
+        // cold verdict caches, so which probes short-circuit before the
+        // engine depends on the (timing-dependent) partition. The summary
+        // engine's job-level counters, which *are* partition-independent,
+        // get their own assertion below.
+        run.stats.smt_checks,
+        run.stats.cache_probes,
     );
     (templates, stats)
 }
@@ -132,4 +146,47 @@ fn multi_pipeline_gateway_is_thread_count_invariant() {
         min_paths_per_worker: 0,
         ..MeissaConfig::default()
     });
+}
+
+#[test]
+fn summary_solver_counters_are_thread_count_invariant() {
+    // Regression test for the sat_engine_calls drift the scaling trace
+    // surfaced (5121 sequential vs 5217 at t≥2 on gw-3-r8/summary): the
+    // sequential summary loop let pipeline N+1 warm-start from pipeline N's
+    // verdict discoveries via the shared main cache, while batched workers
+    // started cold. The summary engine now routes through the batched path
+    // at every thread count, with workers layered over a read-only snapshot
+    // of the main cache and their discoveries merged back in job order — so
+    // per-pipeline solver effort is a function of (job, snapshot) alone.
+    // Default `min_paths_per_worker` on purpose: this is the production
+    // configuration, worker right-sizing included.
+    let w = workload("gw2");
+    let base = Meissa {
+        config: MeissaConfig {
+            threads: 1,
+            ..MeissaConfig::default()
+        },
+    }
+    .run(&w.program);
+    for threads in [2usize, 4, 8] {
+        let got = Meissa {
+            config: MeissaConfig {
+                threads,
+                ..MeissaConfig::default()
+            },
+        }
+        .run(&w.program);
+        assert_eq!(
+            base.stats.smt_checks, got.stats.smt_checks,
+            "smt_checks drifts at {threads} threads"
+        );
+        assert_eq!(
+            base.stats.solver.sat_engine_calls, got.stats.solver.sat_engine_calls,
+            "sat_engine_calls drifts at {threads} threads"
+        );
+        assert_eq!(
+            base.stats.cache_probes, got.stats.cache_probes,
+            "cache_probes drifts at {threads} threads"
+        );
+    }
 }

@@ -30,6 +30,13 @@ echo "==> test (offline, smt-only backend: MEISSA_BACKEND=smt)"
 # suite re-asserts it wholesale).
 MEISSA_BACKEND=smt MEISSA_THREADS=4 cargo test -q --offline -p meissa-suite -p meissa-core
 
+echo "==> test (offline, clause exchange off: MEISSA_CLAUSE_SHARE=off)"
+# The parallel run once more with the learned-clause exchange disabled:
+# shared lemmas may only save SAT-engine work, never steer the search, so
+# every golden/e2e/determinism assertion must hold identically without
+# them (clause_exchange.rs additionally diffs the two modes head-to-head).
+MEISSA_CLAUSE_SHARE=off MEISSA_THREADS=4 cargo test -q --offline -p meissa-suite -p meissa-core
+
 echo "==> loopback smoke test: gw-3 through the wire driver"
 # Spawns the switch agent on an ephemeral loopback port and streams the
 # gw-3 suite through the TCP sender/receiver/checker (transport faults
@@ -46,6 +53,21 @@ echo "==> bench smoke: gw-3-r8 figures row vs goldens"
 # this also runs the disabled-path guard: a gated obs site must cost one
 # relaxed atomic load (< 5 ns), or the smoke run fails.
 MEISSA_BENCH_SMOKE=1 cargo bench -q --offline -p meissa-bench
+
+echo "==> scaling guard: gw-3-r32/dfs t4 speedup (host-gated)"
+# On a host with >= 4 cores the work-stealing DFS must deliver at least a
+# 2.0x speedup at 4 threads on the large gateway, or the run fails — this
+# is the regression tripwire for the serialization bugs the scaling trace
+# work flushed out (static donation depth, merge on the join path, cold
+# min_paths floor). On smaller hosts the engine right-sizes its pool to
+# the available cores, the target is unattainable by construction, and
+# the guard is skipped.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+  MEISSA_BENCH_SCALING=1 cargo bench -q --offline -p meissa-bench
+else
+  echo "skipped: host exposes $cores core(s) (< 4)"
+fi
 
 echo "==> obs smoke: traced gw-3-r8 run + meissa-trace --check"
 # Re-runs the bench smoke with a JSONL trace sink attached (the engine's
