@@ -568,6 +568,114 @@ fn obs_disabled_guard() {
     println!("obs disabled-path guard OK: {per_site_ns:.3} ns per gated site");
 }
 
+/// Stateful k-packet unrolling: sequence templates and wall time vs k on
+/// the connection-tracking firewall. The cost model is the point — the
+/// unrolled path mass grows with k while zero-init pruning keeps the
+/// feasible sequence count small, and a regression in either direction
+/// (lost pruning inflating time, lost threading dropping sequences) moves
+/// the table. k=1 is asserted against the single-packet engine, the
+/// byte-for-byte degeneration contract. Writes
+/// `results/stateful_unroll.txt` + `BENCH_stateful.json`; the engine's
+/// `sequence.*` spans land in this figure's trace for `meissa-trace`.
+fn stateful_unroll() {
+    use meissa_testkit::json::{Json, ToJson};
+    use std::time::Instant;
+
+    const KS: [usize; 4] = [1, 2, 3, 4];
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let w = meissa_suite::stateful_firewall();
+
+    let mut table = String::from(
+        "Stateful unrolling: sequence templates and time vs k on the\n\
+         connection-tracking firewall (best of 3; k=1 delegates to the\n\
+         single-packet engine byte-for-byte, so its row doubles as the\n\
+         degeneration anchor)\n\n",
+    );
+    table.push_str(&format!(
+        "{:<14} {:>4} {:>11} {:>12} {:>10} {:>10}\n",
+        "program", "k", "sequences", "smt_checks", "explored", "wall ms"
+    ));
+    let mut rows: Vec<Json> = Vec::new();
+
+    // The degeneration anchor: k=1 must reproduce this run exactly.
+    let single = Meissa {
+        config: MeissaConfig {
+            threads: 1,
+            ..MeissaConfig::default()
+        },
+    }
+    .run(&w.program);
+
+    let mut prev_sequences = 0usize;
+    for k in KS {
+        let config = MeissaConfig {
+            k_packets: k,
+            threads: 1,
+            ..MeissaConfig::default()
+        };
+        let mut best: Option<(f64, meissa_core::StatefulRunOutput)> = None;
+        for _ in 0..3 {
+            let engine = Meissa {
+                config: config.clone(),
+            };
+            let t = Instant::now();
+            let run = engine.run_sequences(&w.program);
+            let secs = t.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+                best = Some((secs, run));
+            }
+        }
+        let (secs, run) = best.unwrap();
+        if k == 1 {
+            assert_eq!(
+                run.sequences.len(),
+                single.templates.len(),
+                "k=1 sequence count must match the single-packet engine"
+            );
+            assert_eq!(
+                run.stats.smt_checks, single.stats.smt_checks,
+                "k=1 smt_checks must match the single-packet engine"
+            );
+        }
+        assert!(
+            run.sequences.len() >= prev_sequences,
+            "sequence count must not shrink as k grows \
+             (k={k}: {} < {prev_sequences})",
+            run.sequences.len()
+        );
+        prev_sequences = run.sequences.len();
+        let ms = secs * 1e3;
+        table.push_str(&format!(
+            "{:<14} {k:>4} {:>11} {:>12} {:>10} {ms:>10.2}\n",
+            w.name,
+            run.sequences.len(),
+            run.stats.smt_checks,
+            run.stats.paths_explored,
+        ));
+        rows.push(Json::Obj(vec![
+            ("program".into(), w.name.as_str().to_json()),
+            ("k".into(), (k as u64).to_json()),
+            ("sequences".into(), (run.sequences.len() as u64).to_json()),
+            ("smt_checks".into(), run.stats.smt_checks.to_json()),
+            ("paths_explored".into(), run.stats.paths_explored.to_json()),
+            ("wall_ms".into(), ms.to_json()),
+        ]));
+    }
+
+    print!("{table}");
+    std::fs::write(format!("{repo_root}/results/stateful_unroll.txt"), &table)
+        .expect("write results/stateful_unroll.txt");
+    let json = Json::Obj(vec![
+        ("bench".into(), "stateful_unroll".to_json()),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    std::fs::write(
+        format!("{repo_root}/BENCH_stateful.json"),
+        json.to_text() + "\n",
+    )
+    .expect("write BENCH_stateful.json");
+}
+
 /// CI smoke: one gw-3-r8 run per engine, checked against the golden
 /// counters the checked-in `BENCH_parallel.json` rows were recorded with.
 /// Catches silent drift in `smt_checks` (the Fig. 11b metric must stay
@@ -729,12 +837,19 @@ fn main() {
         scaling_guard();
         return;
     }
+    if std::env::var_os("MEISSA_BENCH_STATEFUL").is_some() {
+        // CI's stateful smoke: the unrolling sweep alone, with its trace
+        // left behind for the meissa-trace reconciliation step.
+        traced("stateful_unroll", stateful_unroll);
+        return;
+    }
     traced("fig7", fig7_redundancy);
     traced("fig9", fig9_scalability);
     traced("fig11", fig11_summary);
     traced("fig12", fig12_rulesets);
     traced("appendix_a", appendix_a_complexity);
     traced("ablation_grouped", ablation_grouped_summary);
+    traced("stateful_unroll", stateful_unroll);
     // The scaling/overhead series manage tracing themselves: their wall
     // times are the recorded baselines, so the sink must stay off except
     // where the overhead bench turns it on deliberately.

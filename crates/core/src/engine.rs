@@ -57,6 +57,22 @@ pub struct MeissaConfig {
     /// falling back to the classifying `auto` router. The template set is
     /// identical for every choice; only where verdicts come from changes.
     pub backend: crate::backend::BackendKind,
+    /// Packets per sequence for the stateful entry point
+    /// ([`Meissa::run_sequences`]): the CFG is unrolled `k_packets` times
+    /// with register state threaded between copies (see
+    /// [`crate::stateful`]). `1` reduces *exactly* to the single-packet
+    /// engine — same templates, same stats. [`Meissa::run`] ignores this
+    /// knob entirely. The default honours the `MEISSA_K_PACKETS` env var
+    /// (clamped to at least 1), falling back to `1`.
+    pub k_packets: usize,
+    /// Leave the registers' pre-sequence state fully symbolic instead of
+    /// zeroed. Zero-init (the default) matches a freshly booted target and
+    /// makes every generated sequence directly replayable; symbolic init
+    /// explores behaviours reachable from *any* prior register state, and
+    /// instantiated cases carry the chosen initial register values so a
+    /// driver can seed them explicitly. Only [`Meissa::run_sequences`]
+    /// consults this.
+    pub symbolic_init: bool,
 }
 
 /// Default thread count: `MEISSA_THREADS` if set and parseable (clamped to
@@ -68,6 +84,17 @@ pub fn default_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Default sequence length: `MEISSA_K_PACKETS` if set and parseable
+/// (clamped to at least 1), else 1 — the stateless single-packet engine.
+pub fn default_k_packets() -> usize {
+    if let Ok(v) = std::env::var("MEISSA_K_PACKETS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    1
 }
 
 impl Default for MeissaConfig {
@@ -83,12 +110,14 @@ impl Default for MeissaConfig {
             batched_probing: true,
             min_paths_per_worker: ExecConfig::default().min_paths_per_worker,
             backend: crate::backend::default_backend(),
+            k_packets: default_k_packets(),
+            symbolic_init: false,
         }
     }
 }
 
 impl MeissaConfig {
-    fn exec_config(&self) -> ExecConfig {
+    pub(crate) fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             early_termination: self.early_termination,
             incremental: self.incremental,

@@ -24,6 +24,10 @@
 //! * [`engine`] — the top-level [`engine::Meissa`] façade used by the test
 //!   driver, examples, and benchmarks; collects the statistics the paper's
 //!   figures report (time, SMT calls, possible paths).
+//! * [`stateful`] — k-packet sequence testing: the CFG unrolled with
+//!   register state threaded between copies ([`meissa_ir::unroll`]),
+//!   sequence templates, and per-packet case splitting; `k = 1` delegates
+//!   to the single-packet engine byte-for-byte.
 //! * [`backend`] — the predicate-backend abstraction: every probe routes
 //!   through a [`backend::PredicateBackend`] (incremental SMT solver or the
 //!   hermetic BDD engine) picked per probe by [`backend::BackendRouter`].
@@ -35,6 +39,7 @@ pub mod engine;
 pub mod exec;
 pub(crate) mod parallel;
 pub mod session;
+pub mod stateful;
 pub mod summary;
 pub mod symstate;
 pub mod template;
@@ -43,4 +48,5 @@ pub use backend::{default_backend, BackendKind, BackendRouter, PredicateBackend}
 pub use engine::{Meissa, MeissaConfig, RunOutput, RunStats};
 pub use exec::{ExecConfig, ExecOutput, ExecStats};
 pub use session::SolveSession;
+pub use stateful::{SequenceCase, SequenceTemplate, StatefulRunOutput};
 pub use template::{HashObligation, TestTemplate};

@@ -34,21 +34,75 @@ impl Packet {
     }
 }
 
+/// Why the wire layer could not process a state or packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// An expression referenced a register cell the §4 encoding never
+    /// materialized as a field: `REG:name-POS:idx` is absent from the field
+    /// table (unknown register, or a cell the compiled code never touches).
+    /// Distinct from generic failure so callers can tell "this program's
+    /// state model is incomplete" from "this packet is broken".
+    UnmodeledRegister {
+        /// The register array's name.
+        register: String,
+        /// The constant cell index.
+        index: u32,
+    },
+    /// An expression could not be evaluated concretely: unknown field,
+    /// action parameter out of scope, or a bare literal with no width
+    /// context.
+    Unevaluable,
+    /// The packet ended before the parser finished extracting.
+    Truncated,
+    /// The parser spec itself is malformed: unknown state or header, or the
+    /// state machine exceeded the step bound (a cycle).
+    MalformedParser,
+    /// The program has no entry parser to serialize or parse with.
+    NoEntryParser,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::UnmodeledRegister { register, index } => write!(
+                f,
+                "unmodeled register: `{register}[{index}]` has no `REG:{register}-POS:{index}` field"
+            ),
+            PacketError::Unevaluable => write!(f, "expression is not concretely evaluable"),
+            PacketError::Truncated => write!(f, "packet truncated mid-extraction"),
+            PacketError::MalformedParser => write!(f, "malformed parser spec"),
+            PacketError::NoEntryParser => write!(f, "program has no entry parser"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
 /// Evaluates a surface expression concretely against a field state.
 /// Parser scrutinees reference extracted fields (and, rarely, arithmetic
 /// over them); action parameters are not in scope here.
-fn eval_expr(fields: &FieldTable, state: &ConcreteState, e: &Expr, ctx_width: Option<u16>) -> Option<Bv> {
-    Some(match e {
-        Expr::Num(n) => Bv::new(ctx_width?, *n),
+fn eval_expr(
+    fields: &FieldTable,
+    state: &ConcreteState,
+    e: &Expr,
+    ctx_width: Option<u16>,
+) -> Result<Bv, PacketError> {
+    Ok(match e {
+        Expr::Num(n) => Bv::new(ctx_width.ok_or(PacketError::Unevaluable)?, *n),
         Expr::Field(name) => {
-            let f = fields.get(name)?;
+            let f = fields.get(name).ok_or(PacketError::Unevaluable)?;
             state.get(fields, f)
         }
         Expr::Register(name, idx) => {
-            let f = fields.get(&format!("REG:{name}-POS:{idx}"))?;
+            let f = fields.get(&format!("REG:{name}-POS:{idx}")).ok_or_else(|| {
+                PacketError::UnmodeledRegister {
+                    register: name.clone(),
+                    index: *idx,
+                }
+            })?;
             state.get(fields, f)
         }
-        Expr::Param(_) => return None,
+        Expr::Param(_) => return Err(PacketError::Unevaluable),
         Expr::Bin(op, a, b) => {
             let x = eval_expr(fields, state, a, ctx_width)?;
             let y = eval_expr(fields, state, b, Some(x.width()))?;
@@ -67,28 +121,34 @@ fn eval_expr(fields: &FieldTable, state: &ConcreteState, e: &Expr, ctx_width: Op
             let keys: Vec<Bv> = args
                 .iter()
                 .map(|a| eval_expr(fields, state, a, None))
-                .collect::<Option<_>>()?;
+                .collect::<Result<_, _>>()?;
             alg.compute(*w, &keys)
         }
     })
 }
 
 /// Walks the parser spec concretely over `state`, returning the headers it
-/// would extract, in order. `None` on a malformed spec (unknown state,
-/// cycle beyond the step bound).
+/// would extract, in order. Fails on a malformed spec (unknown state, cycle
+/// beyond the step bound) or an unevaluable scrutinee — notably
+/// [`PacketError::UnmodeledRegister`] when a select reads a register cell
+/// the §4 encoding never materialized.
 pub fn extraction_order(
     program: &CompiledProgram,
     parser: &ParserDecl,
     state: &ConcreteState,
-) -> Option<Vec<String>> {
+) -> Result<Vec<String>, PacketError> {
     let fields = &program.cfg.fields;
     let mut extracted = Vec::new();
     let mut current = "start".to_string();
     for _ in 0..1024 {
         if current == "accept" {
-            return Some(extracted);
+            return Ok(extracted);
         }
-        let st = parser.states.iter().find(|s| s.name == current)?;
+        let st = parser
+            .states
+            .iter()
+            .find(|s| s.name == current)
+            .ok_or(PacketError::MalformedParser)?;
         for h in &st.extracts {
             extracted.push(h.clone());
         }
@@ -117,7 +177,7 @@ pub fn extraction_order(
             }
         };
     }
-    None // step bound exceeded: parser spec has a cycle
+    Err(PacketError::MalformedParser) // step bound exceeded: a cycle
 }
 
 fn mask_of(width: u16) -> u128 {
@@ -139,15 +199,15 @@ pub fn entry_parser(program: &CompiledProgram) -> Option<&ParserDecl> {
 
 /// Serializes an input field state into a test packet: the headers the
 /// entry parser would extract, in extraction order, plus an 8-byte id
-/// payload. Returns `None` for programs without an entry parser.
+/// payload.
 pub fn serialize_state(
     program: &CompiledProgram,
     state: &ConcreteState,
     id: u64,
-) -> Option<Packet> {
-    let parser = entry_parser(program)?;
+) -> Result<Packet, PacketError> {
+    let parser = entry_parser(program).ok_or(PacketError::NoEntryParser)?;
     let order = extraction_order(program, parser, state)?;
-    Some(serialize_headers(program, state, &order, id))
+    Ok(serialize_headers(program, state, &order, id))
 }
 
 /// Serializes the given headers (by name, in order) from `state`.
@@ -191,25 +251,31 @@ pub fn serialize_output(program: &CompiledProgram, state: &ConcreteState, id: u6
 
 /// Parses packet bytes by executing the entry parser spec; returns the
 /// reconstructed field state (extracted fields + validity bits) and the
-/// payload id. `None` on parse error (truncated packet, unknown state).
-pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Option<ConcreteState> {
-    let parser = entry_parser(program)?;
+/// payload id. Fails on a truncated packet, a malformed spec, or an
+/// unevaluable scrutinee (see [`PacketError`]).
+pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Result<ConcreteState, PacketError> {
+    let parser = entry_parser(program).ok_or(PacketError::NoEntryParser)?;
     let fields = &program.cfg.fields;
     let mut state = ConcreteState::new();
     let mut r = BitReader::new(&packet.bytes);
     let mut current = "start".to_string();
     for _ in 0..1024 {
         if current == "accept" {
-            return Some(state);
+            return Ok(state);
         }
-        let st = parser.states.iter().find(|s| s.name == current)?;
+        let st = parser
+            .states
+            .iter()
+            .find(|s| s.name == current)
+            .ok_or(PacketError::MalformedParser)?;
         for h in &st.extracts {
             let layout = program
                 .headers
                 .iter()
-                .find(|l| &l.name == h)?;
+                .find(|l| &l.name == h)
+                .ok_or(PacketError::MalformedParser)?;
             for (_, f, w) in &layout.fields {
-                let v = r.read(*w)?;
+                let v = r.read(*w).ok_or(PacketError::Truncated)?;
                 state.set(fields, *f, v);
             }
             state.set(fields, layout.valid, Bv::new(1, 1));
@@ -239,7 +305,7 @@ pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Option<Concre
             }
         };
     }
-    None
+    Err(PacketError::MalformedParser)
 }
 
 /// Zeroes every field belonging to headers the entry parser would *not*
@@ -249,7 +315,7 @@ pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Option<Concre
 pub fn normalize_input(program: &CompiledProgram, state: &ConcreteState) -> ConcreteState {
     let fields = &program.cfg.fields;
     let extracted: Vec<String> = entry_parser(program)
-        .and_then(|p| extraction_order(program, p, state))
+        .and_then(|p| extraction_order(program, p, state).ok())
         .unwrap_or_default();
     let mut out = state.clone();
     for layout in &program.headers {
@@ -390,7 +456,64 @@ mod tests {
         let state = state_with(&cp, &[("hdr.ethernet.ether_type", 0x0800)]);
         let mut pkt = serialize_state(&cp, &state, 1).unwrap();
         pkt.bytes.truncate(16); // mid-ipv4
-        assert!(parse_packet(&cp, &pkt).is_none());
+        assert_eq!(parse_packet(&cp, &pkt), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn unmodeled_register_scrutinee_is_a_distinct_error() {
+        // The §4 encoding interns `REG:name-POS:idx` only for cells the
+        // *compiled* code references. A parser spec that scrutinizes any
+        // other cell (spec drift, stale artifacts) used to vanish into a
+        // silent `None`; it must name the register instead.
+        let cp = program(); // fixture has no registers at all
+        use meissa_lang::ast::{ParserDecl, ParserState};
+        let drifted = ParserDecl {
+            name: "drifted".into(),
+            states: vec![ParserState {
+                name: "start".into(),
+                extracts: vec!["ethernet".into()],
+                transition: Transition::Select {
+                    scrutinee: Expr::Register("mode".into(), 1),
+                    arms: vec![(SelectPattern::Exact(0), "accept".into())],
+                    default: "accept".into(),
+                },
+            }],
+        };
+        let err = extraction_order(&cp, &drifted, &ConcreteState::new()).unwrap_err();
+        assert_eq!(
+            err,
+            PacketError::UnmodeledRegister {
+                register: "mode".into(),
+                index: 1,
+            }
+        );
+        assert!(err.to_string().contains("unmodeled register"));
+    }
+
+    #[test]
+    fn modeled_register_scrutinee_evaluates() {
+        // A register the compiled code references IS materialized, so a
+        // select over it works (and reads zero from an empty state).
+        let src = r#"
+            header pkt { k: 8; }
+            register mode[4]: 8;
+            metadata meta { x: 8; }
+            parser p {
+              state start {
+                extract(pkt);
+                select (mode[1]) { 1 => more; default => accept; }
+              }
+              state more { accept; }
+            }
+            action touch() { meta.x = mode[1]; }
+            control ig { call touch(); }
+            pipeline ingress0 { parser = p; control = ig; }
+            deparser { emit(pkt); }
+        "#;
+        let cp = compile(&parse_program(src).unwrap(), &parse_rules("").unwrap()).unwrap();
+        let parser = entry_parser(&cp).unwrap();
+        let order = extraction_order(&cp, parser, &ConcreteState::new()).unwrap();
+        assert_eq!(order, vec!["pkt"]);
     }
 
     #[test]

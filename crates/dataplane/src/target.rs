@@ -68,7 +68,7 @@ impl SwitchTarget {
 
     /// Injects a packet: parse → execute → deparse.
     pub fn inject(&self, packet: &Packet) -> TargetOutput {
-        let Some(state) = parse_packet(&self.program, packet) else {
+        let Ok(state) = parse_packet(&self.program, packet) else {
             return TargetOutput {
                 packet: None,
                 egress_port: None,
@@ -78,35 +78,109 @@ impl SwitchTarget {
         self.run_state(&state, packet.id)
     }
 
+    /// Injects an *ordered* packet sequence against a live register file.
+    ///
+    /// The file starts from `initial_registers` (cells absent there read
+    /// zero — a freshly booted switch) and persists across the sequence:
+    /// packet *i*'s register reads see packet *i−1*'s writes, which is the
+    /// concrete counterpart of the k-packet symbolic unrolling. Returns one
+    /// output per packet, in order.
+    pub fn inject_sequence(
+        &self,
+        packets: &[Packet],
+        initial_registers: &ConcreteState,
+    ) -> Vec<TargetOutput> {
+        let mut regs = initial_registers.clone();
+        packets
+            .iter()
+            .map(|p| self.inject_stateful(p, &mut regs))
+            .collect()
+    }
+
+    /// Injects one packet against a mutable register file, committing the
+    /// packet's register writes back into it. A packet that fails to parse
+    /// or wedges in an undefined branch leaves the file untouched; a packet
+    /// the program *drops* still executed its path, so its writes commit.
+    pub fn inject_stateful(&self, packet: &Packet, regs: &mut ConcreteState) -> TargetOutput {
+        let Ok(state) = parse_packet(&self.program, packet) else {
+            return TargetOutput {
+                packet: None,
+                egress_port: None,
+                final_state: ConcreteState::new(),
+            };
+        };
+        self.run_state_with_registers(&state, packet.id, regs)
+    }
+
     /// Executes the program from an already-parsed field state. Exposed so
     /// the test driver can also drive state-level comparisons.
     pub fn run_state(&self, input: &ConcreteState, id: u64) -> TargetOutput {
         let state = normalize_input(&self.program, input);
-        let cfg = &self.program.cfg;
-        match self.interpret(cfg, &state) {
-            Some(final_state) => {
-                let fields = &cfg.fields;
-                let dropped = self
-                    .drop_field
-                    .map(|f| !final_state.get(fields, f).is_zero())
-                    .unwrap_or(false);
-                let egress_port = self.egress_field.map(|f| final_state.get(fields, f));
-                let packet = if dropped {
-                    None
-                } else {
-                    Some(serialize_output(&self.program, &final_state, id))
-                };
-                TargetOutput {
-                    packet,
-                    egress_port,
-                    final_state,
-                }
-            }
+        match self.interpret(&self.program.cfg, &state) {
+            Some(final_state) => self.emit(final_state, id),
             None => TargetOutput {
                 packet: None,
                 egress_port: None,
                 final_state: state,
             },
+        }
+    }
+
+    /// [`SwitchTarget::run_state`] against a live register file: every
+    /// declared register cell in the input is overwritten by the file's
+    /// current value before execution (the wire carries no register state),
+    /// and the final values are committed back after.
+    pub fn run_state_with_registers(
+        &self,
+        input: &ConcreteState,
+        id: u64,
+        regs: &mut ConcreteState,
+    ) -> TargetOutput {
+        let fields = &self.program.cfg.fields;
+        let mut seeded = input.clone();
+        for r in &self.program.registers {
+            for &(_, f) in &r.cells {
+                seeded.set(fields, f, regs.get(fields, f));
+            }
+        }
+        let state = normalize_input(&self.program, &seeded);
+        match self.interpret(&self.program.cfg, &state) {
+            Some(final_state) => {
+                for r in &self.program.registers {
+                    for &(_, f) in &r.cells {
+                        regs.set(fields, f, final_state.get(fields, f));
+                    }
+                }
+                self.emit(final_state, id)
+            }
+            // Wedged: undefined behaviour is modeled as a silent drop that
+            // never reached the register stage.
+            None => TargetOutput {
+                packet: None,
+                egress_port: None,
+                final_state: state,
+            },
+        }
+    }
+
+    /// Assembles the output for a completed execution: drop check, egress
+    /// port, deparsed packet.
+    fn emit(&self, final_state: ConcreteState, id: u64) -> TargetOutput {
+        let fields = &self.program.cfg.fields;
+        let dropped = self
+            .drop_field
+            .map(|f| !final_state.get(fields, f).is_zero())
+            .unwrap_or(false);
+        let egress_port = self.egress_field.map(|f| final_state.get(fields, f));
+        let packet = if dropped {
+            None
+        } else {
+            Some(serialize_output(&self.program, &final_state, id))
+        };
+        TargetOutput {
+            packet,
+            egress_port,
+            final_state,
         }
     }
 
@@ -466,6 +540,48 @@ mod tests {
         // The faithful target keeps them independent.
         let good = SwitchTarget::new(&cp).run_state(&state, 1);
         assert_eq!(good.final_state.get(fields, et), Bv::new(16, 0x0800));
+    }
+
+    #[test]
+    fn register_file_persists_across_a_sequence() {
+        let src = r#"
+            header pkt { x: 8; }
+            metadata meta { y: 8; }
+            register acc[1]: 8;
+            parser p { state start { extract(pkt); accept; } }
+            action bump() { acc[0] = acc[0] + hdr.pkt.x; meta.y = acc[0]; }
+            control ig { call bump(); }
+            pipeline ingress0 { parser = p; control = ig; }
+            deparser { emit(pkt); }
+        "#;
+        let cp = compile(
+            &parse_program(src).unwrap(),
+            &parse_rules("").unwrap(),
+        )
+        .unwrap();
+        let t = SwitchTarget::new(&cp);
+        let fields = &cp.cfg.fields;
+        let x = fields.get("hdr.pkt.x").unwrap();
+        let y = fields.get("meta.y").unwrap();
+        let mk = |v: u128, id: u64| {
+            serialize_state(&cp, &ConcreteState::from_pairs([(x, Bv::new(8, v))]), id).unwrap()
+        };
+        let pkts = [mk(5, 1), mk(7, 2), mk(11, 3)];
+
+        // Stateful sequence: the accumulator carries across packets.
+        let outs = t.inject_sequence(&pkts, &ConcreteState::new());
+        let ys: Vec<u128> = outs.iter().map(|o| o.final_state.get(fields, y).val()).collect();
+        assert_eq!(ys, vec![5, 12, 23]);
+
+        // Plain inject is stateless: every packet sees a zero register.
+        assert_eq!(t.inject(&pkts[1]).final_state.get(fields, y).val(), 7);
+        assert_eq!(t.inject(&pkts[1]).final_state.get(fields, y).val(), 7);
+
+        // Seeded initial state shifts the whole sequence.
+        let acc = fields.get("REG:acc-POS:0").unwrap();
+        let seed = ConcreteState::from_pairs([(acc, Bv::new(8, 100))]);
+        let outs = t.inject_sequence(&pkts[..1], &seed);
+        assert_eq!(outs[0].final_state.get(fields, y).val(), 105);
     }
 
     #[test]

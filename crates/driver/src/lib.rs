@@ -25,6 +25,7 @@ pub mod report;
 pub use localize::{trace_execution, TraceStep};
 pub use report::{CaseResult, TestReport, Verdict};
 
+use meissa_core::stateful::StatefulRunOutput;
 use meissa_core::RunOutput;
 use meissa_dataplane::{parse_packet, serialize_state, Packet, SwitchTarget, TargetOutput};
 use meissa_ir::ConcreteState;
@@ -158,6 +159,60 @@ pub fn plan_cases(
                 });
                 next_id += 1;
             }
+        }
+    }
+    cases
+}
+
+/// One planned k-packet sequence case. The ordered counterpart of
+/// [`CaseSpec`]: transports must deliver the packets *in order* against a
+/// single register file (in-process via `SwitchTarget::inject_sequence`,
+/// on the wire via the agent's atomic sequence-injection frame).
+#[derive(Clone, Debug)]
+pub enum SeqCaseSpec {
+    /// The sequence template could not be instantiated.
+    Skip {
+        /// Originating sequence template.
+        sequence_id: usize,
+        /// Why no case exists.
+        reason: String,
+    },
+    /// A concrete ordered sequence to inject.
+    Case {
+        /// Originating sequence template.
+        sequence_id: usize,
+        /// One globally unique packet-ID stamp per packet, in order.
+        wire_ids: Vec<u64>,
+        /// Per-packet inputs plus the initial register seed.
+        case: meissa_core::SequenceCase,
+    },
+}
+
+/// Enumerates every concrete sequence case for a stateful run: one
+/// instantiation per sequence template, each packet stamped with a globally
+/// unique `wire_id` (1-based, in plan order — packet *j* of an earlier
+/// sequence always has a smaller id than any packet of a later one).
+pub fn plan_sequence_cases(run: &mut StatefulRunOutput) -> Vec<SeqCaseSpec> {
+    let mut cases = Vec::new();
+    let mut next_id: u64 = 1;
+    for idx in 0..run.sequences.len() {
+        let sequence_id = run.sequences[idx].id;
+        match run.instantiate(idx) {
+            Some(case) => {
+                let wire_ids: Vec<u64> = (0..case.packets.len() as u64)
+                    .map(|j| next_id + j)
+                    .collect();
+                next_id += case.packets.len() as u64;
+                cases.push(SeqCaseSpec::Case {
+                    sequence_id,
+                    wire_ids,
+                    case,
+                });
+            }
+            None => cases.push(SeqCaseSpec::Skip {
+                sequence_id,
+                reason: "sequence template unsatisfiable at instantiation (hash filter)".into(),
+            }),
         }
     }
     cases
@@ -398,7 +453,7 @@ impl<'p> TestDriver<'p> {
         input: &ConcreteState,
     ) -> CaseResult {
         // Sender: materialize the packet.
-        let Some(packet) = serialize_state(self.program, input, wire_id) else {
+        let Ok(packet) = serialize_state(self.program, input, wire_id) else {
             return CaseResult::new(
                 template_id,
                 Verdict::Skipped {
@@ -420,6 +475,85 @@ impl<'p> TestDriver<'p> {
                 .check_case(template_id, input, &packet, &expected, &actual);
         result.latency = injected.elapsed().max(Duration::from_nanos(1));
         result
+    }
+
+    /// Runs every sequence template in `run` against `target`, in order,
+    /// and checks each packet's output at its position. Both the reference
+    /// and the target thread a register file across each sequence (fresh
+    /// per sequence, seeded from the case's `initial_registers`), so a
+    /// state-dependent divergence on packet *i* is attributed to the
+    /// sequence that provoked it.
+    pub fn run_sequences(&self, run: &mut StatefulRunOutput, target: &SwitchTarget) -> TestReport {
+        let started = Instant::now();
+        let mut report = TestReport::new(target.fault().name());
+        for spec in plan_sequence_cases(run) {
+            match spec {
+                SeqCaseSpec::Skip {
+                    sequence_id,
+                    reason,
+                } => report.push(CaseResult::new(
+                    sequence_id,
+                    Verdict::Skipped { reason },
+                    Vec::new(),
+                )),
+                SeqCaseSpec::Case {
+                    sequence_id,
+                    wire_ids,
+                    case,
+                } => {
+                    for r in self.check_sequence(target, sequence_id, &wire_ids, &case) {
+                        report.push(r);
+                    }
+                }
+            }
+        }
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Sends one concrete sequence through both the reference and the
+    /// target and checks every position. Produces one [`CaseResult`] per
+    /// packet (all carrying the sequence's template id).
+    pub fn check_sequence(
+        &self,
+        target: &SwitchTarget,
+        sequence_id: usize,
+        wire_ids: &[u64],
+        case: &meissa_core::SequenceCase,
+    ) -> Vec<CaseResult> {
+        let mut packets = Vec::with_capacity(case.packets.len());
+        for (input, &wid) in case.packets.iter().zip(wire_ids) {
+            match serialize_state(self.program, input, wid) {
+                Ok(p) => packets.push(p),
+                Err(e) => {
+                    return vec![CaseResult::new(
+                        sequence_id,
+                        Verdict::Skipped {
+                            reason: format!("cannot serialize sequence packet: {e}"),
+                        },
+                        Vec::new(),
+                    )]
+                }
+            }
+        }
+        let expected = self.reference.inject_sequence(&packets, &case.initial_registers);
+        let injected = Instant::now();
+        let actual = target.inject_sequence(&packets, &case.initial_registers);
+        let latency = injected.elapsed().max(Duration::from_nanos(1));
+        let mut results = Vec::with_capacity(packets.len());
+        for (i, packet) in packets.iter().enumerate() {
+            let obs: Observation = actual[i].clone().into();
+            let mut r = self.checker.check_case(
+                sequence_id,
+                &case.packets[i],
+                packet,
+                &expected[i],
+                &obs,
+            );
+            r.latency = latency;
+            results.push(r);
+        }
+        results
     }
 }
 

@@ -125,6 +125,27 @@ pub struct Cfg {
 }
 
 impl Cfg {
+    /// Assembles a graph from raw parts. Crate-internal: used by the
+    /// k-packet unroller (`crate::unroll`), which builds node/edge vectors
+    /// wholesale rather than through [`CfgBuilder`]'s frontier discipline.
+    /// Callers are responsible for producing a graph that passes
+    /// [`Cfg::validate`].
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        entry: NodeId,
+        fields: FieldTable,
+        pipelines: Vec<PipelineInfo>,
+        raw_guards: HashMap<NodeId, BExp>,
+    ) -> Cfg {
+        Cfg {
+            nodes,
+            entry,
+            fields,
+            pipelines,
+            raw_guards,
+        }
+    }
+
     /// The entry node (`v0`).
     pub fn entry(&self) -> NodeId {
         self.entry

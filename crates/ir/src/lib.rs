@@ -23,6 +23,7 @@ pub mod exp;
 pub mod fields;
 pub mod hash;
 pub mod paths;
+pub mod unroll;
 
 pub use cfg::{Cfg, CfgBuilder, Node, NodeId, PipelineId, PipelineInfo};
 pub use eval::{eval_path, eval_stmt, ConcreteState, EvalError};
@@ -30,3 +31,7 @@ pub use exp::{AExp, AOp, BExp, BOp, CmpOp, Stmt};
 pub use fields::{FieldId, FieldTable};
 pub use hash::HashAlg;
 pub use paths::{count_paths, count_paths_between, enumerate_paths, PathCounts};
+pub use unroll::{
+    is_register_field, sequence_field_name, unroll, InitialState, UnrolledCfg,
+    REGISTER_FIELD_PREFIX,
+};

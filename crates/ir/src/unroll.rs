@@ -1,0 +1,369 @@
+//! k-packet bounded unrolling with register state threaded between copies.
+//!
+//! Meissa §4 models a register cell `reg[i]` as an unconstrained stateless
+//! variable `REG:reg-POS:i` — sound for a single packet, but blind to any
+//! behaviour that depends on what an *earlier* packet stored. This module
+//! removes that blindness for bounded sequences: the program CFG is cloned
+//! `k` times, every non-register field of copy `i` is renamed with a
+//! `pkt{i}.` prefix, and the register fields are left *shared* across all
+//! copies. Because symbolic execution evaluates one concatenated path
+//! through all `k` copies with a single value environment, a register write
+//! in copy `i−1` shadows the register's symbolic input for every read in
+//! copy `i` — packet *i*'s reads are constrained to packet *i−1*'s writes
+//! with no extra encoding at all. Initial state is either zeroed (a chain of
+//! `REG ← 0` assignments prepended before copy 0, matching what a freshly
+//! booted target holds) or left fully symbolic.
+//!
+//! The renaming preserves the field classifiers: `pkt0.hdr.ipv4.$valid`
+//! still ends with `.$valid`, and auxiliary fields keep their leading `@`
+//! (`@pkt0.…`). Register fields (`REG:` prefix) are never renamed — sharing
+//! their ids between copies *is* the state-threading encoding.
+
+use crate::cfg::{Cfg, Node, NodeId, PipelineInfo};
+use crate::exp::{AExp, BExp, Stmt};
+use crate::fields::{FieldId, FieldTable};
+use meissa_num::Bv;
+use std::collections::HashMap;
+
+/// The name prefix given to register cell fields by the frontend (§4).
+pub const REGISTER_FIELD_PREFIX: &str = "REG:";
+
+/// True if a field name denotes a register cell (`REG:name-POS:idx`).
+pub fn is_register_field(name: &str) -> bool {
+    name.starts_with(REGISTER_FIELD_PREFIX)
+}
+
+/// The per-copy rename applied to non-register fields: `pkt{i}.{name}`,
+/// keeping a leading `@` (summary auxiliary marker) at the front.
+pub fn sequence_field_name(copy: usize, name: &str) -> String {
+    match name.strip_prefix('@') {
+        Some(rest) => format!("@pkt{copy}.{rest}"),
+        None => format!("pkt{copy}.{name}"),
+    }
+}
+
+/// How the initial register state (before packet 0) is constrained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitialState {
+    /// Every register cell starts at zero — what a freshly booted target
+    /// holds, and therefore what a concrete driver can replay.
+    Zero,
+    /// Register cells start unconstrained (the §4 stateless model, applied
+    /// only to the state *before* the sequence).
+    Symbolic,
+}
+
+/// A program CFG unrolled for a k-packet sequence, plus the field mapping
+/// needed to split unrolled states back into per-packet states.
+#[derive(Clone, Debug)]
+pub struct UnrolledCfg {
+    /// The concatenated graph: copy 0's leaves feed copy 1's entry, etc.
+    pub cfg: Cfg,
+    /// Number of packet copies.
+    pub k: usize,
+    /// `copy_field[i][f.0 as usize]` is the unrolled-table id that original
+    /// field `f` maps to in copy `i`. Register fields map to the *same* id
+    /// in every copy.
+    pub copy_field: Vec<Vec<FieldId>>,
+    /// The register cell fields, as ids in the unrolled table (shared by
+    /// all copies), in original interning order.
+    pub registers: Vec<FieldId>,
+}
+
+impl UnrolledCfg {
+    /// The unrolled-table id of original field `f` in copy `copy`.
+    pub fn field_in_copy(&self, copy: usize, f: FieldId) -> FieldId {
+        self.copy_field[copy][f.0 as usize]
+    }
+}
+
+/// Unrolls `cfg` into `k` concatenated copies with shared register fields.
+///
+/// Node `j` of copy `i` has id `i·n + j` (where `n = cfg.num_nodes()`), so
+/// `unrolled_node.0 / n` recovers the packet index of any node on a path.
+/// Every reachable leaf of copy `i` gains an edge to copy `i+1`'s entry.
+/// With [`InitialState::Zero`], a chain of `REG ← 0` assignment nodes (ids
+/// `k·n` onward) is prepended and becomes the new entry.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn unroll(cfg: &Cfg, k: usize, init: InitialState) -> UnrolledCfg {
+    assert!(k >= 1, "cannot unroll to zero packets");
+    let n = cfg.num_nodes();
+
+    // 1. Per-copy field tables. Registers intern once under their original
+    //    name (idempotent), everything else under the pkt{i}. rename.
+    let mut fields = FieldTable::new();
+    let mut copy_field: Vec<Vec<FieldId>> = Vec::with_capacity(k);
+    let mut registers: Vec<FieldId> = Vec::new();
+    for copy in 0..k {
+        let mut map = Vec::with_capacity(cfg.fields.len());
+        for f in cfg.fields.iter() {
+            let name = cfg.fields.name(f);
+            let w = cfg.fields.width(f);
+            let id = if is_register_field(name) {
+                let id = fields.intern(name, w);
+                if copy == 0 {
+                    registers.push(id);
+                }
+                id
+            } else {
+                fields.intern(&sequence_field_name(copy, name), w)
+            };
+            map.push(id);
+        }
+        copy_field.push(map);
+    }
+
+    // 2. Clone nodes per copy, remapping fields and offsetting edges.
+    let mut nodes: Vec<Node> = Vec::with_capacity(k * n);
+    for copy in 0..k {
+        let map = &copy_field[copy];
+        let off = (copy * n) as u32;
+        for j in 0..n {
+            let orig = cfg.node(NodeId(j as u32));
+            nodes.push(Node {
+                stmt: remap_stmt(&orig.stmt, map),
+                succ: orig.succ.iter().map(|s| NodeId(s.0 + off)).collect(),
+            });
+        }
+    }
+
+    // 3. Wire each copy's reachable leaves to the next copy's entry.
+    let leaves: Vec<NodeId> = cfg
+        .reachable()
+        .into_iter()
+        .filter(|&nid| cfg.succ(nid).is_empty())
+        .collect();
+    for copy in 0..k.saturating_sub(1) {
+        let off = (copy * n) as u32;
+        let next_entry = NodeId(cfg.entry().0 + ((copy + 1) * n) as u32);
+        for &leaf in &leaves {
+            nodes[(leaf.0 + off) as usize].succ.push(next_entry);
+        }
+    }
+
+    // 4. Initial register state.
+    let mut entry = NodeId(cfg.entry().0);
+    if init == InitialState::Zero && !registers.is_empty() {
+        // Chain of REG ← 0 nodes in front of copy 0, in register order.
+        let mut prev: Option<usize> = None;
+        let mut first: Option<usize> = None;
+        for &reg in &registers {
+            let idx = nodes.len();
+            nodes.push(Node {
+                stmt: Stmt::Assign(reg, AExp::Const(Bv::new(fields.width(reg), 0))),
+                succ: Vec::new(),
+            });
+            if let Some(p) = prev {
+                nodes[p].succ.push(NodeId(idx as u32));
+            }
+            first.get_or_insert(idx);
+            prev = Some(idx);
+        }
+        nodes[prev.unwrap()].succ.push(entry);
+        entry = NodeId(first.unwrap() as u32);
+    }
+
+    // 5. Pipelines and raw guards, per copy.
+    let mut pipelines: Vec<PipelineInfo> = Vec::with_capacity(k * cfg.pipelines().len());
+    for copy in 0..k {
+        let off = (copy * n) as u32;
+        for p in cfg.pipelines() {
+            pipelines.push(PipelineInfo {
+                name: format!("pkt{copy}.{}", p.name),
+                entry: NodeId(p.entry.0 + off),
+                exit: NodeId(p.exit.0 + off),
+            });
+        }
+    }
+    let mut raw_guards: HashMap<NodeId, BExp> = HashMap::new();
+    for copy in 0..k {
+        let map = &copy_field[copy];
+        let off = (copy * n) as u32;
+        for j in 0..n {
+            if let Some(g) = cfg.raw_guard(NodeId(j as u32)) {
+                raw_guards.insert(NodeId(j as u32 + off), remap_bexp(g, map));
+            }
+        }
+    }
+
+    UnrolledCfg {
+        cfg: Cfg::from_parts(nodes, entry, fields, pipelines, raw_guards),
+        k,
+        copy_field,
+        registers,
+    }
+}
+
+fn remap_aexp(e: &AExp, map: &[FieldId]) -> AExp {
+    match e {
+        AExp::Field(f) => AExp::Field(map[f.0 as usize]),
+        AExp::Const(v) => AExp::Const(v.clone()),
+        AExp::Bin(op, a, b) => AExp::Bin(
+            *op,
+            Box::new(remap_aexp(a, map)),
+            Box::new(remap_aexp(b, map)),
+        ),
+        AExp::Not(a) => AExp::Not(Box::new(remap_aexp(a, map))),
+        AExp::Shl(a, s) => AExp::Shl(Box::new(remap_aexp(a, map)), *s),
+        AExp::Shr(a, s) => AExp::Shr(Box::new(remap_aexp(a, map)), *s),
+        AExp::Hash(alg, w, args) => {
+            AExp::Hash(*alg, *w, args.iter().map(|a| remap_aexp(a, map)).collect())
+        }
+    }
+}
+
+fn remap_bexp(e: &BExp, map: &[FieldId]) -> BExp {
+    match e {
+        BExp::True => BExp::True,
+        BExp::False => BExp::False,
+        BExp::Cmp(op, a, b) => BExp::Cmp(*op, remap_aexp(a, map), remap_aexp(b, map)),
+        BExp::Bin(op, a, b) => BExp::Bin(
+            *op,
+            Box::new(remap_bexp(a, map)),
+            Box::new(remap_bexp(b, map)),
+        ),
+        BExp::Not(a) => BExp::Not(Box::new(remap_bexp(a, map))),
+    }
+}
+
+fn remap_stmt(s: &Stmt, map: &[FieldId]) -> Stmt {
+    match s {
+        Stmt::Assign(f, e) => Stmt::Assign(map[f.0 as usize], remap_aexp(e, map)),
+        Stmt::Assume(b) => Stmt::Assume(remap_bexp(b, map)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+    use crate::eval::ConcreteState;
+    use crate::exp::CmpOp;
+
+    /// in ← x; reg ← reg + in  (an accumulator over packets)
+    fn accumulator() -> Cfg {
+        let mut b = CfgBuilder::new();
+        let x = b.fields_mut().intern("hdr.x", 8);
+        let reg = b.fields_mut().intern("REG:acc-POS:0", 8);
+        b.begin_pipeline("ingress0");
+        b.stmt(Stmt::Assign(
+            reg,
+            AExp::bin(crate::exp::AOp::Add, AExp::Field(reg), AExp::Field(x)),
+        ));
+        b.end_pipeline();
+        b.finish()
+    }
+
+    #[test]
+    fn registers_shared_and_packets_renamed() {
+        let cfg = accumulator();
+        let u = unroll(&cfg, 3, InitialState::Zero);
+        assert_eq!(u.k, 3);
+        let t = &u.cfg.fields;
+        assert!(t.get("pkt0.hdr.x").is_some());
+        assert!(t.get("pkt1.hdr.x").is_some());
+        assert!(t.get("pkt2.hdr.x").is_some());
+        assert!(t.get("hdr.x").is_none(), "unprefixed name must not leak");
+        // One shared register id across all copies.
+        let reg = t.get("REG:acc-POS:0").unwrap();
+        let orig = cfg.fields.get("REG:acc-POS:0").unwrap();
+        for copy in 0..3 {
+            assert_eq!(u.field_in_copy(copy, orig), reg);
+        }
+        assert_eq!(u.registers, vec![reg]);
+        // Validity/aux classifiers survive the rename.
+        let mut ft = FieldTable::new();
+        let v = ft.intern(&sequence_field_name(1, "hdr.ipv4.$valid"), 1);
+        let a = ft.intern(&sequence_field_name(0, "@ppl1.hdr.x"), 8);
+        assert!(ft.is_validity(v));
+        assert!(ft.is_auxiliary(a));
+    }
+
+    #[test]
+    fn unrolled_graph_is_wellformed() {
+        let cfg = accumulator();
+        for k in 1..=3 {
+            for init in [InitialState::Zero, InitialState::Symbolic] {
+                let u = unroll(&cfg, k, init);
+                assert!(
+                    u.cfg.validate().is_empty(),
+                    "k={k} {init:?}: {:?}",
+                    u.cfg.validate()
+                );
+            }
+        }
+        // Pipelines appear once per copy, with per-copy names.
+        let u = unroll(&cfg, 2, InitialState::Zero);
+        assert_eq!(u.cfg.pipelines().len(), 2);
+        assert!(u.cfg.find_pipeline("pkt0.ingress0").is_some());
+        assert!(u.cfg.find_pipeline("pkt1.ingress0").is_some());
+    }
+
+    #[test]
+    fn state_threads_between_copies() {
+        // Evaluate the single path through a 3-packet unroll of the
+        // accumulator: reg starts 0, then accumulates each packet's x.
+        let cfg = accumulator();
+        let u = unroll(&cfg, 3, InitialState::Zero);
+        let t = &u.cfg.fields;
+        let mut st = ConcreteState::new();
+        st.set(t, t.get("pkt0.hdr.x").unwrap(), Bv::new(8, 5));
+        st.set(t, t.get("pkt1.hdr.x").unwrap(), Bv::new(8, 7));
+        st.set(t, t.get("pkt2.hdr.x").unwrap(), Bv::new(8, 11));
+
+        // Walk the (linear) unrolled graph.
+        let mut at = u.cfg.entry();
+        loop {
+            crate::eval::eval_stmt(t, &mut st, at, u.cfg.stmt(at)).unwrap();
+            match u.cfg.succ(at).first() {
+                Some(&next) => at = next,
+                None => break,
+            }
+        }
+        let reg = t.get("REG:acc-POS:0").unwrap();
+        assert_eq!(st.get(t, reg), Bv::new(8, 23), "0+5+7+11");
+    }
+
+    #[test]
+    fn symbolic_init_omits_zero_chain() {
+        let cfg = accumulator();
+        let z = unroll(&cfg, 2, InitialState::Zero);
+        let s = unroll(&cfg, 2, InitialState::Symbolic);
+        assert_eq!(z.cfg.num_nodes(), s.cfg.num_nodes() + 1);
+        assert_eq!(s.cfg.entry().0 as usize, cfg.entry().0 as usize);
+        // Zero-init entry is the REG ← 0 node.
+        match z.cfg.stmt(z.cfg.entry()) {
+            Stmt::Assign(f, AExp::Const(v)) => {
+                assert_eq!(*f, z.registers[0]);
+                assert_eq!(*v, Bv::new(8, 0));
+            }
+            other => panic!("unexpected entry stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guards_and_branches_remap_per_copy() {
+        let mut b = CfgBuilder::new();
+        let x = b.fields_mut().intern("hdr.x", 8);
+        let raw = BExp::Cmp(CmpOp::Eq, AExp::Field(x), AExp::Const(Bv::new(8, 1)));
+        b.stmt_with_raw(Stmt::Assume(raw.clone()), raw);
+        let cfg = b.finish();
+
+        let u = unroll(&cfg, 2, InitialState::Symbolic);
+        let x1 = u.cfg.fields.get("pkt1.hdr.x").unwrap();
+        let n = cfg.num_nodes() as u32;
+        let g = u.cfg.raw_guard(NodeId(n)).expect("copy-1 guard");
+        match g {
+            BExp::Cmp(CmpOp::Eq, AExp::Field(f), _) => assert_eq!(*f, x1),
+            other => panic!("unexpected guard {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero packets")]
+    fn k_zero_panics() {
+        unroll(&accumulator(), 0, InitialState::Zero);
+    }
+}

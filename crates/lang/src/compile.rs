@@ -64,6 +64,24 @@ impl HeaderLayout {
     }
 }
 
+/// Declared shape of one register array, plus the cells the program's code
+/// actually references (interned as `REG:name-POS:idx` fields, §4). Cells a
+/// program never reads or writes cannot influence any packet's fate, so
+/// they are not materialized as fields — this keeps the register state
+/// space the k-packet unroller threads (and the concrete register file the
+/// switch target keeps) exactly as large as the observable one.
+#[derive(Clone, Debug)]
+pub struct RegisterLayout {
+    /// Register array name.
+    pub name: String,
+    /// Declared number of cells.
+    pub size: u32,
+    /// Cell width in bits.
+    pub width: u16,
+    /// Referenced cells as (index, field id), in index order.
+    pub cells: Vec<(u32, FieldId)>,
+}
+
 /// An intent with conditions compiled to IR expressions.
 #[derive(Clone, Debug)]
 pub struct CompiledIntent {
@@ -90,6 +108,8 @@ pub struct CompiledProgram {
     pub deparse_order: Vec<String>,
     /// Compiled intents.
     pub intents: Vec<CompiledIntent>,
+    /// Register arrays in declaration order, with their referenced cells.
+    pub registers: Vec<RegisterLayout>,
     /// Program source LOC (Table 1).
     pub loc: usize,
     /// Rule document LOC (Table 1 rule-set scale).
@@ -748,8 +768,12 @@ impl<'a> Compiler<'a> {
         }
         // Target semantics: header validity and per-packet metadata start at
         // zero; only the parser (extract/setValid) and actions change them.
-        // Register cells stay unconstrained (§4: stateful memory is modeled
-        // as unbounded stateless variables).
+        // Register cells are NOT zeroed here: within one packet's CFG they
+        // are free variables (§4's stateless model), and the k-packet
+        // unroller (`meissa_ir::unroll`) decides their initial state —
+        // zeroed or symbolic — when it threads them across copies. Register
+        // writes therefore compile to ordinary assignments that become live
+        // state transitions once a later copy reads the same cell.
         for (f, w) in zero_inits {
             self.b.stmt(Stmt::Assign(f, AExp::Const(Bv::zero(w))));
         }
@@ -932,12 +956,32 @@ impl<'a> Compiler<'a> {
             "frontend produced an ill-formed CFG: {:?}",
             cfg.validate()
         );
+        // Register layouts: declaration order, cells limited to the ones the
+        // code interned (a cell nothing references is unobservable).
+        let registers = self
+            .prog
+            .registers
+            .iter()
+            .map(|r| RegisterLayout {
+                name: r.name.clone(),
+                size: r.size,
+                width: r.width,
+                cells: (0..r.size)
+                    .filter_map(|i| {
+                        cfg.fields
+                            .get(&format!("REG:{}-POS:{i}", r.name))
+                            .map(|f| (i, f))
+                    })
+                    .collect(),
+            })
+            .collect();
         Ok(CompiledProgram {
             source: self.prog.clone(),
             cfg,
             headers: self.layouts,
             deparse_order,
             intents,
+            registers,
             loc: self.prog.loc,
             rules_loc: self.rules.loc,
             num_pipes,
@@ -1157,6 +1201,20 @@ mod tests {
         let cp = build(src, "");
         assert!(cp.cfg.fields.get("REG:counters-POS:3").is_some());
         assert!(cp.cfg.fields.get("REG:counters-POS:0").is_some());
+        // Layout metadata: declared shape plus the referenced cells only.
+        assert_eq!(cp.registers.len(), 1);
+        let layout = &cp.registers[0];
+        assert_eq!(layout.name, "counters");
+        assert_eq!(layout.size, 8);
+        assert_eq!(layout.width, 32);
+        let idxs: Vec<u32> = layout.cells.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, vec![0, 3], "only cells the code touches");
+        for &(i, f) in &layout.cells {
+            assert_eq!(
+                cp.cfg.fields.get(&format!("REG:counters-POS:{i}")),
+                Some(f)
+            );
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod parser;
 pub mod rules;
 
 pub use ast::Program;
-pub use compile::{compile, CompiledIntent, CompiledProgram, HeaderLayout};
+pub use compile::{compile, CompiledIntent, CompiledProgram, HeaderLayout, RegisterLayout};
 pub use lint::{lint, Lint};
 pub use parser::{parse_program, ParseError};
 pub use rules::{parse_rules, KeyMatch, Rule, RuleSet};

@@ -318,6 +318,76 @@ fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     None => write_frame(&mut writer, &payload)?,
                 }
             }
+            Request::InjectSeq { id, packets, init } => {
+                let hosted = sh.hosted.read().unwrap();
+                let Some(h) = hosted.as_ref() else {
+                    drop(hosted);
+                    send_reliable(
+                        &mut writer,
+                        &Response::Err {
+                            msg: "no program loaded".into(),
+                        },
+                    )?;
+                    continue;
+                };
+                // Seed a fresh register file from the request's triples.
+                // Every attempt restarts from the same seed, so a retried
+                // sequence (lost SeqOutput) is idempotent — no interleaving
+                // with other injects is possible while this arm runs,
+                // because the whole sequence executes under one read-lock
+                // acquisition against the target's internal register
+                // threading.
+                let fields = &h.target.program().cfg.fields;
+                let mut seed = ConcreteState::new();
+                for (name, width, val) in &init {
+                    if let Some(f) = fields.get(name) {
+                        seed.set(fields, f, meissa_num::Bv::new(*width, *val));
+                    }
+                }
+                let wire_packets: Vec<Packet> = packets
+                    .into_iter()
+                    .map(|(pid, bytes)| Packet { bytes, id: pid })
+                    .collect();
+                let outs = h.target.inject_sequence(&wire_packets, &seed);
+                let outputs: Vec<_> = wire_packets
+                    .iter()
+                    .zip(outs.iter())
+                    .map(|(p, out)| {
+                        (
+                            p.id,
+                            out.packet.as_ref().map(|pk| pk.bytes.clone()),
+                            out.egress_port,
+                            encode_state(h.target.program(), &out.final_state),
+                        )
+                    })
+                    .collect();
+                drop(hosted);
+                sh.stats
+                    .injected
+                    .fetch_add(outputs.len() as u64, Ordering::Relaxed);
+                for (_, packet, port, _) in &outputs {
+                    if packet.is_some() {
+                        sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                        if let Some(bv) = port {
+                            let mut per_port = sh.stats.per_port.lock().unwrap();
+                            *per_port.entry(bv.val()).or_insert(0) += 1;
+                        }
+                    } else {
+                        sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // One SeqOutput frame for the whole sequence, riding the
+                // (possibly faulty) data path like per-packet Outputs do:
+                // a fault drops/duplicates/delays the *sequence's* frame,
+                // never reorders packets within it — FIFO within a
+                // sequence is the contract.
+                let resp = Response::SeqOutput { id, outputs };
+                let payload = encode(&resp);
+                match gate.as_mut() {
+                    Some(g) => g.send(&mut writer, payload)?,
+                    None => write_frame(&mut writer, &payload)?,
+                }
+            }
             Request::Stats => {
                 let per_port: Vec<(u128, u64)> = {
                     let map = sh.stats.per_port.lock().unwrap();

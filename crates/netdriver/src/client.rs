@@ -20,9 +20,12 @@
 //! from the shared transport-agnostic `driver::Checker`.
 
 use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
-use meissa_core::RunOutput;
+use meissa_core::{RunOutput, StatefulRunOutput};
 use meissa_dataplane::{serialize_state, Fault, Packet, SwitchTarget};
-use meissa_driver::{plan_cases, CaseResult, CaseSpec, Checker, Observation, TestReport, Verdict};
+use meissa_driver::{
+    plan_cases, plan_sequence_cases, CaseResult, CaseSpec, Checker, Observation, SeqCaseSpec,
+    TestReport, Verdict,
+};
 use meissa_ir::ConcreteState;
 use meissa_lang::CompiledProgram;
 use meissa_testkit::obs;
@@ -144,16 +147,16 @@ impl<'p> WireDriver<'p> {
                     wire_id,
                     input,
                 } => match serialize_state(self.program, &input, wire_id) {
-                    None => {
+                    Err(e) => {
                         slots[slot] = Some(CaseResult::new(
                             template_id,
                             Verdict::Skipped {
-                                reason: "program has no entry parser; cannot serialize".into(),
+                                reason: format!("cannot serialize: {e}"),
                             },
                             Vec::new(),
                         ));
                     }
-                    Some(packet) => work.push(WireCase {
+                    Ok(packet) => work.push(WireCase {
                         slot,
                         template_id,
                         wire_id,
@@ -221,6 +224,183 @@ impl<'p> WireDriver<'p> {
             }
         }
         Ok(report)
+    }
+
+    /// Runs every sequence template in `run` against the remote agent and
+    /// checks each packet position, exactly as `TestDriver::run_sequences`
+    /// does in-process.
+    ///
+    /// Sequences go over **one** connection, one at a time: in-order
+    /// delivery within a sequence is the whole point of stateful testing,
+    /// so a sequence is never split across connections or interleaved with
+    /// another. Transport faults still apply *between* sequences — a lost
+    /// `SeqOutput` is retried whole, which is safe because the agent
+    /// reseeds the register file from the request on every attempt.
+    pub fn run_sequences(&self, run: &mut StatefulRunOutput) -> io::Result<TestReport> {
+        obs::init_from_env();
+        let mut run_span = obs::span("wire.sequence_run");
+        run_span.field("k", run.k as u64);
+        let started = Instant::now();
+        let plan = plan_sequence_cases(run);
+        let label = hello(self.addr)?.2;
+
+        let reference = SwitchTarget::new(self.program);
+        let checker = if self.structural_checks {
+            Checker::new(self.program)
+        } else {
+            Checker::without_structural_checks(self.program)
+        };
+
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = FrameReader::new(stream);
+        write_frame(&mut writer, &encode(&Request::Hello { version: PROTO_VERSION }))?;
+        wait_for_hello(&mut reader)?;
+
+        let mut report = TestReport::new(&label);
+        let mut seq_wire_id = 0u64;
+        for spec in plan {
+            match spec {
+                SeqCaseSpec::Skip {
+                    sequence_id,
+                    reason,
+                } => report.push(CaseResult::new(
+                    sequence_id,
+                    Verdict::Skipped { reason },
+                    Vec::new(),
+                )),
+                SeqCaseSpec::Case {
+                    sequence_id,
+                    wire_ids,
+                    case,
+                } => {
+                    seq_wire_id += 1;
+                    for r in self.run_one_sequence(
+                        &mut writer,
+                        &mut reader,
+                        &reference,
+                        &checker,
+                        seq_wire_id,
+                        sequence_id,
+                        &wire_ids,
+                        &case,
+                    )? {
+                        report.push(r);
+                    }
+                }
+            }
+        }
+        report.elapsed = started.elapsed();
+        if obs::trace_on() {
+            run_span.field("cases", report.cases.len() as u64);
+            drop(run_span);
+            if let Err(e) = obs::flush_trace() {
+                eprintln!("meissa: trace flush failed: {e}");
+            }
+        }
+        Ok(report)
+    }
+
+    /// Sends one concrete sequence as a single `InjectSeq`, waits for its
+    /// `SeqOutput` (retrying whole on loss), and checks every packet
+    /// position. Mirrors `TestDriver::check_sequence` verdict-for-verdict.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_sequence(
+        &self,
+        writer: &mut TcpStream,
+        reader: &mut FrameReader<TcpStream>,
+        reference: &SwitchTarget,
+        checker: &Checker,
+        seq_wire_id: u64,
+        sequence_id: usize,
+        wire_ids: &[u64],
+        case: &meissa_core::SequenceCase,
+    ) -> io::Result<Vec<CaseResult>> {
+        let mut packets = Vec::with_capacity(case.packets.len());
+        for (input, &wid) in case.packets.iter().zip(wire_ids) {
+            match serialize_state(self.program, input, wid) {
+                Ok(p) => packets.push(p),
+                Err(e) => {
+                    return Ok(vec![CaseResult::new(
+                        sequence_id,
+                        Verdict::Skipped {
+                            reason: format!("cannot serialize sequence packet: {e}"),
+                        },
+                        Vec::new(),
+                    )])
+                }
+            }
+        }
+        let expected = reference.inject_sequence(&packets, &case.initial_registers);
+        let req = Request::InjectSeq {
+            id: seq_wire_id,
+            packets: packets.iter().map(|p| (p.id, p.bytes.clone())).collect(),
+            init: encode_init(self.program, &case.initial_registers),
+        };
+
+        let first_sent = Instant::now();
+        write_frame(writer, &encode(&req))?;
+        let mut attempts: u32 = 1;
+        let mut deadline = Instant::now() + self.case_timeout;
+        // Wait for the matching SeqOutput; stale ids (a duplicate from an
+        // earlier retry, frames delayed by the fault gate) fall through
+        // harmlessly because sequence ids are unique within the run.
+        let outputs = loop {
+            if let Some(frame) = reader.poll_frame()? {
+                let Ok(resp) = decode::<Response>(&frame) else {
+                    continue;
+                };
+                match resp {
+                    Response::SeqOutput { id, outputs } if id == seq_wire_id => {
+                        break Some(outputs);
+                    }
+                    Response::Err { msg } => {
+                        return Err(io::Error::other(format!("agent error: {msg}")));
+                    }
+                    _ => {}
+                }
+            } else if Instant::now() >= deadline {
+                if attempts >= self.max_attempts {
+                    // Drain period after the final attempt already elapsed:
+                    // the whole sequence's output is missing.
+                    break None;
+                }
+                write_frame(writer, &encode(&req))?;
+                attempts += 1;
+                obs::event(
+                    "wire.seq_retry",
+                    &[("id", seq_wire_id), ("attempt", attempts as u64)],
+                );
+                deadline = if attempts >= self.max_attempts {
+                    Instant::now() + self.case_timeout + self.drain_timeout
+                } else {
+                    Instant::now() + self.case_timeout + self.backoff * attempts
+                };
+            }
+        };
+
+        let latency = first_sent.elapsed();
+        let mut results = Vec::with_capacity(packets.len());
+        for (i, packet) in packets.iter().enumerate() {
+            let obs = outputs
+                .as_deref()
+                .and_then(|outs| outs.iter().find(|(pid, ..)| *pid == packet.id))
+                .map(|(_, bytes, port, state)| Observation {
+                    packet: bytes.clone().map(|bytes| Packet {
+                        bytes,
+                        id: packet.id,
+                    }),
+                    egress_port: *port,
+                    final_state: decode_state(self.program, state),
+                })
+                .unwrap_or_else(Observation::missing);
+            let mut r = checker.check_case(sequence_id, &case.packets[i], packet, &expected[i], &obs);
+            r.latency = latency;
+            results.push(r);
+        }
+        Ok(results)
     }
 
     /// Drives one connection: pulls cases off the shared queue as the send
@@ -493,6 +673,18 @@ impl WireCase {
             self.expected = Some(reference.inject(&self.packet));
         }
     }
+}
+
+/// Serializes an initial-register seed as `(name, width, value)` triples
+/// for `InjectSeq`, in deterministic (sorted) order.
+fn encode_init(program: &CompiledProgram, regs: &ConcreteState) -> Vec<(String, u16, u128)> {
+    let fields = &program.cfg.fields;
+    let mut triples: Vec<(String, u16, u128)> = regs
+        .iter()
+        .map(|(f, bv)| (fields.name(f).to_string(), bv.width(), bv.val()))
+        .collect();
+    triples.sort();
+    triples
 }
 
 /// Rebuilds a `ConcreteState` from the agent's `(name, width, value)`

@@ -47,6 +47,21 @@ pub enum Request {
         /// Raw packet bytes.
         bytes: Vec<u8>,
     },
+    /// Inject an ordered packet sequence against a fresh register file
+    /// seeded from `init`; the agent executes it atomically (in-order, no
+    /// interleaving with other injects) and answers with one
+    /// [`Response::SeqOutput`]. Because every attempt restarts from the
+    /// same seeded register file, a retry after a lost response is
+    /// idempotent.
+    InjectSeq {
+        /// Sequence id — echoed in the response.
+        id: u64,
+        /// Ordered `(packet-ID stamp, bytes)` pairs.
+        packets: Vec<(u64, Vec<u8>)>,
+        /// Initial register cells as `(field name, width, value)` triples;
+        /// unlisted cells start at zero.
+        init: Vec<(String, u16, u128)>,
+    },
     /// Ask for cumulative traffic counters.
     Stats,
     /// Ask for a live metrics snapshot in Prometheus text exposition
@@ -92,6 +107,15 @@ pub enum Response {
         /// the hardware-model register dump the checker validates intents
         /// against.
         state: Vec<(String, u16, u128)>,
+    },
+    /// The switch's observable behaviour for one injected sequence: a
+    /// per-packet `(id, packet, port, state)` record in injection order.
+    SeqOutput {
+        /// Echo of the sequence id.
+        id: u64,
+        /// One `(packet-ID stamp, emitted bytes, egress port, final-state
+        /// snapshot)` record per injected packet, in order.
+        outputs: Vec<(u64, Option<Vec<u8>>, Option<Bv>, Vec<(String, u16, u128)>)>,
     },
     /// Prometheus text exposition of the agent's live counters.
     Metrics {
@@ -209,6 +233,66 @@ fn obj(t: &str, mut rest: Vec<(String, Json)>) -> Json {
     Json::Obj(pairs)
 }
 
+/// Encodes a `(name, width, value)` final-state snapshot as an array of
+/// triples — shared by `Output` and `SeqOutput`.
+fn state_to_json(state: &[(String, u16, u128)]) -> Json {
+    Json::Arr(
+        state
+            .iter()
+            .map(|(name, w, val)| {
+                Json::Arr(vec![name.to_json(), Json::UInt(*w as u128), Json::UInt(*val)])
+            })
+            .collect(),
+    )
+}
+
+fn state_from_json(v: &Json) -> Result<Vec<(String, u16, u128)>, JsonError> {
+    let mut triples = Vec::new();
+    for item in v.as_arr()? {
+        let row = item.as_arr()?;
+        if row.len() != 3 {
+            return Err(JsonError::new("state row must be a triple"));
+        }
+        triples.push((
+            String::from_json(&row[0])?,
+            u16::from_json(&row[1])?,
+            row[2].as_u128()?,
+        ));
+    }
+    Ok(triples)
+}
+
+/// Encodes an optional packet as hex bytes or `null` — shared by `Output`
+/// and `SeqOutput`.
+fn packet_to_json(packet: &Option<Vec<u8>>) -> Json {
+    match packet {
+        Some(bytes) => Json::Str(hex_encode(bytes)),
+        None => Json::Null,
+    }
+}
+
+fn packet_from_json(v: &Json) -> Result<Option<Vec<u8>>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        Json::Str(s) => Ok(Some(hex_decode(s)?)),
+        _ => Err(JsonError::new("packet: expected hex string or null")),
+    }
+}
+
+fn port_to_json(port: &Option<Bv>) -> Json {
+    match port {
+        Some(bv) => bv.to_json(),
+        None => Json::Null,
+    }
+}
+
+fn port_from_json(v: &Json) -> Result<Option<Bv>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => Ok(Some(Bv::from_json(other)?)),
+    }
+}
+
 impl ToJson for Request {
     fn to_json(&self) -> Json {
         match self {
@@ -233,6 +317,27 @@ impl ToJson for Request {
                 vec![
                     ("id".into(), id.to_json()),
                     ("bytes".into(), Json::Str(hex_encode(bytes))),
+                ],
+            ),
+            Request::InjectSeq { id, packets, init } => obj(
+                "inject_seq",
+                vec![
+                    ("id".into(), id.to_json()),
+                    (
+                        "packets".into(),
+                        Json::Arr(
+                            packets
+                                .iter()
+                                .map(|(pid, bytes)| {
+                                    Json::Obj(vec![
+                                        ("id".into(), pid.to_json()),
+                                        ("bytes".into(), Json::Str(hex_encode(bytes))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("init".into(), state_to_json(init)),
                 ],
             ),
             Request::Stats => obj("stats", vec![]),
@@ -260,6 +365,20 @@ impl FromJson for Request {
             "inject" => Request::Inject {
                 id: u64::from_json(v.field("id")?)?,
                 bytes: hex_decode(v.field("bytes")?.as_str()?)?,
+            },
+            "inject_seq" => Request::InjectSeq {
+                id: u64::from_json(v.field("id")?)?,
+                packets: {
+                    let mut packets = Vec::new();
+                    for item in v.field("packets")?.as_arr()? {
+                        packets.push((
+                            u64::from_json(item.field("id")?)?,
+                            hex_decode(item.field("bytes")?.as_str()?)?,
+                        ));
+                    }
+                    packets
+                },
+                init: state_from_json(v.field("init")?)?,
             },
             "stats" => Request::Stats,
             "metrics" => Request::Metrics,
@@ -296,30 +415,26 @@ impl ToJson for Response {
                 "output",
                 vec![
                     ("id".into(), id.to_json()),
+                    ("packet".into(), packet_to_json(packet)),
+                    ("port".into(), port_to_json(port)),
+                    ("state".into(), state_to_json(state)),
+                ],
+            ),
+            Response::SeqOutput { id, outputs } => obj(
+                "seq_output",
+                vec![
+                    ("id".into(), id.to_json()),
                     (
-                        "packet".into(),
-                        match packet {
-                            Some(bytes) => Json::Str(hex_encode(bytes)),
-                            None => Json::Null,
-                        },
-                    ),
-                    (
-                        "port".into(),
-                        match port {
-                            Some(bv) => bv.to_json(),
-                            None => Json::Null,
-                        },
-                    ),
-                    (
-                        "state".into(),
+                        "outputs".into(),
                         Json::Arr(
-                            state
+                            outputs
                                 .iter()
-                                .map(|(name, w, val)| {
-                                    Json::Arr(vec![
-                                        name.to_json(),
-                                        Json::UInt(*w as u128),
-                                        Json::UInt(*val),
+                                .map(|(pid, packet, port, state)| {
+                                    Json::Obj(vec![
+                                        ("id".into(), pid.to_json()),
+                                        ("packet".into(), packet_to_json(packet)),
+                                        ("port".into(), port_to_json(port)),
+                                        ("state".into(), state_to_json(state)),
                                     ])
                                 })
                                 .collect(),
@@ -373,33 +488,23 @@ impl FromJson for Response {
             },
             "output" => Response::Output {
                 id: u64::from_json(v.field("id")?)?,
-                packet: match v.field("packet")? {
-                    Json::Null => None,
-                    Json::Str(s) => Some(hex_decode(s)?),
-                    _ => {
-                        return Err(JsonError::new(
-                            "Output.packet: expected hex string or null",
-                        ))
-                    }
-                },
-                port: match v.field("port")? {
-                    Json::Null => None,
-                    other => Some(Bv::from_json(other)?),
-                },
-                state: {
-                    let mut triples = Vec::new();
-                    for item in v.field("state")?.as_arr()? {
-                        let row = item.as_arr()?;
-                        if row.len() != 3 {
-                            return Err(JsonError::new("Output.state row must be a triple"));
-                        }
-                        triples.push((
-                            String::from_json(&row[0])?,
-                            u16::from_json(&row[1])?,
-                            row[2].as_u128()?,
+                packet: packet_from_json(v.field("packet")?)?,
+                port: port_from_json(v.field("port")?)?,
+                state: state_from_json(v.field("state")?)?,
+            },
+            "seq_output" => Response::SeqOutput {
+                id: u64::from_json(v.field("id")?)?,
+                outputs: {
+                    let mut outputs = Vec::new();
+                    for item in v.field("outputs")?.as_arr()? {
+                        outputs.push((
+                            u64::from_json(item.field("id")?)?,
+                            packet_from_json(item.field("packet")?)?,
+                            port_from_json(item.field("port")?)?,
+                            state_from_json(item.field("state")?)?,
                         ));
                     }
-                    triples
+                    outputs
                 },
             },
             "stats" => Response::Stats {
@@ -464,6 +569,32 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn sequence_messages_roundtrip() {
+        roundtrip_req(Request::InjectSeq {
+            id: 3,
+            packets: vec![(10, vec![0xde, 0xad]), (11, vec![0xbe, 0xef, 0x01])],
+            init: vec![("REG:seen-POS:0".into(), 1, 1)],
+        });
+        roundtrip_req(Request::InjectSeq {
+            id: 4,
+            packets: vec![],
+            init: vec![],
+        });
+        roundtrip_resp(Response::SeqOutput {
+            id: 3,
+            outputs: vec![
+                (
+                    10,
+                    Some(vec![1, 2]),
+                    Some(Bv::new(9, 3)),
+                    vec![("REG:seen-POS:0".into(), 1, 1)],
+                ),
+                (11, None, None, vec![]),
+            ],
+        });
     }
 
     #[test]

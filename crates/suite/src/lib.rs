@@ -84,6 +84,16 @@ pub fn switch_lite(rules_per_table: usize, seed: u64) -> Workload {
     build("switch.p4", programs::SWITCH_LITE, &rules)
 }
 
+/// The connection-tracking firewall workload (stateful; rule-free).
+pub fn stateful_firewall() -> Workload {
+    compile_pair("fw-conntrack", programs::STATEFUL_FIREWALL, "")
+}
+
+/// The token-bucket rate limiter workload (stateful; rule-free).
+pub fn token_bucket() -> Workload {
+    compile_pair("token-bucket", programs::TOKEN_BUCKET, "")
+}
+
 /// All four open-source workloads at a default scale.
 pub fn open_source_corpus() -> Vec<Workload> {
     vec![

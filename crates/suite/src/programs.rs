@@ -408,6 +408,58 @@ intent tunnel_termination_strips_vxlan {
 }
 "#;
 
+/// Connection-tracking firewall: an outbound packet marks its flow in a
+/// register; an inbound packet is admitted only if the flow was marked.
+/// The canonical stateful workload — its interesting behaviour (inbound
+/// admission) is reachable only via a k ≥ 2 packet sequence.
+pub const STATEFUL_FIREWALL: &str = r#"
+header conn { src_host: 16; dst_host: 16; dir: 8; }
+metadata meta { egress_port: 9; drop: 1; }
+register seen[1]: 1;
+
+parser main {
+  state start { extract(conn); accept; }
+}
+
+action mark_outbound() { seen[0] = 1; meta.egress_port = 1; }
+action allow_inbound() { meta.egress_port = 2; }
+action drop_() { meta.drop = 1; }
+
+control firewall {
+  if (hdr.conn.dir == 0) {
+    call mark_outbound();
+  } else {
+    if (seen[0] == 1) { call allow_inbound(); } else { call drop_(); }
+  }
+}
+
+pipeline ingress0 { parser = main; control = firewall; }
+deparser { emit(conn); }
+"#;
+
+/// Token-bucket rate limiter: the first packet of a window spends the
+/// register-held token and is admitted; later packets are policed until a
+/// refill. Policing is reachable only via a k ≥ 2 packet sequence.
+pub const TOKEN_BUCKET: &str = r#"
+header pkt { flow: 8; len: 8; }
+metadata meta { egress_port: 9; drop: 1; scratch: 8; }
+register used[1]: 8;
+
+parser main {
+  state start { extract(pkt); accept; }
+}
+
+action admit() { used[0] = used[0] + 1; meta.egress_port = 1; }
+action police() { meta.drop = 1; }
+
+control limiter {
+  if (used[0] == 0) { call admit(); } else { call police(); }
+}
+
+pipeline ingress0 { parser = main; control = limiter; }
+deparser { emit(pkt); }
+"#;
+
 #[cfg(test)]
 mod tests {
     use meissa_lang::parse_program;

@@ -1,0 +1,121 @@
+//! Stateful connection-tracking firewall: a seeded register bug that only
+//! multi-packet (k ≥ 2) sequence testing can expose.
+//!
+//! The program tracks connections in a 1-bit register: an outbound packet
+//! (internal → external) marks `seen[0] = 1`; an inbound packet
+//! (external → internal) is forwarded only if `seen[0] == 1`, dropped
+//! otherwise. The seeded fault miscompiles the *mark* write (the constant
+//! `1` is XORed to `0`, the p4c issue-2147 class), so the firewall never
+//! remembers outbound flows and wrongly drops legitimate return traffic.
+//!
+//! No single packet can see this: the mark packet's output bytes and
+//! egress port are untouched (the corrupted register is not deparsed),
+//! and a lone inbound packet is dropped by reference and target alike
+//! (both start with `seen = 0`). Only a *sequence* — mark, then return —
+//! observes packet 2 behave differently because of packet 1's write.
+//!
+//! ```sh
+//! cargo run --release --example stateful_firewall
+//! ```
+
+use meissa::core::{Meissa, MeissaConfig};
+use meissa::dataplane::{Fault, SwitchTarget};
+use meissa::driver::TestDriver;
+use meissa::lang::{compile, parse_program, parse_rules};
+use meissa::netdriver::{Agent, WireDriver};
+
+const PROGRAM: &str = r#"
+header conn { src_host: 16; dst_host: 16; dir: 8; }
+metadata meta { egress_port: 9; drop: 1; }
+register seen[1]: 1;
+
+parser main {
+  state start { extract(conn); accept; }
+}
+
+action mark_outbound() { seen[0] = 1; meta.egress_port = 1; }
+action allow_inbound() { meta.egress_port = 2; }
+action drop_() { meta.drop = 1; }
+
+control firewall {
+  if (hdr.conn.dir == 0) {
+    call mark_outbound();
+  } else {
+    if (seen[0] == 1) { call allow_inbound(); } else { call drop_(); }
+  }
+}
+
+pipeline ingress0 { parser = main; control = firewall; }
+deparser { emit(conn); }
+"#;
+
+/// The seeded state-dependent bug: the connection-table mark write
+/// `seen[0] = 1` is miscompiled to `seen[0] = 0`.
+fn seeded_fault() -> Fault {
+    Fault::WrongConstant {
+        field: "REG:seen-POS:0".into(),
+        xor_mask: 1,
+    }
+}
+
+fn engine(k: usize) -> Meissa {
+    Meissa {
+        config: MeissaConfig {
+            k_packets: k,
+            ..MeissaConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let ast = parse_program(PROGRAM).expect("program parses");
+    let rules = parse_rules("").expect("rules parse");
+    let program = compile(&ast, &rules).expect("program compiles");
+    let driver = TestDriver::new(&program);
+
+    // A faithful build tests clean at every k.
+    let faithful = SwitchTarget::new(&program);
+    let mut run = engine(2).run_sequences(&program);
+    println!(
+        "k=2: {} sequence templates over {} unrolled paths",
+        run.sequences.len(),
+        run.stats.paths_explored
+    );
+    let report = driver.run_sequences(&mut run, &faithful);
+    println!("faithful target, k=2:\n{report}");
+    assert!(!report.found_bug(), "a faithful target must test clean");
+
+    // Single-packet testing (k=1) cannot see the broken mark write.
+    let buggy = SwitchTarget::with_fault(&program, seeded_fault());
+    let mut run = engine(1).run_sequences(&program);
+    let report = driver.run_sequences(&mut run, &buggy);
+    println!("buggy target, k=1:\n{report}");
+    assert!(
+        !report.found_bug(),
+        "single-packet testing must miss the state-dependent bug"
+    );
+
+    // k=2 sequences catch it: the mark packet's write is corrupted, so the
+    // return packet is dropped where the reference forwards it.
+    let mut run = engine(2).run_sequences(&program);
+    let report = driver.run_sequences(&mut run, &buggy);
+    println!("buggy target, k=2:\n{report}");
+    assert!(report.found_bug(), "k=2 sequences must catch the bug");
+
+    // The wire driver agrees verdict-for-verdict: host the buggy build on
+    // an agent and stream the same sequences over TCP.
+    let agent = Agent::spawn(
+        Some(SwitchTarget::with_fault(&program, seeded_fault())),
+        None,
+    )
+    .expect("spawn switch agent");
+    let mut run = engine(2).run_sequences(&program);
+    let wire_report = WireDriver::new(&program, agent.addr())
+        .run_sequences(&mut run)
+        .expect("wire sequence run");
+    println!("buggy target over the wire, k=2:\n{wire_report}");
+    assert!(wire_report.found_bug(), "the wire driver must agree");
+    agent.shutdown();
+
+    println!("stateful_firewall OK: k=1 misses the bug, k=2 catches it (in-process and over the wire).");
+}

@@ -1,0 +1,102 @@
+//! Token-bucket rate limiter: a miscompiled register *increment* that only
+//! multi-packet (k ≥ 2) sequence testing can expose.
+//!
+//! The program polices a flow with a one-token bucket held in a register:
+//! the first packet of a window is admitted and spends the token
+//! (`used[0] = used[0] + 1`); every later packet is dropped until the
+//! control plane refills. The seeded fault is the p4c wrong-destination
+//! class: the increment lands on scratch metadata instead of the register,
+//! so the bucket never empties and the limiter admits unbounded traffic.
+//!
+//! A single packet cannot tell: the admitted packet's bytes and egress
+//! port are correct, and the clobbered scratch field is not deparsed. The
+//! two-packet sequence (admit, then police) catches it — the reference
+//! drops packet 2, the buggy target forwards it.
+//!
+//! ```sh
+//! cargo run --release --example token_bucket
+//! ```
+
+use meissa::core::{Meissa, MeissaConfig};
+use meissa::dataplane::{Fault, SwitchTarget};
+use meissa::driver::TestDriver;
+use meissa::lang::{compile, parse_program, parse_rules};
+
+const PROGRAM: &str = r#"
+header pkt { flow: 8; len: 8; }
+metadata meta { egress_port: 9; drop: 1; scratch: 8; }
+register used[1]: 8;
+
+parser main {
+  state start { extract(pkt); accept; }
+}
+
+action admit() { used[0] = used[0] + 1; meta.egress_port = 1; }
+action police() { meta.drop = 1; }
+
+control limiter {
+  if (used[0] == 0) { call admit(); } else { call police(); }
+}
+
+pipeline ingress0 { parser = main; control = limiter; }
+deparser { emit(pkt); }
+"#;
+
+/// The seeded state-dependent bug: the token-spend increment is compiled
+/// onto the wrong destination, leaving the register untouched.
+fn seeded_fault() -> Fault {
+    Fault::WrongAssignment {
+        intended: "REG:used-POS:0".into(),
+        actual: "meta.scratch".into(),
+    }
+}
+
+fn engine(k: usize) -> Meissa {
+    Meissa {
+        config: MeissaConfig {
+            k_packets: k,
+            ..MeissaConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let ast = parse_program(PROGRAM).expect("program parses");
+    let rules = parse_rules("").expect("rules parse");
+    let program = compile(&ast, &rules).expect("program compiles");
+    let driver = TestDriver::new(&program);
+
+    // From a zeroed bucket, only one two-packet sequence is feasible:
+    // packet 1 spends the token, packet 2 must be policed.
+    let mut run = engine(2).run_sequences(&program);
+    println!(
+        "k=2: {} sequence template(s) over {} unrolled paths",
+        run.sequences.len(),
+        run.stats.paths_explored
+    );
+
+    // A faithful build tests clean.
+    let faithful = SwitchTarget::new(&program);
+    let report = driver.run_sequences(&mut run, &faithful);
+    println!("faithful target, k=2:\n{report}");
+    assert!(!report.found_bug(), "a faithful target must test clean");
+
+    // Single-packet testing cannot see the lost increment.
+    let buggy = SwitchTarget::with_fault(&program, seeded_fault());
+    let mut run = engine(1).run_sequences(&program);
+    let report = driver.run_sequences(&mut run, &buggy);
+    println!("buggy target, k=1:\n{report}");
+    assert!(
+        !report.found_bug(),
+        "single-packet testing must miss the state-dependent bug"
+    );
+
+    // The (admit, police) sequence catches it: packet 2 is forwarded by
+    // the buggy target where the reference polices it.
+    let mut run = engine(2).run_sequences(&program);
+    let report = driver.run_sequences(&mut run, &buggy);
+    println!("buggy target, k=2:\n{report}");
+    assert!(report.found_bug(), "k=2 sequences must catch the bug");
+
+    println!("token_bucket OK: k=1 misses the lost token spend, k=2 catches it.");
+}

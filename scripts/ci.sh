@@ -37,6 +37,15 @@ echo "==> test (offline, clause exchange off: MEISSA_CLAUSE_SHARE=off)"
 # them (clause_exchange.rs additionally diffs the two modes head-to-head).
 MEISSA_CLAUSE_SHARE=off MEISSA_THREADS=4 cargo test -q --offline -p meissa-suite -p meissa-core
 
+echo "==> test (offline, stateful sequences: MEISSA_K_PACKETS=2)"
+# The core + suite tests once more with the sequence-length knob set:
+# `Meissa::run` is contractually independent of `k_packets` (only
+# `run_sequences` consumes it), so every golden and e2e assertion must
+# hold unchanged — while the stateful suite tests exercise the k=2
+# sequence engine, the register-threading unroller, and the stateful
+# wire checker directly.
+MEISSA_K_PACKETS=2 MEISSA_THREADS=4 cargo test -q --offline -p meissa-suite -p meissa-core
+
 echo "==> loopback smoke test: gw-3 through the wire driver"
 # Spawns the switch agent on an ephemeral loopback port and streams the
 # gw-3 suite through the TCP sender/receiver/checker (transport faults
@@ -53,6 +62,17 @@ echo "==> bench smoke: gw-3-r8 figures row vs goldens"
 # this also runs the disabled-path guard: a gated obs site must cost one
 # relaxed atomic load (< 5 ns), or the smoke run fails.
 MEISSA_BENCH_SMOKE=1 cargo bench -q --offline -p meissa-bench
+
+echo "==> stateful bench smoke: firewall unrolling sweep + sequence trace"
+# Runs the stateful unrolling sweep (sequence templates and time vs k on
+# the connection-tracking firewall, writing results/stateful_unroll.txt
+# and BENCH_stateful.json), then reconciles the engine's sequence.* spans
+# with meissa-trace: every line parses, span ids are unique, parents
+# resolve, children nest. The sweep itself asserts the k=1 degeneration
+# contract against the single-packet engine.
+MEISSA_BENCH_STATEFUL=1 cargo bench -q --offline -p meissa-bench
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- --check results/trace_stateful_unroll.jsonl
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- results/trace_stateful_unroll.jsonl
 
 echo "==> scaling guard: gw-3-r32/dfs t4 speedup (host-gated)"
 # On a host with >= 4 cores the work-stealing DFS must deliver at least a

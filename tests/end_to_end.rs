@@ -107,7 +107,7 @@ fn packet_level_roundtrip_through_the_wire() {
         let Some(input) = t.instantiate(&mut run.pool, &run.cfg.fields, &[]) else {
             continue;
         };
-        let Some(pkt) = serialize_state(&w.program, &input, i as u64) else {
+        let Ok(pkt) = serialize_state(&w.program, &input, i as u64) else {
             continue;
         };
         let parsed = parse_packet(&w.program, &pkt).expect("own packets parse");
