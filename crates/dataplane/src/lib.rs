@@ -25,5 +25,5 @@ pub mod packet;
 pub mod target;
 
 pub use faults::Fault;
-pub use packet::{parse_packet, serialize_output, serialize_state, Packet, PacketError};
+pub use packet::{parse_packet, serialize_output, serialize_state, Packet, PacketError, ParserPlan};
 pub use target::{SwitchTarget, TargetOutput};

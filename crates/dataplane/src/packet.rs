@@ -8,7 +8,7 @@
 //! checker can match sent and received packets (§4).
 
 use crate::bits::{BitReader, BitWriter};
-use meissa_ir::{ConcreteState, FieldTable};
+use meissa_ir::{ConcreteState, FieldId, FieldTable};
 use meissa_lang::ast::{Expr, ParserDecl, SelectPattern, Transition};
 use meissa_lang::CompiledProgram;
 use meissa_num::Bv;
@@ -78,34 +78,383 @@ impl std::fmt::Display for PacketError {
 
 impl std::error::Error for PacketError {}
 
-/// Evaluates a surface expression concretely against a field state.
-/// Parser scrutinees reference extracted fields (and, rarely, arithmetic
-/// over them); action parameters are not in scope here.
-fn eval_expr(
+/// A pre-resolved parser automaton for one program.
+///
+/// The parser spec is string-keyed: states are found by name, scrutinee
+/// expressions name fields, extracts name headers. Resolving those on every
+/// packet made `parse_packet`/`normalize_input` the hot-path bottleneck
+/// (~40 µs each on the gw suite). A `ParserPlan` does all name resolution
+/// once — states, headers, and scrutinee fields become dense indices — so a
+/// walk is pure array indexing. Resolution failures are kept *lazy* to
+/// match the spec-walk semantics exactly: an unknown state or header only
+/// errors when the walk actually reaches it.
+pub struct ParserPlan {
+    /// `None` when the program has no entry parser.
+    start: Option<PlanNext>,
+    states: Vec<PlanState>,
+    /// Every program header, in declaration order.
+    headers: Vec<PlanHeader>,
+    /// Indices into `headers`, in deparser emit order (unknown names in the
+    /// deparse list are skipped here, as `serialize_output` always did).
+    deparse: Vec<u32>,
+}
+
+struct PlanHeader {
+    name: String,
+    fields: Vec<(FieldId, u16)>,
+    valid: FieldId,
+}
+
+struct PlanState {
+    extracts: Vec<ExtractRef>,
+    transition: PlanTransition,
+}
+
+/// A header named in an `extract(...)`; `Unknown` keeps the name so the
+/// serialize-side walk can report it like the spec walk did.
+enum ExtractRef {
+    Known(u32),
+    Unknown(Box<str>),
+}
+
+/// A resolved transition target. `Unknown` errors as a malformed parser
+/// only when the walk takes it.
+#[derive(Clone, Copy)]
+enum PlanNext {
+    Accept,
+    State(u32),
+    Unknown,
+}
+
+enum PlanTransition {
+    Direct(PlanNext),
+    Select {
+        scrutinee: RExpr,
+        arms: Vec<(SelectPattern, PlanNext)>,
+        default: PlanNext,
+    },
+}
+
+/// A scrutinee expression with field names resolved to ids. Unresolvable
+/// leaves keep their lazy error, reported only if evaluated.
+enum RExpr {
+    Num(u128),
+    Field(FieldId),
+    /// Unknown field name → [`PacketError::Unevaluable`].
+    UnknownField,
+    /// Register cell with no `REG:…-POS:…` field.
+    Unmodeled(String, u32),
+    /// Action parameters are not in scope for scrutinees.
+    Param,
+    Bin(meissa_ir::AOp, Box<RExpr>, Box<RExpr>),
+    Not(Box<RExpr>),
+    Shl(Box<RExpr>, u32),
+    Shr(Box<RExpr>, u32),
+    Hash(meissa_ir::HashAlg, u16, Vec<RExpr>),
+}
+
+impl ParserPlan {
+    /// Compiles the plan for the program's entry parser.
+    pub fn new(program: &CompiledProgram) -> ParserPlan {
+        Self::build(program, entry_parser(program))
+    }
+
+    /// Compiles the plan for an explicit parser decl (spec tooling).
+    pub fn for_parser(program: &CompiledProgram, parser: &ParserDecl) -> ParserPlan {
+        Self::build(program, Some(parser))
+    }
+
+    fn build(program: &CompiledProgram, parser: Option<&ParserDecl>) -> ParserPlan {
+        let fields = &program.cfg.fields;
+        let headers: Vec<PlanHeader> = program
+            .headers
+            .iter()
+            .map(|l| PlanHeader {
+                name: l.name.clone(),
+                fields: l.fields.iter().map(|&(_, f, w)| (f, w)).collect(),
+                valid: l.valid,
+            })
+            .collect();
+        let header_idx = |name: &str| -> Option<u32> {
+            headers
+                .iter()
+                .position(|h| h.name == name)
+                .map(|i| i as u32)
+        };
+        let deparse = program
+            .deparse_order
+            .iter()
+            .filter_map(|h| header_idx(h))
+            .collect();
+        let Some(parser) = parser else {
+            return ParserPlan {
+                start: None,
+                states: Vec::new(),
+                headers,
+                deparse,
+            };
+        };
+        let resolve_next = |name: &str| -> PlanNext {
+            if name == "accept" {
+                return PlanNext::Accept;
+            }
+            match parser.states.iter().position(|s| s.name == name) {
+                Some(i) => PlanNext::State(i as u32),
+                None => PlanNext::Unknown,
+            }
+        };
+        let states = parser
+            .states
+            .iter()
+            .map(|st| PlanState {
+                extracts: st
+                    .extracts
+                    .iter()
+                    .map(|h| match header_idx(h) {
+                        Some(i) => ExtractRef::Known(i),
+                        None => ExtractRef::Unknown(h.as_str().into()),
+                    })
+                    .collect(),
+                transition: match &st.transition {
+                    Transition::Accept => PlanTransition::Direct(PlanNext::Accept),
+                    Transition::Goto(next) => PlanTransition::Direct(resolve_next(next)),
+                    Transition::Select {
+                        scrutinee,
+                        arms,
+                        default,
+                    } => PlanTransition::Select {
+                        scrutinee: resolve_expr(fields, scrutinee),
+                        arms: arms
+                            .iter()
+                            .map(|(pat, t)| (*pat, resolve_next(t)))
+                            .collect(),
+                        default: resolve_next(default),
+                    },
+                },
+            })
+            .collect();
+        ParserPlan {
+            start: Some(resolve_next("start")),
+            states,
+            headers,
+            deparse,
+        }
+    }
+
+    /// Picks the next state for a transition evaluated against `state`.
+    fn step(
+        &self,
+        fields: &FieldTable,
+        state: &ConcreteState,
+        t: &PlanTransition,
+    ) -> Result<PlanNext, PacketError> {
+        Ok(match t {
+            PlanTransition::Direct(next) => *next,
+            PlanTransition::Select {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let v = eval_rexpr(fields, state, scrutinee, None)?;
+                let mut target = *default;
+                for (pat, t) in arms {
+                    let hit = match *pat {
+                        SelectPattern::Exact(k) => v.val() == k & mask_of(v.width()),
+                        SelectPattern::Mask(k, m) => (v.val() & m) == (k & m) & mask_of(v.width()),
+                        SelectPattern::Range(lo, hi) => v.val() >= lo && v.val() <= hi,
+                    };
+                    if hit {
+                        target = *t;
+                        break;
+                    }
+                }
+                target
+            }
+        })
+    }
+
+    /// Serialize-side walk: the extracts the parser would perform for
+    /// `state`, in order. Mirrors the spec walk's error behaviour.
+    fn walk<'a>(
+        &'a self,
+        fields: &FieldTable,
+        state: &ConcreteState,
+    ) -> Result<Vec<&'a ExtractRef>, PacketError> {
+        let mut extracted = Vec::new();
+        let mut current = self.start.ok_or(PacketError::NoEntryParser)?;
+        for _ in 0..1024 {
+            let i = match current {
+                PlanNext::Accept => return Ok(extracted),
+                PlanNext::Unknown => return Err(PacketError::MalformedParser),
+                PlanNext::State(i) => i as usize,
+            };
+            let st = &self.states[i];
+            extracted.extend(st.extracts.iter());
+            current = self.step(fields, state, &st.transition)?;
+        }
+        Err(PacketError::MalformedParser) // step bound exceeded: a cycle
+    }
+
+    /// The headers the parser would extract for `state`, by name, in order.
+    pub fn extraction_order(
+        &self,
+        fields: &FieldTable,
+        state: &ConcreteState,
+    ) -> Result<Vec<String>, PacketError> {
+        Ok(self
+            .walk(fields, state)?
+            .into_iter()
+            .map(|e| match e {
+                ExtractRef::Known(i) => self.headers[*i as usize].name.clone(),
+                ExtractRef::Unknown(name) => name.to_string(),
+            })
+            .collect())
+    }
+
+    /// Parses packet bytes by running the automaton; see [`parse_packet`].
+    pub fn parse(
+        &self,
+        fields: &FieldTable,
+        packet: &Packet,
+    ) -> Result<ConcreteState, PacketError> {
+        let mut state = ConcreteState::new();
+        let mut r = BitReader::new(&packet.bytes);
+        let mut current = self.start.ok_or(PacketError::NoEntryParser)?;
+        for _ in 0..1024 {
+            let i = match current {
+                PlanNext::Accept => return Ok(state),
+                PlanNext::Unknown => return Err(PacketError::MalformedParser),
+                PlanNext::State(i) => i as usize,
+            };
+            let st = &self.states[i];
+            for e in &st.extracts {
+                let ExtractRef::Known(hi) = e else {
+                    return Err(PacketError::MalformedParser);
+                };
+                let h = &self.headers[*hi as usize];
+                for &(f, w) in &h.fields {
+                    let v = r.read(w).ok_or(PacketError::Truncated)?;
+                    state.set(fields, f, v);
+                }
+                state.set(fields, h.valid, Bv::new(1, 1));
+            }
+            current = self.step(fields, &state, &st.transition)?;
+        }
+        Err(PacketError::MalformedParser)
+    }
+
+    /// Serializes an input state into a test packet; see [`serialize_state`].
+    pub fn serialize_state(
+        &self,
+        fields: &FieldTable,
+        state: &ConcreteState,
+        id: u64,
+    ) -> Result<Packet, PacketError> {
+        let order = self.walk(fields, state)?;
+        let mut w = BitWriter::new();
+        for e in order {
+            if let ExtractRef::Known(hi) = e {
+                for &(f, _) in &self.headers[*hi as usize].fields {
+                    w.write(state.get(fields, f));
+                }
+            }
+        }
+        Ok(Self::finish(w, id))
+    }
+
+    /// Serializes an output packet in deparse order, filtered by validity;
+    /// see [`serialize_output`].
+    pub fn serialize_output(&self, fields: &FieldTable, state: &ConcreteState, id: u64) -> Packet {
+        let mut w = BitWriter::new();
+        for &hi in &self.deparse {
+            let h = &self.headers[hi as usize];
+            if state.get(fields, h.valid) == Bv::new(1, 1) {
+                for &(f, _) in &h.fields {
+                    w.write(state.get(fields, f));
+                }
+            }
+        }
+        Self::finish(w, id)
+    }
+
+    /// Zeroes fields of unextracted headers and all validity bits; see
+    /// [`normalize_input`].
+    pub fn normalize_input(&self, fields: &FieldTable, state: &ConcreteState) -> ConcreteState {
+        let mut extracted = vec![false; self.headers.len()];
+        if let Ok(walked) = self.walk(fields, state) {
+            for e in walked {
+                if let ExtractRef::Known(hi) = e {
+                    extracted[*hi as usize] = true;
+                }
+            }
+        }
+        let mut out = state.clone();
+        for (hi, h) in self.headers.iter().enumerate() {
+            if !extracted[hi] {
+                for &(f, w) in &h.fields {
+                    out.set(fields, f, Bv::zero(w));
+                }
+            }
+            // Validity is decided by the parser, never by the input model.
+            out.set(fields, h.valid, Bv::zero(1));
+        }
+        out
+    }
+
+    fn finish(w: BitWriter, id: u64) -> Packet {
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&id.to_be_bytes());
+        Packet { bytes, id }
+    }
+}
+
+/// Resolves a surface scrutinee expression to id-based form.
+fn resolve_expr(fields: &FieldTable, e: &Expr) -> RExpr {
+    match e {
+        Expr::Num(n) => RExpr::Num(*n),
+        Expr::Field(name) => match fields.get(name) {
+            Some(f) => RExpr::Field(f),
+            None => RExpr::UnknownField,
+        },
+        Expr::Register(name, idx) => match fields.get(&format!("REG:{name}-POS:{idx}")) {
+            Some(f) => RExpr::Field(f),
+            None => RExpr::Unmodeled(name.clone(), *idx),
+        },
+        Expr::Param(_) => RExpr::Param,
+        Expr::Bin(op, a, b) => RExpr::Bin(
+            *op,
+            Box::new(resolve_expr(fields, a)),
+            Box::new(resolve_expr(fields, b)),
+        ),
+        Expr::Not(a) => RExpr::Not(Box::new(resolve_expr(fields, a))),
+        Expr::Shl(a, n) => RExpr::Shl(Box::new(resolve_expr(fields, a)), *n as u32),
+        Expr::Shr(a, n) => RExpr::Shr(Box::new(resolve_expr(fields, a)), *n as u32),
+        Expr::Hash(alg, w, args) => {
+            RExpr::Hash(*alg, *w, args.iter().map(|a| resolve_expr(fields, a)).collect())
+        }
+    }
+}
+
+/// Evaluates a resolved scrutinee concretely against a field state.
+fn eval_rexpr(
     fields: &FieldTable,
     state: &ConcreteState,
-    e: &Expr,
+    e: &RExpr,
     ctx_width: Option<u16>,
 ) -> Result<Bv, PacketError> {
     Ok(match e {
-        Expr::Num(n) => Bv::new(ctx_width.ok_or(PacketError::Unevaluable)?, *n),
-        Expr::Field(name) => {
-            let f = fields.get(name).ok_or(PacketError::Unevaluable)?;
-            state.get(fields, f)
+        RExpr::Num(n) => Bv::new(ctx_width.ok_or(PacketError::Unevaluable)?, *n),
+        RExpr::Field(f) => state.get(fields, *f),
+        RExpr::UnknownField | RExpr::Param => return Err(PacketError::Unevaluable),
+        RExpr::Unmodeled(register, index) => {
+            return Err(PacketError::UnmodeledRegister {
+                register: register.clone(),
+                index: *index,
+            })
         }
-        Expr::Register(name, idx) => {
-            let f = fields.get(&format!("REG:{name}-POS:{idx}")).ok_or_else(|| {
-                PacketError::UnmodeledRegister {
-                    register: name.clone(),
-                    index: *idx,
-                }
-            })?;
-            state.get(fields, f)
-        }
-        Expr::Param(_) => return Err(PacketError::Unevaluable),
-        Expr::Bin(op, a, b) => {
-            let x = eval_expr(fields, state, a, ctx_width)?;
-            let y = eval_expr(fields, state, b, Some(x.width()))?;
+        RExpr::Bin(op, a, b) => {
+            let x = eval_rexpr(fields, state, a, ctx_width)?;
+            let y = eval_rexpr(fields, state, b, Some(x.width()))?;
             match op {
                 meissa_ir::AOp::Add => x.add(&y),
                 meissa_ir::AOp::Sub => x.sub(&y),
@@ -114,13 +463,13 @@ fn eval_expr(
                 meissa_ir::AOp::Xor => x.xor(&y),
             }
         }
-        Expr::Not(a) => eval_expr(fields, state, a, ctx_width)?.not(),
-        Expr::Shl(a, n) => eval_expr(fields, state, a, ctx_width)?.shl(*n as u32),
-        Expr::Shr(a, n) => eval_expr(fields, state, a, ctx_width)?.shr(*n as u32),
-        Expr::Hash(alg, w, args) => {
+        RExpr::Not(a) => eval_rexpr(fields, state, a, ctx_width)?.not(),
+        RExpr::Shl(a, n) => eval_rexpr(fields, state, a, ctx_width)?.shl(*n),
+        RExpr::Shr(a, n) => eval_rexpr(fields, state, a, ctx_width)?.shr(*n),
+        RExpr::Hash(alg, w, args) => {
             let keys: Vec<Bv> = args
                 .iter()
-                .map(|a| eval_expr(fields, state, a, None))
+                .map(|a| eval_rexpr(fields, state, a, None))
                 .collect::<Result<_, _>>()?;
             alg.compute(*w, &keys)
         }
@@ -137,47 +486,7 @@ pub fn extraction_order(
     parser: &ParserDecl,
     state: &ConcreteState,
 ) -> Result<Vec<String>, PacketError> {
-    let fields = &program.cfg.fields;
-    let mut extracted = Vec::new();
-    let mut current = "start".to_string();
-    for _ in 0..1024 {
-        if current == "accept" {
-            return Ok(extracted);
-        }
-        let st = parser
-            .states
-            .iter()
-            .find(|s| s.name == current)
-            .ok_or(PacketError::MalformedParser)?;
-        for h in &st.extracts {
-            extracted.push(h.clone());
-        }
-        current = match &st.transition {
-            Transition::Accept => "accept".to_string(),
-            Transition::Goto(next) => next.clone(),
-            Transition::Select {
-                scrutinee,
-                arms,
-                default,
-            } => {
-                let v = eval_expr(fields, state, scrutinee, None)?;
-                let mut target = default.clone();
-                for (pat, t) in arms {
-                    let hit = match *pat {
-                        SelectPattern::Exact(k) => v.val() == k & mask_of(v.width()),
-                        SelectPattern::Mask(k, m) => (v.val() & m) == (k & m) & mask_of(v.width()),
-                        SelectPattern::Range(lo, hi) => v.val() >= lo && v.val() <= hi,
-                    };
-                    if hit {
-                        target = t.clone();
-                        break;
-                    }
-                }
-                target
-            }
-        };
-    }
-    Err(PacketError::MalformedParser) // step bound exceeded: a cycle
+    ParserPlan::for_parser(program, parser).extraction_order(&program.cfg.fields, state)
 }
 
 fn mask_of(width: u16) -> u128 {
@@ -205,9 +514,7 @@ pub fn serialize_state(
     state: &ConcreteState,
     id: u64,
 ) -> Result<Packet, PacketError> {
-    let parser = entry_parser(program).ok_or(PacketError::NoEntryParser)?;
-    let order = extraction_order(program, parser, state)?;
-    Ok(serialize_headers(program, state, &order, id))
+    ParserPlan::new(program).serialize_state(&program.cfg.fields, state, id)
 }
 
 /// Serializes the given headers (by name, in order) from `state`.
@@ -234,19 +541,7 @@ pub fn serialize_headers(
 /// Serializes an *output* packet: headers in deparser emit order, filtered
 /// by final validity bits (what a switch's deparser does).
 pub fn serialize_output(program: &CompiledProgram, state: &ConcreteState, id: u64) -> Packet {
-    let fields = &program.cfg.fields;
-    let valid_headers: Vec<String> = program
-        .deparse_order
-        .iter()
-        .filter(|h| {
-            program
-                .header(h)
-                .map(|l| state.get(fields, l.valid) == Bv::new(1, 1))
-                .unwrap_or(false)
-        })
-        .cloned()
-        .collect();
-    serialize_headers(program, state, &valid_headers, id)
+    ParserPlan::new(program).serialize_output(&program.cfg.fields, state, id)
 }
 
 /// Parses packet bytes by executing the entry parser spec; returns the
@@ -254,58 +549,7 @@ pub fn serialize_output(program: &CompiledProgram, state: &ConcreteState, id: u6
 /// payload id. Fails on a truncated packet, a malformed spec, or an
 /// unevaluable scrutinee (see [`PacketError`]).
 pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Result<ConcreteState, PacketError> {
-    let parser = entry_parser(program).ok_or(PacketError::NoEntryParser)?;
-    let fields = &program.cfg.fields;
-    let mut state = ConcreteState::new();
-    let mut r = BitReader::new(&packet.bytes);
-    let mut current = "start".to_string();
-    for _ in 0..1024 {
-        if current == "accept" {
-            return Ok(state);
-        }
-        let st = parser
-            .states
-            .iter()
-            .find(|s| s.name == current)
-            .ok_or(PacketError::MalformedParser)?;
-        for h in &st.extracts {
-            let layout = program
-                .headers
-                .iter()
-                .find(|l| &l.name == h)
-                .ok_or(PacketError::MalformedParser)?;
-            for (_, f, w) in &layout.fields {
-                let v = r.read(*w).ok_or(PacketError::Truncated)?;
-                state.set(fields, *f, v);
-            }
-            state.set(fields, layout.valid, Bv::new(1, 1));
-        }
-        current = match &st.transition {
-            Transition::Accept => "accept".to_string(),
-            Transition::Goto(next) => next.clone(),
-            Transition::Select {
-                scrutinee,
-                arms,
-                default,
-            } => {
-                let v = eval_expr(fields, &state, scrutinee, None)?;
-                let mut target = default.clone();
-                for (pat, t) in arms {
-                    let hit = match *pat {
-                        SelectPattern::Exact(k) => v.val() == k & mask_of(v.width()),
-                        SelectPattern::Mask(k, m) => (v.val() & m) == (k & m) & mask_of(v.width()),
-                        SelectPattern::Range(lo, hi) => v.val() >= lo && v.val() <= hi,
-                    };
-                    if hit {
-                        target = t.clone();
-                        break;
-                    }
-                }
-                target
-            }
-        };
-    }
-    Err(PacketError::MalformedParser)
+    ParserPlan::new(program).parse(&program.cfg.fields, packet)
 }
 
 /// Zeroes every field belonging to headers the entry parser would *not*
@@ -313,21 +557,7 @@ pub fn parse_packet(program: &CompiledProgram, packet: &Packet) -> Result<Concre
 /// unconstrained fields; on the wire those headers do not exist, so both
 /// reference and target must see deterministic (zero) garbage.
 pub fn normalize_input(program: &CompiledProgram, state: &ConcreteState) -> ConcreteState {
-    let fields = &program.cfg.fields;
-    let extracted: Vec<String> = entry_parser(program)
-        .and_then(|p| extraction_order(program, p, state).ok())
-        .unwrap_or_default();
-    let mut out = state.clone();
-    for layout in &program.headers {
-        if !extracted.contains(&layout.name) {
-            for (_, f, w) in &layout.fields {
-                out.set(fields, *f, Bv::zero(*w));
-            }
-        }
-        // Validity is decided by the parser, never by the input model.
-        out.set(fields, layout.valid, Bv::zero(1));
-    }
-    out
+    ParserPlan::new(program).normalize_input(&program.cfg.fields, state)
 }
 
 #[cfg(test)]

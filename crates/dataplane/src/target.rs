@@ -10,7 +10,7 @@
 //! the CFG every analysis tool consumes.
 
 use crate::faults::Fault;
-use crate::packet::{normalize_input, parse_packet, serialize_output, Packet};
+use crate::packet::{Packet, ParserPlan};
 use meissa_ir::{AExp, BExp, Cfg, ConcreteState, FieldId, HashAlg, NodeId, Stmt};
 use meissa_lang::CompiledProgram;
 use meissa_num::Bv;
@@ -33,6 +33,9 @@ pub struct TargetOutput {
 pub struct SwitchTarget {
     program: CompiledProgram,
     fault: Fault,
+    /// Pre-resolved parser automaton — parse/normalize/deparse are on the
+    /// per-packet hot path and must not re-resolve spec strings.
+    plan: ParserPlan,
     /// Conventional drop flag (`meta.drop`), when the program declares one.
     drop_field: Option<FieldId>,
     /// Conventional egress port (`meta.egress_port`), when declared.
@@ -51,6 +54,7 @@ impl SwitchTarget {
         SwitchTarget {
             drop_field: fields.get("meta.drop"),
             egress_field: fields.get("meta.egress_port"),
+            plan: ParserPlan::new(program),
             program: program.clone(),
             fault,
         }
@@ -61,6 +65,12 @@ impl SwitchTarget {
         &self.program
     }
 
+    /// The pre-resolved parser automaton (shared with drivers so their
+    /// per-case serialize/parse work skips spec-string resolution).
+    pub fn plan(&self) -> &ParserPlan {
+        &self.plan
+    }
+
     /// The injected fault.
     pub fn fault(&self) -> &Fault {
         &self.fault
@@ -68,7 +78,7 @@ impl SwitchTarget {
 
     /// Injects a packet: parse → execute → deparse.
     pub fn inject(&self, packet: &Packet) -> TargetOutput {
-        let Ok(state) = parse_packet(&self.program, packet) else {
+        let Ok(state) = self.plan.parse(&self.program.cfg.fields, packet) else {
             return TargetOutput {
                 packet: None,
                 egress_port: None,
@@ -102,7 +112,7 @@ impl SwitchTarget {
     /// or wedges in an undefined branch leaves the file untouched; a packet
     /// the program *drops* still executed its path, so its writes commit.
     pub fn inject_stateful(&self, packet: &Packet, regs: &mut ConcreteState) -> TargetOutput {
-        let Ok(state) = parse_packet(&self.program, packet) else {
+        let Ok(state) = self.plan.parse(&self.program.cfg.fields, packet) else {
             return TargetOutput {
                 packet: None,
                 egress_port: None,
@@ -115,7 +125,7 @@ impl SwitchTarget {
     /// Executes the program from an already-parsed field state. Exposed so
     /// the test driver can also drive state-level comparisons.
     pub fn run_state(&self, input: &ConcreteState, id: u64) -> TargetOutput {
-        let state = normalize_input(&self.program, input);
+        let state = self.plan.normalize_input(&self.program.cfg.fields, input);
         match self.interpret(&self.program.cfg, &state) {
             Some(final_state) => self.emit(final_state, id),
             None => TargetOutput {
@@ -143,7 +153,7 @@ impl SwitchTarget {
                 seeded.set(fields, f, regs.get(fields, f));
             }
         }
-        let state = normalize_input(&self.program, &seeded);
+        let state = self.plan.normalize_input(&self.program.cfg.fields, &seeded);
         match self.interpret(&self.program.cfg, &state) {
             Some(final_state) => {
                 for r in &self.program.registers {
@@ -175,7 +185,7 @@ impl SwitchTarget {
         let packet = if dropped {
             None
         } else {
-            Some(serialize_output(&self.program, &final_state, id))
+            Some(self.plan.serialize_output(&self.program.cfg.fields, &final_state, id))
         };
         TargetOutput {
             packet,

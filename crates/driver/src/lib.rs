@@ -23,11 +23,11 @@ pub mod localize;
 pub mod report;
 
 pub use localize::{trace_execution, TraceStep};
-pub use report::{CaseResult, TestReport, Verdict};
+pub use report::{CaseResult, SoakStats, TestReport, Verdict};
 
 use meissa_core::stateful::StatefulRunOutput;
 use meissa_core::RunOutput;
-use meissa_dataplane::{parse_packet, serialize_state, Packet, SwitchTarget, TargetOutput};
+use meissa_dataplane::{parse_packet, Packet, SwitchTarget, TargetOutput};
 use meissa_ir::ConcreteState;
 use meissa_lang::CompiledProgram;
 use std::time::{Duration, Instant};
@@ -452,8 +452,10 @@ impl<'p> TestDriver<'p> {
         wire_id: u64,
         input: &ConcreteState,
     ) -> CaseResult {
-        // Sender: materialize the packet.
-        let Ok(packet) = serialize_state(self.program, input, wire_id) else {
+        // Sender: materialize the packet (prebuilt parser plan — this is
+        // the per-case hot path).
+        let fields = &self.program.cfg.fields;
+        let Ok(packet) = self.reference.plan().serialize_state(fields, input, wire_id) else {
             return CaseResult::new(
                 template_id,
                 Verdict::Skipped {
@@ -523,7 +525,7 @@ impl<'p> TestDriver<'p> {
     ) -> Vec<CaseResult> {
         let mut packets = Vec::with_capacity(case.packets.len());
         for (input, &wid) in case.packets.iter().zip(wire_ids) {
-            match serialize_state(self.program, input, wid) {
+            match self.reference.plan().serialize_state(&self.program.cfg.fields, input, wid) {
                 Ok(p) => packets.push(p),
                 Err(e) => {
                     return vec![CaseResult::new(

@@ -216,9 +216,84 @@ impl fmt::Display for TestReport {
     }
 }
 
+/// Aggregate result of a sustained-soak run (the wire driver's
+/// wall-clock replay mode, optionally fuzzing). A soak produces far too
+/// many cases to keep per-case results; this carries counters only.
+///
+/// `elapsed` covers the replay phase — planning happened before the soak
+/// clock started — so [`SoakStats::cases_per_sec`] measures the wire tier.
+#[derive(Clone, Debug, Default)]
+pub struct SoakStats {
+    /// Replay-phase wall time.
+    pub elapsed: Duration,
+    /// Cases replayed to a verdict (responses plus drain-phase give-ups).
+    pub cases: u64,
+    /// Cases where the target's observed behaviour disagreed with the
+    /// reference (zero on a faithful target, fuzzed or not).
+    pub divergent: u64,
+    /// Cases that needed at least one retransmission.
+    pub retried: u64,
+    /// Whether packets were mutated before injection.
+    pub fuzzed: bool,
+    /// Divergence class → count, sorted by class name. Classes are stable
+    /// strings (`missing-output`, `unexpected-forward`, `payload-mismatch`,
+    /// `port-mismatch`, `state-mismatch`, `no-response`).
+    pub classes: Vec<(String, u64)>,
+}
+
+impl SoakStats {
+    /// Replayed cases per second of soak wall time. `None` when no time
+    /// was recorded.
+    pub fn cases_per_sec(&self) -> Option<f64> {
+        if self.elapsed.is_zero() {
+            return None;
+        }
+        Some(self.cases as f64 / self.elapsed.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SoakStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "soak{}: {} cases in {:.2}s",
+            if self.fuzzed { " (fuzz)" } else { "" },
+            self.cases,
+            self.elapsed.as_secs_f64()
+        )?;
+        if let Some(tput) = self.cases_per_sec() {
+            write!(f, " = {tput:.0}/s")?;
+        }
+        write!(f, ", {} divergent, {} retried", self.divergent, self.retried)?;
+        for (class, n) in &self.classes {
+            write!(f, "\n  {class}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn soak_stats_throughput_and_display() {
+        let mut s = SoakStats {
+            elapsed: Duration::from_secs(2),
+            cases: 5000,
+            divergent: 3,
+            retried: 7,
+            fuzzed: true,
+            classes: vec![("payload-mismatch".into(), 2), ("no-response".into(), 1)],
+        };
+        assert_eq!(s.cases_per_sec(), Some(2500.0));
+        let text = s.to_string();
+        assert!(text.contains("soak (fuzz)"), "{text}");
+        assert!(text.contains("2500/s"), "{text}");
+        assert!(text.contains("payload-mismatch: 2"), "{text}");
+        s.elapsed = Duration::ZERO;
+        assert_eq!(s.cases_per_sec(), None);
+    }
 
     #[test]
     fn counters_partition_cases() {

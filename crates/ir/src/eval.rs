@@ -12,16 +12,35 @@ use crate::cfg::{Cfg, NodeId};
 use crate::exp::{AExp, AOp, BExp, BOp, CmpOp, Stmt};
 use crate::fields::{FieldId, FieldTable};
 use meissa_num::Bv;
-use std::collections::HashMap;
 
 /// A concrete execution state: `s ∈ field_id → int` (Fig. 4).
 ///
 /// Fields absent from the map read as zero — the "uninitialized metadata is
-/// zero" convention of P4 targets.
-#[derive(Clone, Default, Debug, PartialEq, Eq)]
+/// zero" convention of P4 targets. Field ids are dense (interned indices),
+/// so the map is a flat vector: `get`/`set` are array indexing, and `clone`
+/// is a memcpy — this sits on the interpreter's per-packet hot path.
+///
+/// Equality distinguishes an explicitly-set zero from an absent field
+/// (matching the original map semantics); trailing unset slots are ignored.
+#[derive(Clone, Default, Debug)]
 pub struct ConcreteState {
-    values: HashMap<FieldId, Bv>,
+    values: Vec<Option<Bv>>,
+    count: usize,
 }
+
+impl PartialEq for ConcreteState {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count != other.count {
+            return false;
+        }
+        let shared = self.values.len().min(other.values.len());
+        self.values[..shared] == other.values[..shared]
+            && self.values[shared..].iter().all(Option::is_none)
+            && other.values[shared..].iter().all(Option::is_none)
+    }
+}
+
+impl Eq for ConcreteState {}
 
 /// Why a concrete evaluation step got stuck.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,17 +58,19 @@ impl ConcreteState {
 
     /// Builds a state from (field, value) pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (FieldId, Bv)>) -> Self {
-        ConcreteState {
-            values: pairs.into_iter().collect(),
+        let mut s = ConcreteState::default();
+        for (f, v) in pairs {
+            s.set_unchecked(f, v);
         }
+        s
     }
 
     /// Reads a field (zero when unset).
     pub fn get(&self, fields: &FieldTable, f: FieldId) -> Bv {
-        self.values
-            .get(&f)
-            .copied()
-            .unwrap_or_else(|| Bv::zero(fields.width(f)))
+        match self.values.get(f.0 as usize) {
+            Some(Some(v)) => *v,
+            _ => Bv::zero(fields.width(f)),
+        }
     }
 
     /// Writes a field.
@@ -63,22 +84,35 @@ impl ConcreteState {
             "state write width mismatch for {}",
             fields.name(f)
         );
-        self.values.insert(f, v);
+        self.set_unchecked(f, v);
     }
 
-    /// Iterates over explicitly-set fields.
+    fn set_unchecked(&mut self, f: FieldId, v: Bv) {
+        let i = f.0 as usize;
+        if i >= self.values.len() {
+            self.values.resize(i + 1, None);
+        }
+        if self.values[i].replace(v).is_none() {
+            self.count += 1;
+        }
+    }
+
+    /// Iterates over explicitly-set fields, in ascending field-id order.
     pub fn iter(&self) -> impl Iterator<Item = (FieldId, Bv)> + '_ {
-        self.values.iter().map(|(&k, &v)| (k, v))
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (FieldId(i as u32), v)))
     }
 
     /// Number of explicitly-set fields.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.count
     }
 
     /// True if no field is explicitly set.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.count == 0
     }
 
     /// Evaluates an arithmetic expression in this state.

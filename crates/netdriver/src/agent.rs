@@ -8,15 +8,26 @@
 //! and logical egress port. Per-port forwarding tallies are kept in the
 //! agent's stats, so the egress-port → stream mapping is observable via
 //! `Stats` without needing one socket per port.
+//!
+//! The connection loop is batch-oriented: it blocks for the first request,
+//! then drains every further request the last socket read already buffered
+//! ([`FrameReader::buffered_frame`]) — so a pipelined client's burst of N
+//! injects costs one read syscall — and accumulates all N responses into
+//! one output buffer flushed with a single `write`. Each response is
+//! encoded in the framing its request arrived in (binary frames carry an
+//! opcode byte; JSON frames start with `{`), so mixed-framing clients and
+//! old JSON-only peers need no connection-level mode switch.
 
 use crate::fault::{FaultGate, TransportFaults};
-use crate::proto::{encode, Request, Response, PROTO_VERSION};
+use crate::proto::{
+    self, encode, is_binary, Framing, Request, Response, BIN_SINCE_VERSION, PROTO_VERSION,
+};
 use meissa_dataplane::{Packet, SwitchTarget};
 use meissa_ir::ConcreteState;
 use meissa_lang::{compile, parse_program, parse_rules, CompiledProgram};
-use meissa_testkit::wire::{write_frame, FrameReader};
+use meissa_testkit::wire::{frame_into, FrameReader};
 use std::collections::BTreeMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -50,6 +61,9 @@ struct Shared {
     stop: AtomicBool,
     conn_seq: AtomicU64,
     faults: Option<TransportFaults>,
+    /// The protocol version this agent speaks — [`PROTO_VERSION`] normally,
+    /// `1` for the JSON-only legacy mode used to test version fallback.
+    proto_version: u64,
 }
 
 /// Handle to a running agent: its address, and the accept thread to join
@@ -95,11 +109,30 @@ impl Agent {
         Self::serve(TcpListener::bind("127.0.0.1:0")?, target, faults)
     }
 
+    /// Spawns a **protocol-version-1** agent: JSON framing only, rejecting
+    /// binary frames. Exists so the client's Hello-negotiated fallback
+    /// (binary-preferring client ↔ old agent) is testable.
+    pub fn spawn_json_only(
+        target: Option<SwitchTarget>,
+        faults: Option<TransportFaults>,
+    ) -> io::Result<AgentHandle> {
+        Self::serve_version(TcpListener::bind("127.0.0.1:0")?, target, faults, 1)
+    }
+
     /// Runs an agent on an already-bound listener.
     pub fn serve(
         listener: TcpListener,
         target: Option<SwitchTarget>,
         faults: Option<TransportFaults>,
+    ) -> io::Result<AgentHandle> {
+        Self::serve_version(listener, target, faults, PROTO_VERSION)
+    }
+
+    fn serve_version(
+        listener: TcpListener,
+        target: Option<SwitchTarget>,
+        faults: Option<TransportFaults>,
+        proto_version: u64,
     ) -> io::Result<AgentHandle> {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -112,6 +145,7 @@ impl Agent {
             stop: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
             faults,
+            proto_version,
         });
         let accept_shared = shared.clone();
         let accept = std::thread::spawn(move || {
@@ -190,8 +224,259 @@ fn metrics_exposition(stats: &AgentStats) -> String {
     out
 }
 
-fn send_reliable(w: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    write_frame(w, &encode(resp))
+/// One request off the wire, decoded to owned data so the reader's buffer
+/// can be reused for the next frame in the batch.
+enum Parsed {
+    /// A decoded request, plus the framing it arrived in (its response
+    /// answers in kind).
+    Req(Request, Framing),
+    /// Undecodable (or unsupported-framing) frame; answer with `Err`.
+    Bad(String),
+}
+
+fn parse_frame(sh: &Shared, frame: &[u8]) -> Parsed {
+    if is_binary(frame) && sh.proto_version < BIN_SINCE_VERSION {
+        return Parsed::Bad("binary framing not supported (protocol v1)".into());
+    }
+    match proto::decode_request_wire(frame) {
+        Ok(req) => {
+            let framing = if is_binary(frame) {
+                Framing::Bin
+            } else {
+                Framing::Json
+            };
+            Parsed::Req(req, framing)
+        }
+        Err(e) => Parsed::Bad(format!("bad request: {e}")),
+    }
+}
+
+/// Appends a reliable (control-path) response to the batch buffer.
+fn push_reliable(out: &mut Vec<u8>, resp: &Response) -> io::Result<()> {
+    frame_into(out, &encode(resp))
+}
+
+/// Processes one request, appending its response(s) to `out`. Returns
+/// `true` when the request was `Shutdown`.
+fn dispatch(
+    sh: &Shared,
+    gate: &mut Option<FaultGate>,
+    parsed: Parsed,
+    out: &mut Vec<u8>,
+) -> io::Result<bool> {
+    let (req, framing) = match parsed {
+        Parsed::Bad(msg) => {
+            push_reliable(out, &Response::Err { msg })?;
+            return Ok(false);
+        }
+        Parsed::Req(req, framing) => (req, framing),
+    };
+    match req {
+        Request::Hello { .. } => {
+            let (loaded, label) = match &*sh.hosted.read().unwrap() {
+                Some(h) => (true, h.target.fault().name().to_string()),
+                None => (false, "none".to_string()),
+            };
+            push_reliable(
+                out,
+                &Response::Hello {
+                    version: sh.proto_version,
+                    loaded,
+                    label,
+                },
+            )?;
+        }
+        Request::LoadProgram {
+            source,
+            rules,
+            fault,
+        } => {
+            let resp = match compile_target(&source, &rules, fault) {
+                Ok(target) => {
+                    *sh.hosted.write().unwrap() = Some(Hosted {
+                        target,
+                        source: Some(source),
+                    });
+                    Response::Ok
+                }
+                Err(msg) => Response::Err { msg },
+            };
+            push_reliable(out, &resp)?;
+        }
+        Request::InstallRules { rules } => {
+            let mut hosted = sh.hosted.write().unwrap();
+            let resp = match hosted.as_ref().and_then(|h| h.source.clone()) {
+                None => Response::Err {
+                    msg: "no recompilable program loaded (agent holds a pre-built target)".into(),
+                },
+                Some(source) => {
+                    let fault = hosted.as_ref().unwrap().target.fault().clone();
+                    match compile_target(&source, &rules, fault) {
+                        Ok(target) => {
+                            *hosted = Some(Hosted {
+                                target,
+                                source: Some(source),
+                            });
+                            Response::Ok
+                        }
+                        Err(msg) => Response::Err { msg },
+                    }
+                }
+            };
+            drop(hosted);
+            push_reliable(out, &resp)?;
+        }
+        Request::Inject { id, bytes } => {
+            let hosted = sh.hosted.read().unwrap();
+            let Some(h) = hosted.as_ref() else {
+                drop(hosted);
+                push_reliable(
+                    out,
+                    &Response::Err {
+                        msg: "no program loaded".into(),
+                    },
+                )?;
+                return Ok(false);
+            };
+            let out_pkt = h.target.inject(&Packet { bytes, id });
+            // Outputs ride the (possibly faulty) data path, in the
+            // framing the inject arrived in. The binary path encodes
+            // straight from the target output — no intermediate
+            // `Response` and no per-field `String` allocations, which
+            // dominate the JSON path's per-case cost.
+            let payload = match framing {
+                Framing::Bin => {
+                    let fields = &h.target.program().cfg.fields;
+                    proto::encode_output_bin(
+                        id,
+                        out_pkt.packet.as_ref().map(|p| p.bytes.as_slice()),
+                        out_pkt.egress_port,
+                        out_pkt
+                            .final_state
+                            .iter()
+                            .map(|(f, bv)| (fields.name(f), bv.width(), bv.val())),
+                    )
+                }
+                Framing::Json => encode(&Response::Output {
+                    id,
+                    packet: out_pkt.packet.as_ref().map(|p| p.bytes.clone()),
+                    port: out_pkt.egress_port,
+                    state: encode_state(h.target.program(), &out_pkt.final_state),
+                }),
+            };
+            let forwarded = out_pkt.packet.is_some();
+            let port = out_pkt.egress_port;
+            drop(hosted);
+            sh.stats.injected.fetch_add(1, Ordering::Relaxed);
+            if forwarded {
+                sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                if let Some(bv) = port {
+                    let mut per_port = sh.stats.per_port.lock().unwrap();
+                    *per_port.entry(bv.val()).or_insert(0) += 1;
+                }
+            } else {
+                sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            match gate.as_mut() {
+                Some(g) => g.send(out, payload)?,
+                None => frame_into(out, &payload)?,
+            }
+        }
+        Request::InjectSeq { id, packets, init } => {
+            let hosted = sh.hosted.read().unwrap();
+            let Some(h) = hosted.as_ref() else {
+                drop(hosted);
+                push_reliable(
+                    out,
+                    &Response::Err {
+                        msg: "no program loaded".into(),
+                    },
+                )?;
+                return Ok(false);
+            };
+            // Seed a fresh register file from the request's triples.
+            // Every attempt restarts from the same seed, so a retried
+            // sequence (lost SeqOutput) is idempotent — no interleaving
+            // with other injects is possible while this arm runs,
+            // because the whole sequence executes under one read-lock
+            // acquisition against the target's internal register
+            // threading.
+            let fields = &h.target.program().cfg.fields;
+            let mut seed = ConcreteState::new();
+            for (name, width, val) in &init {
+                if let Some(f) = fields.get(name) {
+                    seed.set(fields, f, meissa_num::Bv::new(*width, *val));
+                }
+            }
+            let wire_packets: Vec<Packet> = packets
+                .into_iter()
+                .map(|(pid, bytes)| Packet { bytes, id: pid })
+                .collect();
+            let outs = h.target.inject_sequence(&wire_packets, &seed);
+            let outputs: Vec<_> = wire_packets
+                .iter()
+                .zip(outs.iter())
+                .map(|(p, out)| {
+                    (
+                        p.id,
+                        out.packet.as_ref().map(|pk| pk.bytes.clone()),
+                        out.egress_port,
+                        encode_state(h.target.program(), &out.final_state),
+                    )
+                })
+                .collect();
+            drop(hosted);
+            sh.stats
+                .injected
+                .fetch_add(outputs.len() as u64, Ordering::Relaxed);
+            for (_, packet, port, _) in &outputs {
+                if packet.is_some() {
+                    sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    if let Some(bv) = port {
+                        let mut per_port = sh.stats.per_port.lock().unwrap();
+                        *per_port.entry(bv.val()).or_insert(0) += 1;
+                    }
+                } else {
+                    sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // One SeqOutput frame for the whole sequence, riding the
+            // (possibly faulty) data path like per-packet Outputs do:
+            // a fault drops/duplicates/delays the *sequence's* frame,
+            // never reorders packets within it — FIFO within a
+            // sequence is the contract.
+            let resp = Response::SeqOutput { id, outputs };
+            let payload = proto::encode_response_wire(&resp, framing);
+            match gate.as_mut() {
+                Some(g) => g.send(out, payload)?,
+                None => frame_into(out, &payload)?,
+            }
+        }
+        Request::Stats => {
+            let per_port: Vec<(u128, u64)> = {
+                let map = sh.stats.per_port.lock().unwrap();
+                map.iter().map(|(&p, &n)| (p, n)).collect()
+            };
+            let resp = Response::Stats {
+                injected: sh.stats.injected.load(Ordering::Relaxed),
+                forwarded: sh.stats.forwarded.load(Ordering::Relaxed),
+                dropped: sh.stats.dropped.load(Ordering::Relaxed),
+                per_port,
+            };
+            push_reliable(out, &resp)?;
+        }
+        Request::Metrics => {
+            let resp = Response::Metrics {
+                text: metrics_exposition(&sh.stats),
+            };
+            push_reliable(out, &resp)?;
+        }
+        Request::Shutdown => {
+            push_reliable(out, &Response::Ok)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
@@ -200,220 +485,32 @@ fn handle_conn(sh: Arc<Shared>, stream: TcpStream) -> io::Result<()> {
     let mut gate = sh.faults.map(|f| FaultGate::new(f, conn_id));
     let mut reader = FrameReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut out: Vec<u8> = Vec::new();
     loop {
-        let frame = match reader.next_frame() {
-            Ok(f) => f,
-            // Client hung up (or stream error): this connection is done.
+        // Block for the first request of a batch; a hangup (or stream
+        // error) ends the connection.
+        let first = match reader.next_frame() {
+            Ok(f) => parse_frame(&sh, f),
             Err(_) => return Ok(()),
         };
-        let req = match crate::proto::decode::<Request>(&frame) {
-            Ok(r) => r,
-            Err(e) => {
-                send_reliable(
-                    &mut writer,
-                    &Response::Err {
-                        msg: format!("bad request: {e}"),
-                    },
-                )?;
-                continue;
-            }
-        };
-        match req {
-            Request::Hello { .. } => {
-                let (loaded, label) = match &*sh.hosted.read().unwrap() {
-                    Some(h) => (true, h.target.fault().name().to_string()),
-                    None => (false, "none".to_string()),
-                };
-                send_reliable(
-                    &mut writer,
-                    &Response::Hello {
-                        version: PROTO_VERSION,
-                        loaded,
-                        label,
-                    },
-                )?;
-            }
-            Request::LoadProgram {
-                source,
-                rules,
-                fault,
-            } => {
-                let resp = match compile_target(&source, &rules, fault) {
-                    Ok(target) => {
-                        *sh.hosted.write().unwrap() = Some(Hosted {
-                            target,
-                            source: Some(source),
-                        });
-                        Response::Ok
-                    }
-                    Err(msg) => Response::Err { msg },
-                };
-                send_reliable(&mut writer, &resp)?;
-            }
-            Request::InstallRules { rules } => {
-                let mut hosted = sh.hosted.write().unwrap();
-                let resp = match hosted.as_ref().and_then(|h| h.source.clone()) {
-                    None => Response::Err {
-                        msg: "no recompilable program loaded (agent holds a pre-built target)"
-                            .into(),
-                    },
-                    Some(source) => {
-                        let fault = hosted.as_ref().unwrap().target.fault().clone();
-                        match compile_target(&source, &rules, fault) {
-                            Ok(target) => {
-                                *hosted = Some(Hosted {
-                                    target,
-                                    source: Some(source),
-                                });
-                                Response::Ok
-                            }
-                            Err(msg) => Response::Err { msg },
-                        }
-                    }
-                };
-                drop(hosted);
-                send_reliable(&mut writer, &resp)?;
-            }
-            Request::Inject { id, bytes } => {
-                let hosted = sh.hosted.read().unwrap();
-                let Some(h) = hosted.as_ref() else {
-                    drop(hosted);
-                    send_reliable(
-                        &mut writer,
-                        &Response::Err {
-                            msg: "no program loaded".into(),
-                        },
-                    )?;
-                    continue;
-                };
-                let out = h.target.inject(&Packet { bytes, id });
-                let resp = Response::Output {
-                    id,
-                    packet: out.packet.as_ref().map(|p| p.bytes.clone()),
-                    port: out.egress_port,
-                    state: encode_state(h.target.program(), &out.final_state),
-                };
-                drop(hosted);
-                sh.stats.injected.fetch_add(1, Ordering::Relaxed);
-                match &resp {
-                    Response::Output {
-                        packet: Some(_),
-                        port,
-                        ..
-                    } => {
-                        sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                        if let Some(bv) = port {
-                            let mut per_port = sh.stats.per_port.lock().unwrap();
-                            *per_port.entry(bv.val()).or_insert(0) += 1;
-                        }
-                    }
-                    _ => {
-                        sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                // Outputs ride the (possibly faulty) data path.
-                let payload = encode(&resp);
-                match gate.as_mut() {
-                    Some(g) => g.send(&mut writer, payload)?,
-                    None => write_frame(&mut writer, &payload)?,
-                }
-            }
-            Request::InjectSeq { id, packets, init } => {
-                let hosted = sh.hosted.read().unwrap();
-                let Some(h) = hosted.as_ref() else {
-                    drop(hosted);
-                    send_reliable(
-                        &mut writer,
-                        &Response::Err {
-                            msg: "no program loaded".into(),
-                        },
-                    )?;
-                    continue;
-                };
-                // Seed a fresh register file from the request's triples.
-                // Every attempt restarts from the same seed, so a retried
-                // sequence (lost SeqOutput) is idempotent — no interleaving
-                // with other injects is possible while this arm runs,
-                // because the whole sequence executes under one read-lock
-                // acquisition against the target's internal register
-                // threading.
-                let fields = &h.target.program().cfg.fields;
-                let mut seed = ConcreteState::new();
-                for (name, width, val) in &init {
-                    if let Some(f) = fields.get(name) {
-                        seed.set(fields, f, meissa_num::Bv::new(*width, *val));
-                    }
-                }
-                let wire_packets: Vec<Packet> = packets
-                    .into_iter()
-                    .map(|(pid, bytes)| Packet { bytes, id: pid })
-                    .collect();
-                let outs = h.target.inject_sequence(&wire_packets, &seed);
-                let outputs: Vec<_> = wire_packets
-                    .iter()
-                    .zip(outs.iter())
-                    .map(|(p, out)| {
-                        (
-                            p.id,
-                            out.packet.as_ref().map(|pk| pk.bytes.clone()),
-                            out.egress_port,
-                            encode_state(h.target.program(), &out.final_state),
-                        )
-                    })
-                    .collect();
-                drop(hosted);
-                sh.stats
-                    .injected
-                    .fetch_add(outputs.len() as u64, Ordering::Relaxed);
-                for (_, packet, port, _) in &outputs {
-                    if packet.is_some() {
-                        sh.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                        if let Some(bv) = port {
-                            let mut per_port = sh.stats.per_port.lock().unwrap();
-                            *per_port.entry(bv.val()).or_insert(0) += 1;
-                        }
-                    } else {
-                        sh.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                // One SeqOutput frame for the whole sequence, riding the
-                // (possibly faulty) data path like per-packet Outputs do:
-                // a fault drops/duplicates/delays the *sequence's* frame,
-                // never reorders packets within it — FIFO within a
-                // sequence is the contract.
-                let resp = Response::SeqOutput { id, outputs };
-                let payload = encode(&resp);
-                match gate.as_mut() {
-                    Some(g) => g.send(&mut writer, payload)?,
-                    None => write_frame(&mut writer, &payload)?,
-                }
-            }
-            Request::Stats => {
-                let per_port: Vec<(u128, u64)> = {
-                    let map = sh.stats.per_port.lock().unwrap();
-                    map.iter().map(|(&p, &n)| (p, n)).collect()
-                };
-                let resp = Response::Stats {
-                    injected: sh.stats.injected.load(Ordering::Relaxed),
-                    forwarded: sh.stats.forwarded.load(Ordering::Relaxed),
-                    dropped: sh.stats.dropped.load(Ordering::Relaxed),
-                    per_port,
-                };
-                send_reliable(&mut writer, &resp)?;
-            }
-            Request::Metrics => {
-                let resp = Response::Metrics {
-                    text: metrics_exposition(&sh.stats),
-                };
-                send_reliable(&mut writer, &resp)?;
-            }
-            Request::Shutdown => {
-                send_reliable(&mut writer, &Response::Ok)?;
-                sh.stop.store(true, Ordering::SeqCst);
-                // Poke the accept loop so it notices the stop flag.
-                let _ = TcpStream::connect(sh.addr);
-                return Ok(());
-            }
+        out.clear();
+        let mut stop = dispatch(&sh, &mut gate, first, &mut out)?;
+        // Drain every request the last read already buffered — a pipelined
+        // client's burst is served with zero additional read syscalls, and
+        // all its responses coalesce into the single write below.
+        while !stop {
+            let parsed = match reader.buffered_frame()? {
+                Some(f) => parse_frame(&sh, f),
+                None => break,
+            };
+            stop = dispatch(&sh, &mut gate, parsed, &mut out)?;
+        }
+        writer.write_all(&out)?;
+        if stop {
+            sh.stop.store(true, Ordering::SeqCst);
+            // Poke the accept loop so it notices the stop flag.
+            let _ = TcpStream::connect(sh.addr);
+            return Ok(());
         }
     }
 }

@@ -107,7 +107,7 @@ mod tests {
         let mut r = FrameReader::new(wire);
         let mut out = Vec::new();
         while let Ok(f) = r.next_frame() {
-            out.push(f);
+            out.push(f.to_vec());
         }
         out
     }

@@ -9,16 +9,23 @@
 //!   (`Hello`/`LoadProgram`/`InstallRules`/`Inject`/`Output`/`Stats`/
 //!   `Shutdown`), answering each injected packet with its output, logical
 //!   egress port, and final-state snapshot.
-//! - [`client`] — [`WireDriver`]: the concurrent sender/receiver/checker.
-//!   Streams cases over N connections with per-case deadlines, bounded
-//!   retries with backoff, duplicate/reorder tolerance keyed on the
-//!   packet-ID stamp, and a drain phase that classifies missing outputs as
-//!   drops. Verdicts come from the shared `driver::Checker`, so wire and
-//!   in-process reports agree case for case.
+//! - [`client`] — [`WireDriver`]: the pipelined sender/receiver/checker.
+//!   Streams cases over N connections, each split into a batching inject
+//!   stage and a collect stage coordinated by channels and atomics, with
+//!   per-case deadlines, bounded retries with backoff, duplicate/reorder
+//!   tolerance keyed on the packet-ID stamp, and a drain phase that
+//!   classifies missing outputs as drops. Verdicts come from the shared
+//!   `driver::Checker`, so wire and in-process reports agree case for
+//!   case. [`WireDriver::soak`] replays the plan for wall-clock time,
+//!   optionally fuzzing packets with seeded mutations.
 //! - [`fault`] — seeded transport faults (drop/duplicate/delay/truncate)
 //!   injected at the framing layer, so the client's robustness machinery
 //!   is itself under test.
-//! - [`proto`] — the frame payload codec.
+//! - [`proto`] — the frame payload codec: two framings, negotiated via
+//!   `Hello`. Control messages are always JSON; the hot-path data
+//!   messages (`Inject`/`Output` and the sequence pair) use a compact
+//!   fixed-width binary layout when both ends speak protocol v2 and
+//!   [`Framing::Bin`] is requested (`MEISSA_WIRE_FRAMING=bin`).
 //!
 //! Everything is `std::net`/`std::thread` only: the workspace stays
 //! hermetic.
@@ -30,7 +37,8 @@ pub mod proto;
 
 pub use agent::{Agent, AgentHandle};
 pub use client::{
-    fetch_metrics, fetch_stats, hello, install_rules, load_program, shutdown, WireDriver,
+    fetch_metrics, fetch_stats, hello, install_rules, load_program, shutdown, SoakConfig,
+    WireDriver,
 };
 pub use fault::TransportFaults;
-pub use proto::{Request, Response, PROTO_VERSION};
+pub use proto::{Framing, Request, Response, BIN_SINCE_VERSION, PROTO_VERSION};

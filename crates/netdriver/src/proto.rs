@@ -1,21 +1,81 @@
-//! The agent wire protocol: JSON messages in length-prefixed frames
-//! (`meissa_testkit::wire`).
+//! The agent wire protocol: messages in length-prefixed frames
+//! (`meissa_testkit::wire`), in one of two framings.
 //!
-//! Every message is a JSON object whose `"t"` field names the message
-//! type. Requests flow client → agent; each `Inject` is answered by one
-//! `Output` on the same connection (the agent maps the injected packet's
-//! logical egress port back onto the response, so one TCP connection
-//! multiplexes all egress ports), and control requests are answered by
-//! `Hello`/`Ok`/`Err`/`Stats`. The transport fault layer perturbs `Output`
-//! frames only — control responses stay reliable, like a management channel
+//! Control messages (`Hello`/`LoadProgram`/`InstallRules`/`Stats`/
+//! `Metrics`/`Shutdown` and their answers) are always JSON objects whose
+//! `"t"` field names the message type — they are rare, and staying textual
+//! keeps them debuggable with `tcpdump`. The **data-plane** messages —
+//! `Inject`/`Output`/`InjectSeq`/`SeqOutput`, the per-case hot path — also
+//! have a compact fixed-width binary encoding ([`Framing::Bin`]) whose
+//! first byte is an opcode in `0x01..=0x04`. A JSON frame always starts
+//! with `{` (0x7b), so the two framings coexist on one connection and each
+//! frame is self-describing: the agent decodes whatever arrives and
+//! answers in the framing the request used. The client opts into binary
+//! per run (`MEISSA_WIRE_FRAMING=bin`) only after `Hello` reports an agent
+//! version that understands it, so old JSON-only agents still interop.
+//!
+//! Requests flow client → agent; each `Inject` is answered by one `Output`
+//! on the same connection (the agent maps the injected packet's logical
+//! egress port back onto the response, so one TCP connection multiplexes
+//! all egress ports). The transport fault layer perturbs `Output` frames
+//! only — control responses stay reliable, like a management channel
 //! beside a lossy data plane.
 
 use meissa_dataplane::Fault;
 use meissa_num::Bv;
 use meissa_testkit::json::{tagged, untag, FromJson, Json, JsonError, ToJson};
+use meissa_testkit::wire::{BinReader, BinWriter};
 
-/// Protocol version, exchanged in `Hello`.
-pub const PROTO_VERSION: u64 = 1;
+/// Protocol version, exchanged in `Hello`. Version 2 adds the binary
+/// data-plane framing; a version-1 peer is JSON-only.
+pub const PROTO_VERSION: u64 = 2;
+
+/// The first protocol version that understands [`Framing::Bin`].
+pub const BIN_SINCE_VERSION: u64 = 2;
+
+/// Which encoding the data-plane messages use on the wire. Control
+/// messages are JSON in either mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Framing {
+    /// Textual JSON frames (the v1 wire format). Default.
+    #[default]
+    Json,
+    /// Fixed-width binary frames for `Inject`/`Output`/`InjectSeq`/
+    /// `SeqOutput`; roughly 5× smaller and an order of magnitude cheaper
+    /// to encode/decode than the JSON equivalents.
+    Bin,
+}
+
+impl Framing {
+    /// The run-wide default: `MEISSA_WIRE_FRAMING=bin` opts into binary,
+    /// anything else (or unset) stays JSON.
+    pub fn from_env() -> Framing {
+        match std::env::var("MEISSA_WIRE_FRAMING") {
+            Ok(v) if v.eq_ignore_ascii_case("bin") => Framing::Bin,
+            _ => Framing::Json,
+        }
+    }
+
+    /// Short label for bench rows and log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Framing::Json => "json",
+            Framing::Bin => "bin",
+        }
+    }
+}
+
+/// Binary opcodes. A JSON frame's first byte is `{` (0x7b), far from this
+/// range, so sniffing the first byte classifies every frame.
+const OP_INJECT: u8 = 0x01;
+const OP_OUTPUT: u8 = 0x02;
+const OP_INJECT_SEQ: u8 = 0x03;
+const OP_SEQ_OUTPUT: u8 = 0x04;
+
+/// True when a frame payload is binary-framed (leading opcode byte).
+pub fn is_binary(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(&(OP_INJECT..=OP_SEQ_OUTPUT)))
+}
 
 /// Client → agent messages.
 #[derive(Clone, Debug, PartialEq)]
@@ -541,6 +601,294 @@ pub fn decode<T: FromJson>(payload: &[u8]) -> Result<T, JsonError> {
     T::from_json(&Json::parse(text)?)
 }
 
+// ---------------------------------------------------------------------------
+// Binary framing for the data-plane messages.
+//
+// Layouts (all integers big-endian, fixed width):
+//   Inject     = 0x01 id:u64 len:u32 bytes[len]
+//   Output     = 0x02 id:u64 packet:opt(bytes) port:opt(bv) state
+//   InjectSeq  = 0x03 id:u64 n:u32 (pid:u64 len:u32 bytes[len])*n state
+//   SeqOutput  = 0x04 id:u64 n:u32 (pid:u64 packet:opt port:opt state)*n
+// where
+//   opt(x) = present:u8 x?          (present in {0, 1})
+//   bv     = width:u16 value[ceil(width/8)]   (big-endian low bytes)
+//   state  = n:u32 (name:str16 bv)*n
+//   str16  = len:u16 utf8[len]
+//
+// Bitvector values carry only as many bytes as their width implies — most
+// header fields are 1–4 bytes wide, so a fixed 16-byte value would more
+// than double a typical state snapshot.
+// ---------------------------------------------------------------------------
+
+fn bin_bv(w: &mut BinWriter, width: u16, val: u128) {
+    w.u16(width);
+    let nb = (width as usize).div_ceil(8).min(16);
+    w.raw(&val.to_be_bytes()[16 - nb..]);
+}
+
+fn bin_bv_rd(r: &mut BinReader) -> std::io::Result<(u16, u128)> {
+    let width = r.u16()?;
+    if width > 128 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "binary frame: bitvector wider than 128",
+        ));
+    }
+    let nb = (width as usize).div_ceil(8);
+    let mut val = 0u128;
+    for &b in r.raw(nb)? {
+        val = (val << 8) | b as u128;
+    }
+    Ok((width, val))
+}
+
+fn bin_state(w: &mut BinWriter, state: &[(String, u16, u128)]) {
+    w.u32(state.len() as u32);
+    for (name, width, val) in state {
+        w.str16(name);
+        bin_bv(w, *width, *val);
+    }
+}
+
+fn bin_state_rd(r: &mut BinReader) -> std::io::Result<Vec<(String, u16, u128)>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = r.str16()?.to_string();
+        let (width, val) = bin_bv_rd(r)?;
+        out.push((name, width, val));
+    }
+    Ok(out)
+}
+
+fn bin_opt_packet(w: &mut BinWriter, packet: &Option<Vec<u8>>) {
+    match packet {
+        Some(bytes) => {
+            w.u8(1);
+            w.bytes(bytes);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn bin_opt_packet_rd(r: &mut BinReader) -> std::io::Result<Option<Vec<u8>>> {
+    match r.u8()? {
+        0 => Ok(None),
+        _ => Ok(Some(r.bytes()?.to_vec())),
+    }
+}
+
+fn bin_opt_port(w: &mut BinWriter, port: &Option<Bv>) {
+    match port {
+        Some(bv) => {
+            w.u8(1);
+            bin_bv(w, bv.width(), bv.val());
+        }
+        None => w.u8(0),
+    }
+}
+
+fn bin_opt_port_rd(r: &mut BinReader) -> std::io::Result<Option<Bv>> {
+    match r.u8()? {
+        0 => Ok(None),
+        _ => {
+            let (width, val) = bin_bv_rd(r)?;
+            Ok(Some(Bv::new(width, val)))
+        }
+    }
+}
+
+/// Binary-encodes a data-plane request. `None` for control requests —
+/// those are JSON in every framing.
+fn encode_request_bin(req: &Request) -> Option<Vec<u8>> {
+    let mut w = BinWriter::new();
+    match req {
+        Request::Inject { id, bytes } => {
+            w.u8(OP_INJECT);
+            w.u64(*id);
+            w.bytes(bytes);
+        }
+        Request::InjectSeq { id, packets, init } => {
+            w.u8(OP_INJECT_SEQ);
+            w.u64(*id);
+            w.u32(packets.len() as u32);
+            for (pid, bytes) in packets {
+                w.u64(*pid);
+                w.bytes(bytes);
+            }
+            bin_state(&mut w, init);
+        }
+        _ => return None,
+    }
+    Some(w.finish())
+}
+
+/// Binary-encodes an `Output` response directly from borrowed parts — the
+/// agent's hot path, skipping the intermediate [`Response`] and its
+/// per-field `String` allocations. Byte-identical to
+/// `encode_response_wire(&Response::Output {..}, Framing::Bin)` of the
+/// equivalent message (state entries are name-sorted either way).
+pub fn encode_output_bin<'a>(
+    id: u64,
+    packet: Option<&[u8]>,
+    port: Option<Bv>,
+    state: impl Iterator<Item = (&'a str, u16, u128)>,
+) -> Vec<u8> {
+    let mut entries: Vec<(&str, u16, u128)> = state.collect();
+    entries.sort();
+    let mut w = BinWriter::new();
+    w.u8(OP_OUTPUT);
+    w.u64(id);
+    match packet {
+        Some(bytes) => {
+            w.u8(1);
+            w.bytes(bytes);
+        }
+        None => w.u8(0),
+    }
+    bin_opt_port(&mut w, &port);
+    w.u32(entries.len() as u32);
+    for (name, width, val) in entries {
+        w.str16(name);
+        bin_bv(&mut w, width, val);
+    }
+    w.finish()
+}
+
+/// Binary-encodes a data-plane response. `None` for control responses.
+fn encode_response_bin(resp: &Response) -> Option<Vec<u8>> {
+    let mut w = BinWriter::new();
+    match resp {
+        Response::Output {
+            id,
+            packet,
+            port,
+            state,
+        } => {
+            w.u8(OP_OUTPUT);
+            w.u64(*id);
+            bin_opt_packet(&mut w, packet);
+            bin_opt_port(&mut w, port);
+            bin_state(&mut w, state);
+        }
+        Response::SeqOutput { id, outputs } => {
+            w.u8(OP_SEQ_OUTPUT);
+            w.u64(*id);
+            w.u32(outputs.len() as u32);
+            for (pid, packet, port, state) in outputs {
+                w.u64(*pid);
+                bin_opt_packet(&mut w, packet);
+                bin_opt_port(&mut w, port);
+                bin_state(&mut w, state);
+            }
+        }
+        _ => return None,
+    }
+    Some(w.finish())
+}
+
+fn bad(e: std::io::Error) -> JsonError {
+    JsonError::new(format!("binary frame: {e}"))
+}
+
+fn decode_request_bin(payload: &[u8]) -> Result<Request, JsonError> {
+    let mut r = BinReader::new(payload);
+    let op = r.u8().map_err(bad)?;
+    let req = match op {
+        OP_INJECT => Request::Inject {
+            id: r.u64().map_err(bad)?,
+            bytes: r.bytes().map_err(bad)?.to_vec(),
+        },
+        OP_INJECT_SEQ => {
+            let id = r.u64().map_err(bad)?;
+            let n = r.u32().map_err(bad)? as usize;
+            let mut packets = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let pid = r.u64().map_err(bad)?;
+                let bytes = r.bytes().map_err(bad)?.to_vec();
+                packets.push((pid, bytes));
+            }
+            let init = bin_state_rd(&mut r).map_err(bad)?;
+            Request::InjectSeq { id, packets, init }
+        }
+        other => return Err(JsonError::new(format!("unknown binary request op {other:#x}"))),
+    };
+    if !r.is_done() {
+        return Err(JsonError::new("binary request has trailing bytes"));
+    }
+    Ok(req)
+}
+
+fn decode_response_bin(payload: &[u8]) -> Result<Response, JsonError> {
+    let mut r = BinReader::new(payload);
+    let op = r.u8().map_err(bad)?;
+    let resp = match op {
+        OP_OUTPUT => Response::Output {
+            id: r.u64().map_err(bad)?,
+            packet: bin_opt_packet_rd(&mut r).map_err(bad)?,
+            port: bin_opt_port_rd(&mut r).map_err(bad)?,
+            state: bin_state_rd(&mut r).map_err(bad)?,
+        },
+        OP_SEQ_OUTPUT => {
+            let id = r.u64().map_err(bad)?;
+            let n = r.u32().map_err(bad)? as usize;
+            let mut outputs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let pid = r.u64().map_err(bad)?;
+                let packet = bin_opt_packet_rd(&mut r).map_err(bad)?;
+                let port = bin_opt_port_rd(&mut r).map_err(bad)?;
+                let state = bin_state_rd(&mut r).map_err(bad)?;
+                outputs.push((pid, packet, port, state));
+            }
+            Response::SeqOutput { id, outputs }
+        }
+        other => {
+            return Err(JsonError::new(format!(
+                "unknown binary response op {other:#x}"
+            )))
+        }
+    };
+    if !r.is_done() {
+        return Err(JsonError::new("binary response has trailing bytes"));
+    }
+    Ok(resp)
+}
+
+/// Encodes a request in the given framing. Control requests are JSON in
+/// every framing; data-plane requests honour the choice.
+pub fn encode_request_wire(req: &Request, framing: Framing) -> Vec<u8> {
+    match framing {
+        Framing::Bin => encode_request_bin(req).unwrap_or_else(|| encode(req)),
+        Framing::Json => encode(req),
+    }
+}
+
+/// Encodes a response in the given framing (JSON for control responses).
+pub fn encode_response_wire(resp: &Response, framing: Framing) -> Vec<u8> {
+    match framing {
+        Framing::Bin => encode_response_bin(resp).unwrap_or_else(|| encode(resp)),
+        Framing::Json => encode(resp),
+    }
+}
+
+/// Decodes a request frame of either framing, sniffing the first byte.
+pub fn decode_request_wire(payload: &[u8]) -> Result<Request, JsonError> {
+    if is_binary(payload) {
+        decode_request_bin(payload)
+    } else {
+        decode(payload)
+    }
+}
+
+/// Decodes a response frame of either framing, sniffing the first byte.
+pub fn decode_response_wire(payload: &[u8]) -> Result<Response, JsonError> {
+    if is_binary(payload) {
+        decode_response_bin(payload)
+    } else {
+        decode(payload)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,5 +1011,114 @@ mod tests {
         assert!(hex_decode("abc").is_err());
         assert!(hex_decode("zz").is_err());
         assert_eq!(hex_decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn binary_data_messages_roundtrip_and_sniff() {
+        let req = Request::Inject {
+            id: u64::MAX - 3,
+            bytes: vec![0x00, 0x7b, 0xff],
+        };
+        let enc = encode_request_wire(&req, Framing::Bin);
+        assert!(is_binary(&enc));
+        assert_eq!(decode_request_wire(&enc).unwrap(), req);
+
+        let resp = Response::Output {
+            id: 7,
+            packet: Some(vec![1, 2, 3]),
+            port: Some(Bv::new(9, 3)),
+            state: vec![("meta.drop".into(), 1, 0), ("hdr.ipv4.ttl".into(), 8, 64)],
+        };
+        let enc = encode_response_wire(&resp, Framing::Bin);
+        assert!(is_binary(&enc));
+        assert_eq!(decode_response_wire(&enc).unwrap(), resp);
+
+        // Binary is the point: materially smaller than the JSON encoding.
+        assert!(enc.len() < encode(&resp).len() / 2, "binary should be compact");
+
+        // The agent's direct-from-parts encoder sorts its entries by name
+        // (as `agent::encode_state` does before building a `Response`), so
+        // it must be byte-identical to encoding the sorted Response.
+        let sorted = Response::Output {
+            id: 7,
+            packet: Some(vec![1, 2, 3]),
+            port: Some(Bv::new(9, 3)),
+            state: vec![("hdr.ipv4.ttl".into(), 8, 64), ("meta.drop".into(), 1, 0)],
+        };
+        let direct = encode_output_bin(
+            7,
+            Some(&[1, 2, 3]),
+            Some(Bv::new(9, 3)),
+            [("meta.drop", 1u16, 0u128), ("hdr.ipv4.ttl", 8, 64)]
+                .into_iter(),
+        );
+        assert_eq!(direct, encode_response_wire(&sorted, Framing::Bin));
+    }
+
+    #[test]
+    fn binary_seq_messages_roundtrip() {
+        let req = Request::InjectSeq {
+            id: 3,
+            packets: vec![(10, vec![0xde, 0xad]), (11, vec![])],
+            init: vec![("REG:seen-POS:0".into(), 1, 1)],
+        };
+        let enc = encode_request_wire(&req, Framing::Bin);
+        assert_eq!(decode_request_wire(&enc).unwrap(), req);
+
+        let resp = Response::SeqOutput {
+            id: 3,
+            outputs: vec![
+                (
+                    10,
+                    Some(vec![1, 2]),
+                    Some(Bv::new(9, 3)),
+                    vec![("REG:seen-POS:0".into(), 1, 1)],
+                ),
+                (11, None, None, vec![]),
+            ],
+        };
+        let enc = encode_response_wire(&resp, Framing::Bin);
+        assert_eq!(decode_response_wire(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn control_messages_stay_json_under_bin_framing() {
+        let req = Request::Hello { version: PROTO_VERSION };
+        let enc = encode_request_wire(&req, Framing::Bin);
+        assert!(!is_binary(&enc), "control stays textual");
+        assert_eq!(enc.first(), Some(&b'{'));
+        assert_eq!(decode_request_wire(&enc).unwrap(), req);
+        let resp = Response::Ok;
+        let enc = encode_response_wire(&resp, Framing::Bin);
+        assert!(!is_binary(&enc));
+        assert_eq!(decode_response_wire(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_binary_frames_error_instead_of_panicking() {
+        let resp = Response::Output {
+            id: 9,
+            packet: Some(vec![4; 32]),
+            port: None,
+            state: vec![("f".into(), 8, 255)],
+        };
+        let enc = encode_response_wire(&resp, Framing::Bin);
+        for cut in 0..enc.len() {
+            assert!(
+                decode_response_wire(&enc[..cut]).is_err() || cut == 0,
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage is also rejected.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(decode_response_wire(&padded).is_err());
+    }
+
+    #[test]
+    fn framing_from_env_labels() {
+        assert_eq!(Framing::Json.label(), "json");
+        assert_eq!(Framing::Bin.label(), "bin");
+        assert_eq!(Framing::default(), Framing::Json);
     }
 }

@@ -1,11 +1,14 @@
 //! Length-framed message transport over any `Read`/`Write` pair.
 //!
-//! The wire driver (`meissa-netdriver`) speaks JSON messages over TCP; this
-//! module supplies the framing: a 4-byte big-endian length prefix followed
-//! by that many payload bytes (UTF-8 JSON text by convention, though the
-//! framing itself is payload-agnostic). The reader buffers partial frames
-//! internally, so a socket read timeout mid-frame never loses stream sync —
-//! the next poll resumes where the last one stopped.
+//! The wire driver (`meissa-netdriver`) speaks framed messages over TCP;
+//! this module supplies the framing — a 4-byte big-endian length prefix
+//! followed by that many payload bytes — plus the fixed-width primitive
+//! codec ([`BinWriter`]/[`BinReader`]) the binary hot-path framing is built
+//! from. The reader buffers partial frames internally, so a socket read
+//! timeout mid-frame never loses stream sync — the next poll resumes where
+//! the last one stopped. Completed frames are returned as borrowed slices
+//! into one internal buffer that is reused across frames: the steady-state
+//! read loop performs no per-frame allocation.
 
 use std::io::{self, ErrorKind, Read, Write};
 
@@ -13,25 +16,48 @@ use std::io::{self, ErrorKind, Read, Write};
 /// stream's "length" is usually garbage, and this bounds the allocation.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// Writes one length-prefixed frame.
+/// How many bytes one `read` syscall asks for. Large enough to drain many
+/// coalesced frames per syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Writes one length-prefixed frame and flushes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    frame_into_buf(&mut Vec::new(), payload)?; // length check only
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Appends one length-prefixed frame to an output buffer *without* writing
+/// to any stream — the batching side of the framing: coalesce many frames
+/// into one buffer, then issue a single `write` syscall.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    frame_into_buf(out, payload)?;
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+fn frame_into_buf(_out: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             ErrorKind::InvalidInput,
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    Ok(())
 }
 
 /// Incremental frame reader. Keeps partially-read frames across calls so a
-/// read timeout between (or inside) frames is recoverable.
+/// read timeout between (or inside) frames is recoverable. The internal
+/// buffer is reused across frames; completed frames are handed out as
+/// borrowed slices, so the steady state allocates nothing per frame.
 pub struct FrameReader<R> {
     inner: R,
-    /// Bytes received but not yet assembled into a frame.
+    /// Bytes received but not yet consumed. `buf[start..]` is live.
     buf: Vec<u8>,
+    /// Read cursor into `buf` (everything before it was handed out).
+    start: usize,
     /// Payload length of the frame being assembled, once its header is in.
     want: Option<usize>,
 }
@@ -42,6 +68,7 @@ impl<R: Read> FrameReader<R> {
         FrameReader {
             inner,
             buf: Vec::new(),
+            start: 0,
             want: None,
         }
     }
@@ -51,66 +78,248 @@ impl<R: Read> FrameReader<R> {
         &self.inner
     }
 
-    /// Tries to complete a frame from buffered bytes alone.
-    fn take_buffered(&mut self) -> io::Result<Option<Vec<u8>>> {
-        if self.want.is_none() && self.buf.len() >= 4 {
-            let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                as usize;
+    /// Checks whether a complete frame is buffered; consumes the header and
+    /// returns the payload length if so. No allocation, no syscall.
+    fn check_ready(&mut self) -> io::Result<Option<usize>> {
+        if self.want.is_none() && self.buf.len() - self.start >= 4 {
+            let h = &self.buf[self.start..self.start + 4];
+            let len = u32::from_be_bytes([h[0], h[1], h[2], h[3]]) as usize;
             if len > MAX_FRAME {
                 return Err(io::Error::new(
                     ErrorKind::InvalidData,
                     format!("frame header claims {len} bytes; stream desynchronized"),
                 ));
             }
-            self.buf.drain(..4);
+            self.start += 4;
             self.want = Some(len);
         }
-        if let Some(len) = self.want {
-            if self.buf.len() >= len {
-                let rest = self.buf.split_off(len);
-                let frame = std::mem::replace(&mut self.buf, rest);
-                self.want = None;
-                return Ok(Some(frame));
+        match self.want {
+            Some(len) if self.buf.len() - self.start >= len => Ok(Some(len)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Hands out a completed frame of `len` bytes and advances the cursor.
+    fn take_ready(&mut self, len: usize) -> &[u8] {
+        let at = self.start;
+        self.start += len;
+        self.want = None;
+        &self.buf[at..at + len]
+    }
+
+    /// One `read` syscall into the tail of the internal buffer. Returns
+    /// `false` when the read would block / timed out. Compacts the buffer
+    /// first so consumed bytes do not accumulate.
+    fn fill_once(&mut self) -> io::Result<bool> {
+        if self.start == self.buf.len() {
+            // Cheap common case: everything consumed, restart at zero.
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= READ_CHUNK {
+            // Mid-frame with a long consumed prefix: slide it out.
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        loop {
+            match self.inner.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "stream closed mid-conversation",
+                    ));
+                }
+                Ok(n) => {
+                    self.buf.truncate(old + n);
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    self.buf.truncate(old);
+                    return Ok(false);
+                }
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e);
+                }
             }
         }
-        Ok(None)
+    }
+
+    /// Completes a frame from already-buffered bytes alone — no syscall.
+    /// The agent's read-batch loop drains these after each blocking read,
+    /// so many coalesced requests cost one syscall total.
+    pub fn buffered_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        match self.check_ready()? {
+            Some(len) => Ok(Some(self.take_ready(len))),
+            None => Ok(None),
+        }
     }
 
     /// Reads until one frame is complete, a read would block/time out
     /// (`Ok(None)`), or the stream errors. EOF mid-stream surfaces as
     /// `UnexpectedEof`.
-    pub fn poll_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
-        loop {
-            if let Some(frame) = self.take_buffered()? {
-                return Ok(Some(frame));
+    pub fn poll_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        let len = loop {
+            if let Some(len) = self.check_ready()? {
+                break len;
             }
-            let mut chunk = [0u8; 4096];
-            match self.inner.read(&mut chunk) {
-                Ok(0) => {
-                    return Err(io::Error::new(
-                        ErrorKind::UnexpectedEof,
-                        "stream closed mid-conversation",
-                    ))
-                }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
-                    return Ok(None)
-                }
-                Err(e) => return Err(e),
+            if !self.fill_once()? {
+                return Ok(None);
             }
-        }
+        };
+        Ok(Some(self.take_ready(len)))
     }
 
     /// Blocks until a frame arrives (retrying over read timeouts).
-    pub fn next_frame(&mut self) -> io::Result<Vec<u8>> {
-        loop {
-            if let Some(frame) = self.poll_frame()? {
-                return Ok(frame);
+    pub fn next_frame(&mut self) -> io::Result<&[u8]> {
+        let len = loop {
+            if let Some(len) = self.check_ready()? {
+                break len;
             }
+            self.fill_once()?;
+        };
+        Ok(self.take_ready(len))
+    }
+}
+
+/// Fixed-width big-endian primitive writer — the building blocks of the
+/// binary hot-path codec. All widths are explicit; no varints, so encode
+/// and decode are branch-free per field.
+#[derive(Default)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+}
+
+impl BinWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer reusing `buf` (cleared) — lets hot loops recycle one
+    /// allocation across messages.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BinWriter { buf }
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Length-prefixed (u32) raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Unprefixed raw bytes — for fields whose length the layout implies
+    /// (e.g. a bitvector value sized by its already-written width).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u16) UTF-8 string — for short interned names.
+    pub fn str16(&mut self, v: &str) {
+        debug_assert!(v.len() <= u16::MAX as usize, "str16 name too long");
+        self.u16(v.len() as u16);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Decode-side twin of [`BinWriter`]. All reads are bounds-checked; any
+/// overrun or malformed field yields an `InvalidData` error rather than a
+/// panic, since frames cross a trust boundary.
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// Reads from the byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BinReader { buf, at: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() - self.at < n {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                "binary frame truncated",
+            ));
         }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> io::Result<u128> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed (u32) raw bytes.
+    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Exactly `n` unprefixed raw bytes (twin of [`BinWriter::raw`]).
+    pub fn raw(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Length-prefixed (u16) UTF-8 string.
+    pub fn str16(&mut self) -> io::Result<&'a str> {
+        let n = self.u16()? as usize;
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|_| io::Error::new(ErrorKind::InvalidData, "binary frame: bad UTF-8"))
     }
 }
 
@@ -150,7 +359,18 @@ mod tests {
         let mut r = FrameReader::new(&wire[..]);
         assert_eq!(r.next_frame().unwrap(), b"hello");
         assert_eq!(r.next_frame().unwrap(), b"");
-        assert_eq!(r.next_frame().unwrap(), vec![0xffu8; 300]);
+        assert_eq!(r.next_frame().unwrap(), &[0xffu8; 300][..]);
+    }
+
+    #[test]
+    fn frame_into_batches_equal_write_frame_stream() {
+        let mut a = Vec::new();
+        write_frame(&mut a, b"one").unwrap();
+        write_frame(&mut a, b"two-two").unwrap();
+        let mut b = Vec::new();
+        frame_into(&mut b, b"one").unwrap();
+        frame_into(&mut b, b"two-two").unwrap();
+        assert_eq!(a, b, "batched framing is byte-identical");
     }
 
     #[test]
@@ -172,13 +392,48 @@ mod tests {
         let mut frames = Vec::new();
         loop {
             match r.poll_frame() {
-                Ok(Some(f)) => frames.push(f),
+                Ok(Some(f)) => frames.push(f.to_vec()),
                 Ok(None) => continue,
                 Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
                 Err(e) => panic!("{e}"),
             }
         }
         assert_eq!(frames, vec![b"abcdef".to_vec(), b"XY".to_vec()]);
+    }
+
+    #[test]
+    fn buffered_frame_drains_without_reading() {
+        // Three frames delivered by ONE read; buffered_frame must yield the
+        // remaining two without another syscall.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"a").unwrap();
+        write_frame(&mut wire, b"bb").unwrap();
+        write_frame(&mut wire, b"ccc").unwrap();
+        let chunks = vec![Some(wire.clone())];
+        let mut r = FrameReader::new(Chunked { chunks, at: 0 });
+        assert_eq!(r.next_frame().unwrap(), b"a");
+        assert_eq!(r.buffered_frame().unwrap().unwrap(), b"bb");
+        assert_eq!(r.buffered_frame().unwrap().unwrap(), b"ccc");
+        assert!(r.buffered_frame().unwrap().is_none(), "no fourth frame");
+    }
+
+    #[test]
+    fn internal_buffer_is_reused_across_frames() {
+        // Feed many frames through one reader; the buffer must stay bounded
+        // by one read chunk + one frame, not grow with frame count.
+        let mut wire = Vec::new();
+        for i in 0..1000u32 {
+            write_frame(&mut wire, &i.to_be_bytes()).unwrap();
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        for i in 0..1000u32 {
+            assert_eq!(r.next_frame().unwrap(), &i.to_be_bytes()[..]);
+        }
+        assert!(
+            r.buf.capacity() <= 2 * READ_CHUNK + 8,
+            "buffer grew unbounded: {}",
+            r.buf.capacity()
+        );
     }
 
     #[test]
@@ -193,6 +448,21 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_write_is_rejected() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        assert_eq!(
+            write_frame(&mut out, &huge).unwrap_err().kind(),
+            ErrorKind::InvalidInput
+        );
+        assert_eq!(
+            frame_into(&mut out, &huge).unwrap_err().kind(),
+            ErrorKind::InvalidInput
+        );
+        assert!(out.is_empty(), "nothing written on rejection");
+    }
+
+    #[test]
     fn eof_between_frames_is_unexpected_eof() {
         let mut wire = Vec::new();
         write_frame(&mut wire, b"only").unwrap();
@@ -202,5 +472,38 @@ mod tests {
             r.next_frame().unwrap_err().kind(),
             ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn bin_primitives_roundtrip() {
+        let mut w = BinWriter::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.u128(u128::MAX - 7);
+        w.bytes(b"payload");
+        w.str16("hdr.ipv4.dst_addr");
+        let enc = w.finish();
+        let mut r = BinReader::new(&enc);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.u128().unwrap(), u128::MAX - 7);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.str16().unwrap(), "hdr.ipv4.dst_addr");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn bin_reader_truncation_errors_cleanly() {
+        let mut w = BinWriter::new();
+        w.bytes(b"0123456789");
+        let enc = w.finish();
+        for cut in 0..enc.len() {
+            let mut r = BinReader::new(&enc[..cut]);
+            assert!(r.bytes().is_err(), "cut at {cut} must error");
+        }
     }
 }

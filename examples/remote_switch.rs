@@ -18,7 +18,7 @@
 use meissa::core::Meissa;
 use meissa::dataplane::Fault;
 use meissa::driver::Verdict;
-use meissa::netdriver::{fetch_metrics, fetch_stats, load_program, Agent, WireDriver};
+use meissa::netdriver::{fetch_metrics, fetch_stats, load_program, Agent, SoakConfig, WireDriver};
 
 const PROGRAM: &str = r#"
 header ethernet { dst: 48; src: 48; ether_type: 16; }
@@ -113,6 +113,22 @@ fn main() {
     println!("\nagent metrics (Prometheus text, first lines):");
     for line in metrics.lines().take(6) {
         println!("  {line}");
+    }
+
+    // Optional sustained soak: set MEISSA_SOAK_SECS (and MEISSA_FUZZ=1 /
+    // MEISSA_FUZZ_SEED for seeded bit-flip fuzzing) to replay the
+    // generated cases continuously for a wall-clock window. Against this
+    // deliberately faulty agent the soak keeps catching the checksum
+    // divergence and classifies every occurrence.
+    if std::env::var_os("MEISSA_SOAK_SECS").is_some() {
+        let cfg = SoakConfig::from_env();
+        println!("\nsoaking for {:?}...", cfg.duration);
+        let mut run = Meissa::new().run(&cp);
+        let stats = WireDriver::new(&cp, agent.addr())
+            .with_connections(2)
+            .soak(&mut run, cfg)
+            .expect("soak remote switch");
+        println!("{stats}");
     }
 
     agent.shutdown();

@@ -53,6 +53,37 @@ echo "==> loopback smoke test: gw-3 through the wire driver"
 # agreement with the in-process driver.
 cargo test -q --offline -p meissa-suite --test wire_equivalence
 
+echo "==> wire tests again under binary framing: MEISSA_WIRE_FRAMING=bin"
+# The same loopback equivalence run plus the 16-fault seeded matrix and
+# the codec property tests, with the client requesting the compact binary
+# codec at Hello time. Framing is transport, not semantics: every verdict
+# must match the JSON-framed runs bug-for-bug, including under injected
+# transport faults.
+MEISSA_WIRE_FRAMING=bin cargo test -q --offline \
+  -p meissa-suite --test wire_equivalence --test fault_matrix
+MEISSA_WIRE_FRAMING=bin cargo test -q --offline \
+  -p meissa-netdriver --test codec_props
+
+echo "==> netdriver throughput guard: binary loopback floor (host-gated)"
+# Streams the gw-3 (8-EIP) suite through the pipelined wire client with
+# binary framing at 4 connections and fails if the best-of-3 replay-phase
+# throughput lands under 20k cases/s. The floor is calibrated for a
+# dedicated CI host; set MEISSA_SKIP_NETDRIVER_GUARD=1 on shared or
+# heavily loaded machines.
+MEISSA_BENCH_NETDRIVER=1 cargo bench -q --offline -p meissa-bench
+
+echo "==> soak smoke: traced sub-second soaks + meissa-trace --check"
+# The short soak tests once more with a JSONL trace sink attached: the
+# wire.case / wire.conn / wire.run spans the pipelined client emits must
+# survive the sustained-replay path too. meissa-trace then validates the
+# trace wholesale (lines parse, span ids unique, parents resolve, children
+# nest). The full bench leaves a longer 5 s soak trace behind as
+# results/trace_netdriver_soak.jsonl with the same span vocabulary.
+SOAK_TRACE="$PWD/target/soak_smoke.jsonl"
+rm -f "$SOAK_TRACE"
+MEISSA_TRACE="$SOAK_TRACE" cargo test -q --offline -p meissa-netdriver --test codec_props soak
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- --check "$SOAK_TRACE"
+
 echo "==> bench smoke: gw-3-r8 figures row vs goldens"
 # Runs the figures bench in smoke mode: one gw-3 (8-EIP) row through the
 # DFS and summary engines at threads=1, asserting smt_checks and template
