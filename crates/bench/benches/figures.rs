@@ -479,15 +479,35 @@ fn netdriver_guard() {
     println!("netdriver guard OK: {best:.0} cases/s (bin, 4 connections)");
 }
 
+/// Median of a small sample set. Overhead comparisons must not hinge on
+/// one scheduler hiccup in either series; the median is robust where
+/// best-of-N systematically favours whichever series got more attempts
+/// near the machine's floor.
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Overheads below this are indistinguishable from run-to-run noise on a
+/// shared host. Any *negative* reading is noise by definition — tracing
+/// cannot speed the engine up — so the report keeps the signed value but
+/// flags everything at or below the floor instead of presenting jitter
+/// as a real effect (a previous revision recorded a −3.8%/−9.0%
+/// "overhead" this way).
+const OBS_NOISE_FLOOR_PCT: f64 = 2.0;
+
 /// Tracing overhead: gw-3 with the 32-EIP rule set (the
-/// `BENCH_parallel.json` large row) run with observability off and then
-/// with a live JSONL trace sink, at 1 and 4 threads. Best-of-3 each way;
-/// the overhead column is what the §7 "guaranteed cheap when off /
+/// `BENCH_parallel.json` large row) run with observability off and with
+/// a live JSONL trace sink, at 1 and 4 threads. Five off/on pairs,
+/// *interleaved* so slow machine drift hits both series alike, reduced
+/// by median; overheads inside the ±2% noise floor are flagged as such.
+/// The overhead column is what the §7 "guaranteed cheap when off /
 /// bounded when on" claim rests on. Writes `results/obs_overhead.txt`
 /// and `BENCH_obs.json`.
 fn obs_overhead() {
     use meissa_testkit::json::{Json, ToJson};
 
+    const PAIRS: usize = 5;
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let w = gw(3, GwScale { eips: 32 });
     let dfs = MeissaConfig {
@@ -497,10 +517,12 @@ fn obs_overhead() {
 
     let mut table = String::from(
         "Tracing overhead: gw-3 (32 EIPs), work-stealing DFS engine,\n\
-         observability off vs MEISSA_TRACE-style JSONL sink on (best of 3)\n\n",
+         observability off vs MEISSA_TRACE-style JSONL sink on\n\
+         (median of 5 interleaved off/on pairs; readings at or below the\n\
+         +2% floor -- negatives included -- are measurement noise)\n\n",
     );
     table.push_str(&format!(
-        "{:<10} {:>12} {:>12} {:>10}\n",
+        "{:<10} {:>12} {:>12} {:>16}\n",
         "threads", "off ms", "trace ms", "overhead"
     ));
     let mut rows: Vec<Json> = Vec::new();
@@ -510,36 +532,54 @@ fn obs_overhead() {
             threads,
             ..dfs.clone()
         };
-        obs::trace_off();
-        let off = best_of_3(&w, &config);
-        obs::trace_to(format!(
-            "{repo_root}/results/trace_obs_overhead_t{threads}.jsonl"
-        ));
-        let on = best_of_3(&w, &config);
-        let _ = obs::flush_trace();
-        obs::trace_off();
-        assert_eq!(
-            off.templates, on.templates,
-            "tracing must not change engine results"
-        );
-        assert_eq!(
-            off.smt_checks, on.smt_checks,
-            "tracing must not change solver counters"
-        );
-        let overhead_pct = (on.secs / off.secs - 1.0) * 100.0;
+        let trace_path = format!("{repo_root}/results/trace_obs_overhead_t{threads}.jsonl");
+        let mut off_ms: Vec<f64> = Vec::new();
+        let mut on_ms: Vec<f64> = Vec::new();
+        let mut checked = false;
+        for _ in 0..PAIRS {
+            obs::trace_off();
+            let off = meissa_bench::measure(&w, config.clone());
+            obs::trace_to(trace_path.clone());
+            let on = meissa_bench::measure(&w, config.clone());
+            let _ = obs::flush_trace();
+            obs::trace_off();
+            if !checked {
+                assert_eq!(
+                    off.templates, on.templates,
+                    "tracing must not change engine results"
+                );
+                assert_eq!(
+                    off.smt_checks, on.smt_checks,
+                    "tracing must not change solver counters"
+                );
+                checked = true;
+            }
+            off_ms.push(off.secs * 1e3);
+            on_ms.push(on.secs * 1e3);
+        }
+        let off_med = median_ms(&mut off_ms);
+        let on_med = median_ms(&mut on_ms);
+        let overhead_pct = (on_med / off_med - 1.0) * 100.0;
+        // Negative readings are noise however large: the sink only adds
+        // work, so a faster traced run means the machine moved under us.
+        let within_noise = overhead_pct <= OBS_NOISE_FLOOR_PCT;
+        let label = if within_noise {
+            format!("{overhead_pct:>+7.1}% (noise)")
+        } else {
+            format!("{overhead_pct:>+7.1}%")
+        };
         table.push_str(&format!(
-            "{threads:<10} {:>12.1} {:>12.1} {overhead_pct:>9.1}%\n",
-            off.secs * 1e3,
-            on.secs * 1e3,
+            "{threads:<10} {off_med:>12.1} {on_med:>12.1} {label:>16}\n"
         ));
         rows.push(Json::Obj(vec![
             ("program".into(), "gw-3-r32/dfs".to_json()),
             ("threads".into(), (threads as u64).to_json()),
-            ("wall_ms_obs_off".into(), (off.secs * 1e3).to_json()),
-            ("wall_ms_trace_on".into(), (on.secs * 1e3).to_json()),
+            ("pairs".into(), (PAIRS as u64).to_json()),
+            ("wall_ms_obs_off".into(), off_med.to_json()),
+            ("wall_ms_trace_on".into(), on_med.to_json()),
             ("overhead_pct".into(), overhead_pct.to_json()),
-            ("smt_checks".into(), off.smt_checks.to_json()),
-            ("templates".into(), (off.templates as u64).to_json()),
+            ("noise_floor_pct".into(), OBS_NOISE_FLOOR_PCT.to_json()),
+            ("within_noise_floor".into(), within_noise.to_json()),
         ]));
     }
 
@@ -954,6 +994,12 @@ fn main() {
         } else {
             netdriver_guard();
         }
+        return;
+    }
+    if std::env::var_os("MEISSA_BENCH_OBS").is_some() {
+        // Regenerate the tracing-overhead table alone (BENCH_obs.json +
+        // results/obs_overhead.txt) without the rest of the figure suite.
+        obs_overhead();
         return;
     }
     if std::env::var_os("MEISSA_BENCH_STATEFUL").is_some() {

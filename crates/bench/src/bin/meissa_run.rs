@@ -1,0 +1,120 @@
+//! `meissa-run`: run one suite gateway workload with the observability
+//! sinks wired up — the CI-facing companion of `meissa-trace diff`.
+//!
+//! ```text
+//! meissa-run gw-3 [--eips N] [--threads N] [--ledger PATH] [--trace PATH]
+//!            [--drop-last-rule TABLE]
+//! ```
+//!
+//! Runs the named gateway (gw-1..gw-4) through `Meissa::run`, appending a
+//! `RunRecord` to `--ledger` and/or a full trace to `--trace`. The
+//! `--drop-last-rule` knob removes the final installed rule of one table
+//! before compiling — the seeded coverage-dropping mutation CI uses to
+//! prove the diff gate actually fails when a rule stops being exercised.
+
+use meissa_core::Meissa;
+use meissa_suite::gw::{gw_rules, gw_source, rule_set, GwScale};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: meissa-run gw-<1..4> [--eips N] [--threads N] \
+         [--ledger PATH] [--trace PATH] [--drop-last-rule TABLE]"
+    );
+    exit(2);
+}
+
+/// Removes the last `… => …;` rule line inside `rules <table> { … }`.
+/// Earlier rules keep their indices, so the mutation reads as "rule N-1
+/// no longer exists" — exactly what a coverage diff should flag.
+fn drop_last_rule(rules: &str, table: &str) -> Result<String, String> {
+    let header = format!("rules {table} {{");
+    let start = rules
+        .find(&header)
+        .ok_or_else(|| format!("no `rules {table}` block in the rule set"))?;
+    let close = rules[start..]
+        .find('}')
+        .map(|i| start + i)
+        .ok_or_else(|| format!("unterminated `rules {table}` block"))?;
+    let body = &rules[start..close];
+    let last_rule = body
+        .rfind("=>")
+        .ok_or_else(|| format!("`rules {table}` has no rules to drop"))?;
+    // The rule line spans from the preceding newline to the `;` after `=>`.
+    let line_start = start + body[..last_rule].rfind('\n').unwrap_or(0);
+    let line_end = rules[start + last_rule..close]
+        .find(';')
+        .map(|i| start + last_rule + i + 1)
+        .ok_or_else(|| format!("malformed rule line in `rules {table}`"))?;
+    let mut out = String::with_capacity(rules.len());
+    out.push_str(&rules[..line_start]);
+    out.push_str(&rules[line_end..]);
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(workload) = args.first() else { usage() };
+    let level: u8 = match workload.strip_prefix("gw-").and_then(|l| l.parse().ok()) {
+        Some(l) if (1..=4).contains(&l) => l,
+        _ => usage(),
+    };
+    let mut eips: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut ledger: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut mutate: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().cloned().unwrap_or_else(|| {
+            eprintln!("meissa-run: {name} needs a value");
+            exit(2);
+        });
+        match flag.as_str() {
+            "--eips" => eips = val("--eips").parse().ok(),
+            "--threads" => threads = val("--threads").parse().ok(),
+            "--ledger" => ledger = Some(val("--ledger")),
+            "--trace" => trace = Some(val("--trace")),
+            "--drop-last-rule" => mutate = Some(val("--drop-last-rule")),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = &trace {
+        meissa_testkit::obs::trace_to(path);
+    }
+    if let Some(path) = &ledger {
+        meissa_testkit::obs::ledger::ledger_to(path);
+    }
+
+    let scale = eips.map(|eips| GwScale { eips }).unwrap_or(rule_set(level));
+    let src = gw_source(level);
+    let mut rules = gw_rules(level, scale);
+    if let Some(table) = &mutate {
+        rules = match drop_last_rule(&rules, table) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("meissa-run: {e}");
+                exit(2);
+            }
+        };
+    }
+    let workload = meissa_suite::compile_pair(&format!("gw-{level}"), &src, &rules);
+
+    let mut engine = Meissa::new();
+    if let Some(t) = threads {
+        engine.config.threads = t;
+    }
+    let run = engine.run(&workload.program);
+    if let Err(e) = meissa_testkit::obs::flush_trace() {
+        eprintln!("meissa-run: trace flush failed: {e}");
+    }
+    println!(
+        "gw-{level}: {} templates, {} smt checks, rules {}/{}, {} ms",
+        run.templates.len(),
+        run.stats.smt_checks,
+        run.stats.rules_hit,
+        run.stats.rules_total,
+        run.stats.elapsed.as_millis()
+    );
+}

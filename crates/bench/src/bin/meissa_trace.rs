@@ -1,8 +1,9 @@
 //! `meissa-trace`: summarize (or validate) a `MEISSA_TRACE` JSONL file.
 //!
 //! ```text
-//! meissa-trace <trace.jsonl>          per-phase / per-worker breakdown
-//! meissa-trace --check <trace.jsonl>  schema + span-tree validation
+//! meissa-trace <trace.jsonl>                 per-phase / per-worker breakdown
+//! meissa-trace --check <trace.jsonl>         schema + span-tree validation
+//! meissa-trace diff <a> <b> [--strict-perf]  regression gate between runs
 //! ```
 //!
 //! The report mode prints, for every `engine.run` span in the file:
@@ -18,6 +19,14 @@
 //! of the known record kinds, span ids are unique, parent references
 //! resolve, and a child span nests inside its parent's time range on the
 //! same thread.
+//!
+//! The diff mode compares two runs — each side a `results/ledger.jsonl`
+//! run-record file (last record wins) or a raw trace — and exits non-zero
+//! on regression: rule arms hit in the baseline but unhit (or gone) in
+//! the candidate, or drift in the exact-by-contract counters
+//! (`smt_checks`, `templates`, `valid_paths`). Wall-clock (±20%) and
+//! latency percentiles (×1.5) only warn unless `--strict-perf`, so the
+//! gate stays deterministic on noisy CI hosts.
 
 use meissa_testkit::json::Json;
 use std::collections::{BTreeMap, HashMap};
@@ -49,6 +58,9 @@ struct Trace {
     counters: BTreeMap<String, u64>,
     /// name → (count, sum, p50, p99) from the last snapshot.
     hists: BTreeMap<String, (u64, u64, u64, u64)>,
+    /// `(name, data)` of every structured note, in file order (the
+    /// engine's coverage map travels as a `coverage` note).
+    notes: Vec<(String, Json)>,
     lines: usize,
 }
 
@@ -107,6 +119,10 @@ fn parse_trace(path: &str) -> Result<Trace, String> {
                     text(&v, "name")?,
                     (num(&v, "count")?, num(&v, "sum")?, num(&v, "p50")?, num(&v, "p99")?),
                 );
+            }
+            "note" => {
+                let data = v.get("data").cloned().unwrap_or(Json::Null);
+                t.notes.push((text(&v, "name")?, data));
             }
             other => return Err(format!("line {}: unknown record kind `{other}`", lineno + 1)),
         }
@@ -280,6 +296,79 @@ fn report(t: &Trace) -> String {
         }
         out.push_str(&reconcile_backend(t, &runs));
     }
+    out.push_str(&coverage_section(t));
+    out
+}
+
+/// Renders the last `coverage` note — the engine's per-rule hit map — as
+/// a per-table breakdown: hit/total rules, miss-arm hits, and the ids of
+/// any unhit rules (the actionable part).
+fn coverage_section(t: &Trace) -> String {
+    let Some((_, data)) = t.notes.iter().rev().find(|(n, _)| n == "coverage") else {
+        return String::new();
+    };
+    let cov = coverage_arms(data);
+    if cov.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("== rule coverage (last run) ==\n");
+    let mut tables: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for ((table, arm), hits) in &cov {
+        tables.entry(table).or_default().push((arm, *hits));
+    }
+    for (table, arms) in tables {
+        let rules: Vec<&(&str, u64)> = arms.iter().filter(|(a, _)| *a != "miss").collect();
+        let hit = rules.iter().filter(|(_, h)| *h > 0).count();
+        let miss = arms.iter().find(|(a, _)| *a == "miss");
+        let _ = write!(out, "    {table:<16} rules {hit}/{}", rules.len());
+        if let Some((_, h)) = miss {
+            let _ = write!(out, ", miss arm {} hit{}", h, if *h == 1 { "" } else { "s" });
+        }
+        let unhit: Vec<&str> = rules
+            .iter()
+            .filter(|(_, h)| *h == 0)
+            .map(|(a, _)| *a)
+            .collect();
+        if !unhit.is_empty() {
+            let _ = write!(out, "  UNHIT: {}", unhit.join(", "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Flattens a `RuleCoverage` JSON map into `(table, arm) → hits`, where
+/// `arm` is a rule index rendered as text or `"miss"`. Tolerant of
+/// malformed entries (skipped) so a truncated trace still diffs.
+fn coverage_arms(cov: &Json) -> BTreeMap<(String, String), u64> {
+    let mut out = BTreeMap::new();
+    let Ok(tables) = cov.as_arr() else {
+        return out;
+    };
+    for tj in tables {
+        let Some(table) = tj.get("table").and_then(|v| v.as_str().ok()) else {
+            continue;
+        };
+        if let Some(Json::Arr(rules)) = tj.get("rules") {
+            for r in rules {
+                let Ok(pair) = r.as_arr() else { continue };
+                if pair.len() != 2 {
+                    continue;
+                }
+                if let (Ok(i), Ok(h)) = (pair[0].as_u128(), pair[1].as_u128()) {
+                    out.insert((table.to_string(), i.to_string()), h as u64);
+                }
+            }
+        }
+        let has_miss = matches!(tj.get("has_miss"), Some(Json::Bool(true)));
+        if has_miss {
+            let miss = tj
+                .get("miss")
+                .and_then(|v| v.as_u128().ok())
+                .unwrap_or(0) as u64;
+            out.insert((table.to_string(), "miss".to_string()), miss);
+        }
+    }
     out
 }
 
@@ -317,13 +406,235 @@ fn reconcile_backend(t: &Trace, runs: &[&Span]) -> String {
     out
 }
 
+/// One run, normalized for diffing — built from a ledger `run_record`
+/// line or synthesized from a trace's `engine.run` span + coverage note.
+struct RecordView {
+    kind: String,
+    program_hash: String,
+    rule_set_hash: String,
+    counters: BTreeMap<String, u64>,
+    /// `(table, arm) → hits`; arm is a rule index as text or `"miss"`.
+    coverage: BTreeMap<(String, String), u64>,
+    latency: Option<(u64, u64)>, // (p50, p99)
+}
+
+fn record_from_ledger(v: &Json) -> RecordView {
+    let s = |k: &str| {
+        v.get(k)
+            .and_then(|f| f.as_str().ok())
+            .unwrap_or("")
+            .to_string()
+    };
+    let mut counters = BTreeMap::new();
+    if let Some(Json::Obj(pairs)) = v.get("counters") {
+        for (k, cv) in pairs {
+            if let Ok(n) = cv.as_u128() {
+                counters.insert(k.clone(), n as u64);
+            }
+        }
+    }
+    let coverage = v.get("coverage").map(coverage_arms).unwrap_or_default();
+    let latency = v.get("latency").and_then(|l| {
+        let q = |k: &str| l.get(k).and_then(|f| f.as_u128().ok()).map(|n| n as u64);
+        Some((q("p50")?, q("p99")?))
+    });
+    RecordView {
+        kind: s("kind"),
+        program_hash: s("program_hash"),
+        rule_set_hash: s("rule_set_hash"),
+        counters,
+        coverage,
+        latency,
+    }
+}
+
+/// Loads one diff side. A file holding `run_record` lines is a ledger —
+/// the *last* record wins (append-only files accumulate). Anything else
+/// must parse as a trace; the view is synthesized from the last
+/// `engine.run`/`sequence.run` span's stamped counters plus the last
+/// `coverage` note.
+fn load_record(path: &str) -> Result<RecordView, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut last_record = None;
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(v) = Json::parse(line) {
+            if v.get("t").and_then(|t| t.as_str().ok()) == Some("run_record") {
+                last_record = Some(v);
+            }
+        }
+    }
+    if let Some(v) = last_record {
+        return Ok(record_from_ledger(&v));
+    }
+    let t = parse_trace(path)?;
+    let run = t
+        .spans
+        .iter()
+        .rev()
+        .find(|s| s.name == "engine.run" || s.name == "sequence.run" || s.name == "wire.soak")
+        .ok_or_else(|| format!("{path}: no run_record lines and no run spans to diff"))?;
+    let mut counters: BTreeMap<String, u64> =
+        run.fields.iter().cloned().collect();
+    counters.remove("threads"); // machine-shape, not behaviour
+    let coverage = t
+        .notes
+        .iter()
+        .rev()
+        .find(|(n, _)| n == "coverage")
+        .map(|(_, d)| coverage_arms(d))
+        .unwrap_or_default();
+    let latency = t
+        .hists
+        .get("wire.case_latency_us")
+        .map(|&(_, _, p50, p99)| (p50, p99));
+    Ok(RecordView {
+        kind: run.name.clone(),
+        program_hash: String::new(),
+        rule_set_hash: String::new(),
+        counters,
+        coverage,
+        latency,
+    })
+}
+
+/// Counters that must match exactly between runs of the same program and
+/// config: the solver's work is deterministic, so drift here is a real
+/// behaviour change, not noise.
+const EXACT_COUNTERS: [&str; 3] = ["smt_checks", "templates", "valid_paths"];
+
+/// Wall-clock drift tolerance (fraction) before a warning.
+const WALL_TOLERANCE: f64 = 0.20;
+/// Latency percentile growth factor before a warning.
+const LATENCY_FACTOR: f64 = 1.5;
+
+/// Compares baseline `a` against candidate `b`. Returns
+/// `(regressions, warnings)`; any regression (or, under strict mode, any
+/// warning) should fail the gate.
+fn diff_records(a: &RecordView, b: &RecordView) -> (Vec<String>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut warnings = Vec::new();
+    if a.kind != b.kind && !a.kind.is_empty() && !b.kind.is_empty() {
+        warnings.push(format!("comparing different run kinds: {} vs {}", a.kind, b.kind));
+    }
+    if !a.program_hash.is_empty() && !b.program_hash.is_empty() && a.program_hash != b.program_hash
+    {
+        warnings.push(format!(
+            "program hash differs: {} vs {}",
+            a.program_hash, b.program_hash
+        ));
+    }
+    if !a.rule_set_hash.is_empty()
+        && !b.rule_set_hash.is_empty()
+        && a.rule_set_hash != b.rule_set_hash
+    {
+        warnings.push(format!(
+            "rule-set hash differs: {} vs {}",
+            a.rule_set_hash, b.rule_set_hash
+        ));
+    }
+    // Coverage: every arm the baseline hit must still exist and be hit.
+    for ((table, arm), &hits) in &a.coverage {
+        if hits == 0 {
+            continue;
+        }
+        let label = if arm == "miss" {
+            format!("table {table} miss arm")
+        } else {
+            format!("table {table} rule {arm}")
+        };
+        match b.coverage.get(&(table.clone(), arm.clone())) {
+            None => regressions.push(format!(
+                "coverage: {label} hit in baseline, absent in candidate"
+            )),
+            Some(0) => regressions.push(format!(
+                "coverage: {label} hit in baseline, unhit in candidate"
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in EXACT_COUNTERS {
+        match (a.counters.get(name), b.counters.get(name)) {
+            (Some(&x), Some(&y)) if x != y => {
+                regressions.push(format!("counter {name}: {x} vs {y} (must match exactly)"));
+            }
+            _ => {}
+        }
+    }
+    if let (Some(&x), Some(&y)) = (a.counters.get("elapsed_ms"), b.counters.get("elapsed_ms")) {
+        if x > 0 && (y as f64) > (x as f64) * (1.0 + WALL_TOLERANCE) {
+            warnings.push(format!(
+                "wall clock grew past tolerance: {x} ms vs {y} ms (+{:.0}%)",
+                100.0 * (y as f64 - x as f64) / x as f64
+            ));
+        }
+    }
+    if let (Some((ap50, ap99)), Some((bp50, bp99))) = (a.latency, b.latency) {
+        for (name, x, y) in [("p50", ap50, bp50), ("p99", ap99, bp99)] {
+            if x > 0 && (y as f64) > (x as f64) * LATENCY_FACTOR {
+                warnings.push(format!("latency {name} grew: {x} us vs {y} us"));
+            }
+        }
+    }
+    (regressions, warnings)
+}
+
+fn run_diff(a_path: &str, b_path: &str, strict_perf: bool) -> i32 {
+    let (a, b) = match (load_record(a_path), load_record(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("meissa-trace: {e}");
+            return 2;
+        }
+    };
+    let (regressions, warnings) = diff_records(&a, &b);
+    for w in &warnings {
+        println!("WARN: {w}");
+    }
+    for r in &regressions {
+        println!("REGRESSION: {r}");
+    }
+    let arms_checked = a.coverage.values().filter(|&&h| h > 0).count();
+    if regressions.is_empty() && (!strict_perf || warnings.is_empty()) {
+        println!(
+            "diff ok: {} covered arms preserved, {} exact counters match",
+            arms_checked,
+            EXACT_COUNTERS
+                .iter()
+                .filter(|n| a.counters.contains_key(**n) && b.counters.contains_key(**n))
+                .count()
+        );
+        0
+    } else {
+        println!(
+            "diff FAILED: {} regression(s), {} warning(s){}",
+            regressions.len(),
+            warnings.len(),
+            if strict_perf { " [strict-perf]" } else { "" }
+        );
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        let rest: Vec<&String> = args[1..].iter().collect();
+        let strict = rest.iter().any(|a| *a == "--strict-perf");
+        let paths: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+        let [a, b] = paths.as_slice() else {
+            eprintln!("usage: meissa-trace diff <baseline> <candidate> [--strict-perf]");
+            exit(2);
+        };
+        exit(run_diff(a, b, strict));
+    }
     let (check_mode, path) = match args.as_slice() {
         [flag, p] if flag == "--check" => (true, p.clone()),
         [p] if p != "--check" && !p.starts_with("--") => (false, p.clone()),
         _ => {
-            eprintln!("usage: meissa-trace [--check] <trace.jsonl>");
+            eprintln!("usage: meissa-trace [--check] <trace.jsonl> | diff <a> <b> [--strict-perf]");
             exit(2);
         }
     };

@@ -190,6 +190,19 @@ pub struct RunStats {
     pub bdd_nodes: u64,
     /// True when a time budget expired before completion.
     pub timed_out: bool,
+    /// Installed rules hit by at least one template (rule-granular
+    /// coverage; see [`crate::coverage::measure_rules`]).
+    pub rules_hit: u64,
+    /// Installed rules in the program's tables.
+    pub rules_total: u64,
+    /// Tables whose every installed rule was hit.
+    pub tables_full: u64,
+    /// Tables in the program.
+    pub tables_total: u64,
+    /// The full per-table coverage map the aggregates above were computed
+    /// from — what the run ledger persists and `meissa-trace diff`
+    /// compares.
+    pub rule_coverage: Option<crate::coverage::RuleCoverage>,
 }
 
 impl RunStats {
@@ -342,7 +355,24 @@ impl Meissa {
         stats.sat = session.sat_stats();
         stats.elapsed = t0.elapsed();
 
+        // Rule-granular coverage over the graph the templates walk. Pure
+        // arithmetic on already-computed paths — no solver, no pool — so it
+        // runs unconditionally without perturbing determinism.
+        let rcov = crate::coverage::measure_rules(&cfg, &templates);
+        stats.rules_hit = rcov.rules_hit();
+        stats.rules_total = rcov.rules_total();
+        stats.tables_full = rcov.tables_full();
+        stats.tables_total = rcov.tables_total();
+        if obs::active() {
+            obs::counter("coverage.rules_hit").add(stats.rules_hit);
+            obs::gauge("coverage.tables_full").set(stats.tables_full);
+        }
+
         if obs::trace_on() {
+            obs::note("coverage", {
+                use meissa_testkit::json::ToJson as _;
+                rcov.to_json().to_text()
+            });
             // Authoritative per-run counters straight from RunStats, so a
             // trace reader can reconcile spans against the engine's own
             // accounting without re-deriving anything.
@@ -361,6 +391,10 @@ impl Meissa {
             run_span.field("model_reuse", stats.solver.model_reuse);
             run_span.field("sat_propagations", stats.sat.propagations);
             run_span.field("sat_conflicts", stats.sat.conflicts);
+            run_span.field("rules_hit", stats.rules_hit);
+            run_span.field("rules_total", stats.rules_total);
+            run_span.field("tables_full", stats.tables_full);
+            run_span.field("tables_total", stats.tables_total);
             drop(run_span);
             if let Err(e) = obs::flush_trace() {
                 eprintln!("meissa: trace flush failed: {e}");
@@ -379,12 +413,138 @@ impl Meissa {
             );
         }
 
+        stats.rule_coverage = Some(rcov);
+        ledger_append_run("engine.run", original, &self.config, &stats, None);
+
         RunOutput {
             pool: session.into_pool(),
             cfg,
             templates,
             stats,
         }
+    }
+}
+
+/// A short, stable rendering of the config knobs that shape a run's search
+/// (the ledger's `config` fingerprint; diffable as an opaque string).
+pub(crate) fn config_fingerprint(config: &MeissaConfig) -> String {
+    format!(
+        "summary={} early_term={} incremental={} grouped={} batched={} backend={:?} k={} sym_init={}",
+        config.code_summary,
+        config.early_termination,
+        config.incremental,
+        config.grouped_summary,
+        config.batched_probing,
+        config.backend,
+        config.k_packets,
+        config.symbolic_init,
+    )
+}
+
+/// Appends a self-contained `RunRecord` line to the run ledger (no-op
+/// unless `MEISSA_LEDGER`/`ledger_to` enabled it). The record carries
+/// everything a later `meissa-trace diff` needs without the original
+/// inputs: program and rule-set hashes to tell *what* ran, the config
+/// fingerprint for *how*, the counters and coverage map for *what
+/// happened*, plus an optional latency snapshot for wire-tier runs.
+pub(crate) fn ledger_append_run(
+    kind: &str,
+    original: &Cfg,
+    config: &MeissaConfig,
+    stats: &RunStats,
+    latency: Option<(u64, u64, u64, u64)>,
+) {
+    use meissa_testkit::json::{Json, ToJson as _};
+    use meissa_testkit::obs::ledger;
+    if !ledger::enabled() {
+        return;
+    }
+    let counters = vec![
+        ("smt_checks".to_string(), Json::UInt(stats.smt_checks as u128)),
+        ("templates".to_string(), Json::UInt(stats.valid_paths as u128)),
+        ("valid_paths".to_string(), Json::UInt(stats.valid_paths as u128)),
+        (
+            "paths_explored".to_string(),
+            Json::UInt(stats.paths_explored as u128),
+        ),
+        ("pruned".to_string(), Json::UInt(stats.pruned as u128)),
+        (
+            "cache_probes".to_string(),
+            Json::UInt(stats.cache_probes as u128),
+        ),
+        ("cache_hits".to_string(), Json::UInt(stats.cache_hits as u128)),
+        (
+            "batched_probes".to_string(),
+            Json::UInt(stats.batched_probes as u128),
+        ),
+        (
+            "sat_engine_calls".to_string(),
+            Json::UInt(stats.solver.sat_engine_calls as u128),
+        ),
+        (
+            "rules_hit".to_string(),
+            Json::UInt(stats.rules_hit as u128),
+        ),
+        (
+            "rules_total".to_string(),
+            Json::UInt(stats.rules_total as u128),
+        ),
+        (
+            "tables_full".to_string(),
+            Json::UInt(stats.tables_full as u128),
+        ),
+        (
+            "tables_total".to_string(),
+            Json::UInt(stats.tables_total as u128),
+        ),
+        (
+            "elapsed_ms".to_string(),
+            Json::UInt(stats.elapsed.as_millis()),
+        ),
+        ("threads".to_string(), Json::UInt(config.threads as u128)),
+        (
+            "timed_out".to_string(),
+            Json::UInt(stats.timed_out as u128),
+        ),
+    ];
+    let mut fields = vec![
+        ("t".to_string(), Json::Str("run_record".into())),
+        ("kind".to_string(), Json::Str(kind.into())),
+        (
+            "program_hash".to_string(),
+            Json::Str(crate::coverage::program_hash(original)),
+        ),
+        (
+            "rule_set_hash".to_string(),
+            Json::Str(crate::coverage::rule_set_hash(original)),
+        ),
+        (
+            "config".to_string(),
+            Json::Str(config_fingerprint(config)),
+        ),
+        ("counters".to_string(), Json::Obj(counters)),
+        (
+            "coverage".to_string(),
+            stats
+                .rule_coverage
+                .as_ref()
+                .map(|c| c.to_json())
+                .unwrap_or(Json::Arr(Vec::new())),
+        ),
+    ];
+    if let Some((count, sum, p50, p99)) = latency {
+        fields.push((
+            "latency".to_string(),
+            Json::Obj(vec![
+                ("count".to_string(), Json::UInt(count as u128)),
+                ("sum".to_string(), Json::UInt(sum as u128)),
+                ("p50".to_string(), Json::UInt(p50 as u128)),
+                ("p99".to_string(), Json::UInt(p99 as u128)),
+            ]),
+        ));
+    }
+    if let Err(e) = ledger::append(Json::Obj(fields)) {
+        eprintln!("meissa: ledger append failed: {e}");
     }
 }
 
@@ -556,6 +716,40 @@ mod tests {
         assert!(auto.stats.bdd_probes > 0, "auto must route to the BDD");
         assert!(auto.stats.bdd_nodes > 0);
         assert!(auto.stats.solver.sat_engine_calls <= smt.stats.solver.sat_engine_calls);
+    }
+
+    #[test]
+    fn rule_coverage_is_stamped_on_plain_and_summarized_runs() {
+        // Single pipeline (no summary): route has 2 rules + miss; the
+        // IPv4 templates hit both rules and the miss arm.
+        let out = Meissa::new().run(&program());
+        assert_eq!(out.stats.rules_total, 2);
+        assert_eq!(out.stats.rules_hit, 2);
+        assert_eq!(out.stats.tables_total, 1);
+        assert_eq!(out.stats.tables_full, 1);
+        let cov = out.stats.rule_coverage.as_ref().unwrap();
+        assert_eq!(cov.tables["route"].miss_hits, 1);
+
+        // Two pipelines (summary runs): attribution must survive the
+        // trie rewrite — 3 rules + miss per table, all hit.
+        let multi = Meissa::new().run(&two_pipe_program());
+        assert!(multi.stats.summary.is_some(), "summary must have run");
+        assert_eq!(multi.stats.rules_total, 6);
+        assert_eq!(multi.stats.rules_hit, 6);
+        assert_eq!(multi.stats.tables_total, 2);
+        assert_eq!(multi.stats.tables_full, 2);
+        let cov = multi.stats.rule_coverage.as_ref().unwrap();
+        for t in ["t1", "t2"] {
+            assert!(cov.tables[t].has_miss, "{t} has a default arm");
+            assert!(cov.tables[t].miss_hits > 0, "{t} miss arm covered");
+        }
+
+        // Summarized and naive runs agree on what was covered.
+        let naive = Meissa::without_summary().run(&two_pipe_program());
+        assert_eq!(
+            multi.stats.rule_coverage, naive.stats.rule_coverage,
+            "summary must not change rule attribution"
+        );
     }
 
     #[test]

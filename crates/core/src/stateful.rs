@@ -228,6 +228,19 @@ impl Meissa {
         stats.sat = session.sat_stats();
         stats.elapsed = t0.elapsed();
 
+        // Rule coverage over the unrolled graph: sites propagate per copy
+        // with un-prefixed table names, so hits from any packet of a
+        // sequence accrue to the one physical table.
+        let rcov = crate::coverage::measure_rules(&u.cfg, &exec.templates);
+        stats.rules_hit = rcov.rules_hit();
+        stats.rules_total = rcov.rules_total();
+        stats.tables_full = rcov.tables_full();
+        stats.tables_total = rcov.tables_total();
+        if obs::active() {
+            obs::counter("coverage.rules_hit").add(stats.rules_hit);
+            obs::gauge("coverage.tables_full").set(stats.tables_full);
+        }
+
         // Split each unrolled path into per-packet slices: node j of copy i
         // has unrolled id i·n + j; init-chain nodes (ids ≥ k·n) are global.
         let n = program.cfg.num_nodes();
@@ -252,9 +265,15 @@ impl Meissa {
             .collect();
 
         if obs::trace_on() {
+            obs::note("coverage", {
+                use meissa_testkit::json::ToJson as _;
+                rcov.to_json().to_text()
+            });
             seq_span.field("templates", sequences.len() as u64);
             seq_span.field("smt_checks", stats.smt_checks);
             seq_span.field("paths_explored", stats.paths_explored);
+            seq_span.field("rules_hit", stats.rules_hit);
+            seq_span.field("rules_total", stats.rules_total);
             drop(seq_span);
             if let Err(e) = obs::flush_trace() {
                 eprintln!("meissa: trace flush failed: {e}");
@@ -272,6 +291,15 @@ impl Meissa {
                 ),
             );
         }
+
+        stats.rule_coverage = Some(rcov);
+        crate::engine::ledger_append_run(
+            "sequence.run",
+            &program.cfg,
+            &self.config,
+            &stats,
+            None,
+        );
 
         let registers: Vec<(FieldId, FieldId)> = u
             .registers

@@ -510,6 +510,8 @@ fn encode_pipeline(
 ) {
     let PipelinePlan {
         name,
+        entry,
+        exit,
         num_entry_paths,
         groups,
         ..
@@ -521,8 +523,12 @@ fn encode_pipeline(
         stats.pipelines.push((name, 0, 0));
         return;
     }
-    let mut encoded: Vec<Vec<Stmt>> = Vec::new();
-    let mut seen_paths: HashSet<Vec<Stmt>> = HashSet::new();
+    // Nodes of *this* pipeline's (still original) body: a raw path may be
+    // seeded with a prefix through earlier pipelines, whose rule sites must
+    // not be re-attributed here.
+    let region = pipeline_region_nodes(cfg, entry, exit);
+    let mut encoded: Vec<(Vec<Stmt>, Vec<meissa_ir::RuleSite>)> = Vec::new();
+    let mut seen_paths: HashMap<Vec<Stmt>, usize> = HashMap::new();
     for (mut g, r) in groups.into_iter().zip(group_results) {
         stats.absorb(&r.stats);
         // The worker explored in its own pool and scope; adopt its hash
@@ -543,8 +549,29 @@ fn encode_pipeline(
                 g.base.len(),
                 &g.seed_map,
             ));
-            if seen_paths.insert(enc.clone()) {
-                encoded.push(enc);
+            // The rule sites this original path traversed, to be carried
+            // onto the encoded path's final trie node.
+            let sites: Vec<meissa_ir::RuleSite> = p
+                .path
+                .iter()
+                .filter(|n| region.contains(n))
+                .flat_map(|&n| cfg.rule_sites(n).iter().cloned())
+                .collect();
+            match seen_paths.get(&enc) {
+                Some(&i) => {
+                    // Distinct originals collapsing to one encoding: the
+                    // encoded path stands for all of them.
+                    let merged = &mut encoded[i].1;
+                    for s in sites {
+                        if !merged.contains(&s) {
+                            merged.push(s);
+                        }
+                    }
+                }
+                None => {
+                    seen_paths.insert(enc.clone(), encoded.len());
+                    encoded.push((enc, sites));
+                }
             }
         }
     }
@@ -554,8 +581,26 @@ fn encode_pipeline(
         return;
     }
     let kept = encoded.len() as u64;
-    cfg.replace_pipeline_body(pid, encoded);
+    cfg.replace_pipeline_body_with_sites(pid, encoded);
     stats.pipelines.push((name, num_entry_paths, kept));
+}
+
+/// The nodes strictly inside a pipeline region plus its markers: everything
+/// reachable from `entry` without passing `exit`.
+fn pipeline_region_nodes(
+    cfg: &Cfg,
+    entry: meissa_ir::NodeId,
+    exit: meissa_ir::NodeId,
+) -> HashSet<meissa_ir::NodeId> {
+    let mut seen: HashSet<meissa_ir::NodeId> = HashSet::new();
+    let mut stack = vec![entry];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) || n == exit {
+            continue;
+        }
+        stack.extend(cfg.succ(n).iter().copied());
+    }
+    seen
 }
 
 /// Partitions pipelines into topo-depth levels: depth(B) = 1 + max depth(A)

@@ -26,4 +26,4 @@ pub mod target;
 
 pub use faults::Fault;
 pub use packet::{parse_packet, serialize_output, serialize_state, Packet, PacketError, ParserPlan};
-pub use target::{SwitchTarget, TargetOutput};
+pub use target::{RuleTally, SwitchTarget, TargetOutput};

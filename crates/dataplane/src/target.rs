@@ -11,9 +11,12 @@
 
 use crate::faults::Fault;
 use crate::packet::{Packet, ParserPlan};
-use meissa_ir::{AExp, BExp, Cfg, ConcreteState, FieldId, HashAlg, NodeId, Stmt};
+use meissa_ir::{AExp, BExp, Cfg, ConcreteState, FieldId, HashAlg, NodeId, RuleArm, Stmt};
 use meissa_lang::CompiledProgram;
 use meissa_num::Bv;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What came out of the switch for one injected packet.
 #[derive(Clone, Debug)]
@@ -29,6 +32,95 @@ pub struct TargetOutput {
     pub final_state: ConcreteState,
 }
 
+/// Lock-free per-rule hit accounting for a running target.
+///
+/// Built from the program CFG's rule-site markers: every `(table, arm)`
+/// pair gets a stable index (sorted order, so indices are reproducible
+/// across targets compiled from the same program), and every CFG node
+/// carrying sites maps to the indices it should bump. The interpreter
+/// bumps on branch selection with relaxed atomics, so a tally shared
+/// across injector threads (agent serving concurrent RPCs, soak workers)
+/// never serializes the hot path and can be snapshotted mid-run.
+pub struct RuleTally {
+    /// Arm identity per index, in sorted `(table, arm)` order.
+    sites: Vec<(String, RuleArm)>,
+    /// CFG node → tally indices to bump when execution selects that node.
+    by_node: HashMap<NodeId, Vec<u32>>,
+    hits: Vec<AtomicU64>,
+}
+
+impl RuleTally {
+    /// Indexes every rule site the CFG declares (hit or not — unhit arms
+    /// are the interesting part of a coverage denominator).
+    pub fn new(cfg: &Cfg) -> Self {
+        let mut index: BTreeMap<(String, RuleArm), u32> = BTreeMap::new();
+        for sites in cfg.rule_site_map().values() {
+            for s in sites {
+                let next = index.len() as u32;
+                index.entry((s.table.clone(), s.arm)).or_insert(next);
+            }
+        }
+        // Re-number in sorted-key order so indices are deterministic.
+        let mut sites: Vec<(String, RuleArm)> = index.keys().cloned().collect();
+        sites.sort();
+        let lookup: HashMap<(String, RuleArm), u32> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+        let mut by_node: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (nid, node_sites) in cfg.rule_site_map() {
+            let idxs: Vec<u32> = node_sites
+                .iter()
+                .map(|s| lookup[&(s.table.clone(), s.arm)])
+                .collect();
+            if !idxs.is_empty() {
+                by_node.insert(*nid, idxs);
+            }
+        }
+        let hits = (0..sites.len()).map(|_| AtomicU64::new(0)).collect();
+        RuleTally {
+            sites,
+            by_node,
+            hits,
+        }
+    }
+
+    /// Records that execution selected `node`. No-op for nodes without
+    /// rule sites; relaxed ordering — counts are monotone tallies, not
+    /// synchronization.
+    pub fn bump(&self, node: NodeId) {
+        if let Some(idxs) = self.by_node.get(&node) {
+            for &i in idxs {
+                self.hits[i as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total distinct arms tracked (the coverage denominator).
+    pub fn arms_total(&self) -> u64 {
+        self.sites.len() as u64
+    }
+
+    /// Arms hit at least once so far.
+    pub fn arms_hit(&self) -> u64 {
+        self.hits
+            .iter()
+            .filter(|h| h.load(Ordering::Relaxed) > 0)
+            .count() as u64
+    }
+
+    /// A point-in-time `(table, arm, hits)` view in sorted arm order,
+    /// including zero-hit arms.
+    pub fn snapshot(&self) -> Vec<(&str, RuleArm, u64)> {
+        self.sites
+            .iter()
+            .zip(&self.hits)
+            .map(|((t, a), h)| (t.as_str(), *a, h.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
 /// A software switch running one compiled program, possibly mis-compiled.
 pub struct SwitchTarget {
     program: CompiledProgram,
@@ -40,6 +132,8 @@ pub struct SwitchTarget {
     drop_field: Option<FieldId>,
     /// Conventional egress port (`meta.egress_port`), when declared.
     egress_field: Option<FieldId>,
+    /// Optional per-rule hit accounting, shared with scrapers.
+    tally: Option<Arc<RuleTally>>,
 }
 
 impl SwitchTarget {
@@ -57,7 +151,21 @@ impl SwitchTarget {
             plan: ParserPlan::new(program),
             program: program.clone(),
             fault,
+            tally: None,
         }
+    }
+
+    /// Enables per-rule hit accounting over the program's rule sites.
+    /// The tally is built once from the CFG and bumped lock-free on every
+    /// executed packet; snapshot it via [`SwitchTarget::tally`].
+    pub fn with_tally(mut self) -> Self {
+        self.tally = Some(Arc::new(RuleTally::new(&self.program.cfg)));
+        self
+    }
+
+    /// The live hit tally, when enabled via [`SwitchTarget::with_tally`].
+    pub fn tally(&self) -> Option<&Arc<RuleTally>> {
+        self.tally.as_ref()
     }
 
     /// The program under test.
@@ -213,6 +321,9 @@ impl SwitchTarget {
                 return Some(state);
             }
             node = self.pick_branch(cfg, &state, succ)?;
+            if let Some(t) = &self.tally {
+                t.bump(node);
+            }
         }
     }
 
@@ -431,6 +542,44 @@ mod tests {
             &[Bv::new(32, 0x01020304), Bv::new(32, 0x0a000001)],
         );
         assert_eq!(out.final_state.get(fields, cs), expect);
+    }
+
+    #[test]
+    fn tally_counts_rule_and_miss_arms_per_injected_packet() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp).with_tally();
+        let tally = t.tally().expect("tally enabled").clone();
+        // One installed rule plus the default (miss) arm.
+        assert_eq!(tally.arms_total(), 2);
+        assert_eq!(tally.arms_hit(), 0);
+
+        // Two packets matching rule 0, one total miss (default drop).
+        t.run_state(&input(&cp, 64, 0x0a000001), 1);
+        t.run_state(&input(&cp, 64, 0x0a000002), 2);
+        t.run_state(&input(&cp, 64, 0x08080808), 3);
+
+        assert_eq!(tally.arms_hit(), 2);
+        let snap = tally.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("route", RuleArm::Rule(0), 2),
+                ("route", RuleArm::Miss, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn tally_absent_by_default_and_costless() {
+        let cp = program();
+        let t = SwitchTarget::new(&cp);
+        assert!(t.tally().is_none());
+        // Behaviour identical with and without the tally.
+        let with = SwitchTarget::new(&cp).with_tally();
+        let a = t.run_state(&input(&cp, 64, 0x0a000001), 1);
+        let b = with.run_state(&input(&cp, 64, 0x0a000001), 1);
+        assert_eq!(a.egress_port, b.egress_port);
+        assert_eq!(a.final_state, b.final_state);
     }
 
     #[test]

@@ -239,6 +239,15 @@ pub struct SoakStats {
     /// strings (`missing-output`, `unexpected-forward`, `payload-mismatch`,
     /// `port-mismatch`, `state-mismatch`, `no-response`).
     pub classes: Vec<(String, u64)>,
+    /// Total rule arms (installed rules + miss arms) in the program under
+    /// soak. Zero when the reference ran without a tally.
+    pub rules_total: u64,
+    /// Rule arms the replay exercised at least once.
+    pub rules_hit: u64,
+    /// Coverage-growth curve: `(t_ms, arms_hit)` samples at coarse time
+    /// buckets over the replay, cumulative and therefore monotone. Shows
+    /// how fast the replayed case mix saturates the rule set.
+    pub coverage_curve: Vec<(u64, u64)>,
 }
 
 impl SoakStats {
@@ -265,6 +274,9 @@ impl fmt::Display for SoakStats {
             write!(f, " = {tput:.0}/s")?;
         }
         write!(f, ", {} divergent, {} retried", self.divergent, self.retried)?;
+        if self.rules_total > 0 {
+            write!(f, ", rules {}/{}", self.rules_hit, self.rules_total)?;
+        }
         for (class, n) in &self.classes {
             write!(f, "\n  {class}: {n}")?;
         }
@@ -285,11 +297,15 @@ mod tests {
             retried: 7,
             fuzzed: true,
             classes: vec![("payload-mismatch".into(), 2), ("no-response".into(), 1)],
+            rules_total: 6,
+            rules_hit: 5,
+            coverage_curve: vec![(0, 3), (500, 5)],
         };
         assert_eq!(s.cases_per_sec(), Some(2500.0));
         let text = s.to_string();
         assert!(text.contains("soak (fuzz)"), "{text}");
         assert!(text.contains("2500/s"), "{text}");
+        assert!(text.contains("rules 5/6"), "{text}");
         assert!(text.contains("payload-mismatch: 2"), "{text}");
         s.elapsed = Duration::ZERO;
         assert_eq!(s.cases_per_sec(), None);

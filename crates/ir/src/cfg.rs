@@ -107,6 +107,70 @@ impl FromJson for PipelineInfo {
     }
 }
 
+/// Which arm of a match-action table a predicate node encodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum RuleArm {
+    /// Rule `i` of the table's installed rule set (0-based, priority order).
+    Rule(u32),
+    /// The miss arm: no installed rule matched (default action).
+    Miss,
+}
+
+impl ToJson for RuleArm {
+    fn to_json(&self) -> Json {
+        match self {
+            RuleArm::Rule(i) => Json::UInt(*i as u128),
+            RuleArm::Miss => Json::Str("miss".into()),
+        }
+    }
+}
+
+impl FromJson for RuleArm {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "miss" => Ok(RuleArm::Miss),
+            _ => Ok(RuleArm::Rule(
+                u32::from_json(v).map_err(|e| e.context("RuleArm"))?,
+            )),
+        }
+    }
+}
+
+/// Coverage-attribution metadata: the table arm a CFG node stands for.
+///
+/// The frontend marks every table-rule arm node and the miss-arm node with
+/// the table name and arm index; code summary re-attaches the sites a
+/// summarized path traversed to the path's final encoded node. Either way, a
+/// template path attributes rule hits by node lookup alone — no structural
+/// guard matching and no solver involvement, so coverage accounting can
+/// never perturb exploration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RuleSite {
+    /// Table name as written in the source, e.g. `eip_lookup`.
+    pub table: String,
+    /// Which arm of that table this node encodes.
+    pub arm: RuleArm,
+}
+
+impl ToJson for RuleSite {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("table".into(), self.table.to_json()),
+            ("arm".into(), self.arm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RuleSite {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RuleSite {
+            table: String::from_json(v.field("table")?)
+                .map_err(|e| e.context("RuleSite.table"))?,
+            arm: RuleArm::from_json(v.field("arm")?).map_err(|e| e.context("RuleSite.arm"))?,
+        })
+    }
+}
+
 /// The control flow graph of a whole (multi-pipeline, multi-switch) program.
 #[derive(Clone, Debug)]
 pub struct Cfg {
@@ -122,6 +186,10 @@ pub struct Cfg {
     /// in priority order, which is what hardware does (and what priority
     /// miscompilations perturb).
     raw_guards: HashMap<NodeId, BExp>,
+    /// Rule-coverage attribution: which table arms each node stands for.
+    /// Frontend-marked arm nodes carry exactly one site; summarized trie
+    /// leaves carry the full site list of their encoded path.
+    rule_sites: HashMap<NodeId, Vec<RuleSite>>,
 }
 
 impl Cfg {
@@ -136,6 +204,7 @@ impl Cfg {
         fields: FieldTable,
         pipelines: Vec<PipelineInfo>,
         raw_guards: HashMap<NodeId, BExp>,
+        rule_sites: HashMap<NodeId, Vec<RuleSite>>,
     ) -> Cfg {
         Cfg {
             nodes,
@@ -143,6 +212,7 @@ impl Cfg {
             fields,
             pipelines,
             raw_guards,
+            rule_sites,
         }
     }
 
@@ -190,6 +260,16 @@ impl Cfg {
     /// The raw (priority-free) guard recorded for a predicate node, if any.
     pub fn raw_guard(&self, id: NodeId) -> Option<&BExp> {
         self.raw_guards.get(&id)
+    }
+
+    /// The table arms attributed to a node (empty for unmarked nodes).
+    pub fn rule_sites(&self, id: NodeId) -> &[RuleSite] {
+        self.rule_sites.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full node → sites attribution map.
+    pub fn rule_site_map(&self) -> &HashMap<NodeId, Vec<RuleSite>> {
+        &self.rule_sites
     }
 
     /// Finds a pipeline by name.
@@ -301,25 +381,53 @@ impl Cfg {
     /// preserves semantics while keeping the DFS's progressive pruning —
     /// without it, every path probe would re-evaluate common guards.
     pub fn replace_pipeline_body(&mut self, id: PipelineId, paths: Vec<Vec<Stmt>>) {
+        let with_sites = paths.into_iter().map(|p| (p, Vec::new())).collect();
+        self.replace_pipeline_body_with_sites(id, with_sites);
+    }
+
+    /// [`Cfg::replace_pipeline_body`] with rule-coverage attribution: each
+    /// path carries the [`RuleSite`]s its pre-summary original traversed,
+    /// and those sites are attached to the path's *last* trie node — the
+    /// one node every template taking this summarized path is guaranteed to
+    /// visit and that no other path ends at. (A path that is a strict
+    /// statement prefix of a sibling shares its last node with the longer
+    /// path's interior; summarized paths are mutually exclusive by
+    /// construction, so this does not occur for distinct encodings.)
+    pub fn replace_pipeline_body_with_sites(
+        &mut self,
+        id: PipelineId,
+        paths: Vec<(Vec<Stmt>, Vec<RuleSite>)>,
+    ) {
         let (entry, exit) = {
             let p = &self.pipelines[id.0 as usize];
             (p.entry, p.exit)
         };
         self.nodes[entry.0 as usize].succ.clear();
-        let slices: Vec<&[Stmt]> = paths.iter().map(Vec::as_slice).collect();
-        self.attach_shared(entry, exit, slices);
+        let items: Vec<(&[Stmt], &[RuleSite])> = paths
+            .iter()
+            .map(|(p, s)| (p.as_slice(), s.as_slice()))
+            .collect();
+        self.attach_shared(entry, exit, items);
     }
 
-    fn attach_shared(&mut self, parent: NodeId, exit: NodeId, paths: Vec<&[Stmt]>) {
+    fn attach_shared(&mut self, parent: NodeId, exit: NodeId, paths: Vec<(&[Stmt], &[RuleSite])>) {
         // Group by first statement, preserving first-seen order.
-        let mut groups: Vec<(&Stmt, Vec<&[Stmt]>)> = Vec::new();
-        for p in paths {
+        let mut groups: Vec<(&Stmt, Vec<(&[Stmt], &[RuleSite])>)> = Vec::new();
+        for (p, sites) in paths {
             match p.split_first() {
-                None => self.nodes[parent.0 as usize].succ.push(exit),
+                None => {
+                    self.nodes[parent.0 as usize].succ.push(exit);
+                    if !sites.is_empty() {
+                        self.rule_sites
+                            .entry(parent)
+                            .or_default()
+                            .extend(sites.iter().cloned());
+                    }
+                }
                 Some((head, tail)) => {
                     match groups.iter_mut().find(|(h, _)| *h == head) {
-                        Some((_, tails)) => tails.push(tail),
-                        None => groups.push((head, vec![tail])),
+                        Some((_, tails)) => tails.push((tail, sites)),
+                        None => groups.push((head, vec![(tail, sites)])),
                     }
                 }
             }
@@ -454,6 +562,18 @@ impl ToJson for Cfg {
                         .collect(),
                 ),
             ),
+            (
+                "rule_sites".into(),
+                Json::Arr({
+                    let mut sites: Vec<(&NodeId, &Vec<RuleSite>)> =
+                        self.rule_sites.iter().collect();
+                    sites.sort_by_key(|(n, _)| **n);
+                    sites
+                        .into_iter()
+                        .map(|(n, s)| Json::Arr(vec![n.to_json(), s.to_json()]))
+                        .collect()
+                }),
+            ),
         ])
     }
 }
@@ -471,6 +591,14 @@ impl FromJson for Cfg {
             .map_err(|e| e.context("Cfg.raw_guards"))?
             .into_iter()
             .collect::<HashMap<_, _>>();
+        // Absent in graphs encoded before rule-coverage attribution existed.
+        let rule_sites = match v.get("rule_sites") {
+            Some(rs) => Vec::<(NodeId, Vec<RuleSite>)>::from_json(rs)
+                .map_err(|e| e.context("Cfg.rule_sites"))?
+                .into_iter()
+                .collect::<HashMap<_, _>>(),
+            None => HashMap::new(),
+        };
         let bound = nodes.len() as u32;
         let check = |id: NodeId, what: &str| -> Result<(), JsonError> {
             if id.0 >= bound {
@@ -494,12 +622,16 @@ impl FromJson for Cfg {
         for id in raw_guards.keys() {
             check(*id, "raw guard")?;
         }
+        for id in rule_sites.keys() {
+            check(*id, "rule site")?;
+        }
         Ok(Cfg {
             nodes,
             entry,
             fields,
             pipelines,
             raw_guards,
+            rule_sites,
         })
     }
 }
@@ -520,6 +652,7 @@ pub struct CfgBuilder {
     /// Entry marker of the pipeline currently being built, if any.
     open_pipeline: Option<(String, NodeId)>,
     raw_guards: HashMap<NodeId, BExp>,
+    rule_sites: HashMap<NodeId, Vec<RuleSite>>,
 }
 
 impl Default for CfgBuilder {
@@ -539,6 +672,7 @@ impl CfgBuilder {
             pipelines: Vec::new(),
             open_pipeline: None,
             raw_guards: HashMap::new(),
+            rule_sites: HashMap::new(),
         }
     }
 
@@ -586,6 +720,16 @@ impl CfgBuilder {
         let n = self.stmt(stmt);
         self.raw_guards.insert(n, raw);
         n
+    }
+
+    /// Attributes a node to a table arm for rule-coverage accounting. The
+    /// frontend calls this on every table-rule arm node (with the rule's
+    /// priority-order index) and on the miss-arm node.
+    pub fn mark_rule_site(&mut self, node: NodeId, table: &str, arm: RuleArm) {
+        self.rule_sites.entry(node).or_default().push(RuleSite {
+            table: table.to_string(),
+            arm,
+        });
     }
 
     /// Appends a no-op node (useful as an explicit join point).
@@ -650,6 +794,7 @@ impl CfgBuilder {
             fields: self.fields,
             pipelines: self.pipelines,
             raw_guards: self.raw_guards,
+            rule_sites: self.rule_sites,
         }
     }
 }
@@ -859,6 +1004,90 @@ mod tests {
             .find(|&n| g.raw_guard(n).is_some())
             .unwrap();
         assert_eq!(back.raw_guard(guarded), Some(&raw));
+    }
+
+    #[test]
+    fn rule_sites_survive_marking_and_json_roundtrip() {
+        let mut b = CfgBuilder::new();
+        b.begin_pipeline("ingress0");
+        let arm0 = pred(&mut b, "x", 8, 1);
+        b.mark_rule_site(arm0, "t0", RuleArm::Rule(0));
+        let miss = pred(&mut b, "x", 8, 2);
+        b.mark_rule_site(miss, "t0", RuleArm::Miss);
+        b.end_pipeline();
+        let g = b.finish();
+
+        assert_eq!(
+            g.rule_sites(arm0),
+            &[RuleSite {
+                table: "t0".into(),
+                arm: RuleArm::Rule(0)
+            }]
+        );
+        assert_eq!(g.rule_sites(miss)[0].arm, RuleArm::Miss);
+        assert!(g.rule_sites(g.entry()).is_empty());
+
+        let text = g.to_json_text();
+        let back = Cfg::from_json_text(&text).unwrap();
+        assert_eq!(back.to_json_text(), text);
+        assert_eq!(back.rule_sites(arm0), g.rule_sites(arm0));
+        assert_eq!(back.rule_sites(miss), g.rule_sites(miss));
+    }
+
+    #[test]
+    fn json_decode_tolerates_absent_rule_sites() {
+        let mut b = CfgBuilder::new();
+        assign(&mut b, "x", 8, 1);
+        let g = b.finish();
+        let text = g.to_json_text().replace(",\"rule_sites\":[]", "");
+        assert!(!text.contains("rule_sites"), "{text}");
+        let back = Cfg::from_json_text(&text).unwrap();
+        assert!(back.rule_site_map().is_empty());
+    }
+
+    #[test]
+    fn replace_with_sites_attributes_last_node_of_each_path() {
+        let mut b = CfgBuilder::new();
+        b.begin_pipeline("p");
+        assign(&mut b, "x", 8, 1);
+        let p = b.end_pipeline();
+        let mut g = b.finish();
+
+        let f = g.fields.get("x").unwrap();
+        let site = |i: u32| RuleSite {
+            table: "t".into(),
+            arm: RuleArm::Rule(i),
+        };
+        // Two paths sharing a one-statement prefix: the shared trie node
+        // must stay unattributed; each path's final node carries its sites.
+        let shared = Stmt::Assign(f, AExp::Const(Bv::new(8, 1)));
+        g.replace_pipeline_body_with_sites(
+            p,
+            vec![
+                (
+                    vec![shared.clone(), Stmt::Assign(f, AExp::Const(Bv::new(8, 2)))],
+                    vec![site(0)],
+                ),
+                (
+                    vec![shared.clone(), Stmt::Assign(f, AExp::Const(Bv::new(8, 3)))],
+                    vec![site(1)],
+                ),
+            ],
+        );
+        let entry = g.pipeline(p).entry;
+        let exit = g.pipeline(p).exit;
+        assert_eq!(g.succ(entry).len(), 1, "shared prefix collapses");
+        let head = g.succ(entry)[0];
+        assert!(g.rule_sites(head).is_empty(), "shared node unattributed");
+        assert_eq!(g.succ(head).len(), 2);
+        let mut seen = Vec::new();
+        for &leaf in g.succ(head) {
+            assert_eq!(g.succ(leaf), &[exit]);
+            assert_eq!(g.rule_sites(leaf).len(), 1);
+            seen.push(g.rule_sites(leaf)[0].arm);
+        }
+        seen.sort();
+        assert_eq!(seen, vec![RuleArm::Rule(0), RuleArm::Rule(1)]);
     }
 
     #[test]

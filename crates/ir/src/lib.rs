@@ -25,7 +25,7 @@ pub mod hash;
 pub mod paths;
 pub mod unroll;
 
-pub use cfg::{Cfg, CfgBuilder, Node, NodeId, PipelineId, PipelineInfo};
+pub use cfg::{Cfg, CfgBuilder, Node, NodeId, PipelineId, PipelineInfo, RuleArm, RuleSite};
 pub use eval::{eval_path, eval_stmt, ConcreteState, EvalError};
 pub use exp::{AExp, AOp, BExp, BOp, CmpOp, Stmt};
 pub use fields::{FieldId, FieldTable};

@@ -19,7 +19,7 @@
 //! (`@pkt0.…`). Register fields (`REG:` prefix) are never renamed — sharing
 //! their ids between copies *is* the state-threading encoding.
 
-use crate::cfg::{Cfg, Node, NodeId, PipelineInfo};
+use crate::cfg::{Cfg, Node, NodeId, PipelineInfo, RuleSite};
 use crate::exp::{AExp, BExp, Stmt};
 use crate::fields::{FieldId, FieldTable};
 use meissa_num::Bv;
@@ -188,8 +188,19 @@ pub fn unroll(cfg: &Cfg, k: usize, init: InitialState) -> UnrolledCfg {
         }
     }
 
+    // 6. Rule-coverage sites, per copy. Table names are kept un-prefixed:
+    //    every copy exercises the *same* installed rule set, so hits from
+    //    any packet of the sequence accrue to the one physical table.
+    let mut rule_sites: HashMap<NodeId, Vec<RuleSite>> = HashMap::new();
+    for copy in 0..k {
+        let off = (copy * n) as u32;
+        for (nid, sites) in cfg.rule_site_map() {
+            rule_sites.insert(NodeId(nid.0 + off), sites.clone());
+        }
+    }
+
     UnrolledCfg {
-        cfg: Cfg::from_parts(nodes, entry, fields, pipelines, raw_guards),
+        cfg: Cfg::from_parts(nodes, entry, fields, pipelines, raw_guards, rule_sites),
         k,
         copy_field,
         registers,
@@ -359,6 +370,27 @@ mod tests {
             BExp::Cmp(CmpOp::Eq, AExp::Field(f), _) => assert_eq!(*f, x1),
             other => panic!("unexpected guard {other:?}"),
         }
+    }
+
+    #[test]
+    fn rule_sites_propagate_per_copy_with_original_table_names() {
+        use crate::cfg::RuleArm;
+        let mut b = CfgBuilder::new();
+        let x = b.fields_mut().intern("hdr.x", 8);
+        let raw = BExp::Cmp(CmpOp::Eq, AExp::Field(x), AExp::Const(Bv::new(8, 1)));
+        let arm = b.stmt_with_raw(Stmt::Assume(raw.clone()), raw);
+        b.mark_rule_site(arm, "t0", RuleArm::Rule(0));
+        let cfg = b.finish();
+
+        let u = unroll(&cfg, 2, InitialState::Symbolic);
+        let n = cfg.num_nodes() as u32;
+        for copy in 0..2u32 {
+            let sites = u.cfg.rule_sites(NodeId(arm.0 + copy * n));
+            assert_eq!(sites.len(), 1, "copy {copy}");
+            assert_eq!(sites[0].table, "t0", "table name stays un-prefixed");
+            assert_eq!(sites[0].arm, RuleArm::Rule(0));
+        }
+        assert_eq!(u.cfg.rule_site_map().len(), 2);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::ast::*;
 use crate::rules::{KeyMatch, Rule, RuleSet};
-use meissa_ir::{AExp, BExp, Cfg, CfgBuilder, CmpOp, FieldId, NodeId, Stmt};
+use meissa_ir::{AExp, BExp, Cfg, CfgBuilder, CmpOp, FieldId, NodeId, RuleArm, Stmt};
 use meissa_num::Bv;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -573,8 +573,10 @@ impl<'a> Compiler<'a> {
                 }
             }
             self.b.set_frontier(base.clone());
-            self.b
+            let arm = self
+                .b
                 .stmt_with_raw(Stmt::Assume(cond), match_conds[i].clone());
+            self.b.mark_rule_site(arm, name, RuleArm::Rule(i as u32));
             for s in self.instantiate_action(&r.action, &r.args)? {
                 self.b.stmt(s);
             }
@@ -587,7 +589,8 @@ impl<'a> Compiler<'a> {
             none = BExp::and(none, BExp::not(mc.clone()));
         }
         self.b.set_frontier(base);
-        self.b.stmt_with_raw(Stmt::Assume(none.clone()), none);
+        let miss = self.b.stmt_with_raw(Stmt::Assume(none.clone()), none);
+        self.b.mark_rule_site(miss, name, RuleArm::Miss);
         if let Some((aname, args)) = &decl.default_action {
             for s in self.instantiate_action(aname, args)? {
                 self.b.stmt(s);

@@ -138,7 +138,9 @@ impl Agent {
         let shared = Arc::new(Shared {
             addr,
             hosted: RwLock::new(target.map(|t| Hosted {
-                target: t,
+                // Hosted targets always tally rule hits: the accounting is
+                // lock-free and makes per-rule coverage scrapable mid-soak.
+                target: t.with_tally(),
                 source: None,
             })),
             stats: AgentStats::default(),
@@ -176,7 +178,7 @@ fn compile_target(
     let prog = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
     let ruleset = parse_rules(rules).map_err(|e| format!("rules parse error: {e}"))?;
     let cp = compile(&prog, &ruleset).map_err(|e| format!("compile error: {e}"))?;
-    Ok(SwitchTarget::with_fault(&cp, fault))
+    Ok(SwitchTarget::with_fault(&cp, fault).with_tally())
 }
 
 /// Serializes a final state as `(name, width, value)` triples, in the
@@ -195,7 +197,7 @@ fn encode_state(program: &CompiledProgram, state: &ConcreteState) -> Vec<(String
 /// metric registered in this process — in Prometheus text exposition
 /// format. Reads only atomics and a narrow per-port lock, so scraping
 /// mid-run never stalls the inject path.
-fn metrics_exposition(stats: &AgentStats) -> String {
+fn metrics_exposition(stats: &AgentStats, target: Option<&SwitchTarget>) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# TYPE meissa_agent_injected_total counter\nmeissa_agent_injected_total {}\n",
@@ -218,6 +220,20 @@ fn metrics_exposition(stats: &AgentStats) -> String {
                     "meissa_agent_port_forwarded_total{{port=\"{port}\"}} {n}\n"
                 ));
             }
+        }
+    }
+    if let Some(tally) = target.and_then(|t| t.tally()) {
+        // Every arm, zero-hit included: the scraper sees the coverage
+        // denominator, not just what happened to fire.
+        out.push_str("# TYPE meissa_agent_rule_hits_total counter\n");
+        for (table, arm, hits) in tally.snapshot() {
+            let arm_label = match arm {
+                meissa_ir::RuleArm::Rule(i) => i.to_string(),
+                meissa_ir::RuleArm::Miss => "miss".to_string(),
+            };
+            out.push_str(&format!(
+                "meissa_agent_rule_hits_total{{table=\"{table}\",arm=\"{arm_label}\"}} {hits}\n"
+            ));
         }
     }
     out.push_str(&meissa_testkit::obs::metrics_text());
@@ -466,9 +482,11 @@ fn dispatch(
             push_reliable(out, &resp)?;
         }
         Request::Metrics => {
-            let resp = Response::Metrics {
-                text: metrics_exposition(&sh.stats),
+            let text = {
+                let hosted = sh.hosted.read().unwrap();
+                metrics_exposition(&sh.stats, hosted.as_ref().map(|h| &h.target))
             };
+            let resp = Response::Metrics { text };
             push_reliable(out, &resp)?;
         }
         Request::Shutdown => {

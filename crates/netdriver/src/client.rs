@@ -895,7 +895,10 @@ impl<'p> WireDriver<'p> {
         obs::init_from_env();
         let mut soak_span = obs::span("wire.soak");
         let plan = plan_cases(self.program, run, self.packets_per_template);
-        let reference = SwitchTarget::new(self.program);
+        // The reference interpreter tallies rule hits as it computes
+        // expected outputs, so the soak doubles as a coverage measurement
+        // of the replayed case mix.
+        let reference = SwitchTarget::new(self.program).with_tally();
         let fields = &self.program.cfg.fields;
 
         let mut protos: Vec<WireCase> = Vec::new();
@@ -941,11 +944,16 @@ impl<'p> WireDriver<'p> {
         };
         let sink = SoakSink {
             agg: Mutex::new(SoakAgg::default()),
+            started,
+            // ~10 curve buckets over the configured duration, never zero.
+            bucket_ms: ((cfg.duration.as_millis() as u64) / 10).max(1),
+            tally: reference.tally().cloned(),
         };
         self.drive(conns, &source, &sink, &reference, framing)?;
         let elapsed = started.elapsed();
 
         let agg = sink.agg.into_inner().unwrap();
+        let tally = reference.tally();
         let stats = SoakStats {
             elapsed,
             cases: agg.cases,
@@ -957,16 +965,102 @@ impl<'p> WireDriver<'p> {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            rules_total: tally.map(|t| t.arms_total()).unwrap_or(0),
+            rules_hit: tally.map(|t| t.arms_hit()).unwrap_or(0),
+            coverage_curve: agg.curve,
         };
+        self.ledger_append_soak(&stats, cfg.seed, tally);
         if obs::trace_on() {
             soak_span.field("cases", stats.cases);
             soak_span.field("divergent", stats.divergent);
+            soak_span.field("rules_hit", stats.rules_hit);
+            soak_span.field("rules_total", stats.rules_total);
             drop(soak_span);
             if let Err(e) = obs::flush_trace() {
                 eprintln!("meissa: trace flush failed: {e}");
             }
         }
         Ok(stats)
+    }
+
+    /// Appends a soak [`RunRecord`] line to the results ledger, when the
+    /// `MEISSA_LEDGER` sink is enabled. Same schema as the engine's
+    /// records (`kind: "wire.soak"`), so `meissa-trace diff` can gate a
+    /// soak against a prior one.
+    fn ledger_append_soak(
+        &self,
+        stats: &SoakStats,
+        seed: u64,
+        tally: Option<&std::sync::Arc<meissa_dataplane::RuleTally>>,
+    ) {
+        use meissa_testkit::json::{Json, ToJson as _};
+        use meissa_testkit::obs::ledger;
+        if !ledger::enabled() {
+            return;
+        }
+        let cfg = &self.program.cfg;
+        let u64j = |v: u64| Json::UInt(v as u128);
+        let mut counters: Vec<(String, Json)> = vec![
+            ("cases".into(), u64j(stats.cases)),
+            ("divergent".into(), u64j(stats.divergent)),
+            ("retried".into(), u64j(stats.retried)),
+            ("fuzzed".into(), u64j(stats.fuzzed as u64)),
+            ("rules_hit".into(), u64j(stats.rules_hit)),
+            ("rules_total".into(), u64j(stats.rules_total)),
+            ("elapsed_ms".into(), u64j(stats.elapsed.as_millis() as u64)),
+        ];
+        for (class, n) in &stats.classes {
+            counters.push((format!("class.{class}"), u64j(*n)));
+        }
+        let mut body: Vec<(String, Json)> = vec![
+            ("t".into(), Json::Str("run_record".into())),
+            ("kind".into(), Json::Str("wire.soak".into())),
+            (
+                "program_hash".into(),
+                Json::Str(meissa_core::coverage::program_hash(cfg)),
+            ),
+            (
+                "rule_set_hash".into(),
+                Json::Str(meissa_core::coverage::rule_set_hash(cfg)),
+            ),
+            (
+                "config".into(),
+                Json::Str(format!(
+                    "soak fuzz={} seed={} connections={}",
+                    stats.fuzzed, seed, self.connections
+                )),
+            ),
+            ("counters".into(), Json::Obj(counters)),
+        ];
+        if let Some(t) = tally {
+            let cov = meissa_core::coverage::RuleCoverage::from_arm_counts(t.snapshot());
+            body.push(("coverage".into(), cov.to_json()));
+        }
+        body.push((
+            "curve".into(),
+            Json::Arr(
+                stats
+                    .coverage_curve
+                    .iter()
+                    .map(|&(t, h)| Json::Arr(vec![u64j(t), u64j(h)]))
+                    .collect(),
+            ),
+        ));
+        let h = wire_obs().case_latency_us.clone();
+        if h.count() > 0 {
+            body.push((
+                "latency".into(),
+                Json::Obj(vec![
+                    ("count".into(), u64j(h.count())),
+                    ("sum".into(), u64j(h.sum())),
+                    ("p50".into(), u64j(h.quantile(50))),
+                    ("p99".into(), u64j(h.quantile(99))),
+                ]),
+            ));
+        }
+        if let Err(e) = ledger::append(Json::Obj(body)) {
+            eprintln!("meissa: ledger append failed: {e}");
+        }
     }
 }
 
@@ -1199,12 +1293,21 @@ struct SoakAgg {
     divergent: u64,
     retried: u64,
     classes: std::collections::BTreeMap<&'static str, u64>,
+    /// Cumulative `(t_ms, arms_hit)` samples, one per elapsed bucket.
+    /// Monotone by construction: each sample reads the tally's current
+    /// cumulative hit count.
+    curve: Vec<(u64, u64)>,
 }
 
 /// The soak sink: aggregate counters only (a soak produces millions of
 /// cases; per-case results would be memory, not signal).
 struct SoakSink {
     agg: Mutex<SoakAgg>,
+    started: Instant,
+    /// Coverage-curve bucket width (~duration/10).
+    bucket_ms: u64,
+    /// The reference's rule tally, sampled per bucket for the curve.
+    tally: Option<std::sync::Arc<meissa_dataplane::RuleTally>>,
 }
 
 impl CaseSink for SoakSink {
@@ -1230,6 +1333,18 @@ impl CaseSink for SoakSink {
         if let Some(c) = class {
             agg.divergent += 1;
             *agg.classes.entry(c).or_insert(0) += 1;
+        }
+        if let Some(t) = &self.tally {
+            // Sampled under the lock so both the time bucket and the
+            // cumulative hit count are monotone across resolver threads.
+            let elapsed = self.started.elapsed().as_millis() as u64;
+            let bucket = elapsed / self.bucket_ms * self.bucket_ms;
+            let hit = t.arms_hit();
+            match agg.curve.last_mut() {
+                // Same bucket: keep the freshest cumulative count.
+                Some(last) if last.0 == bucket => last.1 = last.1.max(hit),
+                _ => agg.curve.push((bucket, hit)),
+            }
         }
     }
 }

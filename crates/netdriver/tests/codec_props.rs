@@ -260,6 +260,12 @@ fn soak_replays_cleanly_and_metrics_stay_scrapable() {
                 text.contains("meissa_agent_injected_total"),
                 "metrics exposition missing agent counters:\n{text}"
             );
+            // Per-rule hit counters are scrapable mid-soak, zero-hit arms
+            // included (the denominator is part of the exposition).
+            assert!(
+                text.contains("meissa_agent_rule_hits_total{table="),
+                "metrics exposition missing per-rule counters:\n{text}"
+            );
             soak.join().unwrap()
         });
         assert!(stats.cases > 0, "soak replayed no cases (fuzz: {fuzz})");
@@ -268,6 +274,25 @@ fn soak_replays_cleanly_and_metrics_stay_scrapable() {
             stats.divergent, 0,
             "faithful agent diverged (fuzz: {fuzz}): {stats}"
         );
+        // Rule coverage rides along: the reference tallies hit arms, and
+        // the growth curve is cumulative so it must be monotone in both
+        // time and hits.
+        assert!(stats.rules_total > 0, "no rule arms tracked: {stats}");
+        assert!(stats.rules_hit > 0, "soak hit no rule arms: {stats}");
+        assert!(stats.rules_hit <= stats.rules_total);
+        assert!(
+            !stats.coverage_curve.is_empty(),
+            "no coverage curve samples (fuzz: {fuzz})"
+        );
+        for w in stats.coverage_curve.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 && w[0].1 <= w[1].1,
+                "coverage curve not monotone: {:?}",
+                stats.coverage_curve
+            );
+        }
+        let last = stats.coverage_curve.last().unwrap();
+        assert_eq!(last.1, stats.rules_hit, "curve tail disagrees with total");
     }
     agent.shutdown();
 }

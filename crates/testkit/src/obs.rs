@@ -148,6 +148,15 @@ pub enum Record {
         at_ns: u64,
         fields: Vec<(&'static str, u64)>,
     },
+    /// A structured payload that span/event fields cannot carry: `data` is
+    /// pre-rendered JSON text (span/event field names must be `'static`,
+    /// but e.g. a per-table coverage map is keyed by runtime strings).
+    Note {
+        tid: u64,
+        name: &'static str,
+        at_ns: u64,
+        data: String,
+    },
 }
 
 impl Record {
@@ -155,6 +164,7 @@ impl Record {
         match self {
             Record::Span { start_ns, id, .. } => (*start_ns, *id),
             Record::Event { at_ns, .. } => (*at_ns, u64::MAX),
+            Record::Note { at_ns, .. } => (*at_ns, u64::MAX),
         }
     }
 }
@@ -298,6 +308,20 @@ pub fn event(name: &'static str, fields: &[(&'static str, u64)]) {
         let span = s.stack.last().copied().unwrap_or(0);
         let tid = s.tid;
         s.buf.push(Record::Event { tid, span, name, at_ns, fields: fields.to_vec() });
+    });
+}
+
+/// Records a structured note: `data` must be rendered JSON text (it is
+/// embedded verbatim in the trace line). Use for payloads with runtime
+/// keys — per-table coverage maps — that `event` fields cannot express.
+pub fn note(name: &'static str, data: String) {
+    if !trace_on() {
+        return;
+    }
+    let at_ns = now_ns();
+    with_tls(|s| {
+        let tid = s.tid;
+        s.buf.push(Record::Note { tid, name, at_ns, data });
     });
 }
 
@@ -555,6 +579,18 @@ pub fn record_json(r: &Record) -> Json {
             ("at_ns".into(), Json::UInt(*at_ns as u128)),
             ("fields".into(), field_obj(fields)),
         ]),
+        Record::Note { tid, name, at_ns, data } => Json::Obj(vec![
+            ("t".into(), Json::Str("note".into())),
+            ("name".into(), Json::Str((*name).into())),
+            ("tid".into(), Json::UInt(*tid as u128)),
+            ("at_ns".into(), Json::UInt(*at_ns as u128)),
+            (
+                "data".into(),
+                // Invalid payloads survive as a plain string rather than
+                // corrupting the trace line.
+                Json::parse(data).unwrap_or_else(|_| Json::Str(data.clone())),
+            ),
+        ]),
     }
 }
 
@@ -629,8 +665,9 @@ pub fn flush_trace() -> std::io::Result<()> {
 // Env-driven init
 // ---------------------------------------------------------------------------
 
-/// Reads `MEISSA_TRACE` and `MEISSA_LOG` once per process and configures
-/// the module accordingly. Cheap to call from every engine entry point.
+/// Reads `MEISSA_TRACE`, `MEISSA_LOG`, and `MEISSA_LEDGER` once per
+/// process and configures the module accordingly. Cheap to call from
+/// every engine entry point.
 pub fn init_from_env() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -644,6 +681,11 @@ pub fn init_from_env() {
             Ok("debug") => set_log(LogLevel::Debug),
             _ => {}
         }
+        if let Ok(path) = std::env::var("MEISSA_LEDGER") {
+            if !path.is_empty() {
+                ledger::ledger_to(path);
+            }
+        }
     });
 }
 
@@ -654,6 +696,98 @@ pub fn reset_for_test() {
     FLAGS.store(0, Ordering::Relaxed);
     *SINK.lock().unwrap() = None;
     let _ = drain();
+    ledger::ledger_off();
+}
+
+// ---------------------------------------------------------------------------
+// Run ledger (append-only JSONL of RunRecords)
+// ---------------------------------------------------------------------------
+
+/// The persistent run ledger: an append-only JSONL file of self-contained
+/// `RunRecord` objects (program hash, rule-set hash, config fingerprint,
+/// run counters, coverage map, latency snapshot). Each line gets a
+/// content-hashed `id` over its body, so identical runs produce identical
+/// ids and any later mutation is detectable. Enabled by
+/// `MEISSA_LEDGER=<path>` (via [`super::init_from_env`]) or
+/// programmatically with [`ledger_to`].
+///
+/// Like the rest of this module, the ledger is a strictly write-only side
+/// channel: whether it is enabled must never change an engine's templates,
+/// stats, or goldens (`suite/tests/ledger_determinism.rs` asserts it).
+pub mod ledger {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static LEDGER: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+    /// Routes [`append`] to `path` (created on first append, parent dirs
+    /// included). Programmatic equivalent of `MEISSA_LEDGER=<path>`.
+    pub fn ledger_to(path: impl Into<PathBuf>) {
+        *LEDGER.lock().unwrap() = Some(path.into());
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Disables the ledger and forgets the path.
+    pub fn ledger_off() {
+        ENABLED.store(false, Ordering::Relaxed);
+        *LEDGER.lock().unwrap() = None;
+    }
+
+    /// Whether a ledger sink is configured. Gate record *construction* on
+    /// this — hashing a program is not free.
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// FNV-1a 64-bit over raw bytes: the ledger's content hash. Stable,
+    /// dependency-free, and plenty for content addressing of run records
+    /// (collisions only confuse a diff into comparing unlike runs, which
+    /// the embedded counters then expose).
+    pub fn content_hash(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Hex form of [`content_hash`] — the `id`/`program_hash` rendering.
+    pub fn content_hash_hex(bytes: &[u8]) -> String {
+        format!("{:016x}", content_hash(bytes))
+    }
+
+    /// Appends one record: `body` (a JSON object) is prefixed with an `id`
+    /// content-hashed over the body's rendered text, then written as one
+    /// JSONL line. Returns the id. No-op (returns an empty id) when the
+    /// ledger is disabled, so call sites need no gating of their own —
+    /// though they should gate record *construction* on [`enabled`].
+    pub fn append(body: Json) -> std::io::Result<String> {
+        let guard = LEDGER.lock().unwrap();
+        let Some(path) = guard.as_ref() else {
+            return Ok(String::new());
+        };
+        let body_fields = match body {
+            Json::Obj(fields) => fields,
+            other => vec![("body".to_string(), other)],
+        };
+        let body_text = Json::Obj(body_fields.clone()).to_text();
+        let id = content_hash_hex(body_text.as_bytes());
+        let mut fields = vec![("id".to_string(), Json::Str(id.clone()))];
+        fields.extend(body_fields);
+        let line = Json::Obj(fields).to_text();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(id)
+    }
 }
 
 #[cfg(test)]
@@ -851,5 +985,143 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Asserts `metrics_text` output is well-formed Prometheus text
+    /// exposition: every line is a comment or `name[{labels}] value` with a
+    /// numeric value.
+    fn assert_prometheus_parseable(text: &str) {
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "non-numeric value in {line:?}"
+            );
+            let bare = name_part.split('{').next().unwrap();
+            assert!(
+                !bare.is_empty()
+                    && bare
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            if let Some(rest) = name_part.split_once('{').map(|(_, r)| r) {
+                assert!(rest.ends_with('}'), "unclosed label set in {line:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_and_exposition_parses() {
+        let _g = lock();
+        let h = histogram("test.hist_empty");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        for p in [0, 50, 99, 100] {
+            assert_eq!(h.quantile(p), 0, "p{p} of an empty histogram");
+        }
+        let text = metrics_text();
+        assert!(text.contains("meissa_test_hist_empty_count 0"));
+        assert_prometheus_parseable(&text);
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_quantile() {
+        let _g = lock();
+        let h = histogram("test.hist_single");
+        h.record(100);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 100);
+        // One sample: every rank lands in its bucket's lower bound [64,128).
+        for p in [0, 50, 99, 100] {
+            assert_eq!(h.quantile(p), 64, "p{p} of a single-sample histogram");
+        }
+        assert_prometheus_parseable(&metrics_text());
+    }
+
+    #[test]
+    fn values_beyond_top_bucket_saturate_without_overflow() {
+        let _g = lock();
+        let h = histogram("test.hist_top");
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(1u64 << 63), "sum wraps, count rules");
+        // Both land in the top bucket; the reported quantile is the top
+        // bucket's lower bound, not a wrapped/overflowed value.
+        assert_eq!(h.quantile(50), 1u64 << 63);
+        assert_eq!(h.quantile(99), 1u64 << 63);
+        assert_prometheus_parseable(&metrics_text());
+    }
+
+    #[test]
+    fn note_records_carry_embedded_json_payloads() {
+        let _g = lock();
+        reset_for_test();
+        set_flag(F_TRACE, true);
+        note("coverage", "[{\"table\":\"t\",\"rules\":[[0,1]]}]".to_string());
+        set_flag(F_TRACE, false);
+        let recs = drain();
+        match recs.as_slice() {
+            [Record::Note { name: "coverage", data, .. }] => {
+                let v = record_json(&recs[0]);
+                assert_eq!(v.get("t").unwrap().as_str().unwrap(), "note");
+                // Payload embeds as structured JSON, not a quoted string.
+                let emb = v.get("data").unwrap();
+                assert!(matches!(emb, Json::Arr(_)), "{emb:?} from {data:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        reset_for_test();
+    }
+
+    #[test]
+    fn ledger_appends_content_hashed_lines() {
+        let _g = lock();
+        reset_for_test();
+        let path = std::env::temp_dir().join(format!("obs_ledger_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert!(!ledger::enabled());
+        // Disabled: append is a no-op returning an empty id.
+        assert_eq!(ledger::append(Json::Obj(vec![])).unwrap(), "");
+
+        ledger::ledger_to(&path);
+        assert!(ledger::enabled());
+        let body = || {
+            Json::Obj(vec![
+                ("kind".to_string(), Json::Str("engine.run".into())),
+                ("smt_checks".to_string(), Json::UInt(42)),
+            ])
+        };
+        let id1 = ledger::append(body()).unwrap();
+        let id2 = ledger::append(body()).unwrap();
+        let id3 = ledger::append(Json::Obj(vec![(
+            "kind".to_string(),
+            Json::Str("wire.soak".into()),
+        )]))
+        .unwrap();
+        ledger::ledger_off();
+        assert!(!ledger::enabled());
+
+        assert_eq!(id1, id2, "identical bodies hash to identical ids");
+        assert_ne!(id1, id3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "append-only, one line per record");
+        for (line, want_id) in lines.iter().zip([&id1, &id2, &id3]) {
+            let v = Json::parse(line).expect("ledger line parses");
+            assert_eq!(v.get("id").unwrap().as_str().unwrap(), want_id.as_str());
+            // The id is reproducible from the body: strip it and re-hash.
+            let Json::Obj(fields) = v else { panic!() };
+            let body: Vec<_> = fields.into_iter().filter(|(k, _)| k != "id").collect();
+            let rehash = ledger::content_hash_hex(Json::Obj(body).to_text().as_bytes());
+            assert_eq!(&rehash, want_id);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -132,6 +132,36 @@ MEISSA_BENCH_SMOKE=1 MEISSA_TRACE="$OBS_TRACE" cargo bench -q --offline -p meiss
 cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- --check "$OBS_TRACE"
 cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- "$OBS_TRACE"
 
+echo "==> coverage ledger & diff gate: identical runs match, mutations fail"
+# Two identical-seed traced gw-3 runs append RunRecords to separate
+# ledgers; `meissa-trace diff` must pass them (covered arms preserved,
+# smt_checks/templates/valid_paths exactly equal). Then a seeded
+# coverage-dropping mutation — the last eip_lookup rule removed — must
+# make the gate FAIL and name the now-missing rule, or the gate itself
+# is broken.
+LEDGER_DIR="$PWD/target/ledger_gate"
+rm -rf "$LEDGER_DIR" && mkdir -p "$LEDGER_DIR"
+cargo run -q --offline --release -p meissa-bench --bin meissa-run -- \
+  gw-3 --eips 8 --threads 4 --ledger "$LEDGER_DIR/a.jsonl"
+cargo run -q --offline --release -p meissa-bench --bin meissa-run -- \
+  gw-3 --eips 8 --threads 4 --ledger "$LEDGER_DIR/b.jsonl"
+cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- \
+  diff "$LEDGER_DIR/a.jsonl" "$LEDGER_DIR/b.jsonl"
+cargo run -q --offline --release -p meissa-bench --bin meissa-run -- \
+  gw-3 --eips 8 --threads 4 --ledger "$LEDGER_DIR/mut.jsonl" --drop-last-rule eip_lookup
+if out=$(cargo run -q --offline --release -p meissa-bench --bin meissa-trace -- \
+    diff "$LEDGER_DIR/a.jsonl" "$LEDGER_DIR/mut.jsonl"); then
+  echo "diff gate FAILED to fail on a coverage-dropping mutation:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if ! echo "$out" | grep -q "table eip_lookup rule .* absent in candidate"; then
+  echo "diff gate failed but did not name the dropped rule:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "ok: identical runs diff clean; dropped rule named and gated"
+
 echo "==> dependency guard: workspace crates only"
 # Every line of the flat dependency listing must be a meissa-* path crate
 # (or the facade crate `meissa` itself). Anything else is an external
